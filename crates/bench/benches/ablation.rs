@@ -1,0 +1,86 @@
+//! Ablation bench: isolates the contribution of each livelock-avoidance
+//! mechanism the paper combines, reporting the overload-stability metric
+//! (delivered-at-max-load / peak-delivered; 1.0 = flat plateau, 0 =
+//! livelock) for each configuration, then times the extremes.
+//!
+//! Mechanisms ablated:
+//! - polling vs. pure interrupts (Figure 6-3's comparison);
+//! - the packet quota (5 / 20 / 100 / none);
+//! - queue-state feedback with screend on/off;
+//! - receive-ring size (the "let the interface buffer bursts" advice);
+//! - interrupt rate limiting alone (the paper's 5.1 caveat: it bounds
+//!   saturation but does not guarantee progress);
+//! - RED early drop on the output queue (the 8-cited drop policy).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use livelock_core::analysis::overload_stability;
+use livelock_core::poller::Quota;
+use livelock_kernel::config::KernelConfig;
+use livelock_kernel::experiment::{sweep, TrialSpec};
+
+fn stability(cfg: &KernelConfig) -> f64 {
+    let base = TrialSpec {
+        n_packets: 2_000,
+        ..TrialSpec::new(cfg.clone())
+    };
+    let rates = [2_000.0, 4_000.0, 6_000.0, 9_000.0, 12_000.0];
+    let s = sweep("ablation", &base, &rates);
+    overload_stability(&s.points())
+}
+
+fn bench(c: &mut Criterion) {
+    let mut ring16 = KernelConfig::polled(Quota::Limited(10));
+    ring16.nic.rx_ring = 8;
+    let mut ring128 = KernelConfig::polled(Quota::Limited(10));
+    ring128.nic.rx_ring = 128;
+
+    let mut red = KernelConfig::polled(Quota::Limited(100));
+    red.ifq_red = true;
+    let mut ratelimited_screend = KernelConfig::unmodified_rate_limited(2_000.0);
+    ratelimited_screend.screend = Some(livelock_kernel::config::ScreendConfig::default());
+
+    let cases: Vec<(&str, KernelConfig)> = vec![
+        ("interrupts-only (baseline)", KernelConfig::unmodified()),
+        (
+            "intr-rate-limit 2k/s",
+            KernelConfig::unmodified_rate_limited(2_000.0),
+        ),
+        ("intr-rate-limit + screend", ratelimited_screend),
+        ("polling q=100 + RED ifq", red),
+        ("polling quota=5", KernelConfig::polled(Quota::Limited(5))),
+        ("polling quota=20", KernelConfig::polled(Quota::Limited(20))),
+        (
+            "polling quota=100",
+            KernelConfig::polled(Quota::Limited(100)),
+        ),
+        ("polling no-quota", KernelConfig::polled(Quota::Unlimited)),
+        ("polling rx-ring=8", ring16),
+        ("polling rx-ring=128", ring128),
+        (
+            "screend no-feedback",
+            KernelConfig::polled_screend_no_feedback(Quota::Limited(10)),
+        ),
+        (
+            "screend feedback",
+            KernelConfig::polled_screend_feedback(Quota::Limited(10)),
+        ),
+    ];
+
+    println!("# Ablation: overload stability (1.0 = flat plateau, 0 = livelock)");
+    for (label, cfg) in &cases {
+        println!("#   {:<28} {:.3}", label, stability(cfg));
+    }
+
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    for (label, cfg) in [
+        ("interrupts-only", KernelConfig::unmodified()),
+        ("full-mechanisms", KernelConfig::polled(Quota::Limited(10))),
+    ] {
+        g.bench_function(label, |b| b.iter(|| stability(&cfg)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Microbenchmarks of the simulation substrate itself: event queue,
+//! deterministic RNG, and end-to-end simulated-packets-per-wallclock-second
+//! throughput of the full router model.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use livelock_core::poller::Quota;
+use livelock_kernel::config::KernelConfig;
+use livelock_kernel::experiment::{run_trial, TrialSpec};
+use livelock_sim::{Cycles, EventQueue, Rng};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event-queue");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("schedule+pop 10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut rng = Rng::seed_from(1);
+            for i in 0..10_000u64 {
+                q.schedule(Cycles::new(rng.next_below(1_000_000)), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_rng(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rng");
+    g.throughput(Throughput::Elements(1_000_000));
+    g.bench_function("xoshiro256** 1M u64", |b| {
+        let mut rng = Rng::seed_from(42);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1_000_000 {
+                acc = acc.wrapping_add(rng.next_u64());
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_full_router(c: &mut Criterion) {
+    let mut g = c.benchmark_group("router-sim");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(2_000));
+    for (label, cfg) in [
+        ("unmodified 2k pkts", KernelConfig::unmodified()),
+        ("polled 2k pkts", KernelConfig::polled(Quota::Limited(10))),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                run_trial(&TrialSpec {
+                    rate_pps: 8_000.0,
+                    n_packets: 2_000,
+                    ..TrialSpec::new(cfg.clone())
+                })
+                .transmitted
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_rng, bench_full_router);
+criterion_main!(benches);

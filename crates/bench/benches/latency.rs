@@ -1,0 +1,78 @@
+//! Latency bench (paper §4.3): first-packet delivery latency for
+//! wire-rate bursts, unmodified vs modified kernel, plus steady-state
+//! latency/jitter across load levels. The paper discusses this effect in
+//! prose without a figure; this bench produces the table its argument
+//! implies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use livelock_core::poller::Quota;
+use livelock_kernel::config::KernelConfig;
+use livelock_kernel::experiment::{run_trial, TrialSpec};
+use livelock_kernel::router::{Event, RouterKernel};
+use livelock_machine::cpu::Engine;
+use livelock_net::gen::PacketFactory;
+use livelock_net::packet::MIN_FRAME_LEN;
+use livelock_net::phy::LinkSpeed;
+use livelock_sim::{Cycles, Freq, Nanos};
+
+const FREQ: Freq = Freq::mhz(100);
+
+fn burst_first_latency(cfg: &KernelConfig, n: usize) -> (Nanos, Nanos) {
+    let ctx_switch = cfg.cost.ctx_switch;
+    let (st, kernel) = RouterKernel::build(cfg.clone());
+    let mut e = Engine::new(st, kernel, ctx_switch);
+    let gap = LinkSpeed::ETHERNET_10M.frame_cycles(MIN_FRAME_LEN, FREQ);
+    let mut factory = PacketFactory::paper_testbed();
+    for k in 0..n {
+        let t = Cycles::new(1_000) + gap * k as u64;
+        e.state_schedule(
+            t,
+            Event::RxArrive {
+                iface: 0,
+                pkt: factory.next_packet(),
+            },
+        );
+    }
+    e.run_until(FREQ.cycles_from_millis(500));
+    let lat = &e.workload().stats().latency;
+    (lat.min(), lat.max())
+}
+
+fn bench(c: &mut Criterion) {
+    println!("# Burst first/last packet delivery latency (paper 4.3)");
+    println!(
+        "# {:>6} {:>24} {:>24}",
+        "burst", "unmodified_first/last", "modified_first/last"
+    );
+    for n in [5usize, 10, 20, 30] {
+        let (uf, ul) = burst_first_latency(&KernelConfig::unmodified(), n);
+        let (mf, ml) = burst_first_latency(&KernelConfig::polled(Quota::Limited(5)), n);
+        println!("# {n:>6} {uf:>11} /{ul:>11} {mf:>11} /{ml:>11}");
+    }
+
+    println!("# Steady-state mean latency / p99 by load (modified, quota 10)");
+    for rate in [1_000.0, 4_000.0, 8_000.0, 12_000.0] {
+        let r = run_trial(&TrialSpec {
+            rate_pps: rate,
+            n_packets: 1_500,
+            ..TrialSpec::new(KernelConfig::polled(Quota::Limited(10)))
+        });
+        println!(
+            "#   {:>6.0} pkts/s: mean {} p99 {}",
+            rate, r.latency_mean, r.latency_p99
+        );
+    }
+
+    let mut g = c.benchmark_group("latency");
+    g.sample_size(10);
+    g.bench_function("burst20 unmodified", |b| {
+        b.iter(|| burst_first_latency(&KernelConfig::unmodified(), 20))
+    });
+    g.bench_function("burst20 modified", |b| {
+        b.iter(|| burst_first_latency(&KernelConfig::polled(Quota::Limited(5)), 20))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Regenerates every figure of the paper's evaluation and writes the data
+//! series as text tables (stdout) and CSV files (`results/`).
+//!
+//! ```text
+//! cargo run --release -p livelock-bench --bin figures [--quick] [--fig 6-4]
+//! ```
+//!
+//! `--quick` uses 2,000-packet trials instead of the paper's 10,000 (about
+//! 5x faster, slightly noisier). `--fig <id>` renders a single figure.
+
+use std::fs;
+use std::path::Path;
+
+use livelock_bench::{all_figures, render_figure, shape_violations, PAPER_TRIAL_PACKETS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let only: Option<String> = args
+        .iter()
+        .position(|a| a == "--fig")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let n_packets = if quick { 2_000 } else { PAPER_TRIAL_PACKETS };
+
+    let out_dir = Path::new("results");
+    if let Err(e) = fs::create_dir_all(out_dir) {
+        eprintln!("cannot create {}: {e}", out_dir.display());
+        std::process::exit(1);
+    }
+
+    let mut all_violations = Vec::new();
+    for fig in all_figures() {
+        if let Some(id) = &only {
+            if fig.id != id {
+                continue;
+            }
+        }
+        eprintln!(
+            "rendering figure {} ({} packets/trial)...",
+            fig.id, n_packets
+        );
+        let rendered = render_figure(&fig, n_packets);
+        print!("{}", rendered.to_table());
+        print!("{}", rendered.shape_summary());
+        println!();
+        let path = out_dir.join(format!("fig{}.csv", fig.id.replace('-', "_")));
+        if let Err(e) = fs::write(&path, rendered.to_csv()) {
+            eprintln!("cannot write {}: {e}", path.display());
+        } else {
+            eprintln!("wrote {}", path.display());
+        }
+        all_violations.extend(shape_violations(&rendered));
+    }
+
+    if all_violations.is_empty() {
+        eprintln!("all rendered figures match the paper's qualitative shapes");
+    } else {
+        eprintln!("SHAPE VIOLATIONS:");
+        for v in &all_violations {
+            eprintln!("  {v}");
+        }
+        std::process::exit(2);
+    }
+}

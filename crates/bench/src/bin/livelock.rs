@@ -1,0 +1,276 @@
+//! `livelock` — the command-line face of the reproduction.
+//!
+//! ```text
+//! livelock configs                      list kernel configurations
+//! livelock trial  --config polled --rate 8000 [--packets N] [--seed S]
+//! livelock sweep  --config unmodified,polled [--rates 1000,2000,...]
+//! livelock mlfrr  --config polled [--loss-free 0.98]
+//! ```
+//!
+//! `trial` runs one paper-style measurement and prints the full breakdown;
+//! `sweep` prints the (input rate, output rate) series a figure would
+//! plot; `mlfrr` bisects for the Maximum Loss Free Receive Rate.
+
+use livelock_core::analysis::{classify, overload_stability};
+use livelock_core::poller::Quota;
+use livelock_kernel::config::KernelConfig;
+use livelock_kernel::experiment::{paper_rates, run_trial, sweep, TrialSpec};
+
+fn configs() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("unmodified", "4.2BSD interrupt-driven path (Figure 6-1)"),
+        ("screend", "unmodified + user-mode screend filter"),
+        (
+            "no-polling",
+            "modified kernel acting unmodified (Figure 6-3)",
+        ),
+        ("polled", "modified kernel, polling, quota 10"),
+        ("polled-q5", "polling, quota 5"),
+        ("polled-q100", "polling, quota 100"),
+        (
+            "no-quota",
+            "polling without a quota (livelocks, Figure 6-3)",
+        ),
+        (
+            "feedback",
+            "polling + screend + queue-state feedback (Figure 6-4)",
+        ),
+        ("no-feedback", "polling + screend, feedback off (livelocks)"),
+        (
+            "rate-limited",
+            "unmodified + 2000/s interrupt rate limit (§5.1)",
+        ),
+        (
+            "cycle-25",
+            "polling + 25% CPU cycle limit + user process (§7)",
+        ),
+        ("cycle-50", "polling + 50% CPU cycle limit + user process"),
+        (
+            "end-system",
+            "UDP/RPC server, modified kernel + socket feedback",
+        ),
+    ]
+}
+
+fn config_by_name(name: &str) -> Option<KernelConfig> {
+    Some(match name {
+        "unmodified" => KernelConfig::unmodified(),
+        "screend" => KernelConfig::unmodified_with_screend(),
+        "no-polling" => KernelConfig::no_polling(),
+        "polled" => KernelConfig::polled(Quota::Limited(10)),
+        "polled-q5" => KernelConfig::polled(Quota::Limited(5)),
+        "polled-q100" => KernelConfig::polled(Quota::Limited(100)),
+        "no-quota" => KernelConfig::polled(Quota::Unlimited),
+        "feedback" => KernelConfig::polled_screend_feedback(Quota::Limited(10)),
+        "no-feedback" => KernelConfig::polled_screend_no_feedback(Quota::Limited(10)),
+        "rate-limited" => KernelConfig::unmodified_rate_limited(2_000.0),
+        "cycle-25" => KernelConfig::polled_cycle_limit(0.25),
+        "cycle-50" => KernelConfig::polled_cycle_limit(0.50),
+        "end-system" => KernelConfig::end_system_polled(Quota::Limited(10)),
+        _ => return None,
+    })
+}
+
+struct Args {
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Result<Args, String> {
+        let mut flags = Vec::new();
+        let mut it = raw.iter();
+        while let Some(a) = it.next() {
+            let Some(name) = a.strip_prefix("--") else {
+                return Err(format!("unexpected argument {a:?}"));
+            };
+            let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+            flags.push((name.to_string(), value.clone()));
+        }
+        Ok(Args { flags })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_f64(&self, name: &str, default: f64) -> Result<f64, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name}: bad number {v:?}")),
+        }
+    }
+
+    fn get_usize(&self, name: &str, default: usize) -> Result<usize, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name}: bad number {v:?}")),
+        }
+    }
+
+    fn get_u64(&self, name: &str, default: u64) -> Result<u64, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name}: bad number {v:?}")),
+        }
+    }
+}
+
+fn cmd_configs() {
+    println!("{:<14} description", "name");
+    for (name, desc) in configs() {
+        println!("{name:<14} {desc}");
+    }
+}
+
+fn cmd_trial(args: &Args) -> Result<(), String> {
+    let name = args.get("config").unwrap_or("polled");
+    let cfg = config_by_name(name).ok_or_else(|| format!("unknown config {name:?}"))?;
+    let spec = TrialSpec {
+        rate_pps: args.get_f64("rate", 8_000.0)?,
+        n_packets: args.get_usize("packets", 10_000)?,
+        seed: args.get_u64("seed", 1)?,
+        ..TrialSpec::new(cfg)
+    };
+    let r = run_trial(&spec);
+    println!("config          {name}");
+    println!("offered         {:>10.0} pkts/s", r.offered_pps);
+    println!("delivered       {:>10.0} pkts/s", r.delivered_pps);
+    println!("transmitted     {:>10}", r.transmitted);
+    println!("rx-ring drops   {:>10}  (free)", r.rx_ring_drops);
+    println!("ipintrq drops   {:>10}", r.ipintrq_drops);
+    println!("screend-q drops {:>10}", r.screend_q_drops);
+    println!("ifqueue drops   {:>10}", r.ifq_drops);
+    println!("socket-q drops  {:>10}", r.socket_q_drops);
+    println!(
+        "app delivered   {:>10}  ({:.0} op/s)",
+        r.app_delivered, r.app_delivered_pps
+    );
+    println!("latency mean    {:>10}", r.latency_mean);
+    println!("latency p99     {:>10}", r.latency_p99);
+    println!("interrupts      {:>10}", r.interrupts_taken);
+    println!("user CPU        {:>9.1}%", r.user_cpu_frac * 100.0);
+    Ok(())
+}
+
+fn cmd_sweep(args: &Args) -> Result<(), String> {
+    let names: Vec<&str> = args
+        .get("config")
+        .unwrap_or("unmodified,polled")
+        .split(',')
+        .collect();
+    let rates: Vec<f64> = match args.get("rates") {
+        None => paper_rates(),
+        Some(s) => s
+            .split(',')
+            .map(|r| r.parse().map_err(|_| format!("bad rate {r:?}")))
+            .collect::<Result<_, _>>()?,
+    };
+    let n_packets = args.get_usize("packets", 3_000)?;
+
+    let mut results = Vec::new();
+    for name in &names {
+        let cfg = config_by_name(name).ok_or_else(|| format!("unknown config {name:?}"))?;
+        let base = TrialSpec {
+            n_packets,
+            ..TrialSpec::new(cfg)
+        };
+        eprintln!("sweeping {name}...");
+        results.push(sweep(name, &base, &rates));
+    }
+
+    print!("{:>10}", "input_pps");
+    for s in &results {
+        print!("{:>14}", s.label);
+    }
+    println!();
+    for (i, rate) in rates.iter().enumerate() {
+        print!("{rate:>10.0}");
+        for s in &results {
+            print!("{:>14.0}", s.trials[i].delivered_pps);
+        }
+        println!();
+    }
+    println!();
+    for s in &results {
+        let pts = s.points();
+        println!(
+            "{:<14} stability {:.2}, verdict {:?}",
+            s.label,
+            overload_stability(&pts),
+            classify(&pts, 0.10, 0.80)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_mlfrr(args: &Args) -> Result<(), String> {
+    let name = args.get("config").unwrap_or("polled");
+    let cfg = config_by_name(name).ok_or_else(|| format!("unknown config {name:?}"))?;
+    let loss_free = args.get_f64("loss-free", 0.98)?;
+    let n_packets = args.get_usize("packets", 3_000)?;
+
+    // Bisect on the offered rate for the highest loss-free point.
+    let mut lo = 100.0f64;
+    let mut hi = 14_000.0f64;
+    let trial = |rate: f64| {
+        let r = run_trial(&TrialSpec {
+            rate_pps: rate,
+            n_packets,
+            ..TrialSpec::new(cfg.clone())
+        });
+        (r.offered_pps, r.delivered_pps)
+    };
+    // Ensure the bracket is valid.
+    let (o, d) = trial(lo);
+    if d < loss_free * o {
+        return Err(format!("lossy even at {lo} pkts/s; nothing to bisect"));
+    }
+    for _ in 0..12 {
+        let mid = (lo + hi) / 2.0;
+        let (o, d) = trial(mid);
+        eprintln!(
+            "  {mid:>8.0} pkts/s -> delivered {d:>8.0} ({:.1}%)",
+            100.0 * d / o
+        );
+        if d >= loss_free * o {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    println!(
+        "MLFRR({name}, loss-free ≥ {:.0}%) ≈ {:.0} pkts/s",
+        loss_free * 100.0,
+        lo
+    );
+    Ok(())
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match argv.split_first() {
+        Some((c, r)) => (c.as_str(), r),
+        None => {
+            eprintln!("usage: livelock <configs|trial|sweep|mlfrr> [--flag value]...");
+            std::process::exit(2);
+        }
+    };
+    let result = match (cmd, Args::parse(rest)) {
+        ("configs", _) => {
+            cmd_configs();
+            Ok(())
+        }
+        (_, Err(e)) => Err(e),
+        ("trial", Ok(args)) => cmd_trial(&args),
+        ("sweep", Ok(args)) => cmd_sweep(&args),
+        ("mlfrr", Ok(args)) => cmd_mlfrr(&args),
+        (other, Ok(_)) => Err(format!("unknown command {other:?}")),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,451 @@
+//! Figure definitions and rendering for the receive-livelock reproduction.
+//!
+//! Each figure in the paper's evaluation is described once here — its
+//! curves (label + kernel configuration) and its sweep axis — and consumed
+//! twice: by the `figures` binary, which regenerates and prints every data
+//! series, and by the Criterion benches (`benches/fig*.rs`), which measure
+//! the simulator's own performance on each figure's workload.
+
+use livelock_core::analysis::{classify, mlfrr, overload_stability, LivelockVerdict};
+use livelock_core::poller::Quota;
+use livelock_kernel::config::KernelConfig;
+use livelock_kernel::experiment::{run_trial, sweep, SweepResult, TrialSpec};
+
+/// One figure: an id, a caption, curves, and the swept input rates.
+pub struct Figure {
+    /// Paper figure number, e.g. "6-1".
+    pub id: &'static str,
+    /// The paper's caption.
+    pub caption: &'static str,
+    /// (curve label, kernel configuration) pairs.
+    pub curves: Vec<(String, KernelConfig)>,
+    /// Input packet rates to sweep.
+    pub rates: Vec<f64>,
+}
+
+/// The rates every throughput figure sweeps (as in the paper: 0 to 12,000
+/// packets/second, denser around the MLFRR).
+pub fn throughput_rates() -> Vec<f64> {
+    vec![
+        500.0, 1_000.0, 2_000.0, 3_000.0, 4_000.0, 4_500.0, 5_000.0, 6_000.0, 7_000.0, 8_000.0,
+        10_000.0, 12_000.0,
+    ]
+}
+
+/// Figure 6-1: forwarding performance of the unmodified kernel.
+pub fn fig6_1() -> Figure {
+    Figure {
+        id: "6-1",
+        caption: "Forwarding performance of unmodified kernel",
+        curves: vec![
+            ("Without screend".into(), KernelConfig::unmodified()),
+            (
+                "With screend".into(),
+                KernelConfig::unmodified_with_screend(),
+            ),
+        ],
+        rates: throughput_rates(),
+    }
+}
+
+/// Figure 6-3: forwarding performance of the modified kernel, no screend.
+pub fn fig6_3() -> Figure {
+    Figure {
+        id: "6-3",
+        caption: "Forwarding performance of modified kernel, without using screend",
+        curves: vec![
+            ("Unmodified".into(), KernelConfig::unmodified()),
+            ("No polling".into(), KernelConfig::no_polling()),
+            (
+                "Polling (quota = 5)".into(),
+                KernelConfig::polled(Quota::Limited(5)),
+            ),
+            (
+                "Polling (no quota)".into(),
+                KernelConfig::polled(Quota::Unlimited),
+            ),
+        ],
+        rates: throughput_rates(),
+    }
+}
+
+/// Figure 6-4: forwarding performance of the modified kernel with screend.
+pub fn fig6_4() -> Figure {
+    Figure {
+        id: "6-4",
+        caption: "Forwarding performance of modified kernel, with screend",
+        curves: vec![
+            ("Unmodified".into(), KernelConfig::unmodified_with_screend()),
+            (
+                "Polling, no feedback".into(),
+                KernelConfig::polled_screend_no_feedback(Quota::Limited(10)),
+            ),
+            (
+                "Polling w/feedback".into(),
+                KernelConfig::polled_screend_feedback(Quota::Limited(10)),
+            ),
+        ],
+        rates: throughput_rates(),
+    }
+}
+
+/// The quota values Figures 6-5 and 6-6 compare.
+pub fn quota_values() -> Vec<(String, Quota)> {
+    vec![
+        ("quota = 5 packets".into(), Quota::Limited(5)),
+        ("quota = 10 packets".into(), Quota::Limited(10)),
+        ("quota = 20 packets".into(), Quota::Limited(20)),
+        ("quota = 100 packets".into(), Quota::Limited(100)),
+        ("quota = infinity".into(), Quota::Unlimited),
+    ]
+}
+
+/// Figure 6-5: effect of the packet-count quota, no screend.
+pub fn fig6_5() -> Figure {
+    Figure {
+        id: "6-5",
+        caption: "Effect of packet-count quota on performance, no screend",
+        curves: quota_values()
+            .into_iter()
+            .map(|(label, q)| (label, KernelConfig::polled(q)))
+            .collect(),
+        rates: throughput_rates(),
+    }
+}
+
+/// Figure 6-6: effect of the packet-count quota, with screend (feedback on).
+pub fn fig6_6() -> Figure {
+    Figure {
+        id: "6-6",
+        caption: "Effect of packet-count quota on performance, with screend",
+        curves: quota_values()
+            .into_iter()
+            .map(|(label, q)| (label, KernelConfig::polled_screend_feedback(q)))
+            .collect(),
+        rates: throughput_rates(),
+    }
+}
+
+/// The cycle-limit thresholds Figure 7-1 compares.
+pub fn cycle_thresholds() -> Vec<f64> {
+    vec![0.25, 0.50, 0.75, 1.00]
+}
+
+/// Figure 7-1: available user-mode CPU time under the cycle-limit
+/// mechanism. (The y-axis is user CPU %, not packet rate.)
+pub fn fig7_1() -> Figure {
+    Figure {
+        id: "7-1",
+        caption: "User-mode CPU time available using cycle-limit mechanism",
+        curves: cycle_thresholds()
+            .into_iter()
+            .map(|t| {
+                (
+                    format!("threshold {:.0} %", t * 100.0),
+                    KernelConfig::polled_cycle_limit(t),
+                )
+            })
+            .collect(),
+        rates: vec![
+            500.0, 1_000.0, 2_000.0, 3_000.0, 4_000.0, 5_000.0, 6_000.0, 8_000.0, 10_000.0,
+        ],
+    }
+}
+
+/// All figures in paper order.
+pub fn all_figures() -> Vec<Figure> {
+    vec![fig6_1(), fig6_3(), fig6_4(), fig6_5(), fig6_6(), fig7_1()]
+}
+
+/// Packets per trial. The paper used 10,000; the full-fidelity value is
+/// used by the `figures` binary, while Criterion benches use fewer to keep
+/// iteration times sane.
+pub const PAPER_TRIAL_PACKETS: usize = 10_000;
+
+/// Runs one figure curve: a sweep of trials over the figure's rates.
+pub fn run_curve(
+    label: &str,
+    config: &KernelConfig,
+    rates: &[f64],
+    n_packets: usize,
+) -> SweepResult {
+    let base = TrialSpec {
+        n_packets,
+        ..TrialSpec::new(config.clone())
+    };
+    sweep(label, &base, rates)
+}
+
+/// A rendered figure: one row per rate, one column per curve.
+pub struct RenderedFigure {
+    /// Which figure.
+    pub id: &'static str,
+    /// Caption.
+    pub caption: &'static str,
+    /// The swept rates.
+    pub rates: Vec<f64>,
+    /// Per-curve results.
+    pub curves: Vec<SweepResult>,
+    /// `true` when the value column is user CPU % (Figure 7-1).
+    pub user_cpu_axis: bool,
+}
+
+impl RenderedFigure {
+    /// Value for (curve, point): delivered pkts/s, or user CPU % for 7-1.
+    pub fn value(&self, curve: usize, point: usize) -> f64 {
+        let t = &self.curves[curve].trials[point];
+        if self.user_cpu_axis {
+            t.user_cpu_frac * 100.0
+        } else {
+            t.delivered_pps
+        }
+    }
+
+    /// Formats the figure as an aligned text table (also valid
+    /// whitespace-separated data for plotting).
+    pub fn to_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "# Figure {}: {}", self.id, self.caption);
+        let _ = write!(out, "{:>12}", "input_pps");
+        for c in &self.curves {
+            let _ = write!(out, "  {:>24}", c.label.replace(' ', "_"));
+        }
+        let _ = writeln!(out);
+        for (pi, rate) in self.rates.iter().enumerate() {
+            let _ = write!(out, "{rate:>12.0}");
+            for ci in 0..self.curves.len() {
+                let _ = write!(out, "  {:>24.1}", self.value(ci, pi));
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Formats the figure as CSV.
+    pub fn to_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(out, "input_pps");
+        for c in &self.curves {
+            let _ = write!(out, ",{}", c.label.replace(',', ";"));
+        }
+        let _ = writeln!(out);
+        for (pi, rate) in self.rates.iter().enumerate() {
+            let _ = write!(out, "{rate:.0}");
+            for ci in 0..self.curves.len() {
+                let _ = write!(out, ",{:.2}", self.value(ci, pi));
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// One-line shape summary per curve: MLFRR, peak, tail, verdict.
+    pub fn shape_summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for c in &self.curves {
+            if self.user_cpu_axis {
+                continue;
+            }
+            let pts = c.points();
+            let m = mlfrr(&pts, 0.95).unwrap_or(0.0);
+            let stab = overload_stability(&pts);
+            let verdict = classify(&pts, 0.10, 0.80);
+            let _ = writeln!(
+                out,
+                "#   {:<28} MLFRR≈{:>6.0}  stability={:.2}  {:?}",
+                c.label, m, stab, verdict
+            );
+        }
+        out
+    }
+}
+
+/// Regenerates one figure at the given trial size.
+pub fn render_figure(fig: &Figure, n_packets: usize) -> RenderedFigure {
+    let curves = fig
+        .curves
+        .iter()
+        .map(|(label, cfg)| run_curve(label, cfg, &fig.rates, n_packets))
+        .collect();
+    RenderedFigure {
+        id: fig.id,
+        caption: fig.caption,
+        rates: fig.rates.clone(),
+        curves,
+        user_cpu_axis: fig.id == "7-1",
+    }
+}
+
+/// Convenience for benches: a single trial of a figure's first curve at a
+/// representative overload rate.
+pub fn one_overload_trial(fig: &Figure, curve: usize, n_packets: usize) -> f64 {
+    let (_, cfg) = &fig.curves[curve];
+    let r = run_trial(&TrialSpec {
+        rate_pps: 8_000.0,
+        n_packets,
+        ..TrialSpec::new(cfg.clone())
+    });
+    r.delivered_pps
+}
+
+/// Checks a rendered throughput figure against the paper's qualitative
+/// shape, returning human-readable violations (empty = shape holds).
+pub fn shape_violations(r: &RenderedFigure) -> Vec<String> {
+    let mut v = Vec::new();
+    if r.user_cpu_axis {
+        return v;
+    }
+    for c in &r.curves {
+        let pts = c.points();
+        let label = &c.label;
+        let lower = label.to_lowercase();
+        let verdict = classify(&pts, 0.10, 0.80);
+        // Expectations straight from the paper's figures. In 6-6 the
+        // queue-state feedback "prevents livelock" at every quota,
+        // infinity included.
+        let expect_livelock = match r.id {
+            "6-1" => lower.contains("with screend"),
+            "6-3" => lower.contains("no quota"),
+            "6-4" => lower.contains("unmodified") || lower.contains("no feedback"),
+            "6-5" => lower.contains("infinity"),
+            _ => false,
+        };
+        let expect_plateau = match r.id {
+            "6-3" => lower.contains("quota = 5"),
+            "6-4" => lower.contains("w/feedback"),
+            "6-5" => ["= 5", "= 10", "= 20"].iter().any(|q| lower.contains(q)),
+            "6-6" => true,
+            _ => false,
+        };
+        if expect_plateau && verdict != LivelockVerdict::StablePlateau {
+            v.push(format!(
+                "fig {}: {label} expected plateau, got {verdict:?}",
+                r.id
+            ));
+        }
+        if expect_livelock && verdict != LivelockVerdict::Livelock {
+            v.push(format!(
+                "fig {}: {label} expected livelock, got {verdict:?}",
+                r.id
+            ));
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_inventory_is_complete() {
+        let figs = all_figures();
+        let ids: Vec<_> = figs.iter().map(|f| f.id).collect();
+        assert_eq!(ids, vec!["6-1", "6-3", "6-4", "6-5", "6-6", "7-1"]);
+        assert_eq!(figs[0].curves.len(), 2);
+        assert_eq!(figs[1].curves.len(), 4);
+        assert_eq!(figs[2].curves.len(), 3);
+        assert_eq!(figs[3].curves.len(), 5);
+        assert_eq!(figs[4].curves.len(), 5);
+        assert_eq!(figs[5].curves.len(), 4);
+    }
+
+    #[test]
+    fn render_small_figure_and_format() {
+        let fig = Figure {
+            rates: vec![500.0, 1_000.0],
+            ..fig6_1()
+        };
+        let r = render_figure(&fig, 200);
+        assert_eq!(r.curves.len(), 2);
+        let table = r.to_table();
+        assert!(table.contains("Figure 6-1"));
+        assert!(table.contains("Without_screend"));
+        assert_eq!(table.lines().count(), 2 + 2);
+        let csv = r.to_csv();
+        assert!(csv.starts_with("input_pps,"));
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn shape_checker_flags_wrong_shapes() {
+        use livelock_kernel::experiment::{SweepResult, TrialResult};
+        use livelock_sim::Nanos;
+
+        // Build a synthetic rendered figure where the "no quota" curve
+        // wrongly plateaus and the quota-5 curve wrongly collapses.
+        let fake_trial = |offered: f64, delivered: f64| TrialResult {
+            offered_pps: offered,
+            delivered_pps: delivered,
+            transmitted: delivered as u64,
+            rx_ring_drops: 0,
+            ipintrq_drops: 0,
+            screend_q_drops: 0,
+            screend_denied: 0,
+            socket_q_drops: 0,
+            app_delivered: 0,
+            app_delivered_pps: 0.0,
+            ifq_drops: 0,
+            latency_mean: Nanos::ZERO,
+            latency_p99: Nanos::ZERO,
+            latency_jitter: Nanos::ZERO,
+            user_cpu_frac: 0.0,
+            interrupts_taken: 0,
+        };
+        let rates = vec![2_000.0, 6_000.0, 12_000.0];
+        let plateau: Vec<_> = rates.iter().map(|&r| fake_trial(r, 4_000.0_f64.min(r))).collect();
+        let collapse: Vec<_> = rates
+            .iter()
+            .map(|&r| fake_trial(r, if r > 4_000.0 { 0.0 } else { r }))
+            .collect();
+        let rendered = RenderedFigure {
+            id: "6-3",
+            caption: "synthetic",
+            rates,
+            curves: vec![
+                SweepResult {
+                    label: "Polling (no quota)".into(),
+                    trials: plateau, // Wrong: should collapse.
+                },
+                SweepResult {
+                    label: "Polling (quota = 5)".into(),
+                    trials: collapse, // Wrong: should plateau.
+                },
+            ],
+            user_cpu_axis: false,
+        };
+        let v = shape_violations(&rendered);
+        assert_eq!(v.len(), 2, "both wrong shapes flagged: {v:?}");
+        assert!(v.iter().any(|m| m.contains("no quota")));
+        assert!(v.iter().any(|m| m.contains("quota = 5")));
+    }
+
+    #[test]
+    fn shape_checker_accepts_correct_shapes() {
+        // Run the real (tiny) sweeps for figure 6-3's extremes and confirm
+        // no violations: the checker agrees with the simulator.
+        let fig = Figure {
+            rates: vec![2_000.0, 6_000.0, 12_000.0],
+            curves: vec![fig6_3().curves.swap_remove(2)], // quota = 5.
+            ..fig6_3()
+        };
+        let r = render_figure(&fig, 800);
+        assert!(shape_violations(&r).is_empty());
+    }
+
+    #[test]
+    fn fig7_1_uses_cpu_axis() {
+        let fig = Figure {
+            rates: vec![500.0],
+            curves: vec![fig7_1().curves.remove(0)],
+            ..fig7_1()
+        };
+        let r = render_figure(&fig, 200);
+        assert!(r.user_cpu_axis);
+        let v = r.value(0, 0);
+        assert!(v > 10.0 && v <= 100.0, "user CPU % = {v}");
+    }
+}

@@ -1,0 +1,247 @@
+//! Analysis of rate-sweep results: MLFRR estimation and livelock detection.
+//!
+//! The paper frames overload behaviour around the **Maximum Loss Free
+//! Receive Rate** (MLFRR): "the throughput of a well-designed system \[keeps]
+//! up with the offered load up to ... the MLFRR, and at higher loads
+//! throughput should not drop below this rate" (§3). These helpers classify
+//! measured `(offered, delivered)` sweeps the way the paper's figures are
+//! read: where does delivery stop tracking the offered load, does throughput
+//! collapse afterwards, and how stable is the overload plateau?
+
+/// One point of a rate sweep: offered input rate vs delivered output rate,
+/// both in packets/second.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SweepPoint {
+    /// Offered (input) packet rate.
+    pub offered: f64,
+    /// Delivered (output) packet rate.
+    pub delivered: f64,
+}
+
+impl SweepPoint {
+    /// Creates a point.
+    pub fn new(offered: f64, delivered: f64) -> Self {
+        SweepPoint { offered, delivered }
+    }
+}
+
+/// The verdict of [`classify`] on a sweep's overload behaviour, in the
+/// paper's §4.2 taxonomy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LivelockVerdict {
+    /// Delivered throughput tracks offered load over the whole sweep: the
+    /// system never saturated (no overload information).
+    NotSaturated,
+    /// Throughput reaches a peak and stays near it: the "realizable system"
+    /// the paper's modifications produce.
+    StablePlateau,
+    /// Throughput declines significantly beyond the peak but stays above
+    /// the livelock floor: the paper's unmodified kernel without screend.
+    Degrading,
+    /// Throughput collapses towards zero under overload: receive livelock
+    /// (the unmodified kernel with screend by ~6000 pkts/s).
+    Livelock,
+}
+
+/// Estimates the MLFRR from a sweep: the highest offered rate at which the
+/// system still delivered at least `loss_free_frac` (e.g. 0.98) of the
+/// offered load. Returns `None` when no point qualifies.
+pub fn mlfrr(points: &[SweepPoint], loss_free_frac: f64) -> Option<f64> {
+    points
+        .iter()
+        .filter(|p| p.offered > 0.0 && p.delivered >= loss_free_frac * p.offered)
+        .map(|p| p.offered)
+        .fold(None, |best, x| Some(best.map_or(x, |b: f64| b.max(x))))
+}
+
+/// Returns the peak delivered rate of a sweep.
+pub fn peak_delivered(points: &[SweepPoint]) -> f64 {
+    points.iter().map(|p| p.delivered).fold(0.0, f64::max)
+}
+
+/// Returns the delivered rate at the highest offered load.
+pub fn delivered_at_max_load(points: &[SweepPoint]) -> f64 {
+    points
+        .iter()
+        .fold(None::<SweepPoint>, |best, &p| match best {
+            Some(b) if b.offered >= p.offered => Some(b),
+            _ => Some(p),
+        })
+        .map_or(0.0, |p| p.delivered)
+}
+
+/// Classifies a sweep's overload behaviour.
+///
+/// - `livelock_floor_frac`: delivered-at-max below this fraction of the
+///   peak counts as livelock (the paper's figures collapse to ≲5%).
+/// - `plateau_frac`: delivered-at-max at or above this fraction of the peak
+///   counts as a stable plateau (e.g. 0.85).
+///
+/// Anything between degrades. A sweep whose delivery still tracks offered
+/// load at its highest point is [`LivelockVerdict::NotSaturated`].
+pub fn classify(
+    points: &[SweepPoint],
+    livelock_floor_frac: f64,
+    plateau_frac: f64,
+) -> LivelockVerdict {
+    let peak = peak_delivered(points);
+    if peak <= 0.0 {
+        return LivelockVerdict::Livelock;
+    }
+    let max_point = points
+        .iter()
+        .fold(None::<SweepPoint>, |best, &p| match best {
+            Some(b) if b.offered >= p.offered => Some(b),
+            _ => Some(p),
+        });
+    let Some(max_point) = max_point else {
+        return LivelockVerdict::NotSaturated;
+    };
+    if max_point.delivered >= 0.95 * max_point.offered {
+        return LivelockVerdict::NotSaturated;
+    }
+    let tail_frac = max_point.delivered / peak;
+    if tail_frac < livelock_floor_frac {
+        LivelockVerdict::Livelock
+    } else if tail_frac >= plateau_frac {
+        LivelockVerdict::StablePlateau
+    } else {
+        LivelockVerdict::Degrading
+    }
+}
+
+/// Overload stability: the ratio of delivered throughput at maximum load to
+/// the peak delivered throughput (1.0 = perfectly flat plateau, → 0 =
+/// livelock). This is the scalar the ablation benches report.
+pub fn overload_stability(points: &[SweepPoint]) -> f64 {
+    let peak = peak_delivered(points);
+    if peak <= 0.0 {
+        return 0.0;
+    }
+    delivered_at_max_load(points) / peak
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sweep(pairs: &[(f64, f64)]) -> Vec<SweepPoint> {
+        pairs.iter().map(|&(o, d)| SweepPoint::new(o, d)).collect()
+    }
+
+    /// An idealized "modified kernel" curve: tracks load to 5000, flat after.
+    fn plateau_curve() -> Vec<SweepPoint> {
+        sweep(&[
+            (1000.0, 1000.0),
+            (3000.0, 3000.0),
+            (5000.0, 4950.0),
+            (8000.0, 4900.0),
+            (12000.0, 4800.0),
+        ])
+    }
+
+    /// An idealized unmodified-with-screend curve: peaks at 2000, dies at 6000.
+    fn livelock_curve() -> Vec<SweepPoint> {
+        sweep(&[
+            (1000.0, 1000.0),
+            (2000.0, 2000.0),
+            (3000.0, 1500.0),
+            (4500.0, 800.0),
+            (6000.0, 30.0),
+            (12000.0, 0.0),
+        ])
+    }
+
+    /// Unmodified without screend: peaks at 4700, degrades.
+    fn degrading_curve() -> Vec<SweepPoint> {
+        sweep(&[
+            (2000.0, 2000.0),
+            (4700.0, 4650.0),
+            (8000.0, 3500.0),
+            (12000.0, 2400.0),
+        ])
+    }
+
+    #[test]
+    fn mlfrr_estimates() {
+        assert_eq!(mlfrr(&plateau_curve(), 0.98), Some(5000.0));
+        assert_eq!(mlfrr(&livelock_curve(), 0.98), Some(2000.0));
+        assert_eq!(mlfrr(&degrading_curve(), 0.98), Some(4700.0));
+        assert_eq!(mlfrr(&[], 0.98), None);
+        assert_eq!(
+            mlfrr(&sweep(&[(1000.0, 10.0)]), 0.98),
+            None,
+            "nothing loss-free"
+        );
+    }
+
+    #[test]
+    fn classification_matches_paper_shapes() {
+        assert_eq!(
+            classify(&plateau_curve(), 0.05, 0.85),
+            LivelockVerdict::StablePlateau
+        );
+        assert_eq!(
+            classify(&livelock_curve(), 0.05, 0.85),
+            LivelockVerdict::Livelock
+        );
+        assert_eq!(
+            classify(&degrading_curve(), 0.05, 0.85),
+            LivelockVerdict::Degrading
+        );
+    }
+
+    #[test]
+    fn unsaturated_sweep() {
+        let s = sweep(&[(100.0, 100.0), (500.0, 498.0)]);
+        assert_eq!(classify(&s, 0.05, 0.85), LivelockVerdict::NotSaturated);
+    }
+
+    #[test]
+    fn all_zero_delivery_is_livelock() {
+        let s = sweep(&[(1000.0, 0.0), (2000.0, 0.0)]);
+        assert_eq!(classify(&s, 0.05, 0.85), LivelockVerdict::Livelock);
+    }
+
+    #[test]
+    fn stability_scalar() {
+        assert!(overload_stability(&plateau_curve()) > 0.95);
+        assert!(overload_stability(&livelock_curve()) < 0.01);
+        let d = overload_stability(&degrading_curve());
+        assert!(d > 0.3 && d < 0.85, "degrading stability = {d}");
+        assert_eq!(overload_stability(&[]), 0.0);
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(peak_delivered(&livelock_curve()), 2000.0);
+        assert_eq!(delivered_at_max_load(&livelock_curve()), 0.0);
+        assert_eq!(delivered_at_max_load(&[]), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn stability_is_bounded(
+            pairs in proptest::collection::vec((0.0f64..1e5, 0.0f64..1e5), 1..50)
+        ) {
+            let s = sweep(&pairs);
+            let v = overload_stability(&s);
+            prop_assert!((0.0..=f64::INFINITY).contains(&v));
+            // Delivered never exceeds peak by construction of the metric.
+            if peak_delivered(&s) > 0.0 {
+                prop_assert!(v <= 1.0 + 1e-9);
+            }
+        }
+
+        #[test]
+        fn mlfrr_is_an_offered_rate_from_the_sweep(
+            pairs in proptest::collection::vec((1.0f64..1e5, 0.0f64..1e5), 1..50)
+        ) {
+            let s = sweep(&pairs);
+            if let Some(m) = mlfrr(&s, 0.98) {
+                prop_assert!(s.iter().any(|p| p.offered == m));
+            }
+        }
+    }
+}

@@ -1,0 +1,552 @@
+//! The standalone integration surface: drive real devices with the
+//! paper's mechanisms, no simulator required.
+//!
+//! [`PollDriver`] is what a device (a netmap/AF_XDP userspace NIC, a DPDK
+//! port, an `epoll`-readiness socket) must expose; [`PollLoop`] is the
+//! ready-made combination of the round-robin [`Poller`](crate::poller),
+//! the [`IntrGate`](crate::gate), queue-state
+//! [`feedback`](crate::feedback) and the [`cycle
+//! limiter`](crate::cycle_limit), wired together with the paper's
+//! protocol:
+//!
+//! 1. the interrupt (or readiness callback) calls [`PollLoop::interrupt`],
+//!    which masks the device and marks it pending;
+//! 2. a dedicated thread calls [`PollLoop::poll_once`] in a loop, which
+//!    round-robins quota-bounded `rx_poll`/`tx_poll` calls into drivers;
+//! 3. when a device reports no more work, its interrupt is re-enabled
+//!    immediately (per device and direction, as §6.4 prescribes);
+//! 4. [`PollLoop::downstream_depth`] applies §6.6.1 watermark feedback,
+//!    [`PollLoop::tick`] drives the timeout and the §7 budget period, and
+//!    [`PollLoop::idle`] is the idle-thread hook.
+//!
+//! This is the shape Linux later standardized as NAPI; the module exists
+//! so the library is adoptable outside the reproduction.
+
+use crate::cycle_limit::{CycleLimiter, LimiterDecision};
+use crate::feedback::{FeedbackSignal, WatermarkFeedback};
+use crate::gate::{GateChange, InhibitReason, IntrGate};
+use crate::poller::{PollDirection, Poller, Quota, SourceId};
+use crate::watchdog::{ProgressWatchdog, WatchdogSignal};
+
+/// What one `rx_poll`/`tx_poll` call accomplished.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PollOutcome {
+    /// Packets handled (bounded by the budget passed in).
+    pub processed: u32,
+    /// The device still has pending work in this direction.
+    pub more: bool,
+}
+
+/// A device that can be driven by the polling loop.
+pub trait PollDriver {
+    /// Processes up to `budget` received packets to completion.
+    fn rx_poll(&mut self, budget: u32) -> PollOutcome;
+
+    /// Reclaims up to `budget` transmit completions / refills the ring.
+    fn tx_poll(&mut self, budget: u32) -> PollOutcome;
+
+    /// Masks or unmasks the device's receive interrupt (or readiness
+    /// registration).
+    fn set_rx_intr(&mut self, enabled: bool);
+
+    /// Masks or unmasks the device's transmit interrupt.
+    fn set_tx_intr(&mut self, enabled: bool);
+}
+
+/// What [`PollLoop::poll_once`] did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PollStatus {
+    /// Ran one callback.
+    Worked {
+        /// The device serviced.
+        source: SourceId,
+        /// The direction serviced.
+        dir: PollDirection,
+        /// Packets the callback reported.
+        processed: u32,
+    },
+    /// Nothing serviceable: interrupts re-enabled where appropriate; the
+    /// polling thread should sleep until the next [`PollLoop::interrupt`].
+    Sleep,
+}
+
+/// The assembled livelock-proof polling loop.
+///
+/// # Examples
+///
+/// See `examples/userspace_poller.rs` for a complete standalone driver.
+pub struct PollLoop<D: PollDriver> {
+    poller: Poller,
+    gate: IntrGate,
+    limiter: Option<CycleLimiter>,
+    feedback: Option<WatermarkFeedback>,
+    watchdog: Option<ProgressWatchdog>,
+    drivers: Vec<D>,
+}
+
+impl<D: PollDriver> PollLoop<D> {
+    /// Creates a loop with the given per-callback quotas.
+    pub fn new(rx_quota: Quota, tx_quota: Quota) -> Self {
+        PollLoop {
+            poller: Poller::new(rx_quota, tx_quota),
+            gate: IntrGate::new(),
+            limiter: None,
+            feedback: None,
+            watchdog: None,
+            drivers: Vec::new(),
+        }
+    }
+
+    /// Adds a §7 cycle limiter: at most `threshold_frac` of each
+    /// `period_cycles` spent inside poll callbacks.
+    pub fn with_cycle_limit(mut self, period_cycles: u64, threshold_frac: f64) -> Self {
+        self.limiter = Some(CycleLimiter::new(period_cycles, threshold_frac));
+        self
+    }
+
+    /// Adds §6.6.1 watermark feedback for a downstream queue of
+    /// `capacity` items.
+    pub fn with_feedback(mut self, capacity: usize, hi: f64, lo: f64, timeout_ticks: u32) -> Self {
+        self.feedback = Some(WatermarkFeedback::new(capacity, hi, lo, timeout_ticks));
+        self
+    }
+
+    /// Adds the §5.1 progress watchdog: if a whole period passes with
+    /// receive work happening but no [`PollLoop::report_progress`] calls,
+    /// input is inhibited for one period.
+    pub fn with_progress_watchdog(mut self) -> Self {
+        self.watchdog = Some(ProgressWatchdog::new());
+        self
+    }
+
+    /// The consumer reports progress (delivered packets, completed
+    /// requests) for the watchdog.
+    pub fn report_progress(&mut self, units: u64) {
+        if let Some(wd) = &mut self.watchdog {
+            wd.progress(units);
+        }
+    }
+
+    /// Registers a driver ("at boot time, the modified interface drivers
+    /// register themselves with the polling system").
+    pub fn register(&mut self, driver: D) -> SourceId {
+        self.drivers.push(driver);
+        self.poller.register()
+    }
+
+    /// Access to a registered driver.
+    pub fn driver(&self, sid: SourceId) -> &D {
+        &self.drivers[sid.0]
+    }
+
+    /// Mutable access to a registered driver.
+    pub fn driver_mut(&mut self, sid: SourceId) -> &mut D {
+        &mut self.drivers[sid.0]
+    }
+
+    /// Returns `true` while input is inhibited (feedback or cycle limit).
+    pub fn input_inhibited(&self) -> bool {
+        !self.gate.is_open()
+    }
+
+    /// The interrupt-context entry point: mask the device, mark it
+    /// pending. The caller then wakes the polling thread.
+    pub fn interrupt(&mut self, sid: SourceId, dir: PollDirection) {
+        match dir {
+            PollDirection::Receive => self.drivers[sid.0].set_rx_intr(false),
+            PollDirection::Transmit => self.drivers[sid.0].set_tx_intr(false),
+        }
+        self.poller.request(sid, dir);
+    }
+
+    /// Runs one scheduling decision: picks the next (device, direction) in
+    /// round-robin order and invokes its poll callback with the quota.
+    /// `clock` is the fine-grained cycle counter (paper §7); it is read
+    /// before and after the callback to charge the CPU budget.
+    pub fn poll_once(&mut self, clock: &mut impl FnMut() -> u64) -> PollStatus {
+        let Some(action) = self.poller.next_action() else {
+            self.sync_intrs();
+            return PollStatus::Sleep;
+        };
+        let budget = action.quota.limit().unwrap_or(u32::MAX);
+        let started = clock();
+        let outcome = match action.dir {
+            PollDirection::Receive => self.drivers[action.source.0].rx_poll(budget),
+            PollDirection::Transmit => self.drivers[action.source.0].tx_poll(budget),
+        };
+        if action.dir == PollDirection::Receive {
+            if let Some(wd) = &mut self.watchdog {
+                wd.input_work(u64::from(outcome.processed));
+            }
+        }
+        self.poller
+            .complete(action.source, action.dir, outcome.processed, outcome.more);
+        if !outcome.more {
+            self.enable_dir(action.source, action.dir);
+        }
+        let used = clock().saturating_sub(started);
+        if let Some(lim) = &mut self.limiter {
+            if lim.record(used) == LimiterDecision::Inhibit {
+                self.inhibit(InhibitReason::CycleLimit);
+            }
+        }
+        PollStatus::Worked {
+            source: action.source,
+            dir: action.dir,
+            processed: outcome.processed,
+        }
+    }
+
+    /// Reports the downstream queue's depth after an enqueue or dequeue.
+    pub fn downstream_depth(&mut self, depth: usize) {
+        let Some(fb) = &mut self.feedback else {
+            return;
+        };
+        match fb.on_depth(depth) {
+            Some(FeedbackSignal::Inhibit) => self.inhibit(InhibitReason::QueueFeedback),
+            Some(FeedbackSignal::Resume) => self.resume(InhibitReason::QueueFeedback),
+            None => {}
+        }
+    }
+
+    /// Clock-tick hook: drives the feedback timeout and the budget period.
+    /// `ticks_per_period` matches the limiter's period (e.g. 10 one-ms
+    /// ticks for a 10 ms period); `tick_count` is the running tick number.
+    pub fn tick(&mut self, tick_count: u64, ticks_per_period: u64) {
+        if let Some(fb) = &mut self.feedback {
+            if fb.on_tick() == Some(FeedbackSignal::Resume) {
+                self.resume(InhibitReason::QueueFeedback);
+            }
+        }
+        if ticks_per_period > 0 && tick_count % ticks_per_period == 0 {
+            if let Some(lim) = &mut self.limiter {
+                if lim.on_period_start() {
+                    self.resume(InhibitReason::CycleLimit);
+                }
+            }
+            if let Some(wd) = &mut self.watchdog {
+                match wd.on_period() {
+                    Some(WatchdogSignal::Inhibit) => self.inhibit(InhibitReason::Watchdog),
+                    Some(WatchdogSignal::Resume) => self.resume(InhibitReason::Watchdog),
+                    None => {}
+                }
+            }
+        }
+    }
+
+    /// Idle-thread hook: clears the budget and re-enables everything that
+    /// may be re-enabled.
+    pub fn idle(&mut self) {
+        if let Some(lim) = &mut self.limiter {
+            if lim.on_idle() {
+                self.resume(InhibitReason::CycleLimit);
+            }
+        }
+        self.sync_intrs();
+    }
+
+    /// Returns `true` while any work is pending (the wake condition).
+    pub fn any_serviceable(&self) -> bool {
+        self.poller.any_serviceable()
+    }
+
+    fn inhibit(&mut self, reason: InhibitReason) {
+        if self.gate.inhibit(reason) == GateChange::Closed {
+            self.poller.set_rx_inhibited(true);
+            for d in &mut self.drivers {
+                d.set_rx_intr(false);
+            }
+        }
+    }
+
+    fn resume(&mut self, reason: InhibitReason) {
+        if self.gate.allow(reason) == GateChange::Opened {
+            self.poller.set_rx_inhibited(false);
+            self.sync_intrs();
+        }
+    }
+
+    fn enable_dir(&mut self, sid: SourceId, dir: PollDirection) {
+        match dir {
+            PollDirection::Receive => {
+                if self.gate.is_open() {
+                    self.drivers[sid.0].set_rx_intr(true);
+                }
+            }
+            PollDirection::Transmit => self.drivers[sid.0].set_tx_intr(true),
+        }
+    }
+
+    fn sync_intrs(&mut self) {
+        for i in 0..self.drivers.len() {
+            let sid = SourceId(i);
+            let want_rx =
+                self.gate.is_open() && !self.poller.is_pending(sid, PollDirection::Receive);
+            self.drivers[i].set_rx_intr(want_rx);
+            let want_tx = !self.poller.is_pending(sid, PollDirection::Transmit);
+            self.drivers[i].set_tx_intr(want_tx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests_support {
+    use super::*;
+
+    /// A scripted in-memory device shared by the driver test modules.
+    #[derive(Debug, Default)]
+    pub struct MockDriver {
+        pub rx_backlog: u32,
+        pub tx_backlog: u32,
+        pub rx_intr: bool,
+        pub tx_intr: bool,
+        pub rx_polled: u32,
+    }
+
+    impl PollDriver for MockDriver {
+        fn rx_poll(&mut self, budget: u32) -> PollOutcome {
+            let n = self.rx_backlog.min(budget);
+            self.rx_backlog -= n;
+            self.rx_polled += n;
+            PollOutcome {
+                processed: n,
+                more: self.rx_backlog > 0,
+            }
+        }
+
+        fn tx_poll(&mut self, budget: u32) -> PollOutcome {
+            let n = self.tx_backlog.min(budget);
+            self.tx_backlog -= n;
+            PollOutcome {
+                processed: n,
+                more: self.tx_backlog > 0,
+            }
+        }
+
+        fn set_rx_intr(&mut self, enabled: bool) {
+            self.rx_intr = enabled;
+        }
+
+        fn set_tx_intr(&mut self, enabled: bool) {
+            self.tx_intr = enabled;
+        }
+    }
+
+    pub fn fake_clock() -> impl FnMut() -> u64 {
+        let mut t = 0u64;
+        move || {
+            t += 100;
+            t
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::tests_support::{fake_clock, MockDriver};
+    use super::*;
+
+    #[test]
+    fn interrupt_masks_and_poll_drains() {
+        let mut pl = PollLoop::new(Quota::Limited(10), Quota::Limited(10));
+        let sid = pl.register(MockDriver {
+            rx_backlog: 25,
+            rx_intr: true,
+            tx_intr: true,
+            ..MockDriver::default()
+        });
+        pl.interrupt(sid, PollDirection::Receive);
+        assert!(!pl.driver(sid).rx_intr, "masked by the stub");
+
+        let mut clock = fake_clock();
+        let mut total = 0;
+        while let PollStatus::Worked { processed, .. } = pl.poll_once(&mut clock) {
+            total += processed;
+        }
+        assert_eq!(total, 25);
+        assert!(pl.driver(sid).rx_intr, "re-enabled once drained");
+        assert_eq!(pl.driver(sid).rx_polled, 25);
+    }
+
+    #[test]
+    fn quota_bounds_each_callback() {
+        let mut pl = PollLoop::new(Quota::Limited(4), Quota::Limited(4));
+        let sid = pl.register(MockDriver {
+            rx_backlog: 10,
+            ..MockDriver::default()
+        });
+        pl.interrupt(sid, PollDirection::Receive);
+        let mut clock = fake_clock();
+        match pl.poll_once(&mut clock) {
+            PollStatus::Worked { processed, .. } => assert_eq!(processed, 4),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(!pl.driver(sid).rx_intr, "still pending: stays masked");
+    }
+
+    #[test]
+    fn round_robin_across_devices() {
+        let mut pl = PollLoop::new(Quota::Limited(2), Quota::Limited(2));
+        let a = pl.register(MockDriver {
+            rx_backlog: 6,
+            ..MockDriver::default()
+        });
+        let b = pl.register(MockDriver {
+            rx_backlog: 6,
+            ..MockDriver::default()
+        });
+        pl.interrupt(a, PollDirection::Receive);
+        pl.interrupt(b, PollDirection::Receive);
+        let mut clock = fake_clock();
+        let mut order = Vec::new();
+        while let PollStatus::Worked { source, .. } = pl.poll_once(&mut clock) {
+            order.push(source);
+        }
+        assert_eq!(order, vec![a, b, a, b, a, b]);
+    }
+
+    #[test]
+    fn feedback_inhibits_rx_but_not_tx() {
+        let mut pl =
+            PollLoop::new(Quota::Limited(4), Quota::Limited(4)).with_feedback(32, 0.75, 0.25, 1);
+        let sid = pl.register(MockDriver {
+            rx_backlog: 100,
+            tx_backlog: 3,
+            ..MockDriver::default()
+        });
+        pl.interrupt(sid, PollDirection::Receive);
+        pl.interrupt(sid, PollDirection::Transmit);
+        pl.downstream_depth(24); // High-water mark: inhibit.
+        assert!(pl.input_inhibited());
+
+        let mut clock = fake_clock();
+        // Transmit work still proceeds.
+        match pl.poll_once(&mut clock) {
+            PollStatus::Worked { dir, .. } => assert_eq!(dir, PollDirection::Transmit),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Then nothing: rx is inhibited.
+        assert_eq!(pl.poll_once(&mut clock), PollStatus::Sleep);
+        assert!(!pl.driver(sid).rx_intr, "rx interrupts stay masked");
+
+        // Drain the downstream queue to the low-water mark: rx resumes.
+        pl.downstream_depth(8);
+        assert!(!pl.input_inhibited());
+        match pl.poll_once(&mut clock) {
+            PollStatus::Worked { dir, .. } => assert_eq!(dir, PollDirection::Receive),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn feedback_timeout_resumes_on_tick() {
+        let mut pl =
+            PollLoop::new(Quota::Limited(4), Quota::Limited(4)).with_feedback(32, 0.75, 0.25, 1);
+        let sid = pl.register(MockDriver {
+            rx_backlog: 10,
+            ..MockDriver::default()
+        });
+        pl.interrupt(sid, PollDirection::Receive);
+        pl.downstream_depth(30);
+        assert!(pl.input_inhibited());
+        pl.tick(1, 10);
+        assert!(!pl.input_inhibited(), "one-tick timeout");
+    }
+
+    #[test]
+    fn cycle_limit_inhibits_and_period_resumes() {
+        // Budget: 25% of a 10_000-cycle period = 2_500 cycles; each fake
+        // callback costs 100.
+        let mut pl =
+            PollLoop::new(Quota::Limited(1), Quota::Limited(1)).with_cycle_limit(10_000, 0.25);
+        let sid = pl.register(MockDriver {
+            rx_backlog: 1_000,
+            ..MockDriver::default()
+        });
+        pl.interrupt(sid, PollDirection::Receive);
+        let mut clock = fake_clock();
+        let mut worked = 0;
+        for _ in 0..100 {
+            match pl.poll_once(&mut clock) {
+                PollStatus::Worked { .. } => worked += 1,
+                PollStatus::Sleep => break,
+            }
+        }
+        assert!(pl.input_inhibited(), "budget exhausted");
+        assert!(worked <= 26, "stopped near the budget, worked {worked}");
+        // The next period restores input.
+        pl.tick(10, 10);
+        assert!(!pl.input_inhibited());
+        assert!(matches!(
+            pl.poll_once(&mut clock),
+            PollStatus::Worked { .. }
+        ));
+    }
+
+    #[test]
+    fn idle_clears_budget_and_reenables() {
+        let mut pl =
+            PollLoop::new(Quota::Limited(1), Quota::Limited(1)).with_cycle_limit(1_000, 0.1);
+        let sid = pl.register(MockDriver {
+            rx_backlog: 50,
+            ..MockDriver::default()
+        });
+        pl.interrupt(sid, PollDirection::Receive);
+        let mut clock = fake_clock();
+        while matches!(pl.poll_once(&mut clock), PollStatus::Worked { .. }) {}
+        assert!(pl.input_inhibited());
+        pl.idle();
+        assert!(!pl.input_inhibited());
+        assert!(pl.any_serviceable(), "backlog still there");
+    }
+}
+
+#[cfg(test)]
+mod watchdog_tests {
+    use super::tests_support::{fake_clock, MockDriver};
+    use super::*;
+
+    #[test]
+    fn watchdog_pauses_input_when_consumer_starves() {
+        let mut pl = PollLoop::new(Quota::Limited(5), Quota::Limited(5)).with_progress_watchdog();
+        let sid = pl.register(MockDriver {
+            rx_backlog: 1_000,
+            ..MockDriver::default()
+        });
+        pl.interrupt(sid, PollDirection::Receive);
+        let mut clock = fake_clock();
+        // A period of polling with zero consumer progress.
+        for _ in 0..5 {
+            let _ = pl.poll_once(&mut clock);
+        }
+        pl.tick(10, 10);
+        assert!(pl.input_inhibited(), "starvation detected");
+        assert_eq!(pl.poll_once(&mut clock), PollStatus::Sleep);
+        // The consumer gets its period; the next boundary resumes input.
+        pl.tick(20, 10);
+        assert!(!pl.input_inhibited());
+        assert!(matches!(
+            pl.poll_once(&mut clock),
+            PollStatus::Worked { .. }
+        ));
+    }
+
+    #[test]
+    fn watchdog_stays_quiet_when_progress_flows() {
+        let mut pl = PollLoop::new(Quota::Limited(5), Quota::Limited(5)).with_progress_watchdog();
+        let sid = pl.register(MockDriver {
+            rx_backlog: 1_000,
+            ..MockDriver::default()
+        });
+        pl.interrupt(sid, PollDirection::Receive);
+        let mut clock = fake_clock();
+        for round in 1..=50u64 {
+            let _ = pl.poll_once(&mut clock);
+            pl.report_progress(2);
+            if round % 10 == 0 {
+                pl.tick(round, 10);
+            }
+        }
+        assert!(!pl.input_inhibited());
+    }
+}

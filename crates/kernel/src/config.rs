@@ -1,0 +1,341 @@
+//! Kernel configuration: every knob the paper's experiments turn.
+
+use livelock_core::poller::Quota;
+use livelock_machine::cost::CostModel;
+use livelock_machine::nic::NicConfig;
+use livelock_net::filter::Filter;
+
+/// Which forwarding-path implementation the kernel runs.
+#[derive(Clone, Debug)]
+pub enum Mode {
+    /// The 4.2BSD interrupt-driven path (Figure 6-2).
+    Unmodified {
+        /// Model the "modified kernel configured to act as if it were an
+        /// unmodified system" of Figure 6-3 (open circles): the same path
+        /// with a small extra per-packet overhead from the restructured
+        /// driver, which the paper observed to be slightly slower.
+        emulate_modified_structure: bool,
+    },
+    /// The paper's polling kernel (§6.4).
+    Polled(PolledConfig),
+}
+
+/// Configuration of the modified (polling) kernel.
+#[derive(Clone, Copy, Debug)]
+pub struct PolledConfig {
+    /// Packet quota per received-packet callback (§6.6.2).
+    pub rx_quota: Quota,
+    /// Packet quota per transmit-done callback.
+    pub tx_quota: Quota,
+    /// Queue-state feedback around the screend queue (§6.6.1); `None`
+    /// reproduces the "polling, no feedback" curve of Figure 6-4.
+    pub feedback: Option<FeedbackConfig>,
+    /// CPU-cycle limit for packet processing as a fraction of each period
+    /// (§7); `None` disables the limiter.
+    pub cycle_limit_frac: Option<f64>,
+}
+
+impl Default for PolledConfig {
+    fn default() -> Self {
+        PolledConfig {
+            // The paper's no-screend experiments used 5-10; 10 is the value
+            // used for the feedback experiments and inside the recommended
+            // 10..20 band.
+            rx_quota: Quota::Limited(10),
+            tx_quota: Quota::Limited(10),
+            feedback: None,
+            cycle_limit_frac: None,
+        }
+    }
+}
+
+/// Queue-state feedback parameters (§6.6.1).
+#[derive(Clone, Copy, Debug)]
+pub struct FeedbackConfig {
+    /// Inhibit input when the screend queue reaches this fraction full.
+    pub hi_frac: f64,
+    /// Resume input when it drains to this fraction.
+    pub lo_frac: f64,
+    /// Re-enable input after this many clock ticks regardless (the paper
+    /// used one tick, ~1 ms, in case screend hangs).
+    pub timeout_ticks: u32,
+}
+
+impl Default for FeedbackConfig {
+    fn default() -> Self {
+        // "the screening queue was limited to 32 packets, and we inhibited
+        // input processing when the queue was 75% full ... re-enabled when
+        // the screening queue becomes 25% full."
+        FeedbackConfig {
+            hi_frac: 0.75,
+            lo_frac: 0.25,
+            timeout_ticks: 1,
+        }
+    }
+}
+
+/// Interrupt arrival-rate limiting (§5.1), applied to receive interrupts.
+#[derive(Clone, Copy, Debug)]
+pub struct IntrRateLimitConfig {
+    /// Maximum sustained receive-interrupt rate, per second.
+    pub max_rate_hz: f64,
+    /// Token-bucket burst size.
+    pub burst: u32,
+}
+
+/// Configuration of local (end-system) delivery: packets addressed to the
+/// host itself are queued on a bounded socket buffer and consumed by a
+/// user-mode application process — the paper's NFS/RPC-server motivating
+/// application (§2, §7.1).
+#[derive(Clone, Copy, Debug)]
+pub struct LocalDeliveryConfig {
+    /// Socket receive buffer capacity, in packets.
+    pub socket_cap: usize,
+    /// Queue-state feedback on the socket buffer (polled mode only) — the
+    /// paper suggests applying the §6.6.1 technique "to other queues in
+    /// the system".
+    pub feedback: Option<FeedbackConfig>,
+    /// Send an RPC-style UDP reply for every delivered request (exercises
+    /// the transmit path like an NFS server would).
+    pub reply: bool,
+}
+
+impl Default for LocalDeliveryConfig {
+    fn default() -> Self {
+        LocalDeliveryConfig {
+            socket_cap: 64,
+            feedback: None,
+            reply: true,
+        }
+    }
+}
+
+/// Configuration of the user-mode screend process.
+#[derive(Clone, Debug)]
+pub struct ScreendConfig {
+    /// Capacity of the kernel queue feeding screend (paper: 32).
+    pub queue_cap: usize,
+    /// The screening rules. The paper ran screend "configured to accept
+    /// all packets".
+    pub rules: Filter,
+}
+
+impl Default for ScreendConfig {
+    fn default() -> Self {
+        ScreendConfig {
+            queue_cap: 32,
+            rules: Filter::accept_all(),
+        }
+    }
+}
+
+/// Full kernel configuration.
+#[derive(Clone, Debug)]
+pub struct KernelConfig {
+    /// Forwarding-path implementation.
+    pub mode: Mode,
+    /// Route packets through the user-mode screend process?
+    pub screend: Option<ScreendConfig>,
+    /// Deliver packets addressed to the host to a local application?
+    pub local: Option<LocalDeliveryConfig>,
+    /// Limit the receive-interrupt arrival rate (§5.1)?
+    pub intr_rate_limit: Option<IntrRateLimitConfig>,
+    /// Run a compute-bound user process (the Figure 7-1 competitor)?
+    pub user_process: bool,
+    /// NIC ring geometry.
+    pub nic: NicConfig,
+    /// `ipintrq` length limit (BSD's `IFQ_MAXLEN` default of 50); only the
+    /// unmodified kernel has this queue.
+    pub ipintrq_cap: usize,
+    /// Per-interface output queue length limit.
+    pub ifq_cap: usize,
+    /// Apply RED early-drop admission on output queues instead of pure
+    /// drop-tail (the §8-cited alternative policy)?
+    pub ifq_red: bool,
+    /// Originate ICMP errors (Time Exceeded, Destination Unreachable) for
+    /// undeliverable packets, rate-paced as real routers do?
+    pub icmp_errors: bool,
+    /// Forward packets between interfaces (a router)? When `false` the
+    /// host is a pure end-system: traffic not addressed to it is discarded
+    /// after input processing — the cost the paper's "innocent-bystander
+    /// hosts" pay under multicast/broadcast storms (§1).
+    pub ip_forwarding: bool,
+    /// Number of network interfaces (the paper's router had two).
+    pub num_ifaces: usize,
+    /// The cycle cost model.
+    pub cost: CostModel,
+}
+
+impl KernelConfig {
+    fn base(mode: Mode) -> Self {
+        KernelConfig {
+            mode,
+            screend: None,
+            local: None,
+            intr_rate_limit: None,
+            user_process: false,
+            nic: NicConfig::default(),
+            ipintrq_cap: 50,
+            ifq_cap: 50,
+            ifq_red: false,
+            icmp_errors: false,
+            ip_forwarding: true,
+            num_ifaces: 2,
+            cost: CostModel::calibrated(),
+        }
+    }
+
+    /// The unmodified 4.2BSD-style kernel (Figure 6-1 filled circles).
+    pub fn unmodified() -> Self {
+        KernelConfig::base(Mode::Unmodified {
+            emulate_modified_structure: false,
+        })
+    }
+
+    /// The unmodified kernel forwarding through screend (Figure 6-1 open
+    /// squares).
+    pub fn unmodified_with_screend() -> Self {
+        let mut c = KernelConfig::unmodified();
+        c.screend = Some(ScreendConfig::default());
+        c
+    }
+
+    /// The modified kernel "configured to act as if it were an unmodified
+    /// system" (Figure 6-3 open circles).
+    pub fn no_polling() -> Self {
+        KernelConfig::base(Mode::Unmodified {
+            emulate_modified_structure: true,
+        })
+    }
+
+    /// The modified polling kernel with the given receive quota
+    /// (Figure 6-3/6-5 curves).
+    pub fn polled(rx_quota: Quota) -> Self {
+        KernelConfig::base(Mode::Polled(PolledConfig {
+            rx_quota,
+            tx_quota: rx_quota,
+            ..PolledConfig::default()
+        }))
+    }
+
+    /// The modified kernel with screend, without queue-state feedback
+    /// (Figure 6-4 squares).
+    pub fn polled_screend_no_feedback(rx_quota: Quota) -> Self {
+        let mut c = KernelConfig::polled(rx_quota);
+        c.screend = Some(ScreendConfig::default());
+        c
+    }
+
+    /// The modified kernel with screend and queue-state feedback
+    /// (Figure 6-4 gray squares; quota 10 as in the paper's experiments).
+    pub fn polled_screend_feedback(rx_quota: Quota) -> Self {
+        let mut c = KernelConfig::polled(rx_quota);
+        if let Mode::Polled(p) = &mut c.mode {
+            p.feedback = Some(FeedbackConfig::default());
+        }
+        c.screend = Some(ScreendConfig::default());
+        c
+    }
+
+    /// The Figure 7-1 configuration: modified kernel, cycle limiter at
+    /// `threshold_frac`, with a compute-bound user process.
+    pub fn polled_cycle_limit(threshold_frac: f64) -> Self {
+        let mut c = KernelConfig::polled(Quota::Limited(5));
+        if let Mode::Polled(p) = &mut c.mode {
+            p.cycle_limit_frac = Some(threshold_frac);
+        }
+        c.user_process = true;
+        c
+    }
+
+    /// The unmodified kernel with §5.1 interrupt rate limiting — the
+    /// mitigation the paper says "prevents system saturation but might not
+    /// guarantee progress".
+    pub fn unmodified_rate_limited(max_rate_hz: f64) -> Self {
+        let mut c = KernelConfig::unmodified();
+        c.intr_rate_limit = Some(IntrRateLimitConfig {
+            max_rate_hz,
+            burst: 4,
+        });
+        c
+    }
+
+    /// An end-system (UDP/RPC server) on the unmodified kernel: packets
+    /// for the host are delivered to an application through a socket
+    /// buffer.
+    pub fn end_system_unmodified() -> Self {
+        let mut c = KernelConfig::unmodified();
+        c.local = Some(LocalDeliveryConfig::default());
+        c.ip_forwarding = false;
+        c
+    }
+
+    /// An end-system on the modified kernel, with socket-queue feedback.
+    pub fn end_system_polled(rx_quota: Quota) -> Self {
+        let mut c = KernelConfig::polled(rx_quota);
+        c.local = Some(LocalDeliveryConfig {
+            feedback: Some(FeedbackConfig::default()),
+            ..LocalDeliveryConfig::default()
+        });
+        c.ip_forwarding = false;
+        c
+    }
+
+    /// Returns the polled configuration, if this is a polled kernel.
+    pub fn polled_config(&self) -> Option<&PolledConfig> {
+        match &self.mode {
+            Mode::Polled(p) => Some(p),
+            Mode::Unmodified { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper() {
+        let u = KernelConfig::unmodified();
+        assert!(matches!(
+            u.mode,
+            Mode::Unmodified {
+                emulate_modified_structure: false
+            }
+        ));
+        assert!(u.screend.is_none());
+        assert_eq!(u.ipintrq_cap, 50);
+        assert_eq!(u.num_ifaces, 2);
+
+        let s = KernelConfig::unmodified_with_screend();
+        assert_eq!(s.screend.as_ref().unwrap().queue_cap, 32);
+
+        let p = KernelConfig::polled(Quota::Limited(5));
+        let pc = p.polled_config().unwrap();
+        assert_eq!(pc.rx_quota, Quota::Limited(5));
+        assert!(pc.feedback.is_none());
+
+        let f = KernelConfig::polled_screend_feedback(Quota::Limited(10));
+        let fb = f.polled_config().unwrap().feedback.unwrap();
+        assert_eq!(fb.hi_frac, 0.75);
+        assert_eq!(fb.lo_frac, 0.25);
+        assert_eq!(fb.timeout_ticks, 1);
+        assert!(f.screend.is_some());
+
+        let c = KernelConfig::polled_cycle_limit(0.25);
+        assert_eq!(c.polled_config().unwrap().cycle_limit_frac, Some(0.25));
+        assert!(c.user_process);
+    }
+
+    #[test]
+    fn unmodified_has_no_polled_config() {
+        assert!(KernelConfig::unmodified().polled_config().is_none());
+        assert!(KernelConfig::no_polling().polled_config().is_none());
+    }
+
+    #[test]
+    fn default_feedback_is_papers() {
+        let fb = FeedbackConfig::default();
+        assert_eq!((fb.hi_frac, fb.lo_frac, fb.timeout_ticks), (0.75, 0.25, 1));
+    }
+}

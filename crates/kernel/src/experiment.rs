@@ -1,0 +1,338 @@
+//! The paper's measurement methodology (§6.1) as a harness.
+//!
+//! "A source host generated IP/UDP packets at a variety of rates, and sent
+//! them via the router to a destination address. ... In all the trials
+//! reported on here, the packet generator sent 10000 UDP packets carrying 4
+//! bytes of data. ... We calculated the delivered packet rate by using the
+//! 'netstat' program to sample the output interface count ('Opkts') before
+//! and after each trial."
+//!
+//! [`run_trial`] reproduces one such trial: generate a jittered
+//! constant-rate schedule, pace it to Ethernet feasibility, inject the
+//! frames on interface 0, run the simulated router, and report rates
+//! averaged over the steady-state measurement window. [`sweep`] runs a
+//! trial per input rate, producing the `(input rate, output rate)` series
+//! every figure in the paper plots.
+
+use livelock_core::analysis::SweepPoint;
+use livelock_machine::cpu::Engine;
+use livelock_machine::wire::Wire;
+use livelock_net::gen::{PacketFactory, TrafficGen};
+use livelock_net::packet::MIN_FRAME_LEN;
+use livelock_sim::{Cycles, Nanos};
+
+use crate::config::KernelConfig;
+use crate::router::{Event, RouterKernel};
+
+/// One trial's parameters.
+#[derive(Clone, Debug)]
+pub struct TrialSpec {
+    /// Nominal offered rate in packets/second.
+    pub rate_pps: f64,
+    /// Packets to generate (the paper used 10000).
+    pub n_packets: usize,
+    /// RNG seed for arrival jitter.
+    pub seed: u64,
+    /// Fraction of the trial treated as warm-up and excluded from the
+    /// measurement window.
+    pub warmup_frac: f64,
+    /// The kernel under test.
+    pub config: KernelConfig,
+}
+
+impl TrialSpec {
+    /// A paper-like trial: 10000 packets, 10% warm-up, seed 1.
+    pub fn new(config: KernelConfig) -> Self {
+        TrialSpec {
+            rate_pps: 1000.0,
+            n_packets: 10_000,
+            seed: 1,
+            warmup_frac: 0.1,
+            config,
+        }
+    }
+}
+
+/// What one trial measured.
+#[derive(Clone, Debug)]
+pub struct TrialResult {
+    /// Offered rate actually achieved inside the window (pkts/s).
+    pub offered_pps: f64,
+    /// Delivered (transmitted) rate inside the window (pkts/s).
+    pub delivered_pps: f64,
+    /// Total frames transmitted over the whole trial.
+    pub transmitted: u64,
+    /// Frames dropped at the receive ring (free drops).
+    pub rx_ring_drops: u64,
+    /// Packets dropped at `ipintrq`.
+    pub ipintrq_drops: u64,
+    /// Packets dropped at the screend queue.
+    pub screend_q_drops: u64,
+    /// Packets denied (consumed) by the screening rules.
+    pub screend_denied: u64,
+    /// Packets dropped at the local socket buffer (end-system mode).
+    pub socket_q_drops: u64,
+    /// Packets consumed by the local application over the whole trial.
+    pub app_delivered: u64,
+    /// Local application goodput inside the window (pkts/s).
+    pub app_delivered_pps: f64,
+    /// Packets dropped at output interface queues.
+    pub ifq_drops: u64,
+    /// Mean forwarding latency of delivered packets.
+    pub latency_mean: Nanos,
+    /// 99th-percentile forwarding latency (bucketed upper bound).
+    pub latency_p99: Nanos,
+    /// Standard deviation of forwarding latency — the jitter the paper's
+    /// §3 requires scheduling to keep low.
+    pub latency_jitter: Nanos,
+    /// Fraction of window CPU time the compute-bound user process got
+    /// (0 when no user process was configured).
+    pub user_cpu_frac: f64,
+    /// Hardware interrupts taken during the trial.
+    pub interrupts_taken: u64,
+}
+
+impl TrialResult {
+    /// This trial as a sweep point.
+    pub fn point(&self) -> SweepPoint {
+        SweepPoint::new(self.offered_pps, self.delivered_pps)
+    }
+}
+
+/// Runs one trial.
+///
+/// # Panics
+///
+/// Panics if the spec is degenerate (zero packets or non-positive rate).
+pub fn run_trial(spec: &TrialSpec) -> TrialResult {
+    assert!(spec.n_packets > 0, "trial needs packets");
+    assert!(spec.rate_pps > 0.0, "trial needs a positive rate");
+
+    let cfg = spec.config.clone();
+    let freq = cfg.cost.freq;
+    let ctx_switch = cfg.cost.ctx_switch;
+    let (st, kernel) = RouterKernel::build(cfg);
+    let mut engine = Engine::new(st, kernel, ctx_switch);
+
+    // Generate, pace and inject the arrival schedule.
+    let mut gen = TrafficGen::paper_default(spec.rate_pps, freq, spec.seed);
+    let mut times = gen.arrival_times(Cycles::ZERO, spec.n_packets);
+    Wire::ethernet_10m(freq).pace(&mut times, MIN_FRAME_LEN);
+    let mut factory = PacketFactory::paper_testbed();
+    for &t in &times {
+        let pkt = factory.next_packet();
+        engine.state_schedule(t, Event::RxArrive { iface: 0, pkt });
+    }
+
+    // Measurement window: after warm-up, until the last arrival.
+    let first = times[0];
+    let last = *times.last().expect("nonempty schedule");
+    let span = last - first;
+    let window_start = first + Cycles::new((span.raw() as f64 * spec.warmup_frac) as u64);
+    let window_end = last;
+    engine
+        .workload_mut()
+        .stats_mut()
+        .set_window(window_start, window_end);
+
+    // User CPU share is measured over the same window.
+    let user_tid = engine.workload().user_tid();
+    engine.run_until(window_start);
+    let user_before = user_tid.map(|t| engine.state().thread_cycles(t));
+    engine.run_until(window_end);
+    let user_after = user_tid.map(|t| engine.state().thread_cycles(t));
+
+    let window = window_end - window_start;
+    let user_cpu_frac = match (user_before, user_after) {
+        (Some(b), Some(a)) if !window.is_zero() => (a - b).fraction_of(window),
+        _ => 0.0,
+    };
+
+    let interrupts_taken = engine.state().intr.total_taken();
+    let stats = engine.workload().stats();
+    TrialResult {
+        offered_pps: stats.offered_pps(freq),
+        delivered_pps: stats.delivered_pps(freq),
+        transmitted: stats.transmitted,
+        rx_ring_drops: stats.rx_ring_drops,
+        ipintrq_drops: stats.ipintrq_drops,
+        screend_q_drops: stats.screend_q_drops,
+        screend_denied: stats.screend_denied,
+        socket_q_drops: stats.socket_q_drops,
+        app_delivered: stats.app_delivered,
+        app_delivered_pps: stats.app_delivered_pps(freq),
+        ifq_drops: stats.ifq_drops,
+        latency_mean: stats.latency.mean(),
+        latency_p99: stats.latency.quantile(0.99),
+        latency_jitter: stats.latency.jitter(),
+        user_cpu_frac,
+        interrupts_taken,
+    }
+}
+
+/// A labelled rate sweep: the series one figure curve plots.
+#[derive(Clone, Debug)]
+pub struct SweepResult {
+    /// Curve label (e.g. "quota = 5 packets").
+    pub label: String,
+    /// One result per requested rate, in order.
+    pub trials: Vec<TrialResult>,
+}
+
+impl SweepResult {
+    /// The `(offered, delivered)` points for analysis and plotting.
+    pub fn points(&self) -> Vec<SweepPoint> {
+        self.trials.iter().map(TrialResult::point).collect()
+    }
+}
+
+/// Runs one trial per rate with otherwise identical parameters.
+pub fn sweep(label: &str, base: &TrialSpec, rates: &[f64]) -> SweepResult {
+    let trials = rates
+        .iter()
+        .map(|&rate_pps| {
+            run_trial(&TrialSpec {
+                rate_pps,
+                ..base.clone()
+            })
+        })
+        .collect();
+    SweepResult {
+        label: label.to_string(),
+        trials,
+    }
+}
+
+/// The input rates the paper's figures sweep (0-12,000 pkts/s, capped by
+/// the Ethernet maximum of ~14,880).
+pub fn paper_rates() -> Vec<f64> {
+    vec![
+        500.0, 1_000.0, 2_000.0, 3_000.0, 4_000.0, 5_000.0, 6_000.0, 8_000.0, 10_000.0, 12_000.0,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use livelock_core::poller::Quota;
+
+    fn quick(config: KernelConfig, rate: f64, n: usize) -> TrialResult {
+        run_trial(&TrialSpec {
+            rate_pps: rate,
+            n_packets: n,
+            ..TrialSpec::new(config)
+        })
+    }
+
+    #[test]
+    fn light_load_is_loss_free_on_both_kernels() {
+        for cfg in [
+            KernelConfig::unmodified(),
+            KernelConfig::polled(Quota::Limited(10)),
+        ] {
+            let r = quick(cfg, 1_000.0, 800);
+            assert!(
+                r.delivered_pps > 0.97 * r.offered_pps,
+                "delivered {} of {}",
+                r.delivered_pps,
+                r.offered_pps
+            );
+            assert_eq!(r.ipintrq_drops + r.ifq_drops + r.screend_q_drops, 0);
+        }
+    }
+
+    #[test]
+    fn offered_rate_tracks_nominal() {
+        let r = quick(KernelConfig::polled(Quota::Limited(10)), 3_000.0, 1_500);
+        assert!(
+            (r.offered_pps - 3_000.0).abs() < 300.0,
+            "offered {}",
+            r.offered_pps
+        );
+    }
+
+    #[test]
+    fn overload_degrades_unmodified_kernel() {
+        let low = quick(KernelConfig::unmodified(), 3_000.0, 1_500);
+        let high = quick(KernelConfig::unmodified(), 11_000.0, 4_000);
+        assert!(
+            high.delivered_pps < low.delivered_pps,
+            "expected degradation: {} !< {}",
+            high.delivered_pps,
+            low.delivered_pps
+        );
+        assert!(high.rx_ring_drops + high.ipintrq_drops > 0);
+    }
+
+    #[test]
+    fn overload_does_not_collapse_polled_kernel() {
+        let high = quick(KernelConfig::polled(Quota::Limited(10)), 11_000.0, 4_000);
+        assert!(
+            high.delivered_pps > 3_000.0,
+            "polled kernel should sustain its MLFRR, got {}",
+            high.delivered_pps
+        );
+    }
+
+    #[test]
+    fn latency_is_sane_at_light_load() {
+        let r = quick(KernelConfig::polled(Quota::Limited(10)), 500.0, 400);
+        // One packet alone in the system: a few hundred microseconds of
+        // processing plus 67.2 us of output serialization.
+        assert!(
+            r.latency_mean >= Nanos::from_micros(200),
+            "{}",
+            r.latency_mean
+        );
+        assert!(
+            r.latency_mean <= Nanos::from_millis(3),
+            "{}",
+            r.latency_mean
+        );
+    }
+
+    #[test]
+    fn determinism_same_seed_same_numbers() {
+        let a = quick(KernelConfig::unmodified(), 7_000.0, 1_000);
+        let b = quick(KernelConfig::unmodified(), 7_000.0, 1_000);
+        assert_eq!(a.transmitted, b.transmitted);
+        assert_eq!(a.delivered_pps, b.delivered_pps);
+        assert_eq!(a.interrupts_taken, b.interrupts_taken);
+    }
+
+    #[test]
+    fn different_seeds_differ_slightly() {
+        let base = TrialSpec {
+            rate_pps: 7_000.0,
+            n_packets: 1_000,
+            ..TrialSpec::new(KernelConfig::unmodified())
+        };
+        let a = run_trial(&base);
+        let b = run_trial(&TrialSpec { seed: 2, ..base });
+        assert_ne!(
+            (a.transmitted, a.interrupts_taken),
+            (b.transmitted, b.interrupts_taken),
+            "jitter should differ across seeds"
+        );
+    }
+
+    #[test]
+    fn sweep_produces_labelled_points() {
+        let base = TrialSpec {
+            n_packets: 300,
+            ..TrialSpec::new(KernelConfig::polled(Quota::Limited(10)))
+        };
+        let s = sweep("test", &base, &[500.0, 1_000.0]);
+        assert_eq!(s.label, "test");
+        assert_eq!(s.trials.len(), 2);
+        let pts = s.points();
+        assert!(pts[1].offered > pts[0].offered);
+    }
+
+    #[test]
+    fn paper_rates_are_increasing_and_capped() {
+        let r = paper_rates();
+        assert!(r.windows(2).all(|w| w[0] < w[1]));
+        assert!(*r.last().unwrap() <= 14_880.0);
+    }
+}

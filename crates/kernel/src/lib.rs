@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! The simulated router kernel: the paper's system-under-test.
+//!
+//! This crate wires the machine model (`livelock-machine`), the network
+//! substrate (`livelock-net`) and the livelock-avoidance library
+//! (`livelock-core`) into the two kernels the paper measures:
+//!
+//! - the **unmodified 4.2BSD path** (Figure 6-2): receive interrupts at
+//!   `SPLIMP` with batching, a bounded `ipintrq`, the IP forwarding layer in
+//!   a network software interrupt at `SPLNET`, bounded per-interface output
+//!   queues, and transmit-completion interrupts — the design that livelocks;
+//! - the **modified path** (§6.4): interrupt stubs that only schedule a
+//!   kernel polling thread, round-robin callbacks with packet quotas,
+//!   process-to-completion (no `ipintrq`), queue-state feedback around the
+//!   screend queue, and the §7 CPU-cycle limiter.
+//!
+//! Both kernels can route through the user-mode `screend` packet-filter
+//! process, and both can host a compute-bound user process for the
+//! Figure 7-1 experiment. [`experiment`] runs the paper's trials: flood the
+//! router with minimum-size UDP packets at a nominal rate, count packets
+//! transmitted on the output wire, and report averaged rates.
+//!
+//! # Examples
+//!
+//! ```
+//! use livelock_kernel::config::KernelConfig;
+//! use livelock_kernel::experiment::{run_trial, TrialSpec};
+//!
+//! // A light load on the unmodified kernel: no loss, delivery == offer.
+//! let spec = TrialSpec {
+//!     rate_pps: 500.0,
+//!     n_packets: 500,
+//!     ..TrialSpec::new(KernelConfig::unmodified())
+//! };
+//! let r = run_trial(&spec);
+//! assert!(r.delivered_pps > 450.0);
+//! ```
+
+pub mod config;
+pub mod experiment;
+pub mod router;
+pub mod stats;
+
+pub use config::{FeedbackConfig, KernelConfig, Mode, PolledConfig, ScreendConfig};
+pub use experiment::{run_trial, sweep, SweepResult, TrialResult, TrialSpec};
+pub use router::RouterKernel;
+pub use stats::KernelStats;

@@ -1,0 +1,84 @@
+//! Input gating: queue-state feedback, inhibit/resume edges, and the
+//! interrupt-enable invariant.
+
+use super::*;
+
+impl RouterKernel {
+    pub(super) fn feedback_depth(&mut self, env: &mut Env<'_, Event>, depth: usize) {
+        let Some(fb) = &mut self.feedback else {
+            return;
+        };
+        match fb.on_depth(depth) {
+            Some(FeedbackSignal::Inhibit) => self.inhibit_input(env, InhibitReason::QueueFeedback),
+            Some(FeedbackSignal::Resume) => self.resume_input(env, InhibitReason::QueueFeedback),
+            None => {}
+        }
+    }
+
+    pub(super) fn inhibit_input(&mut self, env: &mut Env<'_, Event>, reason: InhibitReason) {
+        if self.gate.inhibit(reason) == GateChange::Closed {
+            self.poller.set_rx_inhibited(true);
+            for i in 0..self.ifaces.len() {
+                let iface = &mut self.ifaces[i];
+                iface.nic.set_rx_intr_enabled(false);
+                env.set_intr_enabled(iface.rx_src, false);
+            }
+        }
+    }
+
+    pub(super) fn resume_input(&mut self, env: &mut Env<'_, Event>, reason: InhibitReason) {
+        if self.gate.allow(reason) == GateChange::Opened {
+            self.poller.set_rx_inhibited(false);
+            self.sync_intrs(env);
+            if self.poller.any_serviceable() {
+                if let Some(tid) = self.poll_tid {
+                    env.wake(tid);
+                }
+            }
+        }
+    }
+
+    /// Re-establishes the interrupt-enable invariant for every interface:
+    /// receive interrupts on iff the gate is open and the device has no
+    /// pending poll work; transmit interrupts on iff no pending transmit
+    /// work. Posts the interrupt when enabling with work already latched in
+    /// the device, so no wakeup is lost.
+    pub(super) fn sync_intrs(&mut self, env: &mut Env<'_, Event>) {
+        for i in 0..self.ifaces.len() {
+            let gate_open = self.gate.is_open();
+            let rx_pending = self
+                .poller
+                .is_pending(self.ifaces[i].poll_sid, PollDirection::Receive);
+            let tx_pending = self
+                .poller
+                .is_pending(self.ifaces[i].poll_sid, PollDirection::Transmit);
+            let iface = &mut self.ifaces[i];
+
+            let want_rx = gate_open && !rx_pending;
+            iface.nic.set_rx_intr_enabled(want_rx);
+            env.set_intr_enabled(iface.rx_src, want_rx);
+            if want_rx {
+                if iface.nic.rx_pending() > 0 {
+                    env.post_intr(iface.rx_src);
+                } else {
+                    env.intr_ack(iface.rx_src);
+                }
+            }
+
+            let want_tx = !tx_pending;
+            iface.nic.set_tx_intr_enabled(want_tx);
+            env.set_intr_enabled(iface.tx_src, want_tx);
+            if want_tx {
+                let tx_work = iface.nic.tx_unreclaimed() > 0
+                    || (!iface.out_q.is_empty() && iface.nic.tx_slots_free() > 0);
+                if tx_work {
+                    env.post_intr(iface.tx_src);
+                } else {
+                    env.intr_ack(iface.tx_src);
+                }
+            }
+        }
+    }
+
+    // --- Unmodified-path handlers ---
+}

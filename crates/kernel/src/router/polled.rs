@@ -1,0 +1,230 @@
+//! The modified path (paper 6.4): interrupt stubs and the polling
+//! thread's round-robin, quota-bounded callbacks.
+
+use super::*;
+
+impl RouterKernel {
+    pub(super) fn stub_next(&mut self, i: usize, rx: bool) -> Option<Chunk> {
+        let iface = &mut self.ifaces[i];
+        let in_handler = if rx {
+            &mut iface.rx_in_handler
+        } else {
+            &mut iface.tx_in_handler
+        };
+        if *in_handler {
+            *in_handler = false;
+            return None;
+        }
+        *in_handler = true;
+        Some(Chunk::new(
+            self.cost.intr_dispatch + self.cost.intr_stub + self.cost.poll_wakeup,
+            if rx { tag::RX_STUB } else { tag::TX_STUB },
+        ))
+    }
+
+    pub(super) fn stub_done(&mut self, env: &mut Env<'_, Event>, i: usize, rx: bool) {
+        // "it simply schedules the polling thread ..., recording its need
+        // for packet processing, and then returns from the interrupt. It
+        // does not set the device's interrupt-enable flag."
+        let sid = self.ifaces[i].poll_sid;
+        let iface = &mut self.ifaces[i];
+        if rx {
+            iface.nic.set_rx_intr_enabled(false);
+            env.set_intr_enabled(iface.rx_src, false);
+            self.poller.request(sid, PollDirection::Receive);
+        } else {
+            iface.nic.set_tx_intr_enabled(false);
+            env.set_intr_enabled(iface.tx_src, false);
+            self.poller.request(sid, PollDirection::Transmit);
+        }
+        if let Some(tid) = self.poll_tid {
+            env.wake(tid);
+        }
+    }
+
+    /// The poll thread's chunk generator: continue the current callback,
+    /// pick the next action, or re-enable interrupts and sleep.
+    pub(super) fn poll_next(&mut self, env: &mut Env<'_, Event>) -> Option<Chunk> {
+        loop {
+            if let Some(action) = self.poll.action {
+                let i = action.source.0;
+                match action.dir {
+                    PollDirection::Receive => {
+                        let stop = !self.gate.is_open()
+                            || action.quota.exhausted_by(self.poll.done_in_cb)
+                            || self.ifaces[i].nic.rx_pending() == 0;
+                        if !stop {
+                            let mut cost =
+                                self.cost.rx_device_per_pkt + self.cost.ip_forward_per_pkt;
+                            if self.cfg.screend.is_none() {
+                                cost += self.cost.tx_start_per_pkt;
+                            }
+                            return Some(Chunk::new(cost, tag::POLL_RX_PKT));
+                        }
+                        let more = self.ifaces[i].nic.rx_pending() > 0;
+                        self.finish_callback(env, action, more);
+                    }
+                    PollDirection::Transmit => {
+                        let iface = &self.ifaces[i];
+                        if !action.quota.exhausted_by(self.poll.done_in_cb) {
+                            if iface.nic.tx_unreclaimed() > 0 {
+                                return Some(Chunk::new(
+                                    self.cost.tx_done_per_pkt + self.cost.tx_start_per_pkt,
+                                    tag::POLL_TX_PKT,
+                                ));
+                            }
+                            if !iface.out_q.is_empty() && iface.nic.tx_slots_free() > 0 {
+                                return Some(Chunk::new(
+                                    self.cost.tx_start_per_pkt,
+                                    tag::POLL_TX_START,
+                                ));
+                            }
+                        }
+                        let iface = &self.ifaces[i];
+                        let more = iface.nic.tx_unreclaimed() > 0
+                            || (!iface.out_q.is_empty() && iface.nic.tx_slots_free() > 0);
+                        self.finish_callback(env, action, more);
+                    }
+                }
+                continue;
+            }
+            match self.poller.next_action() {
+                Some(action) => {
+                    self.poll.action = Some(action);
+                    self.poll.done_in_cb = 0;
+                    self.poll.cb_started_at = env.now();
+                    return Some(Chunk::new(
+                        self.cost.poll_callback + self.cost.poll_loop_check,
+                        tag::POLL_CB_START,
+                    ));
+                }
+                None => {
+                    // "Once all the packets pending at an interface have
+                    // been handled, the polling thread also invokes the
+                    // driver's interrupt-enable callback."
+                    self.sync_intrs(env);
+                    if let Some(tid) = self.poll_tid {
+                        env.sleep(tid);
+                    }
+                    return None;
+                }
+            }
+        }
+    }
+
+    pub(super) fn finish_callback(
+        &mut self,
+        env: &mut Env<'_, Event>,
+        action: PollAction,
+        more: bool,
+    ) {
+        self.poller
+            .complete(action.source, action.dir, self.poll.done_in_cb, more);
+        self.poll.action = None;
+        // "Once all the packets pending at an interface have been handled,
+        // the polling thread also invokes the driver's interrupt-enable
+        // callback" — per interface and direction, immediately, so a
+        // subsequent packet event causes an interrupt even while the
+        // polling thread is still busy with other interfaces.
+        if !more {
+            self.enable_dir_intr(env, action.source.0, action.dir);
+        }
+        // The §7 cycle accounting: read the cycle counter at loop start and
+        // end; the delta (preempting interrupts included) is charged to the
+        // packet-processing budget.
+        let used = (env.now() - self.poll.cb_started_at).raw();
+        if let Some(lim) = &mut self.limiter {
+            if lim.record(used) == LimiterDecision::Inhibit {
+                self.inhibit_input(env, InhibitReason::CycleLimit);
+            }
+        }
+    }
+
+    /// Posts (or defers, under §5.1 rate limiting) a receive interrupt.
+    pub(super) fn post_rx_intr(&mut self, env: &mut Env<'_, Event>, i: usize) {
+        match &mut self.rx_rate_limiter {
+            None => env.post_intr(self.ifaces[i].rx_src),
+            Some(rl) => {
+                let now = env.now().raw();
+                if rl.allow(now) {
+                    env.post_intr(self.ifaces[i].rx_src);
+                } else if !self.rx_intr_deferred[i] {
+                    self.rx_intr_deferred[i] = true;
+                    let at = Cycles::new(rl.next_allowed(now));
+                    env.schedule_at(at, Event::DeferredRxIntr { iface: i });
+                }
+            }
+        }
+    }
+
+    /// Re-enables one interface's interrupt in one direction, posting the
+    /// interrupt instead when the device already has latched work so no
+    /// wakeup is lost (drivers re-check device status after enabling).
+    pub(super) fn enable_dir_intr(
+        &mut self,
+        env: &mut Env<'_, Event>,
+        i: usize,
+        dir: PollDirection,
+    ) {
+        let iface = &mut self.ifaces[i];
+        match dir {
+            PollDirection::Receive => {
+                if !self.gate.is_open() {
+                    return;
+                }
+                iface.nic.set_rx_intr_enabled(true);
+                env.set_intr_enabled(iface.rx_src, true);
+                if iface.nic.rx_pending() > 0 {
+                    env.post_intr(iface.rx_src);
+                } else {
+                    env.intr_ack(iface.rx_src);
+                }
+            }
+            PollDirection::Transmit => {
+                iface.nic.set_tx_intr_enabled(true);
+                env.set_intr_enabled(iface.tx_src, true);
+                let tx_work = iface.nic.tx_unreclaimed() > 0
+                    || (!iface.out_q.is_empty() && iface.nic.tx_slots_free() > 0);
+                if tx_work {
+                    env.post_intr(iface.tx_src);
+                } else {
+                    env.intr_ack(iface.tx_src);
+                }
+            }
+        }
+    }
+
+    pub(super) fn poll_rx_done(&mut self, env: &mut Env<'_, Event>) {
+        let Some(action) = self.poll.action else {
+            return;
+        };
+        self.poll.done_in_cb += 1;
+        let i = action.source.0;
+        let Some(pkt) = self.ifaces[i].nic.rx_take() else {
+            return;
+        };
+        if self.try_handle_arp(env, i, &pkt) {
+            return;
+        }
+        // Process-to-completion: device work and IP forwarding in one go,
+        // no ipintrq.
+        if let Some(routed) = self.route_packet(pkt, env.now()) {
+            self.dispatch(env, routed);
+        }
+        self.flush_icmp(env);
+    }
+
+    pub(super) fn poll_tx_done(&mut self, env: &mut Env<'_, Event>, reclaim: bool) {
+        let Some(action) = self.poll.action else {
+            return;
+        };
+        self.poll.done_in_cb += 1;
+        let i = action.source.0;
+        if reclaim {
+            self.ifaces[i].nic.tx_reclaim_one();
+        }
+        self.try_tx_start(env, i);
+    }
+
+    // --- screend ---
+}

@@ -1,0 +1,97 @@
+//! The unmodified 4.2BSD path: batched receive interrupts, `ipintrq`,
+//! the softnet IP layer, transmit-completion handlers.
+
+use super::*;
+
+impl RouterKernel {
+    pub(super) fn unmod_rx_next(&mut self, env: &mut Env<'_, Event>, i: usize) -> Option<Chunk> {
+        let extra = self.emulation_overhead();
+        let iface = &mut self.ifaces[i];
+        if !iface.rx_in_handler {
+            iface.rx_in_handler = true;
+            return Some(Chunk::new(
+                self.cost.intr_dispatch + extra,
+                tag::RX_DISPATCH,
+            ));
+        }
+        if iface.nic.rx_pending() > 0 {
+            // Interrupt batching: keep consuming the ring before returning.
+            return Some(Chunk::new(
+                self.cost.rx_device_per_pkt + self.cost.queue_op + extra,
+                tag::RX_PKT,
+            ));
+        }
+        iface.rx_in_handler = false;
+        env.intr_ack(iface.rx_src);
+        None
+    }
+
+    pub(super) fn unmod_rx_done(&mut self, env: &mut Env<'_, Event>, i: usize) {
+        let Some(pkt) = self.ifaces[i].nic.rx_take() else {
+            return;
+        };
+        if self.try_handle_arp(env, i, &pkt) {
+            return;
+        }
+        if self.ipintrq.enqueue(pkt).is_ok() {
+            env.post_intr(self.softnet_src);
+        } else {
+            // "the IP code never runs ... [ipintrq] fills up, and all
+            // subsequent received packets are dropped" — after device-level
+            // work was already invested.
+            self.stats.ipintrq_drops += 1;
+        }
+    }
+
+    pub(super) fn softnet_next(&mut self, env: &mut Env<'_, Event>) -> Option<Chunk> {
+        let extra = self.emulation_overhead();
+        if !self.softnet_in_handler {
+            self.softnet_in_handler = true;
+            return Some(Chunk::new(
+                self.cost.softnet_dispatch + extra,
+                tag::SOFTNET_DISPATCH,
+            ));
+        }
+        if self.ipintrq.peek().is_some() {
+            // IP processing of one packet, including the ipintrq dequeue
+            // and (when it will go straight out) the if_start work.
+            let mut cost = self.cost.ip_forward_per_pkt + self.cost.queue_op + extra;
+            if self.cfg.screend.is_none() {
+                cost += self.cost.tx_start_per_pkt;
+            }
+            return Some(Chunk::new(cost, tag::SOFTNET_PKT));
+        }
+        self.softnet_in_handler = false;
+        env.intr_ack(self.softnet_src);
+        None
+    }
+
+    pub(super) fn softnet_done(&mut self, env: &mut Env<'_, Event>) {
+        let Some(pkt) = self.ipintrq.dequeue() else {
+            return;
+        };
+        if let Some(routed) = self.route_packet(pkt, env.now()) {
+            self.dispatch(env, routed);
+        }
+        self.flush_icmp(env);
+    }
+
+    pub(super) fn unmod_tx_next(&mut self, env: &mut Env<'_, Event>, i: usize) -> Option<Chunk> {
+        let iface = &mut self.ifaces[i];
+        if !iface.tx_in_handler {
+            iface.tx_in_handler = true;
+            return Some(Chunk::new(self.cost.intr_dispatch, tag::TX_DISPATCH));
+        }
+        if iface.nic.tx_unreclaimed() > 0 {
+            return Some(Chunk::new(self.cost.tx_done_per_pkt, tag::TX_RECLAIM));
+        }
+        if !iface.out_q.is_empty() && iface.nic.tx_slots_free() > 0 {
+            return Some(Chunk::new(self.cost.tx_start_per_pkt, tag::TX_START));
+        }
+        iface.tx_in_handler = false;
+        env.intr_ack(iface.tx_src);
+        None
+    }
+
+    // --- Modified-path handlers ---
+}

@@ -1,0 +1,243 @@
+//! Per-trial kernel statistics: where every packet went.
+//!
+//! The paper attributes loss to specific queues ("packets are dropped at a
+//! queue between processing steps that occur at different priorities") and
+//! measures delivered throughput by sampling the output interface's `Opkts`
+//! counter over the trial. [`KernelStats`] keeps the same books.
+
+use livelock_sim::{Cycles, Freq, Histogram, RateWindow};
+
+/// Counters and distributions collected by the router kernel during a run.
+#[derive(Clone, Debug)]
+pub struct KernelStats {
+    /// Frames that finished arriving on input wires (offered load actually
+    /// presented to the NICs).
+    pub arrived: u64,
+    /// Frames dropped because a receive ring was full (free drops at the
+    /// interface).
+    pub rx_ring_drops: u64,
+    /// Packets dropped at the `ipintrq` (unmodified kernel only) — each one
+    /// wasted device-level work.
+    pub ipintrq_drops: u64,
+    /// Packets dropped at the screend queue — each one wasted device +
+    /// IP-level work.
+    pub screend_q_drops: u64,
+    /// Packets denied by the screening rules (not a malfunction).
+    pub screend_denied: u64,
+    /// Packets dropped at an output interface queue — wasted everything
+    /// but transmission.
+    pub ifq_drops: u64,
+    /// Of the output-queue drops, how many were RED early drops.
+    pub red_drops: u64,
+    /// Packets dropped at the local socket buffer (end-system mode).
+    pub socket_q_drops: u64,
+    /// Packets consumed by the local application (end-system mode).
+    pub app_delivered: u64,
+    /// Reply packets originated by the local application.
+    pub replies_created: u64,
+    /// ICMP error packets originated by the router.
+    pub icmp_errors_sent: u64,
+    /// ICMP error generation suppressed by pacing.
+    pub icmp_suppressed: u64,
+    /// Packets discarded because the host is not a router (end-system
+    /// mode) and the destination was not local — the "innocent bystander"
+    /// cost of §1's multicast/broadcast storms.
+    pub bystander_drops: u64,
+    /// ARP frames consumed by the host (requests, gratuitous, replies).
+    pub arp_handled: u64,
+    /// ARP replies originated by the host.
+    pub arp_replies: u64,
+    /// Packets dropped by the forwarding code (bad checksum, TTL, no
+    /// route, no ARP entry).
+    pub fwd_errors: u64,
+    /// Frames fully transmitted on output wires (the `Opkts` the paper
+    /// counts).
+    pub transmitted: u64,
+    /// Wire-to-wire forwarding latency of transmitted packets.
+    pub latency: Histogram,
+    /// Transmissions inside the measurement window.
+    pub tx_window: Option<RateWindow>,
+    /// Arrivals inside the measurement window.
+    pub arrival_window: Option<RateWindow>,
+    /// Local application deliveries inside the measurement window.
+    pub app_window: Option<RateWindow>,
+    /// Work units completed by the compute-bound user process.
+    pub user_chunks: u64,
+    /// Clock ticks observed.
+    pub ticks: u64,
+}
+
+impl KernelStats {
+    /// Creates zeroed statistics with no measurement window.
+    pub fn new() -> Self {
+        KernelStats {
+            arrived: 0,
+            rx_ring_drops: 0,
+            ipintrq_drops: 0,
+            screend_q_drops: 0,
+            screend_denied: 0,
+            ifq_drops: 0,
+            red_drops: 0,
+            socket_q_drops: 0,
+            app_delivered: 0,
+            replies_created: 0,
+            icmp_errors_sent: 0,
+            icmp_suppressed: 0,
+            bystander_drops: 0,
+            arp_handled: 0,
+            arp_replies: 0,
+            fwd_errors: 0,
+            transmitted: 0,
+            latency: Histogram::new(),
+            tx_window: None,
+            arrival_window: None,
+            app_window: None,
+            user_chunks: 0,
+            ticks: 0,
+        }
+    }
+
+    /// Installs the measurement window `[start, end)` for rate reporting.
+    pub fn set_window(&mut self, start: Cycles, end: Cycles) {
+        self.tx_window = Some(RateWindow::new(start, end));
+        self.arrival_window = Some(RateWindow::new(start, end));
+        self.app_window = Some(RateWindow::new(start, end));
+    }
+
+    /// Records a completed transmission at time `t`.
+    pub fn record_tx(&mut self, t: Cycles) {
+        self.transmitted += 1;
+        if let Some(w) = &mut self.tx_window {
+            w.record(t);
+        }
+    }
+
+    /// Records a frame arrival at time `t`.
+    pub fn record_arrival(&mut self, t: Cycles) {
+        self.arrived += 1;
+        if let Some(w) = &mut self.arrival_window {
+            w.record(t);
+        }
+    }
+
+    /// Records a local application delivery at time `t`.
+    pub fn record_app_delivery(&mut self, t: Cycles) {
+        self.app_delivered += 1;
+        if let Some(w) = &mut self.app_window {
+            w.record(t);
+        }
+    }
+
+    /// Local application goodput inside the window, pkts/s.
+    pub fn app_delivered_pps(&self, freq: Freq) -> f64 {
+        self.app_window.map_or(0.0, |w| w.rate_per_sec(freq))
+    }
+
+    /// Delivered packet rate inside the window, pkts/s.
+    pub fn delivered_pps(&self, freq: Freq) -> f64 {
+        self.tx_window.map_or(0.0, |w| w.rate_per_sec(freq))
+    }
+
+    /// Offered packet rate inside the window, pkts/s.
+    pub fn offered_pps(&self, freq: Freq) -> f64 {
+        self.arrival_window.map_or(0.0, |w| w.rate_per_sec(freq))
+    }
+
+    /// Total packets lost anywhere in the kernel (excluding free drops at
+    /// the interface and deliberate screening denials).
+    pub fn wasted_drops(&self) -> u64 {
+        self.ipintrq_drops
+            + self.screend_q_drops
+            + self.ifq_drops
+            + self.socket_q_drops
+            + self.fwd_errors
+    }
+
+    /// Packet-conservation check: every arrival is transmitted, dropped
+    /// somewhere, denied, or still in flight. Returns the number still
+    /// unaccounted for (in queues/rings) — never negative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more packets left the system than entered it.
+    pub fn in_flight(&self) -> u64 {
+        let gone = self.rx_ring_drops
+            + self.wasted_drops()
+            + self.screend_denied
+            + self.app_delivered
+            + self.arp_handled
+            + self.bystander_drops
+            + self.transmitted;
+        (self.arrived + self.replies_created + self.icmp_errors_sent + self.arp_replies)
+            .checked_sub(gone)
+            .expect("packet conservation violated")
+    }
+}
+
+impl Default for KernelStats {
+    fn default() -> Self {
+        KernelStats::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use livelock_sim::Nanos;
+
+    #[test]
+    fn window_rates() {
+        let freq = Freq::mhz(100);
+        let mut s = KernelStats::new();
+        s.set_window(Cycles::new(0), freq.cycles_from_secs(1));
+        for i in 0..1000u64 {
+            s.record_arrival(Cycles::new(i * 100_000));
+            s.record_tx(Cycles::new(i * 100_000 + 50));
+        }
+        // Outside the window: counted in totals, not in rates.
+        s.record_tx(freq.cycles_from_secs(2));
+        assert_eq!(s.transmitted, 1001);
+        assert!((s.delivered_pps(freq) - 1000.0).abs() < 1e-9);
+        assert!((s.offered_pps(freq) - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_window_means_zero_rates() {
+        let s = KernelStats::new();
+        assert_eq!(s.delivered_pps(Freq::mhz(100)), 0.0);
+        assert_eq!(s.offered_pps(Freq::mhz(100)), 0.0);
+    }
+
+    #[test]
+    fn conservation() {
+        let mut s = KernelStats::new();
+        for _ in 0..10 {
+            s.record_arrival(Cycles::new(1));
+        }
+        s.rx_ring_drops = 2;
+        s.ipintrq_drops = 1;
+        s.screend_denied = 1;
+        for _ in 0..4 {
+            s.record_tx(Cycles::new(2));
+        }
+        assert_eq!(s.in_flight(), 2);
+        assert_eq!(s.wasted_drops(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "conservation")]
+    fn conservation_violation_detected() {
+        let mut s = KernelStats::new();
+        s.record_tx(Cycles::new(1));
+        let _ = s.in_flight();
+    }
+
+    #[test]
+    fn latency_histogram_integrates() {
+        let mut s = KernelStats::new();
+        s.latency.record(Nanos::from_micros(200));
+        s.latency.record(Nanos::from_micros(400));
+        assert_eq!(s.latency.count(), 2);
+        assert_eq!(s.latency.mean(), Nanos::from_micros(300));
+    }
+}

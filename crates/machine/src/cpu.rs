@@ -1,0 +1,969 @@
+//! The preemptive single-CPU executor.
+//!
+//! Kernel code is modelled as *chunks* of cycles issued by a [`Workload`]:
+//! "IP-forward one packet" is one chunk, "reclaim one transmit descriptor"
+//! is another. A chunk's side effects commit when it completes
+//! ([`Workload::chunk_done`]); an interrupt whose IPL preempts the current
+//! context pauses the chunk mid-flight and resumes it after the handler
+//! returns, nesting arbitrarily deep — exactly the fixed-priority
+//! preemption that produces receive livelock.
+//!
+//! Execution contexts, highest priority first:
+//!
+//! 1. **Interrupt frames** — pushed when the [`intr
+//!    controller`](crate::intr::IntrController) delivers a source whose IPL
+//!    preempts the current level; popped when the handler's
+//!    [`Workload::next_chunk`] returns `None` (return-from-interrupt).
+//! 2. **Threads** — scheduled by the [`thread
+//!    scheduler`](crate::thread::Scheduler) at IPL 0, preempted at chunk
+//!    boundaries by higher-priority wakeups or quantum expiry, and by
+//!    interrupts anywhere.
+//! 3. **Idle** — when nothing is runnable the engine calls
+//!    [`Workload::on_idle`] once (the hook the paper uses to re-enable
+//!    interrupts and clear the cycle-limit total) and then advances time to
+//!    the next external event.
+//!
+//! All cycles are accounted per context class; [`UsageReport`] is how the
+//! Figure 7-1 experiment measures the CPU share a user process received.
+
+use livelock_sim::{Cycles, EventQueue};
+
+use crate::intr::{IntrController, IntrSrc};
+use crate::ipl::Ipl;
+use crate::thread::{Scheduler, ThreadId, ThreadState};
+use crate::trace::{Trace, TraceEvent};
+
+/// An execution context the workload can be asked to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CtxKind {
+    /// An interrupt handler for this source.
+    Intr(IntrSrc),
+    /// A thread at IPL 0.
+    Thread(ThreadId),
+}
+
+/// A unit of CPU work: `cycles` of execution, identified to the workload by
+/// an opaque `tag` when it completes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Chunk {
+    /// Cost in cycles. Zero-cost chunks complete immediately.
+    pub cycles: Cycles,
+    /// Workload-defined discriminator passed back to
+    /// [`Workload::chunk_done`].
+    pub tag: u64,
+}
+
+impl Chunk {
+    /// Creates a chunk.
+    pub fn new(cycles: Cycles, tag: u64) -> Self {
+        Chunk { cycles, tag }
+    }
+}
+
+/// The simulated kernel: produces chunks for contexts, reacts to chunk
+/// completions and external events.
+pub trait Workload {
+    /// External event payload (packet arrivals, wire completions, timers).
+    type Event;
+
+    /// Asks the context for its next chunk; `None` ends the context
+    /// (return-from-interrupt, or thread yield — a thread that has no work
+    /// must put itself to sleep with [`Env::sleep`] first, or it will be
+    /// rescheduled immediately).
+    fn next_chunk(&mut self, env: &mut Env<'_, Self::Event>, ctx: CtxKind) -> Option<Chunk>;
+
+    /// A chunk completed; commit its side effects.
+    fn chunk_done(&mut self, env: &mut Env<'_, Self::Event>, ctx: CtxKind, tag: u64);
+
+    /// An external event fired.
+    fn on_event(&mut self, env: &mut Env<'_, Self::Event>, event: Self::Event);
+
+    /// The CPU went idle (no frames, no runnable threads, no deliverable
+    /// interrupts). Called once per idle entry; must be idempotent and must
+    /// not unconditionally create work.
+    fn on_idle(&mut self, env: &mut Env<'_, Self::Event>) {
+        let _ = env;
+    }
+}
+
+/// Mutable machine state shared between the engine and the workload.
+///
+/// Construct it first, register interrupt sources and spawn threads, then
+/// hand it to [`Engine::new`] together with the workload built around those
+/// ids.
+pub struct EnvState<E> {
+    /// The interrupt controller.
+    pub intr: IntrController,
+    /// The thread scheduler.
+    pub sched: Scheduler,
+    now: Cycles,
+    evq: EventQueue<E>,
+    usage: Usage,
+}
+
+#[derive(Clone, Debug, Default)]
+struct Usage {
+    intr_by_src: Vec<Cycles>,
+    thread_by_id: Vec<Cycles>,
+    sched_cycles: Cycles,
+    idle_cycles: Cycles,
+}
+
+impl Usage {
+    fn charge_intr(&mut self, src: IntrSrc, cy: Cycles) {
+        if self.intr_by_src.len() <= src.0 {
+            self.intr_by_src.resize(src.0 + 1, Cycles::ZERO);
+        }
+        self.intr_by_src[src.0] += cy;
+    }
+
+    fn charge_thread(&mut self, tid: ThreadId, cy: Cycles) {
+        if self.thread_by_id.len() <= tid.0 {
+            self.thread_by_id.resize(tid.0 + 1, Cycles::ZERO);
+        }
+        self.thread_by_id[tid.0] += cy;
+    }
+}
+
+impl<E> EnvState<E> {
+    /// Creates machine state with the given scheduler quantum.
+    pub fn new(quantum: Cycles) -> Self {
+        EnvState {
+            intr: IntrController::new(),
+            sched: Scheduler::new(quantum),
+            now: Cycles::ZERO,
+            evq: EventQueue::new(),
+            usage: Usage::default(),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Cycles {
+        self.now
+    }
+
+    /// Schedules an event at absolute time `at` (clamped to now).
+    pub fn schedule_at(&mut self, at: Cycles, event: E) {
+        self.evq.schedule(at.max(self.now), event);
+    }
+
+    /// Schedules an event `delay` cycles from now.
+    pub fn schedule_in(&mut self, delay: Cycles, event: E) {
+        self.evq.schedule(self.now + delay, event);
+    }
+
+    /// Cycles consumed so far by a thread.
+    pub fn thread_cycles(&self, tid: ThreadId) -> Cycles {
+        self.usage
+            .thread_by_id
+            .get(tid.0)
+            .copied()
+            .unwrap_or(Cycles::ZERO)
+    }
+
+    /// Cycles consumed so far by an interrupt source's handler.
+    pub fn intr_cycles(&self, src: IntrSrc) -> Cycles {
+        self.usage
+            .intr_by_src
+            .get(src.0)
+            .copied()
+            .unwrap_or(Cycles::ZERO)
+    }
+}
+
+/// The workload's handle to the machine during a callback.
+///
+/// A thin wrapper over [`EnvState`] so the workload cannot touch the
+/// engine's context stack, only the architectural state.
+pub struct Env<'a, E> {
+    st: &'a mut EnvState<E>,
+}
+
+impl<'a, E> Env<'a, E> {
+    /// Current virtual time (the "cycle counter register" of paper §7).
+    pub fn now(&self) -> Cycles {
+        self.st.now
+    }
+
+    /// Schedules an event at absolute time `at`.
+    pub fn schedule_at(&mut self, at: Cycles, event: E) {
+        self.st.schedule_at(at, event);
+    }
+
+    /// Schedules an event `delay` cycles from now.
+    pub fn schedule_in(&mut self, delay: Cycles, event: E) {
+        self.st.schedule_in(delay, event);
+    }
+
+    /// Posts an interrupt request.
+    pub fn post_intr(&mut self, src: IntrSrc) {
+        self.st.intr.post(src);
+    }
+
+    /// Masks or unmasks an interrupt source.
+    pub fn set_intr_enabled(&mut self, src: IntrSrc, enabled: bool) {
+        self.st.intr.set_enabled(src, enabled);
+    }
+
+    /// Returns `true` when a request is latched for the source.
+    pub fn intr_pending(&self, src: IntrSrc) -> bool {
+        self.st.intr.is_pending(src)
+    }
+
+    /// Clears a latched request without delivering it.
+    pub fn intr_ack(&mut self, src: IntrSrc) {
+        self.st.intr.acknowledge(src);
+    }
+
+    /// Wakes a thread.
+    pub fn wake(&mut self, tid: ThreadId) -> bool {
+        self.st.sched.wake(tid)
+    }
+
+    /// Puts a thread to sleep (typically the current one, right before its
+    /// `next_chunk` returns `None`).
+    pub fn sleep(&mut self, tid: ThreadId) {
+        self.st.sched.sleep(tid);
+    }
+
+    /// Returns a thread's state.
+    pub fn thread_state(&self, tid: ThreadId) -> ThreadState {
+        self.st.sched.state(tid)
+    }
+
+    /// Cycles consumed so far by a thread (for CPU-share measurements).
+    pub fn thread_cycles(&self, tid: ThreadId) -> Cycles {
+        self.st.thread_cycles(tid)
+    }
+}
+
+/// Why [`Engine::run_until`] returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Exit {
+    /// Virtual time reached the requested limit.
+    HitLimit,
+    /// No events remain and the machine is idle: nothing can ever happen
+    /// again.
+    Quiescent,
+}
+
+/// Cycle-accounting snapshot.
+#[derive(Clone, Debug)]
+pub struct UsageReport {
+    /// Total cycles in interrupt handlers, per source index.
+    pub intr_by_src: Vec<Cycles>,
+    /// Total cycles per thread index.
+    pub thread_by_id: Vec<Cycles>,
+    /// Context-switch overhead cycles.
+    pub sched_cycles: Cycles,
+    /// Idle cycles.
+    pub idle_cycles: Cycles,
+    /// Virtual time at the snapshot.
+    pub now: Cycles,
+}
+
+impl UsageReport {
+    /// Total interrupt cycles across sources.
+    pub fn total_intr(&self) -> Cycles {
+        self.intr_by_src.iter().copied().sum()
+    }
+
+    /// Total thread cycles across threads.
+    pub fn total_thread(&self) -> Cycles {
+        self.thread_by_id.iter().copied().sum()
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Progress {
+    remaining: Cycles,
+    tag: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Frame {
+    src: IntrSrc,
+    ipl: Ipl,
+    progress: Option<Progress>,
+}
+
+/// The executor: owns the machine state and the workload, and advances
+/// virtual time.
+pub struct Engine<W: Workload> {
+    st: EnvState<W::Event>,
+    workload: W,
+    frames: Vec<Frame>,
+    cur_thread: Option<(ThreadId, Option<Progress>)>,
+    last_thread: Option<ThreadId>,
+    switch_remaining: Cycles,
+    ctx_switch_cost: Cycles,
+    idle_notified: bool,
+    trace: Option<Trace>,
+}
+
+/// Iterations without time progress before the engine declares the
+/// workload stuck (a debugging aid, far above any legitimate burst of
+/// zero-cost work).
+const SPIN_LIMIT: u64 = 10_000_000;
+
+impl<W: Workload> Engine<W> {
+    /// Creates an engine over pre-populated machine state.
+    pub fn new(st: EnvState<W::Event>, workload: W, ctx_switch_cost: Cycles) -> Self {
+        Engine {
+            st,
+            workload,
+            frames: Vec::new(),
+            cur_thread: None,
+            last_thread: None,
+            switch_remaining: Cycles::ZERO,
+            ctx_switch_cost,
+            idle_notified: false,
+            trace: None,
+        }
+    }
+
+    /// Enables scheduling-event tracing into a ring of `capacity` records.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(Trace::new(capacity));
+    }
+
+    /// The recorded trace, when tracing is enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    fn record(&mut self, event: TraceEvent) {
+        if let Some(t) = &mut self.trace {
+            t.push(self.st.now, event);
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Cycles {
+        self.st.now
+    }
+
+    /// Read access to the workload (for post-run measurement).
+    pub fn workload(&self) -> &W {
+        &self.workload
+    }
+
+    /// Mutable access to the workload (for between-run reconfiguration).
+    pub fn workload_mut(&mut self) -> &mut W {
+        &mut self.workload
+    }
+
+    /// Read access to the machine state.
+    pub fn state(&self) -> &EnvState<W::Event> {
+        &self.st
+    }
+
+    /// The current interrupt priority level.
+    pub fn current_ipl(&self) -> Ipl {
+        self.frames.last().map_or(Ipl::NONE, |f| f.ipl)
+    }
+
+    /// A cycle-accounting snapshot.
+    pub fn usage(&self) -> UsageReport {
+        UsageReport {
+            intr_by_src: self.st.usage.intr_by_src.clone(),
+            thread_by_id: self.st.usage.thread_by_id.clone(),
+            sched_cycles: self.st.usage.sched_cycles,
+            idle_cycles: self.st.usage.idle_cycles,
+            now: self.st.now,
+        }
+    }
+
+    /// Consumes the engine, returning the machine state and workload.
+    pub fn into_parts(self) -> (EnvState<W::Event>, W) {
+        (self.st, self.workload)
+    }
+
+    /// Schedules an external event from outside the workload (experiment
+    /// drivers injecting packet arrivals, test harnesses).
+    pub fn state_schedule(&mut self, at: Cycles, event: W::Event) {
+        self.st.schedule_at(at, event);
+    }
+
+    fn env_call<R>(st: &mut EnvState<W::Event>, f: impl FnOnce(&mut Env<'_, W::Event>) -> R) -> R {
+        let mut env = Env { st };
+        f(&mut env)
+    }
+
+    /// Runs until virtual time `limit` or quiescence, whichever first.
+    pub fn run_until(&mut self, limit: Cycles) -> Exit {
+        let mut spins: u64 = 0;
+        let mut last_now = self.st.now;
+        loop {
+            if self.st.now > last_now {
+                last_now = self.st.now;
+                spins = 0;
+            } else {
+                spins += 1;
+                assert!(
+                    spins < SPIN_LIMIT,
+                    "workload makes no progress at t={} (zero-cost loop?)",
+                    self.st.now
+                );
+            }
+
+            if self.st.now >= limit {
+                return Exit::HitLimit;
+            }
+
+            // 1. Deliver due events.
+            if let Some((_, ev)) = self.st.evq.pop_due(self.st.now) {
+                self.record(TraceEvent::External);
+                let workload = &mut self.workload;
+                Self::env_call(&mut self.st, |env| workload.on_event(env, ev));
+                self.idle_notified = false;
+                continue;
+            }
+
+            // 2. Take a preempting interrupt.
+            if let Some((src, ipl)) = self.st.intr.take(self.current_ipl()) {
+                self.record(TraceEvent::IntrEnter(src));
+                self.frames.push(Frame {
+                    src,
+                    ipl,
+                    progress: None,
+                });
+                self.idle_notified = false;
+                continue;
+            }
+
+            // 3. Run the top interrupt frame.
+            if let Some(top) = self.frames.last() {
+                let src = top.src;
+                if top.progress.is_none() {
+                    let workload = &mut self.workload;
+                    let chunk = Self::env_call(&mut self.st, |env| {
+                        workload.next_chunk(env, CtxKind::Intr(src))
+                    });
+                    match chunk {
+                        Some(c) => {
+                            self.frames
+                                .last_mut()
+                                .expect("frame still present")
+                                .progress = Some(Progress {
+                                remaining: c.cycles,
+                                tag: c.tag,
+                            })
+                        }
+                        None => {
+                            self.frames.pop();
+                            self.record(TraceEvent::IntrExit(src));
+                        }
+                    }
+                    continue;
+                }
+                self.step_intr_chunk(limit);
+                continue;
+            }
+
+            // 4. Pay off any pending context-switch overhead.
+            if !self.switch_remaining.is_zero() {
+                self.step_switch_overhead(limit);
+                continue;
+            }
+
+            // 5. Thread level.
+            if let Some((tid, progress)) = self.cur_thread {
+                // The workload may have put the current thread to sleep.
+                if self.st.sched.running() != Some(tid) {
+                    self.cur_thread = None;
+                    continue;
+                }
+                if progress.is_none() {
+                    if self.st.sched.should_preempt() {
+                        self.st.sched.yield_current();
+                        self.cur_thread = None;
+                        continue;
+                    }
+                    let workload = &mut self.workload;
+                    let chunk = Self::env_call(&mut self.st, |env| {
+                        workload.next_chunk(env, CtxKind::Thread(tid))
+                    });
+                    match chunk {
+                        Some(c) => {
+                            self.cur_thread = Some((
+                                tid,
+                                Some(Progress {
+                                    remaining: c.cycles,
+                                    tag: c.tag,
+                                }),
+                            ))
+                        }
+                        None => {
+                            if self.st.sched.running() == Some(tid) {
+                                self.st.sched.yield_current();
+                            }
+                            self.cur_thread = None;
+                        }
+                    }
+                    continue;
+                }
+                self.step_thread_chunk(tid, limit);
+                continue;
+            }
+            if let Some(tid) = self.st.sched.pick() {
+                if self.last_thread != Some(tid) {
+                    self.switch_remaining = self.ctx_switch_cost;
+                    self.record(TraceEvent::ThreadRun(tid));
+                }
+                self.last_thread = Some(tid);
+                self.cur_thread = Some((tid, None));
+                self.idle_notified = false;
+                continue;
+            }
+
+            // 6. Idle.
+            if !self.idle_notified {
+                self.idle_notified = true;
+                self.record(TraceEvent::Idle);
+                let workload = &mut self.workload;
+                Self::env_call(&mut self.st, |env| workload.on_idle(env));
+                continue;
+            }
+            match self.st.evq.peek_time() {
+                Some(t) if t <= limit => {
+                    self.st.usage.idle_cycles += t - self.st.now;
+                    self.st.now = t;
+                }
+                Some(_) | None => {
+                    let stop = match self.st.evq.peek_time() {
+                        Some(_) => limit,
+                        None => limit,
+                    };
+                    self.st.usage.idle_cycles += stop - self.st.now;
+                    self.st.now = stop;
+                    return if self.st.evq.is_empty() {
+                        Exit::Quiescent
+                    } else {
+                        Exit::HitLimit
+                    };
+                }
+            }
+        }
+    }
+
+    /// Runs until no event, thread, or interrupt can ever run again.
+    pub fn run_to_quiescence(&mut self) -> Exit {
+        self.run_until(Cycles::MAX)
+    }
+
+    /// The stop time for a chunk step: the earliest of chunk completion,
+    /// the next event, and the run limit.
+    fn step_stop(&self, remaining: Cycles, limit: Cycles) -> (Cycles, bool) {
+        let chunk_end = self.st.now + remaining;
+        let mut stop = chunk_end.min(limit);
+        if let Some(t) = self.st.evq.peek_time() {
+            stop = stop.min(t.max(self.st.now));
+        }
+        (stop, stop == chunk_end)
+    }
+
+    fn step_intr_chunk(&mut self, limit: Cycles) {
+        let frame_idx = self.frames.len() - 1;
+        let (src, progress) = {
+            let f = &self.frames[frame_idx];
+            (f.src, f.progress.expect("caller checked progress"))
+        };
+        let (stop, completes) = self.step_stop(progress.remaining, limit);
+        let ran = stop - self.st.now;
+        self.st.usage.charge_intr(src, ran);
+        self.st.now = stop;
+        if completes {
+            self.frames[frame_idx].progress = None;
+            let workload = &mut self.workload;
+            Self::env_call(&mut self.st, |env| {
+                workload.chunk_done(env, CtxKind::Intr(src), progress.tag)
+            });
+        } else {
+            self.frames[frame_idx].progress = Some(Progress {
+                remaining: progress.remaining - ran,
+                tag: progress.tag,
+            });
+        }
+    }
+
+    fn step_thread_chunk(&mut self, tid: ThreadId, limit: Cycles) {
+        let progress = self
+            .cur_thread
+            .and_then(|(_, p)| p)
+            .expect("caller checked progress");
+        let (stop, completes) = self.step_stop(progress.remaining, limit);
+        let ran = stop - self.st.now;
+        self.st.usage.charge_thread(tid, ran);
+        self.st.sched.charge_quantum(ran);
+        self.st.now = stop;
+        if completes {
+            self.cur_thread = Some((tid, None));
+            let workload = &mut self.workload;
+            Self::env_call(&mut self.st, |env| {
+                workload.chunk_done(env, CtxKind::Thread(tid), progress.tag)
+            });
+        } else {
+            self.cur_thread = Some((
+                tid,
+                Some(Progress {
+                    remaining: progress.remaining - ran,
+                    tag: progress.tag,
+                }),
+            ));
+        }
+    }
+
+    fn step_switch_overhead(&mut self, limit: Cycles) {
+        let (stop, completes) = self.step_stop(self.switch_remaining, limit);
+        let ran = stop - self.st.now;
+        self.st.usage.sched_cycles += ran;
+        self.st.now = stop;
+        self.switch_remaining = if completes {
+            Cycles::ZERO
+        } else {
+            self.switch_remaining - ran
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thread::Priority;
+
+    /// A scriptable workload for engine tests.
+    #[derive(Default)]
+    struct Script {
+        /// (ctx, chunk) queues: chunks handed out per context.
+        intr_chunks: Vec<(IntrSrc, Vec<Chunk>)>,
+        thread_chunks: Vec<(ThreadId, Vec<Chunk>)>,
+        /// Log of (time, what) records.
+        log: Vec<(u64, String)>,
+        /// Threads that should sleep after draining their chunks.
+        sleep_when_done: Vec<ThreadId>,
+        idle_calls: u64,
+    }
+
+    #[derive(Debug)]
+    enum Ev {
+        Post(IntrSrc),
+        Wake(ThreadId),
+    }
+
+    impl Script {
+        fn log(&mut self, now: Cycles, s: impl Into<String>) {
+            self.log.push((now.raw(), s.into()));
+        }
+    }
+
+    impl Workload for Script {
+        type Event = Ev;
+
+        fn next_chunk(&mut self, env: &mut Env<'_, Ev>, ctx: CtxKind) -> Option<Chunk> {
+            match ctx {
+                CtxKind::Intr(src) => self
+                    .intr_chunks
+                    .iter_mut()
+                    .find(|(s, _)| *s == src)
+                    .and_then(|(_, q)| {
+                        if q.is_empty() {
+                            None
+                        } else {
+                            Some(q.remove(0))
+                        }
+                    }),
+                CtxKind::Thread(tid) => {
+                    let chunk = self
+                        .thread_chunks
+                        .iter_mut()
+                        .find(|(t, _)| *t == tid)
+                        .and_then(|(_, q)| {
+                            if q.is_empty() {
+                                None
+                            } else {
+                                Some(q.remove(0))
+                            }
+                        });
+                    if chunk.is_none() && self.sleep_when_done.contains(&tid) {
+                        env.sleep(tid);
+                    }
+                    chunk
+                }
+            }
+        }
+
+        fn chunk_done(&mut self, env: &mut Env<'_, Ev>, ctx: CtxKind, tag: u64) {
+            let now = env.now();
+            self.log(now, format!("done {ctx:?} tag={tag}"));
+        }
+
+        fn on_event(&mut self, env: &mut Env<'_, Ev>, event: Ev) {
+            match event {
+                Ev::Post(src) => env.post_intr(src),
+                Ev::Wake(tid) => {
+                    env.wake(tid);
+                }
+            }
+        }
+
+        fn on_idle(&mut self, _env: &mut Env<'_, Ev>) {
+            self.idle_calls += 1;
+        }
+    }
+
+    fn cy(n: u64) -> Cycles {
+        Cycles::new(n)
+    }
+
+    #[test]
+    fn single_interrupt_runs_to_completion() {
+        let mut st = EnvState::new(cy(1_000_000));
+        let src = st.intr.register("rx", Ipl::IMP);
+        st.schedule_at(cy(100), Ev::Post(src));
+        let wl = Script {
+            intr_chunks: vec![(src, vec![Chunk::new(cy(500), 1), Chunk::new(cy(300), 2)])],
+            ..Default::default()
+        };
+        let mut e = Engine::new(st, wl, cy(0));
+        assert_eq!(e.run_to_quiescence(), Exit::Quiescent);
+        let log = &e.workload().log;
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].0, 600, "first chunk ends at 100+500");
+        assert_eq!(log[1].0, 900);
+        assert_eq!(e.usage().intr_by_src[src.0], cy(800));
+    }
+
+    #[test]
+    fn higher_ipl_preempts_mid_chunk_and_resumes() {
+        let mut st = EnvState::new(cy(1_000_000));
+        let soft = st.intr.register("softnet", Ipl::SOFTNET);
+        let hard = st.intr.register("rx", Ipl::IMP);
+        st.schedule_at(cy(0), Ev::Post(soft));
+        st.schedule_at(cy(400), Ev::Post(hard));
+        let wl = Script {
+            intr_chunks: vec![
+                (soft, vec![Chunk::new(cy(1000), 10)]),
+                (hard, vec![Chunk::new(cy(200), 20)]),
+            ],
+            ..Default::default()
+        };
+        let mut e = Engine::new(st, wl, cy(0));
+        e.run_to_quiescence();
+        let log = &e.workload().log;
+        // Hard handler finishes first (at 600), soft chunk resumes and ends
+        // at 1000 + 200 of preemption = 1200.
+        assert_eq!(log[0], (600, "done Intr(IntrSrc(1)) tag=20".to_string()));
+        assert_eq!(log[1], (1200, "done Intr(IntrSrc(0)) tag=10".to_string()));
+    }
+
+    #[test]
+    fn same_ipl_does_not_preempt() {
+        let mut st = EnvState::new(cy(1_000_000));
+        let a = st.intr.register("rx0", Ipl::IMP);
+        let b = st.intr.register("rx1", Ipl::IMP);
+        st.schedule_at(cy(0), Ev::Post(a));
+        st.schedule_at(cy(100), Ev::Post(b));
+        let wl = Script {
+            intr_chunks: vec![
+                (a, vec![Chunk::new(cy(1000), 1)]),
+                (b, vec![Chunk::new(cy(100), 2)]),
+            ],
+            ..Default::default()
+        };
+        let mut e = Engine::new(st, wl, cy(0));
+        e.run_to_quiescence();
+        let log = &e.workload().log;
+        assert_eq!(log[0].0, 1000, "a runs to completion");
+        assert_eq!(log[1].0, 1100, "b runs after");
+    }
+
+    #[test]
+    fn interrupt_preempts_thread_and_thread_resumes() {
+        let mut st = EnvState::new(cy(1_000_000));
+        let src = st.intr.register("rx", Ipl::IMP);
+        let t = st.sched.spawn("worker", Priority::USER);
+        st.sched.wake(t);
+        st.schedule_at(cy(250), Ev::Post(src));
+        let wl = Script {
+            intr_chunks: vec![(src, vec![Chunk::new(cy(100), 9)])],
+            thread_chunks: vec![(t, vec![Chunk::new(cy(1000), 5)])],
+            sleep_when_done: vec![t],
+            ..Default::default()
+        };
+        let mut e = Engine::new(st, wl, cy(0));
+        e.run_to_quiescence();
+        let log = &e.workload().log;
+        assert_eq!(log[0].0, 350, "interrupt done");
+        assert_eq!(log[1].0, 1100, "thread chunk stretched by 100");
+        let u = e.usage();
+        assert_eq!(u.thread_by_id[t.0], cy(1000));
+        assert_eq!(u.intr_by_src[src.0], cy(100));
+    }
+
+    #[test]
+    fn masked_interrupt_latches_until_enabled() {
+        let mut st = EnvState::new(cy(1_000_000));
+        let src = st.intr.register("rx", Ipl::IMP);
+        st.intr.set_enabled(src, false);
+        st.schedule_at(cy(0), Ev::Post(src));
+        let wl = Script {
+            intr_chunks: vec![(src, vec![Chunk::new(cy(10), 1)])],
+            ..Default::default()
+        };
+        let mut e = Engine::new(st, wl, cy(0));
+        e.run_until(cy(500));
+        assert!(e.workload().log.is_empty(), "masked: nothing ran");
+        // Unmask mid-run; the latched request delivers.
+        e.st.intr.set_enabled(src, true);
+        e.run_until(cy(1000));
+        assert_eq!(e.workload().log.len(), 1);
+    }
+
+    #[test]
+    fn priority_preemption_at_chunk_boundary() {
+        let mut st = EnvState::new(cy(1_000_000));
+        let user = st.sched.spawn("user", Priority::USER);
+        let kern = st.sched.spawn("kern", Priority::KERNEL);
+        st.sched.wake(user);
+        st.schedule_at(cy(150), Ev::Wake(kern));
+        let wl = Script {
+            thread_chunks: vec![
+                (user, vec![Chunk::new(cy(100), 1), Chunk::new(cy(100), 2)]),
+                (kern, vec![Chunk::new(cy(50), 3)]),
+            ],
+            sleep_when_done: vec![user, kern],
+            ..Default::default()
+        };
+        let mut e = Engine::new(st, wl, cy(0));
+        e.run_to_quiescence();
+        let log = &e.workload().log;
+        // user chunk1 done at 100; chunk2 runs 100..200; kern wakes at 150
+        // but only preempts at the boundary (200), then runs 200..250.
+        assert_eq!(log[0], (100, "done Thread(ThreadId(0)) tag=1".into()));
+        assert_eq!(log[1], (200, "done Thread(ThreadId(0)) tag=2".into()));
+        assert_eq!(log[2], (250, "done Thread(ThreadId(1)) tag=3".into()));
+    }
+
+    #[test]
+    fn context_switch_cost_is_charged() {
+        let mut st = EnvState::new(cy(1_000_000));
+        let t = st.sched.spawn("worker", Priority::USER);
+        st.sched.wake(t);
+        let wl = Script {
+            thread_chunks: vec![(t, vec![Chunk::new(cy(100), 1)])],
+            sleep_when_done: vec![t],
+            ..Default::default()
+        };
+        let mut e = Engine::new(st, wl, cy(40));
+        e.run_to_quiescence();
+        assert_eq!(e.workload().log[0].0, 140, "40 switch + 100 work");
+        assert_eq!(e.usage().sched_cycles, cy(40));
+    }
+
+    #[test]
+    fn idle_hook_called_once_per_idle_entry() {
+        let mut st = EnvState::new(cy(1_000_000));
+        let src = st.intr.register("rx", Ipl::IMP);
+        st.schedule_at(cy(1000), Ev::Post(src));
+        st.schedule_at(cy(2000), Ev::Post(src));
+        let wl = Script {
+            intr_chunks: vec![(src, vec![Chunk::new(cy(10), 1), Chunk::new(cy(10), 2)])],
+            ..Default::default()
+        };
+        let mut e = Engine::new(st, wl, cy(0));
+        e.run_to_quiescence();
+        // Idle entered: at t=0 (before first event), after each interrupt.
+        let calls = e.workload().idle_calls;
+        assert!((2..=4).contains(&calls), "idle calls = {calls}");
+        assert_eq!(e.workload().log.len(), 2);
+    }
+
+    #[test]
+    fn run_until_limit_pauses_mid_chunk_and_resumes() {
+        let mut st = EnvState::new(cy(1_000_000));
+        let src = st.intr.register("rx", Ipl::IMP);
+        st.schedule_at(cy(0), Ev::Post(src));
+        let wl = Script {
+            intr_chunks: vec![(src, vec![Chunk::new(cy(1000), 1)])],
+            ..Default::default()
+        };
+        let mut e = Engine::new(st, wl, cy(0));
+        assert_eq!(e.run_until(cy(400)), Exit::HitLimit);
+        assert_eq!(e.now(), cy(400));
+        assert!(e.workload().log.is_empty());
+        assert_eq!(e.run_to_quiescence(), Exit::Quiescent);
+        assert_eq!(e.workload().log[0].0, 1000);
+    }
+
+    #[test]
+    fn idle_time_is_accounted() {
+        let mut st = EnvState::new(cy(1_000_000));
+        let src = st.intr.register("rx", Ipl::IMP);
+        st.schedule_at(cy(500), Ev::Post(src));
+        let wl = Script {
+            intr_chunks: vec![(src, vec![Chunk::new(cy(100), 1)])],
+            ..Default::default()
+        };
+        let mut e = Engine::new(st, wl, cy(0));
+        e.run_until(cy(1000));
+        let u = e.usage();
+        assert_eq!(u.idle_cycles, cy(900), "500 before + 400 after");
+        assert_eq!(u.total_intr(), cy(100));
+        assert_eq!(u.now, cy(1000));
+    }
+
+    #[test]
+    fn quiescent_with_no_work_at_all() {
+        let st: EnvState<Ev> = EnvState::new(cy(1_000));
+        let mut e = Engine::new(st, Script::default(), cy(0));
+        assert_eq!(e.run_until(cy(5_000)), Exit::Quiescent);
+        assert_eq!(e.now(), cy(5_000), "idles up to the limit");
+    }
+
+    #[test]
+    fn nested_preemption_three_deep() {
+        let mut st = EnvState::new(cy(1_000_000));
+        let soft = st.intr.register("softnet", Ipl::SOFTNET);
+        let imp = st.intr.register("rx", Ipl::IMP);
+        let clock = st.intr.register("clock", Ipl::CLOCK);
+        st.schedule_at(cy(0), Ev::Post(soft));
+        st.schedule_at(cy(100), Ev::Post(imp));
+        st.schedule_at(cy(150), Ev::Post(clock));
+        let wl = Script {
+            intr_chunks: vec![
+                (soft, vec![Chunk::new(cy(1000), 1)]),
+                (imp, vec![Chunk::new(cy(200), 2)]),
+                (clock, vec![Chunk::new(cy(30), 3)]),
+            ],
+            ..Default::default()
+        };
+        let mut e = Engine::new(st, wl, cy(0));
+        e.run_to_quiescence();
+        let log = &e.workload().log;
+        assert_eq!(log[0].0, 180, "clock at the top of the stack");
+        assert_eq!(log[1].0, 330, "imp resumed, finished 100+200+30");
+        assert_eq!(log[2].0, 1230, "softnet stretched by both preemptors");
+        assert_eq!(e.usage().total_intr(), cy(1230));
+    }
+
+    #[test]
+    #[should_panic(expected = "no progress")]
+    fn spin_guard_catches_zero_cost_loops() {
+        struct Spinner;
+        impl Workload for Spinner {
+            type Event = ();
+            fn next_chunk(&mut self, _env: &mut Env<'_, ()>, _ctx: CtxKind) -> Option<Chunk> {
+                Some(Chunk::new(Cycles::ZERO, 0))
+            }
+            fn chunk_done(&mut self, _env: &mut Env<'_, ()>, _ctx: CtxKind, _tag: u64) {}
+            fn on_event(&mut self, _env: &mut Env<'_, ()>, _event: ()) {}
+        }
+        let mut st = EnvState::new(cy(1_000));
+        let src = st.intr.register("x", Ipl::IMP);
+        st.intr.post(src);
+        // The handler never returns None and never costs cycles.
+        let mut e = Engine::new(st, Spinner, cy(0));
+        e.run_until(cy(10));
+    }
+}

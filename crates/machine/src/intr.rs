@@ -1,0 +1,254 @@
+//! The interrupt controller: per-source priority, enable masks, pending
+//! latches.
+//!
+//! Semantics mirror real hardware: posting a disabled source *latches* the
+//! request (it is delivered when the source is re-enabled), and the CPU
+//! takes the highest-IPL enabled pending source whose level preempts the
+//! current one. Latch-while-masked is what makes the modified kernel's
+//! "re-enable interrupts only when no work is pending" protocol race-free.
+
+use livelock_sim::Counter;
+
+use crate::ipl::Ipl;
+
+/// Identifies a registered interrupt source.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IntrSrc(pub usize);
+
+#[derive(Clone, Debug)]
+struct Source {
+    name: &'static str,
+    ipl: Ipl,
+    enabled: bool,
+    pending: bool,
+    posted: Counter,
+    taken: Counter,
+}
+
+/// The machine's interrupt controller.
+///
+/// # Examples
+///
+/// ```
+/// use livelock_machine::intr::IntrController;
+/// use livelock_machine::ipl::Ipl;
+///
+/// let mut ic = IntrController::new();
+/// let rx = ic.register("rx0", Ipl::IMP);
+/// ic.post(rx);
+/// // A CPU running at spl0 takes it; one running at splimp does not.
+/// assert_eq!(ic.take(Ipl::IMP), None);
+/// assert_eq!(ic.take(Ipl::NONE), Some((rx, Ipl::IMP)));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct IntrController {
+    sources: Vec<Source>,
+}
+
+impl IntrController {
+    /// Creates an empty controller.
+    pub fn new() -> Self {
+        IntrController::default()
+    }
+
+    /// Registers an interrupt source at the given IPL, enabled.
+    pub fn register(&mut self, name: &'static str, ipl: Ipl) -> IntrSrc {
+        self.sources.push(Source {
+            name,
+            ipl,
+            enabled: true,
+            pending: false,
+            posted: Counter::new(),
+            taken: Counter::new(),
+        });
+        IntrSrc(self.sources.len() - 1)
+    }
+
+    /// Posts (asserts) an interrupt request. Latched even while the source
+    /// is disabled; coalesces with an already-pending request, as interrupt
+    /// lines do.
+    pub fn post(&mut self, src: IntrSrc) {
+        let s = &mut self.sources[src.0];
+        s.posted.inc();
+        s.pending = true;
+    }
+
+    /// Enables or disables delivery for a source. Disabling does not clear
+    /// a pending request.
+    pub fn set_enabled(&mut self, src: IntrSrc, enabled: bool) {
+        self.sources[src.0].enabled = enabled;
+    }
+
+    /// Returns `true` when the source's delivery is enabled.
+    pub fn is_enabled(&self, src: IntrSrc) -> bool {
+        self.sources[src.0].enabled
+    }
+
+    /// Returns `true` when a request is latched for the source.
+    pub fn is_pending(&self, src: IntrSrc) -> bool {
+        self.sources[src.0].pending
+    }
+
+    /// Clears a latched request without delivering it (used by handlers
+    /// that poll their device and notice the cause is already serviced).
+    pub fn acknowledge(&mut self, src: IntrSrc) {
+        self.sources[src.0].pending = false;
+    }
+
+    /// Delivers the highest-IPL enabled pending source that preempts
+    /// `current_ipl`, clearing its latch. Ties are broken by registration
+    /// order (lower index first), deterministically.
+    pub fn take(&mut self, current_ipl: Ipl) -> Option<(IntrSrc, Ipl)> {
+        let mut best: Option<usize> = None;
+        for (i, s) in self.sources.iter().enumerate() {
+            if s.pending && s.enabled && s.ipl.preempts(current_ipl) {
+                match best {
+                    Some(b) if self.sources[b].ipl >= s.ipl => {}
+                    _ => best = Some(i),
+                }
+            }
+        }
+        let i = best?;
+        let s = &mut self.sources[i];
+        s.pending = false;
+        s.taken.inc();
+        Some((IntrSrc(i), s.ipl))
+    }
+
+    /// Returns `true` if [`IntrController::take`] would deliver something.
+    pub fn any_takeable(&self, current_ipl: Ipl) -> bool {
+        self.sources
+            .iter()
+            .any(|s| s.pending && s.enabled && s.ipl.preempts(current_ipl))
+    }
+
+    /// Returns the source's IPL.
+    pub fn ipl_of(&self, src: IntrSrc) -> Ipl {
+        self.sources[src.0].ipl
+    }
+
+    /// Returns the source's diagnostic name.
+    pub fn name_of(&self, src: IntrSrc) -> &'static str {
+        self.sources[src.0].name
+    }
+
+    /// Number of times the source was posted.
+    pub fn posted_count(&self, src: IntrSrc) -> u64 {
+        self.sources[src.0].posted.get()
+    }
+
+    /// Number of times the source was delivered to the CPU.
+    pub fn taken_count(&self, src: IntrSrc) -> u64 {
+        self.sources[src.0].taken.get()
+    }
+
+    /// Total interrupts delivered across all sources.
+    pub fn total_taken(&self) -> u64 {
+        self.sources.iter().map(|s| s.taken.get()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (IntrController, IntrSrc, IntrSrc, IntrSrc) {
+        let mut ic = IntrController::new();
+        let rx = ic.register("rx0", Ipl::IMP);
+        let soft = ic.register("softnet", Ipl::SOFTNET);
+        let clock = ic.register("clock", Ipl::CLOCK);
+        (ic, rx, soft, clock)
+    }
+
+    #[test]
+    fn takes_highest_ipl_first() {
+        let (mut ic, rx, soft, clock) = setup();
+        ic.post(soft);
+        ic.post(clock);
+        ic.post(rx);
+        assert_eq!(ic.take(Ipl::NONE), Some((clock, Ipl::CLOCK)));
+        assert_eq!(ic.take(Ipl::NONE), Some((rx, Ipl::IMP)));
+        assert_eq!(ic.take(Ipl::NONE), Some((soft, Ipl::SOFTNET)));
+        assert_eq!(ic.take(Ipl::NONE), None);
+    }
+
+    #[test]
+    fn respects_current_ipl() {
+        let (mut ic, rx, soft, _) = setup();
+        ic.post(rx);
+        ic.post(soft);
+        // At SPLIMP, neither an IMP nor a SOFTNET source preempts.
+        assert_eq!(ic.take(Ipl::IMP), None);
+        assert!(ic.any_takeable(Ipl::NONE));
+        assert!(!ic.any_takeable(Ipl::IMP));
+        // Dropping to SPLNET lets the IMP source in, not the SOFTNET one.
+        assert_eq!(ic.take(Ipl::SOFTNET), Some((rx, Ipl::IMP)));
+        assert_eq!(ic.take(Ipl::SOFTNET), None);
+    }
+
+    #[test]
+    fn latch_while_disabled() {
+        let (mut ic, rx, _, _) = setup();
+        ic.set_enabled(rx, false);
+        ic.post(rx);
+        assert!(ic.is_pending(rx));
+        assert_eq!(ic.take(Ipl::NONE), None, "masked");
+        ic.set_enabled(rx, true);
+        assert_eq!(
+            ic.take(Ipl::NONE),
+            Some((rx, Ipl::IMP)),
+            "delivered on unmask"
+        );
+        assert!(!ic.is_pending(rx));
+    }
+
+    #[test]
+    fn posts_coalesce() {
+        let (mut ic, rx, _, _) = setup();
+        ic.post(rx);
+        ic.post(rx);
+        ic.post(rx);
+        assert_eq!(ic.posted_count(rx), 3);
+        assert!(ic.take(Ipl::NONE).is_some());
+        assert_eq!(ic.take(Ipl::NONE), None, "one delivery for many posts");
+        assert_eq!(ic.taken_count(rx), 1);
+    }
+
+    #[test]
+    fn same_ipl_ties_break_by_registration_order() {
+        let mut ic = IntrController::new();
+        let a = ic.register("rx0", Ipl::IMP);
+        let b = ic.register("rx1", Ipl::IMP);
+        ic.post(b);
+        ic.post(a);
+        assert_eq!(ic.take(Ipl::NONE), Some((a, Ipl::IMP)));
+        assert_eq!(ic.take(Ipl::NONE), Some((b, Ipl::IMP)));
+    }
+
+    #[test]
+    fn acknowledge_clears_without_delivery() {
+        let (mut ic, rx, _, _) = setup();
+        ic.post(rx);
+        ic.acknowledge(rx);
+        assert_eq!(ic.take(Ipl::NONE), None);
+        assert_eq!(ic.taken_count(rx), 0);
+    }
+
+    #[test]
+    fn metadata_accessors() {
+        let (ic, rx, soft, _) = setup();
+        assert_eq!(ic.ipl_of(rx), Ipl::IMP);
+        assert_eq!(ic.name_of(soft), "softnet");
+        assert!(ic.is_enabled(rx));
+    }
+
+    #[test]
+    fn total_taken_sums() {
+        let (mut ic, rx, soft, _) = setup();
+        ic.post(rx);
+        ic.take(Ipl::NONE);
+        ic.post(soft);
+        ic.take(Ipl::NONE);
+        assert_eq!(ic.total_taken(), 2);
+    }
+}

@@ -1,0 +1,108 @@
+//! Interrupt priority levels, in the 4.2BSD naming the paper uses.
+//!
+//! "Device interrupts normally have a fixed Interrupt Priority Level (IPL),
+//! and preempt all tasks running at a lower priority; interrupts do not
+//! preempt tasks running at the same IPL" (paper §4.1).
+
+use core::fmt;
+
+/// An interrupt priority level. Higher values preempt lower ones.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ipl(u8);
+
+impl Ipl {
+    /// Base level: threads and user processes (spl0).
+    pub const NONE: Ipl = Ipl(0);
+    /// Low-priority software clock processing (SPLSOFTCLOCK).
+    pub const SOFTCLOCK: Ipl = Ipl(1);
+    /// The network software interrupt, where 4.2BSD runs the IP layer
+    /// (SPLNET).
+    pub const SOFTNET: Ipl = Ipl(2);
+    /// Network device interrupts (SPLIMP) — the level whose absolute
+    /// priority causes receive livelock.
+    pub const IMP: Ipl = Ipl(4);
+    /// The hardware clock (SPLCLOCK); "clock interrupts typically preempt
+    /// device interrupt processing" (paper §5.1).
+    pub const CLOCK: Ipl = Ipl(6);
+    /// Block-everything level (SPLHIGH).
+    pub const HIGH: Ipl = Ipl(7);
+
+    /// Creates a custom level.
+    pub const fn new(level: u8) -> Self {
+        Ipl(level)
+    }
+
+    /// Returns the raw level.
+    pub const fn level(self) -> u8 {
+        self.0
+    }
+
+    /// Returns `true` if work at `self` preempts work at `running`.
+    /// Equal levels do not preempt each other.
+    pub const fn preempts(self, running: Ipl) -> bool {
+        self.0 > running.0
+    }
+}
+
+impl fmt::Display for Ipl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Ipl::NONE => f.write_str("spl0"),
+            Ipl::SOFTCLOCK => f.write_str("splsoftclock"),
+            Ipl::SOFTNET => f.write_str("splnet"),
+            Ipl::IMP => f.write_str("splimp"),
+            Ipl::CLOCK => f.write_str("splclock"),
+            Ipl::HIGH => f.write_str("splhigh"),
+            Ipl(n) => write!(f, "spl{n}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_ordering() {
+        // The orderings §4 and §6.3 rely on.
+        assert!(
+            Ipl::IMP.preempts(Ipl::SOFTNET),
+            "SPLIMP > SPLNET causes livelock"
+        );
+        assert!(Ipl::SOFTNET.preempts(Ipl::NONE));
+        assert!(
+            Ipl::CLOCK.preempts(Ipl::IMP),
+            "clock preempts device interrupts"
+        );
+        assert!(Ipl::HIGH.preempts(Ipl::CLOCK));
+    }
+
+    #[test]
+    fn equal_levels_do_not_preempt() {
+        assert!(!Ipl::IMP.preempts(Ipl::IMP));
+        assert!(!Ipl::NONE.preempts(Ipl::NONE));
+    }
+
+    #[test]
+    fn lower_never_preempts_higher() {
+        assert!(!Ipl::SOFTNET.preempts(Ipl::IMP));
+        assert!(!Ipl::NONE.preempts(Ipl::SOFTCLOCK));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Ipl::IMP.to_string(), "splimp");
+        assert_eq!(Ipl::SOFTNET.to_string(), "splnet");
+        assert_eq!(Ipl::NONE.to_string(), "spl0");
+        assert_eq!(Ipl::new(3).to_string(), "spl3");
+    }
+
+    #[test]
+    fn ord_matches_level() {
+        assert!(Ipl::HIGH > Ipl::CLOCK);
+        assert!(Ipl::CLOCK > Ipl::IMP);
+        assert!(Ipl::IMP > Ipl::SOFTNET);
+        assert!(Ipl::SOFTNET > Ipl::SOFTCLOCK);
+        assert!(Ipl::SOFTCLOCK > Ipl::NONE);
+    }
+}

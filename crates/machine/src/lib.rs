@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! A deterministic single-CPU machine model with interrupt priority levels.
+//!
+//! Receive livelock is a *scheduling* pathology: it needs nothing more than
+//! a finite CPU, fixed interrupt priorities, preemption, and queues. This
+//! crate models exactly that, in the 4.2BSD shape the paper describes:
+//!
+//! - [`ipl`] — interrupt priority levels (`SPLIMP`, `SPLNET`, ...): device
+//!   interrupts preempt software interrupts preempt threads.
+//! - [`intr`] — the interrupt controller: per-source IPL, enable flags and
+//!   pending latches, "take the highest-priority pending interrupt above the
+//!   current IPL".
+//! - [`thread`] — a priority scheduler with round-robin and quantum for the
+//!   kernel's polling thread and user processes (screend, compute-bound).
+//! - [`cost`] — the cycle cost model, with a preset calibrated so the
+//!   simulated router reproduces the paper's measured rates.
+//! - [`nic`] — a LANCE-style network interface: bounded receive/transmit
+//!   descriptor rings, autonomous (DMA) receive into the ring, interrupt
+//!   enable flags, interrupt batching left to the driver.
+//! - [`wire`] — Ethernet serialization (67.2 µs per minimum frame at
+//!   10 Mbit/s, the paper's 14,880 pkts/s ceiling).
+//! - [`cpu`] — the preemptive executor: kernel code runs as *chunks* of
+//!   cycles issued by a [`cpu::Workload`]; higher-IPL interrupts arriving
+//!   mid-chunk preempt it and resume it afterwards, nested arbitrarily
+//!   deep, with full cycle accounting per context.
+//!
+//! The `livelock-kernel` crate implements the paper's unmodified and
+//! modified kernels as [`cpu::Workload`]s on top of this machine.
+
+pub mod cost;
+pub mod cpu;
+pub mod intr;
+pub mod ipl;
+pub mod nic;
+pub mod thread;
+pub mod trace;
+pub mod wire;
+
+pub use cost::CostModel;
+pub use cpu::{Chunk, CtxKind, Engine, Env, UsageReport, Workload};
+pub use intr::{IntrController, IntrSrc};
+pub use ipl::Ipl;
+pub use nic::{Nic, NicConfig};
+pub use thread::{Priority, Scheduler, ThreadId};
+pub use trace::{Trace, TraceEvent, TraceRecord};
+pub use wire::Wire;

@@ -1,0 +1,323 @@
+//! A LANCE-style network interface model.
+//!
+//! The NIC receives frames autonomously (DMA) into a bounded receive
+//! descriptor ring — when the ring is full, frames are "dropped by the
+//! interface before the system has wasted any resources" (§6.4), which is
+//! exactly the cheap early drop the paper's design exploits. On the
+//! transmit side, packets move from the host into a bounded transmit ring,
+//! are serialized one at a time onto the wire, and their descriptors must be
+//! reclaimed by the driver (`tx_done` work) before the slots can be reused —
+//! the resource whose exhaustion causes transmit starvation (§4.4, §6.6).
+
+use livelock_net::packet::Packet;
+use livelock_net::queue::{DropTailQueue, Enqueued};
+use std::collections::VecDeque;
+
+/// Static configuration for one NIC.
+#[derive(Clone, Copy, Debug)]
+pub struct NicConfig {
+    /// Receive descriptor ring capacity.
+    pub rx_ring: usize,
+    /// Transmit descriptor ring capacity.
+    pub tx_ring: usize,
+}
+
+impl Default for NicConfig {
+    fn default() -> Self {
+        // Period-typical LANCE rings.
+        NicConfig {
+            rx_ring: 32,
+            tx_ring: 32,
+        }
+    }
+}
+
+/// One network interface: receive ring, transmit ring, interrupt-enable
+/// flags, and counters (`Ipkts`/`Opkts`, as `netstat` reports them).
+#[derive(Clone, Debug)]
+pub struct Nic {
+    name: &'static str,
+    rx_ring: DropTailQueue<Packet>,
+    /// Packets in the transmit ring, not yet on the wire.
+    tx_queued: VecDeque<Packet>,
+    /// A frame is currently being serialized onto the wire.
+    tx_inflight: bool,
+    /// Frames fully transmitted whose descriptors the driver has not yet
+    /// reclaimed. They still occupy ring slots.
+    tx_unreclaimed: usize,
+    tx_ring_cap: usize,
+    rx_intr_enabled: bool,
+    tx_intr_enabled: bool,
+    ipkts: u64,
+    opkts: u64,
+    tx_ring_rejects: u64,
+}
+
+impl Nic {
+    /// Creates a NIC with both interrupt directions enabled.
+    pub fn new(name: &'static str, config: NicConfig) -> Self {
+        Nic {
+            name,
+            rx_ring: DropTailQueue::new("rx-ring", config.rx_ring),
+            tx_queued: VecDeque::with_capacity(config.tx_ring),
+            tx_inflight: false,
+            tx_unreclaimed: 0,
+            tx_ring_cap: config.tx_ring,
+            rx_intr_enabled: true,
+            tx_intr_enabled: true,
+            ipkts: 0,
+            opkts: 0,
+            tx_ring_rejects: 0,
+        }
+    }
+
+    /// Returns the interface's diagnostic name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    // --- Receive side ---
+
+    /// A frame finished arriving on the wire; DMA places it in the receive
+    /// ring. Returns whether the ring accepted it (a full ring drops the
+    /// frame at zero host cost). The caller decides whether to post an
+    /// interrupt, based on [`Nic::rx_intr_enabled`].
+    pub fn rx_arrive(&mut self, pkt: Packet) -> Enqueued {
+        let r = self.rx_ring.enqueue(pkt);
+        if r.is_ok() {
+            self.ipkts += 1;
+        }
+        r
+    }
+
+    /// The driver pulls the oldest received frame out of the ring.
+    pub fn rx_take(&mut self) -> Option<Packet> {
+        self.rx_ring.dequeue()
+    }
+
+    /// Number of frames waiting in the receive ring.
+    pub fn rx_pending(&self) -> usize {
+        self.rx_ring.len()
+    }
+
+    /// Frames dropped because the receive ring was full.
+    pub fn rx_ring_drops(&self) -> u64 {
+        self.rx_ring.drops()
+    }
+
+    /// Total frames accepted into the receive ring (`Ipkts`).
+    pub fn ipkts(&self) -> u64 {
+        self.ipkts
+    }
+
+    /// Receive interrupt enable flag.
+    pub fn rx_intr_enabled(&self) -> bool {
+        self.rx_intr_enabled
+    }
+
+    /// Sets the receive interrupt enable flag (the modified driver clears
+    /// this in its interrupt stub and restores it from the polling thread).
+    pub fn set_rx_intr_enabled(&mut self, enabled: bool) {
+        self.rx_intr_enabled = enabled;
+    }
+
+    // --- Transmit side ---
+
+    /// Free transmit ring slots (total minus queued, in-flight and
+    /// unreclaimed descriptors).
+    pub fn tx_slots_free(&self) -> usize {
+        self.tx_ring_cap
+            - self.tx_queued.len()
+            - usize::from(self.tx_inflight)
+            - self.tx_unreclaimed
+    }
+
+    /// The driver submits a packet to the transmit ring.
+    ///
+    /// Returns `Enqueued::Dropped` (and counts a reject) when no descriptor
+    /// is free; the caller should leave the packet on its output queue.
+    pub fn tx_submit(&mut self, pkt: Packet) -> Enqueued {
+        if self.tx_slots_free() == 0 {
+            self.tx_ring_rejects += 1;
+            return Enqueued::Dropped;
+        }
+        self.tx_queued.push_back(pkt);
+        Enqueued::Ok
+    }
+
+    /// The wire asks for the next frame to serialize. Returns `None` when
+    /// the ring is empty or a frame is already in flight.
+    pub fn tx_begin(&mut self) -> Option<Packet> {
+        if self.tx_inflight {
+            return None;
+        }
+        let pkt = self.tx_queued.pop_front()?;
+        self.tx_inflight = true;
+        Some(pkt)
+    }
+
+    /// The wire finished serializing the in-flight frame: count it
+    /// transmitted (`Opkts`) and leave its descriptor awaiting reclaim.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no frame was in flight.
+    pub fn tx_complete(&mut self) {
+        assert!(self.tx_inflight, "tx_complete without a frame in flight");
+        self.tx_inflight = false;
+        self.tx_unreclaimed += 1;
+        self.opkts += 1;
+    }
+
+    /// The driver reclaims one completed descriptor (`tx_done` work).
+    /// Returns `false` when nothing awaited reclaim.
+    pub fn tx_reclaim_one(&mut self) -> bool {
+        if self.tx_unreclaimed == 0 {
+            return false;
+        }
+        self.tx_unreclaimed -= 1;
+        true
+    }
+
+    /// Descriptors transmitted but not yet reclaimed.
+    pub fn tx_unreclaimed(&self) -> usize {
+        self.tx_unreclaimed
+    }
+
+    /// Packets queued in the transmit ring (not yet on the wire).
+    pub fn tx_queued(&self) -> usize {
+        self.tx_queued.len()
+    }
+
+    /// Returns `true` while a frame is being serialized.
+    pub fn tx_inflight(&self) -> bool {
+        self.tx_inflight
+    }
+
+    /// Total frames fully transmitted (`Opkts` — the paper's measurement
+    /// counter).
+    pub fn opkts(&self) -> u64 {
+        self.opkts
+    }
+
+    /// Submissions rejected for lack of a free descriptor.
+    pub fn tx_ring_rejects(&self) -> u64 {
+        self.tx_ring_rejects
+    }
+
+    /// Transmit interrupt enable flag.
+    pub fn tx_intr_enabled(&self) -> bool {
+        self.tx_intr_enabled
+    }
+
+    /// Sets the transmit interrupt enable flag.
+    pub fn set_tx_intr_enabled(&mut self, enabled: bool) {
+        self.tx_intr_enabled = enabled;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use livelock_net::packet::PacketId;
+
+    fn pkt(n: u64) -> Packet {
+        Packet::from_frame(PacketId(n), vec![0u8; 60])
+    }
+
+    fn nic() -> Nic {
+        Nic::new(
+            "ln0",
+            NicConfig {
+                rx_ring: 4,
+                tx_ring: 3,
+            },
+        )
+    }
+
+    #[test]
+    fn rx_ring_bounds_and_counts() {
+        let mut n = nic();
+        for i in 0..6 {
+            n.rx_arrive(pkt(i));
+        }
+        assert_eq!(n.rx_pending(), 4);
+        assert_eq!(n.ipkts(), 4);
+        assert_eq!(n.rx_ring_drops(), 2);
+        assert_eq!(n.rx_take().unwrap().id, PacketId(0), "FIFO");
+        assert_eq!(n.rx_pending(), 3);
+    }
+
+    #[test]
+    fn tx_full_lifecycle() {
+        let mut n = nic();
+        assert_eq!(n.tx_slots_free(), 3);
+        assert!(n.tx_submit(pkt(1)).is_ok());
+        assert!(n.tx_submit(pkt(2)).is_ok());
+        assert_eq!(n.tx_slots_free(), 1);
+
+        let on_wire = n.tx_begin().unwrap();
+        assert_eq!(on_wire.id, PacketId(1));
+        assert!(n.tx_inflight());
+        assert!(n.tx_begin().is_none(), "one frame on the wire at a time");
+        assert_eq!(n.tx_slots_free(), 1, "in-flight frame still owns a slot");
+
+        n.tx_complete();
+        assert_eq!(n.opkts(), 1);
+        assert_eq!(n.tx_unreclaimed(), 1);
+        assert_eq!(n.tx_slots_free(), 1, "unreclaimed descriptor owns the slot");
+
+        assert!(n.tx_reclaim_one());
+        assert_eq!(n.tx_slots_free(), 2);
+        assert!(!n.tx_reclaim_one(), "nothing else to reclaim");
+    }
+
+    #[test]
+    fn tx_starvation_without_reclaim() {
+        // The §4.4 condition: descriptors never reclaimed -> ring fills ->
+        // submissions fail even though the wire is idle.
+        let mut n = nic();
+        for i in 0..3 {
+            assert!(n.tx_submit(pkt(i)).is_ok());
+        }
+        assert_eq!(n.tx_submit(pkt(9)), Enqueued::Dropped);
+        for _ in 0..3 {
+            n.tx_begin().unwrap();
+            n.tx_complete();
+        }
+        assert_eq!(n.tx_queued(), 0);
+        assert!(!n.tx_inflight());
+        assert_eq!(n.tx_unreclaimed(), 3);
+        assert_eq!(n.tx_slots_free(), 0);
+        assert_eq!(n.tx_submit(pkt(10)), Enqueued::Dropped, "starved");
+        assert_eq!(n.tx_ring_rejects(), 2);
+        // Reclaiming frees the ring again.
+        while n.tx_reclaim_one() {}
+        assert_eq!(n.tx_slots_free(), 3);
+        assert!(n.tx_submit(pkt(11)).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "without a frame in flight")]
+    fn tx_complete_requires_inflight() {
+        nic().tx_complete();
+    }
+
+    #[test]
+    fn intr_enable_flags() {
+        let mut n = nic();
+        assert!(n.rx_intr_enabled());
+        assert!(n.tx_intr_enabled());
+        n.set_rx_intr_enabled(false);
+        n.set_tx_intr_enabled(false);
+        assert!(!n.rx_intr_enabled());
+        assert!(!n.tx_intr_enabled());
+    }
+
+    #[test]
+    fn default_config_is_period_typical() {
+        let c = NicConfig::default();
+        assert_eq!(c.rx_ring, 32);
+        assert_eq!(c.tx_ring, 32);
+    }
+}

@@ -1,0 +1,164 @@
+//! A bounded execution trace of machine-level scheduling events.
+//!
+//! Understanding *why* a kernel livelocks requires seeing the interleaving:
+//! which interrupt preempted what, when the polling thread last ran, how
+//! long the CPU sat in handlers. The engine can record its scheduling
+//! decisions into this bounded ring buffer; tests assert on interleavings
+//! and humans read the rendered log.
+//!
+//! Tracing is off by default and costs nothing when disabled.
+
+use std::collections::VecDeque;
+
+use livelock_sim::Cycles;
+
+use crate::intr::IntrSrc;
+use crate::thread::ThreadId;
+
+/// One scheduling event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// An interrupt handler was entered.
+    IntrEnter(IntrSrc),
+    /// An interrupt handler returned.
+    IntrExit(IntrSrc),
+    /// A thread was switched onto the CPU.
+    ThreadRun(ThreadId),
+    /// The CPU entered the idle loop.
+    Idle,
+    /// An external event was delivered to the workload.
+    External,
+}
+
+/// A `(time, event)` record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// When it happened.
+    pub at: Cycles,
+    /// What happened.
+    pub event: TraceEvent,
+}
+
+/// A bounded ring buffer of [`TraceRecord`]s.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    records: VecDeque<TraceRecord>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Creates a trace keeping the most recent `capacity` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        Trace {
+            records: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends a record, evicting the oldest when full.
+    pub fn push(&mut self, at: Cycles, event: TraceEvent) {
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(TraceRecord { at, event });
+    }
+
+    /// The retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Renders the trace as one line per record, for debugging output.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for r in &self.records {
+            let what = match r.event {
+                TraceEvent::IntrEnter(s) => format!("intr-enter src{}", s.0),
+                TraceEvent::IntrExit(s) => format!("intr-exit  src{}", s.0),
+                TraceEvent::ThreadRun(t) => format!("thread-run t{}", t.0),
+                TraceEvent::Idle => "idle".to_string(),
+                TraceEvent::External => "external".to_string(),
+            };
+            let _ = writeln!(out, "{:>14} {}", r.at.raw(), what);
+        }
+        out
+    }
+
+    /// Counts records matching a predicate.
+    pub fn count_matching(&self, pred: impl Fn(&TraceEvent) -> bool) -> usize {
+        self.records.iter().filter(|r| pred(&r.event)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read_back() {
+        let mut t = Trace::new(8);
+        t.push(Cycles::new(1), TraceEvent::IntrEnter(IntrSrc(0)));
+        t.push(Cycles::new(5), TraceEvent::IntrExit(IntrSrc(0)));
+        t.push(Cycles::new(6), TraceEvent::ThreadRun(ThreadId(2)));
+        assert_eq!(t.len(), 3);
+        let recs: Vec<_> = t.records().collect();
+        assert_eq!(recs[0].at, Cycles::new(1));
+        assert_eq!(recs[2].event, TraceEvent::ThreadRun(ThreadId(2)));
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut t = Trace::new(3);
+        for i in 0..10u64 {
+            t.push(Cycles::new(i), TraceEvent::Idle);
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 7);
+        assert_eq!(t.records().next().unwrap().at, Cycles::new(7));
+    }
+
+    #[test]
+    fn render_and_count() {
+        let mut t = Trace::new(8);
+        t.push(Cycles::new(1), TraceEvent::IntrEnter(IntrSrc(3)));
+        t.push(Cycles::new(2), TraceEvent::External);
+        t.push(Cycles::new(3), TraceEvent::Idle);
+        let s = t.render();
+        assert!(s.contains("intr-enter src3"));
+        assert!(s.contains("external"));
+        assert!(s.contains("idle"));
+        assert_eq!(s.lines().count(), 3);
+        assert_eq!(t.count_matching(|e| matches!(e, TraceEvent::Idle)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = Trace::new(0);
+    }
+}

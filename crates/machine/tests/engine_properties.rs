@@ -1,0 +1,206 @@
+//! Property tests for the preemptive executor: whatever the interrupt
+//! storm looks like, the machine obeys the architecture.
+//!
+//! - **Stack discipline**: handler entries/exits nest like parentheses and
+//!   a nested handler always has a strictly higher IPL than the one it
+//!   preempted.
+//! - **Conservation**: interrupt + thread + scheduler + idle cycles equal
+//!   elapsed virtual time, always.
+//! - **Liveness**: with all sources enabled, quiescence implies no latched
+//!   interrupt remains.
+
+use livelock_machine::cpu::{Chunk, CtxKind, Engine, Env, EnvState, Workload};
+use livelock_machine::intr::IntrSrc;
+use livelock_machine::ipl::Ipl;
+use livelock_machine::thread::Priority;
+use livelock_machine::trace::TraceEvent;
+use livelock_sim::Cycles;
+use proptest::prelude::*;
+
+/// A workload where every interrupt activation runs one chunk of a fixed
+/// per-source cost, and one optional thread burns scripted chunks.
+struct StormWorkload {
+    /// Cost per activation, per source index.
+    handler_cost: Vec<u64>,
+    in_handler: Vec<bool>,
+    thread_chunks: Vec<u64>,
+    activations: Vec<u64>,
+}
+
+#[derive(Debug)]
+enum Ev {
+    Post(IntrSrc),
+}
+
+impl Workload for StormWorkload {
+    type Event = Ev;
+
+    fn next_chunk(&mut self, env: &mut Env<'_, Ev>, ctx: CtxKind) -> Option<Chunk> {
+        match ctx {
+            CtxKind::Intr(src) => {
+                if self.in_handler[src.0] {
+                    self.in_handler[src.0] = false;
+                    return None;
+                }
+                self.in_handler[src.0] = true;
+                self.activations[src.0] += 1;
+                Some(Chunk::new(Cycles::new(self.handler_cost[src.0]), 1))
+            }
+            CtxKind::Thread(tid) => {
+                if let Some(cost) = self.thread_chunks.pop() {
+                    Some(Chunk::new(Cycles::new(cost), 2))
+                } else {
+                    env.sleep(tid);
+                    None
+                }
+            }
+        }
+    }
+
+    fn chunk_done(&mut self, _env: &mut Env<'_, Ev>, _ctx: CtxKind, _tag: u64) {}
+
+    fn on_event(&mut self, env: &mut Env<'_, Ev>, event: Ev) {
+        let Ev::Post(src) = event;
+        env.post_intr(src);
+    }
+}
+
+/// Replays the trace and checks parenthesis nesting with strictly rising
+/// IPLs; returns the maximum nesting depth seen.
+fn check_stack_discipline(
+    records: impl Iterator<Item = (TraceEvent,)>,
+    ipl_of: &[Ipl],
+) -> Result<usize, String> {
+    let mut stack: Vec<(usize, Ipl)> = Vec::new();
+    let mut max_depth = 0;
+    for (ev,) in records {
+        match ev {
+            TraceEvent::IntrEnter(src) => {
+                let ipl = ipl_of[src.0];
+                if let Some(&(_, top_ipl)) = stack.last() {
+                    if ipl <= top_ipl {
+                        return Err(format!(
+                            "handler at {ipl} entered over handler at {top_ipl}"
+                        ));
+                    }
+                }
+                stack.push((src.0, ipl));
+                max_depth = max_depth.max(stack.len());
+            }
+            TraceEvent::IntrExit(src) => match stack.pop() {
+                Some((top, _)) if top == src.0 => {}
+                other => return Err(format!("exit of src{} but top is {other:?}", src.0)),
+            },
+            _ => {}
+        }
+    }
+    if stack.is_empty() {
+        Ok(max_depth)
+    } else {
+        Err(format!("{} handlers never exited", stack.len()))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn storm_obeys_the_architecture(
+        // Up to 4 sources at IPLs 1..=6, random handler costs.
+        ipls in proptest::collection::vec(1u8..=6, 1..4),
+        costs in proptest::collection::vec(10u64..5_000, 1..4),
+        posts in proptest::collection::vec((0u64..200_000, 0usize..4), 0..100),
+        thread_chunks in proptest::collection::vec(10u64..2_000, 0..10),
+        ctx_switch in 0u64..100,
+    ) {
+        let n = ipls.len().min(costs.len());
+        let mut st = EnvState::new(Cycles::new(1_000_000));
+        let mut srcs = Vec::new();
+        let mut src_ipls = Vec::new();
+        for &lvl in ipls.iter().take(n) {
+            let ipl = Ipl::new(lvl);
+            srcs.push(st.intr.register("s", ipl));
+            src_ipls.push(ipl);
+        }
+        let has_thread = !thread_chunks.is_empty();
+        if has_thread {
+            let tid = st.sched.spawn("worker", Priority::USER);
+            st.sched.wake(tid);
+        }
+        for &(t, which) in &posts {
+            let src = srcs[which % n];
+            st.schedule_at(Cycles::new(t), Ev::Post(src));
+        }
+        let wl = StormWorkload {
+            handler_cost: costs.iter().take(n).copied().collect(),
+            in_handler: vec![false; n],
+            thread_chunks,
+            activations: vec![0; n],
+        };
+        let mut e = Engine::new(st, wl, Cycles::new(ctx_switch));
+        e.enable_trace(100_000);
+        let exit = e.run_to_quiescence();
+
+        // Liveness: quiescent means nothing latched remains deliverable.
+        prop_assert_eq!(exit, livelock_machine::cpu::Exit::Quiescent);
+        for &src in &srcs {
+            prop_assert!(
+                !e.state().intr.is_pending(src),
+                "latched interrupt survived quiescence"
+            );
+        }
+
+        // Conservation.
+        let u = e.usage();
+        let accounted = u.total_intr() + u.total_thread() + u.sched_cycles + u.idle_cycles;
+        prop_assert_eq!(accounted, u.now, "cycle accounting must balance");
+
+        // Stack discipline over the full trace.
+        let trace = e.trace().expect("tracing enabled");
+        prop_assert_eq!(trace.dropped(), 0, "trace ring too small for the check");
+        let result = check_stack_discipline(
+            trace.records().map(|r| (r.event,)),
+            &src_ipls,
+        );
+        prop_assert!(result.is_ok(), "{}", result.unwrap_err());
+
+        // Work accounting: every activation burned exactly its cost.
+        let expected_intr: u64 = e
+            .workload()
+            .activations
+            .iter()
+            .zip(&e.workload().handler_cost)
+            .map(|(a, c)| a * c)
+            .sum();
+        prop_assert_eq!(u.total_intr(), Cycles::new(expected_intr));
+    }
+
+    /// Same-IPL sources never nest: with every source at SPLIMP, the
+    /// maximum observed nesting depth is 1.
+    #[test]
+    fn same_ipl_never_nests(
+        posts in proptest::collection::vec((0u64..50_000, 0usize..3), 1..60),
+    ) {
+        let mut st = EnvState::new(Cycles::new(1_000_000));
+        let srcs: Vec<_> = (0..3).map(|_| st.intr.register("rx", Ipl::IMP)).collect();
+        for &(t, which) in &posts {
+            st.schedule_at(Cycles::new(t), Ev::Post(srcs[which]));
+        }
+        let wl = StormWorkload {
+            handler_cost: vec![500; 3],
+            in_handler: vec![false; 3],
+            thread_chunks: Vec::new(),
+            activations: vec![0; 3],
+        };
+        let mut e = Engine::new(st, wl, Cycles::ZERO);
+        e.enable_trace(100_000);
+        e.run_to_quiescence();
+        let trace = e.trace().expect("tracing enabled");
+        let depth = check_stack_discipline(
+            trace.records().map(|r| (r.event,)),
+            &[Ipl::IMP; 3],
+        )
+        .expect("discipline holds");
+        prop_assert!(depth <= 1, "same-IPL handlers nested to depth {depth}");
+    }
+}

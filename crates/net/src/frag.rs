@@ -1,0 +1,486 @@
+//! IPv4 fragmentation and reassembly.
+//!
+//! The paper notes that even a process-to-completion kernel must sometimes
+//! queue an incoming packet: "when an IP fragment is received and its
+//! companion fragments are not yet available" (§5.3). The reassembly
+//! buffer is a bounded, timeout-governed resource — exactly the kind of
+//! queue the feedback mechanisms watch — so the substrate implements it
+//! for real: RFC 791 fragmentation on output and hole-free reassembly on
+//! input, with resource caps and expiry.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use livelock_sim::Cycles;
+
+use crate::ipv4::{Ipv4Header, IPV4_HEADER_LEN};
+use crate::NetError;
+
+/// The more-fragments flag bit in `flags_frag`.
+const MF: u16 = 0x2000;
+/// The don't-fragment flag bit.
+const DF: u16 = 0x4000;
+/// Mask of the 13-bit fragment offset (in 8-byte units).
+const OFFSET_MASK: u16 = 0x1fff;
+
+/// Splits an encoded IPv4 datagram (header + payload) into fragments that
+/// fit `mtu` bytes each (header included). Returns the original datagram
+/// when it already fits.
+///
+/// # Errors
+///
+/// - Propagates header parse failures.
+/// - [`NetError::Malformed`] when the datagram has the don't-fragment bit
+///   set but does not fit, or when `mtu` cannot hold a header plus one
+///   8-byte payload unit.
+pub fn fragment(dgram: &[u8], mtu: usize) -> Result<Vec<Vec<u8>>, NetError> {
+    let hdr = Ipv4Header::parse(dgram)?;
+    if dgram.len() < hdr.total_len as usize {
+        return Err(NetError::Truncated);
+    }
+    if dgram.len() <= mtu {
+        return Ok(vec![dgram.to_vec()]);
+    }
+    if hdr.flags_frag & DF != 0 {
+        return Err(NetError::Malformed);
+    }
+    if mtu < IPV4_HEADER_LEN + 8 {
+        return Err(NetError::Malformed);
+    }
+    let payload = &dgram[IPV4_HEADER_LEN..hdr.total_len as usize];
+    // Payload bytes per fragment, rounded down to an 8-byte multiple.
+    let unit = (mtu - IPV4_HEADER_LEN) / 8 * 8;
+    let base_offset_units = hdr.flags_frag & OFFSET_MASK;
+    let had_mf = hdr.flags_frag & MF != 0;
+
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos < payload.len() {
+        let end = (pos + unit).min(payload.len());
+        let last = end == payload.len();
+        let mut fh = hdr;
+        fh.total_len = (IPV4_HEADER_LEN + end - pos) as u16;
+        let offset_units = base_offset_units + (pos / 8) as u16;
+        fh.flags_frag = offset_units | if last && !had_mf { 0 } else { MF };
+        fh.header_checksum = fh.compute_checksum();
+        let mut frag = vec![0u8; IPV4_HEADER_LEN + end - pos];
+        fh.encode(&mut frag).expect("buffer sized for header");
+        frag[IPV4_HEADER_LEN..].copy_from_slice(&payload[pos..end]);
+        out.push(frag);
+        pos = end;
+    }
+    Ok(out)
+}
+
+/// A reassembly key: the RFC 791 tuple.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct Key {
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    protocol: u8,
+    ident: u16,
+}
+
+#[derive(Debug)]
+struct Pending {
+    /// Received (start, end) byte ranges of the payload, merged.
+    ranges: Vec<(usize, usize)>,
+    /// Payload bytes assembled so far (sparse; holes are zero).
+    data: Vec<u8>,
+    /// Total payload length, known once the final fragment arrives.
+    total: Option<usize>,
+    /// Header of the first fragment (offset 0), used for the reassembled
+    /// datagram.
+    first_header: Option<Ipv4Header>,
+    /// When this reassembly gives up.
+    deadline: Cycles,
+}
+
+impl Pending {
+    fn new(deadline: Cycles) -> Self {
+        Pending {
+            ranges: Vec::new(),
+            data: Vec::new(),
+            total: None,
+            first_header: None,
+            deadline,
+        }
+    }
+
+    fn add_range(&mut self, start: usize, end: usize) {
+        self.ranges.push((start, end));
+        self.ranges.sort_unstable();
+        let mut merged: Vec<(usize, usize)> = Vec::with_capacity(self.ranges.len());
+        for &(s, e) in &self.ranges {
+            match merged.last_mut() {
+                Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                _ => merged.push((s, e)),
+            }
+        }
+        self.ranges = merged;
+    }
+
+    fn complete(&self) -> bool {
+        match (self.total, self.first_header.as_ref(), self.ranges.first()) {
+            (Some(total), Some(_), Some(&(0, end))) => end >= total && self.ranges.len() == 1,
+            _ => false,
+        }
+    }
+}
+
+/// Outcome of offering a datagram to the reassembler.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Reassembly {
+    /// The datagram was not fragmented; use it as-is.
+    NotFragmented,
+    /// Fragment stored; companions still missing.
+    Incomplete,
+    /// All fragments arrived: here is the reassembled datagram.
+    Complete(Vec<u8>),
+    /// The reassembly buffer is full; the fragment was dropped.
+    BufferFull,
+}
+
+/// A bounded, timeout-governed IPv4 reassembler.
+///
+/// # Examples
+///
+/// ```
+/// use livelock_net::frag::{fragment, Reassembler, Reassembly};
+/// use livelock_net::ipv4::Ipv4Header;
+/// use livelock_sim::Cycles;
+/// use std::net::Ipv4Addr;
+///
+/// let hdr = Ipv4Header::new(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 1, 0, 2), 17, 32, 100);
+/// let mut dgram = vec![0u8; 120];
+/// hdr.encode(&mut dgram).unwrap();
+/// let frags = fragment(&dgram, 60).unwrap();
+/// assert!(frags.len() > 1);
+///
+/// let mut r = Reassembler::new(16, Cycles::new(1_000_000));
+/// let mut done = None;
+/// for f in &frags {
+///     if let Reassembly::Complete(d) = r.offer(f, Cycles::new(0)) {
+///         done = Some(d);
+///     }
+/// }
+/// assert_eq!(done.unwrap(), dgram);
+/// ```
+#[derive(Debug)]
+pub struct Reassembler {
+    pending: HashMap<Key, Pending>,
+    max_pending: usize,
+    timeout: Cycles,
+    expired: u64,
+    dropped_full: u64,
+}
+
+impl Reassembler {
+    /// Creates a reassembler holding at most `max_pending` concurrent
+    /// datagrams, each expiring `timeout` cycles after its first fragment.
+    pub fn new(max_pending: usize, timeout: Cycles) -> Self {
+        Reassembler {
+            pending: HashMap::new(),
+            max_pending,
+            timeout,
+            expired: 0,
+            dropped_full: 0,
+        }
+    }
+
+    /// Offers an encoded IP datagram at time `now`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates header parse errors ([`NetError`]).
+    pub fn offer(&mut self, dgram: &[u8], now: Cycles) -> Reassembly {
+        let Ok(hdr) = Ipv4Header::parse(dgram) else {
+            return Reassembly::NotFragmented;
+        };
+        let offset_units = hdr.flags_frag & OFFSET_MASK;
+        let mf = hdr.flags_frag & MF != 0;
+        if offset_units == 0 && !mf {
+            return Reassembly::NotFragmented;
+        }
+
+        if dgram.len() < hdr.total_len as usize {
+            // Truncated on the wire: not reassemblable.
+            return Reassembly::NotFragmented;
+        }
+
+        let key = Key {
+            src: hdr.src,
+            dst: hdr.dst,
+            protocol: hdr.protocol,
+            ident: hdr.ident,
+        };
+        if !self.pending.contains_key(&key) {
+            if self.pending.len() >= self.max_pending {
+                self.dropped_full += 1;
+                return Reassembly::BufferFull;
+            }
+            self.pending.insert(key, Pending::new(now + self.timeout));
+        }
+        let entry = self.pending.get_mut(&key).expect("inserted above");
+
+        let start = offset_units as usize * 8;
+        let payload = &dgram[IPV4_HEADER_LEN..hdr.total_len as usize];
+        let end = start + payload.len();
+        if entry.data.len() < end {
+            entry.data.resize(end, 0);
+        }
+        entry.data[start..end].copy_from_slice(payload);
+        entry.add_range(start, end);
+        if !mf {
+            entry.total = Some(end);
+        }
+        if start == 0 {
+            entry.first_header = Some(hdr);
+        }
+
+        if entry.complete() {
+            let entry = self.pending.remove(&key).expect("present");
+            let total = entry.total.expect("complete implies total");
+            let mut fh = entry.first_header.expect("complete implies first");
+            fh.total_len = (IPV4_HEADER_LEN + total) as u16;
+            fh.flags_frag = 0;
+            fh.header_checksum = fh.compute_checksum();
+            let mut out = vec![0u8; IPV4_HEADER_LEN + total];
+            fh.encode(&mut out).expect("buffer sized for header");
+            out[IPV4_HEADER_LEN..].copy_from_slice(&entry.data[..total]);
+            Reassembly::Complete(out)
+        } else {
+            Reassembly::Incomplete
+        }
+    }
+
+    /// Discards reassemblies whose deadline passed; returns how many.
+    pub fn expire(&mut self, now: Cycles) -> usize {
+        let before = self.pending.len();
+        self.pending.retain(|_, p| p.deadline > now);
+        let n = before - self.pending.len();
+        self.expired += n as u64;
+        n
+    }
+
+    /// Number of in-progress reassemblies.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Fragments rejected because the buffer was full.
+    pub fn dropped_full(&self) -> u64 {
+        self.dropped_full
+    }
+
+    /// Reassemblies abandoned by timeout.
+    pub fn expired(&self) -> u64 {
+        self.expired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ipv4::proto;
+    use proptest::prelude::*;
+
+    fn dgram(payload_len: usize, ident: u16) -> Vec<u8> {
+        let mut h = Ipv4Header::new(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 1, 0, 2),
+            proto::UDP,
+            32,
+            payload_len as u16,
+        );
+        h.ident = ident;
+        h.header_checksum = h.compute_checksum();
+        let mut d = vec![0u8; IPV4_HEADER_LEN + payload_len];
+        h.encode(&mut d).unwrap();
+        for (i, b) in d[IPV4_HEADER_LEN..].iter_mut().enumerate() {
+            *b = (i % 251) as u8;
+        }
+        d
+    }
+
+    #[test]
+    fn small_datagram_is_not_fragmented() {
+        let d = dgram(40, 1);
+        let frags = fragment(&d, 1500).unwrap();
+        assert_eq!(frags, vec![d]);
+    }
+
+    #[test]
+    fn fragments_are_valid_and_sized() {
+        let d = dgram(1000, 2);
+        let frags = fragment(&d, 576).unwrap();
+        assert!(frags.len() >= 2);
+        for (i, f) in frags.iter().enumerate() {
+            assert!(f.len() <= 576);
+            let h = Ipv4Header::parse(f).expect("each fragment has a valid header");
+            let is_last = i == frags.len() - 1;
+            assert_eq!(h.flags_frag & MF != 0, !is_last);
+            if !is_last {
+                assert_eq!(
+                    (f.len() - IPV4_HEADER_LEN) % 8,
+                    0,
+                    "non-final multiple of 8"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dont_fragment_is_honoured() {
+        let mut d = dgram(1000, 3);
+        let mut h = Ipv4Header::parse(&d).unwrap();
+        h.flags_frag |= DF;
+        h.header_checksum = h.compute_checksum();
+        h.encode(&mut d).unwrap();
+        assert_eq!(fragment(&d, 576), Err(NetError::Malformed));
+    }
+
+    #[test]
+    fn tiny_mtu_rejected() {
+        let d = dgram(100, 4);
+        assert_eq!(fragment(&d, 24), Err(NetError::Malformed));
+    }
+
+    #[test]
+    fn reassembly_in_order() {
+        let d = dgram(900, 5);
+        let frags = fragment(&d, 256).unwrap();
+        let mut r = Reassembler::new(8, Cycles::new(1_000));
+        let mut result = None;
+        for f in &frags {
+            match r.offer(f, Cycles::new(0)) {
+                Reassembly::Complete(out) => result = Some(out),
+                Reassembly::Incomplete => {}
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(result.unwrap(), d);
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn reassembly_out_of_order_and_duplicates() {
+        let d = dgram(900, 6);
+        let mut frags = fragment(&d, 256).unwrap();
+        frags.reverse();
+        let dup = frags[1].clone();
+        frags.insert(2, dup);
+        let mut r = Reassembler::new(8, Cycles::new(1_000));
+        let mut result = None;
+        for f in &frags {
+            if let Reassembly::Complete(out) = r.offer(f, Cycles::new(0)) {
+                result = Some(out);
+            }
+        }
+        assert_eq!(result.unwrap(), d);
+    }
+
+    #[test]
+    fn unfragmented_passthrough() {
+        let d = dgram(40, 7);
+        let mut r = Reassembler::new(8, Cycles::new(1_000));
+        assert_eq!(r.offer(&d, Cycles::new(0)), Reassembly::NotFragmented);
+    }
+
+    #[test]
+    fn interleaved_datagrams_do_not_mix() {
+        let a = dgram(600, 10);
+        let b = dgram(600, 11);
+        let fa = fragment(&a, 256).unwrap();
+        let fb = fragment(&b, 256).unwrap();
+        let mut r = Reassembler::new(8, Cycles::new(1_000));
+        let mut done = Vec::new();
+        for (x, y) in fa.iter().zip(&fb) {
+            if let Reassembly::Complete(out) = r.offer(x, Cycles::new(0)) {
+                done.push(out);
+            }
+            if let Reassembly::Complete(out) = r.offer(y, Cycles::new(0)) {
+                done.push(out);
+            }
+        }
+        assert_eq!(done.len(), 2);
+        assert!(done.contains(&a));
+        assert!(done.contains(&b));
+    }
+
+    #[test]
+    fn fragmenting_truncated_datagram_errors() {
+        let d = dgram(600, 31);
+        assert_eq!(fragment(&d[..200], 64), Err(NetError::Truncated));
+    }
+
+    #[test]
+    fn truncated_fragment_does_not_panic() {
+        // A fragment whose IP total_len exceeds the delivered bytes (a
+        // valid header over a truncated buffer) must be rejected cleanly.
+        let d = dgram(600, 30);
+        let frags = fragment(&d, 256).unwrap();
+        let cut = &frags[0][..frags[0].len() - 10];
+        let mut r = Reassembler::new(4, Cycles::new(100));
+        assert_eq!(r.offer(cut, Cycles::ZERO), Reassembly::NotFragmented);
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn buffer_cap_and_accounting() {
+        let mut r = Reassembler::new(2, Cycles::new(1_000));
+        for ident in 0..5u16 {
+            let d = dgram(600, 100 + ident);
+            let frags = fragment(&d, 256).unwrap();
+            let _ = r.offer(&frags[0], Cycles::new(0));
+        }
+        assert_eq!(r.pending(), 2);
+        assert_eq!(r.dropped_full(), 3);
+    }
+
+    #[test]
+    fn expiry_discards_stale_reassemblies() {
+        let mut r = Reassembler::new(8, Cycles::new(100));
+        let d = dgram(600, 20);
+        let frags = fragment(&d, 256).unwrap();
+        let _ = r.offer(&frags[0], Cycles::new(0));
+        assert_eq!(r.expire(Cycles::new(50)), 0);
+        assert_eq!(r.expire(Cycles::new(100)), 1);
+        assert_eq!(r.expired(), 1);
+        assert_eq!(r.pending(), 0);
+        // A late companion fragment restarts rather than completes.
+        assert_eq!(r.offer(&frags[1], Cycles::new(200)), Reassembly::Incomplete);
+    }
+
+    proptest! {
+        #[test]
+        fn fragment_reassemble_round_trip(
+            payload_len in 9usize..3000,
+            mtu in 68usize..1500,
+            shuffle_seed in any::<u64>(),
+        ) {
+            let d = dgram(payload_len, 42);
+            let mut frags = fragment(&d, mtu).unwrap();
+            // Deterministic shuffle.
+            let mut rng = livelock_sim::Rng::seed_from(shuffle_seed);
+            for i in (1..frags.len()).rev() {
+                let j = rng.next_below(i as u64 + 1) as usize;
+                frags.swap(i, j);
+            }
+            let mut r = Reassembler::new(4, Cycles::new(1_000));
+            let mut result = None;
+            for f in &frags {
+                match r.offer(f, Cycles::new(0)) {
+                    Reassembly::Complete(out) => result = Some(out),
+                    Reassembly::Incomplete | Reassembly::NotFragmented => {}
+                    Reassembly::BufferFull => prop_assert!(false, "single datagram overflows"),
+                }
+            }
+            if frags.len() == 1 {
+                prop_assert!(result.is_none(), "single packet is NotFragmented");
+            } else {
+                prop_assert_eq!(result.expect("reassembled"), d);
+            }
+        }
+    }
+}

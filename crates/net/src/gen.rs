@@ -1,0 +1,328 @@
+//! Deterministic traffic generation.
+//!
+//! The paper's source host sent "10000 UDP packets carrying 4 bytes of
+//! data" at a nominal rate, noting that "this system does not generate a
+//! precisely paced stream of packets". [`TrafficGen`] reproduces that: a
+//! jittered constant-bit-rate process by default, plus Poisson, bursty
+//! on/off, and trace-replay processes for the latency/jitter extensions.
+
+use std::net::Ipv4Addr;
+
+use livelock_sim::{Cycles, Freq, Rng};
+
+use crate::ethernet::MacAddr;
+use crate::packet::{Packet, PacketId};
+
+/// Builds the paper's UDP test datagrams with sequential ids.
+#[derive(Clone, Debug)]
+pub struct PacketFactory {
+    /// Source MAC (the generating host's interface).
+    pub src_mac: MacAddr,
+    /// Destination MAC (the router's input interface).
+    pub dst_mac: MacAddr,
+    /// Source IP.
+    pub src_ip: Ipv4Addr,
+    /// Destination IP (the phantom host behind the router).
+    pub dst_ip: Ipv4Addr,
+    /// UDP source port.
+    pub src_port: u16,
+    /// UDP destination port.
+    pub dst_port: u16,
+    /// Initial TTL.
+    pub ttl: u8,
+    /// UDP payload length in bytes (the paper used 4).
+    pub payload_len: usize,
+    next_id: u64,
+}
+
+impl PacketFactory {
+    /// Creates a factory mirroring the paper's testbed addressing: traffic
+    /// from a source host on net 10.0/16 to a phantom destination on
+    /// net 10.1/16, 4-byte payloads.
+    pub fn paper_testbed() -> Self {
+        PacketFactory {
+            src_mac: MacAddr::local(0x100),
+            dst_mac: MacAddr::local(1),
+            src_ip: Ipv4Addr::new(10, 0, 0, 2),
+            dst_ip: Ipv4Addr::new(10, 1, 0, 99),
+            src_port: 5001,
+            dst_port: 9, // Discard.
+            ttl: 32,
+            payload_len: 4,
+            next_id: 0,
+        }
+    }
+
+    /// Builds the next packet.
+    pub fn next_packet(&mut self) -> Packet {
+        let id = PacketId(self.next_id);
+        self.next_id += 1;
+        Packet::udp_ipv4(
+            id,
+            self.src_mac,
+            self.dst_mac,
+            self.src_ip,
+            self.dst_ip,
+            self.src_port,
+            self.dst_port,
+            self.ttl,
+            &vec![0u8; self.payload_len],
+        )
+    }
+
+    /// Returns how many packets have been built.
+    pub fn built(&self) -> u64 {
+        self.next_id
+    }
+}
+
+/// The inter-arrival process shapes supported by [`TrafficGen`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ArrivalProcess {
+    /// Constant rate with uniform jitter of ±`jitter` (fraction of the mean
+    /// interval, 0.0 = perfectly paced). The paper's generator corresponds
+    /// to a modest jitter (its "short-term rates varied somewhat").
+    Cbr {
+        /// Jitter amplitude as a fraction of the mean interval, in `[0, 1)`.
+        jitter: f64,
+    },
+    /// Poisson arrivals (exponential inter-arrival times).
+    Poisson,
+    /// Bursty on/off: bursts of `burst_len` packets back-to-back at the
+    /// wire-limited `peak_interval`, separated by idle gaps sized so the
+    /// long-run average matches the nominal rate.
+    Bursty {
+        /// Packets per burst (≥ 1).
+        burst_len: u32,
+        /// Interval between packets inside a burst, in cycles.
+        peak_interval_cycles: u64,
+    },
+}
+
+/// A deterministic arrival-time generator for a nominal packet rate.
+#[derive(Clone, Debug)]
+pub struct TrafficGen {
+    process: ArrivalProcess,
+    mean_interval: Cycles,
+    rng: Rng,
+    burst_pos: u32,
+}
+
+impl TrafficGen {
+    /// Creates a generator emitting `rate_pps` packets per second on average
+    /// at CPU frequency `freq`, using `seed` for the jitter stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_pps` is not positive.
+    pub fn new(process: ArrivalProcess, rate_pps: f64, freq: Freq, seed: u64) -> Self {
+        assert!(rate_pps > 0.0, "rate must be positive");
+        TrafficGen {
+            process,
+            mean_interval: freq.interval_for_rate(rate_pps),
+            rng: Rng::seed_from(seed),
+            burst_pos: 0,
+        }
+    }
+
+    /// The paper's default shape: CBR with ±20% jitter.
+    pub fn paper_default(rate_pps: f64, freq: Freq, seed: u64) -> Self {
+        TrafficGen::new(ArrivalProcess::Cbr { jitter: 0.2 }, rate_pps, freq, seed)
+    }
+
+    /// Returns the delay from the previous packet to the next one.
+    pub fn next_interval(&mut self) -> Cycles {
+        let mean = self.mean_interval.raw() as f64;
+        match self.process {
+            ArrivalProcess::Cbr { jitter } => {
+                let j = jitter.clamp(0.0, 0.999);
+                let factor = 1.0 + j * (2.0 * self.rng.next_f64() - 1.0);
+                Cycles::new((mean * factor).round().max(1.0) as u64)
+            }
+            ArrivalProcess::Poisson => {
+                Cycles::new(self.rng.exponential(mean).round().max(1.0) as u64)
+            }
+            ArrivalProcess::Bursty {
+                burst_len,
+                peak_interval_cycles,
+            } => {
+                let burst_len = burst_len.max(1);
+                self.burst_pos = (self.burst_pos + 1) % burst_len;
+                if self.burst_pos == 0 {
+                    // Gap sized so the burst-average equals the nominal rate:
+                    // burst_len packets take (burst_len-1)*peak + gap cycles.
+                    let burst_span = mean * burst_len as f64;
+                    let in_burst = peak_interval_cycles as f64 * (burst_len - 1) as f64;
+                    Cycles::new((burst_span - in_burst).round().max(1.0) as u64)
+                } else {
+                    Cycles::new(peak_interval_cycles.max(1))
+                }
+            }
+        }
+    }
+
+    /// Generates absolute arrival times for `n` packets starting at `start`.
+    pub fn arrival_times(&mut self, start: Cycles, n: usize) -> Vec<Cycles> {
+        let mut out = Vec::with_capacity(n);
+        let mut t = start;
+        for _ in 0..n {
+            t += self.next_interval();
+            out.push(t);
+        }
+        out
+    }
+}
+
+/// Replays a fixed schedule of absolute arrival times.
+#[derive(Clone, Debug)]
+pub struct TraceReplay {
+    times: Vec<Cycles>,
+    pos: usize,
+}
+
+impl TraceReplay {
+    /// Creates a replayer over non-decreasing arrival times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the times are not sorted.
+    pub fn new(times: Vec<Cycles>) -> Self {
+        assert!(
+            times.windows(2).all(|w| w[0] <= w[1]),
+            "trace must be sorted"
+        );
+        TraceReplay { times, pos: 0 }
+    }
+
+    /// Returns the next arrival time, if any.
+    pub fn next_arrival(&mut self) -> Option<Cycles> {
+        let t = self.times.get(self.pos).copied();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Returns how many arrivals remain.
+    pub fn remaining(&self) -> usize {
+        self.times.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const FREQ: Freq = Freq::mhz(100);
+
+    #[test]
+    fn factory_builds_min_frames_with_sequential_ids() {
+        let mut f = PacketFactory::paper_testbed();
+        let a = f.next_packet();
+        let b = f.next_packet();
+        assert_eq!(a.id, PacketId(0));
+        assert_eq!(b.id, PacketId(1));
+        assert_eq!(a.len(), crate::packet::MIN_FRAME_LEN);
+        assert_eq!(f.built(), 2);
+        let ip = a.ipv4().unwrap();
+        assert_eq!(ip.dst, Ipv4Addr::new(10, 1, 0, 99));
+    }
+
+    #[test]
+    fn cbr_mean_rate_is_close() {
+        let mut g = TrafficGen::paper_default(10_000.0, FREQ, 42);
+        let n = 50_000;
+        let times = g.arrival_times(Cycles::ZERO, n);
+        let span = FREQ.secs_from_cycles(*times.last().unwrap());
+        let rate = n as f64 / span;
+        assert!((rate - 10_000.0).abs() < 200.0, "rate = {rate}");
+    }
+
+    #[test]
+    fn zero_jitter_is_perfectly_paced() {
+        let mut g = TrafficGen::new(ArrivalProcess::Cbr { jitter: 0.0 }, 1000.0, FREQ, 1);
+        let i1 = g.next_interval();
+        let i2 = g.next_interval();
+        assert_eq!(i1, i2);
+        assert_eq!(i1, Cycles::new(100_000));
+    }
+
+    #[test]
+    fn poisson_mean_rate_is_close() {
+        let mut g = TrafficGen::new(ArrivalProcess::Poisson, 5_000.0, FREQ, 7);
+        let n = 50_000;
+        let times = g.arrival_times(Cycles::ZERO, n);
+        let span = FREQ.secs_from_cycles(*times.last().unwrap());
+        let rate = n as f64 / span;
+        assert!((rate - 5_000.0).abs() < 150.0, "rate = {rate}");
+    }
+
+    #[test]
+    fn bursty_average_matches_nominal() {
+        let peak = 6_720; // Wire-limited at 10 Mb/s, 100 MHz.
+        let mut g = TrafficGen::new(
+            ArrivalProcess::Bursty {
+                burst_len: 10,
+                peak_interval_cycles: peak,
+            },
+            2_000.0,
+            FREQ,
+            3,
+        );
+        let n = 10_000;
+        let times = g.arrival_times(Cycles::ZERO, n);
+        let span = FREQ.secs_from_cycles(*times.last().unwrap());
+        let rate = n as f64 / span;
+        assert!((rate - 2_000.0).abs() < 100.0, "rate = {rate}");
+        // Inside a burst the spacing equals the peak interval.
+        let deltas: Vec<u64> = times.windows(2).map(|w| (w[1] - w[0]).raw()).collect();
+        assert!(deltas.iter().filter(|&&d| d == peak).count() > n * 8 / 10);
+    }
+
+    #[test]
+    fn determinism_across_instances() {
+        let a = TrafficGen::paper_default(4_000.0, FREQ, 99).arrival_times(Cycles::ZERO, 100);
+        let b = TrafficGen::paper_default(4_000.0, FREQ, 99).arrival_times(Cycles::ZERO, 100);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn trace_replay() {
+        let mut tr = TraceReplay::new(vec![Cycles::new(1), Cycles::new(5), Cycles::new(5)]);
+        assert_eq!(tr.remaining(), 3);
+        assert_eq!(tr.next_arrival(), Some(Cycles::new(1)));
+        assert_eq!(tr.next_arrival(), Some(Cycles::new(5)));
+        assert_eq!(tr.next_arrival(), Some(Cycles::new(5)));
+        assert_eq!(tr.next_arrival(), None);
+        assert_eq!(tr.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn trace_must_be_sorted() {
+        let _ = TraceReplay::new(vec![Cycles::new(5), Cycles::new(1)]);
+    }
+
+    proptest! {
+        #[test]
+        fn intervals_are_always_positive(rate in 1.0f64..100_000.0, seed in any::<u64>()) {
+            let mut g = TrafficGen::paper_default(rate, FREQ, seed);
+            for _ in 0..100 {
+                prop_assert!(g.next_interval() >= Cycles::new(1));
+            }
+            let mut p = TrafficGen::new(ArrivalProcess::Poisson, rate, FREQ, seed);
+            for _ in 0..100 {
+                prop_assert!(p.next_interval() >= Cycles::new(1));
+            }
+        }
+
+        #[test]
+        fn arrival_times_monotone(rate in 10.0f64..50_000.0, seed in any::<u64>()) {
+            let mut g = TrafficGen::paper_default(rate, FREQ, seed);
+            let times = g.arrival_times(Cycles::new(1000), 200);
+            prop_assert!(times.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(times[0] > Cycles::new(1000));
+        }
+    }
+}

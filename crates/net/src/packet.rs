@@ -1,0 +1,371 @@
+//! The packet buffer carried through the simulated kernel.
+//!
+//! A [`Packet`] owns a full Ethernet frame as wire bytes plus simulation
+//! metadata: a unique id and provenance timestamps used for latency
+//! accounting. Helper constructors build complete, checksummed
+//! UDP-in-IPv4-in-Ethernet frames like the paper's load generator.
+
+use std::net::Ipv4Addr;
+
+use livelock_sim::Cycles;
+
+use crate::ethernet::{EtherType, EthernetHeader, MacAddr, ETHERNET_HEADER_LEN};
+use crate::icmp::IcmpMessage;
+use crate::ipv4::{self, Ipv4Header, IPV4_HEADER_LEN};
+use crate::udp::{self, UdpHeader, UDP_HEADER_LEN};
+use crate::NetError;
+
+/// Minimum Ethernet frame length (without FCS), per IEEE 802.3.
+pub const MIN_FRAME_LEN: usize = 60;
+/// Maximum Ethernet frame length (without FCS).
+pub const MAX_FRAME_LEN: usize = 1514;
+
+/// A unique, monotonically assigned packet identifier.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PacketId(pub u64);
+
+/// A packet travelling through the simulation.
+#[derive(Clone, Debug)]
+pub struct Packet {
+    /// Unique id, assigned by the creator.
+    pub id: PacketId,
+    /// Full Ethernet frame bytes (headers + payload, no FCS).
+    pub frame: Vec<u8>,
+    /// Time the frame finished arriving on the input wire (set by the wire
+    /// model; `Cycles::MAX` until then).
+    pub arrived_at: Cycles,
+    /// Time the packet was taken off the receive ring by the host.
+    pub dequeued_at: Cycles,
+}
+
+impl Packet {
+    /// Wraps raw frame bytes, padding to the Ethernet minimum.
+    pub fn from_frame(id: PacketId, mut frame: Vec<u8>) -> Self {
+        if frame.len() < MIN_FRAME_LEN {
+            frame.resize(MIN_FRAME_LEN, 0);
+        }
+        Packet {
+            id,
+            frame,
+            arrived_at: Cycles::MAX,
+            dequeued_at: Cycles::MAX,
+        }
+    }
+
+    /// Builds a complete UDP/IPv4/Ethernet frame with valid checksums.
+    ///
+    /// This is the datagram shape the paper's source host generated:
+    /// `udp_ipv4(.., payload = &[0; 4])` yields a minimum-size frame.
+    #[allow(clippy::too_many_arguments)]
+    pub fn udp_ipv4(
+        id: PacketId,
+        src_mac: MacAddr,
+        dst_mac: MacAddr,
+        src_ip: Ipv4Addr,
+        dst_ip: Ipv4Addr,
+        src_port: u16,
+        dst_port: u16,
+        ttl: u8,
+        payload: &[u8],
+    ) -> Self {
+        let udp_len = UDP_HEADER_LEN + payload.len();
+        let total = ETHERNET_HEADER_LEN + IPV4_HEADER_LEN + udp_len;
+        let mut frame = vec![0u8; total.max(MIN_FRAME_LEN)];
+
+        EthernetHeader {
+            dst: dst_mac,
+            src: src_mac,
+            ethertype: EtherType::Ipv4,
+        }
+        .encode(&mut frame)
+        .expect("frame sized for ethernet header");
+
+        let ip = Ipv4Header::new(src_ip, dst_ip, ipv4::proto::UDP, ttl, udp_len as u16);
+        ip.encode(&mut frame[ETHERNET_HEADER_LEN..])
+            .expect("frame sized for ip header");
+
+        let seg_start = ETHERNET_HEADER_LEN + IPV4_HEADER_LEN;
+        UdpHeader::new(src_port, dst_port, payload.len() as u16)
+            .encode(&mut frame[seg_start..])
+            .expect("frame sized for udp header");
+        frame[seg_start + UDP_HEADER_LEN..seg_start + udp_len].copy_from_slice(payload);
+        udp::fill_checksum(src_ip, dst_ip, &mut frame[seg_start..seg_start + udp_len])
+            .expect("segment in bounds");
+
+        Packet::from_frame(id, frame)
+    }
+
+    /// Builds a complete ICMP/IPv4/Ethernet frame with valid checksums
+    /// (used by the router to originate Time Exceeded / Destination
+    /// Unreachable errors).
+    pub fn icmp_ipv4(
+        id: PacketId,
+        src_mac: MacAddr,
+        dst_mac: MacAddr,
+        src_ip: Ipv4Addr,
+        dst_ip: Ipv4Addr,
+        ttl: u8,
+        msg: &IcmpMessage,
+    ) -> Self {
+        let icmp_len = msg.encoded_len();
+        let total = ETHERNET_HEADER_LEN + IPV4_HEADER_LEN + icmp_len;
+        let mut frame = vec![0u8; total.max(MIN_FRAME_LEN)];
+
+        EthernetHeader {
+            dst: dst_mac,
+            src: src_mac,
+            ethertype: EtherType::Ipv4,
+        }
+        .encode(&mut frame)
+        .expect("frame sized for ethernet header");
+
+        let ip = Ipv4Header::new(src_ip, dst_ip, ipv4::proto::ICMP, ttl, icmp_len as u16);
+        ip.encode(&mut frame[ETHERNET_HEADER_LEN..])
+            .expect("frame sized for ip header");
+
+        let start = ETHERNET_HEADER_LEN + IPV4_HEADER_LEN;
+        msg.encode(&mut frame[start..start + icmp_len])
+            .expect("frame sized for icmp message");
+
+        Packet::from_frame(id, frame)
+    }
+
+    /// Returns the frame length in bytes (without FCS).
+    pub fn len(&self) -> usize {
+        self.frame.len()
+    }
+
+    /// Returns `true` if the frame is empty (never true for valid packets).
+    pub fn is_empty(&self) -> bool {
+        self.frame.is_empty()
+    }
+
+    /// Parses the Ethernet header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetError::Truncated`] from the header parser.
+    pub fn ethernet(&self) -> Result<EthernetHeader, NetError> {
+        EthernetHeader::parse(&self.frame)
+    }
+
+    /// Parses and validates the IPv4 header, when the EtherType is IPv4.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Malformed`] when the frame is not IPv4; otherwise
+    /// whatever [`Ipv4Header::parse`] reports.
+    pub fn ipv4(&self) -> Result<Ipv4Header, NetError> {
+        let eth = self.ethernet()?;
+        if eth.ethertype != EtherType::Ipv4 {
+            return Err(NetError::Malformed);
+        }
+        Ipv4Header::parse(&self.frame[ETHERNET_HEADER_LEN..])
+    }
+
+    /// Returns the bytes of the IP datagram (header + payload), bounded by
+    /// the IP total-length field.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Packet::ipv4`], plus [`NetError::Truncated`] when the frame
+    /// is shorter than the IP total length claims.
+    pub fn ip_datagram(&self) -> Result<&[u8], NetError> {
+        let ip = self.ipv4()?;
+        let end = ETHERNET_HEADER_LEN + ip.total_len as usize;
+        if self.frame.len() < end {
+            return Err(NetError::Truncated);
+        }
+        Ok(&self.frame[ETHERNET_HEADER_LEN..end])
+    }
+
+    /// Mutable access to the IP header bytes for forwarding mutations.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Truncated`] when the frame has no room for an IP header.
+    pub fn ip_header_bytes_mut(&mut self) -> Result<&mut [u8], NetError> {
+        let end = ETHERNET_HEADER_LEN + IPV4_HEADER_LEN;
+        if self.frame.len() < end {
+            return Err(NetError::Truncated);
+        }
+        Ok(&mut self.frame[ETHERNET_HEADER_LEN..end])
+    }
+
+    /// Rewrites the Ethernet source/destination for the output link.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Truncated`] for an impossible short frame.
+    pub fn set_link_addrs(&mut self, src: MacAddr, dst: MacAddr) -> Result<(), NetError> {
+        let eth = self.ethernet()?;
+        EthernetHeader {
+            dst,
+            src,
+            ethertype: eth.ethertype,
+        }
+        .encode(&mut self.frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const DST_IP: Ipv4Addr = Ipv4Addr::new(10, 1, 0, 2);
+
+    fn sample(payload: &[u8]) -> Packet {
+        Packet::udp_ipv4(
+            PacketId(1),
+            MacAddr::local(1),
+            MacAddr::local(2),
+            SRC_IP,
+            DST_IP,
+            5000,
+            9,
+            32,
+            payload,
+        )
+    }
+
+    #[test]
+    fn min_udp_packet_is_min_frame() {
+        // 4-byte payload, as in the paper: 14 + 20 + 8 + 4 = 46 < 60, padded.
+        let p = sample(&[0u8; 4]);
+        assert_eq!(p.len(), MIN_FRAME_LEN);
+    }
+
+    #[test]
+    fn headers_parse_back() {
+        let p = sample(b"ping");
+        let eth = p.ethernet().unwrap();
+        assert_eq!(eth.ethertype, EtherType::Ipv4);
+        assert_eq!(eth.src, MacAddr::local(1));
+        let ip = p.ipv4().unwrap();
+        assert_eq!(ip.src, SRC_IP);
+        assert_eq!(ip.dst, DST_IP);
+        assert_eq!(ip.protocol, ipv4::proto::UDP);
+        assert_eq!(ip.total_len, 32);
+        let dgram = p.ip_datagram().unwrap();
+        assert_eq!(dgram.len(), 32);
+        let udp_hdr = UdpHeader::parse(&dgram[IPV4_HEADER_LEN..]).unwrap();
+        assert_eq!(udp_hdr.src_port, 5000);
+        assert_eq!(udp_hdr.dst_port, 9);
+        assert_eq!(udp_hdr.payload_len(), 4);
+    }
+
+    #[test]
+    fn udp_checksum_valid_despite_padding() {
+        let p = sample(&[1, 2, 3, 4]);
+        let dgram = p.ip_datagram().unwrap();
+        assert!(udp::verify_checksum(
+            SRC_IP,
+            DST_IP,
+            &dgram[IPV4_HEADER_LEN..]
+        ));
+    }
+
+    #[test]
+    fn forwarding_mutations() {
+        let mut p = sample(&[0u8; 4]);
+        ipv4::decrement_ttl(p.ip_header_bytes_mut().unwrap()).unwrap();
+        assert_eq!(p.ipv4().unwrap().ttl, 31);
+        p.set_link_addrs(MacAddr::local(9), MacAddr::local(10))
+            .unwrap();
+        let eth = p.ethernet().unwrap();
+        assert_eq!(eth.src, MacAddr::local(9));
+        assert_eq!(eth.dst, MacAddr::local(10));
+        assert_eq!(eth.ethertype, EtherType::Ipv4, "ethertype preserved");
+        // IP payload untouched by the link-layer rewrite.
+        assert!(p.ipv4().unwrap().checksum_ok());
+    }
+
+    #[test]
+    fn non_ip_frame_rejected_by_ipv4_accessor() {
+        let mut frame = vec![0u8; MIN_FRAME_LEN];
+        EthernetHeader {
+            dst: MacAddr::BROADCAST,
+            src: MacAddr::local(1),
+            ethertype: EtherType::Arp,
+        }
+        .encode(&mut frame)
+        .unwrap();
+        let p = Packet::from_frame(PacketId(2), frame);
+        assert_eq!(p.ipv4(), Err(NetError::Malformed));
+    }
+
+    #[test]
+    fn short_frames_pad_up() {
+        let p = Packet::from_frame(PacketId(3), vec![0u8; 10]);
+        assert_eq!(p.len(), MIN_FRAME_LEN);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn icmp_frame_round_trips() {
+        use crate::icmp::{IcmpKind, IcmpMessage};
+        let msg = IcmpMessage::time_exceeded(&[0xabu8; 40]);
+        let p = Packet::icmp_ipv4(
+            PacketId(9),
+            MacAddr::local(1),
+            MacAddr::local(2),
+            Ipv4Addr::new(10, 0, 0, 1),
+            SRC_IP,
+            32,
+            &msg,
+        );
+        let ip = p.ipv4().unwrap();
+        assert_eq!(ip.protocol, ipv4::proto::ICMP);
+        let dgram = p.ip_datagram().unwrap();
+        let parsed = IcmpMessage::parse(&dgram[IPV4_HEADER_LEN..]).unwrap();
+        assert_eq!(parsed.kind, IcmpKind::TimeExceeded);
+        assert_eq!(parsed.payload.len(), 28);
+    }
+
+    #[test]
+    fn large_payload_exceeds_min() {
+        let p = sample(&[0u8; 1000]);
+        assert_eq!(
+            p.len(),
+            ETHERNET_HEADER_LEN + IPV4_HEADER_LEN + UDP_HEADER_LEN + 1000
+        );
+        assert!(p.len() <= MAX_FRAME_LEN);
+    }
+}
+
+#[cfg(test)]
+mod robustness {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Parsing arbitrary bytes as a frame never panics — every layer
+        /// returns an error instead. (The router feeds whatever the wire
+        /// delivers into these parsers.)
+        #[test]
+        fn arbitrary_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..200)) {
+            let p = Packet::from_frame(PacketId(0), data);
+            let _ = p.ethernet();
+            let _ = p.ipv4();
+            let _ = p.ip_datagram();
+            let mut p2 = p.clone();
+            let _ = p2.ip_header_bytes_mut().map(crate::ipv4::decrement_ttl);
+            let _ = p2.set_link_addrs(MacAddr::ZERO, MacAddr::BROADCAST);
+        }
+
+        /// Same for every header codec on raw buffers.
+        #[test]
+        fn codecs_never_panic(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+            let _ = crate::ethernet::EthernetHeader::parse(&data);
+            let _ = crate::ipv4::Ipv4Header::parse(&data);
+            let _ = crate::udp::UdpHeader::parse(&data);
+            let _ = crate::tcp::TcpHeader::parse(&data);
+            let _ = crate::arp::ArpPacket::parse(&data);
+            let _ = crate::icmp::IcmpMessage::parse(&data);
+            let _ = crate::filter::PacketMeta::from_ip_datagram(&data);
+            let mut r = crate::frag::Reassembler::new(4, livelock_sim::Cycles::new(100));
+            let _ = r.offer(&data, livelock_sim::Cycles::ZERO);
+        }
+    }
+}

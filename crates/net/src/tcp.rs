@@ -1,0 +1,278 @@
+//! TCP header encode/decode with pseudo-header checksum.
+//!
+//! The paper's §7.1 discusses the effect of the modified kernel on
+//! end-system transport protocols (TCP, and Van Jacobson's
+//! driver-to-transport direct dispatch). The simulation's traffic is UDP,
+//! as in the paper's trials, but the substrate carries TCP segments too:
+//! the screening filter matches TCP ports and the end-system path can
+//! deliver them, so the codec lives here with full checksum support.
+
+use std::net::Ipv4Addr;
+
+use crate::checksum::{fold, sum_words};
+use crate::ipv4::proto;
+use crate::NetError;
+
+/// Length in bytes of an option-less TCP header.
+pub const TCP_HEADER_LEN: usize = 20;
+
+/// TCP flag bits, as in the wire's 13th byte (low 6 bits).
+pub mod flags {
+    /// No more data from sender.
+    pub const FIN: u8 = 0x01;
+    /// Synchronize sequence numbers.
+    pub const SYN: u8 = 0x02;
+    /// Reset the connection.
+    pub const RST: u8 = 0x04;
+    /// Push function.
+    pub const PSH: u8 = 0x08;
+    /// Acknowledgment field significant.
+    pub const ACK: u8 = 0x10;
+    /// Urgent pointer field significant.
+    pub const URG: u8 = 0x20;
+}
+
+/// A decoded TCP header (options are preserved as a data-offset count but
+/// not interpreted).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TcpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgment number.
+    pub ack: u32,
+    /// Header length in 32-bit words (5 when option-less).
+    pub data_offset: u8,
+    /// Flag bits (see [`flags`]).
+    pub flags: u8,
+    /// Receive window.
+    pub window: u16,
+    /// Checksum as stored on the wire.
+    pub checksum: u16,
+    /// Urgent pointer.
+    pub urgent: u16,
+}
+
+impl TcpHeader {
+    /// Builds an option-less header with a zero checksum (fill it with
+    /// [`fill_checksum`] after encoding the full segment).
+    pub fn new(src_port: u16, dst_port: u16, seq: u32, ack: u32, flags: u8, window: u16) -> Self {
+        TcpHeader {
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            data_offset: 5,
+            flags,
+            window,
+            checksum: 0,
+            urgent: 0,
+        }
+    }
+
+    /// Parses a header from the front of `buf`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Truncated`] for short buffers; [`NetError::Malformed`]
+    /// when the data offset is below the minimum or runs past the buffer.
+    pub fn parse(buf: &[u8]) -> Result<Self, NetError> {
+        if buf.len() < TCP_HEADER_LEN {
+            return Err(NetError::Truncated);
+        }
+        let data_offset = buf[12] >> 4;
+        if data_offset < 5 {
+            return Err(NetError::Malformed);
+        }
+        if buf.len() < data_offset as usize * 4 {
+            return Err(NetError::Truncated);
+        }
+        Ok(TcpHeader {
+            src_port: u16::from_be_bytes([buf[0], buf[1]]),
+            dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+            seq: u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]),
+            ack: u32::from_be_bytes([buf[8], buf[9], buf[10], buf[11]]),
+            data_offset,
+            flags: buf[13] & 0x3f,
+            window: u16::from_be_bytes([buf[14], buf[15]]),
+            checksum: u16::from_be_bytes([buf[16], buf[17]]),
+            urgent: u16::from_be_bytes([buf[18], buf[19]]),
+        })
+    }
+
+    /// Encodes the header into the front of `buf`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Truncated`] when `buf` is shorter than 20 bytes.
+    pub fn encode(&self, buf: &mut [u8]) -> Result<(), NetError> {
+        if buf.len() < TCP_HEADER_LEN {
+            return Err(NetError::Truncated);
+        }
+        buf[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        buf[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        buf[4..8].copy_from_slice(&self.seq.to_be_bytes());
+        buf[8..12].copy_from_slice(&self.ack.to_be_bytes());
+        buf[12] = self.data_offset << 4;
+        buf[13] = self.flags & 0x3f;
+        buf[14..16].copy_from_slice(&self.window.to_be_bytes());
+        buf[16..18].copy_from_slice(&self.checksum.to_be_bytes());
+        buf[18..20].copy_from_slice(&self.urgent.to_be_bytes());
+        Ok(())
+    }
+
+    /// Returns `true` if the given flag bits are all set.
+    pub fn has_flags(&self, mask: u8) -> bool {
+        self.flags & mask == mask
+    }
+}
+
+fn pseudo_sum(src: Ipv4Addr, dst: Ipv4Addr, segment: &[u8]) -> u32 {
+    let mut sum = 0u32;
+    sum += sum_words(&src.octets());
+    sum += sum_words(&dst.octets());
+    sum += u32::from(proto::TCP);
+    sum += segment.len() as u32;
+    sum += sum_words(segment);
+    sum
+}
+
+/// Fills the checksum of an encoded TCP segment (header + payload) in
+/// place, over the IPv4 pseudo-header.
+///
+/// # Errors
+///
+/// Returns [`NetError::Truncated`] when `segment` is shorter than a header.
+pub fn fill_checksum(src: Ipv4Addr, dst: Ipv4Addr, segment: &mut [u8]) -> Result<(), NetError> {
+    if segment.len() < TCP_HEADER_LEN {
+        return Err(NetError::Truncated);
+    }
+    segment[16] = 0;
+    segment[17] = 0;
+    let c = !fold(pseudo_sum(src, dst, segment));
+    segment[16..18].copy_from_slice(&c.to_be_bytes());
+    Ok(())
+}
+
+/// Verifies the checksum of an encoded TCP segment. Unlike UDP, a zero TCP
+/// checksum is not special: it is verified like any other value.
+pub fn verify_checksum(src: Ipv4Addr, dst: Ipv4Addr, segment: &[u8]) -> bool {
+    if segment.len() < TCP_HEADER_LEN {
+        return false;
+    }
+    fold(pseudo_sum(src, dst, segment)) == 0xffff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const DST: Ipv4Addr = Ipv4Addr::new(10, 1, 0, 2);
+
+    #[test]
+    fn header_round_trip() {
+        let h = TcpHeader::new(
+            443,
+            51000,
+            0x01020304,
+            0x0a0b0c0d,
+            flags::SYN | flags::ACK,
+            8192,
+        );
+        let mut buf = [0u8; TCP_HEADER_LEN];
+        h.encode(&mut buf).unwrap();
+        let parsed = TcpHeader::parse(&buf).unwrap();
+        assert_eq!(parsed, h);
+        assert!(parsed.has_flags(flags::SYN));
+        assert!(parsed.has_flags(flags::SYN | flags::ACK));
+        assert!(!parsed.has_flags(flags::FIN));
+    }
+
+    #[test]
+    fn parse_rejects_bad_offset() {
+        let mut buf = [0u8; TCP_HEADER_LEN];
+        TcpHeader::new(1, 2, 0, 0, 0, 0).encode(&mut buf).unwrap();
+        buf[12] = 4 << 4; // Below minimum.
+        assert_eq!(TcpHeader::parse(&buf), Err(NetError::Malformed));
+        buf[12] = 8 << 4; // Options claimed but absent.
+        assert_eq!(TcpHeader::parse(&buf), Err(NetError::Truncated));
+        assert_eq!(TcpHeader::parse(&buf[..10]), Err(NetError::Truncated));
+    }
+
+    #[test]
+    fn checksum_fill_verify_detects_corruption() {
+        let mut seg = vec![0u8; TCP_HEADER_LEN + 11];
+        TcpHeader::new(80, 40000, 7, 9, flags::PSH | flags::ACK, 1024)
+            .encode(&mut seg)
+            .unwrap();
+        seg[TCP_HEADER_LEN..].copy_from_slice(b"hello world");
+        fill_checksum(SRC, DST, &mut seg).unwrap();
+        assert!(verify_checksum(SRC, DST, &seg));
+        seg[25] ^= 0x01;
+        assert!(!verify_checksum(SRC, DST, &seg));
+        assert!(!verify_checksum(SRC, DST, &seg[..10]));
+    }
+
+    #[test]
+    fn wrong_pseudo_header_fails() {
+        let mut seg = vec![0u8; TCP_HEADER_LEN];
+        TcpHeader::new(1, 2, 0, 0, flags::SYN, 100)
+            .encode(&mut seg)
+            .unwrap();
+        fill_checksum(SRC, DST, &mut seg).unwrap();
+        // Note: merely swapping src/dst would NOT fail — the pseudo-header
+        // sum is commutative. Use a genuinely different address.
+        assert!(!verify_checksum(SRC, Ipv4Addr::new(10, 1, 0, 3), &seg));
+    }
+
+    #[test]
+    fn filter_sees_tcp_ports() {
+        // The filter's port fallback must read TCP ports correctly.
+        use crate::filter::PacketMeta;
+        use crate::ipv4::{Ipv4Header, IPV4_HEADER_LEN};
+
+        let mut seg = vec![0u8; TCP_HEADER_LEN];
+        TcpHeader::new(5555, 22, 1, 0, flags::SYN, 512)
+            .encode(&mut seg)
+            .unwrap();
+        fill_checksum(SRC, DST, &mut seg).unwrap();
+
+        let ip = Ipv4Header::new(SRC, DST, proto::TCP, 32, seg.len() as u16);
+        let mut dgram = vec![0u8; IPV4_HEADER_LEN + seg.len()];
+        ip.encode(&mut dgram).unwrap();
+        dgram[IPV4_HEADER_LEN..].copy_from_slice(&seg);
+
+        let meta = PacketMeta::from_ip_datagram(&dgram).unwrap();
+        assert_eq!(meta.src_port, Some(5555));
+        assert_eq!(meta.dst_port, Some(22));
+        assert_eq!(meta.protocol, proto::TCP);
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip_any(
+            sp in any::<u16>(), dp in any::<u16>(), seq in any::<u32>(),
+            ack in any::<u32>(), fl in 0u8..64, win in any::<u16>(),
+            payload in proptest::collection::vec(any::<u8>(), 0..128),
+            src in any::<u32>(), dst in any::<u32>(),
+        ) {
+            let h = TcpHeader::new(sp, dp, seq, ack, fl, win);
+            let mut seg = vec![0u8; TCP_HEADER_LEN + payload.len()];
+            h.encode(&mut seg).unwrap();
+            seg[TCP_HEADER_LEN..].copy_from_slice(&payload);
+            let src = Ipv4Addr::from(src);
+            let dst = Ipv4Addr::from(dst);
+            fill_checksum(src, dst, &mut seg).unwrap();
+            prop_assert!(verify_checksum(src, dst, &seg));
+            let parsed = TcpHeader::parse(&seg).unwrap();
+            prop_assert_eq!(parsed.flags, fl & 0x3f);
+            prop_assert_eq!(parsed.src_port, sp);
+            prop_assert_eq!(parsed.window, win);
+        }
+    }
+}

@@ -1,0 +1,427 @@
+//! Statistics containers for experiment measurement.
+//!
+//! The experiment harness measures delivered packet rates, latency
+//! distributions and CPU-time breakdowns. These containers are plain
+//! value types with no interior mutability, so trials stay deterministic.
+
+use core::fmt;
+
+use crate::time::{Cycles, Freq, Nanos};
+
+/// A saturating event counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub const fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds one.
+    pub fn inc(&mut self) {
+        self.0 = self.0.saturating_add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 = self.0.saturating_add(n);
+    }
+
+    /// Returns the count.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Resets to zero.
+    pub fn reset(&mut self) {
+        self.0 = 0;
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Running mean and variance (Welford's algorithm).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MeanVar {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl MeanVar {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        MeanVar {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Returns the number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Returns the sample mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Returns the sample variance (0.0 with fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Returns the sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Returns the smallest sample (None when empty).
+    pub fn min(&self) -> Option<f64> {
+        if self.n == 0 {
+            None
+        } else {
+            Some(self.min)
+        }
+    }
+
+    /// Returns the largest sample (None when empty).
+    pub fn max(&self) -> Option<f64> {
+        if self.n == 0 {
+            None
+        } else {
+            Some(self.max)
+        }
+    }
+}
+
+/// A logarithmically bucketed histogram of durations, for latency and jitter.
+///
+/// Buckets are powers of two in nanoseconds, giving ~2x resolution over a
+/// huge dynamic range with constant memory — adequate for the paper's
+/// qualitative latency discussion (§4.3).
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    stats: MeanVar,
+}
+
+const HIST_BUCKETS: usize = 64;
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; HIST_BUCKETS],
+            stats: MeanVar::new(),
+        }
+    }
+
+    fn bucket_for(ns: u64) -> usize {
+        (64 - ns.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+    }
+
+    /// Records a duration.
+    pub fn record(&mut self, d: Nanos) {
+        self.buckets[Self::bucket_for(d.raw())] += 1;
+        self.stats.record(d.raw() as f64);
+    }
+
+    /// Returns the number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.stats.count()
+    }
+
+    /// Returns the mean duration.
+    pub fn mean(&self) -> Nanos {
+        Nanos::new(self.stats.mean() as u64)
+    }
+
+    /// Returns the standard deviation of the recorded durations, a proxy for
+    /// jitter.
+    pub fn jitter(&self) -> Nanos {
+        Nanos::new(self.stats.stddev() as u64)
+    }
+
+    /// Returns the maximum recorded duration.
+    pub fn max(&self) -> Nanos {
+        Nanos::new(self.stats.max().unwrap_or(0.0) as u64)
+    }
+
+    /// Returns the minimum recorded duration.
+    pub fn min(&self) -> Nanos {
+        Nanos::new(self.stats.min().unwrap_or(0.0) as u64)
+    }
+
+    /// Returns an upper bound for the q-quantile (0.0 ≤ q ≤ 1.0) duration.
+    ///
+    /// The bound is the top edge of the bucket containing the quantile, so it
+    /// is within 2x of the true value.
+    pub fn quantile(&self, q: f64) -> Nanos {
+        let total = self.count();
+        if total == 0 {
+            return Nanos::ZERO;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target.max(1) {
+                let top = if i >= 63 { u64::MAX } else { (1u64 << i) - 1 };
+                return Nanos::new(top);
+            }
+        }
+        Nanos::new(u64::MAX)
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// A time series of `(time, value)` samples.
+#[derive(Clone, Debug, Default)]
+pub struct TimeSeries {
+    points: Vec<(Cycles, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        TimeSeries { points: Vec::new() }
+    }
+
+    /// Appends a sample; times must be non-decreasing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the previous sample.
+    pub fn push(&mut self, at: Cycles, value: f64) {
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(at >= last, "time series must be monotonic");
+        }
+        self.points.push((at, value));
+    }
+
+    /// Returns the recorded samples.
+    pub fn points(&self) -> &[(Cycles, f64)] {
+        &self.points
+    }
+
+    /// Returns the number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Returns the mean of values sampled within `[from, to)`.
+    pub fn mean_in(&self, from: Cycles, to: Cycles) -> Option<f64> {
+        let mut acc = MeanVar::new();
+        for &(t, v) in &self.points {
+            if t >= from && t < to {
+                acc.record(v);
+            }
+        }
+        if acc.count() == 0 {
+            None
+        } else {
+            Some(acc.mean())
+        }
+    }
+}
+
+/// Counts events inside a measurement window and converts to a rate.
+///
+/// The paper reports averaged rates over each trial (sampling interface
+/// counters before and after); `RateWindow` reproduces that: only events
+/// inside `[start, end)` count.
+#[derive(Clone, Copy, Debug)]
+pub struct RateWindow {
+    start: Cycles,
+    end: Cycles,
+    count: u64,
+}
+
+impl RateWindow {
+    /// Creates a window covering `[start, end)`.
+    pub fn new(start: Cycles, end: Cycles) -> Self {
+        RateWindow {
+            start,
+            end,
+            count: 0,
+        }
+    }
+
+    /// Records an event at time `t` if it falls inside the window.
+    pub fn record(&mut self, t: Cycles) {
+        if t >= self.start && t < self.end {
+            self.count += 1;
+        }
+    }
+
+    /// Returns the number of in-window events.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Returns the window bounds.
+    pub fn bounds(&self) -> (Cycles, Cycles) {
+        (self.start, self.end)
+    }
+
+    /// Returns the event rate in events/second given the CPU frequency.
+    pub fn rate_per_sec(&self, freq: Freq) -> f64 {
+        let span = freq.secs_from_cycles(self.end - self.start);
+        if span <= 0.0 {
+            0.0
+        } else {
+            self.count as f64 / span
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.reset();
+        assert_eq!(c.get(), 0);
+        c.add(u64::MAX);
+        c.inc();
+        assert_eq!(c.get(), u64::MAX, "saturates");
+    }
+
+    #[test]
+    fn meanvar_known_values() {
+        let mut m = MeanVar::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            m.record(x);
+        }
+        assert_eq!(m.count(), 8);
+        assert!((m.mean() - 5.0).abs() < 1e-12);
+        assert!((m.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(m.min(), Some(2.0));
+        assert_eq!(m.max(), Some(9.0));
+    }
+
+    #[test]
+    fn meanvar_empty() {
+        let m = MeanVar::new();
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.variance(), 0.0);
+        assert_eq!(m.min(), None);
+        assert_eq!(m.max(), None);
+    }
+
+    #[test]
+    fn histogram_quantiles_bound_samples() {
+        let mut h = Histogram::new();
+        for us in 1..=1000u64 {
+            h.record(Nanos::from_micros(us));
+        }
+        assert_eq!(h.count(), 1000);
+        let median = h.quantile(0.5);
+        // True median 500us; bucketed bound must be within 2x above it.
+        assert!(median >= Nanos::from_micros(500));
+        assert!(median <= Nanos::from_micros(1100), "median bound {median}");
+        assert!(h.quantile(1.0) >= h.quantile(0.5));
+        assert_eq!(h.mean(), Nanos::new(500_500));
+        assert_eq!(h.max(), Nanos::from_micros(1000));
+        assert_eq!(h.min(), Nanos::from_micros(1));
+    }
+
+    #[test]
+    fn histogram_empty_quantile() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.99), Nanos::ZERO);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn histogram_zero_duration() {
+        let mut h = Histogram::new();
+        h.record(Nanos::ZERO);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn time_series_mean_in_window() {
+        let mut ts = TimeSeries::new();
+        ts.push(Cycles::new(0), 1.0);
+        ts.push(Cycles::new(10), 3.0);
+        ts.push(Cycles::new(20), 100.0);
+        assert_eq!(ts.mean_in(Cycles::new(0), Cycles::new(20)), Some(2.0));
+        assert_eq!(ts.mean_in(Cycles::new(30), Cycles::new(40)), None);
+        assert_eq!(ts.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotonic")]
+    fn time_series_rejects_backwards_time() {
+        let mut ts = TimeSeries::new();
+        ts.push(Cycles::new(10), 1.0);
+        ts.push(Cycles::new(5), 2.0);
+    }
+
+    #[test]
+    fn rate_window_counts_and_rates() {
+        let freq = Freq::mhz(100);
+        // A 1-second window at 100 MHz.
+        let mut w = RateWindow::new(Cycles::new(0), freq.cycles_from_secs(1));
+        for i in 0..5000u64 {
+            w.record(Cycles::new(i * 10_000));
+        }
+        // Events at t >= 1s fall outside.
+        w.record(freq.cycles_from_secs(1));
+        w.record(freq.cycles_from_secs(2));
+        assert_eq!(w.count(), 5000);
+        assert!((w.rate_per_sec(freq) - 5000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rate_window_empty_span() {
+        let w = RateWindow::new(Cycles::new(5), Cycles::new(5));
+        assert_eq!(w.rate_per_sec(Freq::mhz(100)), 0.0);
+    }
+}

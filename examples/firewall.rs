@@ -1,0 +1,70 @@
+//! A screening firewall under a packet flood: queue-state feedback in
+//! action.
+//!
+//! Runs the router with a realistic screend rule set (not just accept-all)
+//! while a flood of 7,000 pkts/s arrives — beyond what the user-mode
+//! screening process can handle. Without queue-state feedback the kernel
+//! starves screend and delivers nothing; with feedback it inhibits input
+//! at the screening queue's high-water mark and sustains screend's full
+//! capacity.
+//!
+//! ```text
+//! cargo run --release --example firewall
+//! ```
+
+use livelock_core::poller::Quota;
+use livelock_kernel::config::KernelConfig;
+use livelock_kernel::experiment::{run_trial, TrialSpec};
+use livelock_net::filter::Filter;
+
+const RULES: &str = "\
+# Block spoofed loopback/bogon sources.
+deny ip from 127.0.0.0/8 to any
+deny ip from 0.0.0.0/8 to any
+# No DNS to the inside except the official resolver.
+accept udp from any to 10.1.0.53 port 53
+deny udp from any to 10.1.0.0/16 port 53
+# Management network: ICMP only.
+deny tcp from any to 10.1.255.0/24
+deny udp from any to 10.1.255.0/24
+# Everything else is allowed through.
+accept ip from any to any
+";
+
+fn main() {
+    let rules = Filter::parse(RULES).expect("rule file parses");
+    println!(
+        "Screening firewall: {} rules, flood of 7000 pkts/s (screend capacity ~1900 pkts/s)\n",
+        rules.rules().len()
+    );
+
+    for (name, feedback) in [("WITHOUT feedback", false), ("WITH feedback", true)] {
+        let mut cfg = if feedback {
+            KernelConfig::polled_screend_feedback(Quota::Limited(10))
+        } else {
+            KernelConfig::polled_screend_no_feedback(Quota::Limited(10))
+        };
+        cfg.screend.as_mut().expect("screend configured").rules =
+            Filter::parse(RULES).expect("rule file parses");
+
+        let r = run_trial(&TrialSpec {
+            rate_pps: 7_000.0,
+            n_packets: 5_000,
+            ..TrialSpec::new(cfg)
+        });
+        println!("{name}:");
+        println!(
+            "  delivered through firewall {:>8.0} pkts/s",
+            r.delivered_pps
+        );
+        println!("  dropped at screening queue {:>8}", r.screend_q_drops);
+        println!("  dropped at receive ring    {:>8} (free)", r.rx_ring_drops);
+        println!();
+    }
+
+    println!(
+        "Feedback moves the loss from the screening queue (where the kernel\n\
+         has already invested per-packet work) to the receive ring (where\n\
+         drops are free), so the firewall keeps forwarding at full capacity."
+    );
+}

@@ -1,0 +1,72 @@
+//! Passive network monitoring — the paper's second motivating application.
+//!
+//! A monitoring station receives a mirror of LAN traffic in promiscuous
+//! mode and hands every frame to a user-mode capture process through a
+//! bounded packet-filter queue (here modelled with the screend machinery:
+//! the "capture" process consumes matching packets instead of forwarding
+//! them). Under a traffic spike the monitor itself must not livelock —
+//! §6.6.1 suggests applying the same queue-state feedback to packet filter
+//! queues.
+//!
+//! ```text
+//! cargo run --release --example monitor
+//! ```
+
+use livelock_core::poller::Quota;
+use livelock_kernel::config::KernelConfig;
+use livelock_kernel::experiment::{run_trial, TrialSpec};
+use livelock_net::filter::Filter;
+
+/// The capture filter: the analyst only wants DNS and the UDP test stream;
+/// captured packets are consumed by the monitor (deny = do not forward).
+const CAPTURE_RULES: &str = "\
+deny udp from any to any port 53
+deny udp from any to any port 9
+accept ip from any to any
+";
+
+fn main() {
+    println!("Passive monitor under a 9,000 pkts/s traffic spike\n");
+
+    for (name, feedback) in [("WITHOUT feedback", false), ("WITH feedback", true)] {
+        let mut cfg = if feedback {
+            KernelConfig::polled_screend_feedback(Quota::Limited(10))
+        } else {
+            KernelConfig::polled_screend_no_feedback(Quota::Limited(10))
+        };
+        cfg.screend
+            .as_mut()
+            .expect("capture queue configured")
+            .rules = Filter::parse(CAPTURE_RULES).expect("capture rules parse");
+
+        let r = run_trial(&TrialSpec {
+            rate_pps: 9_000.0,
+            n_packets: 6_000,
+            ..TrialSpec::new(cfg)
+        });
+
+        // The testbed traffic targets UDP port 9, so every packet that
+        // reaches the capture process matches a capture (deny) rule.
+        let total_spike = 6_000.0;
+        println!("{name}:");
+        println!(
+            "  frames captured            {:>8} ({:.0}% of the spike)",
+            screend_captures(&r),
+            100.0 * screend_captures(&r) as f64 / total_spike
+        );
+        println!("  lost at capture queue      {:>8}", r.screend_q_drops);
+        println!("  lost at receive ring       {:>8} (free)", r.rx_ring_drops);
+        println!();
+    }
+
+    println!(
+        "Without feedback the monitor's kernel half consumes the CPU and the\n\
+         capture process loses most of the spike at the filter queue; with\n\
+         feedback the capture process keeps up at its sustainable rate."
+    );
+}
+
+fn screend_captures(r: &livelock_kernel::experiment::TrialResult) -> u64 {
+    // Captured = consumed by the monitor process (screend "denied").
+    r.screend_denied
+}

@@ -1,0 +1,52 @@
+//! Quickstart: reproduce receive livelock, then eliminate it.
+//!
+//! Floods a simulated router with minimum-size UDP packets at an overload
+//! rate (8,000 pkts/s, well past the ~4,500 pkts/s MLFRR) under the
+//! unmodified interrupt-driven kernel and under the paper's modified
+//! polling kernel, and prints what each delivered.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use livelock_core::poller::Quota;
+use livelock_kernel::config::KernelConfig;
+use livelock_kernel::experiment::{run_trial, TrialSpec};
+
+fn main() {
+    let rate = 8_000.0;
+    println!("Flooding the router with {rate:.0} pkts/s of minimum-size UDP packets...\n");
+
+    for (name, cfg) in [
+        ("unmodified 4.2BSD-style kernel", KernelConfig::unmodified()),
+        (
+            "modified kernel (polling, quota=10)",
+            KernelConfig::polled(Quota::Limited(10)),
+        ),
+    ] {
+        let r = run_trial(&TrialSpec {
+            rate_pps: rate,
+            n_packets: 5_000,
+            ..TrialSpec::new(cfg)
+        });
+        println!("{name}:");
+        println!("  offered        {:>8.0} pkts/s", r.offered_pps);
+        println!("  delivered      {:>8.0} pkts/s", r.delivered_pps);
+        println!(
+            "  rx-ring drops  {:>8} (free, at the interface)",
+            r.rx_ring_drops
+        );
+        println!(
+            "  wasted drops   {:>8} (after CPU work was invested)",
+            r.ipintrq_drops + r.ifq_drops
+        );
+        println!("  mean latency   {:>8}", r.latency_mean);
+        println!("  interrupts     {:>8}\n", r.interrupts_taken);
+    }
+
+    println!(
+        "The unmodified kernel spends its CPU on packets it later drops at\n\
+         ipintrq; the modified kernel drops excess load for free at the\n\
+         interface and sustains its maximum loss-free receive rate."
+    );
+}
