@@ -2,25 +2,46 @@
 //! series as text tables (stdout) and CSV files (`results/`).
 //!
 //! ```text
-//! cargo run --release -p livelock-bench --bin figures [--quick] [--fig 6-4]
+//! cargo run --release -p livelock-bench --bin figures [--quick] [--fig 6-4] [--jobs N]
 //! ```
 //!
 //! `--quick` uses 2,000-packet trials instead of the paper's 10,000 (about
 //! 5x faster, slightly noisier). `--fig <id>` renders a single figure.
+//! `--jobs N` fans trials across N worker threads (default: the host's
+//! available parallelism); every trial is independently seeded, so the
+//! output is byte-identical for every job count.
+//!
+//! Exit status: 0 on success, 1 when any CSV could not be written (or the
+//! arguments are bad), 2 when a rendered figure violates the paper's
+//! qualitative shape.
 
 use std::fs;
 use std::path::Path;
 
-use livelock_bench::{all_figures, render_figure, shape_violations, PAPER_TRIAL_PACKETS};
+use livelock_bench::{all_figures, render_figure_jobs, shape_violations, PAPER_TRIAL_PACKETS};
+use livelock_kernel::par::default_jobs;
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let only: Option<String> = args
-        .iter()
-        .position(|a| a == "--fig")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    let only: Option<String> = flag_value(&args, "--fig");
+    let jobs = match flag_value(&args, "--jobs") {
+        None => default_jobs(),
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("--jobs: bad thread count {v:?}");
+                std::process::exit(1);
+            }
+        },
+    };
     let n_packets = if quick { 2_000 } else { PAPER_TRIAL_PACKETS };
 
     let out_dir = Path::new("results");
@@ -29,6 +50,9 @@ fn main() {
         std::process::exit(1);
     }
 
+    // Write failures are collected, not fatal: a read-only results/ dir
+    // should not abort the remaining figures' rendering and shape checks.
+    let mut write_errors = Vec::new();
     let mut all_violations = Vec::new();
     for fig in all_figures() {
         if let Some(id) = &only {
@@ -37,22 +61,27 @@ fn main() {
             }
         }
         eprintln!(
-            "rendering figure {} ({} packets/trial)...",
+            "rendering figure {} ({} packets/trial, {jobs} jobs)...",
             fig.id, n_packets
         );
-        let rendered = render_figure(&fig, n_packets);
+        let rendered = render_figure_jobs(&fig, n_packets, jobs);
         print!("{}", rendered.to_table());
         print!("{}", rendered.shape_summary());
         println!();
         let path = out_dir.join(format!("fig{}.csv", fig.id.replace('-', "_")));
-        if let Err(e) = fs::write(&path, rendered.to_csv()) {
-            eprintln!("cannot write {}: {e}", path.display());
-        } else {
-            eprintln!("wrote {}", path.display());
+        match fs::write(&path, rendered.to_csv()) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => write_errors.push(format!("{}: {e}", path.display())),
         }
         all_violations.extend(shape_violations(&rendered));
     }
 
+    if !write_errors.is_empty() {
+        eprintln!("CSV WRITE FAILURES:");
+        for w in &write_errors {
+            eprintln!("  {w}");
+        }
+    }
     if all_violations.is_empty() {
         eprintln!("all rendered figures match the paper's qualitative shapes");
     } else {
@@ -61,5 +90,8 @@ fn main() {
             eprintln!("  {v}");
         }
         std::process::exit(2);
+    }
+    if !write_errors.is_empty() {
+        std::process::exit(1);
     }
 }

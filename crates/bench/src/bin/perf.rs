@@ -1,0 +1,107 @@
+//! `perf` — self-timing harness for the parallel figure pipeline.
+//!
+//! ```text
+//! cargo run --release -p livelock-bench --bin perf [--packets N] [--jobs-list 1,2,4]
+//! ```
+//!
+//! Renders every figure at each job count in `--jobs-list` (default:
+//! `1,<available parallelism>`), reporting wall-clock per figure and in
+//! total, the speedup over the first (baseline) job count, and whether the
+//! CSV output is byte-identical across all job counts — the determinism
+//! guarantee the parallel executor makes. Plain `std::time::Instant`
+//! timing; no external harness.
+//!
+//! Exit status: 0 on success, 1 when any job count's CSV output differs
+//! from the baseline's (or the arguments are bad).
+
+use std::time::Instant;
+
+use livelock_bench::{all_figures, render_figure_jobs};
+use livelock_kernel::par::default_jobs;
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n_packets = match flag_value(&args, "--packets") {
+        None => 2_000,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("--packets: bad count {v:?}");
+                std::process::exit(1);
+            }
+        },
+    };
+    let jobs_list: Vec<usize> = match flag_value(&args, "--jobs-list") {
+        None => {
+            let n = default_jobs();
+            if n > 1 {
+                vec![1, n]
+            } else {
+                vec![1]
+            }
+        }
+        Some(v) => match v.split(',').map(|s| s.parse::<usize>()).collect() {
+            Ok(list) => list,
+            Err(_) => {
+                eprintln!("--jobs-list: bad list {v:?} (want e.g. 1,2,4)");
+                std::process::exit(1);
+            }
+        },
+    };
+
+    let figs = all_figures();
+    eprintln!(
+        "timing {} figures at {n_packets} packets/trial, jobs {jobs_list:?}",
+        figs.len()
+    );
+
+    let mut baseline: Option<(f64, Vec<String>)> = None;
+    let mut mismatches = 0usize;
+    for &jobs in &jobs_list {
+        let t0 = Instant::now();
+        let mut csvs = Vec::with_capacity(figs.len());
+        for fig in &figs {
+            let ft0 = Instant::now();
+            let rendered = render_figure_jobs(fig, n_packets, jobs);
+            eprintln!(
+                "  jobs={jobs} fig {:>4}: {:>7.2}s",
+                fig.id,
+                ft0.elapsed().as_secs_f64()
+            );
+            csvs.push(rendered.to_csv());
+        }
+        let total = t0.elapsed().as_secs_f64();
+        match &baseline {
+            None => {
+                println!("jobs={jobs}: {total:.2}s total (baseline)");
+                baseline = Some((total, csvs));
+            }
+            Some((base_total, base_csvs)) => {
+                let identical = csvs == *base_csvs;
+                println!(
+                    "jobs={jobs}: {total:.2}s total, {:.2}x speedup, CSV {}",
+                    base_total / total,
+                    if identical {
+                        "byte-identical to baseline"
+                    } else {
+                        "DIFFERS FROM BASELINE"
+                    }
+                );
+                if !identical {
+                    mismatches += 1;
+                }
+            }
+        }
+    }
+    if mismatches > 0 {
+        eprintln!("error: {mismatches} job count(s) produced different CSV output");
+        std::process::exit(1);
+    }
+}

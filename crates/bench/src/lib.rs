@@ -10,6 +10,7 @@ use livelock_core::analysis::{classify, mlfrr, overload_stability, LivelockVerdi
 use livelock_core::poller::Quota;
 use livelock_kernel::config::KernelConfig;
 use livelock_kernel::experiment::{run_trial, sweep, SweepResult, TrialSpec};
+use livelock_kernel::par::par_map;
 
 /// One figure: an id, a caption, curves, and the swept input rates.
 pub struct Figure {
@@ -263,12 +264,44 @@ impl RenderedFigure {
     }
 }
 
-/// Regenerates one figure at the given trial size.
+/// Regenerates one figure at the given trial size, serially.
+///
+/// Equivalent to [`render_figure_jobs`] with `jobs == 1` — the parallel
+/// path produces bit-for-bit identical results.
 pub fn render_figure(fig: &Figure, n_packets: usize) -> RenderedFigure {
+    render_figure_jobs(fig, n_packets, 1)
+}
+
+/// Regenerates one figure on up to `jobs` worker threads.
+///
+/// The work list is the flattened (curve × rate) grid, not per-curve
+/// sweeps, so the available parallelism is `curves.len() * rates.len()`
+/// trials (e.g. 60 for Figure 6-5) rather than just one curve's rates.
+/// Every trial is independently seeded, so the output is identical to the
+/// serial path regardless of `jobs`.
+pub fn render_figure_jobs(fig: &Figure, n_packets: usize, jobs: usize) -> RenderedFigure {
+    let work: Vec<(usize, f64)> = fig
+        .curves
+        .iter()
+        .enumerate()
+        .flat_map(|(ci, _)| fig.rates.iter().map(move |&r| (ci, r)))
+        .collect();
+    let mut trials = par_map(&work, jobs, |&(ci, rate_pps)| {
+        let (_, cfg) = &fig.curves[ci];
+        run_trial(&TrialSpec {
+            rate_pps,
+            n_packets,
+            ..TrialSpec::new(cfg.clone())
+        })
+    })
+    .into_iter();
     let curves = fig
         .curves
         .iter()
-        .map(|(label, cfg)| run_curve(label, cfg, &fig.rates, n_packets))
+        .map(|(label, _)| SweepResult {
+            label: label.clone(),
+            trials: trials.by_ref().take(fig.rates.len()).collect(),
+        })
         .collect();
     RenderedFigure {
         id: fig.id,
@@ -371,6 +404,25 @@ mod tests {
     }
 
     #[test]
+    fn parallel_render_matches_serial_bit_for_bit() {
+        // Two curves x two rates: the flattened grid exercises regrouping.
+        let fig = Figure {
+            rates: vec![1_000.0, 8_000.0],
+            ..fig6_1()
+        };
+        let serial = render_figure(&fig, 300);
+        for jobs in [2, 4] {
+            let par = render_figure_jobs(&fig, 300, jobs);
+            assert_eq!(par.curves.len(), serial.curves.len());
+            for (p, s) in par.curves.iter().zip(&serial.curves) {
+                assert_eq!(p.label, s.label, "jobs={jobs}");
+                assert_eq!(p.trials, s.trials, "jobs={jobs}");
+            }
+            assert_eq!(par.to_csv(), serial.to_csv(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
     fn shape_checker_flags_wrong_shapes() {
         use livelock_kernel::experiment::{SweepResult, TrialResult};
         use livelock_sim::Nanos;
@@ -394,6 +446,7 @@ mod tests {
             latency_jitter: Nanos::ZERO,
             user_cpu_frac: 0.0,
             interrupts_taken: 0,
+            pool: Default::default(),
         };
         let rates = vec![2_000.0, 6_000.0, 12_000.0];
         let plateau: Vec<_> = rates.iter().map(|&r| fake_trial(r, 4_000.0_f64.min(r))).collect();

@@ -110,6 +110,74 @@ pub fn classify(
     }
 }
 
+/// Searches for the MLFRR by multisection over an offered-rate bracket.
+///
+/// Each round splits the current `(lo, hi)` bracket into `k + 1` equal
+/// intervals and asks `probe` to measure all `k` interior rates **in one
+/// batch** — the caller may run them concurrently (e.g. with
+/// `livelock_kernel::par_map`), which is why this takes a batch closure
+/// instead of a single-rate one. The bracket then narrows to the highest
+/// loss-free probe and the lowest lossy probe, so a round shrinks it by a
+/// factor of `k + 1` instead of plain bisection's 2. With `k == 1` this
+/// *is* plain bisection.
+///
+/// `probe` must return one [`SweepPoint`] per requested rate, in order.
+/// The search assumes `lo` is loss-free (validate the bracket first) and
+/// returns the highest rate observed loss-free after `rounds` rounds.
+///
+/// # Panics
+///
+/// Panics if `probe` returns a different number of points than rates
+/// requested.
+pub fn mlfrr_multisection<F>(
+    bracket: (f64, f64),
+    k: usize,
+    rounds: usize,
+    loss_free_frac: f64,
+    mut probe: F,
+) -> f64
+where
+    F: FnMut(&[f64]) -> Vec<SweepPoint>,
+{
+    let (mut lo, mut hi) = bracket;
+    let k = k.max(1);
+    for _ in 0..rounds {
+        if hi <= lo {
+            break;
+        }
+        let step = (hi - lo) / (k as f64 + 1.0);
+        let mids: Vec<f64> = (1..=k).map(|i| lo + step * i as f64).collect();
+        let pts = probe(&mids);
+        assert_eq!(
+            pts.len(),
+            mids.len(),
+            "probe must return one point per rate"
+        );
+        for (&rate, p) in mids.iter().zip(&pts) {
+            if p.delivered >= loss_free_frac * p.offered {
+                lo = lo.max(rate);
+            } else {
+                hi = hi.min(rate);
+            }
+        }
+        if hi < lo {
+            // A non-monotone response inverted the bracket; treat the
+            // highest loss-free rate seen as converged.
+            hi = lo;
+        }
+    }
+    lo
+}
+
+/// The number of multisection rounds that match plain bisection's
+/// precision: `k`-section shrinks the bracket by `k + 1` per round, so
+/// `rounds(k)` rounds shrink at least as much as `bisect_rounds` halvings.
+pub fn multisection_rounds(k: usize, bisect_rounds: u32) -> usize {
+    let k = k.max(1);
+    let shrink = (k as f64 + 1.0).ln();
+    (f64::from(bisect_rounds) * std::f64::consts::LN_2 / shrink).ceil() as usize
+}
+
 /// Overload stability: the ratio of delivered throughput at maximum load to
 /// the peak delivered throughput (1.0 = perfectly flat plateau, → 0 =
 /// livelock). This is the scalar the ablation benches report.
@@ -124,6 +192,7 @@ pub fn overload_stability(points: &[SweepPoint]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
     fn sweep(pairs: &[(f64, f64)]) -> Vec<SweepPoint> {
@@ -213,6 +282,64 @@ mod tests {
         assert_eq!(overload_stability(&[]), 0.0);
     }
 
+    /// A synthetic system that is loss-free up to `knee` and lossy above.
+    fn knee_probe(knee: f64) -> impl FnMut(&[f64]) -> Vec<SweepPoint> {
+        move |rates: &[f64]| {
+            rates
+                .iter()
+                .map(|&r| {
+                    let d = if r <= knee { r } else { 0.5 * r };
+                    SweepPoint::new(r, d)
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn multisection_converges_on_the_knee() {
+        let knee = 5_230.0;
+        for k in [1, 2, 4, 8] {
+            let rounds = multisection_rounds(k, 12);
+            let m = mlfrr_multisection((100.0, 14_000.0), k, rounds, 0.98, knee_probe(knee));
+            let err = (m - knee).abs();
+            assert!(err < 10.0, "k={k}: MLFRR {m} vs knee {knee} (err {err})");
+            assert!(m <= knee, "k={k}: never overshoots the loss-free region");
+        }
+    }
+
+    #[test]
+    fn multisection_with_k1_is_bisection() {
+        // k = 1 probes the single midpoint each round: classic bisection.
+        let mut probes = Vec::new();
+        let mut inner = knee_probe(6_000.0);
+        let m = mlfrr_multisection((0.0, 8_000.0), 1, 3, 0.98, |rates| {
+            assert_eq!(rates.len(), 1);
+            probes.push(rates[0]);
+            inner(rates)
+        });
+        assert_eq!(probes, vec![4_000.0, 6_000.0, 7_000.0]);
+        assert_eq!(m, 6_000.0);
+    }
+
+    #[test]
+    fn multisection_zero_rounds_returns_lo() {
+        let m = mlfrr_multisection((250.0, 9_000.0), 4, 0, 0.98, |_| unreachable!());
+        assert_eq!(m, 250.0);
+    }
+
+    #[test]
+    fn multisection_round_counts_match_bisection_precision() {
+        assert_eq!(multisection_rounds(1, 12), 12);
+        assert_eq!(multisection_rounds(3, 12), 6);
+        assert!(multisection_rounds(7, 12) <= 4);
+        // A round of k-section must shrink at least as much as the
+        // bisection it replaces.
+        for k in 1..=16usize {
+            let r = multisection_rounds(k, 12) as f64;
+            assert!((k as f64 + 1.0).powf(r) >= 2f64.powi(12) - 1e-6);
+        }
+    }
+
     #[test]
     fn helpers() {
         assert_eq!(peak_delivered(&livelock_curve()), 2000.0);
@@ -220,6 +347,7 @@ mod tests {
         assert_eq!(delivered_at_max_load(&[]), 0.0);
     }
 
+    #[cfg(feature = "proptest")]
     proptest! {
         #[test]
         fn stability_is_bounded(

@@ -144,6 +144,7 @@ impl CycleLimiter {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
     #[test]
@@ -226,6 +227,7 @@ mod tests {
         let _ = CycleLimiter::new(100, 1.5);
     }
 
+    #[cfg(feature = "proptest")]
     proptest! {
         /// The limiter inhibits iff cumulative usage exceeds the budget
         /// (when the threshold is below 100%), and the total overshoot is at

@@ -140,6 +140,7 @@ impl WatermarkFeedback {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
     #[test]
@@ -240,6 +241,7 @@ mod tests {
         assert_eq!(fb.on_depth(0), Some(FeedbackSignal::Resume));
     }
 
+    #[cfg(feature = "proptest")]
     proptest! {
         /// Signals strictly alternate Inhibit/Resume and the controller's
         /// state always matches the last signal emitted.

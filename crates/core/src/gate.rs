@@ -145,6 +145,7 @@ impl IntrGate {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
     #[test]
@@ -201,6 +202,7 @@ mod tests {
         );
     }
 
+    #[cfg(feature = "proptest")]
     proptest! {
         /// The central safety property: after any sequence of operations,
         /// the gate is open iff the model set of standing reasons is empty,

@@ -266,6 +266,7 @@ impl Poller {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
     fn poller_with(n: usize) -> (Poller, Vec<SourceId>) {
@@ -370,6 +371,7 @@ mod tests {
         assert_eq!(p.quota(PollDirection::Transmit), Quota::Limited(20));
     }
 
+    #[cfg(feature = "proptest")]
     proptest! {
         /// Fairness: with every slot always pending, over S*k consecutive
         /// actions every (source, direction) slot is served exactly k times,

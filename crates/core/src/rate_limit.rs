@@ -126,6 +126,7 @@ impl IntrRateLimiter {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
     #[test]
@@ -177,6 +178,7 @@ mod tests {
         let _ = IntrRateLimiter::new(0, 1);
     }
 
+    #[cfg(feature = "proptest")]
     proptest! {
         /// The sustained rate never exceeds the configured one: over any
         /// request trace, allowed ≤ burst + elapsed/interval.

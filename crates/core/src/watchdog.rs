@@ -95,6 +95,7 @@ impl ProgressWatchdog {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
     #[test]
@@ -151,6 +152,7 @@ mod tests {
         assert_eq!(wd.on_period(), None);
     }
 
+    #[cfg(feature = "proptest")]
     proptest! {
         /// Signals alternate (never two Inhibits or two Resumes in a row)
         /// and the state matches the last signal.

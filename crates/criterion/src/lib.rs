@@ -1,0 +1,188 @@
+#![warn(missing_docs)]
+
+//! An offline, dependency-free subset of the [criterion](https://crates.io/crates/criterion)
+//! benchmarking API.
+//!
+//! The build environment for this repository has no network access to a
+//! crates.io registry, so the real `criterion` crate cannot be resolved.
+//! This crate re-implements the surface the workspace's `[[bench]]`
+//! targets use — [`criterion_group!`], [`criterion_main!`], [`Criterion`],
+//! benchmark groups with `sample_size`/`throughput`, `bench_function`,
+//! and [`black_box`] — on top of plain [`std::time::Instant`] timing.
+//!
+//! Statistical rigor is deliberately modest compared to real criterion
+//! (no outlier analysis, no HTML reports): each benchmark runs one warm-up
+//! iteration plus `sample_size` timed iterations and prints the minimum,
+//! median and mean wall-clock time, with element throughput when
+//! configured.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl AsRef<str>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.as_ref().to_string(),
+            sample_size,
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing sample-size/throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares the work performed per iteration, enabling rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark: `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`].
+    pub fn bench_function(&mut self, id: impl AsRef<str>, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        let mut samples = b.samples;
+        assert!(
+            !samples.is_empty(),
+            "bench_function closure must call Bencher::iter"
+        );
+        samples.sort();
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        let rate = self.throughput.map(|t| match t {
+            Throughput::Elements(n) => format!(
+                "  ({:.0} elem/s)",
+                n as f64 / median.as_secs_f64().max(1e-12)
+            ),
+            Throughput::Bytes(n) => format!(
+                "  ({:.1} MiB/s)",
+                n as f64 / 1048576.0 / median.as_secs_f64().max(1e-12)
+            ),
+        });
+        println!(
+            "{}/{}: median {:?}  mean {:?}  min {:?}  [{} samples]{}",
+            self.name,
+            id.as_ref(),
+            median,
+            mean,
+            min,
+            samples.len(),
+            rate.unwrap_or_default()
+        );
+    }
+
+    /// Explicitly ends the group (provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Times the closure passed to [`Bencher::iter`].
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `f` once as warm-up, then `sample_size` timed iterations.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        black_box(f());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Declares a group of benchmark functions, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn times_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("stub");
+        g.sample_size(3).throughput(Throughput::Elements(10));
+        let mut runs = 0u32;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        // 1 warm-up + 3 samples.
+        assert_eq!(runs, 4);
+        g.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "must call Bencher::iter")]
+    fn missing_iter_detected() {
+        let mut c = Criterion::default();
+        c.benchmark_group("stub").bench_function("noop", |_| {});
+    }
+}

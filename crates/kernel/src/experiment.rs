@@ -19,6 +19,7 @@ use livelock_machine::cpu::Engine;
 use livelock_machine::wire::Wire;
 use livelock_net::gen::{PacketFactory, TrafficGen};
 use livelock_net::packet::MIN_FRAME_LEN;
+use livelock_net::pool::{FramePool, PoolStats};
 use livelock_sim::{Cycles, Nanos};
 
 use crate::config::KernelConfig;
@@ -54,7 +55,7 @@ impl TrialSpec {
 }
 
 /// What one trial measured.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TrialResult {
     /// Offered rate actually achieved inside the window (pkts/s).
     pub offered_pps: f64,
@@ -90,6 +91,10 @@ pub struct TrialResult {
     pub user_cpu_frac: f64,
     /// Hardware interrupts taken during the trial.
     pub interrupts_taken: u64,
+    /// Frame-pool counters at trial end: every packet buffer in the trial
+    /// came from one [`FramePool`], so `pool.misses` is the number of
+    /// per-packet heap allocations (0 in steady state).
+    pub pool: PoolStats,
 }
 
 impl TrialResult {
@@ -111,14 +116,19 @@ pub fn run_trial(spec: &TrialSpec) -> TrialResult {
     let cfg = spec.config.clone();
     let freq = cfg.cost.freq;
     let ctx_switch = cfg.cost.ctx_switch;
-    let (st, kernel) = RouterKernel::build(cfg);
+    // One frame pool serves the whole trial: the full arrival schedule is
+    // materialized up front, so preallocating one buffer per packet (plus
+    // headroom for kernel-originated replies) guarantees zero per-packet
+    // heap allocations for the rest of the run.
+    let pool = FramePool::new(POOL_BUF_CAPACITY, spec.n_packets + POOL_HEADROOM);
+    let (st, kernel) = RouterKernel::build_with_pool(cfg, pool.clone());
     let mut engine = Engine::new(st, kernel, ctx_switch);
 
     // Generate, pace and inject the arrival schedule.
     let mut gen = TrafficGen::paper_default(spec.rate_pps, freq, spec.seed);
     let mut times = gen.arrival_times(Cycles::ZERO, spec.n_packets);
     Wire::ethernet_10m(freq).pace(&mut times, MIN_FRAME_LEN);
-    let mut factory = PacketFactory::paper_testbed();
+    let mut factory = PacketFactory::paper_testbed().with_pool(pool.clone());
     for &t in &times {
         let pkt = factory.next_packet();
         engine.state_schedule(t, Event::RxArrive { iface: 0, pkt });
@@ -149,6 +159,7 @@ pub fn run_trial(spec: &TrialSpec) -> TrialResult {
     };
 
     let interrupts_taken = engine.state().intr.total_taken();
+    engine.workload_mut().sync_pool_stats();
     let stats = engine.workload().stats();
     TrialResult {
         offered_pps: stats.offered_pps(freq),
@@ -167,8 +178,18 @@ pub fn run_trial(spec: &TrialSpec) -> TrialResult {
         latency_jitter: stats.latency.jitter(),
         user_cpu_frac,
         interrupts_taken,
+        pool: stats.pool.unwrap_or_default(),
     }
 }
+
+/// Per-buffer capacity of a trial's frame pool. The paper's test frames
+/// are minimum-size (60 bytes); ICMP errors quoting them and ARP replies
+/// also fit well under this, so pooled buffers never grow.
+const POOL_BUF_CAPACITY: usize = 128;
+
+/// Extra pool buffers beyond one-per-packet, covering kernel-originated
+/// replies (ARP, ICMP, application echoes) in flight at once.
+const POOL_HEADROOM: usize = 64;
 
 /// A labelled rate sweep: the series one figure curve plots.
 #[derive(Clone, Debug)]
@@ -188,15 +209,21 @@ impl SweepResult {
 
 /// Runs one trial per rate with otherwise identical parameters.
 pub fn sweep(label: &str, base: &TrialSpec, rates: &[f64]) -> SweepResult {
-    let trials = rates
-        .iter()
-        .map(|&rate_pps| {
-            run_trial(&TrialSpec {
-                rate_pps,
-                ..base.clone()
-            })
+    sweep_jobs(label, base, rates, 1)
+}
+
+/// Like [`sweep`], fanning the trials across up to `jobs` worker threads.
+///
+/// Each trial is an independent seeded simulation, so the result is
+/// bit-for-bit identical to the serial [`sweep`] regardless of `jobs` —
+/// results come back in rate order.
+pub fn sweep_jobs(label: &str, base: &TrialSpec, rates: &[f64], jobs: usize) -> SweepResult {
+    let trials = crate::par::par_map(rates, jobs, |&rate_pps| {
+        run_trial(&TrialSpec {
+            rate_pps,
+            ..base.clone()
         })
-        .collect();
+    });
     SweepResult {
         label: label.to_string(),
         trials,
@@ -292,6 +319,17 @@ mod tests {
     }
 
     #[test]
+    fn steady_state_forwarding_never_allocates() {
+        let r = quick(KernelConfig::unmodified(), 2_000.0, 600);
+        assert_eq!(r.pool.misses, 0, "no per-packet heap allocation");
+        assert!(r.pool.acquired >= 600, "every frame came from the pool");
+        // The trial window ends at the last arrival, so the final packets
+        // may still be in flight; everything else has been recycled.
+        assert!(r.pool.outstanding <= 8, "only the tail holds buffers");
+        assert_eq!(r.pool.recycled + r.pool.outstanding as u64, r.pool.acquired);
+    }
+
+    #[test]
     fn determinism_same_seed_same_numbers() {
         let a = quick(KernelConfig::unmodified(), 7_000.0, 1_000);
         let b = quick(KernelConfig::unmodified(), 7_000.0, 1_000);
@@ -327,6 +365,22 @@ mod tests {
         assert_eq!(s.trials.len(), 2);
         let pts = s.points();
         assert!(pts[1].offered > pts[0].offered);
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_serial() {
+        let base = TrialSpec {
+            n_packets: 400,
+            ..TrialSpec::new(KernelConfig::polled(Quota::Limited(10)))
+        };
+        let rates = [500.0, 2_000.0, 6_000.0, 11_000.0];
+        let serial = sweep("det", &base, &rates);
+        for jobs in [2, 4] {
+            let par = sweep_jobs("det", &base, &rates, jobs);
+            assert_eq!(par.label, serial.label);
+            // Every field of every trial, in the same order.
+            assert_eq!(par.trials, serial.trials, "jobs = {jobs}");
+        }
     }
 
     #[test]

@@ -39,10 +39,12 @@
 
 pub mod config;
 pub mod experiment;
+pub mod par;
 pub mod router;
 pub mod stats;
 
 pub use config::{FeedbackConfig, KernelConfig, Mode, PolledConfig, ScreendConfig};
-pub use experiment::{run_trial, sweep, SweepResult, TrialResult, TrialSpec};
+pub use experiment::{run_trial, sweep, sweep_jobs, SweepResult, TrialResult, TrialSpec};
+pub use par::{default_jobs, par_map};
 pub use router::RouterKernel;
 pub use stats::KernelStats;

@@ -105,7 +105,7 @@ impl RouterKernel {
                 target_mac: arp.sender_mac,
                 target_ip: arp.sender_ip,
             };
-            let mut frame = vec![0u8; ETHERNET_HEADER_LEN + ARP_PACKET_LEN];
+            let mut frame = self.alloc_frame(ETHERNET_HEADER_LEN + ARP_PACKET_LEN);
             EthernetHeader {
                 dst: arp.sender_mac,
                 src: our_mac,
@@ -158,15 +158,21 @@ impl RouterKernel {
             .lookup(ip.src)
             .map_or(self.ifaces[0].ip, |hop| self.ifaces[hop.iface].ip);
         self.reply_seq += 1;
-        let err = Packet::icmp_ipv4(
-            livelock_net::packet::PacketId(u64::MAX / 4 + self.reply_seq),
-            MacAddr::ZERO, // Rewritten by route_packet.
-            MacAddr::ZERO,
-            src_ip,
-            ip.src,
-            32,
-            &msg,
-        );
+        let id = livelock_net::packet::PacketId(u64::MAX / 4 + self.reply_seq);
+        // MACs are zero here; route_packet rewrites them.
+        let err = match &self.pool {
+            Some(pool) => Packet::icmp_ipv4_in(
+                pool,
+                id,
+                MacAddr::ZERO,
+                MacAddr::ZERO,
+                src_ip,
+                ip.src,
+                32,
+                &msg,
+            ),
+            None => Packet::icmp_ipv4(id, MacAddr::ZERO, MacAddr::ZERO, src_ip, ip.src, 32, &msg),
+        };
         self.pending_icmp.push(err);
     }
 

@@ -45,6 +45,7 @@ use livelock_net::icmp::IcmpMessage;
 use livelock_net::ipv4::decrement_ttl;
 use livelock_net::ipv4::proto;
 use livelock_net::packet::Packet;
+use livelock_net::pool::{FrameBuf, FramePool};
 use livelock_net::queue::DropTailQueue;
 use livelock_net::red::{Admission, Red};
 use livelock_net::route::{NextHop, RouteTable};
@@ -196,6 +197,9 @@ pub struct RouterKernel {
     screend_tid: Option<ThreadId>,
     app_tid: Option<ThreadId>,
     user_tid: Option<ThreadId>,
+    /// Frame pool for kernel-originated packets (ARP/ICMP/UDP replies).
+    /// `None` falls back to per-packet heap allocation.
+    pool: Option<FramePool>,
     stats: KernelStats,
 }
 
@@ -205,6 +209,18 @@ impl RouterKernel {
     /// `10.<i>.0.0/16` and a phantom ARP entry exists for the test
     /// destination `10.1.0.99`.
     pub fn build(cfg: KernelConfig) -> (EnvState<Event>, RouterKernel) {
+        Self::build_inner(cfg, None)
+    }
+
+    /// Like [`RouterKernel::build`], but every kernel-originated packet
+    /// (ARP replies, ICMP errors, application replies) draws its frame
+    /// buffer from `pool`, and [`KernelStats::pool`] reports the pool's
+    /// occupancy counters.
+    pub fn build_with_pool(cfg: KernelConfig, pool: FramePool) -> (EnvState<Event>, RouterKernel) {
+        Self::build_inner(cfg, Some(pool))
+    }
+
+    fn build_inner(cfg: KernelConfig, pool: Option<FramePool>) -> (EnvState<Event>, RouterKernel) {
         let cost = cfg.cost;
         let mut st = EnvState::new(cost.quantum());
 
@@ -346,9 +362,31 @@ impl RouterKernel {
             screend_tid,
             app_tid,
             user_tid,
+            pool,
             stats: KernelStats::new(),
         };
         (st, kernel)
+    }
+
+    /// The kernel's frame pool, when built with one.
+    pub fn pool(&self) -> Option<&FramePool> {
+        self.pool.as_ref()
+    }
+
+    /// Refreshes [`KernelStats::pool`] from the live pool counters.
+    pub fn sync_pool_stats(&mut self) {
+        if let Some(pool) = &self.pool {
+            self.stats.pool = Some(pool.stats());
+        }
+    }
+
+    /// A zero-filled frame buffer: pooled when the kernel has a pool,
+    /// heap-allocated otherwise.
+    fn alloc_frame(&self, len: usize) -> FrameBuf {
+        match &self.pool {
+            Some(pool) => pool.take(len),
+            None => FrameBuf::from(vec![0u8; len]),
+        }
     }
 
     /// The kernel's statistics.

@@ -5,6 +5,7 @@
 //! measures delivered throughput by sampling the output interface's `Opkts`
 //! counter over the trial. [`KernelStats`] keeps the same books.
 
+use livelock_net::pool::PoolStats;
 use livelock_sim::{Cycles, Freq, Histogram, RateWindow};
 
 /// Counters and distributions collected by the router kernel during a run.
@@ -65,6 +66,10 @@ pub struct KernelStats {
     pub user_chunks: u64,
     /// Clock ticks observed.
     pub ticks: u64,
+    /// Frame-pool occupancy counters, when the kernel allocates packet
+    /// buffers from a [`livelock_net::FramePool`] (refreshed on every
+    /// clock tick and at trial end).
+    pub pool: Option<PoolStats>,
 }
 
 impl KernelStats {
@@ -94,6 +99,7 @@ impl KernelStats {
             app_window: None,
             user_chunks: 0,
             ticks: 0,
+            pool: None,
         }
     }
 

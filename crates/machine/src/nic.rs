@@ -315,6 +315,26 @@ mod tests {
     }
 
     #[test]
+    fn ring_overflow_recycles_pooled_frames() {
+        use livelock_net::pool::FramePool;
+        let pool = FramePool::new(64, 8);
+        let mut n = nic(); // rx_ring = 4
+        for i in 0..6 {
+            let p = Packet::from_frame(PacketId(i), pool.take(60));
+            n.rx_arrive(p);
+        }
+        // Four accepted frames hold buffers; the two overflow drops
+        // returned theirs to the pool immediately.
+        assert_eq!(n.rx_ring_drops(), 2);
+        assert_eq!(pool.outstanding(), 4);
+        assert_eq!(pool.stats().recycled, 2);
+        // Draining the ring returns the rest.
+        while n.rx_take().is_some() {}
+        assert_eq!(pool.outstanding(), 0);
+        assert_eq!(pool.stats().recycled, 6);
+    }
+
+    #[test]
     fn default_config_is_period_typical() {
         let c = NicConfig::default();
         assert_eq!(c.rx_ring, 32);

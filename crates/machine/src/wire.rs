@@ -93,6 +93,7 @@ impl Wire {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
     const FREQ: Freq = Freq::mhz(100);
@@ -154,6 +155,7 @@ mod tests {
         }
     }
 
+    #[cfg(feature = "proptest")]
     proptest! {
         #[test]
         fn paced_schedule_is_feasible_and_no_earlier(

@@ -9,6 +9,9 @@
 //! - **Liveness**: with all sources enabled, quiescence implies no latched
 //!   interrupt remains.
 
+// Property tests are opt-in: `cargo test -p livelock-machine --features proptest`.
+#![cfg(feature = "proptest")]
+
 use livelock_machine::cpu::{Chunk, CtxKind, Engine, Env, EnvState, Workload};
 use livelock_machine::intr::IntrSrc;
 use livelock_machine::ipl::Ipl;

@@ -283,6 +283,7 @@ impl Reassembler {
 mod tests {
     use super::*;
     use crate::ipv4::proto;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
     fn dgram(payload_len: usize, ident: u16) -> Vec<u8> {
@@ -452,6 +453,7 @@ mod tests {
         assert_eq!(r.offer(&frags[1], Cycles::new(200)), Reassembly::Incomplete);
     }
 
+    #[cfg(feature = "proptest")]
     proptest! {
         #[test]
         fn fragment_reassemble_round_trip(

@@ -12,6 +12,7 @@ use livelock_sim::{Cycles, Freq, Rng};
 
 use crate::ethernet::MacAddr;
 use crate::packet::{Packet, PacketId};
+use crate::pool::FramePool;
 
 /// Builds the paper's UDP test datagrams with sequential ids.
 #[derive(Clone, Debug)]
@@ -33,6 +34,8 @@ pub struct PacketFactory {
     /// UDP payload length in bytes (the paper used 4).
     pub payload_len: usize,
     next_id: u64,
+    pool: Option<FramePool>,
+    zeros: Vec<u8>,
 }
 
 impl PacketFactory {
@@ -50,24 +53,56 @@ impl PacketFactory {
             ttl: 32,
             payload_len: 4,
             next_id: 0,
+            pool: None,
+            zeros: Vec::new(),
         }
+    }
+
+    /// Draws every subsequent frame buffer from `pool` instead of the heap.
+    pub fn with_pool(mut self, pool: FramePool) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// The pool this factory allocates from, if any.
+    pub fn pool(&self) -> Option<&FramePool> {
+        self.pool.as_ref()
     }
 
     /// Builds the next packet.
     pub fn next_packet(&mut self) -> Packet {
         let id = PacketId(self.next_id);
         self.next_id += 1;
-        Packet::udp_ipv4(
-            id,
-            self.src_mac,
-            self.dst_mac,
-            self.src_ip,
-            self.dst_ip,
-            self.src_port,
-            self.dst_port,
-            self.ttl,
-            &vec![0u8; self.payload_len],
-        )
+        // The paper's datagrams carry all-zero payloads; keep one zero
+        // buffer around so steady-state generation allocates nothing.
+        if self.zeros.len() != self.payload_len {
+            self.zeros.resize(self.payload_len, 0);
+        }
+        match &self.pool {
+            Some(pool) => Packet::udp_ipv4_in(
+                pool,
+                id,
+                self.src_mac,
+                self.dst_mac,
+                self.src_ip,
+                self.dst_ip,
+                self.src_port,
+                self.dst_port,
+                self.ttl,
+                &self.zeros,
+            ),
+            None => Packet::udp_ipv4(
+                id,
+                self.src_mac,
+                self.dst_mac,
+                self.src_ip,
+                self.dst_ip,
+                self.src_port,
+                self.dst_port,
+                self.ttl,
+                &self.zeros,
+            ),
+        }
     }
 
     /// Returns how many packets have been built.
@@ -212,6 +247,7 @@ impl TraceReplay {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
     const FREQ: Freq = Freq::mhz(100);
@@ -304,6 +340,7 @@ mod tests {
         let _ = TraceReplay::new(vec![Cycles::new(5), Cycles::new(1)]);
     }
 
+    #[cfg(feature = "proptest")]
     proptest! {
         #[test]
         fn intervals_are_always_positive(rate in 1.0f64..100_000.0, seed in any::<u64>()) {

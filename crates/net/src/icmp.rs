@@ -168,6 +168,7 @@ impl IcmpMessage {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
     #[test]
@@ -233,6 +234,7 @@ mod tests {
         assert_eq!(IcmpMessage::parse(&buf), Err(NetError::Malformed));
     }
 
+    #[cfg(feature = "proptest")]
     proptest! {
         #[test]
         fn round_trip_any_echo(ident in any::<u16>(), seq in any::<u16>(),

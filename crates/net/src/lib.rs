@@ -11,6 +11,9 @@
 //!   encode/decode with real byte layouts and checksums ([`checksum`]).
 //! - [`packet`] — the packet buffer carried through the simulated kernel,
 //!   with provenance timestamps for latency measurement.
+//! - [`pool`] — a freelist slab of recycled frame buffers, so steady-state
+//!   forwarding allocates no heap memory per packet (the mbuf-cluster
+//!   analogue).
 //! - [`queue`] — bounded drop-tail queues (`ipintrq`, interface output
 //!   queues, the screend queue) with drop accounting and watermark queries.
 //! - [`red`] — Random Early Detection admission (the §8-cited drop-policy
@@ -37,6 +40,7 @@ pub mod icmp;
 pub mod ipv4;
 pub mod packet;
 pub mod phy;
+pub mod pool;
 pub mod queue;
 pub mod red;
 pub mod route;
@@ -48,6 +52,7 @@ pub use ethernet::{EtherType, EthernetHeader, MacAddr};
 pub use filter::{Action, Filter, Rule};
 pub use ipv4::Ipv4Header;
 pub use packet::{Packet, PacketId};
+pub use pool::{FrameBuf, FramePool, PoolStats};
 pub use queue::DropTailQueue;
 pub use route::RouteTable;
 pub use udp::UdpHeader;

@@ -12,6 +12,7 @@ use livelock_sim::Cycles;
 use crate::ethernet::{EtherType, EthernetHeader, MacAddr, ETHERNET_HEADER_LEN};
 use crate::icmp::IcmpMessage;
 use crate::ipv4::{self, Ipv4Header, IPV4_HEADER_LEN};
+use crate::pool::{FrameBuf, FramePool};
 use crate::udp::{self, UdpHeader, UDP_HEADER_LEN};
 use crate::NetError;
 
@@ -29,8 +30,10 @@ pub struct PacketId(pub u64);
 pub struct Packet {
     /// Unique id, assigned by the creator.
     pub id: PacketId,
-    /// Full Ethernet frame bytes (headers + payload, no FCS).
-    pub frame: Vec<u8>,
+    /// Full Ethernet frame bytes (headers + payload, no FCS). Either a
+    /// plain heap buffer or one on loan from a [`FramePool`], recycled
+    /// automatically when the packet dies.
+    pub frame: FrameBuf,
     /// Time the frame finished arriving on the input wire (set by the wire
     /// model; `Cycles::MAX` until then).
     pub arrived_at: Cycles,
@@ -39,8 +42,10 @@ pub struct Packet {
 }
 
 impl Packet {
-    /// Wraps raw frame bytes, padding to the Ethernet minimum.
-    pub fn from_frame(id: PacketId, mut frame: Vec<u8>) -> Self {
+    /// Wraps frame bytes (a plain `Vec<u8>` or a pooled [`FrameBuf`]),
+    /// padding to the Ethernet minimum.
+    pub fn from_frame(id: PacketId, frame: impl Into<FrameBuf>) -> Self {
+        let mut frame = frame.into();
         if frame.len() < MIN_FRAME_LEN {
             frame.resize(MIN_FRAME_LEN, 0);
         }
@@ -71,27 +76,33 @@ impl Packet {
         let udp_len = UDP_HEADER_LEN + payload.len();
         let total = ETHERNET_HEADER_LEN + IPV4_HEADER_LEN + udp_len;
         let mut frame = vec![0u8; total.max(MIN_FRAME_LEN)];
+        encode_udp_frame(
+            &mut frame, src_mac, dst_mac, src_ip, dst_ip, src_port, dst_port, ttl, payload,
+        );
+        Packet::from_frame(id, frame)
+    }
 
-        EthernetHeader {
-            dst: dst_mac,
-            src: src_mac,
-            ethertype: EtherType::Ipv4,
-        }
-        .encode(&mut frame)
-        .expect("frame sized for ethernet header");
-
-        let ip = Ipv4Header::new(src_ip, dst_ip, ipv4::proto::UDP, ttl, udp_len as u16);
-        ip.encode(&mut frame[ETHERNET_HEADER_LEN..])
-            .expect("frame sized for ip header");
-
-        let seg_start = ETHERNET_HEADER_LEN + IPV4_HEADER_LEN;
-        UdpHeader::new(src_port, dst_port, payload.len() as u16)
-            .encode(&mut frame[seg_start..])
-            .expect("frame sized for udp header");
-        frame[seg_start + UDP_HEADER_LEN..seg_start + udp_len].copy_from_slice(payload);
-        udp::fill_checksum(src_ip, dst_ip, &mut frame[seg_start..seg_start + udp_len])
-            .expect("segment in bounds");
-
+    /// Like [`Packet::udp_ipv4`], but the frame buffer comes from `pool`
+    /// (and returns to it when the packet dies).
+    #[allow(clippy::too_many_arguments)]
+    pub fn udp_ipv4_in(
+        pool: &FramePool,
+        id: PacketId,
+        src_mac: MacAddr,
+        dst_mac: MacAddr,
+        src_ip: Ipv4Addr,
+        dst_ip: Ipv4Addr,
+        src_port: u16,
+        dst_port: u16,
+        ttl: u8,
+        payload: &[u8],
+    ) -> Self {
+        let udp_len = UDP_HEADER_LEN + payload.len();
+        let total = ETHERNET_HEADER_LEN + IPV4_HEADER_LEN + udp_len;
+        let mut frame = pool.take(total.max(MIN_FRAME_LEN));
+        encode_udp_frame(
+            &mut frame, src_mac, dst_mac, src_ip, dst_ip, src_port, dst_port, ttl, payload,
+        );
         Packet::from_frame(id, frame)
     }
 
@@ -110,23 +121,25 @@ impl Packet {
         let icmp_len = msg.encoded_len();
         let total = ETHERNET_HEADER_LEN + IPV4_HEADER_LEN + icmp_len;
         let mut frame = vec![0u8; total.max(MIN_FRAME_LEN)];
+        encode_icmp_frame(&mut frame, src_mac, dst_mac, src_ip, dst_ip, ttl, msg, icmp_len);
+        Packet::from_frame(id, frame)
+    }
 
-        EthernetHeader {
-            dst: dst_mac,
-            src: src_mac,
-            ethertype: EtherType::Ipv4,
-        }
-        .encode(&mut frame)
-        .expect("frame sized for ethernet header");
-
-        let ip = Ipv4Header::new(src_ip, dst_ip, ipv4::proto::ICMP, ttl, icmp_len as u16);
-        ip.encode(&mut frame[ETHERNET_HEADER_LEN..])
-            .expect("frame sized for ip header");
-
-        let start = ETHERNET_HEADER_LEN + IPV4_HEADER_LEN;
-        msg.encode(&mut frame[start..start + icmp_len])
-            .expect("frame sized for icmp message");
-
+    /// Like [`Packet::icmp_ipv4`], but the frame buffer comes from `pool`.
+    pub fn icmp_ipv4_in(
+        pool: &FramePool,
+        id: PacketId,
+        src_mac: MacAddr,
+        dst_mac: MacAddr,
+        src_ip: Ipv4Addr,
+        dst_ip: Ipv4Addr,
+        ttl: u8,
+        msg: &IcmpMessage,
+    ) -> Self {
+        let icmp_len = msg.encoded_len();
+        let total = ETHERNET_HEADER_LEN + IPV4_HEADER_LEN + icmp_len;
+        let mut frame = pool.take(total.max(MIN_FRAME_LEN));
+        encode_icmp_frame(&mut frame, src_mac, dst_mac, src_ip, dst_ip, ttl, msg, icmp_len);
         Packet::from_frame(id, frame)
     }
 
@@ -206,6 +219,68 @@ impl Packet {
         }
         .encode(&mut self.frame)
     }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn encode_udp_frame(
+    frame: &mut [u8],
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    src_ip: Ipv4Addr,
+    dst_ip: Ipv4Addr,
+    src_port: u16,
+    dst_port: u16,
+    ttl: u8,
+    payload: &[u8],
+) {
+    let udp_len = UDP_HEADER_LEN + payload.len();
+    EthernetHeader {
+        dst: dst_mac,
+        src: src_mac,
+        ethertype: EtherType::Ipv4,
+    }
+    .encode(frame)
+    .expect("frame sized for ethernet header");
+
+    let ip = Ipv4Header::new(src_ip, dst_ip, ipv4::proto::UDP, ttl, udp_len as u16);
+    ip.encode(&mut frame[ETHERNET_HEADER_LEN..])
+        .expect("frame sized for ip header");
+
+    let seg_start = ETHERNET_HEADER_LEN + IPV4_HEADER_LEN;
+    UdpHeader::new(src_port, dst_port, payload.len() as u16)
+        .encode(&mut frame[seg_start..])
+        .expect("frame sized for udp header");
+    frame[seg_start + UDP_HEADER_LEN..seg_start + udp_len].copy_from_slice(payload);
+    udp::fill_checksum(src_ip, dst_ip, &mut frame[seg_start..seg_start + udp_len])
+        .expect("segment in bounds");
+}
+
+#[allow(clippy::too_many_arguments)]
+fn encode_icmp_frame(
+    frame: &mut [u8],
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    src_ip: Ipv4Addr,
+    dst_ip: Ipv4Addr,
+    ttl: u8,
+    msg: &IcmpMessage,
+    icmp_len: usize,
+) {
+    EthernetHeader {
+        dst: dst_mac,
+        src: src_mac,
+        ethertype: EtherType::Ipv4,
+    }
+    .encode(frame)
+    .expect("frame sized for ethernet header");
+
+    let ip = Ipv4Header::new(src_ip, dst_ip, ipv4::proto::ICMP, ttl, icmp_len as u16);
+    ip.encode(&mut frame[ETHERNET_HEADER_LEN..])
+        .expect("frame sized for ip header");
+
+    let start = ETHERNET_HEADER_LEN + IPV4_HEADER_LEN;
+    msg.encode(&mut frame[start..start + icmp_len])
+        .expect("frame sized for icmp message");
 }
 
 #[cfg(test)]
@@ -337,8 +412,10 @@ mod tests {
 #[cfg(test)]
 mod robustness {
     use super::*;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
+    #[cfg(feature = "proptest")]
     proptest! {
         /// Parsing arbitrary bytes as a frame never panics — every layer
         /// returns an error instead. (The router feeds whatever the wire

@@ -1,0 +1,344 @@
+//! Pooled frame buffers: a freelist slab that recycles packet memory.
+//!
+//! Every packet in the simulation owns a frame buffer. Allocating a fresh
+//! `Vec<u8>` per packet puts a malloc/free pair on the per-packet path —
+//! exactly the overhead the paper's mbuf clusters avoid in real BSD. A
+//! [`FramePool`] removes it: buffers are drawn from a freelist and return
+//! to it automatically when their [`FrameBuf`] is dropped, so steady-state
+//! forwarding performs **zero heap allocations per packet** once the pool
+//! has warmed up.
+//!
+//! The pool is a single-threaded `Rc<RefCell<..>>` handle by design: each
+//! simulated trial is one deterministic single-threaded event loop, and
+//! pools never cross threads (the parallel trial executor builds one pool
+//! per worker-local engine). Buffers taken from a pool are zero-filled, so
+//! recycling can never leak one packet's bytes into the next.
+//!
+//! Unpooled operation still works everywhere: `FrameBuf::from(vec)` wraps
+//! a plain heap vector with identical behaviour minus the recycling, which
+//! keeps every pre-pool call site and test valid.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::rc::Rc;
+
+use crate::packet::MAX_FRAME_LEN;
+
+/// Counters describing a pool's lifetime behaviour and current occupancy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Buffers ever created by this pool (preallocation + misses).
+    pub allocated: u64,
+    /// Total [`FramePool::take`] calls.
+    pub acquired: u64,
+    /// Buffers returned to the freelist by [`FrameBuf`] drops.
+    pub recycled: u64,
+    /// Takes that found the freelist empty and had to heap-allocate.
+    pub misses: u64,
+    /// Buffers currently checked out.
+    pub outstanding: usize,
+    /// Maximum simultaneous checked-out buffers ever observed.
+    pub high_water: usize,
+    /// Buffers currently sitting in the freelist.
+    pub free: usize,
+}
+
+struct PoolInner {
+    free: Vec<Vec<u8>>,
+    buf_capacity: usize,
+    stats: PoolStats,
+}
+
+/// A cloneable handle to a freelist slab of frame buffers.
+///
+/// Cloning the handle shares the underlying pool (it is an `Rc`).
+#[derive(Clone)]
+pub struct FramePool {
+    inner: Rc<RefCell<PoolInner>>,
+}
+
+impl FramePool {
+    /// Creates a pool whose buffers reserve `buf_capacity` bytes each,
+    /// preallocating `prealloc` of them up front.
+    pub fn new(buf_capacity: usize, prealloc: usize) -> Self {
+        let mut free = Vec::with_capacity(prealloc);
+        for _ in 0..prealloc {
+            free.push(Vec::with_capacity(buf_capacity));
+        }
+        let stats = PoolStats {
+            allocated: prealloc as u64,
+            ..PoolStats::default()
+        };
+        FramePool {
+            inner: Rc::new(RefCell::new(PoolInner {
+                free,
+                buf_capacity,
+                stats,
+            })),
+        }
+    }
+
+    /// A pool of full-size Ethernet frame buffers ([`MAX_FRAME_LEN`] bytes).
+    pub fn for_frames(prealloc: usize) -> Self {
+        FramePool::new(MAX_FRAME_LEN, prealloc)
+    }
+
+    /// Takes a zero-filled buffer of `len` bytes from the pool.
+    ///
+    /// Pops the freelist when possible; otherwise heap-allocates (counted
+    /// as a miss) so the pool degrades gracefully under underestimation
+    /// rather than failing.
+    pub fn take(&self, len: usize) -> FrameBuf {
+        let mut inner = self.inner.borrow_mut();
+        let mut buf = match inner.free.pop() {
+            Some(buf) => buf,
+            None => {
+                inner.stats.misses += 1;
+                inner.stats.allocated += 1;
+                Vec::with_capacity(inner.buf_capacity.max(len))
+            }
+        };
+        buf.clear();
+        buf.resize(len, 0);
+        inner.stats.acquired += 1;
+        inner.stats.outstanding += 1;
+        inner.stats.high_water = inner.stats.high_water.max(inner.stats.outstanding);
+        FrameBuf {
+            buf,
+            pool: Some(Rc::clone(&self.inner)),
+        }
+    }
+
+    /// Snapshot of the pool's counters.
+    pub fn stats(&self) -> PoolStats {
+        let inner = self.inner.borrow();
+        PoolStats {
+            free: inner.free.len(),
+            ..inner.stats
+        }
+    }
+
+    /// Buffers currently checked out.
+    pub fn outstanding(&self) -> usize {
+        self.inner.borrow().stats.outstanding
+    }
+
+    /// Buffers currently available without allocating.
+    pub fn free_buffers(&self) -> usize {
+        self.inner.borrow().free.len()
+    }
+}
+
+impl fmt::Debug for FramePool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FramePool")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// An owned frame buffer, either pooled (returns to its [`FramePool`] on
+/// drop) or a plain heap vector (`FrameBuf::from(vec)`).
+///
+/// Dereferences to `[u8]`, so all slicing and header codec call sites work
+/// unchanged.
+pub struct FrameBuf {
+    buf: Vec<u8>,
+    pool: Option<Rc<RefCell<PoolInner>>>,
+}
+
+impl FrameBuf {
+    /// Grows or shrinks the logical frame length, zero-filling new bytes.
+    pub fn resize(&mut self, new_len: usize, value: u8) {
+        self.buf.resize(new_len, value);
+    }
+
+    /// Whether this buffer recycles into a pool when dropped.
+    pub fn is_pooled(&self) -> bool {
+        self.pool.is_some()
+    }
+
+    /// Copies the frame bytes into a standalone vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.buf.clone()
+    }
+}
+
+impl Drop for FrameBuf {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.take() {
+            let mut inner = pool.borrow_mut();
+            inner.free.push(std::mem::take(&mut self.buf));
+            inner.stats.recycled += 1;
+            inner.stats.outstanding -= 1;
+        }
+    }
+}
+
+impl Clone for FrameBuf {
+    /// Clones draw from the same pool when the original is pooled, so
+    /// copies recycle too.
+    fn clone(&self) -> Self {
+        match &self.pool {
+            Some(pool) => {
+                let handle = FramePool {
+                    inner: Rc::clone(pool),
+                };
+                let mut out = handle.take(self.buf.len());
+                out.buf.copy_from_slice(&self.buf);
+                out
+            }
+            None => FrameBuf {
+                buf: self.buf.clone(),
+                pool: None,
+            },
+        }
+    }
+}
+
+impl From<Vec<u8>> for FrameBuf {
+    fn from(buf: Vec<u8>) -> Self {
+        FrameBuf { buf, pool: None }
+    }
+}
+
+impl Deref for FrameBuf {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl DerefMut for FrameBuf {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
+impl fmt::Debug for FrameBuf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FrameBuf")
+            .field("len", &self.buf.len())
+            .field("pooled", &self.pool.is_some())
+            .finish()
+    }
+}
+
+impl PartialEq for FrameBuf {
+    fn eq(&self, other: &Self) -> bool {
+        self.buf == other.buf
+    }
+}
+
+impl Eq for FrameBuf {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_recycles_on_drop() {
+        let pool = FramePool::new(64, 2);
+        assert_eq!(pool.free_buffers(), 2);
+        {
+            let a = pool.take(60);
+            let b = pool.take(60);
+            assert_eq!(a.len(), 60);
+            assert_eq!(b.len(), 60);
+            assert_eq!(pool.free_buffers(), 0);
+            assert_eq!(pool.outstanding(), 2);
+        }
+        assert_eq!(pool.free_buffers(), 2);
+        assert_eq!(pool.outstanding(), 0);
+        let s = pool.stats();
+        assert_eq!(s.acquired, 2);
+        assert_eq!(s.recycled, 2);
+        assert_eq!(s.misses, 0);
+        assert_eq!(s.allocated, 2);
+        assert_eq!(s.high_water, 2);
+    }
+
+    #[test]
+    fn exhaustion_allocates_and_counts_misses() {
+        let pool = FramePool::new(64, 1);
+        let a = pool.take(10);
+        let b = pool.take(10); // Freelist empty: must heap-allocate.
+        assert_eq!(pool.stats().misses, 1);
+        assert_eq!(pool.stats().allocated, 2);
+        drop(a);
+        drop(b);
+        // Both buffers join the freelist; the pool has grown to demand.
+        assert_eq!(pool.free_buffers(), 2);
+        let c = pool.take(10);
+        drop(c);
+        assert_eq!(pool.stats().misses, 1, "no further miss after warm-up");
+    }
+
+    #[test]
+    fn reuse_clears_stale_bytes() {
+        let pool = FramePool::new(64, 1);
+        {
+            let mut a = pool.take(32);
+            a.iter_mut().for_each(|b| *b = 0xAB);
+        }
+        let b = pool.take(48);
+        assert_eq!(b.len(), 48);
+        assert!(
+            b.iter().all(|&x| x == 0),
+            "recycled buffer must be zero-filled"
+        );
+    }
+
+    #[test]
+    fn steady_state_take_does_not_allocate() {
+        let pool = FramePool::new(64, 4);
+        for _ in 0..1000 {
+            let x = pool.take(60);
+            drop(x);
+        }
+        let s = pool.stats();
+        assert_eq!(s.misses, 0);
+        assert_eq!(s.allocated, 4);
+        assert_eq!(s.acquired, 1000);
+        assert_eq!(s.recycled, 1000);
+        assert_eq!(s.high_water, 1);
+    }
+
+    #[test]
+    fn clone_of_pooled_buffer_is_pooled() {
+        let pool = FramePool::new(64, 2);
+        let a = pool.take(16);
+        let b = a.clone();
+        assert!(b.is_pooled());
+        assert_eq!(&a[..], &b[..]);
+        assert_eq!(pool.outstanding(), 2);
+        drop(a);
+        drop(b);
+        assert_eq!(pool.outstanding(), 0);
+        assert_eq!(pool.free_buffers(), 2);
+    }
+
+    #[test]
+    fn unpooled_from_vec_behaves_like_vec() {
+        let mut f = FrameBuf::from(vec![1u8, 2, 3]);
+        assert!(!f.is_pooled());
+        f.resize(5, 0);
+        assert_eq!(&f[..], &[1, 2, 3, 0, 0]);
+        let g = f.clone();
+        assert!(!g.is_pooled());
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn oversized_take_still_works() {
+        let pool = FramePool::new(8, 1);
+        let a = pool.take(100);
+        assert_eq!(a.len(), 100);
+        drop(a);
+        // The grown buffer rejoins the freelist with its larger capacity.
+        let b = pool.take(100);
+        assert_eq!(pool.stats().misses, 0);
+        assert_eq!(b.len(), 100);
+    }
+}

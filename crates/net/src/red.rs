@@ -132,6 +132,7 @@ impl Red {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
     #[test]
@@ -198,6 +199,7 @@ mod tests {
         let _ = Red::new(10.0, 5.0, 0.1, 0.002, 1);
     }
 
+    #[cfg(feature = "proptest")]
     proptest! {
         /// Accounting invariant: every decision is counted exactly once.
         #[test]

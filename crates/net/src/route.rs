@@ -130,6 +130,7 @@ impl RouteTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
     fn hop(iface: IfaceId) -> NextHop {
@@ -226,6 +227,7 @@ mod tests {
         );
     }
 
+    #[cfg(feature = "proptest")]
     proptest! {
         #[test]
         fn trie_agrees_with_linear_scan(

@@ -169,6 +169,7 @@ pub fn verify_checksum(src: Ipv4Addr, dst: Ipv4Addr, segment: &[u8]) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
     const SRC: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
@@ -253,6 +254,7 @@ mod tests {
         assert_eq!(meta.protocol, proto::TCP);
     }
 
+    #[cfg(feature = "proptest")]
     proptest! {
         #[test]
         fn round_trip_any(

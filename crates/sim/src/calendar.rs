@@ -175,6 +175,7 @@ impl<E> CalendarQueue<E> {
 mod tests {
     use super::*;
     use crate::event::EventQueue;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
     #[test]
@@ -254,6 +255,7 @@ mod tests {
         assert_eq!(q.pop_due(Cycles::new(50)), Some((Cycles::new(50), 'x')));
     }
 
+    #[cfg(feature = "proptest")]
     proptest! {
         /// The calendar queue dequeues in exactly the order of the
         /// reference binary-heap queue, including FIFO tie-breaks.

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# CI gate: tier-1 verification plus a full quick figure regeneration.
+#
+# Exit status mirrors the strictest failure seen:
+#   0  everything passed
+#   1  build/test failure, or figures could not write its CSVs
+#   2  a rendered figure violates the paper's qualitative shape
+#
+# Usage: scripts/ci.sh [--jobs N]    (N forwarded to the figures binary)
+
+set -u
+cd "$(dirname "$0")/.."
+
+jobs_args=()
+if [ "${1:-}" = "--jobs" ] && [ -n "${2:-}" ]; then
+    jobs_args=(--jobs "$2")
+fi
+
+echo "== tier 1: cargo build --release =="
+cargo build --release || exit 1
+
+echo "== tier 1: cargo test -q =="
+cargo test -q || exit 1
+
+echo "== figures --quick: regenerate all figures, check shapes =="
+# Run from a scratch directory: the quick-mode CSVs are a smoke check and
+# must not overwrite the committed full-fidelity results/.
+repo=$(pwd)
+scratch=$(mktemp -d)
+trap 'rm -rf "$scratch"' EXIT
+(cd "$scratch" && "$repo/target/release/figures" --quick "${jobs_args[@]}")
+rc=$?
+if [ "$rc" -eq 2 ]; then
+    echo "ci: FAIL — rendered figures violate the paper's shapes" >&2
+    exit 2
+elif [ "$rc" -ne 0 ]; then
+    echo "ci: FAIL — figures exited $rc" >&2
+    exit 1
+fi
+
+echo "ci: OK"
