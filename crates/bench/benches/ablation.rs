@@ -17,6 +17,7 @@ use livelock_core::analysis::overload_stability;
 use livelock_core::poller::Quota;
 use livelock_kernel::config::KernelConfig;
 use livelock_kernel::experiment::{sweep, TrialSpec};
+use livelock_kernel::par::Parallelism;
 
 fn stability(cfg: &KernelConfig) -> f64 {
     let base = TrialSpec {
@@ -24,45 +25,48 @@ fn stability(cfg: &KernelConfig) -> f64 {
         ..TrialSpec::new(cfg.clone())
     };
     let rates = [2_000.0, 4_000.0, 6_000.0, 9_000.0, 12_000.0];
-    let s = sweep("ablation", &base, &rates);
+    let s = sweep("ablation", &base, &rates, Parallelism::Serial);
     overload_stability(&s.points())
 }
 
 fn bench(c: &mut Criterion) {
-    let mut ring16 = KernelConfig::polled(Quota::Limited(10));
+    let mut ring16 = KernelConfig::builder().polled(Quota::Limited(10)).build();
     ring16.nic.rx_ring = 8;
-    let mut ring128 = KernelConfig::polled(Quota::Limited(10));
+    let mut ring128 = KernelConfig::builder().polled(Quota::Limited(10)).build();
     ring128.nic.rx_ring = 128;
 
-    let mut red = KernelConfig::polled(Quota::Limited(100));
+    let mut red = KernelConfig::builder().polled(Quota::Limited(100)).build();
     red.ifq_red = true;
-    let mut ratelimited_screend = KernelConfig::unmodified_rate_limited(2_000.0);
+    let mut ratelimited_screend = KernelConfig::builder().intr_rate_limit(2_000.0, 4).build();
     ratelimited_screend.screend = Some(livelock_kernel::config::ScreendConfig::default());
 
     let cases: Vec<(&str, KernelConfig)> = vec![
-        ("interrupts-only (baseline)", KernelConfig::unmodified()),
+        ("interrupts-only (baseline)", KernelConfig::builder().build()),
         (
             "intr-rate-limit 2k/s",
-            KernelConfig::unmodified_rate_limited(2_000.0),
+            KernelConfig::builder().intr_rate_limit(2_000.0, 4).build(),
         ),
         ("intr-rate-limit + screend", ratelimited_screend),
         ("polling q=100 + RED ifq", red),
-        ("polling quota=5", KernelConfig::polled(Quota::Limited(5))),
-        ("polling quota=20", KernelConfig::polled(Quota::Limited(20))),
+        ("polling quota=5", KernelConfig::builder().polled(Quota::Limited(5)).build()),
+        ("polling quota=20", KernelConfig::builder().polled(Quota::Limited(20)).build()),
         (
             "polling quota=100",
-            KernelConfig::polled(Quota::Limited(100)),
+            KernelConfig::builder().polled(Quota::Limited(100)).build(),
         ),
-        ("polling no-quota", KernelConfig::polled(Quota::Unlimited)),
+        ("polling no-quota", KernelConfig::builder().polled(Quota::Unlimited).build()),
         ("polling rx-ring=8", ring16),
         ("polling rx-ring=128", ring128),
         (
             "screend no-feedback",
-            KernelConfig::polled_screend_no_feedback(Quota::Limited(10)),
+            KernelConfig::builder().polled(Quota::Limited(10)).screend(Default::default()).build(),
         ),
         (
             "screend feedback",
-            KernelConfig::polled_screend_feedback(Quota::Limited(10)),
+            KernelConfig::builder().polled(Quota::Limited(10))
+                .screend(Default::default())
+                .feedback(Default::default())
+                .build(),
         ),
     ];
 
@@ -74,8 +78,8 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation");
     g.sample_size(10);
     for (label, cfg) in [
-        ("interrupts-only", KernelConfig::unmodified()),
-        ("full-mechanisms", KernelConfig::polled(Quota::Limited(10))),
+        ("interrupts-only", KernelConfig::builder().build()),
+        ("full-mechanisms", KernelConfig::builder().polled(Quota::Limited(10)).build()),
     ] {
         g.bench_function(label, |b| b.iter(|| stability(&cfg)));
     }

@@ -49,8 +49,8 @@ fn bench_full_router(c: &mut Criterion) {
     g.sample_size(10);
     g.throughput(Throughput::Elements(2_000));
     for (label, cfg) in [
-        ("unmodified 2k pkts", KernelConfig::unmodified()),
-        ("polled 2k pkts", KernelConfig::polled(Quota::Limited(10))),
+        ("unmodified 2k pkts", KernelConfig::builder().build()),
+        ("polled 2k pkts", KernelConfig::builder().polled(Quota::Limited(10)).build()),
     ] {
         g.bench_function(label, |b| {
             b.iter(|| {

@@ -4,10 +4,11 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use livelock_bench::{fig6_5, one_overload_trial, render_figure};
+use livelock_kernel::par::Parallelism;
 
 fn bench(c: &mut Criterion) {
     let fig = fig6_5();
-    let rendered = render_figure(&fig, 2_000);
+    let rendered = render_figure(&fig, 2_000, Parallelism::Serial);
     println!("{}", rendered.to_table());
     println!("{}", rendered.shape_summary());
 

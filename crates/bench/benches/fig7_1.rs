@@ -4,11 +4,12 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use livelock_bench::{fig7_1, render_figure};
+use livelock_kernel::par::Parallelism;
 use livelock_kernel::experiment::{run_trial, TrialSpec};
 
 fn bench(c: &mut Criterion) {
     let fig = fig7_1();
-    let rendered = render_figure(&fig, 2_000);
+    let rendered = render_figure(&fig, 2_000, Parallelism::Serial);
     println!("{}", rendered.to_table());
 
     let mut g = c.benchmark_group("fig7-1");

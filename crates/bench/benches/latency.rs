@@ -5,9 +5,11 @@
 //! implies.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use livelock_bench::{fig_latency, latency_shape_violations, render_figure};
 use livelock_core::poller::Quota;
 use livelock_kernel::config::KernelConfig;
 use livelock_kernel::experiment::{run_trial, TrialSpec};
+use livelock_kernel::par::Parallelism;
 use livelock_kernel::router::{Event, RouterKernel};
 use livelock_machine::cpu::Engine;
 use livelock_net::gen::PacketFactory;
@@ -45,8 +47,8 @@ fn bench(c: &mut Criterion) {
         "burst", "unmodified_first/last", "modified_first/last"
     );
     for n in [5usize, 10, 20, 30] {
-        let (uf, ul) = burst_first_latency(&KernelConfig::unmodified(), n);
-        let (mf, ml) = burst_first_latency(&KernelConfig::polled(Quota::Limited(5)), n);
+        let (uf, ul) = burst_first_latency(&KernelConfig::builder().build(), n);
+        let (mf, ml) = burst_first_latency(&KernelConfig::builder().polled(Quota::Limited(5)).build(), n);
         println!("# {n:>6} {uf:>11} /{ul:>11} {mf:>11} /{ml:>11}");
     }
 
@@ -55,7 +57,7 @@ fn bench(c: &mut Criterion) {
         let r = run_trial(&TrialSpec {
             rate_pps: rate,
             n_packets: 1_500,
-            ..TrialSpec::new(KernelConfig::polled(Quota::Limited(10)))
+            ..TrialSpec::new(KernelConfig::builder().polled(Quota::Limited(10)).build())
         });
         println!(
             "#   {:>6.0} pkts/s: mean {} p99 {}",
@@ -63,13 +65,43 @@ fn bench(c: &mut Criterion) {
         );
     }
 
+    // The full figure L-1 sweep: p99 forwarding latency vs input rate,
+    // unmodified vs polled, on a thinned rate grid so the bench stays
+    // quick. Under overload the unmodified kernel's p99 blows up with
+    // `ipintrq` aging while the polled kernel's stays flat — the latency
+    // gate checks that separation at the highest rate.
+    let mut fig = fig_latency();
+    fig.rates = vec![1_000.0, 4_000.0, 8_000.0, 12_000.0];
+    let rendered = render_figure(&fig, 800, Parallelism::Serial);
+    println!("# Figure {}: {}", rendered.id, rendered.caption);
+    print!("# {:>10}", "input_pps");
+    for curve in &rendered.curves {
+        print!(" {:>22}", curve.label);
+    }
+    println!();
+    for (pi, rate) in rendered.rates.iter().enumerate() {
+        print!("# {rate:>10.0}");
+        for ci in 0..rendered.curves.len() {
+            print!(" {:>20.1}us", rendered.value(ci, pi));
+        }
+        println!();
+    }
+    let violations = latency_shape_violations(&rendered);
+    if violations.is_empty() {
+        println!("# latency gate: ok (polled p99 well below unmodified at overload)");
+    } else {
+        for v in &violations {
+            println!("# latency gate VIOLATION: {v}");
+        }
+    }
+
     let mut g = c.benchmark_group("latency");
     g.sample_size(10);
     g.bench_function("burst20 unmodified", |b| {
-        b.iter(|| burst_first_latency(&KernelConfig::unmodified(), 20))
+        b.iter(|| burst_first_latency(&KernelConfig::builder().build(), 20))
     });
     g.bench_function("burst20 modified", |b| {
-        b.iter(|| burst_first_latency(&KernelConfig::polled(Quota::Limited(5)), 20))
+        b.iter(|| burst_first_latency(&KernelConfig::builder().polled(Quota::Limited(5)).build(), 20))
     });
     g.finish();
 }

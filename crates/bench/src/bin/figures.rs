@@ -13,13 +13,17 @@
 //!
 //! Exit status: 0 on success, 1 when any CSV could not be written (or the
 //! arguments are bad), 2 when a rendered figure violates the paper's
-//! qualitative shape.
+//! qualitative throughput shape, 3 when the latency figure violates the
+//! paper's latency argument (polled overload p99 must sit well below the
+//! unmodified kernel's).
 
 use std::fs;
 use std::path::Path;
 
-use livelock_bench::{all_figures, render_figure_jobs, shape_violations, PAPER_TRIAL_PACKETS};
-use livelock_kernel::par::default_jobs;
+use livelock_bench::{
+    all_figures, latency_shape_violations, render_figure, shape_violations, PAPER_TRIAL_PACKETS,
+};
+use livelock_kernel::par::{default_jobs, Parallelism};
 
 fn flag_value(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -54,6 +58,7 @@ fn main() {
     // should not abort the remaining figures' rendering and shape checks.
     let mut write_errors = Vec::new();
     let mut all_violations = Vec::new();
+    let mut latency_violations = Vec::new();
     for fig in all_figures() {
         if let Some(id) = &only {
             if fig.id != id {
@@ -64,7 +69,7 @@ fn main() {
             "rendering figure {} ({} packets/trial, {jobs} jobs)...",
             fig.id, n_packets
         );
-        let rendered = render_figure_jobs(&fig, n_packets, jobs);
+        let rendered = render_figure(&fig, n_packets, Parallelism::Jobs(jobs));
         print!("{}", rendered.to_table());
         print!("{}", rendered.shape_summary());
         println!();
@@ -74,6 +79,7 @@ fn main() {
             Err(e) => write_errors.push(format!("{}: {e}", path.display())),
         }
         all_violations.extend(shape_violations(&rendered));
+        latency_violations.extend(latency_shape_violations(&rendered));
     }
 
     if !write_errors.is_empty() {
@@ -82,14 +88,22 @@ fn main() {
             eprintln!("  {w}");
         }
     }
-    if all_violations.is_empty() {
+    if all_violations.is_empty() && latency_violations.is_empty() {
         eprintln!("all rendered figures match the paper's qualitative shapes");
-    } else {
+    }
+    if !all_violations.is_empty() {
         eprintln!("SHAPE VIOLATIONS:");
         for v in &all_violations {
             eprintln!("  {v}");
         }
         std::process::exit(2);
+    }
+    if !latency_violations.is_empty() {
+        eprintln!("LATENCY SHAPE VIOLATIONS:");
+        for v in &latency_violations {
+            eprintln!("  {v}");
+        }
+        std::process::exit(3);
     }
     if !write_errors.is_empty() {
         std::process::exit(1);

@@ -2,14 +2,16 @@
 //!
 //! ```text
 //! livelock configs                      list kernel configurations
-//! livelock trial  --config polled --rate 8000 [--packets N] [--seed S]
-//! livelock sweep  --config unmodified,polled [--rates 1000,2000,...] [--jobs N]
+//! livelock trial  --config polled --rate 8000 [--packets N] [--seed S] [--latency]
+//! livelock sweep  --config unmodified,polled [--rates 1000,2000,...] [--jobs N] [--latency]
 //! livelock mlfrr  --config polled [--loss-free 0.98] [--jobs N]
 //! ```
 //!
-//! `trial` runs one paper-style measurement and prints the full breakdown;
+//! `trial` runs one paper-style measurement and prints the full breakdown
+//! (`--latency` adds per-stage latency quantiles and a drop-reason table);
 //! `sweep` prints the (input rate, output rate) series a figure would
-//! plot; `mlfrr` searches for the Maximum Loss Free Receive Rate by
+//! plot (`--latency` adds a p99-latency column per config); `mlfrr`
+//! searches for the Maximum Loss Free Receive Rate by
 //! multisection (with `--jobs N`, each round probes N rates concurrently).
 //! `--jobs` defaults to the host's available parallelism; results are
 //! identical for every job count.
@@ -18,9 +20,11 @@ use livelock_core::analysis::{
     classify, mlfrr_multisection, multisection_rounds, overload_stability, SweepPoint,
 };
 use livelock_core::poller::Quota;
-use livelock_kernel::config::KernelConfig;
-use livelock_kernel::experiment::{paper_rates, run_trial, sweep_jobs, TrialSpec};
-use livelock_kernel::par::{default_jobs, par_map};
+use livelock_kernel::config::{FeedbackConfig, KernelConfig, LocalDeliveryConfig};
+use livelock_kernel::experiment::{paper_rates, run_trial, TrialResult, TrialSpec};
+use livelock_kernel::experiment::sweep;
+use livelock_kernel::par::{default_jobs, par_map, Parallelism};
+use livelock_kernel::stats::{DropReason, Stage};
 
 fn configs() -> Vec<(&'static str, &'static str)> {
     vec![
@@ -59,20 +63,35 @@ fn configs() -> Vec<(&'static str, &'static str)> {
 }
 
 fn config_by_name(name: &str) -> Option<KernelConfig> {
+    let b = KernelConfig::builder();
     Some(match name {
-        "unmodified" => KernelConfig::unmodified(),
-        "screend" => KernelConfig::unmodified_with_screend(),
-        "no-polling" => KernelConfig::no_polling(),
-        "polled" => KernelConfig::polled(Quota::Limited(10)),
-        "polled-q5" => KernelConfig::polled(Quota::Limited(5)),
-        "polled-q100" => KernelConfig::polled(Quota::Limited(100)),
-        "no-quota" => KernelConfig::polled(Quota::Unlimited),
-        "feedback" => KernelConfig::polled_screend_feedback(Quota::Limited(10)),
-        "no-feedback" => KernelConfig::polled_screend_no_feedback(Quota::Limited(10)),
-        "rate-limited" => KernelConfig::unmodified_rate_limited(2_000.0),
-        "cycle-25" => KernelConfig::polled_cycle_limit(0.25),
-        "cycle-50" => KernelConfig::polled_cycle_limit(0.50),
-        "end-system" => KernelConfig::end_system_polled(Quota::Limited(10)),
+        "unmodified" => b.build(),
+        "screend" => b.screend(Default::default()).build(),
+        "no-polling" => b.no_polling().build(),
+        "polled" => b.polled(Quota::Limited(10)).build(),
+        "polled-q5" => b.polled(Quota::Limited(5)).build(),
+        "polled-q100" => b.polled(Quota::Limited(100)).build(),
+        "no-quota" => b.polled(Quota::Unlimited).build(),
+        "feedback" => b
+            .polled(Quota::Limited(10))
+            .screend(Default::default())
+            .feedback(Default::default())
+            .build(),
+        "no-feedback" => b
+            .polled(Quota::Limited(10))
+            .screend(Default::default())
+            .build(),
+        "rate-limited" => b.intr_rate_limit(2_000.0, 4).build(),
+        "cycle-25" => b.polled(Quota::Limited(5)).cycle_limit(0.25).user_process(true).build(),
+        "cycle-50" => b.polled(Quota::Limited(5)).cycle_limit(0.50).user_process(true).build(),
+        "end-system" => b
+            .polled(Quota::Limited(10))
+            .local_delivery(LocalDeliveryConfig {
+                feedback: Some(FeedbackConfig::default()),
+                ..LocalDeliveryConfig::default()
+            })
+            .ip_forwarding(false)
+            .build(),
         _ => return None,
     })
 }
@@ -82,6 +101,9 @@ struct Args {
 }
 
 impl Args {
+    /// Flags that take no value.
+    const BOOL_FLAGS: &'static [&'static str] = &["latency"];
+
     fn parse(raw: &[String]) -> Result<Args, String> {
         let mut flags = Vec::new();
         let mut it = raw.iter();
@@ -89,10 +111,18 @@ impl Args {
             let Some(name) = a.strip_prefix("--") else {
                 return Err(format!("unexpected argument {a:?}"));
             };
+            if Self::BOOL_FLAGS.contains(&name) {
+                flags.push((name.to_string(), String::new()));
+                continue;
+            }
             let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
             flags.push((name.to_string(), value.clone()));
         }
         Ok(Args { flags })
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
     }
 
     fn get(&self, name: &str) -> Option<&str> {
@@ -158,7 +188,49 @@ fn cmd_trial(args: &Args) -> Result<(), String> {
     println!("latency p99     {:>10}", r.latency_p99);
     println!("interrupts      {:>10}", r.interrupts_taken);
     println!("user CPU        {:>9.1}%", r.user_cpu_frac * 100.0);
+    if args.has("latency") {
+        print_latency_breakdown(&r);
+    }
     Ok(())
+}
+
+/// The `--latency` report: per-stage sojourn quantiles for delivered
+/// packets, then every drop attributed to its reason.
+fn print_latency_breakdown(r: &TrialResult) {
+    println!();
+    println!(
+        "latency (us)  {:>10} {:>10} {:>10} {:>10} {:>10}  {:>8}",
+        "p50", "p90", "p99", "p99.9", "max", "count"
+    );
+    let row = |name: &str, h: &livelock_sim::HdrHistogram| {
+        if h.is_empty() {
+            return;
+        }
+        println!(
+            "  {name:<11} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1}  {:>8}",
+            h.quantile(0.50).as_micros_f64(),
+            h.quantile(0.90).as_micros_f64(),
+            h.quantile(0.99).as_micros_f64(),
+            h.quantile(0.999).as_micros_f64(),
+            h.max().as_micros_f64(),
+            h.count(),
+        );
+    };
+    row("total", &r.latency.total);
+    for s in Stage::ALL {
+        row(s.label(), r.latency.stage(s));
+    }
+    println!();
+    println!("drops by reason");
+    if r.drops.total() == 0 {
+        println!("  (none)");
+    }
+    for reason in DropReason::ALL {
+        let n = r.drops.get(reason);
+        if n > 0 {
+            println!("  {:<18} {n:>10}", reason.label());
+        }
+    }
 }
 
 fn cmd_sweep(args: &Args) -> Result<(), String> {
@@ -176,6 +248,7 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     };
     let n_packets = args.get_usize("packets", 3_000)?;
     let jobs = args.get_usize("jobs", default_jobs())?;
+    let latency = args.has("latency");
 
     let mut results = Vec::new();
     for name in &names {
@@ -185,18 +258,28 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
             ..TrialSpec::new(cfg)
         };
         eprintln!("sweeping {name}...");
-        results.push(sweep_jobs(name, &base, &rates, jobs));
+        results.push(sweep(name, &base, &rates, Parallelism::Jobs(jobs)));
     }
 
     print!("{:>10}", "input_pps");
     for s in &results {
         print!("{:>14}", s.label);
     }
+    if latency {
+        for s in &results {
+            print!("{:>18}", format!("{}_p99us", s.label));
+        }
+    }
     println!();
     for (i, rate) in rates.iter().enumerate() {
         print!("{rate:>10.0}");
         for s in &results {
             print!("{:>14.0}", s.trials[i].delivered_pps);
+        }
+        if latency {
+            for s in &results {
+                print!("{:>18.1}", s.trials[i].latency_p99.as_micros_f64());
+            }
         }
         println!();
     }

@@ -16,8 +16,8 @@
 
 use std::time::Instant;
 
-use livelock_bench::{all_figures, render_figure_jobs};
-use livelock_kernel::par::default_jobs;
+use livelock_bench::{all_figures, render_figure};
+use livelock_kernel::par::{default_jobs, Parallelism};
 
 fn flag_value(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -69,7 +69,7 @@ fn main() {
         let mut csvs = Vec::with_capacity(figs.len());
         for fig in &figs {
             let ft0 = Instant::now();
-            let rendered = render_figure_jobs(fig, n_packets, jobs);
+            let rendered = render_figure(fig, n_packets, Parallelism::Jobs(jobs));
             eprintln!(
                 "  jobs={jobs} fig {:>4}: {:>7.2}s",
                 fig.id,

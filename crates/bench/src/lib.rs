@@ -10,9 +10,22 @@ use livelock_core::analysis::{classify, mlfrr, overload_stability, LivelockVerdi
 use livelock_core::poller::Quota;
 use livelock_kernel::config::KernelConfig;
 use livelock_kernel::experiment::{run_trial, sweep, SweepResult, TrialSpec};
-use livelock_kernel::par::par_map;
+use livelock_kernel::par::{par_map, Parallelism};
 
-/// One figure: an id, a caption, curves, and the swept input rates.
+/// What a figure's value column (y-axis) plots.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Axis {
+    /// Delivered packet rate in pkts/s (the throughput figures).
+    DeliveredPps,
+    /// User-mode CPU share in percent (Figure 7-1).
+    UserCpuPercent,
+    /// 99th-percentile forwarding latency in microseconds (the latency
+    /// figure the paper's §4.3 discussion implies).
+    LatencyP99Micros,
+}
+
+/// One figure: an id, a caption, curves, the swept input rates, and the
+/// y-axis the value column plots.
 pub struct Figure {
     /// Paper figure number, e.g. "6-1".
     pub id: &'static str,
@@ -22,6 +35,8 @@ pub struct Figure {
     pub curves: Vec<(String, KernelConfig)>,
     /// Input packet rates to sweep.
     pub rates: Vec<f64>,
+    /// What the value column plots.
+    pub axis: Axis,
 }
 
 /// The rates every throughput figure sweeps (as in the paper: 0 to 12,000
@@ -39,13 +54,14 @@ pub fn fig6_1() -> Figure {
         id: "6-1",
         caption: "Forwarding performance of unmodified kernel",
         curves: vec![
-            ("Without screend".into(), KernelConfig::unmodified()),
+            ("Without screend".into(), KernelConfig::builder().build()),
             (
                 "With screend".into(),
-                KernelConfig::unmodified_with_screend(),
+                KernelConfig::builder().screend(Default::default()).build(),
             ),
         ],
         rates: throughput_rates(),
+        axis: Axis::DeliveredPps,
     }
 }
 
@@ -55,18 +71,19 @@ pub fn fig6_3() -> Figure {
         id: "6-3",
         caption: "Forwarding performance of modified kernel, without using screend",
         curves: vec![
-            ("Unmodified".into(), KernelConfig::unmodified()),
-            ("No polling".into(), KernelConfig::no_polling()),
+            ("Unmodified".into(), KernelConfig::builder().build()),
+            ("No polling".into(), KernelConfig::builder().no_polling().build()),
             (
                 "Polling (quota = 5)".into(),
-                KernelConfig::polled(Quota::Limited(5)),
+                KernelConfig::builder().polled(Quota::Limited(5)).build(),
             ),
             (
                 "Polling (no quota)".into(),
-                KernelConfig::polled(Quota::Unlimited),
+                KernelConfig::builder().polled(Quota::Unlimited).build(),
             ),
         ],
         rates: throughput_rates(),
+        axis: Axis::DeliveredPps,
     }
 }
 
@@ -76,17 +93,28 @@ pub fn fig6_4() -> Figure {
         id: "6-4",
         caption: "Forwarding performance of modified kernel, with screend",
         curves: vec![
-            ("Unmodified".into(), KernelConfig::unmodified_with_screend()),
+            (
+                "Unmodified".into(),
+                KernelConfig::builder().screend(Default::default()).build(),
+            ),
             (
                 "Polling, no feedback".into(),
-                KernelConfig::polled_screend_no_feedback(Quota::Limited(10)),
+                KernelConfig::builder()
+                    .polled(Quota::Limited(10))
+                    .screend(Default::default())
+                    .build(),
             ),
             (
                 "Polling w/feedback".into(),
-                KernelConfig::polled_screend_feedback(Quota::Limited(10)),
+                KernelConfig::builder()
+                    .polled(Quota::Limited(10))
+                    .screend(Default::default())
+                    .feedback(Default::default())
+                    .build(),
             ),
         ],
         rates: throughput_rates(),
+        axis: Axis::DeliveredPps,
     }
 }
 
@@ -108,9 +136,10 @@ pub fn fig6_5() -> Figure {
         caption: "Effect of packet-count quota on performance, no screend",
         curves: quota_values()
             .into_iter()
-            .map(|(label, q)| (label, KernelConfig::polled(q)))
+            .map(|(label, q)| (label, KernelConfig::builder().polled(q).build()))
             .collect(),
         rates: throughput_rates(),
+        axis: Axis::DeliveredPps,
     }
 }
 
@@ -121,9 +150,19 @@ pub fn fig6_6() -> Figure {
         caption: "Effect of packet-count quota on performance, with screend",
         curves: quota_values()
             .into_iter()
-            .map(|(label, q)| (label, KernelConfig::polled_screend_feedback(q)))
+            .map(|(label, q)| {
+                (
+                    label,
+                    KernelConfig::builder()
+                        .polled(q)
+                        .screend(Default::default())
+                        .feedback(Default::default())
+                        .build(),
+                )
+            })
             .collect(),
         rates: throughput_rates(),
+        axis: Axis::DeliveredPps,
     }
 }
 
@@ -143,19 +182,53 @@ pub fn fig7_1() -> Figure {
             .map(|t| {
                 (
                     format!("threshold {:.0} %", t * 100.0),
-                    KernelConfig::polled_cycle_limit(t),
+                    KernelConfig::builder()
+                        .polled(Quota::Limited(5))
+                        .cycle_limit(t)
+                        .user_process(true)
+                        .build(),
                 )
             })
             .collect(),
         rates: vec![
             500.0, 1_000.0, 2_000.0, 3_000.0, 4_000.0, 5_000.0, 6_000.0, 8_000.0, 10_000.0,
         ],
+        axis: Axis::UserCpuPercent,
     }
 }
 
-/// All figures in paper order.
+/// The latency figure: 99th-percentile forwarding latency versus input
+/// rate, unmodified vs polled. The paper's §3/§4.3 argue the modified
+/// kernel keeps latency (and jitter) low because polling processes each
+/// packet to completion instead of letting it age in `ipintrq`; this
+/// figure plots the distribution tail that argument implies.
+pub fn fig_latency() -> Figure {
+    Figure {
+        id: "L-1",
+        caption: "99th-percentile forwarding latency vs input rate",
+        curves: vec![
+            ("Unmodified".into(), KernelConfig::builder().build()),
+            (
+                "Polling (quota = 5)".into(),
+                KernelConfig::builder().polled(Quota::Limited(5)).build(),
+            ),
+        ],
+        rates: throughput_rates(),
+        axis: Axis::LatencyP99Micros,
+    }
+}
+
+/// All figures in paper order, the latency figure last.
 pub fn all_figures() -> Vec<Figure> {
-    vec![fig6_1(), fig6_3(), fig6_4(), fig6_5(), fig6_6(), fig7_1()]
+    vec![
+        fig6_1(),
+        fig6_3(),
+        fig6_4(),
+        fig6_5(),
+        fig6_6(),
+        fig7_1(),
+        fig_latency(),
+    ]
 }
 
 /// Packets per trial. The paper used 10,000; the full-fidelity value is
@@ -169,12 +242,13 @@ pub fn run_curve(
     config: &KernelConfig,
     rates: &[f64],
     n_packets: usize,
+    par: Parallelism,
 ) -> SweepResult {
     let base = TrialSpec {
         n_packets,
         ..TrialSpec::new(config.clone())
     };
-    sweep(label, &base, rates)
+    sweep(label, &base, rates, par)
 }
 
 /// A rendered figure: one row per rate, one column per curve.
@@ -187,18 +261,18 @@ pub struct RenderedFigure {
     pub rates: Vec<f64>,
     /// Per-curve results.
     pub curves: Vec<SweepResult>,
-    /// `true` when the value column is user CPU % (Figure 7-1).
-    pub user_cpu_axis: bool,
+    /// What the value column plots.
+    pub axis: Axis,
 }
 
 impl RenderedFigure {
-    /// Value for (curve, point): delivered pkts/s, or user CPU % for 7-1.
+    /// Value for (curve, point), in the units of [`RenderedFigure::axis`].
     pub fn value(&self, curve: usize, point: usize) -> f64 {
         let t = &self.curves[curve].trials[point];
-        if self.user_cpu_axis {
-            t.user_cpu_frac * 100.0
-        } else {
-            t.delivered_pps
+        match self.axis {
+            Axis::DeliveredPps => t.delivered_pps,
+            Axis::UserCpuPercent => t.user_cpu_frac * 100.0,
+            Axis::LatencyP99Micros => t.latency_p99.as_micros_f64(),
         }
     }
 
@@ -247,7 +321,7 @@ impl RenderedFigure {
         use std::fmt::Write as _;
         let mut out = String::new();
         for c in &self.curves {
-            if self.user_cpu_axis {
+            if self.axis != Axis::DeliveredPps {
                 continue;
             }
             let pts = c.points();
@@ -264,29 +338,21 @@ impl RenderedFigure {
     }
 }
 
-/// Regenerates one figure at the given trial size, serially.
-///
-/// Equivalent to [`render_figure_jobs`] with `jobs == 1` — the parallel
-/// path produces bit-for-bit identical results.
-pub fn render_figure(fig: &Figure, n_packets: usize) -> RenderedFigure {
-    render_figure_jobs(fig, n_packets, 1)
-}
-
-/// Regenerates one figure on up to `jobs` worker threads.
+/// Regenerates one figure at the given trial size.
 ///
 /// The work list is the flattened (curve × rate) grid, not per-curve
 /// sweeps, so the available parallelism is `curves.len() * rates.len()`
 /// trials (e.g. 60 for Figure 6-5) rather than just one curve's rates.
-/// Every trial is independently seeded, so the output is identical to the
-/// serial path regardless of `jobs`.
-pub fn render_figure_jobs(fig: &Figure, n_packets: usize, jobs: usize) -> RenderedFigure {
+/// Every trial is independently seeded, so the output is bit-for-bit
+/// identical across every [`Parallelism`] choice.
+pub fn render_figure(fig: &Figure, n_packets: usize, par: Parallelism) -> RenderedFigure {
     let work: Vec<(usize, f64)> = fig
         .curves
         .iter()
         .enumerate()
         .flat_map(|(ci, _)| fig.rates.iter().map(move |&r| (ci, r)))
         .collect();
-    let mut trials = par_map(&work, jobs, |&(ci, rate_pps)| {
+    let mut trials = par_map(&work, par.jobs(), |&(ci, rate_pps)| {
         let (_, cfg) = &fig.curves[ci];
         run_trial(&TrialSpec {
             rate_pps,
@@ -308,7 +374,7 @@ pub fn render_figure_jobs(fig: &Figure, n_packets: usize, jobs: usize) -> Render
         caption: fig.caption,
         rates: fig.rates.clone(),
         curves,
-        user_cpu_axis: fig.id == "7-1",
+        axis: fig.axis,
     }
 }
 
@@ -328,7 +394,7 @@ pub fn one_overload_trial(fig: &Figure, curve: usize, n_packets: usize) -> f64 {
 /// shape, returning human-readable violations (empty = shape holds).
 pub fn shape_violations(r: &RenderedFigure) -> Vec<String> {
     let mut v = Vec::new();
-    if r.user_cpu_axis {
+    if r.axis != Axis::DeliveredPps {
         return v;
     }
     for c in &r.curves {
@@ -369,6 +435,41 @@ pub fn shape_violations(r: &RenderedFigure) -> Vec<String> {
     v
 }
 
+/// Checks the rendered latency figure against the paper's §3 argument:
+/// under overload the polled kernel processes each accepted packet to
+/// completion, so its tail latency must sit well below the unmodified
+/// kernel's, whose delivered packets age in long queues under constant
+/// interruption. Returns human-readable violations (empty = shape holds).
+pub fn latency_shape_violations(r: &RenderedFigure) -> Vec<String> {
+    let mut v = Vec::new();
+    if r.axis != Axis::LatencyP99Micros {
+        return v;
+    }
+    let find = |needle: &str| {
+        r.curves
+            .iter()
+            .position(|c| c.label.to_lowercase().contains(needle))
+    };
+    let (Some(unmod), Some(polled)) = (find("unmodified"), find("polling")) else {
+        v.push(format!(
+            "fig {}: latency figure needs an unmodified and a polling curve",
+            r.id
+        ));
+        return v;
+    };
+    let last = r.rates.len() - 1;
+    let unmod_p99 = r.value(unmod, last);
+    let polled_p99 = r.value(polled, last);
+    if polled_p99 * 2.0 > unmod_p99 {
+        v.push(format!(
+            "fig {}: at {:.0} pkts/s polled p99 ({polled_p99:.0} us) is not \
+             well below unmodified p99 ({unmod_p99:.0} us)",
+            r.id, r.rates[last]
+        ));
+    }
+    v
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -377,13 +478,16 @@ mod tests {
     fn figure_inventory_is_complete() {
         let figs = all_figures();
         let ids: Vec<_> = figs.iter().map(|f| f.id).collect();
-        assert_eq!(ids, vec!["6-1", "6-3", "6-4", "6-5", "6-6", "7-1"]);
+        assert_eq!(ids, vec!["6-1", "6-3", "6-4", "6-5", "6-6", "7-1", "L-1"]);
         assert_eq!(figs[0].curves.len(), 2);
         assert_eq!(figs[1].curves.len(), 4);
         assert_eq!(figs[2].curves.len(), 3);
         assert_eq!(figs[3].curves.len(), 5);
         assert_eq!(figs[4].curves.len(), 5);
         assert_eq!(figs[5].curves.len(), 4);
+        assert_eq!(figs[6].curves.len(), 2);
+        assert!(figs[..6].iter().all(|f| f.axis != Axis::LatencyP99Micros));
+        assert_eq!(figs[6].axis, Axis::LatencyP99Micros);
     }
 
     #[test]
@@ -392,7 +496,7 @@ mod tests {
             rates: vec![500.0, 1_000.0],
             ..fig6_1()
         };
-        let r = render_figure(&fig, 200);
+        let r = render_figure(&fig, 200, Parallelism::Serial);
         assert_eq!(r.curves.len(), 2);
         let table = r.to_table();
         assert!(table.contains("Figure 6-1"));
@@ -410,9 +514,9 @@ mod tests {
             rates: vec![1_000.0, 8_000.0],
             ..fig6_1()
         };
-        let serial = render_figure(&fig, 300);
+        let serial = render_figure(&fig, 300, Parallelism::Serial);
         for jobs in [2, 4] {
-            let par = render_figure_jobs(&fig, 300, jobs);
+            let par = render_figure(&fig, 300, Parallelism::Jobs(jobs));
             assert_eq!(par.curves.len(), serial.curves.len());
             for (p, s) in par.curves.iter().zip(&serial.curves) {
                 assert_eq!(p.label, s.label, "jobs={jobs}");
@@ -444,6 +548,8 @@ mod tests {
             latency_mean: Nanos::ZERO,
             latency_p99: Nanos::ZERO,
             latency_jitter: Nanos::ZERO,
+            latency: Default::default(),
+            drops: Default::default(),
             user_cpu_frac: 0.0,
             interrupts_taken: 0,
             pool: Default::default(),
@@ -468,7 +574,7 @@ mod tests {
                     trials: collapse, // Wrong: should plateau.
                 },
             ],
-            user_cpu_axis: false,
+            axis: Axis::DeliveredPps,
         };
         let v = shape_violations(&rendered);
         assert_eq!(v.len(), 2, "both wrong shapes flagged: {v:?}");
@@ -485,7 +591,7 @@ mod tests {
             curves: vec![fig6_3().curves.swap_remove(2)], // quota = 5.
             ..fig6_3()
         };
-        let r = render_figure(&fig, 800);
+        let r = render_figure(&fig, 800, Parallelism::Auto);
         assert!(shape_violations(&r).is_empty());
     }
 
@@ -496,9 +602,29 @@ mod tests {
             curves: vec![fig7_1().curves.remove(0)],
             ..fig7_1()
         };
-        let r = render_figure(&fig, 200);
-        assert!(r.user_cpu_axis);
+        let r = render_figure(&fig, 200, Parallelism::Serial);
+        assert_eq!(r.axis, Axis::UserCpuPercent);
         let v = r.value(0, 0);
         assert!(v > 10.0 && v <= 100.0, "user CPU % = {v}");
+    }
+
+    #[test]
+    fn latency_figure_separates_kernels_under_overload() {
+        // A small render of the latency figure's extremes: the polled
+        // kernel's overload p99 must sit well below the unmodified one's.
+        let fig = Figure {
+            rates: vec![2_000.0, 12_000.0],
+            ..fig_latency()
+        };
+        let r = render_figure(&fig, 800, Parallelism::Auto);
+        assert_eq!(r.axis, Axis::LatencyP99Micros);
+        let v = latency_shape_violations(&r);
+        assert!(v.is_empty(), "{v:?}");
+        // And the checker really checks: swapping the curves must trip it.
+        let mut swapped = r;
+        swapped.curves.swap(0, 1);
+        swapped.curves[0].label = "Unmodified".into();
+        swapped.curves[1].label = "Polling (quota = 5)".into();
+        assert!(!latency_shape_violations(&swapped).is_empty());
     }
 }

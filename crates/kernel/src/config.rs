@@ -162,6 +162,10 @@ pub struct KernelConfig {
     pub ip_forwarding: bool,
     /// Number of network interfaces (the paper's router had two).
     pub num_ifaces: usize,
+    /// Record per-packet latency distributions (total sojourn and
+    /// per-stage residencies)? Costs a handful of histogram increments per
+    /// delivered packet; timestamps are stamped either way.
+    pub latency_tracking: bool,
     /// The cycle cost model.
     pub cost: CostModel,
 }
@@ -181,104 +185,149 @@ impl KernelConfig {
             icmp_errors: false,
             ip_forwarding: true,
             num_ifaces: 2,
+            latency_tracking: true,
             cost: CostModel::calibrated(),
         }
     }
 
+    /// Starts a fluent builder, beginning from the unmodified
+    /// interrupt-driven kernel with the paper's defaults. This is the one
+    /// way to compose configurations; the named constructors below are
+    /// deprecated shims over it.
+    ///
+    /// ```
+    /// use livelock_core::poller::Quota;
+    /// use livelock_kernel::config::{FeedbackConfig, KernelConfig, ScreendConfig};
+    ///
+    /// let cfg = KernelConfig::builder()
+    ///     .polled(Quota::Limited(10))
+    ///     .screend(ScreendConfig::default())
+    ///     .feedback(FeedbackConfig::default())
+    ///     .build();
+    /// assert!(cfg.polled_config().unwrap().feedback.is_some());
+    /// ```
+    pub fn builder() -> KernelConfigBuilder {
+        KernelConfigBuilder {
+            cfg: KernelConfig::base(Mode::Unmodified {
+                emulate_modified_structure: false,
+            }),
+            feedback: None,
+            cycle_limit: None,
+        }
+    }
+
     /// The unmodified 4.2BSD-style kernel (Figure 6-1 filled circles).
+    #[deprecated(since = "0.2.0", note = "use KernelConfig::builder()")]
     pub fn unmodified() -> Self {
-        KernelConfig::base(Mode::Unmodified {
-            emulate_modified_structure: false,
-        })
+        KernelConfig::builder().build()
     }
 
     /// The unmodified kernel forwarding through screend (Figure 6-1 open
     /// squares).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use KernelConfig::builder().screend(ScreendConfig::default())"
+    )]
     pub fn unmodified_with_screend() -> Self {
-        let mut c = KernelConfig::unmodified();
-        c.screend = Some(ScreendConfig::default());
-        c
+        KernelConfig::builder()
+            .screend(ScreendConfig::default())
+            .build()
     }
 
     /// The modified kernel "configured to act as if it were an unmodified
     /// system" (Figure 6-3 open circles).
+    #[deprecated(since = "0.2.0", note = "use KernelConfig::builder().no_polling()")]
     pub fn no_polling() -> Self {
-        KernelConfig::base(Mode::Unmodified {
-            emulate_modified_structure: true,
-        })
+        KernelConfig::builder().no_polling().build()
     }
 
     /// The modified polling kernel with the given receive quota
     /// (Figure 6-3/6-5 curves).
+    #[deprecated(since = "0.2.0", note = "use KernelConfig::builder().polled(quota)")]
     pub fn polled(rx_quota: Quota) -> Self {
-        KernelConfig::base(Mode::Polled(PolledConfig {
-            rx_quota,
-            tx_quota: rx_quota,
-            ..PolledConfig::default()
-        }))
+        KernelConfig::builder().polled(rx_quota).build()
     }
 
     /// The modified kernel with screend, without queue-state feedback
     /// (Figure 6-4 squares).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use KernelConfig::builder().polled(quota).screend(ScreendConfig::default())"
+    )]
     pub fn polled_screend_no_feedback(rx_quota: Quota) -> Self {
-        let mut c = KernelConfig::polled(rx_quota);
-        c.screend = Some(ScreendConfig::default());
-        c
+        KernelConfig::builder()
+            .polled(rx_quota)
+            .screend(ScreendConfig::default())
+            .build()
     }
 
     /// The modified kernel with screend and queue-state feedback
     /// (Figure 6-4 gray squares; quota 10 as in the paper's experiments).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use KernelConfig::builder().polled(quota).screend(..).feedback(..)"
+    )]
     pub fn polled_screend_feedback(rx_quota: Quota) -> Self {
-        let mut c = KernelConfig::polled(rx_quota);
-        if let Mode::Polled(p) = &mut c.mode {
-            p.feedback = Some(FeedbackConfig::default());
-        }
-        c.screend = Some(ScreendConfig::default());
-        c
+        KernelConfig::builder()
+            .polled(rx_quota)
+            .screend(ScreendConfig::default())
+            .feedback(FeedbackConfig::default())
+            .build()
     }
 
     /// The Figure 7-1 configuration: modified kernel, cycle limiter at
     /// `threshold_frac`, with a compute-bound user process.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use KernelConfig::builder().polled(..).cycle_limit(frac).user_process(true)"
+    )]
     pub fn polled_cycle_limit(threshold_frac: f64) -> Self {
-        let mut c = KernelConfig::polled(Quota::Limited(5));
-        if let Mode::Polled(p) = &mut c.mode {
-            p.cycle_limit_frac = Some(threshold_frac);
-        }
-        c.user_process = true;
-        c
+        KernelConfig::builder()
+            .polled(Quota::Limited(5))
+            .cycle_limit(threshold_frac)
+            .user_process(true)
+            .build()
     }
 
     /// The unmodified kernel with §5.1 interrupt rate limiting — the
     /// mitigation the paper says "prevents system saturation but might not
     /// guarantee progress".
+    #[deprecated(
+        since = "0.2.0",
+        note = "use KernelConfig::builder().intr_rate_limit(max_rate_hz, 4)"
+    )]
     pub fn unmodified_rate_limited(max_rate_hz: f64) -> Self {
-        let mut c = KernelConfig::unmodified();
-        c.intr_rate_limit = Some(IntrRateLimitConfig {
-            max_rate_hz,
-            burst: 4,
-        });
-        c
+        KernelConfig::builder().intr_rate_limit(max_rate_hz, 4).build()
     }
 
     /// An end-system (UDP/RPC server) on the unmodified kernel: packets
     /// for the host are delivered to an application through a socket
     /// buffer.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use KernelConfig::builder().local_delivery(..).ip_forwarding(false)"
+    )]
     pub fn end_system_unmodified() -> Self {
-        let mut c = KernelConfig::unmodified();
-        c.local = Some(LocalDeliveryConfig::default());
-        c.ip_forwarding = false;
-        c
+        KernelConfig::builder()
+            .local_delivery(LocalDeliveryConfig::default())
+            .ip_forwarding(false)
+            .build()
     }
 
     /// An end-system on the modified kernel, with socket-queue feedback.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use KernelConfig::builder().polled(..).local_delivery(..).ip_forwarding(false)"
+    )]
     pub fn end_system_polled(rx_quota: Quota) -> Self {
-        let mut c = KernelConfig::polled(rx_quota);
-        c.local = Some(LocalDeliveryConfig {
-            feedback: Some(FeedbackConfig::default()),
-            ..LocalDeliveryConfig::default()
-        });
-        c.ip_forwarding = false;
-        c
+        KernelConfig::builder()
+            .polled(rx_quota)
+            .local_delivery(LocalDeliveryConfig {
+                feedback: Some(FeedbackConfig::default()),
+                ..LocalDeliveryConfig::default()
+            })
+            .ip_forwarding(false)
+            .build()
     }
 
     /// Returns the polled configuration, if this is a polled kernel.
@@ -290,13 +339,174 @@ impl KernelConfig {
     }
 }
 
+
+/// Fluent builder for [`KernelConfig`], started by
+/// [`KernelConfig::builder`].
+///
+/// The builder begins from the paper's unmodified-kernel defaults; every
+/// method overrides one knob and returns the builder. `feedback` and
+/// `cycle_limit` are mode-independent to set (call order does not matter)
+/// and are applied to the polled configuration at [`build`]
+/// (they have no effect on an interrupt-driven kernel, which has neither
+/// mechanism).
+///
+/// [`build`]: KernelConfigBuilder::build
+#[derive(Clone, Debug)]
+pub struct KernelConfigBuilder {
+    cfg: KernelConfig,
+    feedback: Option<FeedbackConfig>,
+    cycle_limit: Option<f64>,
+}
+
+impl KernelConfigBuilder {
+    /// Sets the forwarding-path implementation directly.
+    pub fn mode(mut self, mode: Mode) -> Self {
+        self.cfg.mode = mode;
+        self
+    }
+
+    /// The unmodified 4.2BSD interrupt-driven path (the starting state).
+    pub fn unmodified(self) -> Self {
+        self.mode(Mode::Unmodified {
+            emulate_modified_structure: false,
+        })
+    }
+
+    /// The modified kernel acting as if unmodified (Figure 6-3 open
+    /// circles): the interrupt-driven path plus the restructured driver's
+    /// small per-packet overhead.
+    pub fn no_polling(self) -> Self {
+        self.mode(Mode::Unmodified {
+            emulate_modified_structure: true,
+        })
+    }
+
+    /// The polling kernel with `rx_quota` for both receive and transmit
+    /// callbacks (use [`mode`](Self::mode) with an explicit
+    /// [`PolledConfig`] for asymmetric quotas).
+    pub fn polled(self, rx_quota: Quota) -> Self {
+        self.mode(Mode::Polled(PolledConfig {
+            rx_quota,
+            tx_quota: rx_quota,
+            ..PolledConfig::default()
+        }))
+    }
+
+    /// Routes forwarded packets through the user-mode screend process.
+    pub fn screend(mut self, screend: ScreendConfig) -> Self {
+        self.cfg.screend = Some(screend);
+        self
+    }
+
+    /// Enables queue-state feedback (§6.6.1) on the screend queue.
+    /// Applied at [`build`](Self::build) when the mode is polled.
+    pub fn feedback(mut self, feedback: FeedbackConfig) -> Self {
+        self.feedback = Some(feedback);
+        self
+    }
+
+    /// Enables the §7 CPU-cycle limiter at `threshold_frac` of each
+    /// period. Applied at [`build`](Self::build) when the mode is polled.
+    pub fn cycle_limit(mut self, threshold_frac: f64) -> Self {
+        self.cycle_limit = Some(threshold_frac);
+        self
+    }
+
+    /// Delivers packets addressed to the host to a local application
+    /// (end-system mode).
+    pub fn local_delivery(mut self, local: LocalDeliveryConfig) -> Self {
+        self.cfg.local = Some(local);
+        self
+    }
+
+    /// Limits the receive-interrupt arrival rate (§5.1).
+    pub fn intr_rate_limit(mut self, max_rate_hz: f64, burst: u32) -> Self {
+        self.cfg.intr_rate_limit = Some(IntrRateLimitConfig { max_rate_hz, burst });
+        self
+    }
+
+    /// Runs the compute-bound user process (the Figure 7-1 competitor).
+    pub fn user_process(mut self, on: bool) -> Self {
+        self.cfg.user_process = on;
+        self
+    }
+
+    /// Forward packets between interfaces (`false` = pure end-system).
+    pub fn ip_forwarding(mut self, on: bool) -> Self {
+        self.cfg.ip_forwarding = on;
+        self
+    }
+
+    /// Originate paced ICMP errors for undeliverable packets.
+    pub fn icmp_errors(mut self, on: bool) -> Self {
+        self.cfg.icmp_errors = on;
+        self
+    }
+
+    /// Applies RED early-drop admission on output queues.
+    pub fn ifq_red(mut self, on: bool) -> Self {
+        self.cfg.ifq_red = on;
+        self
+    }
+
+    /// Records per-packet latency distributions (on by default).
+    pub fn latency_tracking(mut self, on: bool) -> Self {
+        self.cfg.latency_tracking = on;
+        self
+    }
+
+    /// NIC ring geometry.
+    pub fn nic(mut self, nic: NicConfig) -> Self {
+        self.cfg.nic = nic;
+        self
+    }
+
+    /// `ipintrq` length limit (unmodified kernel only).
+    pub fn ipintrq_cap(mut self, cap: usize) -> Self {
+        self.cfg.ipintrq_cap = cap;
+        self
+    }
+
+    /// Per-interface output queue length limit.
+    pub fn ifq_cap(mut self, cap: usize) -> Self {
+        self.cfg.ifq_cap = cap;
+        self
+    }
+
+    /// Number of network interfaces.
+    pub fn num_ifaces(mut self, n: usize) -> Self {
+        self.cfg.num_ifaces = n;
+        self
+    }
+
+    /// The cycle cost model.
+    pub fn cost(mut self, cost: CostModel) -> Self {
+        self.cfg.cost = cost;
+        self
+    }
+
+    /// Finalizes the configuration, folding pending feedback/cycle-limit
+    /// settings into the polled mode.
+    pub fn build(mut self) -> KernelConfig {
+        if let Mode::Polled(p) = &mut self.cfg.mode {
+            if self.feedback.is_some() {
+                p.feedback = self.feedback;
+            }
+            if self.cycle_limit.is_some() {
+                p.cycle_limit_frac = self.cycle_limit;
+            }
+        }
+        self.cfg
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn presets_match_paper() {
-        let u = KernelConfig::unmodified();
+    fn builder_presets_match_paper() {
+        let u = KernelConfig::builder().build();
         assert!(matches!(
             u.mode,
             Mode::Unmodified {
@@ -307,30 +517,138 @@ mod tests {
         assert_eq!(u.ipintrq_cap, 50);
         assert_eq!(u.num_ifaces, 2);
 
-        let s = KernelConfig::unmodified_with_screend();
+        let s = KernelConfig::builder().screend(Default::default()).build();
         assert_eq!(s.screend.as_ref().unwrap().queue_cap, 32);
 
-        let p = KernelConfig::polled(Quota::Limited(5));
+        let p = KernelConfig::builder().polled(Quota::Limited(5)).build();
         let pc = p.polled_config().unwrap();
         assert_eq!(pc.rx_quota, Quota::Limited(5));
         assert!(pc.feedback.is_none());
 
-        let f = KernelConfig::polled_screend_feedback(Quota::Limited(10));
+        let f = KernelConfig::builder()
+            .polled(Quota::Limited(10))
+            .screend(Default::default())
+            .feedback(Default::default())
+            .build();
         let fb = f.polled_config().unwrap().feedback.unwrap();
         assert_eq!(fb.hi_frac, 0.75);
         assert_eq!(fb.lo_frac, 0.25);
         assert_eq!(fb.timeout_ticks, 1);
         assert!(f.screend.is_some());
 
-        let c = KernelConfig::polled_cycle_limit(0.25);
+        let c = KernelConfig::builder()
+            .polled(Quota::Limited(5))
+            .cycle_limit(0.25)
+            .user_process(true)
+            .build();
         assert_eq!(c.polled_config().unwrap().cycle_limit_frac, Some(0.25));
         assert!(c.user_process);
     }
 
+    /// `feedback`/`cycle_limit` are held pending until `build`, so the
+    /// builder is order-independent: setting them before `polled` works.
+    #[test]
+    fn builder_is_order_independent() {
+        let a = KernelConfig::builder()
+            .feedback(FeedbackConfig::default())
+            .cycle_limit(0.5)
+            .screend(ScreendConfig::default())
+            .polled(Quota::Limited(10))
+            .build();
+        let b = KernelConfig::builder()
+            .polled(Quota::Limited(10))
+            .screend(ScreendConfig::default())
+            .feedback(FeedbackConfig::default())
+            .cycle_limit(0.5)
+            .build();
+        let (pa, pb) = (a.polled_config().unwrap(), b.polled_config().unwrap());
+        assert_eq!(pa.rx_quota, pb.rx_quota);
+        assert_eq!(pa.cycle_limit_frac, pb.cycle_limit_frac);
+        assert_eq!(pa.feedback.is_some(), pb.feedback.is_some());
+    }
+
+    /// The deprecated constructors are thin shims over the builder: every
+    /// recipe must produce the same configuration it used to.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_equal_builder_recipes() {
+        let pairs: Vec<(KernelConfig, KernelConfig)> = vec![
+            (KernelConfig::unmodified(), KernelConfig::builder().build()),
+            (
+                KernelConfig::unmodified_with_screend(),
+                KernelConfig::builder().screend(Default::default()).build(),
+            ),
+            (
+                KernelConfig::no_polling(),
+                KernelConfig::builder().no_polling().build(),
+            ),
+            (
+                KernelConfig::polled(Quota::Limited(7)),
+                KernelConfig::builder().polled(Quota::Limited(7)).build(),
+            ),
+            (
+                KernelConfig::polled_screend_no_feedback(Quota::Limited(10)),
+                KernelConfig::builder()
+                    .polled(Quota::Limited(10))
+                    .screend(Default::default())
+                    .build(),
+            ),
+            (
+                KernelConfig::polled_screend_feedback(Quota::Limited(10)),
+                KernelConfig::builder()
+                    .polled(Quota::Limited(10))
+                    .screend(Default::default())
+                    .feedback(Default::default())
+                    .build(),
+            ),
+            (
+                KernelConfig::polled_cycle_limit(0.25),
+                KernelConfig::builder()
+                    .polled(Quota::Limited(5))
+                    .cycle_limit(0.25)
+                    .user_process(true)
+                    .build(),
+            ),
+            (
+                KernelConfig::unmodified_rate_limited(2_000.0),
+                KernelConfig::builder().intr_rate_limit(2_000.0, 4).build(),
+            ),
+            (
+                KernelConfig::end_system_unmodified(),
+                KernelConfig::builder()
+                    .local_delivery(Default::default())
+                    .ip_forwarding(false)
+                    .build(),
+            ),
+            (
+                KernelConfig::end_system_polled(Quota::Limited(10)),
+                KernelConfig::builder()
+                    .polled(Quota::Limited(10))
+                    .local_delivery(LocalDeliveryConfig {
+                        feedback: Some(FeedbackConfig::default()),
+                        ..Default::default()
+                    })
+                    .ip_forwarding(false)
+                    .build(),
+            ),
+        ];
+        for (i, (shim, built)) in pairs.iter().enumerate() {
+            assert_eq!(
+                format!("{shim:?}"),
+                format!("{built:?}"),
+                "recipe {i} diverged"
+            );
+        }
+    }
+
     #[test]
     fn unmodified_has_no_polled_config() {
-        assert!(KernelConfig::unmodified().polled_config().is_none());
-        assert!(KernelConfig::no_polling().polled_config().is_none());
+        assert!(KernelConfig::builder().build().polled_config().is_none());
+        assert!(KernelConfig::builder()
+            .no_polling()
+            .build()
+            .polled_config()
+            .is_none());
     }
 
     #[test]

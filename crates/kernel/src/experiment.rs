@@ -23,7 +23,9 @@ use livelock_net::pool::{FramePool, PoolStats};
 use livelock_sim::{Cycles, Nanos};
 
 use crate::config::KernelConfig;
+use crate::par::Parallelism;
 use crate::router::{Event, RouterKernel};
+use crate::stats::{DropStats, LatencyStats};
 
 /// One trial's parameters.
 #[derive(Clone, Debug)]
@@ -86,6 +88,12 @@ pub struct TrialResult {
     /// Standard deviation of forwarding latency — the jitter the paper's
     /// §3 requires scheduling to keep low.
     pub latency_jitter: Nanos,
+    /// Full latency distributions: total sojourn plus per-stage residency
+    /// histograms (empty when `config.latency_tracking` is off).
+    pub latency: LatencyStats,
+    /// Every drop in the trial, attributed to a
+    /// [`DropReason`](crate::stats::DropReason).
+    pub drops: DropStats,
     /// Fraction of window CPU time the compute-bound user process got
     /// (0 when no user process was configured).
     pub user_cpu_frac: f64,
@@ -176,6 +184,8 @@ pub fn run_trial(spec: &TrialSpec) -> TrialResult {
         latency_mean: stats.latency.mean(),
         latency_p99: stats.latency.quantile(0.99),
         latency_jitter: stats.latency.jitter(),
+        latency: stats.latency.clone(),
+        drops: stats.drops.clone(),
         user_cpu_frac,
         interrupts_taken,
         pool: stats.pool.unwrap_or_default(),
@@ -207,18 +217,14 @@ impl SweepResult {
     }
 }
 
-/// Runs one trial per rate with otherwise identical parameters.
-pub fn sweep(label: &str, base: &TrialSpec, rates: &[f64]) -> SweepResult {
-    sweep_jobs(label, base, rates, 1)
-}
-
-/// Like [`sweep`], fanning the trials across up to `jobs` worker threads.
+/// Runs one trial per rate with otherwise identical parameters, fanning
+/// trials out according to `par`.
 ///
 /// Each trial is an independent seeded simulation, so the result is
-/// bit-for-bit identical to the serial [`sweep`] regardless of `jobs` —
-/// results come back in rate order.
-pub fn sweep_jobs(label: &str, base: &TrialSpec, rates: &[f64], jobs: usize) -> SweepResult {
-    let trials = crate::par::par_map(rates, jobs, |&rate_pps| {
+/// bit-for-bit identical across every [`Parallelism`] choice — trials
+/// come back in rate order.
+pub fn sweep(label: &str, base: &TrialSpec, rates: &[f64], par: Parallelism) -> SweepResult {
+    let trials = crate::par::par_map(rates, par.jobs(), |&rate_pps| {
         run_trial(&TrialSpec {
             rate_pps,
             ..base.clone()
@@ -251,12 +257,17 @@ mod tests {
         })
     }
 
+    fn unmodified() -> KernelConfig {
+        KernelConfig::builder().build()
+    }
+
+    fn polled(q: Quota) -> KernelConfig {
+        KernelConfig::builder().polled(q).build()
+    }
+
     #[test]
     fn light_load_is_loss_free_on_both_kernels() {
-        for cfg in [
-            KernelConfig::unmodified(),
-            KernelConfig::polled(Quota::Limited(10)),
-        ] {
+        for cfg in [unmodified(), polled(Quota::Limited(10))] {
             let r = quick(cfg, 1_000.0, 800);
             assert!(
                 r.delivered_pps > 0.97 * r.offered_pps,
@@ -270,7 +281,7 @@ mod tests {
 
     #[test]
     fn offered_rate_tracks_nominal() {
-        let r = quick(KernelConfig::polled(Quota::Limited(10)), 3_000.0, 1_500);
+        let r = quick(polled(Quota::Limited(10)), 3_000.0, 1_500);
         assert!(
             (r.offered_pps - 3_000.0).abs() < 300.0,
             "offered {}",
@@ -280,8 +291,8 @@ mod tests {
 
     #[test]
     fn overload_degrades_unmodified_kernel() {
-        let low = quick(KernelConfig::unmodified(), 3_000.0, 1_500);
-        let high = quick(KernelConfig::unmodified(), 11_000.0, 4_000);
+        let low = quick(unmodified(), 3_000.0, 1_500);
+        let high = quick(unmodified(), 11_000.0, 4_000);
         assert!(
             high.delivered_pps < low.delivered_pps,
             "expected degradation: {} !< {}",
@@ -293,7 +304,7 @@ mod tests {
 
     #[test]
     fn overload_does_not_collapse_polled_kernel() {
-        let high = quick(KernelConfig::polled(Quota::Limited(10)), 11_000.0, 4_000);
+        let high = quick(polled(Quota::Limited(10)), 11_000.0, 4_000);
         assert!(
             high.delivered_pps > 3_000.0,
             "polled kernel should sustain its MLFRR, got {}",
@@ -303,7 +314,7 @@ mod tests {
 
     #[test]
     fn latency_is_sane_at_light_load() {
-        let r = quick(KernelConfig::polled(Quota::Limited(10)), 500.0, 400);
+        let r = quick(polled(Quota::Limited(10)), 500.0, 400);
         // One packet alone in the system: a few hundred microseconds of
         // processing plus 67.2 us of output serialization.
         assert!(
@@ -320,7 +331,7 @@ mod tests {
 
     #[test]
     fn steady_state_forwarding_never_allocates() {
-        let r = quick(KernelConfig::unmodified(), 2_000.0, 600);
+        let r = quick(unmodified(), 2_000.0, 600);
         assert_eq!(r.pool.misses, 0, "no per-packet heap allocation");
         assert!(r.pool.acquired >= 600, "every frame came from the pool");
         // The trial window ends at the last arrival, so the final packets
@@ -331,8 +342,8 @@ mod tests {
 
     #[test]
     fn determinism_same_seed_same_numbers() {
-        let a = quick(KernelConfig::unmodified(), 7_000.0, 1_000);
-        let b = quick(KernelConfig::unmodified(), 7_000.0, 1_000);
+        let a = quick(unmodified(), 7_000.0, 1_000);
+        let b = quick(unmodified(), 7_000.0, 1_000);
         assert_eq!(a.transmitted, b.transmitted);
         assert_eq!(a.delivered_pps, b.delivered_pps);
         assert_eq!(a.interrupts_taken, b.interrupts_taken);
@@ -343,7 +354,7 @@ mod tests {
         let base = TrialSpec {
             rate_pps: 7_000.0,
             n_packets: 1_000,
-            ..TrialSpec::new(KernelConfig::unmodified())
+            ..TrialSpec::new(unmodified())
         };
         let a = run_trial(&base);
         let b = run_trial(&TrialSpec { seed: 2, ..base });
@@ -358,9 +369,9 @@ mod tests {
     fn sweep_produces_labelled_points() {
         let base = TrialSpec {
             n_packets: 300,
-            ..TrialSpec::new(KernelConfig::polled(Quota::Limited(10)))
+            ..TrialSpec::new(polled(Quota::Limited(10)))
         };
-        let s = sweep("test", &base, &[500.0, 1_000.0]);
+        let s = sweep("test", &base, &[500.0, 1_000.0], Parallelism::Serial);
         assert_eq!(s.label, "test");
         assert_eq!(s.trials.len(), 2);
         let pts = s.points();
@@ -371,12 +382,12 @@ mod tests {
     fn parallel_sweep_is_bit_identical_to_serial() {
         let base = TrialSpec {
             n_packets: 400,
-            ..TrialSpec::new(KernelConfig::polled(Quota::Limited(10)))
+            ..TrialSpec::new(polled(Quota::Limited(10)))
         };
         let rates = [500.0, 2_000.0, 6_000.0, 11_000.0];
-        let serial = sweep("det", &base, &rates);
+        let serial = sweep("det", &base, &rates, Parallelism::Serial);
         for jobs in [2, 4] {
-            let par = sweep_jobs("det", &base, &rates, jobs);
+            let par = sweep("det", &base, &rates, Parallelism::Jobs(jobs));
             assert_eq!(par.label, serial.label);
             // Every field of every trial, in the same order.
             assert_eq!(par.trials, serial.trials, "jobs = {jobs}");

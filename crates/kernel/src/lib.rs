@@ -31,7 +31,7 @@
 //! let spec = TrialSpec {
 //!     rate_pps: 500.0,
 //!     n_packets: 500,
-//!     ..TrialSpec::new(KernelConfig::unmodified())
+//!     ..TrialSpec::new(KernelConfig::builder().build())
 //! };
 //! let r = run_trial(&spec);
 //! assert!(r.delivered_pps > 450.0);
@@ -43,8 +43,10 @@ pub mod par;
 pub mod router;
 pub mod stats;
 
-pub use config::{FeedbackConfig, KernelConfig, Mode, PolledConfig, ScreendConfig};
-pub use experiment::{run_trial, sweep, sweep_jobs, SweepResult, TrialResult, TrialSpec};
-pub use par::{default_jobs, par_map};
+pub use config::{
+    FeedbackConfig, KernelConfig, KernelConfigBuilder, Mode, PolledConfig, ScreendConfig,
+};
+pub use experiment::{run_trial, sweep, SweepResult, TrialResult, TrialSpec};
+pub use par::{default_jobs, par_map, Parallelism};
 pub use router::RouterKernel;
-pub use stats::KernelStats;
+pub use stats::{DropReason, DropStats, KernelStats, LatencyStats, Stage};

@@ -20,6 +20,42 @@ pub fn default_jobs() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
+/// How much parallelism an experiment-layer entry point may use.
+///
+/// Every trial is an independent seeded simulation and results always come
+/// back in input order, so this choice changes wall-clock time and nothing
+/// else — outputs are bit-for-bit identical across all three variants.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Parallelism {
+    /// Run every trial inline on the calling thread.
+    Serial,
+    /// Fan out across up to this many worker threads (0 is treated as 1).
+    Jobs(usize),
+    /// Use the host's available parallelism ([`default_jobs`]).
+    #[default]
+    Auto,
+}
+
+impl Parallelism {
+    /// The worker-thread count this policy resolves to (always >= 1).
+    pub fn jobs(self) -> usize {
+        match self {
+            Parallelism::Serial => 1,
+            Parallelism::Jobs(n) => n.max(1),
+            Parallelism::Auto => default_jobs(),
+        }
+    }
+
+    /// A policy from an optional `--jobs` style argument: `None` means
+    /// [`Auto`](Parallelism::Auto).
+    pub fn from_jobs_arg(jobs: Option<usize>) -> Self {
+        match jobs {
+            None => Parallelism::Auto,
+            Some(n) => Parallelism::Jobs(n),
+        }
+    }
+}
+
 /// Maps `f` over `items` on up to `jobs` scoped worker threads, returning
 /// results in input order.
 ///
@@ -104,6 +140,17 @@ mod tests {
     #[test]
     fn default_jobs_is_positive() {
         assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn parallelism_resolves_to_positive_job_counts() {
+        assert_eq!(Parallelism::Serial.jobs(), 1);
+        assert_eq!(Parallelism::Jobs(6).jobs(), 6);
+        assert_eq!(Parallelism::Jobs(0).jobs(), 1, "zero clamps to one");
+        assert_eq!(Parallelism::Auto.jobs(), default_jobs());
+        assert_eq!(Parallelism::from_jobs_arg(None), Parallelism::Auto);
+        assert_eq!(Parallelism::from_jobs_arg(Some(3)), Parallelism::Jobs(3));
+        assert_eq!(Parallelism::default(), Parallelism::Auto);
     }
 
     #[test]

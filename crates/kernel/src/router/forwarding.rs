@@ -28,7 +28,7 @@ impl RouterKernel {
         let ip = match pkt.ipv4() {
             Ok(ip) => ip,
             Err(_) => {
-                self.stats.fwd_errors += 1;
+                self.stats.record_drop(DropReason::BadHeader);
                 return None;
             }
         };
@@ -39,35 +39,35 @@ impl RouterKernel {
             // An end-system is no gateway: traffic for others is discarded
             // here — after the input work was already spent on it, which is
             // exactly the innocent-bystander overhead of 1.
-            self.stats.bystander_drops += 1;
+            self.stats.record_drop(DropReason::Bystander);
             return None;
         }
         let Some(hop) = self.routes.lookup(ip.dst) else {
-            self.stats.fwd_errors += 1;
+            self.stats.record_drop(DropReason::NoRoute);
             self.queue_icmp_error(&pkt, IcmpErrorKind::NetUnreachable, now);
             return None;
         };
         let arp_target = hop.gateway.unwrap_or(ip.dst);
         let Some(dst_mac) = self.arp.lookup(arp_target, Cycles::MAX) else {
-            self.stats.fwd_errors += 1;
+            self.stats.record_drop(DropReason::NoArp);
             self.queue_icmp_error(&pkt, IcmpErrorKind::HostUnreachable, now);
             return None;
         };
         let hdr = match pkt.ip_header_bytes_mut() {
             Ok(h) => h,
             Err(_) => {
-                self.stats.fwd_errors += 1;
+                self.stats.record_drop(DropReason::BadHeader);
                 return None;
             }
         };
         if decrement_ttl(hdr).is_err() {
-            self.stats.fwd_errors += 1;
+            self.stats.record_drop(DropReason::TtlExpired);
             self.queue_icmp_error(&pkt, IcmpErrorKind::TimeExceeded, now);
             return None;
         }
         let src_mac = self.ifaces[hop.iface].mac;
         if pkt.set_link_addrs(src_mac, dst_mac).is_err() {
-            self.stats.fwd_errors += 1;
+            self.stats.record_drop(DropReason::BadHeader);
             return None;
         }
         Some(Routed::Forward(hop.iface, pkt))
@@ -200,18 +200,19 @@ impl RouterKernel {
 
     /// End-system delivery: queue on the socket buffer and wake the
     /// application, with optional queue-state feedback on the buffer.
-    pub(super) fn deliver_local(&mut self, env: &mut Env<'_, Event>, pkt: Packet) {
+    pub(super) fn deliver_local(&mut self, env: &mut Env<'_, Event>, mut pkt: Packet) {
         if self.cfg.local.is_none() {
             // Addressed to us but nobody is listening.
-            self.stats.fwd_errors += 1;
+            self.stats.record_drop(DropReason::NoListener);
             return;
         }
+        pkt.stamps.sq_enq = env.now();
         if self.socket_q.enqueue(pkt).is_ok() {
             if let Some(tid) = self.app_tid {
                 env.wake(tid);
             }
         } else {
-            self.stats.socket_q_drops += 1;
+            self.stats.record_drop(DropReason::SocketQueueFull);
         }
         let depth = self.socket_q.len();
         if let Some(fb) = &mut self.socket_feedback {
@@ -230,14 +231,15 @@ impl RouterKernel {
     /// Delivers a routed packet toward the output interface: through the
     /// screend queue when screening is configured, else straight to the
     /// output queue.
-    pub(super) fn deliver(&mut self, env: &mut Env<'_, Event>, out_iface: usize, pkt: Packet) {
+    pub(super) fn deliver(&mut self, env: &mut Env<'_, Event>, out_iface: usize, mut pkt: Packet) {
         if self.cfg.screend.is_some() {
+            pkt.stamps.sq_enq = env.now();
             if self.screend_q.enqueue((out_iface, pkt)).is_ok() {
                 if let Some(tid) = self.screend_tid {
                     env.wake(tid);
                 }
             } else {
-                self.stats.screend_q_drops += 1;
+                self.stats.record_drop(DropReason::ScreendQueueFull);
             }
             let depth = self.screend_q.len();
             self.feedback_depth(env, depth);
@@ -252,20 +254,20 @@ impl RouterKernel {
         &mut self,
         env: &mut Env<'_, Event>,
         out_iface: usize,
-        pkt: Packet,
+        mut pkt: Packet,
     ) {
         let iface = &mut self.ifaces[out_iface];
         if let Some(red) = &mut iface.out_red {
             if red.admit(iface.out_q.len()) == Admission::EarlyDrop {
-                self.stats.ifq_drops += 1;
-                self.stats.red_drops += 1;
+                self.stats.record_drop(DropReason::RedEarlyDrop);
                 return;
             }
         }
+        pkt.stamps.out_enq = env.now();
         if iface.out_q.enqueue(pkt).is_ok() {
             self.try_tx_start(env, out_iface);
         } else {
-            self.stats.ifq_drops += 1;
+            self.stats.record_drop(DropReason::OutputQueueFull);
         }
     }
 
@@ -290,7 +292,8 @@ impl RouterKernel {
         if iface.inflight.is_some() {
             return;
         }
-        if let Some(pkt) = iface.nic.tx_begin() {
+        if let Some(mut pkt) = iface.nic.tx_begin() {
+            pkt.stamps.tx_start = env.now();
             let done = iface.wire.begin_tx(env.now(), pkt.len());
             iface.inflight = Some(pkt);
             env.schedule_at(done, Event::TxWireDone { iface: idx });

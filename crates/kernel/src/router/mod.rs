@@ -58,7 +58,7 @@ mod procs;
 mod unmodified;
 
 use crate::config::{KernelConfig, Mode};
-use crate::stats::KernelStats;
+use crate::stats::{DropReason, KernelStats};
 
 /// External events the router kernel reacts to.
 #[derive(Debug)]
@@ -551,13 +551,18 @@ impl Workload for RouterKernel {
                 self.stats.record_arrival(env.now());
                 let mut pkt = pkt;
                 pkt.arrived_at = env.now();
+                // A ring overflow while the gate is closed is the drop the
+                // feedback deliberately asked for (§6.4); attribute it so.
+                let inhibited = self.is_polled() && !self.gate.is_open();
                 let iface = &mut self.ifaces[i];
                 if iface.nic.rx_arrive(pkt).is_ok() {
                     if iface.nic.rx_intr_enabled() {
                         self.post_rx_intr(env, i);
                     }
+                } else if inhibited {
+                    self.stats.record_drop(DropReason::FeedbackInhibit);
                 } else {
-                    self.stats.rx_ring_drops += 1;
+                    self.stats.record_drop(DropReason::RxRingFull);
                 }
             }
             Event::TxWireDone { iface: i } => {
@@ -571,9 +576,12 @@ impl Workload for RouterKernel {
                 };
                 self.stats.record_tx(now);
                 if let Some(pkt) = latency_src {
-                    if pkt.arrived_at != Cycles::MAX {
-                        let lat = self.cost.freq.nanos_from_cycles(now - pkt.arrived_at);
-                        self.stats.latency.record(lat);
+                    // Kernel-originated packets (ARP/ICMP/replies) never
+                    // arrived on a wire and are not latency samples.
+                    if pkt.arrived_at != Cycles::MAX && self.cfg.latency_tracking {
+                        self.stats
+                            .latency
+                            .record_delivery(pkt.arrived_at, &pkt.stamps, now, self.cost.freq);
                     }
                 }
                 if post_tx {
@@ -648,7 +656,7 @@ mod tests {
 
     #[test]
     fn unmodified_forwards_a_single_packet() {
-        let mut e = engine_for(KernelConfig::unmodified());
+        let mut e = engine_for(KernelConfig::builder().build());
         inject(&mut e, 100, 1, 0);
         e.run_until(Cycles::new(100_000_000));
         let s = e.workload().stats();
@@ -661,7 +669,7 @@ mod tests {
 
     #[test]
     fn polled_forwards_a_single_packet() {
-        let mut e = engine_for(KernelConfig::polled(Quota::Limited(5)));
+        let mut e = engine_for(KernelConfig::builder().polled(Quota::Limited(5)).build());
         inject(&mut e, 100, 1, 0);
         e.run_until(Cycles::new(100_000_000));
         let s = e.workload().stats();
@@ -672,8 +680,8 @@ mod tests {
     #[test]
     fn screend_path_forwards() {
         for cfg in [
-            KernelConfig::unmodified_with_screend(),
-            KernelConfig::polled_screend_feedback(Quota::Limited(10)),
+            KernelConfig::builder().screend(Default::default()).build(),
+            KernelConfig::builder().polled(Quota::Limited(10)).screend(Default::default()).feedback(Default::default()).build(),
         ] {
             let mut e = engine_for(cfg);
             inject(&mut e, 100, 20, 1000);
@@ -686,7 +694,7 @@ mod tests {
 
     #[test]
     fn deny_rules_drop_packets() {
-        let mut cfg = KernelConfig::unmodified_with_screend();
+        let mut cfg = KernelConfig::builder().screend(Default::default()).build();
         cfg.screend.as_mut().unwrap().rules =
             Filter::parse("deny udp from any to any port 9\naccept ip from any to any").unwrap();
         let mut e = engine_for(cfg);
@@ -699,7 +707,7 @@ mod tests {
 
     #[test]
     fn burst_larger_than_ring_drops_at_interface() {
-        let mut e = engine_for(KernelConfig::unmodified());
+        let mut e = engine_for(KernelConfig::builder().build());
         // 100 packets back-to-back at wire speed (67.2us apart is feasible;
         // use 0 spacing to slam the ring before the CPU can drain).
         inject(&mut e, 100, 100, 0);
@@ -715,7 +723,7 @@ mod tests {
 
     #[test]
     fn user_process_makes_progress_when_idle() {
-        let mut cfg = KernelConfig::unmodified();
+        let mut cfg = KernelConfig::builder().build();
         cfg.user_process = true;
         let mut e = engine_for(cfg);
         e.run_until(Cycles::new(10_000_000)); // 100 ms
@@ -726,7 +734,7 @@ mod tests {
 
     #[test]
     fn ttl_expiry_is_counted() {
-        let mut e = engine_for(KernelConfig::unmodified());
+        let mut e = engine_for(KernelConfig::builder().build());
         let mut factory = PacketFactory::paper_testbed();
         factory.ttl = 1;
         let pkt = factory.next_packet();
@@ -739,7 +747,7 @@ mod tests {
 
     #[test]
     fn unroutable_destination_is_counted() {
-        let mut e = engine_for(KernelConfig::unmodified());
+        let mut e = engine_for(KernelConfig::builder().build());
         let mut factory = PacketFactory::paper_testbed();
         factory.dst_ip = Ipv4Addr::new(192, 168, 55, 1);
         let pkt = factory.next_packet();

@@ -54,6 +54,14 @@ impl RouterKernel {
                             || action.quota.exhausted_by(self.poll.done_in_cb)
                             || self.ifaces[i].nic.rx_pending() == 0;
                         if !stop {
+                            // Process-to-completion starts on the head
+                            // frame now: it leaves the ring and is routed
+                            // in one go, so ring dequeue and forward start
+                            // coincide (the ipq stage is zero by design).
+                            if let Some(p) = self.ifaces[i].nic.rx_peek_mut() {
+                                p.stamps.ring_deq = env.now();
+                                p.stamps.fwd_start = env.now();
+                            }
                             let mut cost =
                                 self.cost.rx_device_per_pkt + self.cost.ip_forward_per_pkt;
                             if self.cfg.screend.is_none() {
@@ -200,12 +208,13 @@ impl RouterKernel {
         };
         self.poll.done_in_cb += 1;
         let i = action.source.0;
-        let Some(pkt) = self.ifaces[i].nic.rx_take() else {
+        let Some(mut pkt) = self.ifaces[i].nic.rx_take() else {
             return;
         };
         if self.try_handle_arp(env, i, &pkt) {
             return;
         }
+        pkt.stamps.fwd_done = env.now();
         // Process-to-completion: device work and IP forwarding in one go,
         // no ipintrq.
         if let Some(routed) = self.route_packet(pkt, env.now()) {

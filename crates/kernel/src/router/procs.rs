@@ -18,9 +18,10 @@ impl RouterKernel {
     }
 
     pub(super) fn screend_done(&mut self, env: &mut Env<'_, Event>) {
-        let Some((out_iface, pkt)) = self.screend_q.dequeue() else {
+        let Some((out_iface, mut pkt)) = self.screend_q.dequeue() else {
             return;
         };
+        pkt.stamps.sq_deq = env.now();
         let depth = self.screend_q.len();
         self.feedback_depth(env, depth);
         let verdict = match pkt.ip_datagram() {
@@ -34,7 +35,7 @@ impl RouterKernel {
         };
         match verdict {
             Action::Accept => self.output_enqueue(env, out_iface, pkt),
-            Action::Deny => self.stats.screend_denied += 1,
+            Action::Deny => self.stats.record_drop(DropReason::ScreendDenied),
         }
     }
 
@@ -56,15 +57,16 @@ impl RouterKernel {
     }
 
     pub(super) fn app_done(&mut self, env: &mut Env<'_, Event>) {
-        let Some(pkt) = self.socket_q.dequeue() else {
+        let Some(mut pkt) = self.socket_q.dequeue() else {
             return;
         };
+        pkt.stamps.sq_deq = env.now();
         self.stats.record_app_delivery(env.now());
-        if let Some(t) = env.now().checked_sub(pkt.arrived_at) {
-            if pkt.arrived_at != Cycles::MAX {
-                let lat = self.cost.freq.nanos_from_cycles(t);
-                self.stats.latency.record(lat);
-            }
+        // The application consuming the datagram ends its sojourn.
+        if pkt.arrived_at != Cycles::MAX && self.cfg.latency_tracking {
+            self.stats
+                .latency
+                .record_delivery(pkt.arrived_at, &pkt.stamps, env.now(), self.cost.freq);
         }
         let depth = self.socket_q.len();
         if let Some(fb) = &mut self.socket_feedback {

@@ -15,6 +15,11 @@ impl RouterKernel {
             ));
         }
         if iface.nic.rx_pending() > 0 {
+            // The driver starts on the head frame now; it leaves the ring
+            // when this chunk completes.
+            if let Some(p) = iface.nic.rx_peek_mut() {
+                p.stamps.ring_deq = env.now();
+            }
             // Interrupt batching: keep consuming the ring before returning.
             return Some(Chunk::new(
                 self.cost.rx_device_per_pkt + self.cost.queue_op + extra,
@@ -39,7 +44,7 @@ impl RouterKernel {
             // "the IP code never runs ... [ipintrq] fills up, and all
             // subsequent received packets are dropped" — after device-level
             // work was already invested.
-            self.stats.ipintrq_drops += 1;
+            self.stats.record_drop(DropReason::IpintrqFull);
         }
     }
 
@@ -53,6 +58,11 @@ impl RouterKernel {
             ));
         }
         if self.ipintrq.peek().is_some() {
+            // IP forwarding of the head packet starts now (the dequeue
+            // happens when the chunk completes).
+            if let Some(p) = self.ipintrq.peek_mut() {
+                p.stamps.fwd_start = env.now();
+            }
             // IP processing of one packet, including the ipintrq dequeue
             // and (when it will go straight out) the if_start work.
             let mut cost = self.cost.ip_forward_per_pkt + self.cost.queue_op + extra;
@@ -67,9 +77,10 @@ impl RouterKernel {
     }
 
     pub(super) fn softnet_done(&mut self, env: &mut Env<'_, Event>) {
-        let Some(pkt) = self.ipintrq.dequeue() else {
+        let Some(mut pkt) = self.ipintrq.dequeue() else {
             return;
         };
+        pkt.stamps.fwd_done = env.now();
         if let Some(routed) = self.route_packet(pkt, env.now()) {
             self.dispatch(env, routed);
         }

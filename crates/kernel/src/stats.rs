@@ -6,7 +6,321 @@
 //! counter over the trial. [`KernelStats`] keeps the same books.
 
 use livelock_net::pool::PoolStats;
-use livelock_sim::{Cycles, Freq, Histogram, RateWindow};
+use livelock_net::StageStamps;
+use livelock_sim::{Cycles, Freq, HdrHistogram, Nanos, RateWindow};
+
+/// Why a packet died. Every drop path in the kernel records one of these
+/// through [`KernelStats::record_drop`], giving the per-cause taxonomy the
+/// paper's loss-attribution argument (§3, §6.2) needs and that the legacy
+/// per-queue counters blur (e.g. an output-queue drop-tail drop vs a RED
+/// early drop both land in `ifq_drops`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DropReason {
+    /// RX ring overflow: the host was too slow to drain the ring. The
+    /// cheapest possible drop — no host cycles were invested.
+    RxRingFull,
+    /// RX ring overflow while queue-state feedback had deliberately
+    /// inhibited input processing (§6.4) — the drop the feedback *wants*,
+    /// at the cheapest point.
+    FeedbackInhibit,
+    /// `ipintrq` overflow (unmodified kernel): device-level work wasted.
+    IpintrqFull,
+    /// screend queue overflow: device + IP-level work wasted.
+    ScreendQueueFull,
+    /// Deliberately denied by the screend rule set (not a malfunction).
+    ScreendDenied,
+    /// Socket buffer overflow (end-system mode).
+    SocketQueueFull,
+    /// Output interface queue drop-tail overflow.
+    OutputQueueFull,
+    /// RED early drop on the output queue (§6.6).
+    RedEarlyDrop,
+    /// Not a router and not locally destined — the "innocent bystander"
+    /// discard of §1's broadcast storms.
+    Bystander,
+    /// TTL expired while forwarding (Time Exceeded originated).
+    TtlExpired,
+    /// No route to the destination (Net Unreachable originated).
+    NoRoute,
+    /// Route found but no ARP entry for the next hop.
+    NoArp,
+    /// Unparseable or corrupt IP header.
+    BadHeader,
+    /// Locally destined but no application listening on the port.
+    NoListener,
+    /// Fragment reassembly timed out before the datagram completed
+    /// (reserved: the reassembler currently runs outside the router path).
+    ReassemblyTimeout,
+}
+
+impl DropReason {
+    /// Every reason, in reporting order (cheapest drop first).
+    pub const ALL: [DropReason; 15] = [
+        DropReason::RxRingFull,
+        DropReason::FeedbackInhibit,
+        DropReason::IpintrqFull,
+        DropReason::ScreendQueueFull,
+        DropReason::ScreendDenied,
+        DropReason::SocketQueueFull,
+        DropReason::OutputQueueFull,
+        DropReason::RedEarlyDrop,
+        DropReason::Bystander,
+        DropReason::TtlExpired,
+        DropReason::NoRoute,
+        DropReason::NoArp,
+        DropReason::BadHeader,
+        DropReason::NoListener,
+        DropReason::ReassemblyTimeout,
+    ];
+
+    /// Short stable name for tables and CSV columns.
+    pub fn label(self) -> &'static str {
+        match self {
+            DropReason::RxRingFull => "rx-ring-full",
+            DropReason::FeedbackInhibit => "feedback-inhibit",
+            DropReason::IpintrqFull => "ipintrq-full",
+            DropReason::ScreendQueueFull => "screend-q-full",
+            DropReason::ScreendDenied => "screend-denied",
+            DropReason::SocketQueueFull => "socket-q-full",
+            DropReason::OutputQueueFull => "outq-full",
+            DropReason::RedEarlyDrop => "red-early",
+            DropReason::Bystander => "bystander",
+            DropReason::TtlExpired => "ttl-expired",
+            DropReason::NoRoute => "no-route",
+            DropReason::NoArp => "no-arp",
+            DropReason::BadHeader => "bad-header",
+            DropReason::NoListener => "no-listener",
+            DropReason::ReassemblyTimeout => "reasm-timeout",
+        }
+    }
+
+    fn index(self) -> usize {
+        DropReason::ALL
+            .iter()
+            .position(|r| *r == self)
+            .expect("reason listed in ALL")
+    }
+}
+
+/// Per-[`DropReason`] drop counts.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DropStats {
+    counts: [u64; DropReason::ALL.len()],
+}
+
+impl DropStats {
+    /// Creates zeroed drop statistics.
+    pub fn new() -> Self {
+        DropStats::default()
+    }
+
+    /// Counts one drop for `reason`.
+    pub fn record(&mut self, reason: DropReason) {
+        self.counts[reason.index()] += 1;
+    }
+
+    /// Returns the count for one reason.
+    pub fn get(&self, reason: DropReason) -> u64 {
+        self.counts[reason.index()]
+    }
+
+    /// Total drops across all reasons.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Iterates `(reason, count)` over reasons with a nonzero count.
+    pub fn nonzero(&self) -> impl Iterator<Item = (DropReason, u64)> + '_ {
+        DropReason::ALL
+            .iter()
+            .zip(&self.counts)
+            .filter(|(_, &c)| c > 0)
+            .map(|(&r, &c)| (r, c))
+    }
+}
+
+/// A stage of the packet lifecycle, for per-stage latency attribution.
+///
+/// Stages partition a delivered packet's sojourn: the residencies derived
+/// from its [`StageStamps`] by [`stage_residencies`] sum exactly to its
+/// wire-to-wire latency.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Waiting in the RX ring before the host started on the frame.
+    Ring,
+    /// Device-level processing plus `ipintrq` wait (zero on the polled
+    /// process-to-completion path).
+    Ipq,
+    /// IP forwarding work, including any interrupt preemption it suffered.
+    Fwd,
+    /// Screend or socket queue: wait plus filter/application processing.
+    Sq,
+    /// Waiting in the output interface queue behind earlier frames.
+    Outq,
+    /// Serializing onto the output wire.
+    Wire,
+}
+
+impl Stage {
+    /// Every stage, in packet-lifecycle order.
+    pub const ALL: [Stage; 6] = [
+        Stage::Ring,
+        Stage::Ipq,
+        Stage::Fwd,
+        Stage::Sq,
+        Stage::Outq,
+        Stage::Wire,
+    ];
+
+    /// Short stable name for tables and CSV columns.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::Ring => "ring",
+            Stage::Ipq => "ipq",
+            Stage::Fwd => "fwd",
+            Stage::Sq => "sq",
+            Stage::Outq => "outq",
+            Stage::Wire => "wire",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Stage::Ring => 0,
+            Stage::Ipq => 1,
+            Stage::Fwd => 2,
+            Stage::Sq => 3,
+            Stage::Outq => 4,
+            Stage::Wire => 5,
+        }
+    }
+}
+
+/// Decomposes one delivered packet's sojourn `[arrived, end)` into
+/// per-stage residencies using its stamps.
+///
+/// The walk advances a boundary pointer through the set stamps in
+/// lifecycle order and charges each gap to the stage it crossed; unset
+/// stamps collapse their stage to zero. By construction the six
+/// residencies always sum to exactly `end - arrived`.
+pub fn stage_residencies(arrived: Cycles, stamps: &StageStamps, end: Cycles) -> [Cycles; 6] {
+    let mut res = [Cycles::ZERO; 6];
+    let mut prev = arrived;
+    let mut charge = |stage: Stage, stamp: Cycles| {
+        if StageStamps::is_set(stamp) {
+            res[stage.index()] = stamp.saturating_sub(prev);
+            prev = stamp;
+        }
+    };
+    charge(Stage::Ring, stamps.ring_deq);
+    charge(Stage::Ipq, stamps.fwd_start);
+    charge(Stage::Fwd, stamps.fwd_done);
+    charge(Stage::Sq, stamps.sq_deq);
+    charge(Stage::Outq, stamps.tx_start);
+    res[Stage::Wire.index()] = end.saturating_sub(prev);
+    res
+}
+
+/// Latency distributions for delivered packets: the total wire-to-wire
+/// sojourn plus a per-[`Stage`] residency breakdown, all as HDR-style
+/// histograms (p50/p90/p99/p99.9 within ~3%).
+///
+/// All storage preallocates in [`LatencyStats::new`]; recording a packet
+/// never allocates.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LatencyStats {
+    /// Total sojourn (arrival on the input wire to delivery).
+    pub total: HdrHistogram,
+    stages: [HdrHistogram; 6],
+}
+
+impl LatencyStats {
+    /// Creates empty, fully preallocated latency statistics.
+    pub fn new() -> Self {
+        LatencyStats {
+            total: HdrHistogram::new(),
+            stages: std::array::from_fn(|_| HdrHistogram::new()),
+        }
+    }
+
+    /// The residency distribution for one stage.
+    pub fn stage(&self, s: Stage) -> &HdrHistogram {
+        &self.stages[s.index()]
+    }
+
+    /// Records one delivered packet: total sojourn `[arrived, end)` plus
+    /// its per-stage decomposition (works for both forwarded packets,
+    /// where `end` is wire-TX completion, and locally delivered ones,
+    /// where `end` is the application consuming the datagram).
+    pub fn record_delivery(
+        &mut self,
+        arrived: Cycles,
+        stamps: &StageStamps,
+        end: Cycles,
+        freq: Freq,
+    ) {
+        let total = end.saturating_sub(arrived);
+        let res = stage_residencies(arrived, stamps, end);
+        debug_assert_eq!(
+            res.iter().copied().sum::<Cycles>(),
+            total,
+            "stage residencies must telescope to the total sojourn"
+        );
+        self.total.record(freq.nanos_from_cycles(total));
+        for (h, c) in self.stages.iter_mut().zip(res) {
+            h.record(freq.nanos_from_cycles(c));
+        }
+    }
+
+    /// Number of delivered packets recorded.
+    pub fn count(&self) -> u64 {
+        self.total.count()
+    }
+
+    /// `true` when no packet has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total.is_empty()
+    }
+
+    /// Mean total sojourn.
+    pub fn mean(&self) -> Nanos {
+        self.total.mean()
+    }
+
+    /// Standard deviation of the total sojourn (jitter proxy).
+    pub fn jitter(&self) -> Nanos {
+        self.total.jitter()
+    }
+
+    /// Minimum total sojourn.
+    pub fn min(&self) -> Nanos {
+        self.total.min()
+    }
+
+    /// Maximum total sojourn.
+    pub fn max(&self) -> Nanos {
+        self.total.max()
+    }
+
+    /// Upper bound for the q-quantile of the total sojourn.
+    pub fn quantile(&self, q: f64) -> Nanos {
+        self.total.quantile(q)
+    }
+
+    /// Folds another `LatencyStats` into this one.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.total.merge(&other.total);
+        for (a, b) in self.stages.iter_mut().zip(&other.stages) {
+            a.merge(b);
+        }
+    }
+}
+
+impl Default for LatencyStats {
+    fn default() -> Self {
+        LatencyStats::new()
+    }
+}
 
 /// Counters and distributions collected by the router kernel during a run.
 #[derive(Clone, Debug)]
@@ -54,8 +368,12 @@ pub struct KernelStats {
     /// Frames fully transmitted on output wires (the `Opkts` the paper
     /// counts).
     pub transmitted: u64,
-    /// Wire-to-wire forwarding latency of transmitted packets.
-    pub latency: Histogram,
+    /// Latency distributions (total sojourn + per-stage residencies) of
+    /// delivered packets.
+    pub latency: LatencyStats,
+    /// Per-cause drop taxonomy; the legacy per-queue counters above stay
+    /// in sync through [`KernelStats::record_drop`].
+    pub drops: DropStats,
     /// Transmissions inside the measurement window.
     pub tx_window: Option<RateWindow>,
     /// Arrivals inside the measurement window.
@@ -93,7 +411,8 @@ impl KernelStats {
             arp_replies: 0,
             fwd_errors: 0,
             transmitted: 0,
-            latency: Histogram::new(),
+            latency: LatencyStats::new(),
+            drops: DropStats::new(),
             tx_window: None,
             arrival_window: None,
             app_window: None,
@@ -108,6 +427,31 @@ impl KernelStats {
         self.tx_window = Some(RateWindow::new(start, end));
         self.arrival_window = Some(RateWindow::new(start, end));
         self.app_window = Some(RateWindow::new(start, end));
+    }
+
+    /// Records a drop: bumps the per-cause taxonomy *and* the matching
+    /// legacy per-queue counter, so the two views never disagree.
+    pub fn record_drop(&mut self, reason: DropReason) {
+        self.drops.record(reason);
+        match reason {
+            DropReason::RxRingFull | DropReason::FeedbackInhibit => self.rx_ring_drops += 1,
+            DropReason::IpintrqFull => self.ipintrq_drops += 1,
+            DropReason::ScreendQueueFull => self.screend_q_drops += 1,
+            DropReason::ScreendDenied => self.screend_denied += 1,
+            DropReason::SocketQueueFull => self.socket_q_drops += 1,
+            DropReason::OutputQueueFull => self.ifq_drops += 1,
+            DropReason::RedEarlyDrop => {
+                self.ifq_drops += 1;
+                self.red_drops += 1;
+            }
+            DropReason::Bystander => self.bystander_drops += 1,
+            DropReason::TtlExpired
+            | DropReason::NoRoute
+            | DropReason::NoArp
+            | DropReason::BadHeader
+            | DropReason::NoListener
+            | DropReason::ReassemblyTimeout => self.fwd_errors += 1,
+        }
     }
 
     /// Records a completed transmission at time `t`.
@@ -190,6 +534,8 @@ impl Default for KernelStats {
 mod tests {
     use super::*;
     use livelock_sim::Nanos;
+    #[cfg(feature = "proptest")]
+    use proptest::prelude::*;
 
     #[test]
     fn window_rates() {
@@ -240,10 +586,100 @@ mod tests {
 
     #[test]
     fn latency_histogram_integrates() {
+        let freq = Freq::mhz(1_000); // 1 cycle == 1 ns
         let mut s = KernelStats::new();
-        s.latency.record(Nanos::from_micros(200));
-        s.latency.record(Nanos::from_micros(400));
-        assert_eq!(s.latency.count(), 2);
-        assert_eq!(s.latency.mean(), Nanos::from_micros(300));
+        let mut stamps = StageStamps::UNSET;
+        stamps.ring_deq = Cycles::new(100);
+        stamps.fwd_start = Cycles::new(150);
+        stamps.fwd_done = Cycles::new(250);
+        stamps.out_enq = Cycles::new(250);
+        stamps.tx_start = Cycles::new(300);
+        s.latency
+            .record_delivery(Cycles::new(0), &stamps, Cycles::new(400), freq);
+        assert_eq!(s.latency.count(), 1);
+        assert_eq!(s.latency.mean(), Nanos::new(400));
+        assert_eq!(s.latency.stage(Stage::Ring).sum(), Nanos::new(100));
+        assert_eq!(s.latency.stage(Stage::Ipq).sum(), Nanos::new(50));
+        assert_eq!(s.latency.stage(Stage::Fwd).sum(), Nanos::new(100));
+        assert_eq!(s.latency.stage(Stage::Sq).sum(), Nanos::new(0));
+        assert_eq!(s.latency.stage(Stage::Outq).sum(), Nanos::new(50));
+        assert_eq!(s.latency.stage(Stage::Wire).sum(), Nanos::new(100));
+    }
+
+    #[test]
+    fn residencies_telescope_with_unset_stamps() {
+        // Only some boundaries set: unset stages charge zero, the walk
+        // still accounts for every cycle of the sojourn.
+        let mut stamps = StageStamps::UNSET;
+        stamps.ring_deq = Cycles::new(30);
+        stamps.sq_enq = Cycles::new(40);
+        stamps.sq_deq = Cycles::new(90);
+        let res = stage_residencies(Cycles::new(10), &stamps, Cycles::new(90));
+        let total: Cycles = res.iter().copied().sum();
+        assert_eq!(total, Cycles::new(80));
+        assert_eq!(res[0], Cycles::new(20), "ring");
+        assert_eq!(res[3], Cycles::new(60), "sq (from ring_deq: fwd unset)");
+        assert_eq!(res[5], Cycles::ZERO, "wire: local delivery ends at sq_deq");
+    }
+
+    #[cfg(feature = "proptest")]
+    proptest! {
+        /// The telescoping invariant the whole latency layer rests on:
+        /// for ANY subset of boundary stamps (any delivery path — forward,
+        /// screend, local socket) at any monotone times, the six per-stage
+        /// residencies sum exactly to the packet's total sojourn.
+        #[test]
+        fn stage_residencies_always_telescope(
+            arrived in 0u64..1_000_000_000,
+            deltas in proptest::collection::vec(0u64..10_000_000, 8..9),
+            mask in 0u32..128,
+        ) {
+            let mut stamps = StageStamps::UNSET;
+            let mut t = arrived;
+            let mut place = |slot: &mut Cycles, bit: u32, d: u64| {
+                t += d;
+                if mask & (1 << bit) != 0 {
+                    *slot = Cycles::new(t);
+                }
+            };
+            place(&mut stamps.ring_deq, 0, deltas[0]);
+            place(&mut stamps.fwd_start, 1, deltas[1]);
+            place(&mut stamps.fwd_done, 2, deltas[2]);
+            place(&mut stamps.sq_enq, 3, deltas[3]);
+            place(&mut stamps.sq_deq, 4, deltas[4]);
+            place(&mut stamps.out_enq, 5, deltas[5]);
+            place(&mut stamps.tx_start, 6, deltas[6]);
+            let end = Cycles::new(t + deltas[7]);
+            let res = stage_residencies(Cycles::new(arrived), &stamps, end);
+            let total: Cycles = res.iter().copied().sum();
+            prop_assert_eq!(total, Cycles::new(t + deltas[7] - arrived));
+        }
+    }
+
+    #[test]
+    fn record_drop_keeps_legacy_counters_in_sync() {
+        let mut s = KernelStats::new();
+        for r in DropReason::ALL {
+            s.record_drop(r);
+        }
+        s.record_drop(DropReason::RedEarlyDrop);
+        assert_eq!(s.drops.total(), DropReason::ALL.len() as u64 + 1);
+        assert_eq!(s.rx_ring_drops, 2, "ring-full + feedback-inhibit");
+        assert_eq!(s.ifq_drops, 3, "outq-full + 2x red");
+        assert_eq!(s.red_drops, 2);
+        assert_eq!(s.fwd_errors, 6);
+        assert_eq!(s.screend_denied, 1);
+        // Legacy totals equal the taxonomy total (every reason maps).
+        let legacy = s.rx_ring_drops
+            + s.ipintrq_drops
+            + s.screend_q_drops
+            + s.screend_denied
+            + s.ifq_drops
+            + s.socket_q_drops
+            + s.bystander_drops
+            + s.fwd_errors;
+        assert_eq!(legacy, s.drops.total());
+        assert_eq!(s.drops.get(DropReason::RedEarlyDrop), 2);
+        assert_eq!(s.drops.nonzero().count(), DropReason::ALL.len());
     }
 }

@@ -95,6 +95,13 @@ impl Nic {
         self.rx_ring.dequeue()
     }
 
+    /// Mutable access to the oldest ring frame without taking it — lets the
+    /// host stamp the packet when it starts processing, before the chunk
+    /// that consumes it completes.
+    pub fn rx_peek_mut(&mut self) -> Option<&mut Packet> {
+        self.rx_ring.peek_mut()
+    }
+
     /// Number of frames waiting in the receive ring.
     pub fn rx_pending(&self) -> usize {
         self.rx_ring.len()

@@ -91,10 +91,27 @@ impl Trace {
         self.dropped
     }
 
+    /// Takes ownership of the retained records, oldest first, leaving the
+    /// trace empty.
+    ///
+    /// The eviction count ([`dropped`](Trace::dropped)) is reset too, so a
+    /// caller that drains periodically sees per-interval truncation, not a
+    /// lifetime total.
+    pub fn drain(&mut self) -> Vec<TraceRecord> {
+        self.dropped = 0;
+        self.records.drain(..).collect()
+    }
+
     /// Renders the trace as one line per record, for debugging output.
+    ///
+    /// When the capacity bound has evicted records, a leading note says how
+    /// many earlier records are missing.
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
+        if self.dropped > 0 {
+            let _ = writeln!(out, "... {} earlier records dropped", self.dropped);
+        }
         for r in &self.records {
             let what = match r.event {
                 TraceEvent::IntrEnter(s) => format!("intr-enter src{}", s.0),
@@ -154,6 +171,38 @@ mod tests {
         assert!(s.contains("idle"));
         assert_eq!(s.lines().count(), 3);
         assert_eq!(t.count_matching(|e| matches!(e, TraceEvent::Idle)), 1);
+    }
+
+    #[test]
+    fn drain_returns_owned_records_and_empties_the_trace() {
+        let mut t = Trace::new(3);
+        for i in 0..5u64 {
+            t.push(Cycles::new(i), TraceEvent::Idle);
+        }
+        let recs = t.drain();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0].at, Cycles::new(2), "oldest retained record first");
+        assert_eq!(recs[2].at, Cycles::new(4));
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 0, "drain resets the eviction count");
+        // The trace is reusable after a drain.
+        t.push(Cycles::new(9), TraceEvent::External);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn render_notes_truncation_when_records_were_evicted() {
+        let mut t = Trace::new(2);
+        t.push(Cycles::new(1), TraceEvent::Idle);
+        t.push(Cycles::new(2), TraceEvent::Idle);
+        assert!(
+            !t.render().contains("dropped"),
+            "no note while nothing has been evicted"
+        );
+        t.push(Cycles::new(3), TraceEvent::Idle);
+        let s = t.render();
+        assert!(s.starts_with("... 1 earlier records dropped\n"));
+        assert_eq!(s.lines().count(), 3, "note plus the two retained records");
     }
 
     #[test]

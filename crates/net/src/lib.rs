@@ -51,7 +51,7 @@ pub use arp::ArpCache;
 pub use ethernet::{EtherType, EthernetHeader, MacAddr};
 pub use filter::{Action, Filter, Rule};
 pub use ipv4::Ipv4Header;
-pub use packet::{Packet, PacketId};
+pub use packet::{Packet, PacketId, StageStamps};
 pub use pool::{FrameBuf, FramePool, PoolStats};
 pub use queue::DropTailQueue;
 pub use route::RouteTable;

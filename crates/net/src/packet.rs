@@ -25,6 +25,61 @@ pub const MAX_FRAME_LEN: usize = 1514;
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PacketId(pub u64);
 
+/// Per-packet lifecycle timestamps, one per stage boundary of the receive
+/// path. Stamps live inline in the [`Packet`] (plain `Copy` data, no heap),
+/// so recording them costs nothing on the zero-allocation forwarding path.
+///
+/// Every field starts at `Cycles::MAX` ("never") and is written at most
+/// once as the packet crosses that boundary. Consecutive boundaries
+/// telescope: the per-stage residencies derived from them sum exactly to
+/// the packet's total sojourn time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StageStamps {
+    /// Driver/poller started on the frame (it leaves the RX ring at the
+    /// end of that processing chunk).
+    pub ring_deq: Cycles,
+    /// IP forwarding began (head of ipintrq under interrupts; same as
+    /// `ring_deq` for a process-to-completion polled path).
+    pub fwd_start: Cycles,
+    /// IP forwarding finished: routing decision made, packet handed to the
+    /// next queue (output, screend, or socket).
+    pub fwd_done: Cycles,
+    /// Enqueued on the screend or socket queue (`Cycles::MAX` when the
+    /// path has neither).
+    pub sq_enq: Cycles,
+    /// Dequeued from the screend or socket queue (filter verdict reached /
+    /// application consumed the datagram).
+    pub sq_deq: Cycles,
+    /// Enqueued on the output interface queue.
+    pub out_enq: Cycles,
+    /// Frame began serializing onto the output wire.
+    pub tx_start: Cycles,
+}
+
+impl StageStamps {
+    /// All stamps unset.
+    pub const UNSET: StageStamps = StageStamps {
+        ring_deq: Cycles::MAX,
+        fwd_start: Cycles::MAX,
+        fwd_done: Cycles::MAX,
+        sq_enq: Cycles::MAX,
+        sq_deq: Cycles::MAX,
+        out_enq: Cycles::MAX,
+        tx_start: Cycles::MAX,
+    };
+
+    /// Returns `true` if `stamp` has been written.
+    pub fn is_set(stamp: Cycles) -> bool {
+        stamp != Cycles::MAX
+    }
+}
+
+impl Default for StageStamps {
+    fn default() -> Self {
+        StageStamps::UNSET
+    }
+}
+
 /// A packet travelling through the simulation.
 #[derive(Clone, Debug)]
 pub struct Packet {
@@ -39,6 +94,8 @@ pub struct Packet {
     pub arrived_at: Cycles,
     /// Time the packet was taken off the receive ring by the host.
     pub dequeued_at: Cycles,
+    /// Lifecycle stage-boundary timestamps for latency accounting.
+    pub stamps: StageStamps,
 }
 
 impl Packet {
@@ -54,6 +111,7 @@ impl Packet {
             frame,
             arrived_at: Cycles::MAX,
             dequeued_at: Cycles::MAX,
+            stamps: StageStamps::UNSET,
         }
     }
 

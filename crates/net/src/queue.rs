@@ -96,6 +96,13 @@ impl<T> DropTailQueue<T> {
         self.items.front()
     }
 
+    /// Mutable access to the head-of-line item without dequeueing it (used
+    /// to stamp a packet when processing on it begins, before the chunk
+    /// that consumes it completes).
+    pub fn peek_mut(&mut self) -> Option<&mut T> {
+        self.items.front_mut()
+    }
+
     /// Returns the current queue length.
     pub fn len(&self) -> usize {
         self.items.len()

@@ -34,5 +34,5 @@ pub mod time;
 pub use calendar::CalendarQueue;
 pub use event::EventQueue;
 pub use rng::Rng;
-pub use stats::{Counter, Histogram, MeanVar, RateWindow, TimeSeries};
+pub use stats::{Counter, HdrHistogram, Histogram, MeanVar, RateWindow, TimeSeries};
 pub use time::{Cycles, Freq, Nanos};

@@ -40,9 +40,9 @@ fn main() {
 
     for (name, feedback) in [("WITHOUT feedback", false), ("WITH feedback", true)] {
         let mut cfg = if feedback {
-            KernelConfig::polled_screend_feedback(Quota::Limited(10))
+            KernelConfig::builder().polled(Quota::Limited(10)).screend(Default::default()).feedback(Default::default()).build()
         } else {
-            KernelConfig::polled_screend_no_feedback(Quota::Limited(10))
+            KernelConfig::builder().polled(Quota::Limited(10)).screend(Default::default()).build()
         };
         cfg.screend.as_mut().expect("screend configured").rules =
             Filter::parse(RULES).expect("rule file parses");

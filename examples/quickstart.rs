@@ -18,10 +18,10 @@ fn main() {
     println!("Flooding the router with {rate:.0} pkts/s of minimum-size UDP packets...\n");
 
     for (name, cfg) in [
-        ("unmodified 4.2BSD-style kernel", KernelConfig::unmodified()),
+        ("unmodified 4.2BSD-style kernel", KernelConfig::builder().build()),
         (
             "modified kernel (polling, quota=10)",
-            KernelConfig::polled(Quota::Limited(10)),
+            KernelConfig::builder().polled(Quota::Limited(10)).build(),
         ),
     ] {
         let r = run_trial(&TrialSpec {

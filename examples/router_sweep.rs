@@ -16,14 +16,15 @@ use livelock_core::analysis::{classify, mlfrr};
 use livelock_core::poller::Quota;
 use livelock_kernel::config::KernelConfig;
 use livelock_kernel::experiment::{paper_rates, sweep, TrialSpec};
+use livelock_kernel::par::Parallelism;
 
 fn config_by_name(name: &str) -> Option<KernelConfig> {
     Some(match name {
-        "unmodified" => KernelConfig::unmodified(),
-        "screend" => KernelConfig::unmodified_with_screend(),
-        "polled" => KernelConfig::polled(Quota::Limited(10)),
-        "no-quota" => KernelConfig::polled(Quota::Unlimited),
-        "feedback" => KernelConfig::polled_screend_feedback(Quota::Limited(10)),
+        "unmodified" => KernelConfig::builder().build(),
+        "screend" => KernelConfig::builder().screend(Default::default()).build(),
+        "polled" => KernelConfig::builder().polled(Quota::Limited(10)).build(),
+        "no-quota" => KernelConfig::builder().polled(Quota::Unlimited).build(),
+        "feedback" => KernelConfig::builder().polled(Quota::Limited(10)).screend(Default::default()).feedback(Default::default()).build(),
         _ => return None,
     })
 }
@@ -45,7 +46,7 @@ fn main() {
             n_packets: 3_000,
             ..TrialSpec::new(cfg)
         };
-        sweeps.push(sweep(name, &base, &paper_rates()));
+        sweeps.push(sweep(name, &base, &paper_rates(), Parallelism::Auto));
     }
 
     print!("{:>10}", "input_pps");

@@ -17,7 +17,7 @@
 use std::net::Ipv4Addr;
 
 use livelock_core::poller::Quota;
-use livelock_kernel::config::KernelConfig;
+use livelock_kernel::config::{FeedbackConfig, KernelConfig, LocalDeliveryConfig};
 use livelock_kernel::experiment::TrialSpec;
 use livelock_net::gen::PacketFactory;
 
@@ -31,8 +31,18 @@ fn main() {
     for rate in [1_000.0, 2_000.0, 3_000.0, 5_000.0, 8_000.0, 12_000.0] {
         let mut row = Vec::new();
         for cfg in [
-            KernelConfig::end_system_unmodified(),
-            KernelConfig::end_system_polled(Quota::Limited(10)),
+            KernelConfig::builder()
+                .local_delivery(LocalDeliveryConfig::default())
+                .ip_forwarding(false)
+                .build(),
+            KernelConfig::builder()
+                .polled(Quota::Limited(10))
+                .local_delivery(LocalDeliveryConfig {
+                    feedback: Some(FeedbackConfig::default()),
+                    ..LocalDeliveryConfig::default()
+                })
+                .ip_forwarding(false)
+                .build(),
         ] {
             let mut spec = TrialSpec {
                 rate_pps: rate,

@@ -10,6 +10,7 @@
 //! cargo run --release --example user_progress
 //! ```
 
+use livelock_core::poller::Quota;
 use livelock_kernel::config::KernelConfig;
 use livelock_kernel::experiment::{run_trial, TrialSpec};
 
@@ -31,7 +32,9 @@ fn main() {
             let r = run_trial(&TrialSpec {
                 rate_pps: rate,
                 n_packets: 3_000,
-                ..TrialSpec::new(KernelConfig::polled_cycle_limit(t))
+                ..TrialSpec::new(
+                    KernelConfig::builder().polled(Quota::Limited(5)).cycle_limit(t).user_process(true).build(),
+                )
             });
             print!("{:>11.1}%", r.user_cpu_frac * 100.0);
             if t == 1.00 {

@@ -52,8 +52,8 @@ fn burst_first_packet_latency() {
     const BURST: usize = 20;
     let burst_duration = Nanos::new(67_200 * BURST as u64);
 
-    let unmod = run_burst(KernelConfig::unmodified(), BURST);
-    let polled = run_burst(KernelConfig::polled(Quota::Limited(5)), BURST);
+    let unmod = run_burst(KernelConfig::builder().build(), BURST);
+    let polled = run_burst(KernelConfig::builder().polled(Quota::Limited(5)).build(), BURST);
     assert_eq!(unmod.transmitted, BURST as u64);
     assert_eq!(polled.transmitted, BURST as u64);
 
@@ -85,7 +85,7 @@ fn burst_first_packet_latency() {
 /// both systems queue behind the same CPU bottleneck.
 #[test]
 fn burst_latency_distribution_is_recorded() {
-    let s = run_burst(KernelConfig::unmodified(), 20);
+    let s = run_burst(KernelConfig::builder().build(), 20);
     assert_eq!(s.latency.count(), 20);
     assert!(s.latency.max() > s.latency.min());
     assert!(s.latency.jitter() > Nanos::ZERO);
@@ -97,8 +97,8 @@ fn burst_latency_distribution_is_recorded() {
 #[test]
 fn ring_absorbs_bursts_without_loss() {
     for cfg in [
-        KernelConfig::unmodified(),
-        KernelConfig::polled(Quota::Limited(5)),
+        KernelConfig::builder().build(),
+        KernelConfig::builder().polled(Quota::Limited(5)).build(),
     ] {
         let s = run_burst(cfg, 30); // Ring holds 32.
         assert_eq!(s.transmitted, 30, "stats: {s:?}");
@@ -112,8 +112,8 @@ fn ring_absorbs_bursts_without_loss() {
 /// the free interface drop point.
 #[test]
 fn oversized_burst_drop_location() {
-    let unmod = run_burst(KernelConfig::unmodified(), 150);
-    let polled = run_burst(KernelConfig::polled(Quota::Limited(5)), 150);
+    let unmod = run_burst(KernelConfig::builder().build(), 150);
+    let polled = run_burst(KernelConfig::builder().polled(Quota::Limited(5)).build(), 150);
     assert!(unmod.ipintrq_drops > 0, "unmodified wastes work: {unmod:?}");
     assert_eq!(polled.ipintrq_drops, 0);
     assert_eq!(

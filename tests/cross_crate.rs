@@ -28,7 +28,7 @@ fn engine_for(cfg: KernelConfig) -> Engine<RouterKernel> {
 /// exits interface 2.
 #[test]
 fn three_interface_routing() {
-    let mut cfg = KernelConfig::polled(Quota::Limited(10));
+    let mut cfg = KernelConfig::builder().polled(Quota::Limited(10)).build();
     cfg.num_ifaces = 3;
     let mut e = engine_for(cfg);
     e.workload_mut()
@@ -67,7 +67,7 @@ fn three_interface_routing() {
 /// polling thread.
 #[test]
 fn polling_is_fair_across_input_interfaces() {
-    let mut cfg = KernelConfig::polled(Quota::Limited(10));
+    let mut cfg = KernelConfig::builder().polled(Quota::Limited(10)).build();
     cfg.num_ifaces = 3;
     let mut e = engine_for(cfg);
     // Both input streams target the same output network (10.2/16).
@@ -143,7 +143,7 @@ fn forwarded_packet_bytes_are_correct() {
 /// MAC, not the destination's.
 #[test]
 fn gateway_routes_resolve_gateway_mac() {
-    let mut e = engine_for(KernelConfig::polled(Quota::Limited(10)));
+    let mut e = engine_for(KernelConfig::builder().polled(Quota::Limited(10)).build());
     let gw_ip = Ipv4Addr::new(10, 1, 0, 1);
     let gw_mac = MacAddr::local(0xAA);
     e.workload_mut().add_route(
@@ -175,7 +175,7 @@ fn gateway_routes_resolve_gateway_mac() {
 /// counted), never transmitted.
 #[test]
 fn corrupt_checksum_is_dropped() {
-    let mut e = engine_for(KernelConfig::unmodified());
+    let mut e = engine_for(KernelConfig::builder().build());
     let mut factory = PacketFactory::paper_testbed();
     let mut pkt = factory.next_packet();
     pkt.frame[20] ^= 0xff; // Corrupt a byte inside the IP header.
@@ -190,7 +190,7 @@ fn corrupt_checksum_is_dropped() {
 /// idle cycles equal elapsed virtual time.
 #[test]
 fn cycle_accounting_is_conservative() {
-    let mut cfg = KernelConfig::polled(Quota::Limited(10));
+    let mut cfg = KernelConfig::builder().polled(Quota::Limited(10)).build();
     cfg.user_process = true;
     let mut e = engine_for(cfg);
     let freq = Freq::mhz(100);
@@ -221,7 +221,7 @@ fn cycle_accounting_is_conservative() {
 /// checksummed ICMP/IPv4 frame.
 #[test]
 fn ttl_expiry_generates_icmp_time_exceeded() {
-    let mut cfg = KernelConfig::polled(Quota::Limited(10));
+    let mut cfg = KernelConfig::builder().polled(Quota::Limited(10)).build();
     cfg.icmp_errors = true;
     let mut e = engine_for(cfg);
     let mut factory = PacketFactory::paper_testbed();
@@ -249,7 +249,7 @@ fn ttl_expiry_generates_icmp_time_exceeded() {
 /// bounded number of errors, the rest suppressed.
 #[test]
 fn icmp_errors_are_paced() {
-    let mut cfg = KernelConfig::polled(Quota::Limited(10));
+    let mut cfg = KernelConfig::builder().polled(Quota::Limited(10)).build();
     cfg.icmp_errors = true;
     let mut e = engine_for(cfg);
     let mut factory = PacketFactory::paper_testbed();
@@ -274,7 +274,7 @@ fn icmp_errors_are_paced() {
 /// undeliverable packets vanish silently.
 #[test]
 fn icmp_disabled_by_default() {
-    let mut e = engine_for(KernelConfig::polled(Quota::Limited(10)));
+    let mut e = engine_for(KernelConfig::builder().polled(Quota::Limited(10)).build());
     let mut factory = PacketFactory::paper_testbed();
     factory.ttl = 1;
     e.state_schedule(
@@ -315,7 +315,7 @@ fn trace_reveals_the_interleaving() {
 
     // Unmodified + screend: the screend thread exists but the trace shows
     // it starved once the flood begins.
-    let mut e = engine_for(KernelConfig::unmodified_with_screend());
+    let mut e = engine_for(KernelConfig::builder().screend(Default::default()).build());
     e.enable_trace(100_000);
     load(&mut e);
     e.run_until(freq.cycles_from_millis(200));
@@ -338,7 +338,7 @@ fn trace_reveals_the_interleaving() {
 
     // Modified kernel: interrupts are rare (disabled while polling), and
     // the polling thread holds the CPU.
-    let mut e = engine_for(KernelConfig::polled(Quota::Limited(10)));
+    let mut e = engine_for(KernelConfig::builder().polled(Quota::Limited(10)).build());
     e.enable_trace(100_000);
     load(&mut e);
     e.run_until(freq.cycles_from_millis(200));
@@ -351,6 +351,89 @@ fn trace_reveals_the_interleaving() {
     assert!(!t.render().is_empty());
 }
 
+/// The latency layer cross-checks against the trace and the legacy
+/// counters: every completed wire transmission is exactly one recorded
+/// sojourn, the typed drop taxonomy never disagrees with the per-queue
+/// counters, and the stage the histograms blame matches the interleaving
+/// the trace shows (interrupt-dominated unmodified kernel → queueing in
+/// `ipintrq`; thread-dominated polled kernel → packets age in the ring).
+#[test]
+fn latency_layer_agrees_with_trace_and_counters() {
+    use livelock_kernel::stats::{DropReason, Stage};
+
+    let freq = Freq::mhz(100);
+    let load = |e: &mut Engine<RouterKernel>| {
+        let mut gen = TrafficGen::paper_default(12_000.0, freq, 23);
+        let mut times = gen.arrival_times(Cycles::ZERO, 3_000);
+        Wire::ethernet_10m(freq).pace(&mut times, MIN_FRAME_LEN);
+        let mut factory = PacketFactory::paper_testbed();
+        for t in times {
+            e.state_schedule(
+                t,
+                Event::RxArrive {
+                    iface: 0,
+                    pkt: factory.next_packet(),
+                },
+            );
+        }
+    };
+    let run = |cfg: KernelConfig| {
+        let mut e = engine_for(cfg);
+        e.enable_trace(100_000);
+        load(&mut e);
+        e.run_until(freq.cycles_from_millis(300));
+        e
+    };
+
+    let unmod = run(KernelConfig::builder().build());
+    let polled = run(KernelConfig::builder().polled(Quota::Limited(5)).build());
+
+    for e in [&unmod, &polled] {
+        let s = e.workload().stats();
+        // One sojourn per completed transmission, no more, no less.
+        assert_eq!(s.latency.count(), s.transmitted, "{s:?}");
+        // Double bookkeeping: taxonomy and legacy counters agree. (RED
+        // drops land in `ifq_drops` too, and feedback inhibits in
+        // `rx_ring_drops`, per the `record_drop` contract.)
+        assert_eq!(
+            s.drops.get(DropReason::RxRingFull) + s.drops.get(DropReason::FeedbackInhibit),
+            s.rx_ring_drops
+        );
+        assert_eq!(s.drops.get(DropReason::IpintrqFull), s.ipintrq_drops);
+        assert_eq!(
+            s.drops.get(DropReason::OutputQueueFull) + s.drops.get(DropReason::RedEarlyDrop),
+            s.ifq_drops
+        );
+        // Conservation: everything that arrived was delivered, dropped
+        // (for a typed reason), or is still in flight.
+        assert_eq!(
+            s.arrived,
+            s.transmitted + s.drops.total() + s.in_flight(),
+            "{s:?}"
+        );
+    }
+
+    // Where the time goes matches what the trace shows. The unmodified
+    // kernel's interrupt-dominated interleaving ages packets in the
+    // bounded `ipintrq`; the polled kernel has no ipintrq at all, so its
+    // packets wait in the ring for the polling thread instead.
+    let su = unmod.workload().stats();
+    let sp = polled.workload().stats();
+    let tu = unmod.trace().expect("tracing enabled");
+    let tp = polled.trace().expect("tracing enabled");
+    let intr_u = tu.count_matching(|ev| matches!(ev, TraceEvent::IntrEnter(_)));
+    let intr_p = tp.count_matching(|ev| matches!(ev, TraceEvent::IntrEnter(_)));
+    assert!(intr_p < intr_u / 2, "polled takes fewer interrupts");
+    assert!(
+        su.latency.stage(Stage::Ipq).quantile(0.5) > sp.latency.stage(Stage::Ipq).quantile(0.99),
+        "unmodified sojourns are ipintrq-dominated"
+    );
+    assert!(
+        sp.latency.stage(Stage::Ring).quantile(0.5) > su.latency.stage(Stage::Ring).quantile(0.5),
+        "polled sojourns age in the RX ring instead"
+    );
+}
+
 /// The router answers ARP who-has requests for its own interface address
 /// with a byte-correct reply, and learns the asker's mapping.
 #[test]
@@ -359,8 +442,8 @@ fn arp_requests_are_answered() {
     use livelock_net::ethernet::{EtherType, EthernetHeader, ETHERNET_HEADER_LEN};
 
     for cfg in [
-        KernelConfig::unmodified(),
-        KernelConfig::polled(Quota::Limited(10)),
+        KernelConfig::builder().build(),
+        KernelConfig::builder().polled(Quota::Limited(10)).build(),
     ] {
         let mut e = engine_for(cfg);
         let asker_mac = MacAddr::local(0x700);
@@ -405,7 +488,7 @@ fn foreign_arp_requests_are_ignored() {
     use livelock_net::arp::{ArpOp, ArpPacket, ARP_PACKET_LEN};
     use livelock_net::ethernet::{EtherType, EthernetHeader, ETHERNET_HEADER_LEN};
 
-    let mut e = engine_for(KernelConfig::polled(Quota::Limited(10)));
+    let mut e = engine_for(KernelConfig::builder().polled(Quota::Limited(10)).build());
     let request = ArpPacket {
         op: ArpOp::Request,
         sender_mac: MacAddr::local(0x700),
@@ -442,7 +525,7 @@ fn foreign_arp_requests_are_ignored() {
 #[test]
 fn rate_limited_interrupts_defer_without_loss() {
     let freq = Freq::mhz(100);
-    let mut e = engine_for(KernelConfig::unmodified_rate_limited(500.0));
+    let mut e = engine_for(KernelConfig::builder().intr_rate_limit(500.0, 4).build());
     let mut gen = TrafficGen::paper_default(2_000.0, freq, 31);
     let mut factory = PacketFactory::paper_testbed();
     for t in gen.arrival_times(Cycles::ZERO, 400) {

@@ -4,7 +4,7 @@
 use std::net::Ipv4Addr;
 
 use livelock_core::poller::Quota;
-use livelock_kernel::config::{KernelConfig, LocalDeliveryConfig};
+use livelock_kernel::config::{FeedbackConfig, KernelConfig, LocalDeliveryConfig};
 use livelock_kernel::router::{Event, RouterKernel};
 use livelock_kernel::stats::KernelStats;
 use livelock_machine::cpu::Engine;
@@ -49,8 +49,8 @@ fn serve(cfg: KernelConfig, rate: f64, n: usize) -> (KernelStats, f64) {
 #[test]
 fn light_load_serves_and_replies() {
     for cfg in [
-        KernelConfig::end_system_unmodified(),
-        KernelConfig::end_system_polled(Quota::Limited(10)),
+        KernelConfig::builder().local_delivery(Default::default()).ip_forwarding(false).build(),
+        KernelConfig::builder().polled(Quota::Limited(10)).local_delivery(LocalDeliveryConfig { feedback: Some(FeedbackConfig::default()), ..Default::default() }).ip_forwarding(false).build(),
     ] {
         let (s, goodput) = serve(cfg, 800.0, 800);
         assert_eq!(s.app_delivered, 800, "stats: {s:?}");
@@ -67,8 +67,8 @@ fn light_load_serves_and_replies() {
 /// to applications", §4.2).
 #[test]
 fn unmodified_end_system_starves_application() {
-    let (_, low) = serve(KernelConfig::end_system_unmodified(), 2_000.0, 2_000);
-    let (s, high) = serve(KernelConfig::end_system_unmodified(), 9_000.0, 4_000);
+    let (_, low) = serve(KernelConfig::builder().local_delivery(Default::default()).ip_forwarding(false).build(), 2_000.0, 2_000);
+    let (s, high) = serve(KernelConfig::builder().local_delivery(Default::default()).ip_forwarding(false).build(), 9_000.0, 4_000);
     assert!(
         low > 1_500.0,
         "below saturation the app keeps up, got {low}"
@@ -88,7 +88,7 @@ fn unmodified_end_system_starves_application() {
 #[test]
 fn polled_end_system_sustains_goodput() {
     let (s, high) = serve(
-        KernelConfig::end_system_polled(Quota::Limited(10)),
+        KernelConfig::builder().polled(Quota::Limited(10)).local_delivery(LocalDeliveryConfig { feedback: Some(FeedbackConfig::default()), ..Default::default() }).ip_forwarding(false).build(),
         9_000.0,
         4_000,
     );
@@ -104,7 +104,7 @@ fn polled_end_system_sustains_goodput() {
 #[test]
 fn replies_are_well_formed() {
     let (s, _) = serve(
-        KernelConfig::end_system_polled(Quota::Limited(10)),
+        KernelConfig::builder().polled(Quota::Limited(10)).local_delivery(LocalDeliveryConfig { feedback: Some(FeedbackConfig::default()), ..Default::default() }).ip_forwarding(false).build(),
         500.0,
         300,
     );
@@ -118,7 +118,7 @@ fn replies_are_well_formed() {
 /// counted as errors instead of silently vanishing.
 #[test]
 fn no_listener_counts_errors() {
-    let (s, _) = serve(KernelConfig::unmodified(), 500.0, 100);
+    let (s, _) = serve(KernelConfig::builder().build(), 500.0, 100);
     assert_eq!(s.app_delivered, 0);
     assert_eq!(s.fwd_errors, 100);
 }
@@ -127,7 +127,7 @@ fn no_listener_counts_errors() {
 /// application consumption).
 #[test]
 fn app_latency_recorded() {
-    let mut cfg = KernelConfig::end_system_polled(Quota::Limited(10));
+    let mut cfg = KernelConfig::builder().polled(Quota::Limited(10)).local_delivery(LocalDeliveryConfig { feedback: Some(FeedbackConfig::default()), ..Default::default() }).ip_forwarding(false).build();
     cfg.local = Some(LocalDeliveryConfig {
         reply: false,
         ..LocalDeliveryConfig::default()
@@ -184,7 +184,7 @@ fn bystander_flood_starves_the_unprotected_application() {
         e.workload().stats().clone()
     };
 
-    let unmod = run(KernelConfig::end_system_unmodified());
+    let unmod = run(KernelConfig::builder().local_delivery(Default::default()).ip_forwarding(false).build());
     assert!(
         unmod.bystander_drops > 1_000,
         "the storm is processed then discarded: {unmod:?}"
@@ -201,7 +201,7 @@ fn bystander_flood_starves_the_unprotected_application() {
     // serving several times more of its load, and (b) most of the storm is
     // shed for free at the interface instead of being processed and then
     // discarded.
-    let mut protected = KernelConfig::end_system_polled(Quota::Limited(10));
+    let mut protected = KernelConfig::builder().polled(Quota::Limited(10)).local_delivery(LocalDeliveryConfig { feedback: Some(FeedbackConfig::default()), ..Default::default() }).ip_forwarding(false).build();
     if let livelock_kernel::config::Mode::Polled(p) = &mut protected.mode {
         p.cycle_limit_frac = Some(0.5);
     }

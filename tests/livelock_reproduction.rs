@@ -9,6 +9,7 @@ use livelock_core::analysis::{classify, mlfrr, overload_stability, LivelockVerdi
 use livelock_core::poller::Quota;
 use livelock_kernel::config::KernelConfig;
 use livelock_kernel::experiment::{run_trial, sweep, SweepResult, TrialSpec};
+use livelock_kernel::par::Parallelism;
 
 const OVERLOAD_RATES: &[f64] = &[2_000.0, 4_000.0, 6_000.0, 9_000.0, 12_000.0];
 
@@ -17,14 +18,14 @@ fn sweep_of(cfg: KernelConfig, n_packets: usize) -> SweepResult {
         n_packets,
         ..TrialSpec::new(cfg)
     };
-    sweep("test", &base, OVERLOAD_RATES)
+    sweep("test", &base, OVERLOAD_RATES, Parallelism::Auto)
 }
 
 /// §6.2 / Figure 6-1: the unmodified kernel's throughput declines beyond
 /// its MLFRR ("throughput decreases with increasing offered load").
 #[test]
 fn unmodified_kernel_degrades_under_overload() {
-    let s = sweep_of(KernelConfig::unmodified(), 2_000);
+    let s = sweep_of(KernelConfig::builder().build(), 2_000);
     let pts = s.points();
     let m = mlfrr(&pts, 0.95).expect("loss-free region exists");
     assert!(
@@ -39,7 +40,7 @@ fn unmodified_kernel_degrades_under_overload() {
 /// completely ("complete livelock set in at about 6000 packets/sec").
 #[test]
 fn unmodified_with_screend_livelocks() {
-    let s = sweep_of(KernelConfig::unmodified_with_screend(), 2_000);
+    let s = sweep_of(KernelConfig::builder().screend(Default::default()).build(), 2_000);
     let pts = s.points();
     assert_eq!(classify(&pts, 0.10, 0.80), LivelockVerdict::Livelock);
     // Delivered throughput at 9-12k pkts/s input is (near) zero.
@@ -58,8 +59,8 @@ fn unmodified_with_screend_livelocks() {
 /// plateau at/above the unmodified kernel's MLFRR.
 #[test]
 fn modified_kernel_eliminates_livelock() {
-    let unmod = sweep_of(KernelConfig::unmodified(), 2_000);
-    let polled = sweep_of(KernelConfig::polled(Quota::Limited(10)), 2_000);
+    let unmod = sweep_of(KernelConfig::builder().build(), 2_000);
+    let polled = sweep_of(KernelConfig::builder().polled(Quota::Limited(10)).build(), 2_000);
     let u = unmod.points();
     let p = polled.points();
     assert_eq!(classify(&p, 0.10, 0.80), LivelockVerdict::StablePlateau);
@@ -78,7 +79,7 @@ fn modified_kernel_eliminates_livelock() {
 /// transmit starvation — worse than the unmodified kernel at high load.
 #[test]
 fn no_quota_polling_livelocks_via_transmit_starvation() {
-    let s = sweep_of(KernelConfig::polled(Quota::Unlimited), 2_000);
+    let s = sweep_of(KernelConfig::builder().polled(Quota::Unlimited).build(), 2_000);
     let pts = s.points();
     assert_eq!(classify(&pts, 0.10, 0.80), LivelockVerdict::Livelock);
     // The loss shows up at the output queue, after full processing —
@@ -95,11 +96,11 @@ fn no_quota_polling_livelocks_via_transmit_starvation() {
 #[test]
 fn feedback_rescues_screend() {
     let nofb = sweep_of(
-        KernelConfig::polled_screend_no_feedback(Quota::Limited(10)),
+        KernelConfig::builder().polled(Quota::Limited(10)).screend(Default::default()).build(),
         2_000,
     );
     let fb = sweep_of(
-        KernelConfig::polled_screend_feedback(Quota::Limited(10)),
+        KernelConfig::builder().polled(Quota::Limited(10)).screend(Default::default()).feedback(Default::default()).build(),
         2_000,
     );
     assert_eq!(
@@ -125,7 +126,7 @@ fn feedback_rescues_screend() {
 fn quota_ordering_under_overload() {
     let mut tails = Vec::new();
     for q in [Quota::Limited(10), Quota::Limited(100), Quota::Unlimited] {
-        let s = sweep_of(KernelConfig::polled(q), 2_000);
+        let s = sweep_of(KernelConfig::builder().polled(q).build(), 2_000);
         tails.push(s.trials.last().expect("nonempty").delivered_pps);
     }
     assert!(
@@ -148,7 +149,7 @@ fn quota_ordering_under_overload() {
 #[test]
 fn feedback_prevents_livelock_at_any_quota() {
     for q in [Quota::Limited(5), Quota::Limited(100), Quota::Unlimited] {
-        let s = sweep_of(KernelConfig::polled_screend_feedback(q), 2_000);
+        let s = sweep_of(KernelConfig::builder().polled(q).screend(Default::default()).feedback(Default::default()).build(), 2_000);
         assert_eq!(
             classify(&s.points(), 0.10, 0.80),
             LivelockVerdict::StablePlateau,
@@ -167,7 +168,7 @@ fn cycle_limit_guarantees_user_progress() {
         let r = run_trial(&TrialSpec {
             rate_pps: rate,
             n_packets: 2_000,
-            ..TrialSpec::new(KernelConfig::polled_cycle_limit(thr))
+            ..TrialSpec::new(KernelConfig::builder().polled(Quota::Limited(5)).cycle_limit(thr).user_process(true).build())
         });
         shares.push(r.user_cpu_frac);
     }
@@ -189,7 +190,7 @@ fn cycle_limit_still_forwards_packets() {
     let r = run_trial(&TrialSpec {
         rate_pps: 6_000.0,
         n_packets: 2_000,
-        ..TrialSpec::new(KernelConfig::polled_cycle_limit(0.5))
+        ..TrialSpec::new(KernelConfig::builder().polled(Quota::Limited(5)).cycle_limit(0.5).user_process(true).build())
     });
     assert!(
         r.delivered_pps > 1_000.0,
@@ -205,7 +206,7 @@ fn trials_are_deterministic() {
     let spec = TrialSpec {
         rate_pps: 9_000.0,
         n_packets: 1_500,
-        ..TrialSpec::new(KernelConfig::polled_screend_feedback(Quota::Limited(10)))
+        ..TrialSpec::new(KernelConfig::builder().polled(Quota::Limited(10)).screend(Default::default()).feedback(Default::default()).build())
     };
     let a = run_trial(&spec);
     let b = run_trial(&spec);
@@ -222,7 +223,7 @@ fn ethernet_rate_cap_is_respected() {
     let r = run_trial(&TrialSpec {
         rate_pps: 50_000.0, // Far beyond the wire.
         n_packets: 2_000,
-        ..TrialSpec::new(KernelConfig::polled(Quota::Limited(10)))
+        ..TrialSpec::new(KernelConfig::builder().polled(Quota::Limited(10)).build())
     });
     assert!(
         r.offered_pps < 15_000.0,
@@ -239,12 +240,12 @@ fn latency_bounded_on_modified_kernel() {
     let light = run_trial(&TrialSpec {
         rate_pps: 500.0,
         n_packets: 500,
-        ..TrialSpec::new(KernelConfig::polled(Quota::Limited(10)))
+        ..TrialSpec::new(KernelConfig::builder().polled(Quota::Limited(10)).build())
     });
     let heavy = run_trial(&TrialSpec {
         rate_pps: 12_000.0,
         n_packets: 3_000,
-        ..TrialSpec::new(KernelConfig::polled(Quota::Limited(10)))
+        ..TrialSpec::new(KernelConfig::builder().polled(Quota::Limited(10)).build())
     });
     assert!(
         light.latency_mean.raw() < 2_000_000,
@@ -265,7 +266,7 @@ fn latency_bounded_on_modified_kernel() {
 /// priority, not in interrupt dispatch overhead.
 #[test]
 fn interrupt_rate_limiting_alone_does_not_prevent_livelock() {
-    let mut cfg = KernelConfig::unmodified_rate_limited(2_000.0);
+    let mut cfg = KernelConfig::builder().intr_rate_limit(2_000.0, 4).build();
     cfg.screend = Some(livelock_kernel::config::ScreendConfig::default());
     let s = sweep_of(cfg, 2_000);
     assert_eq!(
@@ -284,11 +285,11 @@ fn interrupt_rate_limiting_bounds_interrupt_count() {
     let base = TrialSpec {
         rate_pps: 12_000.0,
         n_packets: 3_000,
-        ..TrialSpec::new(KernelConfig::unmodified())
+        ..TrialSpec::new(KernelConfig::builder().build())
     };
     let unlimited = run_trial(&base);
     let limited = run_trial(&TrialSpec {
-        config: KernelConfig::unmodified_rate_limited(1_000.0),
+        config: KernelConfig::builder().intr_rate_limit(1_000.0, 4).build(),
         ..base
     });
     assert!(
@@ -314,9 +315,9 @@ fn interrupt_rate_limiting_bounds_interrupt_count() {
 fn faster_cpu_raises_mlfrr_but_not_the_verdict() {
     use livelock_machine::cost::CostModel;
 
-    let mut slow_unmod = KernelConfig::unmodified();
+    let mut slow_unmod = KernelConfig::builder().build();
     slow_unmod.cost = CostModel::scaled(0.5);
-    let mut fast_unmod = KernelConfig::unmodified();
+    let mut fast_unmod = KernelConfig::builder().build();
     fast_unmod.cost = CostModel::scaled(2.0);
 
     let slow = sweep_of(slow_unmod, 2_000);
@@ -343,13 +344,13 @@ fn faster_cpu_raises_mlfrr_but_not_the_verdict() {
 
     // The screend livelock persists on the slow machine and the polled
     // kernel still fixes it there.
-    let mut slow_screend = KernelConfig::unmodified_with_screend();
+    let mut slow_screend = KernelConfig::builder().screend(Default::default()).build();
     slow_screend.cost = CostModel::scaled(0.5);
     assert_eq!(
         classify(&sweep_of(slow_screend, 2_000).points(), 0.10, 0.80),
         LivelockVerdict::Livelock
     );
-    let mut slow_polled = KernelConfig::polled(Quota::Limited(10));
+    let mut slow_polled = KernelConfig::builder().polled(Quota::Limited(10)).build();
     slow_polled.cost = CostModel::scaled(0.5);
     assert_eq!(
         classify(&sweep_of(slow_polled, 2_000).points(), 0.10, 0.80),
@@ -367,7 +368,7 @@ fn larger_quotas_increase_jitter() {
         run_trial(&TrialSpec {
             rate_pps: 4_000.0,
             n_packets: 3_000,
-            ..TrialSpec::new(KernelConfig::polled(q))
+            ..TrialSpec::new(KernelConfig::builder().polled(q).build())
         })
         .latency_jitter
         .raw()
@@ -385,7 +386,7 @@ fn larger_quotas_increase_jitter() {
 /// for well-quota'd configurations.
 #[test]
 fn red_output_queue_counts_early_drops() {
-    let mut cfg = KernelConfig::polled(Quota::Limited(100));
+    let mut cfg = KernelConfig::builder().polled(Quota::Limited(100)).build();
     cfg.ifq_red = true;
     let r = run_trial(&TrialSpec {
         rate_pps: 12_000.0,

@@ -2,6 +2,7 @@
 //! zero-load baseline the paper reports ("even with no input load, the
 //! user process gets about 94% of the CPU cycles").
 
+use livelock_core::poller::Quota;
 use livelock_kernel::config::KernelConfig;
 use livelock_kernel::experiment::{run_trial, TrialSpec};
 use livelock_kernel::router::RouterKernel;
@@ -26,7 +27,7 @@ fn zero_load_share(cfg: KernelConfig, millis: u64) -> f64 {
 /// otherwise idle machine (the rest is clock + housekeeping + switching).
 #[test]
 fn zero_load_user_share_is_about_94_percent() {
-    let mut cfg = KernelConfig::unmodified();
+    let mut cfg = KernelConfig::builder().build();
     cfg.user_process = true;
     let share = zero_load_share(cfg, 500);
     assert!(
@@ -39,7 +40,7 @@ fn zero_load_user_share_is_about_94_percent() {
 /// costs nothing while no packets arrive.
 #[test]
 fn modified_kernel_is_free_when_idle() {
-    let mut cfg = KernelConfig::polled_cycle_limit(0.25);
+    let mut cfg = KernelConfig::builder().polled(Quota::Limited(5)).cycle_limit(0.25).user_process(true).build();
     cfg.user_process = true;
     let share = zero_load_share(cfg, 500);
     assert!(
@@ -53,8 +54,8 @@ fn modified_kernel_is_free_when_idle() {
 #[test]
 fn flood_starves_user_without_limit() {
     for mut cfg in [
-        KernelConfig::unmodified(),
-        KernelConfig::polled(livelock_core::poller::Quota::Limited(10)),
+        KernelConfig::builder().build(),
+        KernelConfig::builder().polled(Quota::Limited(10)).build(),
     ] {
         cfg.user_process = true;
         let r = run_trial(&TrialSpec {
@@ -76,7 +77,11 @@ fn flood_starves_user_without_limit() {
 /// screening process and the network stack all make progress.
 #[test]
 fn limiter_with_screend_everyone_progresses() {
-    let mut cfg = KernelConfig::polled_screend_feedback(livelock_core::poller::Quota::Limited(10));
+    let mut cfg = KernelConfig::builder()
+        .polled(Quota::Limited(10))
+        .screend(Default::default())
+        .feedback(Default::default())
+        .build();
     cfg.user_process = true;
     if let livelock_kernel::config::Mode::Polled(p) = &mut cfg.mode {
         p.cycle_limit_frac = Some(0.5);
@@ -102,7 +107,9 @@ fn threshold_trades_forwarding_for_user_cpu() {
         let r = run_trial(&TrialSpec {
             rate_pps: 8_000.0,
             n_packets: 2_500,
-            ..TrialSpec::new(KernelConfig::polled_cycle_limit(thr))
+            ..TrialSpec::new(
+                KernelConfig::builder().polled(Quota::Limited(5)).cycle_limit(thr).user_process(true).build(),
+            )
         });
         results.push(r);
     }
@@ -115,7 +122,11 @@ fn threshold_trades_forwarding_for_user_cpu() {
 /// are runnable — a sanity check on the thread scheduler itself.
 #[test]
 fn user_processes_share_fairly() {
-    let mut cfg = KernelConfig::polled_screend_feedback(livelock_core::poller::Quota::Limited(10));
+    let mut cfg = KernelConfig::builder()
+        .polled(Quota::Limited(10))
+        .screend(Default::default())
+        .feedback(Default::default())
+        .build();
     cfg.user_process = true;
     let ctx_switch = cfg.cost.ctx_switch;
     let (st, kernel) = RouterKernel::build(cfg);
