@@ -1,0 +1,25 @@
+//! Criterion bench for figure C-1 (conserved cycle ledger): regenerates
+//! the CPU-class share figure's data series (printed before timing) and
+//! measures the simulator's performance on a representative overload
+//! trial per curve.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use livelock_bench::{fig_c1, one_overload_trial, render_figure};
+use livelock_kernel::par::Parallelism;
+
+fn bench(c: &mut Criterion) {
+    let fig = fig_c1();
+    let rendered = render_figure(&fig, 2_000, Parallelism::Serial);
+    println!("{}", rendered.to_table());
+    println!("{}", rendered.shape_summary());
+
+    let mut g = c.benchmark_group("figC-1");
+    g.sample_size(10);
+    for (i, (label, _)) in fig.curves.iter().enumerate() {
+        g.bench_function(label, |b| b.iter(|| one_overload_trial(&fig, i, 1_000)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

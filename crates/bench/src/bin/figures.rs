@@ -15,13 +15,17 @@
 //! arguments are bad), 2 when a rendered figure violates the paper's
 //! qualitative throughput shape, 3 when the latency figure violates the
 //! paper's latency argument (polled overload p99 must sit well below the
-//! unmodified kernel's).
+//! unmodified kernel's), 4 when figure C-1 violates the paper's CPU
+//! accounting (unmodified rx-intr share must reach ≥ 90% with delivery
+//! collapsed at wire-saturating load, while the cycle-limited polled
+//! kernel preserves user+idle share).
 
 use std::fs;
 use std::path::Path;
 
 use livelock_bench::{
-    all_figures, latency_shape_violations, render_figure, shape_violations, PAPER_TRIAL_PACKETS,
+    all_figures, cpu_share_violations, latency_shape_violations, render_figure, shape_violations,
+    PAPER_TRIAL_PACKETS,
 };
 use livelock_kernel::par::{default_jobs, Parallelism};
 
@@ -59,6 +63,7 @@ fn main() {
     let mut write_errors = Vec::new();
     let mut all_violations = Vec::new();
     let mut latency_violations = Vec::new();
+    let mut cpu_violations = Vec::new();
     for fig in all_figures() {
         if let Some(id) = &only {
             if fig.id != id {
@@ -80,6 +85,7 @@ fn main() {
         }
         all_violations.extend(shape_violations(&rendered));
         latency_violations.extend(latency_shape_violations(&rendered));
+        cpu_violations.extend(cpu_share_violations(&rendered));
     }
 
     if !write_errors.is_empty() {
@@ -88,7 +94,7 @@ fn main() {
             eprintln!("  {w}");
         }
     }
-    if all_violations.is_empty() && latency_violations.is_empty() {
+    if all_violations.is_empty() && latency_violations.is_empty() && cpu_violations.is_empty() {
         eprintln!("all rendered figures match the paper's qualitative shapes");
     }
     if !all_violations.is_empty() {
@@ -104,6 +110,13 @@ fn main() {
             eprintln!("  {v}");
         }
         std::process::exit(3);
+    }
+    if !cpu_violations.is_empty() {
+        eprintln!("CPU-SHARE VIOLATIONS:");
+        for v in &cpu_violations {
+            eprintln!("  {v}");
+        }
+        std::process::exit(4);
     }
     if !write_errors.is_empty() {
         std::process::exit(1);

@@ -3,12 +3,18 @@
 //! ```text
 //! livelock configs                      list kernel configurations
 //! livelock trial  --config polled --rate 8000 [--packets N] [--seed S] [--latency]
+//!                 [--timeline out.csv] [--chrome-trace out.json]
 //! livelock sweep  --config unmodified,polled [--rates 1000,2000,...] [--jobs N] [--latency]
 //! livelock mlfrr  --config polled [--loss-free 0.98] [--jobs N]
 //! ```
 //!
-//! `trial` runs one paper-style measurement and prints the full breakdown
-//! (`--latency` adds per-stage latency quantiles and a drop-reason table);
+//! `trial` runs one paper-style measurement and prints the full breakdown,
+//! including the conserved CPU-cycle ledger's per-class shares
+//! (`--latency` adds per-stage latency quantiles and a drop-reason table;
+//! `--timeline out.csv` enables the clock-tick telemetry sampler and
+//! writes its time-series as CSV; `--chrome-trace out.json` records the
+//! machine's scheduling trace and writes Chrome-trace / Perfetto JSON for
+//! `chrome://tracing` or <https://ui.perfetto.dev>);
 //! `sweep` prints the (input rate, output rate) series a figure would
 //! plot (`--latency` adds a p99-latency column per config); `mlfrr`
 //! searches for the Maximum Loss Free Receive Rate by
@@ -21,10 +27,14 @@ use livelock_core::analysis::{
 };
 use livelock_core::poller::Quota;
 use livelock_kernel::config::{FeedbackConfig, KernelConfig, LocalDeliveryConfig};
-use livelock_kernel::experiment::{paper_rates, run_trial, TrialResult, TrialSpec};
+use livelock_kernel::experiment::{
+    paper_rates, run_trial, run_trial_traced, TrialResult, TrialSpec,
+};
 use livelock_kernel::experiment::sweep;
 use livelock_kernel::par::{default_jobs, par_map, Parallelism};
 use livelock_kernel::stats::{DropReason, Stage};
+use livelock_kernel::telemetry::TelemetryConfig;
+use livelock_machine::CpuClass;
 
 fn configs() -> Vec<(&'static str, &'static str)> {
     vec![
@@ -161,16 +171,42 @@ fn cmd_configs() {
     }
 }
 
+/// Ring capacity for `--chrome-trace`: enough records for a full
+/// 10,000-packet trial (each packet is a handful of scheduling events).
+const TRACE_CAPACITY: usize = 1 << 20;
+
 fn cmd_trial(args: &Args) -> Result<(), String> {
     let name = args.get("config").unwrap_or("polled");
-    let cfg = config_by_name(name).ok_or_else(|| format!("unknown config {name:?}"))?;
+    let mut cfg = config_by_name(name).ok_or_else(|| format!("unknown config {name:?}"))?;
+    let timeline_path = args.get("timeline");
+    let trace_path = args.get("chrome-trace");
+    if timeline_path.is_some() {
+        cfg.telemetry = Some(TelemetryConfig::default());
+    }
+    let freq = cfg.cost.freq;
     let spec = TrialSpec {
         rate_pps: args.get_f64("rate", 8_000.0)?,
         n_packets: args.get_usize("packets", 10_000)?,
         seed: args.get_u64("seed", 1)?,
         ..TrialSpec::new(cfg)
     };
-    let r = run_trial(&spec);
+    let (r, chrome_json) = match trace_path {
+        Some(_) => {
+            let (r, json) = run_trial_traced(&spec, TRACE_CAPACITY);
+            (r, Some(json))
+        }
+        None => (run_trial(&spec), None),
+    };
+    if let Some(path) = timeline_path {
+        let tl = r.timeline.as_ref().expect("telemetry was enabled");
+        std::fs::write(path, tl.to_csv(freq))
+            .map_err(|e| format!("writing {path:?}: {e}"))?;
+        eprintln!("wrote {} telemetry samples to {path}", tl.len());
+    }
+    if let (Some(path), Some(json)) = (trace_path, &chrome_json) {
+        std::fs::write(path, json).map_err(|e| format!("writing {path:?}: {e}"))?;
+        eprintln!("wrote Chrome trace to {path}");
+    }
     println!("config          {name}");
     println!("offered         {:>10.0} pkts/s", r.offered_pps);
     println!("delivered       {:>10.0} pkts/s", r.delivered_pps);
@@ -188,6 +224,13 @@ fn cmd_trial(args: &Args) -> Result<(), String> {
     println!("latency p99     {:>10}", r.latency_p99);
     println!("interrupts      {:>10}", r.interrupts_taken);
     println!("user CPU        {:>9.1}%", r.user_cpu_frac * 100.0);
+    println!("CPU by class (window, conserved ledger)");
+    for c in CpuClass::ALL {
+        let share = r.cpu_share[c.index()];
+        if share >= 0.0005 {
+            println!("  {:<13} {:>9.1}%", c.label(), share * 100.0);
+        }
+    }
     if args.has("latency") {
         print_latency_breakdown(&r);
     }

@@ -2,28 +2,135 @@
 //!
 //! ```text
 //! cargo run --release -p livelock-bench --bin perf [--packets N] [--jobs-list 1,2,4]
+//! cargo run --release -p livelock-bench --bin perf -- --telemetry [--packets N]
 //! ```
 //!
-//! Renders every figure at each job count in `--jobs-list` (default:
-//! `1,<available parallelism>`), reporting wall-clock per figure and in
-//! total, the speedup over the first (baseline) job count, and whether the
-//! CSV output is byte-identical across all job counts — the determinism
-//! guarantee the parallel executor makes. Plain `std::time::Instant`
-//! timing; no external harness.
+//! The default mode renders every figure at each job count in
+//! `--jobs-list` (default: `1,<available parallelism>`), reporting
+//! wall-clock per figure and in total, the speedup over the first
+//! (baseline) job count, and whether the CSV output is byte-identical
+//! across all job counts — the determinism guarantee the parallel
+//! executor makes. Plain `std::time::Instant` timing; no external
+//! harness.
+//!
+//! `--telemetry` instead measures the telemetry sampler's own overhead:
+//! it runs the same overload trial with the sampler off and on,
+//! asserting that enabling it perturbs *nothing* the trial measures
+//! (every result field identical — the sampler is pure observation in
+//! virtual time) and that its wall-clock cost stays under ~2%. Timing
+//! alternates off/on runs in pairs and takes the median of the per-pair
+//! ratios, which cancels the slow clock-speed drift a shared box shows
+//! and is robust to individual scheduling hiccups.
 //!
 //! Exit status: 0 on success, 1 when any job count's CSV output differs
-//! from the baseline's (or the arguments are bad).
+//! from the baseline's, when the telemetry check fails, or when the
+//! arguments are bad.
 
 use std::time::Instant;
 
 use livelock_bench::{all_figures, render_figure};
+use livelock_core::poller::Quota;
+use livelock_kernel::config::KernelConfig;
+use livelock_kernel::experiment::{run_trial, TrialSpec};
 use livelock_kernel::par::{default_jobs, Parallelism};
+use livelock_kernel::telemetry::TelemetryConfig;
 
 fn flag_value(args: &[String], name: &str) -> Option<String> {
     args.iter()
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .cloned()
+}
+
+/// Wall-clock budget the telemetry sampler may add to a trial.
+const TELEMETRY_OVERHEAD_BUDGET: f64 = 0.02;
+
+/// The `--telemetry` mode: sampler-off vs sampler-on overload trials.
+/// Returns the process exit code.
+fn telemetry_overhead(n_packets: usize) -> i32 {
+    let off = TrialSpec {
+        rate_pps: 12_000.0,
+        n_packets,
+        ..TrialSpec::new(KernelConfig::builder().polled(Quota::Limited(10)).build())
+    };
+    let on = TrialSpec {
+        config: KernelConfig::builder()
+            .polled(Quota::Limited(10))
+            .telemetry(TelemetryConfig::default())
+            .build(),
+        ..off.clone()
+    };
+    let r_off = run_trial(&off);
+    let mut r_on = run_trial(&on);
+
+    // Zero perturbation: the sampler observes, it must not act. Every
+    // measured field is identical; only the timeline itself differs.
+    if r_off.timeline.is_some() {
+        eprintln!("error: sampler-off trial recorded a timeline");
+        return 1;
+    }
+    let samples = r_on.timeline.as_ref().map_or(0, |t| t.len());
+    if samples == 0 {
+        eprintln!("error: sampler-on trial recorded no samples");
+        return 1;
+    }
+    r_on.timeline = None;
+    if r_on != r_off {
+        eprintln!("error: enabling the telemetry sampler changed trial results");
+        return 1;
+    }
+
+    // Paired timing: each pair runs off then on back-to-back, so slow
+    // wall-clock drift hits both sides of a pair equally; the median of
+    // the per-pair ratios within a round shrugs off individual
+    // scheduling hiccups. The budget check then takes the *minimum* of
+    // several round medians: that estimates the sampler's intrinsic
+    // cost from below — exactly what a budget check needs — and a
+    // shared box's upward noise must corrupt every round at once to
+    // produce a false failure.
+    let time_once = |spec: &TrialSpec| {
+        let t0 = Instant::now();
+        std::hint::black_box(run_trial(spec));
+        t0.elapsed().as_secs_f64()
+    };
+    const ROUNDS: usize = 3;
+    const PAIRS: usize = 15;
+    let mut medians = [0.0f64; ROUNDS];
+    let (mut sum_off, mut sum_on) = (0.0f64, 0.0f64);
+    for m in &mut medians {
+        let mut ratios = [0.0f64; PAIRS];
+        for r in &mut ratios {
+            let t_off = time_once(&off);
+            let t_on = time_once(&on);
+            sum_off += t_off;
+            sum_on += t_on;
+            *r = t_on / t_off;
+        }
+        ratios.sort_by(f64::total_cmp);
+        *m = ratios[PAIRS / 2] - 1.0;
+    }
+    let overhead = medians.iter().copied().fold(f64::INFINITY, f64::min);
+    let runs = (ROUNDS * PAIRS) as f64;
+    println!("telemetry overhead ({n_packets} packets/trial, 12000 pkts/s, {samples} samples)");
+    println!("  sampler off  {:>8.1} ms (mean of {:.0})", sum_off / runs * 1e3, runs);
+    println!("  sampler on   {:>8.1} ms (mean of {:.0})", sum_on / runs * 1e3, runs);
+    for (i, m) in medians.iter().enumerate() {
+        println!(
+            "  round {i}      {:>8.2} %  (median of {PAIRS} paired ratios)",
+            m * 100.0
+        );
+    }
+    println!(
+        "  overhead     {:>8.2} %  (min of {ROUNDS} round medians, budget {:.0} %)",
+        overhead * 100.0,
+        TELEMETRY_OVERHEAD_BUDGET * 100.0
+    );
+    println!("  results unperturbed: every measured field identical");
+    if overhead > TELEMETRY_OVERHEAD_BUDGET {
+        eprintln!("error: telemetry sampler overhead exceeds the budget");
+        return 1;
+    }
+    0
 }
 
 fn main() {
@@ -38,6 +145,9 @@ fn main() {
             }
         },
     };
+    if args.iter().any(|a| a == "--telemetry") {
+        std::process::exit(telemetry_overhead(n_packets.max(10_000)));
+    }
     let jobs_list: Vec<usize> = match flag_value(&args, "--jobs-list") {
         None => {
             let n = default_jobs();

@@ -11,6 +11,7 @@ use livelock_core::poller::Quota;
 use livelock_kernel::config::KernelConfig;
 use livelock_kernel::experiment::{run_trial, sweep, SweepResult, TrialSpec};
 use livelock_kernel::par::{par_map, Parallelism};
+use livelock_machine::CpuClass;
 
 /// What a figure's value column (y-axis) plots.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -22,6 +23,12 @@ pub enum Axis {
     /// 99th-percentile forwarding latency in microseconds (the latency
     /// figure the paper's §4.3 discussion implies).
     LatencyP99Micros,
+    /// Receive-interrupt CPU share in percent, from the conserved cycle
+    /// ledger (figure C-1).
+    RxIntrCpuPercent,
+    /// Combined user-process + idle CPU share in percent — the CPU the
+    /// system has left for actual work (figure C-1).
+    UserIdleCpuPercent,
 }
 
 /// One figure: an id, a caption, curves, the swept input rates, and the
@@ -37,6 +44,10 @@ pub struct Figure {
     pub rates: Vec<f64>,
     /// What the value column plots.
     pub axis: Axis,
+    /// Per-curve axis overrides, parallel to `curves`. Empty (the usual
+    /// case) means every curve plots `axis`; figure C-1 uses this to plot
+    /// two ledger classes per kernel on one grid.
+    pub curve_axes: Vec<Axis>,
 }
 
 /// The rates every throughput figure sweeps (as in the paper: 0 to 12,000
@@ -62,6 +73,7 @@ pub fn fig6_1() -> Figure {
         ],
         rates: throughput_rates(),
         axis: Axis::DeliveredPps,
+        curve_axes: vec![],
     }
 }
 
@@ -84,6 +96,7 @@ pub fn fig6_3() -> Figure {
         ],
         rates: throughput_rates(),
         axis: Axis::DeliveredPps,
+        curve_axes: vec![],
     }
 }
 
@@ -115,6 +128,7 @@ pub fn fig6_4() -> Figure {
         ],
         rates: throughput_rates(),
         axis: Axis::DeliveredPps,
+        curve_axes: vec![],
     }
 }
 
@@ -140,6 +154,7 @@ pub fn fig6_5() -> Figure {
             .collect(),
         rates: throughput_rates(),
         axis: Axis::DeliveredPps,
+        curve_axes: vec![],
     }
 }
 
@@ -163,6 +178,7 @@ pub fn fig6_6() -> Figure {
             .collect(),
         rates: throughput_rates(),
         axis: Axis::DeliveredPps,
+        curve_axes: vec![],
     }
 }
 
@@ -194,6 +210,7 @@ pub fn fig7_1() -> Figure {
             500.0, 1_000.0, 2_000.0, 3_000.0, 4_000.0, 5_000.0, 6_000.0, 8_000.0, 10_000.0,
         ],
         axis: Axis::UserCpuPercent,
+        curve_axes: vec![],
     }
 }
 
@@ -215,10 +232,52 @@ pub fn fig_latency() -> Figure {
         ],
         rates: throughput_rates(),
         axis: Axis::LatencyP99Micros,
+        curve_axes: vec![],
     }
 }
 
-/// All figures in paper order, the latency figure last.
+/// Figure C-1: where the CPU goes, from the conserved cycle ledger. Not
+/// in the paper as a figure, but its central §3/§6.2 claim: at overload
+/// the unmodified kernel spends essentially *all* CPU in receive-interrupt
+/// context (delivered throughput collapses to zero), while the modified
+/// kernel with a cycle limit preserves user+idle CPU. Each kernel plots
+/// two curves — its rx-interrupt share and its user+idle share — so the
+/// crossover is visible on one grid. The rate axis extends past the
+/// throughput figures' 12,000 to near wire saturation (the 10 Mbit/s
+/// Ethernet ceiling is ~14,880 pkts/s): interrupt batching amortizes
+/// dispatch overhead, so the rx share keeps climbing with offered load
+/// and passes 90% only above ~13,000 pkts/s.
+pub fn fig_c1() -> Figure {
+    let unmodified = KernelConfig::builder().screend(Default::default()).build();
+    let polled = KernelConfig::builder()
+        .polled(Quota::Limited(5))
+        .cycle_limit(0.50)
+        .user_process(true)
+        .build();
+    let mut rates = throughput_rates();
+    rates.extend([13_000.0, 14_000.0]);
+    Figure {
+        id: "C-1",
+        caption: "CPU-class share vs offered load (conserved cycle ledger)",
+        curves: vec![
+            ("Unmodified rx-intr".into(), unmodified.clone()),
+            ("Unmodified user+idle".into(), unmodified),
+            ("Polled rx-intr".into(), polled.clone()),
+            ("Polled user+idle".into(), polled),
+        ],
+        rates,
+        axis: Axis::RxIntrCpuPercent,
+        curve_axes: vec![
+            Axis::RxIntrCpuPercent,
+            Axis::UserIdleCpuPercent,
+            Axis::RxIntrCpuPercent,
+            Axis::UserIdleCpuPercent,
+        ],
+    }
+}
+
+/// All figures in paper order, then the two non-paper figures: latency
+/// (L-1) and the cycle-ledger CPU decomposition (C-1).
 pub fn all_figures() -> Vec<Figure> {
     vec![
         fig6_1(),
@@ -228,6 +287,7 @@ pub fn all_figures() -> Vec<Figure> {
         fig6_6(),
         fig7_1(),
         fig_latency(),
+        fig_c1(),
     ]
 }
 
@@ -263,16 +323,29 @@ pub struct RenderedFigure {
     pub curves: Vec<SweepResult>,
     /// What the value column plots.
     pub axis: Axis,
+    /// Per-curve axis overrides (see [`Figure::curve_axes`]).
+    pub curve_axes: Vec<Axis>,
 }
 
 impl RenderedFigure {
-    /// Value for (curve, point), in the units of [`RenderedFigure::axis`].
+    /// The axis a specific curve plots: its override when the figure has
+    /// per-curve axes, the figure-wide [`RenderedFigure::axis`] otherwise.
+    pub fn curve_axis(&self, curve: usize) -> Axis {
+        self.curve_axes.get(curve).copied().unwrap_or(self.axis)
+    }
+
+    /// Value for (curve, point), in the units of that curve's axis.
     pub fn value(&self, curve: usize, point: usize) -> f64 {
         let t = &self.curves[curve].trials[point];
-        match self.axis {
+        match self.curve_axis(curve) {
             Axis::DeliveredPps => t.delivered_pps,
             Axis::UserCpuPercent => t.user_cpu_frac * 100.0,
             Axis::LatencyP99Micros => t.latency_p99.as_micros_f64(),
+            Axis::RxIntrCpuPercent => t.cpu_share[CpuClass::RxIntr.index()] * 100.0,
+            Axis::UserIdleCpuPercent => {
+                (t.cpu_share[CpuClass::UserProc.index()] + t.cpu_share[CpuClass::Idle.index()])
+                    * 100.0
+            }
         }
     }
 
@@ -375,6 +448,7 @@ pub fn render_figure(fig: &Figure, n_packets: usize, par: Parallelism) -> Render
         rates: fig.rates.clone(),
         curves,
         axis: fig.axis,
+        curve_axes: fig.curve_axes.clone(),
     }
 }
 
@@ -470,6 +544,84 @@ pub fn latency_shape_violations(r: &RenderedFigure) -> Vec<String> {
     v
 }
 
+/// Checks the rendered cycle-ledger figure (C-1) against the paper's
+/// §3/§6.2 CPU-accounting claim. Returns human-readable violations
+/// (empty = the claim holds):
+///
+/// - every trial's nine class shares sum to 1 (the conservation invariant
+///   survives the whole pipeline);
+/// - at the highest offered rate the unmodified kernel spends ≥ 90% of
+///   the CPU in receive-interrupt context, delivers ≈ nothing, and leaves
+///   ≤ 5% for user+idle — the livelock;
+/// - at the highest offered rate the polled kernel with a 50% cycle limit
+///   keeps user+idle above 35% (the limit's floor: 50% minus the fixed
+///   clock/scheduler overhead; the paper's Figure 7-1 measured ~40%).
+pub fn cpu_share_violations(r: &RenderedFigure) -> Vec<String> {
+    let mut v = Vec::new();
+    if !matches!(r.axis, Axis::RxIntrCpuPercent | Axis::UserIdleCpuPercent) {
+        return v;
+    }
+    for c in &r.curves {
+        for t in &c.trials {
+            let sum: f64 = t.cpu_share.iter().sum();
+            if (sum - 1.0).abs() > 1e-9 {
+                v.push(format!(
+                    "fig {}: {} cpu_share sums to {sum}, not 1 (ledger not conserved)",
+                    r.id, c.label
+                ));
+            }
+        }
+    }
+    let find = |needle: &str| {
+        r.curves
+            .iter()
+            .position(|c| c.label.to_lowercase().contains(needle))
+    };
+    let (Some(unmod_rx), Some(unmod_ui), Some(polled_ui)) = (
+        find("unmodified rx-intr"),
+        find("unmodified user+idle"),
+        find("polled user+idle"),
+    ) else {
+        v.push(format!(
+            "fig {}: needs unmodified rx-intr/user+idle and polled user+idle curves",
+            r.id
+        ));
+        return v;
+    };
+    let last = r.rates.len() - 1;
+    let rx = r.value(unmod_rx, last);
+    if rx < 90.0 {
+        v.push(format!(
+            "fig {}: at {:.0} pkts/s unmodified rx-intr share is {rx:.1}%, expected >= 90%",
+            r.id, r.rates[last]
+        ));
+    }
+    let t = &r.curves[unmod_rx].trials[last];
+    if t.delivered_pps > 0.01 * t.offered_pps {
+        v.push(format!(
+            "fig {}: unmodified kernel still delivers {:.0} pkts/s at {:.0} offered; \
+             expected collapse to ~0",
+            r.id, t.delivered_pps, t.offered_pps
+        ));
+    }
+    let ui = r.value(unmod_ui, last);
+    if ui > 5.0 {
+        v.push(format!(
+            "fig {}: unmodified user+idle share is {ui:.1}% at overload, expected <= 5%",
+            r.id
+        ));
+    }
+    let pui = r.value(polled_ui, last);
+    if pui < 35.0 {
+        v.push(format!(
+            "fig {}: polled user+idle share is {pui:.1}% at overload, expected >= 35% \
+             (the 50% cycle-limit floor)",
+            r.id
+        ));
+    }
+    v
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -478,7 +630,10 @@ mod tests {
     fn figure_inventory_is_complete() {
         let figs = all_figures();
         let ids: Vec<_> = figs.iter().map(|f| f.id).collect();
-        assert_eq!(ids, vec!["6-1", "6-3", "6-4", "6-5", "6-6", "7-1", "L-1"]);
+        assert_eq!(
+            ids,
+            vec!["6-1", "6-3", "6-4", "6-5", "6-6", "7-1", "L-1", "C-1"]
+        );
         assert_eq!(figs[0].curves.len(), 2);
         assert_eq!(figs[1].curves.len(), 4);
         assert_eq!(figs[2].curves.len(), 3);
@@ -486,8 +641,15 @@ mod tests {
         assert_eq!(figs[4].curves.len(), 5);
         assert_eq!(figs[5].curves.len(), 4);
         assert_eq!(figs[6].curves.len(), 2);
+        assert_eq!(figs[7].curves.len(), 4);
         assert!(figs[..6].iter().all(|f| f.axis != Axis::LatencyP99Micros));
         assert_eq!(figs[6].axis, Axis::LatencyP99Micros);
+        // C-1: one axis override per curve, and a rate axis reaching near
+        // wire saturation so the rx-intr share can cross 90%.
+        assert_eq!(figs[7].curve_axes.len(), figs[7].curves.len());
+        assert_eq!(*figs[7].rates.last().unwrap(), 14_000.0);
+        // Every other figure plots a single axis.
+        assert!(figs[..7].iter().all(|f| f.curve_axes.is_empty()));
     }
 
     #[test]
@@ -551,7 +713,9 @@ mod tests {
             latency: Default::default(),
             drops: Default::default(),
             user_cpu_frac: 0.0,
+            cpu_share: [0.0; livelock_machine::CpuClass::COUNT],
             interrupts_taken: 0,
+            timeline: None,
             pool: Default::default(),
         };
         let rates = vec![2_000.0, 6_000.0, 12_000.0];
@@ -575,6 +739,7 @@ mod tests {
                 },
             ],
             axis: Axis::DeliveredPps,
+            curve_axes: vec![],
         };
         let v = shape_violations(&rendered);
         assert_eq!(v.len(), 2, "both wrong shapes flagged: {v:?}");
@@ -606,6 +771,28 @@ mod tests {
         assert_eq!(r.axis, Axis::UserCpuPercent);
         let v = r.value(0, 0);
         assert!(v > 10.0 && v <= 100.0, "user CPU % = {v}");
+    }
+
+    #[test]
+    fn cycle_ledger_figure_shows_the_livelock() {
+        // A small render of figure C-1's extremes: at wire-saturating load
+        // the unmodified kernel's CPU is all receive interrupts while the
+        // cycle-limited polled kernel preserves user+idle.
+        let fig = Figure {
+            rates: vec![2_000.0, 14_000.0],
+            ..fig_c1()
+        };
+        let r = render_figure(&fig, 800, Parallelism::Auto);
+        let v = cpu_share_violations(&r);
+        assert!(v.is_empty(), "{v:?}");
+        // And the checker really checks: swapping the kernels must trip it.
+        let mut swapped = r;
+        swapped.curves.swap(0, 2);
+        swapped.curves.swap(1, 3);
+        for (i, label) in fig_c1().curves.iter().map(|(l, _)| l.clone()).enumerate() {
+            swapped.curves[i].label = label;
+        }
+        assert!(!cpu_share_violations(&swapped).is_empty());
     }
 
     #[test]

@@ -149,6 +149,13 @@ impl<D: PollDriver> PollLoop<D> {
         !self.gate.is_open()
     }
 
+    /// A snapshot of the interrupt gate, for telemetry: the bitmask of
+    /// standing inhibit reasons ([`IntrGate::bits`]) says *why* input is
+    /// off, which a monitoring loop can sample into a time series.
+    pub fn gate(&self) -> IntrGate {
+        self.gate
+    }
+
     /// The interrupt-context entry point: mask the device, mark it
     /// pending. The caller then wakes the polling thread.
     pub fn interrupt(&mut self, sid: SourceId, dir: PollDirection) {
@@ -436,6 +443,22 @@ mod tests {
             PollStatus::Worked { dir, .. } => assert_eq!(dir, PollDirection::Receive),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn gate_snapshot_reports_reasons() {
+        let mut pl =
+            PollLoop::new(Quota::Limited(4), Quota::Limited(4)).with_feedback(32, 0.75, 0.25, 1);
+        let _sid = pl.register(MockDriver::default());
+        assert_eq!(pl.gate().bits(), 0);
+        pl.downstream_depth(24);
+        assert!(pl.gate().holds(InhibitReason::QueueFeedback));
+        assert_eq!(
+            pl.gate().bits(),
+            1 << InhibitReason::QueueFeedback.bit_index()
+        );
+        pl.downstream_depth(4);
+        assert_eq!(pl.gate().bits(), 0);
     }
 
     #[test]

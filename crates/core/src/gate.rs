@@ -39,15 +39,22 @@ pub enum InhibitReason {
 impl InhibitReason {
     const COUNT: usize = 6;
 
-    fn bit(self) -> u8 {
+    /// The reason's position in the [`IntrGate::bits`] bitmask (bit 0 =
+    /// `PollingActive` ... bit 5 = `Admin`, in [`InhibitReason::ALL`]
+    /// order). Stable: telemetry encodes gate state as this bitmask.
+    pub const fn bit_index(self) -> u8 {
         match self {
-            InhibitReason::PollingActive => 1 << 0,
-            InhibitReason::QueueFeedback => 1 << 1,
-            InhibitReason::CycleLimit => 1 << 2,
-            InhibitReason::SocketFeedback => 1 << 3,
-            InhibitReason::Watchdog => 1 << 4,
-            InhibitReason::Admin => 1 << 5,
+            InhibitReason::PollingActive => 0,
+            InhibitReason::QueueFeedback => 1,
+            InhibitReason::CycleLimit => 2,
+            InhibitReason::SocketFeedback => 3,
+            InhibitReason::Watchdog => 4,
+            InhibitReason::Admin => 5,
         }
+    }
+
+    fn bit(self) -> u8 {
+        1 << self.bit_index()
     }
 
     /// All reasons, for iteration in tests and diagnostics.
@@ -134,6 +141,14 @@ impl IntrGate {
         }
     }
 
+    /// The asserted reasons as a bitmask ([`InhibitReason::bit_index`]
+    /// gives each reason's bit). Zero means the gate is open. This is the
+    /// encoding the telemetry sampler records, so a timeline can show
+    /// *why* input was inhibited at each instant, not just that it was.
+    pub const fn bits(self) -> u8 {
+        self.reasons
+    }
+
     /// Returns the currently asserted reasons.
     pub fn active_reasons(self) -> impl Iterator<Item = InhibitReason> {
         InhibitReason::ALL
@@ -200,6 +215,18 @@ mod tests {
             active,
             vec![InhibitReason::PollingActive, InhibitReason::CycleLimit]
         );
+    }
+
+    #[test]
+    fn bits_match_indices_and_active_set() {
+        let mut g = IntrGate::new();
+        assert_eq!(g.bits(), 0);
+        g.inhibit(InhibitReason::QueueFeedback);
+        g.inhibit(InhibitReason::Watchdog);
+        assert_eq!(g.bits(), (1 << 1) | (1 << 4));
+        for (i, r) in InhibitReason::ALL.into_iter().enumerate() {
+            assert_eq!(r.bit_index() as usize, i, "ALL order matches indices");
+        }
     }
 
     #[cfg(feature = "proptest")]

@@ -5,6 +5,8 @@ use livelock_machine::cost::CostModel;
 use livelock_machine::nic::NicConfig;
 use livelock_net::filter::Filter;
 
+use crate::telemetry::TelemetryConfig;
+
 /// Which forwarding-path implementation the kernel runs.
 #[derive(Clone, Debug)]
 pub enum Mode {
@@ -166,6 +168,9 @@ pub struct KernelConfig {
     /// per-stage residencies)? Costs a handful of histogram increments per
     /// delivered packet; timestamps are stamped either way.
     pub latency_tracking: bool,
+    /// Periodic telemetry sampling (`None` = off, the default: no timeline
+    /// is recorded and the clock-tick path pays nothing).
+    pub telemetry: Option<TelemetryConfig>,
     /// The cycle cost model.
     pub cost: CostModel,
 }
@@ -186,6 +191,7 @@ impl KernelConfig {
             ip_forwarding: true,
             num_ifaces: 2,
             latency_tracking: true,
+            telemetry: None,
             cost: CostModel::calibrated(),
         }
     }
@@ -452,6 +458,12 @@ impl KernelConfigBuilder {
     /// Records per-packet latency distributions (on by default).
     pub fn latency_tracking(mut self, on: bool) -> Self {
         self.cfg.latency_tracking = on;
+        self
+    }
+
+    /// Enables the periodic telemetry sampler (off by default).
+    pub fn telemetry(mut self, cfg: TelemetryConfig) -> Self {
+        self.cfg.telemetry = Some(cfg);
         self
     }
 

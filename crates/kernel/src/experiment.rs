@@ -15,7 +15,10 @@
 //! every figure in the paper plots.
 
 use livelock_core::analysis::SweepPoint;
+use livelock_machine::chrome_trace_json;
 use livelock_machine::cpu::Engine;
+use livelock_machine::ledger::CpuClass;
+use livelock_machine::trace::TraceRecord;
 use livelock_machine::wire::Wire;
 use livelock_net::gen::{PacketFactory, TrafficGen};
 use livelock_net::packet::MIN_FRAME_LEN;
@@ -26,6 +29,7 @@ use crate::config::KernelConfig;
 use crate::par::Parallelism;
 use crate::router::{Event, RouterKernel};
 use crate::stats::{DropStats, LatencyStats};
+use crate::telemetry::Timeline;
 
 /// One trial's parameters.
 #[derive(Clone, Debug)]
@@ -97,8 +101,17 @@ pub struct TrialResult {
     /// Fraction of window CPU time the compute-bound user process got
     /// (0 when no user process was configured).
     pub user_cpu_frac: f64,
+    /// Fraction of window CPU cycles per [`CpuClass`], indexed by
+    /// [`CpuClass::index`] in [`CpuClass::ALL`] order. The machine's
+    /// conserved cycle ledger restricted to the measurement window: the
+    /// nine entries sum to 1.
+    pub cpu_share: [f64; CpuClass::COUNT],
     /// Hardware interrupts taken during the trial.
     pub interrupts_taken: u64,
+    /// The telemetry timeline, when the spec's
+    /// [`KernelConfig::telemetry`](crate::config::KernelConfig::telemetry)
+    /// enabled the periodic sampler (`None` otherwise).
+    pub timeline: Option<Timeline>,
     /// Frame-pool counters at trial end: every packet buffer in the trial
     /// came from one [`FramePool`], so `pool.misses` is the number of
     /// per-packet heap allocations (0 in steady state).
@@ -118,6 +131,24 @@ impl TrialResult {
 ///
 /// Panics if the spec is degenerate (zero packets or non-positive rate).
 pub fn run_trial(spec: &TrialSpec) -> TrialResult {
+    run_trial_inner(spec, None).0
+}
+
+/// Runs one trial with machine-level scheduling-event tracing enabled
+/// (ring of `trace_capacity` records), returning the result plus the
+/// trace rendered as Chrome-trace / Perfetto JSON (load it at
+/// `chrome://tracing` or <https://ui.perfetto.dev>). Tracing perturbs
+/// nothing: the measured numbers are identical to [`run_trial`]'s.
+///
+/// # Panics
+///
+/// Panics if the spec is degenerate (zero packets or non-positive rate).
+pub fn run_trial_traced(spec: &TrialSpec, trace_capacity: usize) -> (TrialResult, String) {
+    let (result, json) = run_trial_inner(spec, Some(trace_capacity));
+    (result, json.expect("tracing was enabled"))
+}
+
+fn run_trial_inner(spec: &TrialSpec, trace_capacity: Option<usize>) -> (TrialResult, Option<String>) {
     assert!(spec.n_packets > 0, "trial needs packets");
     assert!(spec.rate_pps > 0.0, "trial needs a positive rate");
 
@@ -131,6 +162,9 @@ pub fn run_trial(spec: &TrialSpec) -> TrialResult {
     let pool = FramePool::new(POOL_BUF_CAPACITY, spec.n_packets + POOL_HEADROOM);
     let (st, kernel) = RouterKernel::build_with_pool(cfg, pool.clone());
     let mut engine = Engine::new(st, kernel, ctx_switch);
+    if let Some(cap) = trace_capacity {
+        engine.enable_trace(cap);
+    }
 
     // Generate, pace and inject the arrival schedule.
     let mut gen = TrafficGen::paper_default(spec.rate_pps, freq, spec.seed);
@@ -153,23 +187,37 @@ pub fn run_trial(spec: &TrialSpec) -> TrialResult {
         .stats_mut()
         .set_window(window_start, window_end);
 
-    // User CPU share is measured over the same window.
+    // User CPU share — and the per-class cycle-ledger decomposition — are
+    // measured over the same window.
     let user_tid = engine.workload().user_tid();
     engine.run_until(window_start);
     let user_before = user_tid.map(|t| engine.state().thread_cycles(t));
+    let ledger_before = engine.state().ledger();
     engine.run_until(window_end);
     let user_after = user_tid.map(|t| engine.state().thread_cycles(t));
+    let ledger_after = engine.state().ledger();
 
     let window = window_end - window_start;
     let user_cpu_frac = match (user_before, user_after) {
         (Some(b), Some(a)) if !window.is_zero() => (a - b).fraction_of(window),
         _ => 0.0,
     };
+    let cpu_share = ledger_after.since(&ledger_before).shares();
 
     let interrupts_taken = engine.state().intr.total_taken();
     engine.workload_mut().sync_pool_stats();
+    let chrome_json = engine.trace().map(|t| {
+        let records: Vec<TraceRecord> = t.records().copied().collect();
+        let st = engine.state();
+        chrome_trace_json(
+            &records,
+            freq,
+            |src| format!("{} #{}", st.intr.name_of(src), src.0),
+            |tid| st.sched.name(tid).to_string(),
+        )
+    });
     let stats = engine.workload().stats();
-    TrialResult {
+    let result = TrialResult {
         offered_pps: stats.offered_pps(freq),
         delivered_pps: stats.delivered_pps(freq),
         transmitted: stats.transmitted,
@@ -187,9 +235,12 @@ pub fn run_trial(spec: &TrialSpec) -> TrialResult {
         latency: stats.latency.clone(),
         drops: stats.drops.clone(),
         user_cpu_frac,
+        cpu_share,
         interrupts_taken,
+        timeline: stats.timeline.clone(),
         pool: stats.pool.unwrap_or_default(),
-    }
+    };
+    (result, chrome_json)
 }
 
 /// Per-buffer capacity of a trial's frame pool. The paper's test frames
@@ -392,6 +443,59 @@ mod tests {
             // Every field of every trial, in the same order.
             assert_eq!(par.trials, serial.trials, "jobs = {jobs}");
         }
+    }
+
+    #[test]
+    fn cpu_share_sums_to_one_and_tracks_load() {
+        let light = quick(unmodified(), 500.0, 400);
+        let heavy = quick(unmodified(), 11_000.0, 3_000);
+        for r in [&light, &heavy] {
+            let sum: f64 = r.cpu_share.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "shares sum to {sum}");
+        }
+        let rx = CpuClass::RxIntr.index();
+        let idle = CpuClass::Idle.index();
+        assert!(
+            heavy.cpu_share[rx] > light.cpu_share[rx],
+            "rx share should grow with load: {} !> {}",
+            heavy.cpu_share[rx],
+            light.cpu_share[rx]
+        );
+        assert!(
+            light.cpu_share[idle] > 0.5,
+            "light load is mostly idle, got {}",
+            light.cpu_share[idle]
+        );
+    }
+
+    #[test]
+    fn timeline_is_off_by_default_and_on_when_configured() {
+        let r = quick(unmodified(), 2_000.0, 500);
+        assert!(r.timeline.is_none(), "telemetry must be opt-in");
+
+        let cfg = KernelConfig::builder()
+            .telemetry(crate::telemetry::TelemetryConfig::default())
+            .build();
+        let r = quick(cfg, 2_000.0, 500);
+        let tl = r.timeline.expect("sampler enabled");
+        assert!(!tl.is_empty(), "clock ticks should have produced samples");
+        let csv = tl.to_csv(unmodified().cost.freq);
+        assert!(csv.starts_with("time_us,rx_intr,"));
+    }
+
+    #[test]
+    fn traced_trial_measures_the_same_numbers() {
+        let spec = TrialSpec {
+            rate_pps: 3_000.0,
+            n_packets: 500,
+            ..TrialSpec::new(polled(Quota::Limited(10)))
+        };
+        let plain = run_trial(&spec);
+        let (traced, json) = run_trial_traced(&spec, 1 << 16);
+        assert_eq!(plain, traced, "tracing must not perturb the trial");
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("nic-rx #"), "interrupt track names");
+        assert!(json.contains("netpoll"), "thread track names");
     }
 
     #[test]

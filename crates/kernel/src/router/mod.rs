@@ -33,6 +33,7 @@ use livelock_core::poller::{PollAction, PollDirection, Poller, Quota, SourceId};
 use livelock_core::rate_limit::IntrRateLimiter;
 use livelock_machine::cost::CostModel;
 use livelock_machine::cpu::{Chunk, CtxKind, Env, EnvState, Workload};
+use livelock_machine::ledger::CpuClass;
 use livelock_machine::intr::IntrSrc;
 use livelock_machine::ipl::Ipl;
 use livelock_machine::nic::Nic;
@@ -59,6 +60,7 @@ mod unmodified;
 
 use crate::config::{KernelConfig, Mode};
 use crate::stats::{DropReason, KernelStats};
+use crate::telemetry::{QueueDepths, Timeline};
 
 /// External events the router kernel reacts to.
 #[derive(Debug)]
@@ -297,6 +299,30 @@ impl RouterKernel {
             st.sched.wake(tid);
         }
 
+        // Attribute every execution context to its CPU class so the
+        // machine's conserved cycle ledger can decompose "where did the
+        // CPU go" (softclock counts as kernel housekeeping, not the
+        // network soft interrupt).
+        st.set_intr_class(clock_src, CpuClass::ClockIntr);
+        st.set_intr_class(softclock_src, CpuClass::KernelOther);
+        st.set_intr_class(softnet_src, CpuClass::SoftIntNet);
+        for iface in &ifaces {
+            st.set_intr_class(iface.rx_src, CpuClass::RxIntr);
+            st.set_intr_class(iface.tx_src, CpuClass::TxIntr);
+        }
+        if let Some(tid) = poll_tid {
+            st.set_thread_class(tid, CpuClass::PollThread);
+        }
+        if let Some(tid) = screend_tid {
+            st.set_thread_class(tid, CpuClass::Screend);
+        }
+        if let Some(tid) = app_tid {
+            st.set_thread_class(tid, CpuClass::UserProc);
+        }
+        if let Some(tid) = user_tid {
+            st.set_thread_class(tid, CpuClass::UserProc);
+        }
+
         let feedback = polled.and_then(|p| p.feedback).map(|f| {
             WatermarkFeedback::new(
                 cfg.screend.as_ref().map_or(32, |s| s.queue_cap),
@@ -328,6 +354,9 @@ impl RouterKernel {
 
         // First clock tick.
         st.schedule_at(cost.clock_tick_interval, Event::ClockPulse);
+
+        let mut stats = KernelStats::new();
+        stats.timeline = cfg.telemetry.map(Timeline::new);
 
         let kernel = RouterKernel {
             ipintrq: DropTailQueue::new("ipintrq", cfg.ipintrq_cap),
@@ -363,7 +392,7 @@ impl RouterKernel {
             app_tid,
             user_tid,
             pool,
-            stats: KernelStats::new(),
+            stats,
         };
         (st, kernel)
     }
@@ -387,6 +416,34 @@ impl RouterKernel {
             Some(pool) => pool.take(len),
             None => FrameBuf::from(vec![0u8; len]),
         }
+    }
+
+    /// Clock-tick telemetry hook: when the sampler is enabled and a sample
+    /// is due, records per-class CPU shares (from the machine's conserved
+    /// cycle ledger), every queue depth along the forwarding path, the
+    /// interrupt gate's inhibit bitmask, and the interrupt rate.
+    fn sample_telemetry(&mut self, env: &mut Env<'_, Event>) {
+        let Some(tl) = &mut self.stats.timeline else {
+            return;
+        };
+        if !tl.on_tick() {
+            return;
+        }
+        let depths = QueueDepths {
+            rx_ring: self.ifaces.iter().map(|i| i.nic.rx_pending()).sum(),
+            ipintrq: self.ipintrq.len(),
+            screend_q: self.screend_q.len(),
+            out_ifq: self.ifaces.iter().map(|i| i.out_q.len()).sum(),
+            socket_q: self.socket_q.len(),
+        };
+        tl.sample(
+            env.now(),
+            env.ledger(),
+            env.intr_total_taken(),
+            depths,
+            self.gate.bits(),
+            self.cost.freq,
+        );
     }
 
     /// The kernel's statistics.

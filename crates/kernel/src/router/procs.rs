@@ -141,6 +141,7 @@ impl RouterKernel {
     pub(super) fn clock_done(&mut self, env: &mut Env<'_, Event>) {
         self.stats.ticks += 1;
         self.sync_pool_stats();
+        self.sample_telemetry(env);
         env.post_intr(self.softclock_src);
         if let Some(fb) = &mut self.feedback {
             if fb.on_tick() == Some(FeedbackSignal::Resume) {

@@ -9,6 +9,8 @@ use livelock_net::pool::PoolStats;
 use livelock_net::StageStamps;
 use livelock_sim::{Cycles, Freq, HdrHistogram, Nanos, RateWindow};
 
+use crate::telemetry::Timeline;
+
 /// Why a packet died. Every drop path in the kernel records one of these
 /// through [`KernelStats::record_drop`], giving the per-cause taxonomy the
 /// paper's loss-attribution argument (§3, §6.2) needs and that the legacy
@@ -388,6 +390,9 @@ pub struct KernelStats {
     /// buffers from a [`livelock_net::FramePool`] (refreshed on every
     /// clock tick and at trial end).
     pub pool: Option<PoolStats>,
+    /// The telemetry timeline, when the sampler is enabled via
+    /// [`KernelConfig::telemetry`](crate::config::KernelConfig::telemetry).
+    pub timeline: Option<Timeline>,
 }
 
 impl KernelStats {
@@ -419,6 +424,7 @@ impl KernelStats {
             user_chunks: 0,
             ticks: 0,
             pool: None,
+            timeline: None,
         }
     }
 

@@ -1,0 +1,338 @@
+//! Runtime telemetry: the clock-tick driven sampler and its timeline.
+//!
+//! Throughput curves show livelock's *outcome*; this module records it
+//! *unfolding*. On every Nth clock tick the router samples the machine's
+//! conserved [`CycleLedger`] (per-class CPU share since the previous
+//! sample), every queue depth along the forwarding path, the interrupt
+//! gate's inhibit-reason bitmask, and the hardware interrupt rate — into
+//! [`sim::TimeSeries`](livelock_sim::TimeSeries) columns that export as
+//! one CSV ([`Timeline::to_csv`]).
+//!
+//! Memory is bounded: when a series reaches
+//! [`TelemetryConfig::max_samples`], every series is decimated (every
+//! second sample dropped) and the sampling interval doubles, so an
+//! arbitrarily long run keeps a uniform grid at whatever resolution fits
+//! the budget. Sampling is off unless
+//! [`KernelConfig::telemetry`](crate::config::KernelConfig::telemetry)
+//! is set, and costs nothing when off.
+
+use livelock_machine::{CpuClass, CycleLedger};
+use livelock_sim::{Cycles, Freq, TimeSeries};
+
+/// Sampler knobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Clock ticks between samples (1 = every tick, i.e. every simulated
+    /// millisecond with the calibrated cost model). The default of 4
+    /// keeps the sampler's wall-clock cost well under the `perf` bin's 2%
+    /// budget while a canonical 10,000-packet overload trial still
+    /// records a few hundred samples.
+    pub interval_ticks: u32,
+    /// Sample budget per series; reaching it decimates all series and
+    /// doubles the effective interval.
+    pub max_samples: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            interval_ticks: 4,
+            max_samples: 4096,
+        }
+    }
+}
+
+/// Queue depths along the forwarding path at one sampling instant.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueueDepths {
+    /// Frames waiting in receive rings (summed over interfaces).
+    pub rx_ring: usize,
+    /// Packets in `ipintrq` (unmodified kernel).
+    pub ipintrq: usize,
+    /// Packets queued to the screend process.
+    pub screend_q: usize,
+    /// Packets in output interface queues (summed over interfaces).
+    pub out_ifq: usize,
+    /// Datagrams in the local socket buffer (end-system mode).
+    pub socket_q: usize,
+}
+
+/// The recorded telemetry time-series. All series sample at the same
+/// instants, so row `i` of each describes the same moment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Timeline {
+    interval_ticks: u32,
+    max_samples: usize,
+    ticks_since_sample: u32,
+    last_ledger: CycleLedger,
+    last_taken: u64,
+    last_at: Cycles,
+    /// Per-class CPU share over each sampling interval, indexed by
+    /// [`CpuClass::index`] ([`CpuClass::ALL`] order). Each sample's nine
+    /// values sum to 1 — the ledger's conservation, interval by interval.
+    pub cpu_share: [TimeSeries; CpuClass::COUNT],
+    /// Receive-ring depth (frames, summed over interfaces).
+    pub rx_ring: TimeSeries,
+    /// `ipintrq` depth.
+    pub ipintrq: TimeSeries,
+    /// Screend queue depth.
+    pub screend_q: TimeSeries,
+    /// Output interface queue depth (summed over interfaces).
+    pub out_ifq: TimeSeries,
+    /// Local socket buffer depth.
+    pub socket_q: TimeSeries,
+    /// The interrupt gate's inhibit-reason bitmask
+    /// ([`InhibitReason::bit_index`](livelock_core::gate::InhibitReason::bit_index)
+    /// gives each bit); 0 = gate open.
+    pub gate_bits: TimeSeries,
+    /// Hardware interrupts per second over each sampling interval.
+    pub intr_rate: TimeSeries,
+}
+
+impl Timeline {
+    /// Creates an empty timeline for the given sampler configuration.
+    pub fn new(cfg: TelemetryConfig) -> Self {
+        Timeline {
+            interval_ticks: cfg.interval_ticks.max(1),
+            max_samples: cfg.max_samples.max(2),
+            ticks_since_sample: 0,
+            last_ledger: CycleLedger::new(),
+            last_taken: 0,
+            last_at: Cycles::ZERO,
+            cpu_share: Default::default(),
+            rx_ring: TimeSeries::new(),
+            ipintrq: TimeSeries::new(),
+            screend_q: TimeSeries::new(),
+            out_ifq: TimeSeries::new(),
+            socket_q: TimeSeries::new(),
+            gate_bits: TimeSeries::new(),
+            intr_rate: TimeSeries::new(),
+        }
+    }
+
+    /// Clock-tick hook: returns `true` when a sample is due (and resets
+    /// the tick countdown).
+    pub fn on_tick(&mut self) -> bool {
+        self.ticks_since_sample += 1;
+        if self.ticks_since_sample >= self.interval_ticks {
+            self.ticks_since_sample = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The effective sampling interval in ticks (doubles on decimation).
+    pub fn interval_ticks(&self) -> u32 {
+        self.interval_ticks
+    }
+
+    /// Number of samples recorded (per series).
+    pub fn len(&self) -> usize {
+        self.gate_bits.len()
+    }
+
+    /// Returns `true` when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.gate_bits.is_empty()
+    }
+
+    /// Records one sample at time `now`: per-class CPU shares over the
+    /// interval since the previous sample (from the conserved `ledger`),
+    /// queue depths, gate state, and the interrupt rate derived from the
+    /// controller's cumulative `taken` count.
+    pub fn sample(
+        &mut self,
+        now: Cycles,
+        ledger: CycleLedger,
+        taken: u64,
+        depths: QueueDepths,
+        gate_bits: u8,
+        freq: Freq,
+    ) {
+        let delta = ledger.since(&self.last_ledger);
+        let shares = delta.shares();
+        for (series, share) in self.cpu_share.iter_mut().zip(shares) {
+            series.push(now, share);
+        }
+        self.rx_ring.push(now, depths.rx_ring as f64);
+        self.ipintrq.push(now, depths.ipintrq as f64);
+        self.screend_q.push(now, depths.screend_q as f64);
+        self.out_ifq.push(now, depths.out_ifq as f64);
+        self.socket_q.push(now, depths.socket_q as f64);
+        self.gate_bits.push(now, f64::from(gate_bits));
+        let span_secs = freq.secs_from_cycles(now - self.last_at);
+        let rate = if span_secs > 0.0 {
+            (taken - self.last_taken) as f64 / span_secs
+        } else {
+            0.0
+        };
+        self.intr_rate.push(now, rate);
+
+        self.last_ledger = ledger;
+        self.last_taken = taken;
+        self.last_at = now;
+        if self.len() >= self.max_samples {
+            self.decimate();
+        }
+    }
+
+    /// Halves every series and doubles the sampling interval (bounded
+    /// memory for unbounded runs).
+    fn decimate(&mut self) {
+        for s in &mut self.cpu_share {
+            s.decimate();
+        }
+        for s in [
+            &mut self.rx_ring,
+            &mut self.ipintrq,
+            &mut self.screend_q,
+            &mut self.out_ifq,
+            &mut self.socket_q,
+            &mut self.gate_bits,
+            &mut self.intr_rate,
+        ] {
+            s.decimate();
+        }
+        self.interval_ticks = self.interval_ticks.saturating_mul(2);
+    }
+
+    /// Renders the timeline as CSV: one row per sample, a `time_us`
+    /// column, the nine per-class share columns (labelled by
+    /// [`CpuClass::label`]), the five queue depths, the gate bitmask and
+    /// the interrupt rate. Output is deterministic: same samples, same
+    /// bytes.
+    pub fn to_csv(&self, freq: Freq) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("time_us");
+        for c in CpuClass::ALL {
+            let _ = write!(out, ",{}", c.label());
+        }
+        out.push_str(",rx_ring,ipintrq,screend_q,out_ifq,socket_q,gate_bits,intr_rate_hz\n");
+        for i in 0..self.len() {
+            let (at, _) = self.gate_bits.points()[i];
+            let _ = write!(out, "{:.1}", freq.nanos_from_cycles(at).as_micros_f64());
+            for s in &self.cpu_share {
+                let _ = write!(out, ",{:.6}", s.points()[i].1);
+            }
+            for s in [
+                &self.rx_ring,
+                &self.ipintrq,
+                &self.screend_q,
+                &self.out_ifq,
+                &self.socket_q,
+                &self.gate_bits,
+            ] {
+                let _ = write!(out, ",{:.0}", s.points()[i].1);
+            }
+            let _ = writeln!(out, ",{:.1}", self.intr_rate.points()[i].1);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ledger_at(rx: u64, idle: u64) -> CycleLedger {
+        let mut l = CycleLedger::new();
+        l.charge(CpuClass::RxIntr, Cycles::new(rx));
+        l.charge(CpuClass::Idle, Cycles::new(idle));
+        l
+    }
+
+    #[test]
+    fn on_tick_respects_interval() {
+        let mut tl = Timeline::new(TelemetryConfig {
+            interval_ticks: 3,
+            max_samples: 64,
+        });
+        let due: Vec<bool> = (0..6).map(|_| tl.on_tick()).collect();
+        assert_eq!(due, [false, false, true, false, false, true]);
+    }
+
+    #[test]
+    fn shares_cover_each_interval_exactly() {
+        let freq = Freq::mhz(100);
+        let mut tl = Timeline::new(TelemetryConfig::default());
+        tl.sample(
+            Cycles::new(1_000),
+            ledger_at(600, 400),
+            10,
+            QueueDepths::default(),
+            0,
+            freq,
+        );
+        // Second interval: 1000 more cycles, all rx.
+        tl.sample(
+            Cycles::new(2_000),
+            ledger_at(1_600, 400),
+            30,
+            QueueDepths::default(),
+            0b101,
+            freq,
+        );
+        let rx = &tl.cpu_share[CpuClass::RxIntr.index()];
+        assert_eq!(rx.points()[0].1, 0.6);
+        assert_eq!(rx.points()[1].1, 1.0);
+        let idle = &tl.cpu_share[CpuClass::Idle.index()];
+        assert_eq!(idle.points()[1].1, 0.0);
+        assert_eq!(tl.gate_bits.points()[1].1, 5.0);
+        // 20 interrupts over 1000 cycles at 100 MHz = 10 us → 2e6/s.
+        assert!((tl.intr_rate.points()[1].1 - 2_000_000.0).abs() < 1.0);
+        // Every sample's shares sum to 1.
+        for i in 0..tl.len() {
+            let sum: f64 = tl.cpu_share.iter().map(|s| s.points()[i].1).sum();
+            assert!((sum - 1.0).abs() < 1e-9, "row {i} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn decimation_bounds_memory_and_doubles_interval() {
+        let freq = Freq::mhz(100);
+        let mut tl = Timeline::new(TelemetryConfig {
+            interval_ticks: 1,
+            max_samples: 8,
+        });
+        for i in 1..=40u64 {
+            tl.sample(
+                Cycles::new(i * 1_000),
+                ledger_at(i * 1_000, 0),
+                i,
+                QueueDepths::default(),
+                0,
+                freq,
+            );
+        }
+        assert!(tl.len() <= 8, "bounded: {} samples", tl.len());
+        assert!(tl.interval_ticks() > 1, "interval doubled");
+        for s in &tl.cpu_share {
+            assert_eq!(s.len(), tl.len(), "series stay in lockstep");
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_sample() {
+        let freq = Freq::mhz(100);
+        let mut tl = Timeline::new(TelemetryConfig::default());
+        tl.sample(
+            Cycles::new(100_000),
+            ledger_at(50_000, 50_000),
+            5,
+            QueueDepths {
+                rx_ring: 3,
+                ..QueueDepths::default()
+            },
+            1,
+            freq,
+        );
+        let csv = tl.to_csv(freq);
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        assert!(header.starts_with("time_us,rx_intr,"));
+        assert!(header.ends_with("gate_bits,intr_rate_hz"));
+        assert_eq!(lines.count(), 1);
+        assert!(csv.contains(",3,0,0,0,0,1,"), "depths and gate bits");
+    }
+}

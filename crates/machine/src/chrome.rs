@@ -1,0 +1,238 @@
+//! Chrome-trace / Perfetto JSON export for machine traces.
+//!
+//! Serializes a [`Trace`](crate::trace::Trace)'s records into the Trace
+//! Event Format (the `{"traceEvents": [...]}` JSON consumed by
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev)), so a
+//! livelock interleaving can be *looked at*: interrupt frames render as a
+//! nesting flame track, thread occupancy as duration slices, idle entries
+//! and external events as instant markers.
+//!
+//! Mapping, all on one process (`pid` 1):
+//!
+//! - `IntrEnter`/`IntrExit` → `"B"`/`"E"` begin/end pairs on the
+//!   *interrupts* track (`tid` 1). Interrupt frames strictly nest (IPL
+//!   stack discipline), which is exactly the nesting `B`/`E` requires.
+//!   A ring-truncated head (an exit whose enter was evicted) is skipped;
+//!   frames still open at the end are closed at the final timestamp so
+//!   the array is always balanced.
+//! - `ThreadRun` → an `"X"` complete event on the *threads* track
+//!   (`tid` 2) lasting until the next scheduling record ends the thread's
+//!   occupancy.
+//! - `Idle` / `External` → `"i"` instant events on the *markers* track
+//!   (`tid` 3).
+//!
+//! Timestamps are microseconds (`ts` floats), converted from cycles with
+//! the machine's [`Freq`]. Output is deterministic: same records, same
+//! JSON bytes.
+
+use livelock_sim::{Cycles, Freq};
+
+use crate::intr::IntrSrc;
+use crate::thread::ThreadId;
+use crate::trace::{TraceEvent, TraceRecord};
+
+/// Escapes a string for inclusion in a JSON string literal (everything
+/// between, not including, the quotes).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+const PID: u32 = 1;
+const TID_INTR: u32 = 1;
+const TID_THREAD: u32 = 2;
+const TID_MARKER: u32 = 3;
+
+fn ts_micros(freq: Freq, at: Cycles) -> f64 {
+    freq.nanos_from_cycles(at).as_micros_f64()
+}
+
+fn push_event(out: &mut Vec<String>, name: &str, ph: char, ts: f64, tid: u32, extra: &str) {
+    out.push(format!(
+        "{{\"name\":\"{}\",\"ph\":\"{ph}\",\"ts\":{ts},\"pid\":{PID},\"tid\":{tid}{extra}}}",
+        json_escape(name)
+    ));
+}
+
+/// Renders trace records as a Chrome-trace JSON document.
+///
+/// `intr_name` and `thread_name` supply human-readable labels (typically
+/// [`IntrController::name_of`](crate::intr::IntrController::name_of) and
+/// [`Scheduler::name`](crate::thread::Scheduler::name)); `freq` converts
+/// cycle timestamps to microseconds.
+pub fn chrome_trace_json(
+    records: &[TraceRecord],
+    freq: Freq,
+    mut intr_name: impl FnMut(IntrSrc) -> String,
+    mut thread_name: impl FnMut(ThreadId) -> String,
+) -> String {
+    let mut events: Vec<String> = Vec::with_capacity(records.len() + 8);
+    for (tid, label) in [
+        (TID_INTR, "interrupts"),
+        (TID_THREAD, "threads"),
+        (TID_MARKER, "markers"),
+    ] {
+        events.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{PID},\"tid\":{tid},\
+             \"args\":{{\"name\":\"{label}\"}}}}"
+        ));
+    }
+
+    // Open interrupt frames, for nesting checks and final balancing.
+    let mut open: Vec<IntrSrc> = Vec::new();
+    let last_ts = records.last().map_or(0.0, |r| ts_micros(freq, r.at));
+    for (i, rec) in records.iter().enumerate() {
+        let ts = ts_micros(freq, rec.at);
+        match rec.event {
+            TraceEvent::IntrEnter(src) => {
+                open.push(src);
+                push_event(&mut events, &intr_name(src), 'B', ts, TID_INTR, "");
+            }
+            TraceEvent::IntrExit(src) => {
+                // A ring-truncated head can exit a frame whose enter was
+                // evicted; emitting the E would unbalance the track.
+                if open.last() == Some(&src) {
+                    open.pop();
+                    push_event(&mut events, &intr_name(src), 'E', ts, TID_INTR, "");
+                }
+            }
+            TraceEvent::ThreadRun(t) => {
+                // The slice lasts until the next record that ends this
+                // thread's occupancy of the CPU (another switch or idle).
+                let end = records[i + 1..]
+                    .iter()
+                    .find(|r| {
+                        matches!(r.event, TraceEvent::ThreadRun(_) | TraceEvent::Idle)
+                    })
+                    .map_or(last_ts, |r| ts_micros(freq, r.at));
+                let dur = (end - ts).max(0.0);
+                push_event(
+                    &mut events,
+                    &thread_name(t),
+                    'X',
+                    ts,
+                    TID_THREAD,
+                    &format!(",\"dur\":{dur}"),
+                );
+            }
+            TraceEvent::Idle => {
+                push_event(&mut events, "idle", 'i', ts, TID_MARKER, ",\"s\":\"t\"");
+            }
+            TraceEvent::External => {
+                push_event(&mut events, "external", 'i', ts, TID_MARKER, ",\"s\":\"t\"");
+            }
+        }
+    }
+    // Close frames still open at the end of the trace window.
+    while let Some(src) = open.pop() {
+        push_event(&mut events, &intr_name(src), 'E', last_ts, TID_INTR, "");
+    }
+
+    let mut out = String::from("{\"traceEvents\":[\n");
+    for (i, e) in events.iter().enumerate() {
+        out.push_str(e);
+        if i + 1 < events.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(at: u64, event: TraceEvent) -> TraceRecord {
+        TraceRecord {
+            at: Cycles::new(at),
+            event,
+        }
+    }
+
+    fn names() -> (
+        impl FnMut(IntrSrc) -> String,
+        impl FnMut(ThreadId) -> String,
+    ) {
+        (
+            |s: IntrSrc| format!("src{}", s.0),
+            |t: ThreadId| format!("thread{}", t.0),
+        )
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b"), "a\\\"b");
+        assert_eq!(json_escape("a\\b"), "a\\\\b");
+        assert_eq!(json_escape("a\nb\tc"), "a\\nb\\tc");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn begin_end_pairs_balance() {
+        let freq = Freq::mhz(100);
+        let records = vec![
+            rec(0, TraceEvent::IntrEnter(IntrSrc(0))),
+            rec(100, TraceEvent::IntrEnter(IntrSrc(1))),
+            rec(200, TraceEvent::IntrExit(IntrSrc(1))),
+            rec(300, TraceEvent::IntrExit(IntrSrc(0))),
+        ];
+        let json = chrome_trace_json(&records, freq, names().0, names().1);
+        assert_eq!(json.matches("\"ph\":\"B\"").count(), 2);
+        assert_eq!(json.matches("\"ph\":\"E\"").count(), 2);
+    }
+
+    #[test]
+    fn unclosed_frames_are_closed_at_the_end() {
+        let freq = Freq::mhz(100);
+        let records = vec![
+            rec(0, TraceEvent::IntrEnter(IntrSrc(0))),
+            rec(500, TraceEvent::External),
+        ];
+        let json = chrome_trace_json(&records, freq, names().0, names().1);
+        assert_eq!(json.matches("\"ph\":\"B\"").count(), 1);
+        assert_eq!(json.matches("\"ph\":\"E\"").count(), 1);
+    }
+
+    #[test]
+    fn truncated_head_exit_is_skipped() {
+        let freq = Freq::mhz(100);
+        // The ring evicted the matching IntrEnter.
+        let records = vec![
+            rec(0, TraceEvent::IntrExit(IntrSrc(7))),
+            rec(100, TraceEvent::Idle),
+        ];
+        let json = chrome_trace_json(&records, freq, names().0, names().1);
+        assert_eq!(json.matches("\"ph\":\"E\"").count(), 0);
+        assert_eq!(json.matches("\"ph\":\"i\"").count(), 1);
+    }
+
+    #[test]
+    fn thread_slice_duration_spans_to_next_switch() {
+        let freq = Freq::mhz(1); // 1 cycle == 1 us
+        let records = vec![
+            rec(0, TraceEvent::ThreadRun(ThreadId(0))),
+            rec(250, TraceEvent::ThreadRun(ThreadId(1))),
+            rec(400, TraceEvent::Idle),
+        ];
+        let json = chrome_trace_json(&records, freq, names().0, names().1);
+        assert!(json.contains("\"name\":\"thread0\""));
+        assert!(json.contains("\"dur\":250"));
+        assert!(json.contains("\"dur\":150"));
+    }
+}

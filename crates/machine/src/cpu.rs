@@ -30,6 +30,7 @@ use livelock_sim::{Cycles, EventQueue};
 
 use crate::intr::{IntrController, IntrSrc};
 use crate::ipl::Ipl;
+use crate::ledger::{CpuClass, CycleLedger};
 use crate::thread::{Scheduler, ThreadId, ThreadState};
 use crate::trace::{Trace, TraceEvent};
 
@@ -107,14 +108,32 @@ struct Usage {
     thread_by_id: Vec<Cycles>,
     sched_cycles: Cycles,
     idle_cycles: Cycles,
+    ledger: CycleLedger,
+    intr_class: Vec<CpuClass>,
+    thread_class: Vec<CpuClass>,
 }
 
 impl Usage {
+    fn intr_class_of(&self, src: IntrSrc) -> CpuClass {
+        self.intr_class
+            .get(src.0)
+            .copied()
+            .unwrap_or(CpuClass::KernelOther)
+    }
+
+    fn thread_class_of(&self, tid: ThreadId) -> CpuClass {
+        self.thread_class
+            .get(tid.0)
+            .copied()
+            .unwrap_or(CpuClass::KernelOther)
+    }
+
     fn charge_intr(&mut self, src: IntrSrc, cy: Cycles) {
         if self.intr_by_src.len() <= src.0 {
             self.intr_by_src.resize(src.0 + 1, Cycles::ZERO);
         }
         self.intr_by_src[src.0] += cy;
+        self.ledger.charge(self.intr_class_of(src), cy);
     }
 
     fn charge_thread(&mut self, tid: ThreadId, cy: Cycles) {
@@ -122,6 +141,17 @@ impl Usage {
             self.thread_by_id.resize(tid.0 + 1, Cycles::ZERO);
         }
         self.thread_by_id[tid.0] += cy;
+        self.ledger.charge(self.thread_class_of(tid), cy);
+    }
+
+    fn charge_sched(&mut self, cy: Cycles) {
+        self.sched_cycles += cy;
+        self.ledger.charge(CpuClass::KernelOther, cy);
+    }
+
+    fn charge_idle(&mut self, cy: Cycles) {
+        self.idle_cycles += cy;
+        self.ledger.charge(CpuClass::Idle, cy);
     }
 }
 
@@ -168,6 +198,36 @@ impl<E> EnvState<E> {
             .get(src.0)
             .copied()
             .unwrap_or(Cycles::ZERO)
+    }
+
+    /// Declares the [`CpuClass`] cycles in this source's handler are
+    /// charged to. Unclassified sources default to
+    /// [`CpuClass::KernelOther`]. Call at registration time, before the
+    /// engine runs.
+    pub fn set_intr_class(&mut self, src: IntrSrc, class: CpuClass) {
+        if self.usage.intr_class.len() <= src.0 {
+            self.usage
+                .intr_class
+                .resize(src.0 + 1, CpuClass::KernelOther);
+        }
+        self.usage.intr_class[src.0] = class;
+    }
+
+    /// Declares the [`CpuClass`] cycles in this thread are charged to.
+    /// Unclassified threads default to [`CpuClass::KernelOther`].
+    pub fn set_thread_class(&mut self, tid: ThreadId, class: CpuClass) {
+        if self.usage.thread_class.len() <= tid.0 {
+            self.usage
+                .thread_class
+                .resize(tid.0 + 1, CpuClass::KernelOther);
+        }
+        self.usage.thread_class[tid.0] = class;
+    }
+
+    /// The conserved per-class cycle ledger: Σ over classes equals
+    /// elapsed virtual time, always.
+    pub fn ledger(&self) -> CycleLedger {
+        self.usage.ledger
     }
 }
 
@@ -235,6 +295,18 @@ impl<'a, E> Env<'a, E> {
     pub fn thread_cycles(&self, tid: ThreadId) -> Cycles {
         self.st.thread_cycles(tid)
     }
+
+    /// Snapshot of the conserved per-class cycle ledger (for telemetry
+    /// samplers running inside workload callbacks).
+    pub fn ledger(&self) -> CycleLedger {
+        self.st.ledger()
+    }
+
+    /// Cumulative count of hardware interrupts taken (for telemetry
+    /// samplers computing interrupt rates).
+    pub fn intr_total_taken(&self) -> u64 {
+        self.st.intr.total_taken()
+    }
 }
 
 /// Why [`Engine::run_until`] returned.
@@ -258,6 +330,8 @@ pub struct UsageReport {
     pub sched_cycles: Cycles,
     /// Idle cycles.
     pub idle_cycles: Cycles,
+    /// The conserved per-class ledger; its total equals `now`.
+    pub ledger: CycleLedger,
     /// Virtual time at the snapshot.
     pub now: Cycles,
 }
@@ -365,11 +439,17 @@ impl<W: Workload> Engine<W> {
 
     /// A cycle-accounting snapshot.
     pub fn usage(&self) -> UsageReport {
+        debug_assert_eq!(
+            self.st.usage.ledger.total(),
+            self.st.now,
+            "cycle ledger not conserved: class totals must sum to elapsed time"
+        );
         UsageReport {
             intr_by_src: self.st.usage.intr_by_src.clone(),
             thread_by_id: self.st.usage.thread_by_id.clone(),
             sched_cycles: self.st.usage.sched_cycles,
             idle_cycles: self.st.usage.idle_cycles,
+            ledger: self.st.usage.ledger,
             now: self.st.now,
         }
     }
@@ -527,7 +607,7 @@ impl<W: Workload> Engine<W> {
             }
             match self.st.evq.peek_time() {
                 Some(t) if t <= limit => {
-                    self.st.usage.idle_cycles += t - self.st.now;
+                    self.st.usage.charge_idle(t - self.st.now);
                     self.st.now = t;
                 }
                 Some(_) | None => {
@@ -535,7 +615,7 @@ impl<W: Workload> Engine<W> {
                         Some(_) => limit,
                         None => limit,
                     };
-                    self.st.usage.idle_cycles += stop - self.st.now;
+                    self.st.usage.charge_idle(stop - self.st.now);
                     self.st.now = stop;
                     return if self.st.evq.is_empty() {
                         Exit::Quiescent
@@ -617,7 +697,7 @@ impl<W: Workload> Engine<W> {
     fn step_switch_overhead(&mut self, limit: Cycles) {
         let (stop, completes) = self.step_stop(self.switch_remaining, limit);
         let ran = stop - self.st.now;
-        self.st.usage.sched_cycles += ran;
+        self.st.usage.charge_sched(ran);
         self.st.now = stop;
         self.switch_remaining = if completes {
             Cycles::ZERO
@@ -911,6 +991,45 @@ mod tests {
         assert_eq!(u.idle_cycles, cy(900), "500 before + 400 after");
         assert_eq!(u.total_intr(), cy(100));
         assert_eq!(u.now, cy(1000));
+    }
+
+    #[test]
+    fn ledger_conserves_and_classifies() {
+        let mut st = EnvState::new(cy(1_000_000));
+        let src = st.intr.register("rx", Ipl::IMP);
+        st.set_intr_class(src, CpuClass::RxIntr);
+        let t = st.sched.spawn("worker", Priority::USER);
+        st.set_thread_class(t, CpuClass::UserProc);
+        st.sched.wake(t);
+        st.schedule_at(cy(250), Ev::Post(src));
+        let wl = Script {
+            intr_chunks: vec![(src, vec![Chunk::new(cy(100), 9)])],
+            thread_chunks: vec![(t, vec![Chunk::new(cy(1000), 5)])],
+            sleep_when_done: vec![t],
+            ..Default::default()
+        };
+        let mut e = Engine::new(st, wl, cy(40));
+        e.run_until(cy(2_000));
+        let u = e.usage();
+        assert_eq!(u.ledger.get(CpuClass::RxIntr), cy(100));
+        assert_eq!(u.ledger.get(CpuClass::UserProc), cy(1000));
+        assert_eq!(u.ledger.get(CpuClass::KernelOther), cy(40), "switch cost");
+        assert_eq!(u.ledger.get(CpuClass::Idle), u.idle_cycles);
+        assert_eq!(u.ledger.total(), u.now, "conservation");
+    }
+
+    #[test]
+    fn unclassified_contexts_charge_kernel_other() {
+        let mut st = EnvState::new(cy(1_000_000));
+        let src = st.intr.register("mystery", Ipl::IMP);
+        st.schedule_at(cy(0), Ev::Post(src));
+        let wl = Script {
+            intr_chunks: vec![(src, vec![Chunk::new(cy(77), 1)])],
+            ..Default::default()
+        };
+        let mut e = Engine::new(st, wl, cy(0));
+        e.run_to_quiescence();
+        assert_eq!(e.usage().ledger.get(CpuClass::KernelOther), cy(77));
     }
 
     #[test]

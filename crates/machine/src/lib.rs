@@ -24,23 +24,32 @@
 //!   cycles issued by a [`cpu::Workload`]; higher-IPL interrupts arriving
 //!   mid-chunk preempt it and resume it afterwards, nested arbitrarily
 //!   deep, with full cycle accounting per context.
+//! - [`ledger`] — the conserved CPU-cycle ledger: every executed cycle
+//!   attributed to exactly one [`ledger::CpuClass`], with class totals
+//!   summing exactly to elapsed time.
+//! - [`chrome`] — Chrome-trace / Perfetto JSON export of [`trace`]
+//!   records, so an interleaving can be inspected visually.
 //!
 //! The `livelock-kernel` crate implements the paper's unmodified and
 //! modified kernels as [`cpu::Workload`]s on top of this machine.
 
+pub mod chrome;
 pub mod cost;
 pub mod cpu;
 pub mod intr;
 pub mod ipl;
+pub mod ledger;
 pub mod nic;
 pub mod thread;
 pub mod trace;
 pub mod wire;
 
+pub use chrome::{chrome_trace_json, json_escape};
 pub use cost::CostModel;
 pub use cpu::{Chunk, CtxKind, Engine, Env, UsageReport, Workload};
 pub use intr::{IntrController, IntrSrc};
 pub use ipl::Ipl;
+pub use ledger::{CpuClass, CycleLedger};
 pub use nic::{Nic, NicConfig};
 pub use thread::{Priority, Scheduler, ThreadId};
 pub use trace::{Trace, TraceEvent, TraceRecord};

@@ -370,7 +370,7 @@ impl Default for HdrHistogram {
 }
 
 /// A time series of `(time, value)` samples.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct TimeSeries {
     points: Vec<(Cycles, f64)>,
 }
@@ -421,6 +421,19 @@ impl TimeSeries {
         } else {
             Some(acc.mean())
         }
+    }
+
+    /// Halves the sample count by dropping every second sample (the
+    /// first, third, ... are kept), bounding memory for long-running
+    /// samplers: when a series hits its budget, decimate and double the
+    /// sampling interval, keeping a uniform grid at half the resolution.
+    pub fn decimate(&mut self) {
+        let mut keep = 0;
+        for i in (0..self.points.len()).step_by(2) {
+            self.points[keep] = self.points[i];
+            keep += 1;
+        }
+        self.points.truncate(keep);
     }
 }
 
@@ -704,6 +717,29 @@ mod tests {
         let mut ts = TimeSeries::new();
         ts.push(Cycles::new(10), 1.0);
         ts.push(Cycles::new(5), 2.0);
+    }
+
+    #[test]
+    fn time_series_decimate_keeps_even_indices() {
+        let mut ts = TimeSeries::new();
+        for i in 0..5u64 {
+            ts.push(Cycles::new(i * 10), i as f64);
+        }
+        ts.decimate();
+        assert_eq!(
+            ts.points(),
+            &[
+                (Cycles::new(0), 0.0),
+                (Cycles::new(20), 2.0),
+                (Cycles::new(40), 4.0)
+            ]
+        );
+        // Decimating again halves again; an empty series stays empty.
+        ts.decimate();
+        assert_eq!(ts.len(), 2);
+        let mut empty = TimeSeries::new();
+        empty.decimate();
+        assert!(empty.is_empty());
     }
 
     #[test]

@@ -3,24 +3,65 @@
 #
 # Exit status mirrors the strictest failure seen:
 #   0  everything passed
-#   1  build/test failure, or figures could not write its CSVs
+#   1  build/test failure, figures could not write its CSVs, the figure
+#      output was not byte-identical across job counts, or bad arguments
 #   2  a rendered figure violates the paper's qualitative throughput shape
 #   3  the latency gate failed: the polled kernel's p99 forwarding latency
 #      is not well below the unmodified kernel's at overload (figure L-1)
+#   4  the CPU-share gate failed: figure C-1's conserved cycle ledger does
+#      not show the unmodified kernel's rx interrupt share reaching >= 90%
+#      with delivery collapsed at wire-saturating load, or shows the
+#      cycle-limited polled kernel failing to preserve user+idle share
 #
 # An advisory (non-failing) pass also rebuilds the workspace with
 # deprecation warnings promoted to errors, so stragglers still calling the
-# deprecated KernelConfig constructors instead of the builder get reported.
+# deprecated KernelConfig constructors instead of the builder get
+# reported, and greps for direct `+=` pushes to the legacy per-queue drop
+# counters that would bypass the `record_drop` taxonomy.
 #
-# Usage: scripts/ci.sh [--jobs N]    (N forwarded to the figures binary)
+# Usage: scripts/ci.sh [--jobs N] [other flags...]
+#   --jobs N is validated here; any other flag is passed through to the
+#   figures binary unchanged.
 
 set -u
 cd "$(dirname "$0")/.."
 
+usage() {
+    echo "usage: scripts/ci.sh [--jobs N] [flags passed through to figures]" >&2
+    exit 1
+}
+
+jobs=""
+fig_args=()
+while [ $# -gt 0 ]; do
+    case "$1" in
+    --jobs)
+        [ $# -ge 2 ] || { echo "ci: --jobs needs a thread count" >&2; usage; }
+        case "$2" in
+        '' | *[!0-9]* | 0) echo "ci: --jobs: bad thread count '$2'" >&2; usage ;;
+        *) jobs=$2 ;;
+        esac
+        shift 2
+        ;;
+    --jobs=*)
+        jobs=${1#--jobs=}
+        case "$jobs" in
+        '' | *[!0-9]* | 0) echo "ci: --jobs: bad thread count '$jobs'" >&2; usage ;;
+        esac
+        shift
+        ;;
+    -h | --help)
+        usage
+        ;;
+    *)
+        # Unknown flags are the figures binary's business, not ours.
+        fig_args+=("$1")
+        shift
+        ;;
+    esac
+done
 jobs_args=()
-if [ "${1:-}" = "--jobs" ] && [ -n "${2:-}" ]; then
-    jobs_args=(--jobs "$2")
-fi
+[ -n "$jobs" ] && jobs_args=(--jobs "$jobs")
 
 echo "== tier 1: cargo build --release =="
 cargo build --release || exit 1
@@ -34,7 +75,8 @@ echo "== figures --quick: regenerate all figures, check shapes =="
 repo=$(pwd)
 scratch=$(mktemp -d)
 trap 'rm -rf "$scratch"' EXIT
-(cd "$scratch" && "$repo/target/release/figures" --quick "${jobs_args[@]}")
+(cd "$scratch" && "$repo/target/release/figures" --quick "${jobs_args[@]}" \
+    ${fig_args[0]+"${fig_args[@]}"})
 rc=$?
 if [ "$rc" -eq 2 ]; then
     echo "ci: FAIL — rendered figures violate the paper's shapes" >&2
@@ -42,8 +84,25 @@ if [ "$rc" -eq 2 ]; then
 elif [ "$rc" -eq 3 ]; then
     echo "ci: FAIL — latency gate: polled p99 not well below unmodified at overload" >&2
     exit 3
+elif [ "$rc" -eq 4 ]; then
+    echo "ci: FAIL — CPU-share gate: figure C-1 violates the paper's cycle accounting" >&2
+    exit 4
 elif [ "$rc" -ne 0 ]; then
     echo "ci: FAIL — figures exited $rc" >&2
+    exit 1
+fi
+
+echo "== determinism: figure C-1 byte-identical across job counts =="
+# Every trial is independently seeded, so the CSV must not depend on how
+# trials were fanned out. Render the ledger figure serially and in
+# parallel and compare bytes.
+mkdir -p "$scratch/j1" "$scratch/jN"
+(cd "$scratch/j1" && "$repo/target/release/figures" --quick --fig C-1 --jobs 1) || exit 1
+(cd "$scratch/jN" && "$repo/target/release/figures" --quick --fig C-1 --jobs 4) || exit 1
+if cmp -s "$scratch/j1/results/figC_1.csv" "$scratch/jN/results/figC_1.csv"; then
+    echo "ci: figC_1.csv byte-identical at --jobs 1 and --jobs 4"
+else
+    echo "ci: FAIL — figC_1.csv differs between --jobs 1 and --jobs 4" >&2
     exit 1
 fi
 
@@ -57,6 +116,18 @@ else
     echo "ci: WARN — deprecated constructor calls remain (advisory only):" >&2
     grep -m 10 -B 1 "use of deprecated" "$scratch/deprecated.log" >&2 ||
         tail -n 20 "$scratch/deprecated.log" >&2
+fi
+
+echo "== drop taxonomy: legacy counter bypass check (advisory) =="
+# Every drop must go through KernelStats::record_drop so the typed
+# taxonomy and the legacy per-queue counters stay in lockstep; a direct
+# `+=` on a legacy counter anywhere else silently skews one of the two.
+if grep -rn --include='*.rs' -E \
+    '\.(rx_ring_drops|ipintrq_drops|screend_q_drops|socket_q_drops|ifq_drops)[[:space:]]*\+=' \
+    crates tests | grep -v '^crates/kernel/src/stats\.rs:'; then
+    echo "ci: WARN — direct pushes to legacy drop counters bypass record_drop (advisory only)" >&2
+else
+    echo "ci: all drop accounting goes through record_drop"
 fi
 
 echo "ci: OK"

@@ -554,3 +554,415 @@ fn rate_limited_interrupts_defer_without_loss() {
     );
     assert!(rx_taken < 400, "strictly fewer than one per packet");
 }
+
+// ---------------------------------------------------------------------------
+// Conserved cycle ledger and its exports (timeline CSV, Chrome trace).
+// ---------------------------------------------------------------------------
+
+/// A minimal recursive-descent JSON well-formedness checker, kept in-repo
+/// so the Chrome-trace tests need no external parser. Strict: validates
+/// escapes, rejects trailing garbage.
+mod json {
+    /// A parsed JSON value.
+    #[derive(Debug, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        Num(f64),
+        Str(String),
+        Arr(Vec<Value>),
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+        pub fn as_arr(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(v) => Some(v),
+                _ => None,
+            }
+        }
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+        pub fn as_num(&self) -> Option<f64> {
+            match self {
+                Value::Num(n) => Some(*n),
+                _ => None,
+            }
+        }
+    }
+
+    struct Parser<'a> {
+        b: &'a [u8],
+        i: usize,
+    }
+
+    impl<'a> Parser<'a> {
+        fn ws(&mut self) {
+            while matches!(self.b.get(self.i), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.i += 1;
+            }
+        }
+        fn eat(&mut self, c: u8) -> Result<(), String> {
+            if self.b.get(self.i) == Some(&c) {
+                self.i += 1;
+                Ok(())
+            } else {
+                Err(format!("expected {:?} at byte {}", c as char, self.i))
+            }
+        }
+        fn value(&mut self) -> Result<Value, String> {
+            self.ws();
+            match self.b.get(self.i) {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => Ok(Value::Str(self.string()?)),
+                Some(b't') => self.lit("true", Value::Bool(true)),
+                Some(b'f') => self.lit("false", Value::Bool(false)),
+                Some(b'n') => self.lit("null", Value::Null),
+                Some(_) => self.number(),
+                None => Err("unexpected end of input".into()),
+            }
+        }
+        fn lit(&mut self, word: &str, v: Value) -> Result<Value, String> {
+            if self.b[self.i..].starts_with(word.as_bytes()) {
+                self.i += word.len();
+                Ok(v)
+            } else {
+                Err(format!("bad literal at byte {}", self.i))
+            }
+        }
+        fn number(&mut self) -> Result<Value, String> {
+            let start = self.i;
+            while matches!(
+                self.b.get(self.i),
+                Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            ) {
+                self.i += 1;
+            }
+            std::str::from_utf8(&self.b[start..self.i])
+                .ok()
+                .and_then(|s| s.parse::<f64>().ok())
+                .filter(|n| n.is_finite())
+                .map(Value::Num)
+                .ok_or_else(|| format!("bad number at byte {start}"))
+        }
+        fn string(&mut self) -> Result<String, String> {
+            self.eat(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.b.get(self.i) {
+                    Some(b'"') => {
+                        self.i += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.i += 1;
+                        match self.b.get(self.i) {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'b') => out.push('\u{8}'),
+                            Some(b'f') => out.push('\u{c}'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'u') => {
+                                let hex = self
+                                    .b
+                                    .get(self.i + 1..self.i + 5)
+                                    .and_then(|h| std::str::from_utf8(h).ok())
+                                    .ok_or("truncated \\u escape")?;
+                                let cp = u32::from_str_radix(hex, 16)
+                                    .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                                // Surrogates are rejected: the exporter
+                                // only \u-escapes control characters.
+                                out.push(
+                                    char::from_u32(cp).ok_or(format!("surrogate \\u{hex}"))?,
+                                );
+                                self.i += 4;
+                            }
+                            _ => return Err(format!("bad escape at byte {}", self.i)),
+                        }
+                        self.i += 1;
+                    }
+                    Some(&c) if c < 0x20 => {
+                        return Err(format!("raw control byte {c:#x} inside string"))
+                    }
+                    Some(_) => {
+                        let s = std::str::from_utf8(&self.b[self.i..])
+                            .map_err(|e| e.to_string())?;
+                        let ch = s.chars().next().unwrap();
+                        out.push(ch);
+                        self.i += ch.len_utf8();
+                    }
+                    None => return Err("unterminated string".into()),
+                }
+            }
+        }
+        fn array(&mut self) -> Result<Value, String> {
+            self.eat(b'[')?;
+            let mut items = Vec::new();
+            self.ws();
+            if self.b.get(self.i) == Some(&b']') {
+                self.i += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(self.value()?);
+                self.ws();
+                match self.b.get(self.i) {
+                    Some(b',') => self.i += 1,
+                    Some(b']') => {
+                        self.i += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", self.i)),
+                }
+            }
+        }
+        fn object(&mut self) -> Result<Value, String> {
+            self.eat(b'{')?;
+            let mut pairs = Vec::new();
+            self.ws();
+            if self.b.get(self.i) == Some(&b'}') {
+                self.i += 1;
+                return Ok(Value::Obj(pairs));
+            }
+            loop {
+                self.ws();
+                let key = self.string()?;
+                self.ws();
+                self.eat(b':')?;
+                let val = self.value()?;
+                pairs.push((key, val));
+                self.ws();
+                match self.b.get(self.i) {
+                    Some(b',') => self.i += 1,
+                    Some(b'}') => {
+                        self.i += 1;
+                        return Ok(Value::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", self.i)),
+                }
+            }
+        }
+    }
+
+    /// Parses a complete JSON document (no trailing garbage allowed).
+    pub fn parse(s: &str) -> Result<Value, String> {
+        let mut p = Parser { b: s.as_bytes(), i: 0 };
+        let v = p.value()?;
+        p.ws();
+        if p.i != p.b.len() {
+            return Err(format!("trailing garbage at byte {}", p.i));
+        }
+        Ok(v)
+    }
+}
+
+/// The conserved cycle ledger attributes every elapsed cycle to exactly
+/// one CPU class, on both the unmodified and the polled kernel at
+/// overload, and agrees with the engine's coarse usage counters.
+#[test]
+fn cycle_ledger_is_conserved_at_overload() {
+    use livelock_machine::ledger::CpuClass;
+
+    let freq = Freq::mhz(100);
+    let load = |e: &mut Engine<RouterKernel>| {
+        let mut gen = TrafficGen::paper_default(12_000.0, freq, 17);
+        let mut times = gen.arrival_times(Cycles::ZERO, 3_000);
+        Wire::ethernet_10m(freq).pace(&mut times, MIN_FRAME_LEN);
+        let mut factory = PacketFactory::paper_testbed();
+        for t in times {
+            e.state_schedule(
+                t,
+                Event::RxArrive {
+                    iface: 0,
+                    pkt: factory.next_packet(),
+                },
+            );
+        }
+    };
+
+    for (cfg, busiest_expected) in [
+        (
+            KernelConfig::builder().screend(Default::default()).build(),
+            CpuClass::RxIntr,
+        ),
+        (
+            KernelConfig::builder().polled(Quota::Limited(10)).build(),
+            CpuClass::PollThread,
+        ),
+    ] {
+        let mut e = engine_for(cfg);
+        load(&mut e);
+        let end = freq.cycles_from_millis(250);
+        e.run_until(end);
+
+        let ledger = e.state().ledger();
+        assert_eq!(ledger.total(), end, "every cycle attributed to a class");
+        let shares = ledger.shares();
+        let sum: f64 = shares.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12, "shares sum to {sum}");
+
+        // The ledger agrees with the engine's coarse usage counters where
+        // the two overlap: idle is idle, and the scheduler's overhead is
+        // charged to kernel-other.
+        let u = e.usage();
+        assert_eq!(ledger.get(CpuClass::Idle), u.idle_cycles);
+        assert!(ledger.get(CpuClass::KernelOther) >= u.sched_cycles);
+
+        let busiest = CpuClass::ALL
+            .iter()
+            .copied()
+            .max_by_key(|&c| ledger.get(c))
+            .unwrap();
+        assert_eq!(
+            busiest, busiest_expected,
+            "overload is spent where the paper says: {shares:?}"
+        );
+    }
+}
+
+/// The Chrome-trace export of a real overload trial is a well-formed JSON
+/// document: a `traceEvents` array of complete event objects, duration
+/// events balanced, timestamps monotonic in emission order.
+#[test]
+fn chrome_trace_export_is_well_formed() {
+    use livelock_kernel::experiment::{run_trial_traced, TrialSpec};
+
+    let spec = TrialSpec {
+        rate_pps: 12_000.0,
+        n_packets: 1_000,
+        ..TrialSpec::new(KernelConfig::builder().polled(Quota::Limited(10)).build())
+    };
+    let (result, trace_json) = run_trial_traced(&spec, 1 << 18);
+    assert!(result.transmitted > 0);
+
+    let doc = json::parse(&trace_json).expect("export must be valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(json::Value::as_arr)
+        .expect("top-level traceEvents array");
+    assert!(events.len() > 100, "a real trial traces many events");
+
+    let mut names = std::collections::HashSet::new();
+    let (mut begins, mut ends, mut last_ts) = (0usize, 0usize, f64::NEG_INFINITY);
+    for ev in events {
+        let name = ev.get("name").and_then(json::Value::as_str).expect("name");
+        let ph = ev.get("ph").and_then(json::Value::as_str).expect("ph");
+        assert!(ev.get("pid").and_then(json::Value::as_num).is_some());
+        assert!(ev.get("tid").and_then(json::Value::as_num).is_some());
+        if ph == "M" {
+            continue; // Metadata records carry no timestamp.
+        }
+        names.insert(name.to_string());
+        let ts = ev.get("ts").and_then(json::Value::as_num).expect("ts");
+        assert!(ts >= 0.0);
+        assert!(
+            ts >= last_ts,
+            "timestamps monotonic in emission order: {ts} after {last_ts}"
+        );
+        last_ts = ts;
+        match ph {
+            "B" => begins += 1,
+            "E" => ends += 1,
+            "X" => {
+                let dur = ev.get("dur").and_then(json::Value::as_num).expect("dur");
+                assert!(dur >= 0.0);
+            }
+            "i" => {}
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    assert_eq!(begins, ends, "every duration begin has a matching end");
+    assert!(names.iter().any(|n| n.starts_with("nic-rx #")), "{names:?}");
+    assert!(names.contains("netpoll"), "{names:?}");
+}
+
+/// Hostile label names survive the exporter: quotes, backslashes and
+/// control characters are escaped so the document still parses, and the
+/// parsed string round-trips to the original.
+#[test]
+fn chrome_trace_escapes_hostile_names() {
+    use livelock_machine::chrome_trace_json;
+    use livelock_machine::intr::IntrSrc;
+    use livelock_machine::trace::TraceRecord;
+
+    let hostile = "he said \"x\\y\"\nthen\ttabbed\u{1}";
+    let records = [
+        TraceRecord {
+            at: Cycles::new(100),
+            event: TraceEvent::IntrEnter(IntrSrc(0)),
+        },
+        TraceRecord {
+            at: Cycles::new(200),
+            event: TraceEvent::IntrExit(IntrSrc(0)),
+        },
+    ];
+    let json_doc = chrome_trace_json(
+        &records,
+        Freq::mhz(100),
+        |_| hostile.to_string(),
+        |_| String::new(),
+    );
+    let doc = json::parse(&json_doc).expect("hostile names must still parse");
+    let events = doc.get("traceEvents").and_then(json::Value::as_arr).unwrap();
+    let round_tripped = events
+        .iter()
+        .filter_map(|ev| ev.get("name").and_then(json::Value::as_str))
+        .filter(|n| *n == hostile)
+        .count();
+    assert_eq!(round_tripped, 2, "escaped name round-trips exactly");
+}
+
+/// The telemetry timeline is deterministic under the parallel sweep
+/// executor: its CSV is byte-identical between serial and any job count,
+/// as is every other field of the trial result.
+#[test]
+fn timeline_csv_is_identical_at_any_job_count() {
+    use livelock_kernel::experiment::{sweep, TrialSpec};
+    use livelock_kernel::par::Parallelism;
+    use livelock_kernel::telemetry::TelemetryConfig;
+
+    let cfg = KernelConfig::builder()
+        .polled(Quota::Limited(10))
+        .telemetry(TelemetryConfig {
+            interval_ticks: 2,
+            max_samples: 4096,
+        })
+        .build();
+    let base = TrialSpec {
+        n_packets: 800,
+        ..TrialSpec::new(cfg)
+    };
+    let freq = base.config.cost.freq;
+    let rates = [2_000.0, 8_000.0, 12_000.0];
+
+    let serial = sweep("serial", &base, &rates, Parallelism::Serial);
+    let serial_csvs: Vec<String> = serial
+        .trials
+        .iter()
+        .map(|t| t.timeline.as_ref().expect("sampler enabled").to_csv(freq))
+        .collect();
+    assert!(serial_csvs.iter().all(|c| c.lines().count() > 2));
+
+    for jobs in [2usize, 5] {
+        let par = sweep("par", &base, &rates, Parallelism::Jobs(jobs));
+        assert_eq!(serial.trials, par.trials, "jobs={jobs}");
+        for (i, t) in par.trials.iter().enumerate() {
+            let csv = t.timeline.as_ref().expect("sampler enabled").to_csv(freq);
+            assert_eq!(csv, serial_csvs[i], "timeline CSV at jobs={jobs} rate #{i}");
+        }
+    }
+}
