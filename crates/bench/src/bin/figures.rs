@@ -18,14 +18,17 @@
 //! unmodified kernel's), 4 when figure C-1 violates the paper's CPU
 //! accounting (unmodified rx-intr share must reach ≥ 90% with delivery
 //! collapsed at wire-saturating load, while the cycle-limited polled
-//! kernel preserves user+idle share).
+//! kernel preserves user+idle share), 5 when figure R-1 violates the
+//! graceful-degradation claim (the polled kernel must keep delivering
+//! at every fault intensity and end the sweep no worse than the
+//! unmodified kernel).
 
 use std::fs;
 use std::path::Path;
 
 use livelock_bench::{
-    all_figures, cpu_share_violations, latency_shape_violations, render_figure, shape_violations,
-    PAPER_TRIAL_PACKETS,
+    all_figures, cpu_share_violations, fault_shape_violations, latency_shape_violations,
+    render_fig_r1, render_figure, shape_violations, PAPER_TRIAL_PACKETS,
 };
 use livelock_kernel::par::{default_jobs, Parallelism};
 
@@ -64,6 +67,15 @@ fn main() {
     let mut all_violations = Vec::new();
     let mut latency_violations = Vec::new();
     let mut cpu_violations = Vec::new();
+    let mut fault_violations = Vec::new();
+    let write_csv = |rendered: &livelock_bench::RenderedFigure,
+                         write_errors: &mut Vec<String>| {
+        let path = out_dir.join(format!("fig{}.csv", rendered.id.replace('-', "_")));
+        match fs::write(&path, rendered.to_csv()) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => write_errors.push(format!("{}: {e}", path.display())),
+        }
+    };
     for fig in all_figures() {
         if let Some(id) = &only {
             if fig.id != id {
@@ -78,14 +90,21 @@ fn main() {
         print!("{}", rendered.to_table());
         print!("{}", rendered.shape_summary());
         println!();
-        let path = out_dir.join(format!("fig{}.csv", fig.id.replace('-', "_")));
-        match fs::write(&path, rendered.to_csv()) {
-            Ok(()) => eprintln!("wrote {}", path.display()),
-            Err(e) => write_errors.push(format!("{}: {e}", path.display())),
-        }
+        write_csv(&rendered, &mut write_errors);
         all_violations.extend(shape_violations(&rendered));
         latency_violations.extend(latency_shape_violations(&rendered));
         cpu_violations.extend(cpu_share_violations(&rendered));
+    }
+
+    // Figure R-1 sweeps fault intensity at a fixed rate, so it renders
+    // outside the rate-sweep inventory above.
+    if only.is_none() || only.as_deref() == Some("R-1") {
+        eprintln!("rendering figure R-1 ({n_packets} packets/trial, {jobs} jobs)...");
+        let rendered = render_fig_r1(n_packets, Parallelism::Jobs(jobs));
+        print!("{}", rendered.to_table());
+        println!();
+        write_csv(&rendered, &mut write_errors);
+        fault_violations.extend(fault_shape_violations(&rendered));
     }
 
     if !write_errors.is_empty() {
@@ -94,7 +113,11 @@ fn main() {
             eprintln!("  {w}");
         }
     }
-    if all_violations.is_empty() && latency_violations.is_empty() && cpu_violations.is_empty() {
+    if all_violations.is_empty()
+        && latency_violations.is_empty()
+        && cpu_violations.is_empty()
+        && fault_violations.is_empty()
+    {
         eprintln!("all rendered figures match the paper's qualitative shapes");
     }
     if !all_violations.is_empty() {
@@ -117,6 +140,13 @@ fn main() {
             eprintln!("  {v}");
         }
         std::process::exit(4);
+    }
+    if !fault_violations.is_empty() {
+        eprintln!("FAULT-DEGRADATION VIOLATIONS:");
+        for v in &fault_violations {
+            eprintln!("  {v}");
+        }
+        std::process::exit(5);
     }
     if !write_errors.is_empty() {
         std::process::exit(1);

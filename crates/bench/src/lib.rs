@@ -11,6 +11,7 @@ use livelock_core::poller::Quota;
 use livelock_kernel::config::KernelConfig;
 use livelock_kernel::experiment::{run_trial, sweep, SweepResult, TrialSpec};
 use livelock_kernel::par::{par_map, Parallelism};
+use livelock_machine::fault::FaultPlan;
 use livelock_machine::CpuClass;
 
 /// What a figure's value column (y-axis) plots.
@@ -317,7 +318,8 @@ pub struct RenderedFigure {
     pub id: &'static str,
     /// Caption.
     pub caption: &'static str,
-    /// The swept rates.
+    /// The swept x-axis values (input rates for the paper figures,
+    /// fault intensities for R-1).
     pub rates: Vec<f64>,
     /// Per-curve results.
     pub curves: Vec<SweepResult>,
@@ -325,6 +327,20 @@ pub struct RenderedFigure {
     pub axis: Axis,
     /// Per-curve axis overrides (see [`Figure::curve_axes`]).
     pub curve_axes: Vec<Axis>,
+    /// Header label for the x column (`input_pps` for rate sweeps,
+    /// `fault_intensity` for R-1).
+    pub x_label: &'static str,
+}
+
+/// Formats an x-axis value: integral rates print bare (as every
+/// committed rate-sweep CSV always has), fractional fault intensities
+/// keep two decimals.
+fn fmt_x(x: f64) -> String {
+    if x.fract() == 0.0 {
+        format!("{x:.0}")
+    } else {
+        format!("{x:.2}")
+    }
 }
 
 impl RenderedFigure {
@@ -355,13 +371,13 @@ impl RenderedFigure {
         use std::fmt::Write as _;
         let mut out = String::new();
         let _ = writeln!(out, "# Figure {}: {}", self.id, self.caption);
-        let _ = write!(out, "{:>12}", "input_pps");
+        let _ = write!(out, "{:>12}", self.x_label);
         for c in &self.curves {
             let _ = write!(out, "  {:>24}", c.label.replace(' ', "_"));
         }
         let _ = writeln!(out);
         for (pi, rate) in self.rates.iter().enumerate() {
-            let _ = write!(out, "{rate:>12.0}");
+            let _ = write!(out, "{:>12}", fmt_x(*rate));
             for ci in 0..self.curves.len() {
                 let _ = write!(out, "  {:>24.1}", self.value(ci, pi));
             }
@@ -374,13 +390,13 @@ impl RenderedFigure {
     pub fn to_csv(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = write!(out, "input_pps");
+        let _ = write!(out, "{}", self.x_label);
         for c in &self.curves {
             let _ = write!(out, ",{}", c.label.replace(',', ";"));
         }
         let _ = writeln!(out);
         for (pi, rate) in self.rates.iter().enumerate() {
-            let _ = write!(out, "{rate:.0}");
+            let _ = write!(out, "{}", fmt_x(*rate));
             for ci in 0..self.curves.len() {
                 let _ = write!(out, ",{:.2}", self.value(ci, pi));
             }
@@ -449,6 +465,95 @@ pub fn render_figure(fig: &Figure, n_packets: usize, par: Parallelism) -> Render
         curves,
         axis: fig.axis,
         curve_axes: fig.curve_axes.clone(),
+        x_label: "input_pps",
+    }
+}
+
+/// The fault intensities figure R-1 sweeps (0 = the fault-free
+/// baseline; the storm's event count scales linearly with intensity).
+pub fn r1_intensities() -> Vec<f64> {
+    vec![0.0, 0.5, 1.0, 2.0, 4.0]
+}
+
+/// R-1's fixed offered load: past the screend path's MLFRR (≈ 2000
+/// pkts/s), where the unmodified kernel is already sliding down its
+/// overload curve while the polled kernel holds its plateau — fault
+/// damage separates the two instead of vanishing into headroom.
+pub const R1_RATE_PPS: f64 = 3_000.0;
+
+/// The seed every R-1 storm derives from: the figure is a deterministic
+/// function of (seed, intensity, trial length) only.
+pub const R1_STORM_SEED: u64 = 0xFA17;
+
+/// The seeded storm R-1 injects at one intensity into a trial of
+/// `n_packets` at [`R1_RATE_PPS`]: the storm window covers the middle
+/// 80% of the trial, clear of warm-up and tail.
+pub fn r1_storm(config: &KernelConfig, intensity: f64, n_packets: usize) -> FaultPlan {
+    let freq = config.cost.freq;
+    let total_ms = (n_packets as f64 / R1_RATE_PPS * 1_000.0) as u64;
+    FaultPlan::storm(
+        R1_STORM_SEED,
+        intensity,
+        freq.cycles_from_millis(total_ms / 10),
+        freq.cycles_from_millis(total_ms * 9 / 10),
+    )
+}
+
+/// Figure R-1: graceful degradation under a seeded fault storm.
+/// Delivered throughput and p99 latency versus fault intensity at a
+/// fixed offered load, unmodified vs polled-with-feedback, both routing
+/// through screend. Rendered outside [`all_figures`] because its x-axis
+/// is fault intensity, not input rate.
+pub fn render_fig_r1(n_packets: usize, par: Parallelism) -> RenderedFigure {
+    let unmod = KernelConfig::builder().screend(Default::default()).build();
+    let polled = KernelConfig::builder()
+        .polled(Quota::Limited(10))
+        .screend(Default::default())
+        .feedback(Default::default())
+        .build();
+    let curve_defs: Vec<(String, KernelConfig, Axis)> = vec![
+        ("Unmodified delivered".into(), unmod.clone(), Axis::DeliveredPps),
+        ("Polling w/feedback delivered".into(), polled.clone(), Axis::DeliveredPps),
+        ("Unmodified p99".into(), unmod, Axis::LatencyP99Micros),
+        ("Polling w/feedback p99".into(), polled, Axis::LatencyP99Micros),
+    ];
+    let intensities = r1_intensities();
+    let work: Vec<(usize, f64)> = curve_defs
+        .iter()
+        .enumerate()
+        .flat_map(|(ci, _)| intensities.iter().map(move |&x| (ci, x)))
+        .collect();
+    let mut trials = par_map(&work, par.jobs(), |&(ci, intensity)| {
+        let (_, cfg, _) = &curve_defs[ci];
+        let mut cfg = cfg.clone();
+        let plan = r1_storm(&cfg, intensity, n_packets);
+        // Intensity 0 leaves the plan out entirely, making the baseline
+        // column provably identical to a fault-free build.
+        if !plan.is_empty() {
+            cfg.faults = Some(plan);
+        }
+        run_trial(&TrialSpec {
+            rate_pps: R1_RATE_PPS,
+            n_packets,
+            ..TrialSpec::new(cfg)
+        })
+    })
+    .into_iter();
+    let curves = curve_defs
+        .iter()
+        .map(|(label, _, _)| SweepResult {
+            label: label.clone(),
+            trials: trials.by_ref().take(intensities.len()).collect(),
+        })
+        .collect();
+    RenderedFigure {
+        id: "R-1",
+        caption: "Graceful degradation under seeded fault storm (3000 pkts/s offered)",
+        rates: intensities,
+        curves,
+        axis: Axis::DeliveredPps,
+        curve_axes: curve_defs.iter().map(|&(_, _, a)| a).collect(),
+        x_label: "fault_intensity",
     }
 }
 
@@ -622,6 +727,71 @@ pub fn cpu_share_violations(r: &RenderedFigure) -> Vec<String> {
     v
 }
 
+/// Checks the rendered fault figure (R-1) against the
+/// graceful-degradation claim: the polled kernel must keep delivering
+/// at every fault intensity (no fault-induced livelock or permanent
+/// wedge), must not degrade past half its fault-free throughput even at
+/// the heaviest storm, and must end the sweep no worse than the
+/// unmodified kernel. Returns human-readable violations (empty = the
+/// claim holds).
+pub fn fault_shape_violations(r: &RenderedFigure) -> Vec<String> {
+    let mut v = Vec::new();
+    if r.id != "R-1" {
+        return v;
+    }
+    let find = |needle: &str| {
+        r.curves
+            .iter()
+            .position(|c| c.label.to_lowercase().contains(needle))
+    };
+    let (Some(unmod), Some(polled)) = (
+        find("unmodified delivered"),
+        find("feedback delivered"),
+    ) else {
+        v.push(format!(
+            "fig {}: needs unmodified and polling-with-feedback delivered curves",
+            r.id
+        ));
+        return v;
+    };
+    for (pi, &x) in r.rates.iter().enumerate() {
+        let d = r.value(polled, pi);
+        if d <= 0.0 {
+            v.push(format!(
+                "fig {}: polled kernel delivers nothing at fault intensity {x} \
+                 (fault-induced livelock)",
+                r.id
+            ));
+        }
+    }
+    let base = r.value(polled, 0);
+    if base < 1_500.0 {
+        v.push(format!(
+            "fig {}: fault-free polled baseline is {base:.0} pkts/s, \
+             expected the MLFRR plateau (>= 1500)",
+            r.id
+        ));
+    }
+    let last = r.rates.len() - 1;
+    let worst = r.value(polled, last);
+    if worst < 0.5 * base {
+        v.push(format!(
+            "fig {}: polled throughput degrades from {base:.0} to {worst:.0} pkts/s \
+             at the heaviest storm, expected graceful (>= 50% of baseline)",
+            r.id
+        ));
+    }
+    if r.value(unmod, last) > worst {
+        v.push(format!(
+            "fig {}: unmodified kernel out-delivers polled under the heaviest storm \
+             ({:.0} vs {worst:.0} pkts/s)",
+            r.id,
+            r.value(unmod, last)
+        ));
+    }
+    v
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -717,6 +887,7 @@ mod tests {
             interrupts_taken: 0,
             timeline: None,
             pool: Default::default(),
+            fault: Default::default(),
         };
         let rates = vec![2_000.0, 6_000.0, 12_000.0];
         let plateau: Vec<_> = rates.iter().map(|&r| fake_trial(r, 4_000.0_f64.min(r))).collect();
@@ -740,6 +911,7 @@ mod tests {
             ],
             axis: Axis::DeliveredPps,
             curve_axes: vec![],
+            x_label: "input_pps",
         };
         let v = shape_violations(&rendered);
         assert_eq!(v.len(), 2, "both wrong shapes flagged: {v:?}");
@@ -813,5 +985,36 @@ mod tests {
         swapped.curves[0].label = "Unmodified".into();
         swapped.curves[1].label = "Polling (quota = 5)".into();
         assert!(!latency_shape_violations(&swapped).is_empty());
+    }
+
+    #[test]
+    fn fault_figure_renders_and_degrades_gracefully() {
+        // A small R-1 render: delivered + p99 for both kernels across the
+        // intensity sweep, with the polled kernel never driven to zero.
+        // The storm spreads a fixed event count over the trial window, so
+        // very short trials concentrate it; 2000 packets keeps the test
+        // quick while staying within the checker's calibration.
+        let r = render_fig_r1(2_000, Parallelism::Auto);
+        assert_eq!(r.id, "R-1");
+        assert_eq!(r.x_label, "fault_intensity");
+        assert_eq!(r.rates, r1_intensities());
+        assert_eq!(r.curves.len(), 4);
+        assert_eq!(r.curve_axes.len(), 4);
+        // Intensity 0 runs with no fault plan at all: nothing injected.
+        for c in &r.curves {
+            assert_eq!(c.trials[0].fault.injected, 0, "{}", c.label);
+        }
+        // Every non-zero intensity really injects a scaled storm.
+        for (pi, &x) in r.rates.iter().enumerate().skip(1) {
+            for c in &r.curves {
+                assert!(c.trials[pi].fault.injected > 0, "{} at {x}", c.label);
+            }
+        }
+        let v = fault_shape_violations(&r);
+        assert!(v.is_empty(), "{v:?}");
+        // The CSV carries the fractional intensities verbatim.
+        let csv = r.to_csv();
+        assert!(csv.starts_with("fault_intensity,"), "{csv}");
+        assert!(csv.contains("\n0.50,"), "{csv}");
     }
 }

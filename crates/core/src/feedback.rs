@@ -229,6 +229,57 @@ mod tests {
     }
 
     #[test]
+    fn stuck_consumer_reenables_without_any_drain_event() {
+        // The wedge scenario fault injection creates: the consumer dies
+        // right after the inhibit edge, so no on_depth() ever arrives
+        // again. Only the tick-driven timeout can re-enable input — and it
+        // must do so every time, indefinitely.
+        let mut fb = WatermarkFeedback::new(32, 0.75, 0.25, 2);
+        fb.on_depth(24);
+        for round in 1..=50u64 {
+            assert!(fb.is_inhibited(), "round {round}");
+            assert_eq!(fb.on_tick(), None, "round {round}: one tick early");
+            assert_eq!(
+                fb.on_tick(),
+                Some(FeedbackSignal::Resume),
+                "round {round}: timeout must fire with no drain in sight"
+            );
+            assert_eq!(fb.timeout_resumes(), round);
+            // Queue still jammed: the next depth report re-inhibits, and
+            // the timeout clock must restart from zero.
+            assert_eq!(fb.on_depth(30), Some(FeedbackSignal::Inhibit));
+        }
+    }
+
+    #[test]
+    fn low_water_then_timeout_in_the_same_tick_resumes_once() {
+        // Race, order A: the drain crosses the low-water mark and the
+        // clock tick that would have fired the timeout lands right after.
+        // Exactly one Resume; the tick must not double-fire or re-wedge.
+        let mut fb = WatermarkFeedback::new(32, 0.75, 0.25, 1);
+        fb.on_depth(24);
+        assert_eq!(fb.on_depth(8), Some(FeedbackSignal::Resume));
+        assert_eq!(fb.on_tick(), None, "timeout races the drain and loses");
+        assert!(!fb.is_inhibited());
+        assert_eq!(fb.timeout_resumes(), 0, "drain won: not a timeout resume");
+    }
+
+    #[test]
+    fn timeout_then_low_water_in_the_same_tick_resumes_once() {
+        // Race, order B: the tick fires the timeout first, then the
+        // in-flight dequeue reports a low depth. The depth report must
+        // see an already-open controller and stay silent.
+        let mut fb = WatermarkFeedback::new(32, 0.75, 0.25, 1);
+        fb.on_depth(24);
+        assert_eq!(fb.on_tick(), Some(FeedbackSignal::Resume));
+        assert_eq!(fb.on_depth(8), None, "already resumed by the timeout");
+        assert!(!fb.is_inhibited());
+        assert_eq!(fb.timeout_resumes(), 1);
+        // And the controller is not wedged: a later fill inhibits again.
+        assert_eq!(fb.on_depth(24), Some(FeedbackSignal::Inhibit));
+    }
+
+    #[test]
     #[should_panic(expected = "low water must be below high water")]
     fn rejects_inverted_marks() {
         let _ = WatermarkFeedback::new(32, 0.25, 0.75, 1);

@@ -47,4 +47,4 @@ pub use feedback::{FeedbackSignal, WatermarkFeedback};
 pub use gate::{InhibitReason, IntrGate};
 pub use poller::{PollAction, PollDirection, Poller, Quota, SourceId};
 pub use rate_limit::IntrRateLimiter;
-pub use watchdog::{ProgressWatchdog, WatchdogSignal};
+pub use watchdog::{GateWatchdog, ProgressWatchdog, WatchdogSignal};

@@ -2,6 +2,7 @@
 
 use livelock_core::poller::Quota;
 use livelock_machine::cost::CostModel;
+use livelock_machine::fault::FaultPlan;
 use livelock_machine::nic::NicConfig;
 use livelock_net::filter::Filter;
 
@@ -171,6 +172,11 @@ pub struct KernelConfig {
     /// Periodic telemetry sampling (`None` = off, the default: no timeline
     /// is recorded and the clock-tick path pays nothing).
     pub telemetry: Option<TelemetryConfig>,
+    /// Scheduled fault injection (`None` or an empty plan = off, the
+    /// default: no fault events are scheduled, no recovery machinery is
+    /// armed, and the run is byte-identical to one without the fault
+    /// subsystem).
+    pub faults: Option<FaultPlan>,
     /// The cycle cost model.
     pub cost: CostModel,
 }
@@ -192,6 +198,7 @@ impl KernelConfig {
             num_ifaces: 2,
             latency_tracking: true,
             telemetry: None,
+            faults: None,
             cost: CostModel::calibrated(),
         }
     }
@@ -464,6 +471,13 @@ impl KernelConfigBuilder {
     /// Enables the periodic telemetry sampler (off by default).
     pub fn telemetry(mut self, cfg: TelemetryConfig) -> Self {
         self.cfg.telemetry = Some(cfg);
+        self
+    }
+
+    /// Schedules a fault-injection plan (off by default). An empty plan
+    /// is equivalent to none.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.cfg.faults = Some(plan);
         self
     }
 

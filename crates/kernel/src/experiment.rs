@@ -15,7 +15,7 @@
 //! every figure in the paper plots.
 
 use livelock_core::analysis::SweepPoint;
-use livelock_machine::chrome_trace_json;
+use livelock_machine::chrome_trace_json_with_markers;
 use livelock_machine::cpu::Engine;
 use livelock_machine::ledger::CpuClass;
 use livelock_machine::trace::TraceRecord;
@@ -28,7 +28,7 @@ use livelock_sim::{Cycles, Nanos};
 use crate::config::KernelConfig;
 use crate::par::Parallelism;
 use crate::router::{Event, RouterKernel};
-use crate::stats::{DropStats, LatencyStats};
+use crate::stats::{DropStats, FaultStats, LatencyStats};
 use crate::telemetry::Timeline;
 
 /// One trial's parameters.
@@ -116,6 +116,9 @@ pub struct TrialResult {
     /// came from one [`FramePool`], so `pool.misses` is the number of
     /// per-packet heap allocations (0 in steady state).
     pub pool: PoolStats,
+    /// Fault-injection and recovery counters (all zero when the config
+    /// carries no fault plan).
+    pub fault: FaultStats,
 }
 
 impl TrialResult {
@@ -131,7 +134,7 @@ impl TrialResult {
 ///
 /// Panics if the spec is degenerate (zero packets or non-positive rate).
 pub fn run_trial(spec: &TrialSpec) -> TrialResult {
-    run_trial_inner(spec, None).0
+    run_trial_engine(spec, None, Cycles::ZERO).0
 }
 
 /// Runs one trial with machine-level scheduling-event tracing enabled
@@ -144,11 +147,21 @@ pub fn run_trial(spec: &TrialSpec) -> TrialResult {
 ///
 /// Panics if the spec is degenerate (zero packets or non-positive rate).
 pub fn run_trial_traced(spec: &TrialSpec, trace_capacity: usize) -> (TrialResult, String) {
-    let (result, json) = run_trial_inner(spec, Some(trace_capacity));
+    let (result, json, _) = run_trial_engine(spec, Some(trace_capacity), Cycles::ZERO);
     (result, json.expect("tracing was enabled"))
 }
 
-fn run_trial_inner(spec: &TrialSpec, trace_capacity: Option<usize>) -> (TrialResult, Option<String>) {
+/// The trial engine behind [`run_trial`] and [`run_chaos_trial`]:
+/// optionally traces, and optionally keeps simulating for `drain` cycles
+/// past the measurement window (measured numbers are unaffected — the
+/// window is closed first — but queues get a chance to empty, which the
+/// chaos invariants assert on). Returns the finished engine for
+/// end-state inspection.
+fn run_trial_engine(
+    spec: &TrialSpec,
+    trace_capacity: Option<usize>,
+    drain: Cycles,
+) -> (TrialResult, Option<String>, Engine<RouterKernel>) {
     assert!(spec.n_packets > 0, "trial needs packets");
     assert!(spec.rate_pps > 0.0, "trial needs a positive rate");
 
@@ -196,6 +209,9 @@ fn run_trial_inner(spec: &TrialSpec, trace_capacity: Option<usize>) -> (TrialRes
     engine.run_until(window_end);
     let user_after = user_tid.map(|t| engine.state().thread_cycles(t));
     let ledger_after = engine.state().ledger();
+    if !drain.is_zero() {
+        engine.run_until(Cycles::new(window_end.raw().saturating_add(drain.raw())));
+    }
 
     let window = window_end - window_start;
     let user_cpu_frac = match (user_before, user_after) {
@@ -206,14 +222,16 @@ fn run_trial_inner(spec: &TrialSpec, trace_capacity: Option<usize>) -> (TrialRes
 
     let interrupts_taken = engine.state().intr.total_taken();
     engine.workload_mut().sync_pool_stats();
+    let markers = engine.workload_mut().take_fault_markers();
     let chrome_json = engine.trace().map(|t| {
         let records: Vec<TraceRecord> = t.records().copied().collect();
         let st = engine.state();
-        chrome_trace_json(
+        chrome_trace_json_with_markers(
             &records,
             freq,
             |src| format!("{} #{}", st.intr.name_of(src), src.0),
             |tid| st.sched.name(tid).to_string(),
+            &markers,
         )
     });
     let stats = engine.workload().stats();
@@ -221,14 +239,14 @@ fn run_trial_inner(spec: &TrialSpec, trace_capacity: Option<usize>) -> (TrialRes
         offered_pps: stats.offered_pps(freq),
         delivered_pps: stats.delivered_pps(freq),
         transmitted: stats.transmitted,
-        rx_ring_drops: stats.rx_ring_drops,
-        ipintrq_drops: stats.ipintrq_drops,
-        screend_q_drops: stats.screend_q_drops,
-        screend_denied: stats.screend_denied,
-        socket_q_drops: stats.socket_q_drops,
+        rx_ring_drops: stats.rx_ring_drops(),
+        ipintrq_drops: stats.ipintrq_drops(),
+        screend_q_drops: stats.screend_q_drops(),
+        screend_denied: stats.screend_denied(),
+        socket_q_drops: stats.socket_q_drops(),
         app_delivered: stats.app_delivered,
         app_delivered_pps: stats.app_delivered_pps(freq),
-        ifq_drops: stats.ifq_drops,
+        ifq_drops: stats.ifq_drops(),
         latency_mean: stats.latency.mean(),
         latency_p99: stats.latency.quantile(0.99),
         latency_jitter: stats.latency.jitter(),
@@ -239,8 +257,56 @@ fn run_trial_inner(spec: &TrialSpec, trace_capacity: Option<usize>) -> (TrialRes
         interrupts_taken,
         timeline: stats.timeline.clone(),
         pool: stats.pool.unwrap_or_default(),
+        fault: stats.fault,
     };
-    (result, chrome_json)
+    (result, chrome_json, engine)
+}
+
+/// End-state invariants measured by [`run_chaos_trial`] after the fault
+/// storm and the post-window drain.
+#[derive(Clone, Debug)]
+pub struct ChaosReport {
+    /// The trial's measured numbers (fault counters included).
+    pub result: TrialResult,
+    /// Whether the interrupt gate ended the run open — a permanently
+    /// inhibited gate is the wedge the recovery machinery must prevent.
+    pub gate_open_at_end: bool,
+    /// The gate's final inhibit bitmask (zero iff open).
+    pub gate_bits: u8,
+    /// Depth of the screend queue after the drain: it must empty after
+    /// every injected crash and restart.
+    pub screend_q_len: usize,
+    /// Packets still inside the kernel after the drain (computed from
+    /// the conserved arrival/delivery/drop ledger, which panics if the
+    /// ledger itself does not balance).
+    pub in_flight: u64,
+    /// Times the watermark feedback's timeout safety net fired.
+    pub timeout_resumes: u64,
+}
+
+/// Runs one trial like [`run_trial`], then keeps the simulation alive
+/// for a 200 ms (simulated) drain with no new arrivals and reports the
+/// end-state invariants a gracefully degrading kernel must satisfy.
+/// Intended for specs whose config carries a
+/// [`FaultPlan`](livelock_machine::fault::FaultPlan), but works (and
+/// should be trivially green) without one.
+///
+/// # Panics
+///
+/// Panics if the spec is degenerate, or if the kernel's drop ledger
+/// fails to conserve packets.
+pub fn run_chaos_trial(spec: &TrialSpec) -> ChaosReport {
+    let drain = spec.config.cost.freq.cycles_from_millis(200);
+    let (result, _, engine) = run_trial_engine(spec, None, drain);
+    let kernel = engine.workload();
+    ChaosReport {
+        gate_open_at_end: kernel.gate_is_open(),
+        gate_bits: kernel.gate_bits(),
+        screend_q_len: kernel.screend_q_len(),
+        in_flight: kernel.stats().in_flight(),
+        timeout_resumes: kernel.feedback_timeout_resumes(),
+        result,
+    }
 }
 
 /// Per-buffer capacity of a trial's frame pool. The paper's test frames

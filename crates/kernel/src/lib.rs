@@ -47,8 +47,11 @@ pub mod telemetry;
 pub use config::{
     FeedbackConfig, KernelConfig, KernelConfigBuilder, Mode, PolledConfig, ScreendConfig,
 };
-pub use experiment::{run_trial, run_trial_traced, sweep, SweepResult, TrialResult, TrialSpec};
+pub use experiment::{
+    run_chaos_trial, run_trial, run_trial_traced, sweep, ChaosReport, SweepResult, TrialResult,
+    TrialSpec,
+};
 pub use par::{default_jobs, par_map, Parallelism};
 pub use router::RouterKernel;
-pub use stats::{DropReason, DropStats, KernelStats, LatencyStats, Stage};
+pub use stats::{DropReason, DropStats, FaultStats, KernelStats, LatencyStats, Stage};
 pub use telemetry::{QueueDepths, TelemetryConfig, Timeline};

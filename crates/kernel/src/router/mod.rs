@@ -33,6 +33,7 @@ use livelock_core::poller::{PollAction, PollDirection, Poller, Quota, SourceId};
 use livelock_core::rate_limit::IntrRateLimiter;
 use livelock_machine::cost::CostModel;
 use livelock_machine::cpu::{Chunk, CtxKind, Env, EnvState, Workload};
+use livelock_machine::fault::FaultKind;
 use livelock_machine::ledger::CpuClass;
 use livelock_machine::intr::IntrSrc;
 use livelock_machine::ipl::Ipl;
@@ -52,11 +53,14 @@ use livelock_net::red::{Admission, Red};
 use livelock_net::route::{NextHop, RouteTable};
 use livelock_sim::Cycles;
 
+mod faults;
 mod forwarding;
 mod gating;
 mod polled;
 mod procs;
 mod unmodified;
+
+use faults::FaultState;
 
 use crate::config::{KernelConfig, Mode};
 use crate::stats::{DropReason, KernelStats};
@@ -86,6 +90,10 @@ pub enum Event {
         /// The interface whose interrupt was deferred.
         iface: usize,
     },
+    /// A scheduled fault from the configured [`FaultPlan`] fires.
+    ///
+    /// [`FaultPlan`]: livelock_machine::fault::FaultPlan
+    Fault(FaultKind),
 }
 
 /// Chunk tags.
@@ -202,6 +210,9 @@ pub struct RouterKernel {
     /// Frame pool for kernel-originated packets (ARP/ICMP/UDP replies).
     /// `None` falls back to per-packet heap allocation.
     pool: Option<FramePool>,
+    /// Live fault-injection state; `None` when no fault plan is
+    /// configured, in which case every fault hook is dead code.
+    fault: Option<FaultState>,
     stats: KernelStats,
 }
 
@@ -355,6 +366,19 @@ impl RouterKernel {
         // First clock tick.
         st.schedule_at(cost.clock_tick_interval, Event::ClockPulse);
 
+        // Scheduled fault injections. An absent or empty plan schedules
+        // no events and allocates no state, so a fault-free run is
+        // bit-for-bit identical to a build without the fault layer.
+        let fault = match &cfg.faults {
+            Some(plan) if !plan.is_empty() => {
+                for ev in plan.events() {
+                    st.schedule_at(ev.at, Event::Fault(ev.kind));
+                }
+                Some(FaultState::new(cfg.num_ifaces))
+            }
+            _ => None,
+        };
+
         let mut stats = KernelStats::new();
         stats.timeline = cfg.telemetry.map(Timeline::new);
 
@@ -392,6 +416,7 @@ impl RouterKernel {
             app_tid,
             user_tid,
             pool,
+            fault,
             stats,
         };
         (st, kernel)
@@ -490,6 +515,72 @@ impl RouterKernel {
     /// per-interface `Opkts` for `netstat`-style sampling.
     pub fn opkts(&self, iface: usize) -> u64 {
         self.ifaces[iface].nic.opkts()
+    }
+
+    /// A frame finished arriving on interface `i`: DMA into the receive
+    /// ring, then (maybe) a receive interrupt. Shared by wire arrivals
+    /// and fault-injected overrun storms so both obey the same
+    /// accounting.
+    fn rx_arrive(&mut self, env: &mut Env<'_, Event>, i: usize, pkt: Packet) {
+        let mut pkt = pkt;
+        if let Some(f) = &mut self.fault {
+            // A flapped link loses the frame on the wire, before the NIC
+            // (and the arrival counter) ever sees it.
+            if env.now() < f.link_down_until[i] {
+                self.stats.fault.link_down_losses += 1;
+                return;
+            }
+            // An armed mutation corrupts the frame in place; the IPv4
+            // header checksum (or length checks) catch it downstream.
+            if let Some(m) = f.pending_mutation[i].take() {
+                m.apply(&mut pkt);
+                self.stats.fault.mutated_frames += 1;
+            }
+        }
+        self.stats.record_arrival(env.now());
+        pkt.arrived_at = env.now();
+        // A ring overflow while the gate is closed is the drop the
+        // feedback deliberately asked for (§6.4); attribute it so.
+        let inhibited = self.is_polled() && !self.gate.is_open();
+        let iface = &mut self.ifaces[i];
+        if iface.nic.rx_arrive(pkt).is_ok() {
+            if iface.nic.rx_intr_enabled() {
+                self.post_rx_intr(env, i);
+            }
+        } else if inhibited {
+            self.stats.record_drop(DropReason::FeedbackInhibit);
+        } else {
+            self.stats.record_drop(DropReason::RxRingFull);
+        }
+    }
+
+    /// The interrupt gate's inhibit bitmask (zero = open).
+    pub fn gate_bits(&self) -> u8 {
+        self.gate.bits()
+    }
+
+    /// Whether the interrupt gate is open (no inhibit reason active).
+    pub fn gate_is_open(&self) -> bool {
+        self.gate.is_open()
+    }
+
+    /// Current depth of the screend input queue.
+    pub fn screend_q_len(&self) -> usize {
+        self.screend_q.len()
+    }
+
+    /// Times the watermark feedback's timeout safety net re-enabled
+    /// input (zero when feedback is not configured).
+    pub fn feedback_timeout_resumes(&self) -> u64 {
+        self.feedback.as_ref().map_or(0, |f| f.timeout_resumes())
+    }
+
+    /// Drains the accumulated fault/recovery markers for trace export
+    /// (empty when no fault plan is configured).
+    pub fn take_fault_markers(&mut self) -> Vec<(Cycles, String)> {
+        self.fault
+            .as_mut()
+            .map_or_else(Vec::new, |f| std::mem::take(&mut f.markers))
     }
 
     fn is_polled(&self) -> bool {
@@ -604,24 +695,7 @@ impl Workload for RouterKernel {
 
     fn on_event(&mut self, env: &mut Env<'_, Event>, event: Event) {
         match event {
-            Event::RxArrive { iface: i, pkt } => {
-                self.stats.record_arrival(env.now());
-                let mut pkt = pkt;
-                pkt.arrived_at = env.now();
-                // A ring overflow while the gate is closed is the drop the
-                // feedback deliberately asked for (§6.4); attribute it so.
-                let inhibited = self.is_polled() && !self.gate.is_open();
-                let iface = &mut self.ifaces[i];
-                if iface.nic.rx_arrive(pkt).is_ok() {
-                    if iface.nic.rx_intr_enabled() {
-                        self.post_rx_intr(env, i);
-                    }
-                } else if inhibited {
-                    self.stats.record_drop(DropReason::FeedbackInhibit);
-                } else {
-                    self.stats.record_drop(DropReason::RxRingFull);
-                }
-            }
+            Event::RxArrive { iface: i, pkt } => self.rx_arrive(env, i, pkt),
             Event::TxWireDone { iface: i } => {
                 let now = env.now();
                 let (latency_src, post_tx) = {
@@ -641,13 +715,24 @@ impl Workload for RouterKernel {
                             .record_delivery(pkt.arrived_at, &pkt.stamps, now, self.cost.freq);
                     }
                 }
-                if post_tx {
+                if post_tx && !self.consume_lost_tx_intr(i) {
                     env.post_intr(self.ifaces[i].tx_src);
                 }
             }
             Event::ClockPulse => {
                 env.post_intr(self.clock_src);
-                env.schedule_in(self.cost.clock_tick_interval, Event::ClockPulse);
+                let mut interval = self.cost.clock_tick_interval;
+                if let Some(f) = &mut self.fault {
+                    // Injected clock jitter: one reschedule is skewed
+                    // (never below one cycle), then the pulse returns to
+                    // its nominal period.
+                    if f.pending_clock_skew != 0 {
+                        let skewed = (interval.raw() as i64 + f.pending_clock_skew).max(1);
+                        interval = Cycles::new(skewed as u64);
+                        f.pending_clock_skew = 0;
+                    }
+                }
+                env.schedule_in(interval, Event::ClockPulse);
             }
             Event::DeferredRxIntr { iface: i } => {
                 self.rx_intr_deferred[i] = false;
@@ -659,6 +744,7 @@ impl Workload for RouterKernel {
                     self.post_rx_intr(env, i);
                 }
             }
+            Event::Fault(kind) => self.apply_fault(env, kind),
         }
     }
 
@@ -745,7 +831,7 @@ mod tests {
             e.run_until(Cycles::new(200_000_000));
             let s = e.workload().stats();
             assert_eq!(s.transmitted, 20, "stats: {s:?}");
-            assert_eq!(s.screend_denied, 0);
+            assert_eq!(s.screend_denied(), 0);
         }
     }
 
@@ -758,7 +844,7 @@ mod tests {
         inject(&mut e, 100, 5, 1000);
         e.run_until(Cycles::new(100_000_000));
         let s = e.workload().stats();
-        assert_eq!(s.screend_denied, 5, "the testbed traffic targets port 9");
+        assert_eq!(s.screend_denied(), 5, "the testbed traffic targets port 9");
         assert_eq!(s.transmitted, 0);
     }
 
@@ -770,10 +856,10 @@ mod tests {
         inject(&mut e, 100, 100, 0);
         e.run_until(Cycles::new(1_000_000_000));
         let s = e.workload().stats();
-        assert!(s.rx_ring_drops > 0, "ring must overflow: {s:?}");
+        assert!(s.rx_ring_drops() > 0, "ring must overflow: {s:?}");
         assert_eq!(
             s.arrived,
-            s.transmitted + s.rx_ring_drops + s.wasted_drops() + s.in_flight(),
+            s.transmitted + s.rx_ring_drops() + s.wasted_drops() + s.in_flight(),
         );
         assert_eq!(s.in_flight(), 0, "everything drained by quiescence");
     }
@@ -798,7 +884,7 @@ mod tests {
         e.state_schedule(Cycles::new(1000), Event::RxArrive { iface: 0, pkt });
         e.run_until(Cycles::new(10_000_000));
         let s = e.workload().stats();
-        assert_eq!(s.fwd_errors, 1);
+        assert_eq!(s.fwd_errors(), 1);
         assert_eq!(s.transmitted, 0);
     }
 
@@ -810,6 +896,6 @@ mod tests {
         let pkt = factory.next_packet();
         e.state_schedule(Cycles::new(1000), Event::RxArrive { iface: 0, pkt });
         e.run_until(Cycles::new(10_000_000));
-        assert_eq!(e.workload().stats().fwd_errors, 1);
+        assert_eq!(e.workload().stats().fwd_errors(), 1);
     }
 }

@@ -150,6 +150,9 @@ impl RouterKernel {
 
     /// Posts (or defers, under §5.1 rate limiting) a receive interrupt.
     pub(super) fn post_rx_intr(&mut self, env: &mut Env<'_, Event>, i: usize) {
+        if self.consume_lost_rx_intr(i) {
+            return;
+        }
         match &mut self.rx_rate_limiter {
             None => env.post_intr(self.ifaces[i].rx_src),
             Some(rl) => {

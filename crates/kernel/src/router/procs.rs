@@ -5,6 +5,14 @@ use super::*;
 
 impl RouterKernel {
     pub(super) fn screend_next(&mut self, env: &mut Env<'_, Event>) -> Option<Chunk> {
+        // An injected stall or crash backoff: the process exists but
+        // refuses to run until fault_tick restarts it.
+        if self.screend_stalled() {
+            if let Some(tid) = self.screend_tid {
+                env.sleep(tid);
+            }
+            return None;
+        }
         if self.screend_q.is_empty() {
             if let Some(tid) = self.screend_tid {
                 env.sleep(tid);
@@ -160,5 +168,6 @@ impl RouterKernel {
                 self.resume_input(env, InhibitReason::CycleLimit);
             }
         }
+        self.fault_tick(env);
     }
 }

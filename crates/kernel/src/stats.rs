@@ -324,30 +324,76 @@ impl Default for LatencyStats {
     }
 }
 
+/// Fault-injection bookkeeping: what was injected and what the recovery
+/// machinery did about it. All counters are *CPU-class-neutral* — fault
+/// bookkeeping consumes no ledger cycles, so the conserved cycle ledger
+/// and the packet-conservation check hold under every fault kind.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Fault events injected (of any kind).
+    pub injected: u64,
+    /// Device interrupts suppressed (lost RX/TX edges).
+    pub lost_intrs: u64,
+    /// Spurious device interrupts delivered with no work pending.
+    pub spurious_intrs: u64,
+    /// Frames damaged by descriptor corruption or in-flight mutation.
+    pub mutated_frames: u64,
+    /// Garbage frames synthesized by overrun storms.
+    pub storm_frames: u64,
+    /// Clock ticks skewed early or late.
+    pub clock_jitters: u64,
+    /// Link-flap events (carrier loss windows).
+    pub link_flaps: u64,
+    /// Frames lost on the wire while a link was down (never reached the
+    /// NIC, so they are outside packet conservation by construction).
+    pub link_down_losses: u64,
+    /// Screend stall events injected.
+    pub screend_stalls: u64,
+    /// Screend crash events injected.
+    pub screend_crashes: u64,
+    /// Packets flushed from the screend queue by crashes.
+    pub crash_flushed: u64,
+    /// Stalled/crashed screend restarts completed (backoff expiries).
+    pub stall_recoveries: u64,
+    /// Device interrupts reposted by the driver watchdog after a lost
+    /// edge left latched work with no wakeup.
+    pub intr_reposts: u64,
+    /// Stuck gate reasons force-cleared by the gate watchdog.
+    pub watchdog_unwedges: u64,
+}
+
 /// Counters and distributions collected by the router kernel during a run.
+///
+/// The per-queue drop counters are private: [`KernelStats::record_drop`]
+/// is the only mutation path (it keeps them in sync with the
+/// [`DropReason`] taxonomy), and the same-named getter methods are the
+/// read path. CI enforces this by grepping for direct pushes.
 #[derive(Clone, Debug)]
 pub struct KernelStats {
     /// Frames that finished arriving on input wires (offered load actually
     /// presented to the NICs).
     pub arrived: u64,
     /// Frames dropped because a receive ring was full (free drops at the
-    /// interface).
-    pub rx_ring_drops: u64,
+    /// interface). Read via [`KernelStats::rx_ring_drops`].
+    rx_ring_drops: u64,
     /// Packets dropped at the `ipintrq` (unmodified kernel only) — each one
-    /// wasted device-level work.
-    pub ipintrq_drops: u64,
+    /// wasted device-level work. Read via [`KernelStats::ipintrq_drops`].
+    ipintrq_drops: u64,
     /// Packets dropped at the screend queue — each one wasted device +
-    /// IP-level work.
-    pub screend_q_drops: u64,
-    /// Packets denied by the screening rules (not a malfunction).
-    pub screend_denied: u64,
+    /// IP-level work. Read via [`KernelStats::screend_q_drops`].
+    screend_q_drops: u64,
+    /// Packets denied by the screening rules (not a malfunction). Read via
+    /// [`KernelStats::screend_denied`].
+    screend_denied: u64,
     /// Packets dropped at an output interface queue — wasted everything
-    /// but transmission.
-    pub ifq_drops: u64,
-    /// Of the output-queue drops, how many were RED early drops.
-    pub red_drops: u64,
-    /// Packets dropped at the local socket buffer (end-system mode).
-    pub socket_q_drops: u64,
+    /// but transmission. Read via [`KernelStats::ifq_drops`].
+    ifq_drops: u64,
+    /// Of the output-queue drops, how many were RED early drops. Read via
+    /// [`KernelStats::red_drops`].
+    red_drops: u64,
+    /// Packets dropped at the local socket buffer (end-system mode). Read
+    /// via [`KernelStats::socket_q_drops`].
+    socket_q_drops: u64,
     /// Packets consumed by the local application (end-system mode).
     pub app_delivered: u64,
     /// Reply packets originated by the local application.
@@ -358,15 +404,16 @@ pub struct KernelStats {
     pub icmp_suppressed: u64,
     /// Packets discarded because the host is not a router (end-system
     /// mode) and the destination was not local — the "innocent bystander"
-    /// cost of §1's multicast/broadcast storms.
-    pub bystander_drops: u64,
+    /// cost of §1's multicast/broadcast storms. Read via
+    /// [`KernelStats::bystander_drops`].
+    bystander_drops: u64,
     /// ARP frames consumed by the host (requests, gratuitous, replies).
     pub arp_handled: u64,
     /// ARP replies originated by the host.
     pub arp_replies: u64,
     /// Packets dropped by the forwarding code (bad checksum, TTL, no
-    /// route, no ARP entry).
-    pub fwd_errors: u64,
+    /// route, no ARP entry). Read via [`KernelStats::fwd_errors`].
+    fwd_errors: u64,
     /// Frames fully transmitted on output wires (the `Opkts` the paper
     /// counts).
     pub transmitted: u64,
@@ -393,6 +440,8 @@ pub struct KernelStats {
     /// The telemetry timeline, when the sampler is enabled via
     /// [`KernelConfig::telemetry`](crate::config::KernelConfig::telemetry).
     pub timeline: Option<Timeline>,
+    /// Fault-injection and recovery bookkeeping (all zero on clean runs).
+    pub fault: FaultStats,
 }
 
 impl KernelStats {
@@ -425,7 +474,54 @@ impl KernelStats {
             ticks: 0,
             pool: None,
             timeline: None,
+            fault: FaultStats::default(),
         }
+    }
+
+    /// Frames dropped because a receive ring was full.
+    pub fn rx_ring_drops(&self) -> u64 {
+        self.rx_ring_drops
+    }
+
+    /// Packets dropped at the `ipintrq` (unmodified kernel only).
+    pub fn ipintrq_drops(&self) -> u64 {
+        self.ipintrq_drops
+    }
+
+    /// Packets dropped at the screend queue.
+    pub fn screend_q_drops(&self) -> u64 {
+        self.screend_q_drops
+    }
+
+    /// Packets denied by the screening rules.
+    pub fn screend_denied(&self) -> u64 {
+        self.screend_denied
+    }
+
+    /// Packets dropped at an output interface queue.
+    pub fn ifq_drops(&self) -> u64 {
+        self.ifq_drops
+    }
+
+    /// Of the output-queue drops, how many were RED early drops.
+    pub fn red_drops(&self) -> u64 {
+        self.red_drops
+    }
+
+    /// Packets dropped at the local socket buffer (end-system mode).
+    pub fn socket_q_drops(&self) -> u64 {
+        self.socket_q_drops
+    }
+
+    /// Packets discarded as innocent-bystander traffic (end-system mode).
+    pub fn bystander_drops(&self) -> u64 {
+        self.bystander_drops
+    }
+
+    /// Packets dropped by the forwarding code (bad checksum, TTL, no
+    /// route, no ARP entry).
+    pub fn fwd_errors(&self) -> u64 {
+        self.fwd_errors
     }
 
     /// Installs the measurement window `[start, end)` for rate reporting.

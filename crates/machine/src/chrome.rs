@@ -76,8 +76,23 @@ fn push_event(out: &mut Vec<String>, name: &str, ph: char, ts: f64, tid: u32, ex
 pub fn chrome_trace_json(
     records: &[TraceRecord],
     freq: Freq,
+    intr_name: impl FnMut(IntrSrc) -> String,
+    thread_name: impl FnMut(ThreadId) -> String,
+) -> String {
+    chrome_trace_json_with_markers(records, freq, intr_name, thread_name, &[])
+}
+
+/// Like [`chrome_trace_json`], with extra named instant markers merged
+/// onto the *markers* track — the fault-injection layer uses this to make
+/// every injected fault and recovery action visible next to the
+/// interleaving it perturbed. Markers are emitted in slice order after
+/// the record-derived events; output stays deterministic.
+pub fn chrome_trace_json_with_markers(
+    records: &[TraceRecord],
+    freq: Freq,
     mut intr_name: impl FnMut(IntrSrc) -> String,
     mut thread_name: impl FnMut(ThreadId) -> String,
+    markers: &[(Cycles, String)],
 ) -> String {
     let mut events: Vec<String> = Vec::with_capacity(records.len() + 8);
     for (tid, label) in [
@@ -139,6 +154,10 @@ pub fn chrome_trace_json(
     // Close frames still open at the end of the trace window.
     while let Some(src) = open.pop() {
         push_event(&mut events, &intr_name(src), 'E', last_ts, TID_INTR, "");
+    }
+    for (at, name) in markers {
+        let ts = ts_micros(freq, *at);
+        push_event(&mut events, name, 'i', ts, TID_MARKER, ",\"s\":\"t\"");
     }
 
     let mut out = String::from("{\"traceEvents\":[\n");
@@ -220,6 +239,29 @@ mod tests {
         let json = chrome_trace_json(&records, freq, names().0, names().1);
         assert_eq!(json.matches("\"ph\":\"E\"").count(), 0);
         assert_eq!(json.matches("\"ph\":\"i\"").count(), 1);
+    }
+
+    #[test]
+    fn fault_markers_land_on_the_marker_track() {
+        let freq = Freq::mhz(1);
+        let records = vec![
+            rec(0, TraceEvent::IntrEnter(IntrSrc(0))),
+            rec(100, TraceEvent::IntrExit(IntrSrc(0))),
+        ];
+        let markers = vec![
+            (Cycles::new(50), "fault: lost-rx-intr".to_string()),
+            (Cycles::new(90), "recover: screend-restart".to_string()),
+        ];
+        let json =
+            chrome_trace_json_with_markers(&records, freq, names().0, names().1, &markers);
+        assert_eq!(json.matches("\"ph\":\"i\"").count(), 2);
+        assert!(json.contains("\"name\":\"fault: lost-rx-intr\""));
+        assert!(json.contains("\"name\":\"recover: screend-restart\""));
+        // Without markers the output is byte-identical to the plain form.
+        let plain = chrome_trace_json(&records, freq, names().0, names().1);
+        let empty =
+            chrome_trace_json_with_markers(&records, freq, names().0, names().1, &[]);
+        assert_eq!(plain, empty);
     }
 
     #[test]

@@ -29,6 +29,10 @@
 //!   summing exactly to elapsed time.
 //! - [`chrome`] — Chrome-trace / Perfetto JSON export of [`trace`]
 //!   records, so an interleaving can be inspected visually.
+//! - [`fault`] — deterministic, seeded fault-injection plans (lost and
+//!   spurious interrupts, ring corruption, overrun storms, clock jitter,
+//!   link flaps, packet mutation, consumer stalls/crashes), scheduled on
+//!   virtual time so chaos runs replay exactly.
 //!
 //! The `livelock-kernel` crate implements the paper's unmodified and
 //! modified kernels as [`cpu::Workload`]s on top of this machine.
@@ -36,6 +40,7 @@
 pub mod chrome;
 pub mod cost;
 pub mod cpu;
+pub mod fault;
 pub mod intr;
 pub mod ipl;
 pub mod ledger;
@@ -44,8 +49,9 @@ pub mod thread;
 pub mod trace;
 pub mod wire;
 
-pub use chrome::{chrome_trace_json, json_escape};
+pub use chrome::{chrome_trace_json, chrome_trace_json_with_markers, json_escape};
 pub use cost::CostModel;
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use cpu::{Chunk, CtxKind, Engine, Env, UsageReport, Workload};
 pub use intr::{IntrController, IntrSrc};
 pub use ipl::Ipl;

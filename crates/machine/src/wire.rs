@@ -61,6 +61,13 @@ impl Wire {
         now < self.busy_until
     }
 
+    /// Forces the wire busy until at least `until` (carrier loss: a link
+    /// flap holds off transmission exactly as an endless frame would).
+    /// Never shortens an in-progress transmission.
+    pub fn force_carrier_loss(&mut self, until: Cycles) {
+        self.busy_until = self.busy_until.max(until);
+    }
+
     /// The time the wire becomes free.
     pub fn busy_until(&self) -> Cycles {
         self.busy_until
@@ -134,6 +141,18 @@ mod tests {
         let secs = FREQ.secs_from_cycles(now);
         let rate = 1000.0 / secs;
         assert!((rate - 14_880.0).abs() < 10.0, "rate {rate}");
+    }
+
+    #[test]
+    fn carrier_loss_defers_transmission() {
+        let mut w = Wire::ethernet_10m(FREQ);
+        w.force_carrier_loss(Cycles::new(10_000));
+        assert!(w.is_busy(Cycles::new(5_000)));
+        let done = w.begin_tx(Cycles::new(1_000), 60);
+        assert_eq!(done, Cycles::new(16_720), "starts when carrier returns");
+        // Never shortens: a later, earlier-ending loss is a no-op.
+        w.force_carrier_loss(Cycles::new(12_000));
+        assert_eq!(w.busy_until(), done);
     }
 
     #[test]

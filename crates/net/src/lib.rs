@@ -27,6 +27,9 @@
 //!   reassembly (§5.3's "fragment must be queued" case).
 //! - [`gen`] — deterministic traffic generators (constant-rate with jitter,
 //!   Poisson, bursty on/off, trace replay).
+//! - [`mutate`] — deterministic in-flight frame damage (bit flips, DMA
+//!   scribbles, runts, mangled headers) for fault injection, each aimed at
+//!   a specific validation layer.
 //! - [`phy`] — physical-layer constants (Ethernet serialization times; the
 //!   14,880 pkts/s maximum rate the paper cites).
 
@@ -38,6 +41,7 @@ pub mod frag;
 pub mod gen;
 pub mod icmp;
 pub mod ipv4;
+pub mod mutate;
 pub mod packet;
 pub mod phy;
 pub mod pool;
@@ -51,6 +55,7 @@ pub use arp::ArpCache;
 pub use ethernet::{EtherType, EthernetHeader, MacAddr};
 pub use filter::{Action, Filter, Rule};
 pub use ipv4::Ipv4Header;
+pub use mutate::Mutation;
 pub use packet::{Packet, PacketId, StageStamps};
 pub use pool::{FrameBuf, FramePool, PoolStats};
 pub use queue::DropTailQueue;

@@ -1,0 +1,175 @@
+//! In-flight packet damage for fault injection.
+//!
+//! A [`Mutation`] is one deterministic way a frame can be damaged between
+//! the sender's NIC and ours: a single flipped bit, DMA scribbling over
+//! the header, a runt truncation, or a mangled version field. Each is
+//! aimed at a specific validation layer — the IPv4 header checksum, the
+//! length checks, the version/IHL sanity check — so an injected frame is
+//! always *caught* downstream and attributed to `BadHeader`, never
+//! silently misrouted.
+//!
+//! Mutations are pure functions of the packet (the damaged bit position
+//! derives from the packet id), so fault-injected runs replay exactly
+//! without consuming simulation randomness.
+
+use crate::ethernet::ETHERNET_HEADER_LEN;
+use crate::ipv4::IPV4_HEADER_LEN;
+use crate::packet::Packet;
+
+/// One kind of in-flight frame damage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mutation {
+    /// Flip a single bit in the IPv4 header (bytes that only the header
+    /// checksum guards), deterministically chosen from the packet id.
+    BitFlip,
+    /// DMA scribble: overwrite a span of the IPv4 header with a constant
+    /// pattern (descriptor corruption; the checksum catches it).
+    Scribble,
+    /// Truncate the frame mid-IP-header (a runt frame).
+    Truncate,
+    /// Mangle the version/IHL byte so the header parser rejects it
+    /// before any protocol logic runs.
+    MalformHeader,
+}
+
+impl Mutation {
+    /// Short stable name for markers, tables and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            Mutation::BitFlip => "bit-flip",
+            Mutation::Scribble => "scribble",
+            Mutation::Truncate => "truncate",
+            Mutation::MalformHeader => "malform-header",
+        }
+    }
+
+    /// Damages `pkt` in place. Always succeeds: frames too short to host
+    /// the targeted field are truncated instead (they were runts already).
+    pub fn apply(self, pkt: &mut Packet) {
+        let ip_start = ETHERNET_HEADER_LEN;
+        let ip_end = ip_start + IPV4_HEADER_LEN;
+        if pkt.len() < ip_end {
+            pkt.truncate(pkt.len().saturating_sub(1).max(1));
+            return;
+        }
+        match self {
+            Mutation::BitFlip => {
+                // Bytes 4..=17 of the IP header: never the version/IHL or
+                // total-length fields, so the *only* guard that can catch
+                // the flip is the header checksum.
+                let id = pkt.id.0;
+                let byte = ip_start + 4 + (id % 14) as usize;
+                let bit = ((id / 14) % 8) as u32;
+                pkt.frame[byte] ^= 1u8 << bit;
+            }
+            Mutation::Scribble => {
+                // Stomp the ident/fragment words with a recognizable
+                // pattern, as a wild DMA write would.
+                for b in &mut pkt.frame[ip_start + 4..ip_start + 8] {
+                    *b = 0xA5;
+                }
+            }
+            Mutation::Truncate => {
+                // Cut mid-IP-header: long enough for Ethernet, too short
+                // for IPv4.
+                pkt.truncate(ip_start + IPV4_HEADER_LEN / 2);
+            }
+            Mutation::MalformHeader => {
+                // Version 0, IHL 0: rejected before checksum or protocol
+                // logic, exercising the parser (and any filter engine
+                // that would have inspected the packet).
+                pkt.frame[ip_start] = 0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ethernet::MacAddr;
+    use crate::packet::PacketId;
+    use crate::NetError;
+    use std::net::Ipv4Addr;
+
+    fn sample(id: u64) -> Packet {
+        Packet::udp_ipv4(
+            PacketId(id),
+            MacAddr::local(1),
+            MacAddr::local(2),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 1, 0, 2),
+            5000,
+            9,
+            32,
+            &[0u8; 4],
+        )
+    }
+
+    #[test]
+    fn bit_flip_is_caught_by_the_header_checksum() {
+        for id in 0..200 {
+            let mut p = sample(id);
+            Mutation::BitFlip.apply(&mut p);
+            assert_eq!(
+                p.ipv4().unwrap_err(),
+                NetError::BadChecksum,
+                "id {id}: single-bit damage must be checksum-caught"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flip_is_deterministic_per_id() {
+        let mut a = sample(7);
+        let mut b = sample(7);
+        Mutation::BitFlip.apply(&mut a);
+        Mutation::BitFlip.apply(&mut b);
+        assert_eq!(&a.frame[..], &b.frame[..]);
+    }
+
+    #[test]
+    fn scribble_is_caught_by_the_header_checksum() {
+        let mut p = sample(1);
+        Mutation::Scribble.apply(&mut p);
+        assert_eq!(p.ipv4().unwrap_err(), NetError::BadChecksum);
+    }
+
+    #[test]
+    fn truncate_yields_a_runt() {
+        let mut p = sample(2);
+        Mutation::Truncate.apply(&mut p);
+        assert!(p.len() < ETHERNET_HEADER_LEN + IPV4_HEADER_LEN);
+        assert_eq!(p.ipv4().unwrap_err(), NetError::Truncated);
+        // The Ethernet header still parses: the damage is IP-layer.
+        assert!(p.ethernet().is_ok());
+    }
+
+    #[test]
+    fn malformed_header_is_rejected_by_the_parser() {
+        let mut p = sample(3);
+        Mutation::MalformHeader.apply(&mut p);
+        assert_eq!(p.ipv4().unwrap_err(), NetError::Malformed);
+    }
+
+    #[test]
+    fn mutating_an_already_short_frame_never_panics() {
+        for m in [
+            Mutation::BitFlip,
+            Mutation::Scribble,
+            Mutation::Truncate,
+            Mutation::MalformHeader,
+        ] {
+            let mut p = sample(4);
+            p.truncate(10);
+            m.apply(&mut p);
+            assert!(p.ipv4().is_err());
+        }
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Mutation::BitFlip.label(), "bit-flip");
+        assert_eq!(Mutation::MalformHeader.label(), "malform-header");
+    }
+}

@@ -263,6 +263,16 @@ impl Packet {
         Ok(&mut self.frame[ETHERNET_HEADER_LEN..end])
     }
 
+    /// Truncates the frame to `len` bytes (no-op when already shorter).
+    /// Fault injection uses this to produce runt frames; unlike
+    /// [`Packet::from_frame`] the result is *not* re-padded to the
+    /// Ethernet minimum — that is the point.
+    pub fn truncate(&mut self, len: usize) {
+        if len < self.frame.len() {
+            self.frame.resize(len, 0);
+        }
+    }
+
     /// Rewrites the Ethernet source/destination for the output link.
     ///
     /// # Errors

@@ -4,7 +4,8 @@
 # Exit status mirrors the strictest failure seen:
 #   0  everything passed
 #   1  build/test failure, figures could not write its CSVs, the figure
-#      output was not byte-identical across job counts, or bad arguments
+#      output was not byte-identical across job counts, a direct push to
+#      a legacy drop counter bypassed record_drop, or bad arguments
 #   2  a rendered figure violates the paper's qualitative throughput shape
 #   3  the latency gate failed: the polled kernel's p99 forwarding latency
 #      is not well below the unmodified kernel's at overload (figure L-1)
@@ -12,12 +13,17 @@
 #      not show the unmodified kernel's rx interrupt share reaching >= 90%
 #      with delivery collapsed at wire-saturating load, or shows the
 #      cycle-limited polled kernel failing to preserve user+idle share
+#   5  the fault gate failed: figure R-1 violates the graceful-degradation
+#      claim (the polled kernel stops delivering under the seeded storm,
+#      degrades past half its fault-free baseline, or ends the sweep worse
+#      than the unmodified kernel)
+#   6  the chaos smoke run failed: a seeded fault storm violated a
+#      graceful-degradation invariant (see `livelock chaos` exit codes)
 #
 # An advisory (non-failing) pass also rebuilds the workspace with
 # deprecation warnings promoted to errors, so stragglers still calling the
 # deprecated KernelConfig constructors instead of the builder get
-# reported, and greps for direct `+=` pushes to the legacy per-queue drop
-# counters that would bypass the `record_drop` taxonomy.
+# reported.
 #
 # Usage: scripts/ci.sh [--jobs N] [other flags...]
 #   --jobs N is validated here; any other flag is passed through to the
@@ -87,6 +93,9 @@ elif [ "$rc" -eq 3 ]; then
 elif [ "$rc" -eq 4 ]; then
     echo "ci: FAIL — CPU-share gate: figure C-1 violates the paper's cycle accounting" >&2
     exit 4
+elif [ "$rc" -eq 5 ]; then
+    echo "ci: FAIL — fault gate: figure R-1 violates graceful degradation" >&2
+    exit 5
 elif [ "$rc" -ne 0 ]; then
     echo "ci: FAIL — figures exited $rc" >&2
     exit 1
@@ -106,6 +115,33 @@ else
     exit 1
 fi
 
+echo "== determinism: figure R-1 byte-identical across job counts =="
+# Same determinism contract for the fault figure: its intensity-0 column
+# runs with no fault plan at all (the zero-fault baseline), and the seeded
+# storms must land identically no matter how trials are fanned out.
+(cd "$scratch/j1" && "$repo/target/release/figures" --quick --fig R-1 --jobs 1) || exit 1
+(cd "$scratch/jN" && "$repo/target/release/figures" --quick --fig R-1 --jobs 4) || exit 1
+if cmp -s "$scratch/j1/results/figR_1.csv" "$scratch/jN/results/figR_1.csv"; then
+    echo "ci: figR_1.csv byte-identical at --jobs 1 and --jobs 4"
+else
+    echo "ci: FAIL — figR_1.csv differs between --jobs 1 and --jobs 4" >&2
+    exit 1
+fi
+
+echo "== chaos smoke: seeded fault storm, graceful-degradation invariants =="
+# A fixed-seed storm against both kernels: the polled kernel must keep
+# delivering, un-wedge every injected stall, and conserve the ledger,
+# while the unmodified kernel livelocks under the identical plan. The
+# binary asserts all of that and reports each violation with its own
+# exit code.
+if "$repo/target/release/livelock" chaos --seed 49157; then
+    echo "ci: chaos invariants hold under seed 49157"
+else
+    rc=$?
+    echo "ci: FAIL — chaos smoke run exited $rc (see invariant list above)" >&2
+    exit 6
+fi
+
 echo "== builder migration: deprecated constructor check (advisory) =="
 # A separate target dir so the stricter flags don't invalidate the main
 # build cache. Soft-fail: report, never gate.
@@ -118,14 +154,16 @@ else
         tail -n 20 "$scratch/deprecated.log" >&2
 fi
 
-echo "== drop taxonomy: legacy counter bypass check (advisory) =="
+echo "== drop taxonomy: legacy counter bypass check =="
 # Every drop must go through KernelStats::record_drop so the typed
-# taxonomy and the legacy per-queue counters stay in lockstep; a direct
-# `+=` on a legacy counter anywhere else silently skews one of the two.
+# taxonomy and the legacy per-queue counters stay in lockstep. The
+# counters are now private fields (the compiler already rejects outside
+# writes); this grep is the belt to that suspender, and it gates hard.
 if grep -rn --include='*.rs' -E \
     '\.(rx_ring_drops|ipintrq_drops|screend_q_drops|socket_q_drops|ifq_drops)[[:space:]]*\+=' \
     crates tests | grep -v '^crates/kernel/src/stats\.rs:'; then
-    echo "ci: WARN — direct pushes to legacy drop counters bypass record_drop (advisory only)" >&2
+    echo "ci: FAIL — direct pushes to legacy drop counters bypass record_drop" >&2
+    exit 1
 else
     echo "ci: all drop accounting goes through record_drop"
 fi

@@ -59,7 +59,7 @@ fn three_interface_routing() {
     let k = e.workload();
     assert_eq!(k.opkts(1), 20, "10.1/16 out iface 1");
     assert_eq!(k.opkts(2), 20, "10.2/16 out iface 2");
-    assert_eq!(k.stats().fwd_errors, 0);
+    assert_eq!(k.stats().fwd_errors(), 0);
 }
 
 /// Round-robin fairness across input interfaces (§5.2): two saturating
@@ -168,7 +168,7 @@ fn gateway_routes_resolve_gateway_mac() {
     e.run_until(Cycles::new(100_000_000));
     let k = e.workload();
     assert_eq!(k.stats().transmitted, 1, "{:?}", k.stats());
-    assert_eq!(k.stats().fwd_errors, 0);
+    assert_eq!(k.stats().fwd_errors(), 0);
 }
 
 /// A packet with a corrupted IP checksum is dropped by forwarding (and
@@ -182,7 +182,7 @@ fn corrupt_checksum_is_dropped() {
     e.state_schedule(Cycles::new(1_000), Event::RxArrive { iface: 0, pkt });
     e.run_until(Cycles::new(100_000_000));
     let s = e.workload().stats();
-    assert_eq!(s.fwd_errors, 1);
+    assert_eq!(s.fwd_errors(), 1);
     assert_eq!(s.transmitted, 0);
 }
 
@@ -237,7 +237,7 @@ fn ttl_expiry_generates_icmp_time_exceeded() {
     }
     e.run_until(Cycles::new(200_000_000));
     let s = e.workload().stats();
-    assert_eq!(s.fwd_errors, 3);
+    assert_eq!(s.fwd_errors(), 3);
     assert_eq!(s.icmp_errors_sent, 3, "{s:?}");
     // The errors leave on interface 0, back toward the source network.
     assert_eq!(e.workload().opkts(0), 3);
@@ -287,7 +287,7 @@ fn icmp_disabled_by_default() {
     e.run_until(Cycles::new(100_000_000));
     let s = e.workload().stats();
     assert_eq!(s.icmp_errors_sent, 0);
-    assert_eq!(s.fwd_errors, 1);
+    assert_eq!(s.fwd_errors(), 1);
 }
 
 /// The execution trace shows the livelock interleaving directly: under
@@ -397,12 +397,12 @@ fn latency_layer_agrees_with_trace_and_counters() {
         // `rx_ring_drops`, per the `record_drop` contract.)
         assert_eq!(
             s.drops.get(DropReason::RxRingFull) + s.drops.get(DropReason::FeedbackInhibit),
-            s.rx_ring_drops
+            s.rx_ring_drops()
         );
-        assert_eq!(s.drops.get(DropReason::IpintrqFull), s.ipintrq_drops);
+        assert_eq!(s.drops.get(DropReason::IpintrqFull), s.ipintrq_drops());
         assert_eq!(
             s.drops.get(DropReason::OutputQueueFull) + s.drops.get(DropReason::RedEarlyDrop),
-            s.ifq_drops
+            s.ifq_drops()
         );
         // Conservation: everything that arrived was delivered, dropped
         // (for a typed reason), or is still in flight.
@@ -476,7 +476,7 @@ fn arp_requests_are_answered() {
         assert_eq!(s.arp_handled, 1, "{s:?}");
         assert_eq!(s.arp_replies, 1);
         assert_eq!(e.workload().opkts(0), 1, "reply leaves the asking wire");
-        assert_eq!(s.fwd_errors, 0);
+        assert_eq!(s.fwd_errors(), 0);
         assert_eq!(s.in_flight(), 0);
     }
 }
@@ -888,6 +888,48 @@ fn chrome_trace_export_is_well_formed() {
     assert_eq!(begins, ends, "every duration begin has a matching end");
     assert!(names.iter().any(|n| n.starts_with("nic-rx #")), "{names:?}");
     assert!(names.contains("netpoll"), "{names:?}");
+}
+
+/// A faulted trial's Chrome-trace export stays well-formed JSON, and
+/// every injection/recovery surfaces as an instant ("i") marker event.
+#[test]
+fn chrome_trace_fault_markers_are_well_formed() {
+    use livelock_kernel::experiment::{run_trial_traced, TrialSpec};
+    use livelock_machine::fault::{FaultKind, FaultPlan};
+
+    let cfg = KernelConfig::builder()
+        .polled(Quota::Limited(10))
+        .screend(Default::default())
+        .feedback(Default::default())
+        .build();
+    let freq = cfg.cost.freq;
+    let mut plan = FaultPlan::new();
+    plan.push(freq.cycles_from_millis(50), FaultKind::ScreendStall { ticks: 2 });
+    plan.push(freq.cycles_from_millis(80), FaultKind::LinkFlap {
+        iface: 0,
+        down_cycles: freq.cycles_from_millis(5).raw(),
+    });
+    let n_faults = plan.len();
+    let spec = TrialSpec {
+        rate_pps: 1_000.0,
+        n_packets: 400,
+        ..TrialSpec::new(KernelConfig { faults: Some(plan), ..cfg })
+    };
+    let (_, trace_json) = run_trial_traced(&spec, 1 << 16);
+    let doc = json::parse(&trace_json).expect("faulted export must be valid JSON");
+    let events = doc.get("traceEvents").and_then(json::Value::as_arr).unwrap();
+    let markers: Vec<&str> = events
+        .iter()
+        .filter(|ev| ev.get("ph").and_then(json::Value::as_str) == Some("i"))
+        .filter_map(|ev| ev.get("name").and_then(json::Value::as_str))
+        .filter(|n| n.starts_with("fault: ") || n.starts_with("recover: "))
+        .collect();
+    let injected = markers.iter().filter(|n| n.starts_with("fault: ")).count();
+    assert_eq!(injected, n_faults, "one marker per injection: {markers:?}");
+    assert!(
+        markers.iter().any(|n| n.starts_with("recover: ")),
+        "the stall's restart leaves a recovery marker: {markers:?}"
+    );
 }
 
 /// Hostile label names survive the exporter: quotes, backslashes and
