@@ -100,6 +100,7 @@ impl DropReason {
         DropReason::ALL
             .iter()
             .position(|r| *r == self)
+            // simlint: allow(panic-freedom): ALL enumerates every variant; a miss is a compile-time taxonomy bug
             .expect("reason listed in ALL")
     }
 }
@@ -622,6 +623,7 @@ impl KernelStats {
             + self.transmitted;
         (self.arrived + self.replies_created + self.icmp_errors_sent + self.arp_replies)
             .checked_sub(gone)
+            // simlint: allow(panic-freedom): conservation is the delivered-throughput honesty gate; violating it must abort loudly
             .expect("packet conservation violated")
     }
 }

@@ -1,0 +1,6 @@
+// Fixture: calling the deprecated named constructors.
+fn configs() -> (KernelConfig, KernelConfig) {
+    let a = KernelConfig::unmodified();
+    let b = KernelConfig::polled_screend_feedback(Quota::default());
+    (a, b)
+}

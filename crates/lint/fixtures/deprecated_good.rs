@@ -1,0 +1,9 @@
+// Fixture: composing configurations through the builder. The builder's
+// method names overlap with the old constructor names; only the
+// `KernelConfig::<ctor>` path form is deprecated.
+fn configs() -> KernelConfig {
+    KernelConfig::builder()
+        .polled(PollQuota::default())
+        .screend(true)
+        .build()
+}

@@ -1,0 +1,12 @@
+// Fixture: every line here violates the determinism rule when linted as
+// library code in a deterministic crate.
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::time::Instant;
+
+fn wall_clock_and_threads() {
+    let t = Instant::now();
+    let h = std::thread::spawn(|| t);
+    let _ = thread::sleep(core::time::Duration::from_millis(1));
+    let _ = h;
+}

@@ -1,0 +1,10 @@
+// Fixture: the deterministic equivalents — ordered maps and simulated time.
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+fn simulated_time(now: Cycles) -> Cycles {
+    let mut m: BTreeMap<u32, u32> = BTreeMap::new();
+    m.insert(1, 2);
+    let _s: BTreeSet<u32> = BTreeSet::new();
+    now
+}

@@ -1,0 +1,8 @@
+// Fixture: direct pushes to the legacy drop counters, bypassing record_drop.
+fn account(stats: &mut KernelStats) {
+    stats.rx_ring_drops += 1;
+    stats.ipintrq_drops += 2;
+    stats.screend_q_drops += 1;
+    stats.socket_q_drops += 1;
+    stats.ifq_drops += 1;
+}

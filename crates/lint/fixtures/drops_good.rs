@@ -1,0 +1,9 @@
+// Fixture: the sanctioned mutation path, plus reads (which are fine).
+fn account(stats: &mut KernelStats) -> u64 {
+    stats.record_drop(DropReason::RxRing);
+    stats.record_drop(DropReason::IpIntrq);
+    // Reading and comparing the counters is always allowed.
+    let total = stats.rx_ring_drops + stats.ipintrq_drops;
+    assert!(stats.ifq_drops == 0);
+    total
+}

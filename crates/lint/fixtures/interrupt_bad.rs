@@ -1,0 +1,8 @@
+// Fixture: an interrupt handler reaching into upper-layer packet
+// processing — the exact coupling the paper's §6.2 redesign removes.
+fn rx_interrupt(pkt: Packet) {
+    let hdr = livelock_net::ipv4::Ipv4Header::parse(pkt.bytes());
+    forwarding::forward(hdr);
+    screend::filter(pkt);
+    ipintrq.push(pkt);
+}

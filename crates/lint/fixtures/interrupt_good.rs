@@ -1,0 +1,6 @@
+// Fixture: the paper-faithful interrupt handler — it only initiates
+// polling and masks itself; all packet work happens in the poll thread.
+fn rx_interrupt(&mut self, env: &mut Env) {
+    self.mask_rx();
+    env.schedule_poll(PollSource::Rx);
+}

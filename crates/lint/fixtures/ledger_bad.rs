@@ -1,0 +1,6 @@
+// Fixture: charging the cycle ledger away from the executor's commit
+// points, which would double-count or orphan cycles.
+fn sneak_charge(ledger: &mut CycleLedger, ctx: CtxKind, cycles: Cycles) {
+    ledger.charge(ctx, cycles);
+    CycleLedger::charge(ledger, ctx, cycles);
+}

@@ -1,0 +1,7 @@
+// Fixture: defining charge-like helpers and reading the ledger is fine
+// anywhere; only the call to `charge` itself is restricted.
+fn charge(ledger: &CycleLedger) -> Cycles {
+    let spent = ledger.total();
+    let per_ctx = ledger.charged_to(CtxKind::Idle);
+    spent + per_ctx
+}

@@ -1,0 +1,9 @@
+// Fixture: library code that can kill a trial.
+fn brittle(o: Option<u8>, r: Result<u8, ()>) -> u8 {
+    let a = o.unwrap();
+    let b = r.expect("must be ok");
+    if a + b > 200 {
+        panic!("overflow-ish");
+    }
+    todo!()
+}

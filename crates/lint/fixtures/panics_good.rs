@@ -1,0 +1,16 @@
+// Fixture: error returns in library code; unwrap stays inside tests.
+fn sturdy(o: Option<u8>, r: Result<u8, Error>) -> Result<u8, Error> {
+    let a = o.ok_or(Error::Missing)?;
+    let b = r?;
+    let c = o.unwrap_or(0);
+    Ok(a + b + c)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let x: Option<u8> = Some(1);
+        assert_eq!(x.unwrap(), 1);
+    }
+}

@@ -1,0 +1,22 @@
+// Fixture: every rule's trigger text appears here, but only inside
+// comments, strings, and doc examples — a lexical matcher that is not
+// comment/string-aware would drown in false positives on this file.
+//
+// HashMap Instant::now() std::thread::spawn .unwrap() panic!("no")
+// stats.rx_ring_drops += 1; ledger.charge(ctx, c); KernelConfig::unmodified()
+
+/// Doc example, never compiled by simlint:
+/// ```
+/// let m = std::collections::HashMap::new();
+/// let t = std::time::Instant::now();
+/// q.pop().unwrap();
+/// ```
+fn clean() -> &'static str {
+    let a = "HashMap::new() and Instant::now() in a string";
+    let b = r#"stats.ipintrq_drops += 1; KernelConfig::polled()"#;
+    let c = "ledger.charge(ctx, cycles); panic!(\"quoted\")";
+    let _ = (a, b, c);
+    /* block comment: x.unwrap(); y.expect("msg"); todo!();
+       nested /* std::thread::sleep */ still a comment */
+    "ok"
+}

@@ -1,0 +1,15 @@
+// Fixture: one well-formed suppression (silences the next line) and two
+// malformed ones (missing reason / unknown rule), which are findings in
+// their own right.
+fn suppressed(o: Option<u8>) -> u8 {
+    // simlint: allow(panic-freedom): fixture demonstrates a justified invariant
+    o.unwrap()
+}
+
+// simlint: allow(panic-freedom)
+fn missing_reason(o: Option<u8>) -> u8 {
+    o.unwrap()
+}
+
+// simlint: allow(no-such-rule): the rule name is wrong
+fn unknown_rule() {}

@@ -1,0 +1,221 @@
+//! Workspace discovery and the lightweight module map.
+//!
+//! The linter does not parse `Cargo.toml`s; the workspace layout is
+//! simple and stable enough to walk directly. Every scanned file is
+//! classified by owning crate, target kind, and module path, which is
+//! what the rules scope themselves by.
+//!
+//! Vendored drop-in crates (`criterion`, `proptest`) and the linter
+//! itself are not scanned: they are not part of the simulation and are
+//! allowed their own idioms.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Which compilation target a file belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TargetKind {
+    /// Library code (`src/**`, excluding `src/bin`).
+    Lib,
+    /// A binary (`src/bin/**`).
+    Bin,
+    /// An integration test (`tests/**`, including the workspace-level
+    /// `tests/` directory wired into the kernel crate).
+    Test,
+    /// A benchmark (`benches/**`).
+    Bench,
+    /// An example (`examples/**`).
+    Example,
+}
+
+/// One scanned source file with its place in the module map.
+#[derive(Clone, Debug)]
+pub struct FileInfo {
+    /// Workspace-relative path with forward slashes
+    /// (e.g. `crates/net/src/frag.rs`).
+    pub rel_path: String,
+    /// Owning crate's directory name (`net`, `kernel`, `bench`, …).
+    pub crate_name: String,
+    /// Target kind.
+    pub kind: TargetKind,
+    /// Module path within the crate (`["router", "mod"]` collapses to
+    /// `["router"]`; `src/lib.rs` is the empty path).
+    pub module: Vec<String>,
+}
+
+impl FileInfo {
+    /// The module path rendered as `crate::a::b` for messages.
+    pub fn module_display(&self) -> String {
+        let mut s = self.crate_name.clone();
+        for m in &self.module {
+            s.push_str("::");
+            s.push_str(m);
+        }
+        s
+    }
+
+    /// Classifies a workspace-relative path. Returns `None` for paths the
+    /// linter does not scan.
+    pub fn classify(rel_path: &str) -> Option<FileInfo> {
+        let parts: Vec<&str> = rel_path.split('/').collect();
+        let (crate_name, kind, module_parts): (String, TargetKind, &[&str]) = match parts.as_slice()
+        {
+            ["crates", krate, "src", "bin", rest @ ..] => {
+                ((*krate).to_string(), TargetKind::Bin, rest)
+            }
+            ["crates", krate, "src", rest @ ..] => ((*krate).to_string(), TargetKind::Lib, rest),
+            ["crates", krate, "tests", rest @ ..] => ((*krate).to_string(), TargetKind::Test, rest),
+            ["crates", krate, "benches", rest @ ..] => {
+                ((*krate).to_string(), TargetKind::Bench, rest)
+            }
+            // The workspace-level tests/ and examples/ are targets of the
+            // kernel crate (see crates/kernel/Cargo.toml).
+            ["tests", rest @ ..] => ("kernel".to_string(), TargetKind::Test, rest),
+            ["examples", rest @ ..] => ("kernel".to_string(), TargetKind::Example, rest),
+            _ => return None,
+        };
+        if SKIPPED_CRATES.contains(&crate_name.as_str()) {
+            return None;
+        }
+        let mut module: Vec<String> = module_parts
+            .iter()
+            .map(|p| p.trim_end_matches(".rs").to_string())
+            .collect();
+        // lib.rs / main.rs / mod.rs do not open a module level of their own.
+        if matches!(module.last().map(String::as_str), Some("lib" | "main" | "mod")) {
+            module.pop();
+        }
+        Some(FileInfo {
+            rel_path: rel_path.to_string(),
+            crate_name,
+            kind,
+            module,
+        })
+    }
+}
+
+/// Crates never scanned: vendored registry stand-ins plus the linter.
+pub const SKIPPED_CRATES: &[&str] = &["criterion", "proptest", "lint"];
+
+/// Finds the workspace root by walking up from `start` until a
+/// `Cargo.toml` declaring `[workspace]` appears.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Walks the workspace and returns every `.rs` file the linter scans, as
+/// `(FileInfo, source)` pairs, in deterministic path order.
+pub fn scan_workspace(root: &Path) -> io::Result<Vec<(FileInfo, String)>> {
+    let mut rel_paths: Vec<String> = Vec::new();
+    let crates_dir = root.join("crates");
+    for krate in sorted_dir(&crates_dir)? {
+        let name = krate.file_name().unwrap_or_default().to_string_lossy().to_string();
+        if SKIPPED_CRATES.contains(&name.as_str()) {
+            continue;
+        }
+        for sub in ["src", "tests", "benches"] {
+            collect_rs(&krate.join(sub), root, &mut rel_paths)?;
+        }
+    }
+    collect_rs(&root.join("tests"), root, &mut rel_paths)?;
+    collect_rs(&root.join("examples"), root, &mut rel_paths)?;
+    rel_paths.sort();
+
+    let mut out = Vec::with_capacity(rel_paths.len());
+    for rel in rel_paths {
+        if let Some(info) = FileInfo::classify(&rel) {
+            let src = fs::read_to_string(root.join(&rel))?;
+            out.push((info, src));
+        }
+    }
+    Ok(out)
+}
+
+fn sorted_dir(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    entries.sort();
+    Ok(entries)
+}
+
+/// Recursively collects `.rs` files under `dir` (if it exists) as
+/// workspace-relative forward-slash paths.
+fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?.filter_map(|e| e.ok()).map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, root, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_string_lossy().replace('\\', "/"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifies_lib_and_collapses_mod() {
+        let f = FileInfo::classify("crates/net/src/frag.rs").unwrap();
+        assert_eq!(f.crate_name, "net");
+        assert_eq!(f.kind, TargetKind::Lib);
+        assert_eq!(f.module, vec!["frag"]);
+        assert_eq!(f.module_display(), "net::frag");
+
+        let f = FileInfo::classify("crates/kernel/src/router/mod.rs").unwrap();
+        assert_eq!(f.module, vec!["router"]);
+        let f = FileInfo::classify("crates/sim/src/lib.rs").unwrap();
+        assert!(f.module.is_empty());
+        assert_eq!(f.module_display(), "sim");
+    }
+
+    #[test]
+    fn classifies_bins_tests_benches() {
+        let f = FileInfo::classify("crates/bench/src/bin/perf.rs").unwrap();
+        assert_eq!(f.kind, TargetKind::Bin);
+        let f = FileInfo::classify("crates/machine/tests/engine_properties.rs").unwrap();
+        assert_eq!(f.kind, TargetKind::Test);
+        let f = FileInfo::classify("crates/bench/benches/fig6_1.rs").unwrap();
+        assert_eq!(f.kind, TargetKind::Bench);
+    }
+
+    #[test]
+    fn workspace_level_tests_belong_to_kernel() {
+        let f = FileInfo::classify("tests/cross_crate.rs").unwrap();
+        assert_eq!(f.crate_name, "kernel");
+        assert_eq!(f.kind, TargetKind::Test);
+        let f = FileInfo::classify("examples/quickstart.rs").unwrap();
+        assert_eq!(f.kind, TargetKind::Example);
+    }
+
+    #[test]
+    fn vendored_and_self_are_skipped() {
+        assert!(FileInfo::classify("crates/criterion/src/lib.rs").is_none());
+        assert!(FileInfo::classify("crates/proptest/src/lib.rs").is_none());
+        assert!(FileInfo::classify("crates/lint/src/main.rs").is_none());
+        assert!(FileInfo::classify("target/debug/build/foo.rs").is_none());
+    }
+}

@@ -1,0 +1,152 @@
+//! The `simlint` binary: lint the workspace, gate CI.
+//!
+//! Usage: `cargo run -p lint [-- flags]` or `target/release/simlint`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use lint::baseline::Baseline;
+use lint::files::find_workspace_root;
+use lint::{report, rules};
+
+const USAGE: &str = "\
+simlint — static-analysis gate for the receive-livelock workspace
+
+USAGE:
+    simlint [OPTIONS]
+
+OPTIONS:
+    --json              emit the machine-readable JSON report
+    --write-baseline    rewrite the baseline file to absorb all current
+                        findings (then exit 0); review the diff before
+                        committing — the baseline should only shrink
+    --baseline <PATH>   baseline file (default: crates/lint/baseline.txt)
+    --root <PATH>       workspace root (default: walk up from the cwd)
+    --list-rules        print every rule with its exit code and exit
+
+EXIT CODES:
+    0   clean    2   usage    3   I/O error    9   multiple rules
+    10  determinism          11  drop-accounting
+    12  interrupt-discipline 13  ledger-discipline
+    14  panic-freedom        15  deprecated-config
+    16  bad-suppression
+";
+
+struct Opts {
+    json: bool,
+    write_baseline: bool,
+    baseline: Option<PathBuf>,
+    root: Option<PathBuf>,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut opts = Opts {
+        json: false,
+        write_baseline: false,
+        baseline: None,
+        root: None,
+        list_rules: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => opts.json = true,
+            "--write-baseline" => opts.write_baseline = true,
+            "--list-rules" => opts.list_rules = true,
+            "--baseline" => {
+                opts.baseline = Some(args.next().ok_or("--baseline needs a path")?.into());
+            }
+            "--root" => opts.root = Some(args.next().ok_or("--root needs a path")?.into()),
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("simlint: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list_rules {
+        for r in rules::all_rules() {
+            println!("{:>3}  {:<22} {}", r.exit_code(), r.id(), r.describe());
+        }
+        println!(
+            "{:>3}  {:<22} malformed `// simlint: allow(rule): reason` directive",
+            rules::EXIT_BAD_SUPPRESSION,
+            rules::BAD_SUPPRESSION_RULE
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match opts.root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("simlint: could not find a workspace root (pass --root)");
+            return ExitCode::from(3);
+        }
+    };
+    let baseline_path = opts
+        .baseline
+        .unwrap_or_else(|| root.join("crates/lint/baseline.txt"));
+
+    if opts.write_baseline {
+        // Lint against an empty baseline, then absorb everything active.
+        let result = match lint::lint_workspace(&root, &Baseline::default()) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("simlint: scan failed: {e}");
+                return ExitCode::from(3);
+            }
+        };
+        let text = Baseline::render(&result.fresh);
+        if let Err(e) = std::fs::write(&baseline_path, text) {
+            eprintln!("simlint: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(3);
+        }
+        println!(
+            "simlint: wrote {} entr{} to {}",
+            result.fresh.len(),
+            if result.fresh.len() == 1 { "y" } else { "ies" },
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match Baseline::load(&baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("simlint: cannot read {}: {e}", baseline_path.display());
+            return ExitCode::from(3);
+        }
+    };
+    let result = match lint::lint_workspace(&root, &baseline) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("simlint: scan failed: {e}");
+            return ExitCode::from(3);
+        }
+    };
+
+    if opts.json {
+        print!("{}", report::json(&result));
+    } else {
+        print!("{}", report::human(&result));
+    }
+    let code = report::exit_code(&result);
+    u8::try_from(code).map_or(ExitCode::from(9), ExitCode::from)
+}

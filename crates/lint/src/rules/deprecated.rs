@@ -1,0 +1,123 @@
+//! Rule `deprecated-config`: no new callers of the deprecated
+//! `KernelConfig` named constructors.
+//!
+//! PR 2 replaced the ten named constructors with the fluent
+//! `KernelConfig::builder()`; the shims remain only so the old recipes
+//! stay documented and testable in one place (`config.rs`). CI used to
+//! catch stragglers with a full advisory rebuild under
+//! `RUSTFLAGS="-D deprecated"`; this rule replaces that rebuild with a
+//! sub-second token scan that gates hard.
+
+use crate::files::FileInfo;
+use crate::tokenizer::Tok;
+
+use super::{path_match, raw, RawFinding, Rule};
+
+/// The deprecated named constructors (see `crates/kernel/src/config.rs`).
+const DEPRECATED_CTORS: &[&str] = &[
+    "unmodified",
+    "unmodified_with_screend",
+    "no_polling",
+    "polled",
+    "polled_screend_no_feedback",
+    "polled_screend_feedback",
+    "polled_cycle_limit",
+    "unmodified_rate_limited",
+    "end_system_unmodified",
+    "end_system_polled",
+];
+
+/// Where the shims are defined (and intentionally self-tested).
+const DEFINITION_FILE: &str = "crates/kernel/src/config.rs";
+
+pub struct DeprecatedConfig;
+
+impl Rule for DeprecatedConfig {
+    fn id(&self) -> &'static str {
+        "deprecated-config"
+    }
+
+    fn exit_code(&self) -> i32 {
+        15
+    }
+
+    fn exempt_test_code(&self) -> bool {
+        // Production and test code alike should compose configs through
+        // the builder; the only sanctioned shim callers are config.rs's
+        // own equivalence tests, covered by the file exemption.
+        false
+    }
+
+    fn describe(&self) -> &'static str {
+        "use KernelConfig::builder() instead of the deprecated named constructors"
+    }
+
+    fn check(&self, file: &FileInfo, toks: &[Tok]) -> Vec<RawFinding> {
+        if file.rel_path == DEFINITION_FILE {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for (i, t) in toks.iter().enumerate() {
+            if !t.is_ident("KernelConfig") {
+                continue;
+            }
+            for ctor in DEPRECATED_CTORS {
+                if path_match(toks, i, &["KernelConfig", ctor]).is_some() {
+                    out.push(raw(
+                        toks,
+                        i,
+                        format!("KernelConfig::{ctor}"),
+                        format!(
+                            "deprecated constructor `KernelConfig::{ctor}`: compose the \
+                             configuration with KernelConfig::builder() instead"
+                        ),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::tokenize;
+
+    fn run(path: &str, src: &str) -> Vec<RawFinding> {
+        DeprecatedConfig.check(
+            &FileInfo::classify(path).expect("classifiable"),
+            &tokenize(src).toks,
+        )
+    }
+
+    #[test]
+    fn flags_deprecated_constructor_paths() {
+        let f = run(
+            "crates/bench/src/lib.rs",
+            "let a = KernelConfig::unmodified(); let b = KernelConfig::polled_screend_feedback(q);",
+        );
+        assert_eq!(f.len(), 2);
+        assert_eq!(f[0].snippet, "KernelConfig::unmodified");
+    }
+
+    #[test]
+    fn builder_and_builder_methods_are_fine() {
+        let f = run(
+            "crates/bench/src/lib.rs",
+            "let c = KernelConfig::builder().polled(q).no_polling().build();",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn definition_file_is_exempt() {
+        assert!(run("crates/kernel/src/config.rs", "KernelConfig::unmodified()").is_empty());
+    }
+
+    #[test]
+    fn doc_links_in_comments_do_not_trigger() {
+        let src = "/// See [`KernelConfig::unmodified`] for history.\nfn f() {}";
+        assert!(run("crates/kernel/src/stats.rs", src).is_empty());
+    }
+}

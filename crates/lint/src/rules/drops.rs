@@ -1,0 +1,145 @@
+//! Rule `drop-accounting`: `KernelStats::record_drop` is the sole
+//! mutation path for drop counters.
+//!
+//! The paper's throughput claims are *delivered* throughput; they are
+//! only honest if every lost packet is accounted. The typed
+//! `DropReason` taxonomy and the legacy per-queue counters are kept in
+//! lockstep by `record_drop`, so any direct push to a legacy counter
+//! would silently fork the two views. The counter fields are private,
+//! which stops external crates at compile time; this rule is the belt to
+//! that suspender — it also catches future code *inside*
+//! `crates/kernel`, where privacy alone would not.
+
+use crate::files::FileInfo;
+use crate::tokenizer::Tok;
+
+use super::{raw, RawFinding, Rule};
+
+/// The legacy per-queue counters `record_drop` double-bookkeeps.
+const DROP_COUNTERS: &[&str] = &[
+    "rx_ring_drops",
+    "ipintrq_drops",
+    "screend_q_drops",
+    "socket_q_drops",
+    "ifq_drops",
+];
+
+/// The one file allowed to mutate them.
+const ACCOUNTING_FILE: &str = "crates/kernel/src/stats.rs";
+
+pub struct DropAccounting;
+
+impl Rule for DropAccounting {
+    fn id(&self) -> &'static str {
+        "drop-accounting"
+    }
+
+    fn exit_code(&self) -> i32 {
+        11
+    }
+
+    fn exempt_test_code(&self) -> bool {
+        // Tests must not bypass the taxonomy either: a test that pushes a
+        // raw counter would assert the forked state this rule prevents.
+        false
+    }
+
+    fn describe(&self) -> &'static str {
+        "legacy drop counters may only be mutated by KernelStats::record_drop"
+    }
+
+    fn check(&self, file: &FileInfo, toks: &[Tok]) -> Vec<RawFinding> {
+        if file.rel_path == ACCOUNTING_FILE {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for i in 0..toks.len() {
+            if !toks[i].is_punct('.') {
+                continue;
+            }
+            let Some(name) = toks.get(i + 1).and_then(|t| {
+                DROP_COUNTERS
+                    .iter()
+                    .find(|c| t.is_ident(c))
+                    .copied()
+            }) else {
+                continue;
+            };
+            if let Some(op) = mutation_op(toks, i + 2) {
+                out.push(raw(
+                    toks,
+                    i,
+                    format!(".{name} {op}"),
+                    format!(
+                        "direct mutation of legacy drop counter `{name}` bypasses \
+                         KernelStats::record_drop and forks the DropReason taxonomy \
+                         from the per-queue counters"
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Is the token at `i` a mutating assignment operator (`=`, `+=`, `-=`,
+/// `*=`, …) as opposed to a comparison (`==`) or method call?
+fn mutation_op(toks: &[Tok], i: usize) -> Option<&'static str> {
+    let t = toks.get(i)?;
+    let next_is_eq = |k: usize| toks.get(k).is_some_and(|t| t.is_punct('='));
+    if t.is_punct('=') {
+        // `==` is a comparison; a lone `=` is an assignment.
+        return if next_is_eq(i + 1) { None } else { Some("=") };
+    }
+    for (ch, op) in [('+', "+="), ('-', "-="), ('*', "*="), ('/', "/="), ('%', "%="), ('|', "|="), ('&', "&="), ('^', "^=")] {
+        if t.is_punct(ch) && next_is_eq(i + 1) {
+            return Some(op);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::tokenize;
+
+    fn run(path: &str, src: &str) -> Vec<RawFinding> {
+        DropAccounting.check(
+            &FileInfo::classify(path).expect("classifiable"),
+            &tokenize(src).toks,
+        )
+    }
+
+    #[test]
+    fn flags_direct_increment_and_assignment() {
+        let f = run(
+            "crates/kernel/src/router/mod.rs",
+            "self.stats.rx_ring_drops += 1; stats.ifq_drops = 7;",
+        );
+        assert_eq!(f.len(), 2);
+        assert_eq!(f[0].snippet, ".rx_ring_drops +=");
+        assert_eq!(f[1].snippet, ".ifq_drops =");
+    }
+
+    #[test]
+    fn reads_comparisons_and_getters_are_fine() {
+        let f = run(
+            "crates/kernel/src/router/mod.rs",
+            "let n = s.rx_ring_drops(); if s.ipintrq_drops == 3 { } assert_eq!(x, s.ifq_drops);",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn stats_rs_itself_is_exempt() {
+        assert!(run("crates/kernel/src/stats.rs", "self.rx_ring_drops += 1;").is_empty());
+    }
+
+    #[test]
+    fn tests_are_not_exempt() {
+        assert!(!DropAccounting.exempt_test_code());
+        let f = run("tests/cross_crate.rs", "stats.socket_q_drops += 1;");
+        assert_eq!(f.len(), 1);
+    }
+}

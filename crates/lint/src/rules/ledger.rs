@@ -1,0 +1,107 @@
+//! Rule `ledger-discipline`: `CycleLedger::charge` only at executor
+//! commit points.
+//!
+//! The conserved cycle ledger (figure C-1) is only meaningful if every
+//! cycle is charged exactly once, which the executor guarantees by
+//! charging at its commit points (`machine::cpu`'s `charge_*` helpers)
+//! and debug-asserting totals == elapsed. A stray `charge` call anywhere
+//! else double-counts cycles and silently breaks conservation — the
+//! figures would still render, just wrongly.
+
+use crate::files::FileInfo;
+use crate::tokenizer::Tok;
+
+use super::{is_path_sep, raw, RawFinding, Rule};
+
+/// Files allowed to call `charge`: the ledger itself and the executor's
+/// commit points.
+const COMMIT_POINT_FILES: &[&str] = &[
+    "crates/machine/src/ledger.rs",
+    "crates/machine/src/cpu.rs",
+];
+
+pub struct LedgerDiscipline;
+
+impl Rule for LedgerDiscipline {
+    fn id(&self) -> &'static str {
+        "ledger-discipline"
+    }
+
+    fn exit_code(&self) -> i32 {
+        13
+    }
+
+    fn exempt_test_code(&self) -> bool {
+        // Tests legitimately build little ledgers as fixtures (e.g. the
+        // telemetry sampler's unit tests); conservation is asserted by
+        // the executor, not by fixtures.
+        true
+    }
+
+    fn describe(&self) -> &'static str {
+        "CycleLedger::charge may only be called from the executor's commit points"
+    }
+
+    fn check(&self, file: &FileInfo, toks: &[Tok]) -> Vec<RawFinding> {
+        if COMMIT_POINT_FILES.contains(&file.rel_path.as_str()) {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for (i, t) in toks.iter().enumerate() {
+            if !t.is_ident("charge") || !toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+                continue;
+            }
+            // A call: `.charge(` or `CycleLedger::charge(`. A definition
+            // (`fn charge(`) or a different identifier does not match.
+            let is_method = i >= 1 && toks[i - 1].is_punct('.');
+            let is_path = i >= 2 && is_path_sep(toks, i - 2);
+            if is_method || is_path {
+                out.push(raw(
+                    toks,
+                    i,
+                    "charge(",
+                    "CycleLedger::charge outside the executor's commit points double-counts \
+                     cycles and breaks ledger conservation (totals must equal elapsed time)",
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::tokenize;
+
+    fn run(path: &str, src: &str) -> Vec<RawFinding> {
+        LedgerDiscipline.check(
+            &FileInfo::classify(path).expect("classifiable"),
+            &tokenize(src).toks,
+        )
+    }
+
+    #[test]
+    fn flags_method_and_path_calls_elsewhere() {
+        assert_eq!(run("crates/kernel/src/telemetry.rs", "ledger.charge(c, cy);").len(), 1);
+        assert_eq!(
+            run("crates/kernel/src/stats.rs", "CycleLedger::charge(&mut l, c, cy);").len(),
+            1
+        );
+    }
+
+    #[test]
+    fn commit_points_are_allowed() {
+        assert!(run("crates/machine/src/cpu.rs", "self.ledger.charge(class, cy);").is_empty());
+        assert!(run("crates/machine/src/ledger.rs", "l.charge(c, cy);").is_empty());
+    }
+
+    #[test]
+    fn definitions_and_lookalikes_do_not_match() {
+        let f = run(
+            "crates/kernel/src/telemetry.rs",
+            "fn charge(x: u8) {} sched.charge_quantum(cy); usage.charge_intr(src, cy);",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

@@ -513,7 +513,7 @@ impl<W: Workload> Engine<W> {
             }
 
             // 3. Run the top interrupt frame.
-            if let Some(top) = self.frames.last() {
+            if let Some(top) = self.frames.last_mut() {
                 let src = top.src;
                 if top.progress.is_none() {
                     let workload = &mut self.workload;
@@ -522,10 +522,7 @@ impl<W: Workload> Engine<W> {
                     });
                     match chunk {
                         Some(c) => {
-                            self.frames
-                                .last_mut()
-                                .expect("frame still present")
-                                .progress = Some(Progress {
+                            top.progress = Some(Progress {
                                 remaining: c.cycles,
                                 tag: c.tag,
                             })
@@ -644,11 +641,15 @@ impl<W: Workload> Engine<W> {
     }
 
     fn step_intr_chunk(&mut self, limit: Cycles) {
-        let frame_idx = self.frames.len() - 1;
-        let (src, progress) = {
-            let f = &self.frames[frame_idx];
-            (f.src, f.progress.expect("caller checked progress"))
+        // The run loop only dispatches here with a frame carrying progress;
+        // if that ever stops holding, a no-op step just sends the loop back
+        // through the next-chunk path instead of killing the trial.
+        let Some(f) = self.frames.last() else { return };
+        let (src, progress) = match (f.src, f.progress) {
+            (src, Some(p)) => (src, p),
+            (_, None) => return,
         };
+        let frame_idx = self.frames.len() - 1;
         let (stop, completes) = self.step_stop(progress.remaining, limit);
         let ran = stop - self.st.now;
         self.st.usage.charge_intr(src, ran);
@@ -668,10 +669,11 @@ impl<W: Workload> Engine<W> {
     }
 
     fn step_thread_chunk(&mut self, tid: ThreadId, limit: Cycles) {
-        let progress = self
-            .cur_thread
-            .and_then(|(_, p)| p)
-            .expect("caller checked progress");
+        // Same contract as step_intr_chunk: dispatched only with progress
+        // in hand, and a no-op step is harmless if the contract breaks.
+        let Some(progress) = self.cur_thread.and_then(|(_, p)| p) else {
+            return;
+        };
         let (stop, completes) = self.step_stop(progress.remaining, limit);
         let ran = stop - self.st.now;
         self.st.usage.charge_thread(tid, ran);

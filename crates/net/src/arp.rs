@@ -5,7 +5,7 @@
 //! table. [`ArpCache::insert_phantom`] reproduces that trick; entries also
 //! support ordinary dynamic insertion with aging.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 use livelock_sim::Cycles;
@@ -133,14 +133,14 @@ struct Entry {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct ArpCache {
-    entries: HashMap<Ipv4Addr, Entry>,
+    entries: BTreeMap<Ipv4Addr, Entry>,
 }
 
 impl ArpCache {
     /// Creates an empty cache.
     pub fn new() -> Self {
         ArpCache {
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
         }
     }
 

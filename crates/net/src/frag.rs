@@ -8,7 +8,7 @@
 //! for real: RFC 791 fragmentation on output and hole-free reassembly on
 //! input, with resource caps and expiry.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 use livelock_sim::Cycles;
@@ -64,7 +64,7 @@ pub fn fragment(dgram: &[u8], mtu: usize) -> Result<Vec<Vec<u8>>, NetError> {
         fh.flags_frag = offset_units | if last && !had_mf { 0 } else { MF };
         fh.header_checksum = fh.compute_checksum();
         let mut frag = vec![0u8; IPV4_HEADER_LEN + end - pos];
-        fh.encode(&mut frag).expect("buffer sized for header");
+        fh.encode(&mut frag)?;
         frag[IPV4_HEADER_LEN..].copy_from_slice(&payload[pos..end]);
         out.push(frag);
         pos = end;
@@ -73,7 +73,7 @@ pub fn fragment(dgram: &[u8], mtu: usize) -> Result<Vec<Vec<u8>>, NetError> {
 }
 
 /// A reassembly key: the RFC 791 tuple.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 struct Key {
     src: Ipv4Addr,
     dst: Ipv4Addr,
@@ -126,6 +126,24 @@ impl Pending {
             _ => false,
         }
     }
+
+    /// Consumes a complete reassembly and encodes the joined datagram.
+    /// Returns `None` when the entry is not actually complete, so the
+    /// caller never has to assert invariants that would panic a trial.
+    fn finish(self) -> Option<Vec<u8>> {
+        let total = self.total?;
+        let mut fh = self.first_header?;
+        if self.data.len() < total {
+            return None;
+        }
+        fh.total_len = (IPV4_HEADER_LEN + total) as u16;
+        fh.flags_frag = 0;
+        fh.header_checksum = fh.compute_checksum();
+        let mut out = vec![0u8; IPV4_HEADER_LEN + total];
+        fh.encode(&mut out).ok()?;
+        out[IPV4_HEADER_LEN..].copy_from_slice(&self.data[..total]);
+        Some(out)
+    }
 }
 
 /// Outcome of offering a datagram to the reassembler.
@@ -168,7 +186,7 @@ pub enum Reassembly {
 /// ```
 #[derive(Debug)]
 pub struct Reassembler {
-    pending: HashMap<Key, Pending>,
+    pending: BTreeMap<Key, Pending>,
     max_pending: usize,
     timeout: Cycles,
     expired: u64,
@@ -180,7 +198,7 @@ impl Reassembler {
     /// datagrams, each expiring `timeout` cycles after its first fragment.
     pub fn new(max_pending: usize, timeout: Cycles) -> Self {
         Reassembler {
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
             max_pending,
             timeout,
             expired: 0,
@@ -214,14 +232,17 @@ impl Reassembler {
             protocol: hdr.protocol,
             ident: hdr.ident,
         };
-        if !self.pending.contains_key(&key) {
-            if self.pending.len() >= self.max_pending {
-                self.dropped_full += 1;
-                return Reassembly::BufferFull;
+        let pending_now = self.pending.len();
+        let entry = match self.pending.entry(key) {
+            std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::btree_map::Entry::Vacant(v) => {
+                if pending_now >= self.max_pending {
+                    self.dropped_full += 1;
+                    return Reassembly::BufferFull;
+                }
+                v.insert(Pending::new(now + self.timeout))
             }
-            self.pending.insert(key, Pending::new(now + self.timeout));
-        }
-        let entry = self.pending.get_mut(&key).expect("inserted above");
+        };
 
         let start = offset_units as usize * 8;
         let payload = &dgram[IPV4_HEADER_LEN..hdr.total_len as usize];
@@ -238,19 +259,12 @@ impl Reassembler {
             entry.first_header = Some(hdr);
         }
 
-        if entry.complete() {
-            let entry = self.pending.remove(&key).expect("present");
-            let total = entry.total.expect("complete implies total");
-            let mut fh = entry.first_header.expect("complete implies first");
-            fh.total_len = (IPV4_HEADER_LEN + total) as u16;
-            fh.flags_frag = 0;
-            fh.header_checksum = fh.compute_checksum();
-            let mut out = vec![0u8; IPV4_HEADER_LEN + total];
-            fh.encode(&mut out).expect("buffer sized for header");
-            out[IPV4_HEADER_LEN..].copy_from_slice(&entry.data[..total]);
-            Reassembly::Complete(out)
-        } else {
-            Reassembly::Incomplete
+        if !entry.complete() {
+            return Reassembly::Incomplete;
+        }
+        match self.pending.remove(&key).and_then(Pending::finish) {
+            Some(out) => Reassembly::Complete(out),
+            None => Reassembly::Incomplete,
         }
     }
 

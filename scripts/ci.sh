@@ -4,8 +4,7 @@
 # Exit status mirrors the strictest failure seen:
 #   0  everything passed
 #   1  build/test failure, figures could not write its CSVs, the figure
-#      output was not byte-identical across job counts, a direct push to
-#      a legacy drop counter bypassed record_drop, or bad arguments
+#      output was not byte-identical across job counts, or bad arguments
 #   2  a rendered figure violates the paper's qualitative throughput shape
 #   3  the latency gate failed: the polled kernel's p99 forwarding latency
 #      is not well below the unmodified kernel's at overload (figure L-1)
@@ -19,11 +18,10 @@
 #      than the unmodified kernel)
 #   6  the chaos smoke run failed: a seeded fault storm violated a
 #      graceful-degradation invariant (see `livelock chaos` exit codes)
-#
-# An advisory (non-failing) pass also rebuilds the workspace with
-# deprecation warnings promoted to errors, so stragglers still calling the
-# deprecated KernelConfig constructors instead of the builder get
-# reported.
+#   7  simlint found a non-baselined finding: a determinism,
+#      drop-accounting, interrupt-discipline, ledger-discipline,
+#      panic-freedom, or deprecated-config violation (run
+#      `cargo run -p lint` for the per-rule exit code and report)
 #
 # Usage: scripts/ci.sh [--jobs N] [other flags...]
 #   --jobs N is validated here; any other flag is passed through to the
@@ -75,12 +73,31 @@ cargo build --release || exit 1
 echo "== tier 1: cargo test -q =="
 cargo test -q || exit 1
 
-echo "== figures --quick: regenerate all figures, check shapes =="
-# Run from a scratch directory: the quick-mode CSVs are a smoke check and
-# must not overwrite the committed full-fidelity results/.
 repo=$(pwd)
 scratch=$(mktemp -d)
 trap 'rm -rf "$scratch"' EXIT
+
+echo "== simlint: determinism / drop-accounting / interrupt-discipline =="
+# The workspace's own static-analysis pass (crates/lint). It enforces the
+# conventions the compiler cannot see: no wall-clock time or hash-ordered
+# maps in deterministic crates, record_drop as the only drop-counter
+# mutation path, interrupt handlers that only initiate polling, ledger
+# charges only at executor commit points, panic-free library code, and no
+# new callers of the deprecated KernelConfig constructors. Inline
+# `// simlint: allow(rule): reason` and crates/lint/baseline.txt cover the
+# sanctioned exceptions; anything fresh gates hard here.
+if "$repo/target/release/simlint" --root "$repo"; then
+    echo "ci: simlint clean"
+else
+    rc=$?
+    echo "ci: FAIL — simlint exited $rc; JSON report follows" >&2
+    "$repo/target/release/simlint" --root "$repo" --json >&2 || true
+    exit 7
+fi
+
+echo "== figures --quick: regenerate all figures, check shapes =="
+# Run from a scratch directory: the quick-mode CSVs are a smoke check and
+# must not overwrite the committed full-fidelity results/.
 (cd "$scratch" && "$repo/target/release/figures" --quick "${jobs_args[@]}" \
     ${fig_args[0]+"${fig_args[@]}"})
 rc=$?
@@ -140,32 +157,6 @@ else
     rc=$?
     echo "ci: FAIL — chaos smoke run exited $rc (see invariant list above)" >&2
     exit 6
-fi
-
-echo "== builder migration: deprecated constructor check (advisory) =="
-# A separate target dir so the stricter flags don't invalidate the main
-# build cache. Soft-fail: report, never gate.
-if RUSTFLAGS="-D deprecated" CARGO_TARGET_DIR="$scratch/deprecated-check" \
-    cargo check -q --all-targets 2>"$scratch/deprecated.log"; then
-    echo "ci: no deprecated KernelConfig constructor calls"
-else
-    echo "ci: WARN — deprecated constructor calls remain (advisory only):" >&2
-    grep -m 10 -B 1 "use of deprecated" "$scratch/deprecated.log" >&2 ||
-        tail -n 20 "$scratch/deprecated.log" >&2
-fi
-
-echo "== drop taxonomy: legacy counter bypass check =="
-# Every drop must go through KernelStats::record_drop so the typed
-# taxonomy and the legacy per-queue counters stay in lockstep. The
-# counters are now private fields (the compiler already rejects outside
-# writes); this grep is the belt to that suspender, and it gates hard.
-if grep -rn --include='*.rs' -E \
-    '\.(rx_ring_drops|ipintrq_drops|screend_q_drops|socket_q_drops|ifq_drops)[[:space:]]*\+=' \
-    crates tests | grep -v '^crates/kernel/src/stats\.rs:'; then
-    echo "ci: FAIL — direct pushes to legacy drop counters bypass record_drop" >&2
-    exit 1
-else
-    echo "ci: all drop accounting goes through record_drop"
 fi
 
 echo "ci: OK"
