@@ -1,0 +1,143 @@
+//! Head-to-head microbenchmarks of the two event-scheduler backends
+//! behind the engine ([`livelock_sim::Scheduler`]): the reference binary
+//! heap vs the calendar queue, plus the batched same-cycle drain
+//! (`pop_due_batch`) the executor's step 1 uses.
+//!
+//! The access patterns mirror the engine's real ones:
+//!
+//! * **prefill+drain** — a trial schedules its whole arrival timeline up
+//!   front, then consumes it in time order;
+//! * **churn** — steady state: every pop schedules a successor a jittered
+//!   spacing ahead (wire completions, clock ticks), holding the pending
+//!   population constant;
+//! * **peek-heavy** — the executor peeks (`step_stop`) several times per
+//!   pop; the calendar's min cache is what makes this O(1);
+//! * **batched drain** — many events due at the same cycle drained in one
+//!   `pop_due_batch` pass.
+//!
+//! Pending populations: 1k and 100k events.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use livelock_sim::{CalendarQueue, Cycles, EventQueue, Rng, Scheduler};
+
+const SPACING: u64 = 10_000;
+
+fn heap() -> EventQueue<u64> {
+    EventQueue::new()
+}
+
+fn calendar() -> CalendarQueue<u64> {
+    CalendarQueue::new(Cycles::new(SPACING))
+}
+
+/// Schedule `n` events with jittered `SPACING`, then drain them all.
+fn prefill_drain<S: Scheduler<u64>>(mut q: S, n: u64) -> u64 {
+    let mut rng = Rng::seed_from(7);
+    let mut t = 0u64;
+    for i in 0..n {
+        t += rng.next_below(2 * SPACING);
+        q.schedule(Cycles::new(t), i);
+    }
+    let mut acc = 0u64;
+    while let Some((_, v)) = q.pop() {
+        acc = acc.wrapping_add(v);
+    }
+    acc
+}
+
+/// Hold `n` pending: each pop schedules a successor ahead of the tail.
+fn churn<S: Scheduler<u64>>(mut q: S, n: u64, ops: u64) -> u64 {
+    let mut rng = Rng::seed_from(7);
+    let mut tail = 0u64;
+    for i in 0..n {
+        tail += rng.next_below(2 * SPACING);
+        q.schedule(Cycles::new(tail), i);
+    }
+    let mut acc = 0u64;
+    for i in 0..ops {
+        let (now, v) = q.pop().expect("population held constant");
+        acc = acc.wrapping_add(v).wrapping_add(now.raw());
+        tail += rng.next_below(2 * SPACING);
+        q.schedule(Cycles::new(tail), i);
+    }
+    acc
+}
+
+/// The executor's pattern: several peeks (chunk stops) per actual pop.
+fn peek_heavy<S: Scheduler<u64>>(mut q: S, n: u64) -> u64 {
+    let mut rng = Rng::seed_from(7);
+    let mut t = 0u64;
+    for i in 0..n {
+        t += rng.next_below(2 * SPACING);
+        q.schedule(Cycles::new(t), i);
+    }
+    let mut acc = 0u64;
+    loop {
+        for _ in 0..8 {
+            if let Some(t) = q.peek_time() {
+                acc = acc.wrapping_add(t.raw());
+            }
+        }
+        match q.pop() {
+            Some((_, v)) => acc = acc.wrapping_add(v),
+            None => break,
+        }
+    }
+    acc
+}
+
+/// Same-cycle bursts drained with `pop_due_batch`.
+fn batched_drain<S: Scheduler<u64>>(mut q: S, bursts: u64, per_burst: u64) -> u64 {
+    let mut id = 0u64;
+    for b in 0..bursts {
+        for _ in 0..per_burst {
+            q.schedule(Cycles::new(b * SPACING), id);
+            id += 1;
+        }
+    }
+    let mut acc = 0u64;
+    let mut buf = Vec::new();
+    for b in 0..bursts {
+        q.pop_due_batch(Cycles::new(b * SPACING), &mut buf);
+        for (_, v) in buf.drain(..) {
+            acc = acc.wrapping_add(v);
+        }
+    }
+    acc
+}
+
+fn bench_backends(c: &mut Criterion) {
+    for n in [1_000u64, 100_000] {
+        let mut g = c.benchmark_group(format!("schedulers/{n}-pending"));
+        g.throughput(Throughput::Elements(n));
+        if n >= 100_000 {
+            g.sample_size(10);
+        }
+        g.bench_function("heap prefill+drain", |b| {
+            b.iter(|| black_box(prefill_drain(heap(), n)))
+        });
+        g.bench_function("calendar prefill+drain", |b| {
+            b.iter(|| black_box(prefill_drain(calendar(), n)))
+        });
+        g.bench_function("heap churn", |b| b.iter(|| black_box(churn(heap(), n, n))));
+        g.bench_function("calendar churn", |b| {
+            b.iter(|| black_box(churn(calendar(), n, n)))
+        });
+        g.bench_function("heap peek-heavy", |b| {
+            b.iter(|| black_box(peek_heavy(heap(), n)))
+        });
+        g.bench_function("calendar peek-heavy", |b| {
+            b.iter(|| black_box(peek_heavy(calendar(), n)))
+        });
+        g.bench_function("heap batched drain", |b| {
+            b.iter(|| black_box(batched_drain(heap(), n / 50, 50)))
+        });
+        g.bench_function("calendar batched drain", |b| {
+            b.iter(|| black_box(batched_drain(calendar(), n / 50, 50)))
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

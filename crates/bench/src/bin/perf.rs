@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! cargo run --release -p livelock-bench --bin perf [--packets N] [--jobs-list 1,2,4]
+//! cargo run --release -p livelock-bench --bin perf -- --json [--packets N]
 //! cargo run --release -p livelock-bench --bin perf -- --telemetry [--packets N]
 //! ```
 //!
@@ -12,6 +13,14 @@
 //! across all job counts — the determinism guarantee the parallel
 //! executor makes. Plain `std::time::Instant` timing; no external
 //! harness.
+//!
+//! `--json` emits the perf-trajectory artifact instead: the canonical
+//! figure set rendered once per engine backend (heap, then calendar),
+//! with per-figure wall-clock and events/sec, as a single JSON document
+//! on stdout (schema `livelock-perf-trajectory/v1`, stable field order —
+//! see EXPERIMENTS.md). `BENCH_PR6.json` at the repo root is a committed
+//! run of this mode; `scripts/ci.sh` regenerates a small smoke run and
+//! soft-gates against it.
 //!
 //! `--telemetry` instead measures the telemetry sampler's own overhead:
 //! it runs the same overload trial with the sampler off and on,
@@ -28,18 +37,71 @@
 
 use std::time::Instant;
 
-use livelock_bench::{all_figures, render_figure};
+use livelock_bench::{all_figures, render_figure, render_figure_with_scheduler};
 use livelock_core::poller::Quota;
 use livelock_kernel::config::KernelConfig;
 use livelock_kernel::experiment::{run_trial, TrialSpec};
 use livelock_kernel::par::{default_jobs, Parallelism};
 use livelock_kernel::telemetry::TelemetryConfig;
+use livelock_machine::SchedulerKind;
 
 fn flag_value(args: &[String], name: &str) -> Option<String> {
     args.iter()
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .cloned()
+}
+
+/// Parsed command line for the `perf` binary.
+#[derive(Clone, Debug, PartialEq)]
+struct PerfArgs {
+    /// Packets per trial.
+    n_packets: usize,
+    /// Emit the JSON perf-trajectory artifact instead of the timing table.
+    json: bool,
+    /// Run the telemetry-overhead check instead.
+    telemetry: bool,
+    /// Job counts to time (`None`: 1 plus available parallelism).
+    jobs_list: Option<Vec<usize>>,
+}
+
+/// Parses `perf`'s arguments. Kept free of process concerns (exit,
+/// stderr) so the rejection paths are unit-testable.
+fn parse_args(args: &[String]) -> Result<PerfArgs, String> {
+    let n_packets = match flag_value(args, "--packets") {
+        None => 2_000,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => return Err(format!("--packets: bad count {v:?} (want an integer >= 1)")),
+        },
+    };
+    let jobs_list = match flag_value(args, "--jobs-list") {
+        None => None,
+        Some(v) => {
+            let parsed: Result<Vec<usize>, _> = v.split(',').map(|s| s.parse::<usize>()).collect();
+            match parsed {
+                Ok(list) if list.is_empty() => {
+                    return Err(format!("--jobs-list: empty list {v:?} (want e.g. 1,2,4)"))
+                }
+                // `0usize` parses fine but zero worker threads cannot
+                // render anything; reject non-positive counts explicitly
+                // rather than hanging or panicking downstream.
+                Ok(list) if list.contains(&0) => {
+                    return Err(format!(
+                        "--jobs-list: job counts must be >= 1, got {v:?}"
+                    ))
+                }
+                Ok(list) => Some(list),
+                Err(_) => return Err(format!("--jobs-list: bad list {v:?} (want e.g. 1,2,4)")),
+            }
+        }
+    };
+    Ok(PerfArgs {
+        n_packets,
+        json: args.iter().any(|a| a == "--json"),
+        telemetry: args.iter().any(|a| a == "--telemetry"),
+        jobs_list,
+    })
 }
 
 /// Wall-clock budget the telemetry sampler may add to a trial.
@@ -133,22 +195,123 @@ fn telemetry_overhead(n_packets: usize) -> i32 {
     0
 }
 
+/// Packets/trial of the committed seed baseline measurement below.
+const SEED_BASELINE_PACKETS: usize = 10_000;
+
+/// Wall-clock of the full figure set on the seed heap engine (commit
+/// c8ac1ae), `--packets 10000` jobs=1: minimum of 10 runs interleaved
+/// with the current binary on the same box. The committed
+/// `BENCH_PR6.json` records the current engine against this number.
+const SEED_BASELINE_WALL_S: f64 = 3.993;
+
+/// The `--json` mode: render the canonical figure set once per engine
+/// backend and emit the perf-trajectory document. Field order is stable
+/// and documented in EXPERIMENTS.md; `scripts/ci.sh` parses it.
+fn perf_trajectory_json(n_packets: usize, jobs: usize) -> String {
+    let figs = all_figures();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"livelock-perf-trajectory/v1\",\n");
+    out.push_str(&format!("  \"packets_per_trial\": {n_packets},\n"));
+    out.push_str(&format!("  \"jobs\": {jobs},\n"));
+    out.push_str("  \"engines\": [\n");
+    let mut engine_totals = Vec::new();
+    for (ei, (name, kind)) in [
+        ("heap", SchedulerKind::Heap),
+        ("calendar", SchedulerKind::Calendar),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"engine\": \"{name}\",\n"));
+        out.push_str("      \"figures\": [\n");
+        let (mut total_wall, mut total_events) = (0.0f64, 0u64);
+        for (fi, fig) in figs.iter().enumerate() {
+            let t0 = Instant::now();
+            let rendered = render_figure_with_scheduler(
+                fig,
+                n_packets,
+                Parallelism::Jobs(jobs),
+                Some(kind),
+            );
+            let wall = t0.elapsed().as_secs_f64();
+            let events: u64 = rendered
+                .curves
+                .iter()
+                .flat_map(|c| &c.trials)
+                .map(|t| t.events_dispatched)
+                .sum();
+            total_wall += wall;
+            total_events += events;
+            out.push_str(&format!(
+                "        {{\"id\": \"{}\", \"wall_s\": {:.6}, \"events_dispatched\": {}, \"events_per_sec\": {:.1}}}{}\n",
+                fig.id,
+                wall,
+                events,
+                events as f64 / wall,
+                if fi + 1 < figs.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("      ],\n");
+        out.push_str(&format!("      \"total_wall_s\": {total_wall:.6},\n"));
+        out.push_str(&format!("      \"total_events\": {total_events},\n"));
+        out.push_str(&format!(
+            "      \"events_per_sec\": {:.1}\n",
+            total_events as f64 / total_wall
+        ));
+        out.push_str(if ei == 0 { "    },\n" } else { "    }\n" });
+        engine_totals.push(total_wall);
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"calendar_speedup_vs_heap\": {:.3},\n",
+        engine_totals[0] / engine_totals[1]
+    ));
+    out.push_str(&format!(
+        "  \"seed_baseline_wall_s\": {SEED_BASELINE_WALL_S},\n"
+    ));
+    out.push_str(&format!(
+        "  \"seed_baseline_packets_per_trial\": {SEED_BASELINE_PACKETS},\n"
+    ));
+    out.push_str(
+        "  \"seed_baseline_note\": \"seed heap engine (commit c8ac1ae), full figure set, \
+         jobs=1; minimum of 10 interleaved same-box runs\",\n",
+    );
+    // The seed number only compares at the same trial length; emit null
+    // otherwise so downstream tooling cannot misread a smoke run as a
+    // regression (or an improvement).
+    if n_packets == SEED_BASELINE_PACKETS && jobs == 1 {
+        out.push_str(&format!(
+            "  \"speedup_vs_seed\": {:.3}\n",
+            SEED_BASELINE_WALL_S / engine_totals[1]
+        ));
+    } else {
+        out.push_str("  \"speedup_vs_seed\": null\n");
+    }
+    out.push_str("}\n");
+    out
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let n_packets = match flag_value(&args, "--packets") {
-        None => 2_000,
-        Some(v) => match v.parse::<usize>() {
-            Ok(n) if n >= 1 => n,
-            _ => {
-                eprintln!("--packets: bad count {v:?}");
-                std::process::exit(1);
-            }
-        },
+    let parsed = match parse_args(&args) {
+        Ok(p) => p,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
     };
-    if args.iter().any(|a| a == "--telemetry") {
+    let n_packets = parsed.n_packets;
+    if parsed.telemetry {
         std::process::exit(telemetry_overhead(n_packets.max(10_000)));
     }
-    let jobs_list: Vec<usize> = match flag_value(&args, "--jobs-list") {
+    if parsed.json {
+        let jobs = parsed.jobs_list.as_ref().map_or(1, |l| l[0]);
+        print!("{}", perf_trajectory_json(n_packets, jobs));
+        return;
+    }
+    let jobs_list: Vec<usize> = match parsed.jobs_list {
         None => {
             let n = default_jobs();
             if n > 1 {
@@ -157,13 +320,7 @@ fn main() {
                 vec![1]
             }
         }
-        Some(v) => match v.split(',').map(|s| s.parse::<usize>()).collect() {
-            Ok(list) => list,
-            Err(_) => {
-                eprintln!("--jobs-list: bad list {v:?} (want e.g. 1,2,4)");
-                std::process::exit(1);
-            }
-        },
+        Some(list) => list,
     };
 
     let figs = all_figures();
@@ -213,5 +370,59 @@ fn main() {
     if mismatches > 0 {
         eprintln!("error: {mismatches} job count(s) produced different CSV output");
         std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults() {
+        let p = parse_args(&argv(&[])).unwrap();
+        assert_eq!(p.n_packets, 2_000);
+        assert!(!p.json);
+        assert!(!p.telemetry);
+        assert_eq!(p.jobs_list, None);
+    }
+
+    #[test]
+    fn flags_parse() {
+        let p = parse_args(&argv(&["--packets", "500", "--json", "--jobs-list", "1,2,4"])).unwrap();
+        assert_eq!(p.n_packets, 500);
+        assert!(p.json);
+        assert_eq!(p.jobs_list, Some(vec![1, 2, 4]));
+        assert!(parse_args(&argv(&["--telemetry"])).unwrap().telemetry);
+    }
+
+    #[test]
+    fn zero_job_count_is_rejected_with_a_clear_error() {
+        for list in ["0", "1,0", "0,2", "1,0,4"] {
+            let err = parse_args(&argv(&["--jobs-list", list])).unwrap_err();
+            assert!(
+                err.contains("job counts must be >= 1"),
+                "list {list:?} gave: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_jobs_lists_are_rejected() {
+        for list in ["", "a", "1,,2", "1,two", "-1"] {
+            let err = parse_args(&argv(&["--jobs-list", list])).unwrap_err();
+            assert!(err.contains("--jobs-list"), "list {list:?} gave: {err}");
+        }
+    }
+
+    #[test]
+    fn bad_packet_counts_are_rejected() {
+        for v in ["0", "-5", "many"] {
+            let err = parse_args(&argv(&["--packets", v])).unwrap_err();
+            assert!(err.contains("--packets"), "{v:?} gave: {err}");
+        }
     }
 }

@@ -12,7 +12,7 @@ use livelock_kernel::config::KernelConfig;
 use livelock_kernel::experiment::{run_trial, sweep, SweepResult, TrialSpec};
 use livelock_kernel::par::{par_map, Parallelism};
 use livelock_machine::fault::FaultPlan;
-use livelock_machine::CpuClass;
+use livelock_machine::{CpuClass, SchedulerKind};
 
 /// What a figure's value column (y-axis) plots.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -435,6 +435,20 @@ impl RenderedFigure {
 /// Every trial is independently seeded, so the output is bit-for-bit
 /// identical across every [`Parallelism`] choice.
 pub fn render_figure(fig: &Figure, n_packets: usize, par: Parallelism) -> RenderedFigure {
+    render_figure_with_scheduler(fig, n_packets, par, None)
+}
+
+/// [`render_figure`] with the engine's event-scheduler backend forced to
+/// `scheduler` (`None` keeps each curve's configured backend — the
+/// calendar default). Both backends dispatch identically, so the figure's
+/// numbers cannot depend on this choice; the `perf --json` trajectory
+/// harness uses the override to time heap vs calendar on the same trials.
+pub fn render_figure_with_scheduler(
+    fig: &Figure,
+    n_packets: usize,
+    par: Parallelism,
+    scheduler: Option<SchedulerKind>,
+) -> RenderedFigure {
     let work: Vec<(usize, f64)> = fig
         .curves
         .iter()
@@ -443,10 +457,14 @@ pub fn render_figure(fig: &Figure, n_packets: usize, par: Parallelism) -> Render
         .collect();
     let mut trials = par_map(&work, par.jobs(), |&(ci, rate_pps)| {
         let (_, cfg) = &fig.curves[ci];
+        let mut cfg = cfg.clone();
+        if let Some(kind) = scheduler {
+            cfg.scheduler = kind;
+        }
         run_trial(&TrialSpec {
             rate_pps,
             n_packets,
-            ..TrialSpec::new(cfg.clone())
+            ..TrialSpec::new(cfg)
         })
     })
     .into_iter();
@@ -888,6 +906,7 @@ mod tests {
             timeline: None,
             pool: Default::default(),
             fault: Default::default(),
+            events_dispatched: 0,
         };
         let rates = vec![2_000.0, 6_000.0, 12_000.0];
         let plateau: Vec<_> = rates.iter().map(|&r| fake_trial(r, 4_000.0_f64.min(r))).collect();

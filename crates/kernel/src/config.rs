@@ -2,6 +2,7 @@
 
 use livelock_core::poller::Quota;
 use livelock_machine::cost::CostModel;
+use livelock_machine::cpu::SchedulerKind;
 use livelock_machine::fault::FaultPlan;
 use livelock_machine::nic::NicConfig;
 use livelock_net::filter::Filter;
@@ -177,6 +178,11 @@ pub struct KernelConfig {
     /// armed, and the run is byte-identical to one without the fault
     /// subsystem).
     pub faults: Option<FaultPlan>,
+    /// Event-scheduler backend for the machine engine. Both backends
+    /// dispatch in bit-identical order; [`SchedulerKind::Calendar`] (the
+    /// default) is the fast one, [`SchedulerKind::Heap`] the reference
+    /// oracle.
+    pub scheduler: SchedulerKind,
     /// The cycle cost model.
     pub cost: CostModel,
 }
@@ -199,6 +205,7 @@ impl KernelConfig {
             latency_tracking: true,
             telemetry: None,
             faults: None,
+            scheduler: SchedulerKind::default(),
             cost: CostModel::calibrated(),
         }
     }
@@ -478,6 +485,15 @@ impl KernelConfigBuilder {
     /// is equivalent to none.
     pub fn faults(mut self, plan: FaultPlan) -> Self {
         self.cfg.faults = Some(plan);
+        self
+    }
+
+    /// Selects the event-scheduler backend (default:
+    /// [`SchedulerKind::Calendar`]). [`SchedulerKind::Heap`] pins the
+    /// reference backend, e.g. for equivalence checks against the
+    /// calendar queue.
+    pub fn scheduler(mut self, kind: SchedulerKind) -> Self {
+        self.cfg.scheduler = kind;
         self
     }
 

@@ -119,6 +119,11 @@ pub struct TrialResult {
     /// Fault-injection and recovery counters (all zero when the config
     /// carries no fault plan).
     pub fault: FaultStats,
+    /// Events the engine's scheduler dispatched over the whole trial
+    /// (arrivals, wire completions, clock pulses, deferred interrupts,
+    /// faults). With wall-clock time this yields the engine's events/sec
+    /// throughput figure.
+    pub events_dispatched: u64,
 }
 
 impl TrialResult {
@@ -186,7 +191,7 @@ fn run_trial_engine(
     let mut factory = PacketFactory::paper_testbed().with_pool(pool.clone());
     for &t in &times {
         let pkt = factory.next_packet();
-        engine.state_schedule(t, Event::RxArrive { iface: 0, pkt });
+        engine.state_schedule(t, Event::RxArrive { iface: 0, pkt: Box::new(pkt) });
     }
 
     // Measurement window: after warm-up, until the last arrival.
@@ -258,6 +263,7 @@ fn run_trial_engine(
         timeline: stats.timeline.clone(),
         pool: stats.pool.unwrap_or_default(),
         fault: stats.fault,
+        events_dispatched: engine.state().events_dispatched(),
     };
     (result, chrome_json, engine)
 }
@@ -380,6 +386,43 @@ mod tests {
 
     fn polled(q: Quota) -> KernelConfig {
         KernelConfig::builder().polled(q).build()
+    }
+
+    #[test]
+    fn heap_and_calendar_backends_produce_identical_trials() {
+        use livelock_machine::cpu::SchedulerKind;
+        // Overloaded rate: drops, deferred interrupts and queue churn give
+        // the schedulers a dense, tie-heavy event stream to disagree on.
+        for (name, cfg) in [
+            ("unmodified", unmodified()),
+            ("polled", polled(Quota::Limited(10))),
+        ] {
+            let run = |kind| {
+                let mut c = cfg.clone();
+                c.scheduler = kind;
+                quick(c, 9_000.0, 1_200)
+            };
+            let h = run(SchedulerKind::Heap);
+            let c = run(SchedulerKind::Calendar);
+            assert_eq!(h.transmitted, c.transmitted, "{name}");
+            assert_eq!(
+                h.offered_pps.to_bits(),
+                c.offered_pps.to_bits(),
+                "{name}: offered rate must be bit-identical"
+            );
+            assert_eq!(
+                h.delivered_pps.to_bits(),
+                c.delivered_pps.to_bits(),
+                "{name}: delivered rate must be bit-identical"
+            );
+            assert_eq!(h.latency_mean, c.latency_mean, "{name}");
+            assert_eq!(h.latency_p99, c.latency_p99, "{name}");
+            assert_eq!(h.latency_jitter, c.latency_jitter, "{name}");
+            assert_eq!(h.drops, c.drops, "{name}");
+            assert_eq!(h.interrupts_taken, c.interrupts_taken, "{name}");
+            assert_eq!(h.events_dispatched, c.events_dispatched, "{name}");
+            assert!(h.events_dispatched > 0, "{name}: trial dispatched events");
+        }
     }
 
     #[test]

@@ -67,7 +67,23 @@ impl RouterKernel {
                             if self.cfg.screend.is_none() {
                                 cost += self.cost.tx_start_per_pkt;
                             }
-                            return Some(Chunk::new(cost, tag::POLL_RX_PKT));
+                            // Burst: every packet already in the ring (the
+                            // backlog only grows from here) up to the quota
+                            // is a promised repetition; each `poll_rx_done`
+                            // consumes exactly one.
+                            let reps = if self.poll_burstable() {
+                                let avail = self.ifaces[i].nic.rx_pending() as u32;
+                                let room = match action.quota {
+                                    Quota::Limited(n) => {
+                                        (n - self.poll.done_in_cb).min(avail)
+                                    }
+                                    Quota::Unlimited => avail,
+                                };
+                                room.saturating_sub(1)
+                            } else {
+                                0
+                            };
+                            return Some(Chunk::new(cost, tag::POLL_RX_PKT).with_reps(reps));
                         }
                         let more = self.ifaces[i].nic.rx_pending() > 0;
                         self.finish_callback(env, action, more);
@@ -76,10 +92,28 @@ impl RouterKernel {
                         let iface = &self.ifaces[i];
                         if !action.quota.exhausted_by(self.poll.done_in_cb) {
                             if iface.nic.tx_unreclaimed() > 0 {
+                                // Burst: completed-but-unreclaimed
+                                // descriptors only accumulate from here
+                                // (wire completions add, only this thread
+                                // reclaims), so each one up to the quota is
+                                // a promised repetition.
+                                let reps = if self.poll_burstable() {
+                                    let avail = iface.nic.tx_unreclaimed() as u32;
+                                    let room = match action.quota {
+                                        Quota::Limited(n) => {
+                                            (n - self.poll.done_in_cb).min(avail)
+                                        }
+                                        Quota::Unlimited => avail,
+                                    };
+                                    room.saturating_sub(1)
+                                } else {
+                                    0
+                                };
                                 return Some(Chunk::new(
                                     self.cost.tx_done_per_pkt + self.cost.tx_start_per_pkt,
                                     tag::POLL_TX_PKT,
-                                ));
+                                )
+                                .with_reps(reps));
                             }
                             if !iface.out_q.is_empty() && iface.nic.tx_slots_free() > 0 {
                                 return Some(Chunk::new(

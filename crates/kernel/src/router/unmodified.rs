@@ -6,6 +6,7 @@ use super::*;
 impl RouterKernel {
     pub(super) fn unmod_rx_next(&mut self, env: &mut Env<'_, Event>, i: usize) -> Option<Chunk> {
         let extra = self.emulation_overhead();
+        let burstable = self.burstable();
         let iface = &mut self.ifaces[i];
         if !iface.rx_in_handler {
             iface.rx_in_handler = true;
@@ -21,10 +22,20 @@ impl RouterKernel {
                 p.stamps.ring_deq = env.now();
             }
             // Interrupt batching: keep consuming the ring before returning.
+            // Burst: the handler runs at SPLIMP until the ring drains, and
+            // the backlog only grows from here (DMA appends, only this
+            // handler consumes), so every frame already in the ring is a
+            // promised repetition.
+            let reps = if burstable {
+                (iface.nic.rx_pending() as u32).saturating_sub(1)
+            } else {
+                0
+            };
             return Some(Chunk::new(
                 self.cost.rx_device_per_pkt + self.cost.queue_op + extra,
                 tag::RX_PKT,
-            ));
+            )
+            .with_reps(reps));
         }
         iface.rx_in_handler = false;
         env.intr_ack(iface.rx_src);
@@ -69,7 +80,15 @@ impl RouterKernel {
             if self.cfg.screend.is_none() {
                 cost += self.cost.tx_start_per_pkt;
             }
-            return Some(Chunk::new(cost, tag::SOFTNET_PKT));
+            // Burst: preempting receive interrupts only *add* to ipintrq
+            // (and a full queue drops, never shrinks it), so every packet
+            // already queued is a promised repetition.
+            let reps = if self.burstable() {
+                (self.ipintrq.len() as u32).saturating_sub(1)
+            } else {
+                0
+            };
+            return Some(Chunk::new(cost, tag::SOFTNET_PKT).with_reps(reps));
         }
         self.softnet_in_handler = false;
         env.intr_ack(self.softnet_src);

@@ -269,9 +269,17 @@ impl LatencyStats {
             total,
             "stage residencies must telescope to the total sojourn"
         );
-        self.total.record(freq.nanos_from_cycles(total));
+        // Seven conversions per delivery share one divisor; hoist the
+        // exact multiplier (identical results) instead of dividing seven
+        // times.
+        let exact = freq.exact_nanos_per_cycle().map(|k| (k, u64::MAX / k));
+        let ns = |c: Cycles| match exact {
+            Some((k, lim)) if c.raw() <= lim => Nanos::new(c.raw() * k),
+            _ => freq.nanos_from_cycles(c),
+        };
+        self.total.record(ns(total));
         for (h, c) in self.stages.iter_mut().zip(res) {
-            h.record(freq.nanos_from_cycles(c));
+            h.record(ns(c));
         }
     }
 

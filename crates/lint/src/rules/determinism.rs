@@ -6,8 +6,10 @@
 //!    and `std::thread` primitives introduce host-dependent values and
 //!    scheduling. The only sanctioned concurrency is `kernel::par`'s
 //!    scoped work queue (whose results are order-restored), and the only
-//!    sanctioned wall-clock readers are the self-timing `perf` binary and
-//!    the vendored `criterion` harness (not scanned).
+//!    sanctioned wall-clock readers are the self-timing `perf` binary
+//!    (including its `BENCH_*.json` trajectory writer), criterion bench
+//!    targets under `benches/**`, and the vendored `criterion` harness
+//!    itself (not scanned).
 //! 2. **No iteration-order-dependent containers in deterministic
 //!    crates.** `HashMap`/`HashSet` iteration order depends on the
 //!    hasher's random seed; one `for` loop over such a map inside the
@@ -20,7 +22,10 @@ use crate::tokenizer::Tok;
 use super::{path_match, raw, RawFinding, Rule, DETERMINISTIC_CRATES};
 
 /// Files allowed to use `std::thread` / `Instant`: the sanctioned
-/// parallelism module and the self-timing perf harness.
+/// parallelism module and the self-timing perf harness (which owns the
+/// `BENCH_*.json` trajectory writer). Criterion bench targets
+/// (`benches/**`, [`TargetKind::Bench`]) are likewise timing paths and
+/// exempted wholesale in [`Determinism::check`].
 const TIME_AND_THREAD_EXEMPT: &[&str] = &[
     "crates/kernel/src/par.rs",
     "crates/bench/src/bin/perf.rs",
@@ -47,12 +52,15 @@ impl Rule for Determinism {
     }
 
     fn describe(&self) -> &'static str {
-        "no wall-clock/threads outside kernel::par + perf; no HashMap/HashSet in deterministic crates"
+        "no wall-clock/threads outside kernel::par + perf/bench timing paths; no HashMap/HashSet \
+         in deterministic crates"
     }
 
     fn check(&self, file: &FileInfo, toks: &[Tok]) -> Vec<RawFinding> {
         let mut out = Vec::new();
-        if !TIME_AND_THREAD_EXEMPT.contains(&file.rel_path.as_str()) {
+        let timing_path = TIME_AND_THREAD_EXEMPT.contains(&file.rel_path.as_str())
+            || file.kind == TargetKind::Bench;
+        if !timing_path {
             self.check_time_and_threads(toks, &mut out);
         }
         if DETERMINISTIC_CRATES.contains(&file.crate_name.as_str()) && file.kind == TargetKind::Lib
@@ -172,6 +180,14 @@ mod tests {
     fn par_and_perf_are_exempt_from_time_checks() {
         assert!(run("crates/kernel/src/par.rs", "std::thread::scope(|s| {});").is_empty());
         assert!(run("crates/bench/src/bin/perf.rs", "let t = Instant::now();").is_empty());
+    }
+
+    #[test]
+    fn criterion_bench_targets_are_timing_paths() {
+        // Criterion harnesses self-time; `benches/**` is exempt wholesale.
+        assert!(run("crates/bench/benches/schedulers.rs", "let t = Instant::now();").is_empty());
+        // Non-bench bin targets in the same crate stay scanned.
+        assert_eq!(run("crates/bench/src/bin/figures.rs", "let t = Instant::now();").len(), 1);
     }
 
     #[test]

@@ -26,7 +26,7 @@
 //! All cycles are accounted per context class; [`UsageReport`] is how the
 //! Figure 7-1 experiment measures the CPU share a user process received.
 
-use livelock_sim::{Cycles, EventQueue};
+use livelock_sim::{CalendarQueue, Cycles, EventQueue, Scheduler as EventScheduler};
 
 use crate::intr::{IntrController, IntrSrc};
 use crate::ipl::Ipl;
@@ -52,12 +52,31 @@ pub struct Chunk {
     /// Workload-defined discriminator passed back to
     /// [`Workload::chunk_done`].
     pub tag: u64,
+    /// Extra identical repetitions beyond this chunk — a *burst*. After
+    /// each completion (and its [`Workload::chunk_done`]) the engine
+    /// re-issues the same `(cycles, tag)` without calling
+    /// [`Workload::next_chunk`] again, announcing each re-issue through
+    /// [`Workload::chunk_start`]. The workload may only promise
+    /// repetitions whose `next_chunk` answer is provably identical no
+    /// matter what events, interrupts, or preemptions land between them;
+    /// the engine still honors every preemption point in between, so the
+    /// executed schedule is bit-identical to the unbatched one.
+    pub reps: u32,
 }
 
 impl Chunk {
     /// Creates a chunk.
     pub fn new(cycles: Cycles, tag: u64) -> Self {
-        Chunk { cycles, tag }
+        Chunk {
+            cycles,
+            tag,
+            reps: 0,
+        }
+    }
+
+    /// This chunk, promised for `reps` extra identical repetitions.
+    pub fn with_reps(self, reps: u32) -> Self {
+        Chunk { reps, ..self }
     }
 }
 
@@ -85,6 +104,88 @@ pub trait Workload {
     fn on_idle(&mut self, env: &mut Env<'_, Self::Event>) {
         let _ = env;
     }
+
+    /// A burst repetition (see [`Chunk::reps`]) is about to start running,
+    /// at exactly the instant `next_chunk` would have been called for it.
+    /// This is where per-chunk issue bookkeeping goes — timestamping the
+    /// next packet, for instance.
+    ///
+    /// Must be *observationally pure* towards the machine: no posting or
+    /// acknowledging interrupts, no waking or sleeping threads, no
+    /// scheduling events. The engine relies on that to skip the redundant
+    /// re-check of those states between the issue and the run.
+    fn chunk_start(&mut self, env: &mut Env<'_, Self::Event>, ctx: CtxKind, tag: u64) {
+        let _ = (env, ctx, tag);
+    }
+}
+
+/// Which event-scheduler backend an [`EnvState`] runs on.
+///
+/// Both backends dispatch in bit-identical order (ascending time, FIFO at
+/// equal times); they differ only in speed. [`Calendar`](Self::Calendar)
+/// is the default: amortized O(1) under the steady event densities the
+/// router trials produce. [`Heap`](Self::Heap) is the reference binary
+/// heap — O(log n), kept as the equivalence oracle and fallback.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// The reference binary-heap [`EventQueue`].
+    Heap,
+    /// The [`CalendarQueue`], the engine default.
+    #[default]
+    Calendar,
+}
+
+/// The event queue behind [`EnvState`]: one of the two [`SchedulerKind`]
+/// backends, dispatched through the sim crate's
+/// [`Scheduler`](livelock_sim::Scheduler) trait.
+enum EvBackend<E> {
+    Heap(EventQueue<E>),
+    Calendar(CalendarQueue<E>),
+}
+
+/// Initial bucket width handed to a fresh calendar backend. Any positive
+/// value is correct; the queue re-derives the width from the observed
+/// median event spacing at its first resize (64 pending events), so this
+/// only has to be in the right galaxy.
+const CALENDAR_INITIAL_SPACING: Cycles = Cycles::new(1_024);
+
+impl<E> EvBackend<E> {
+    fn new(kind: SchedulerKind) -> Self {
+        match kind {
+            SchedulerKind::Heap => EvBackend::Heap(EventQueue::new()),
+            SchedulerKind::Calendar => {
+                EvBackend::Calendar(CalendarQueue::new(CALENDAR_INITIAL_SPACING))
+            }
+        }
+    }
+
+    fn schedule(&mut self, at: Cycles, payload: E) {
+        match self {
+            EvBackend::Heap(q) => q.schedule(at, payload),
+            EvBackend::Calendar(q) => q.schedule(at, payload),
+        }
+    }
+
+    fn peek_time(&mut self) -> Option<Cycles> {
+        match self {
+            EvBackend::Heap(q) => EventScheduler::peek_time(q),
+            EvBackend::Calendar(q) => EventScheduler::peek_time(q),
+        }
+    }
+
+    fn pop_due_batch(&mut self, now: Cycles, out: &mut Vec<(Cycles, E)>) -> usize {
+        match self {
+            EvBackend::Heap(q) => q.pop_due_batch(now, out),
+            EvBackend::Calendar(q) => q.pop_due_batch(now, out),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        match self {
+            EvBackend::Heap(q) => q.is_empty(),
+            EvBackend::Calendar(q) => q.is_empty(),
+        }
+    }
 }
 
 /// Mutable machine state shared between the engine and the workload.
@@ -98,7 +199,8 @@ pub struct EnvState<E> {
     /// The thread scheduler.
     pub sched: Scheduler,
     now: Cycles,
-    evq: EventQueue<E>,
+    evq: EvBackend<E>,
+    events_dispatched: u64,
     usage: Usage,
 }
 
@@ -156,13 +258,20 @@ impl Usage {
 }
 
 impl<E> EnvState<E> {
-    /// Creates machine state with the given scheduler quantum.
+    /// Creates machine state with the given scheduler quantum, on the
+    /// default (calendar) event-queue backend.
     pub fn new(quantum: Cycles) -> Self {
+        Self::with_scheduler(quantum, SchedulerKind::default())
+    }
+
+    /// Creates machine state on an explicit event-queue backend.
+    pub fn with_scheduler(quantum: Cycles, kind: SchedulerKind) -> Self {
         EnvState {
             intr: IntrController::new(),
             sched: Scheduler::new(quantum),
             now: Cycles::ZERO,
-            evq: EventQueue::new(),
+            evq: EvBackend::new(kind),
+            events_dispatched: 0,
             usage: Usage::default(),
         }
     }
@@ -170,6 +279,12 @@ impl<E> EnvState<E> {
     /// Current virtual time.
     pub fn now(&self) -> Cycles {
         self.now
+    }
+
+    /// External events delivered to the workload so far — the engine's
+    /// unit of dispatch throughput (`events/sec` in the perf artifact).
+    pub fn events_dispatched(&self) -> u64 {
+        self.events_dispatched
     }
 
     /// Schedules an event at absolute time `at` (clamped to now).
@@ -351,7 +466,39 @@ impl UsageReport {
 #[derive(Clone, Copy, Debug)]
 struct Progress {
     remaining: Cycles,
+    /// Full cost of the chunk, kept so burst repetitions can re-arm.
+    cost: Cycles,
     tag: u64,
+    /// Identical repetitions still owed after this one (see
+    /// [`Chunk::reps`]).
+    reps: u32,
+    /// A re-armed burst repetition that has not started running yet:
+    /// [`Workload::chunk_start`] still has to fire, and (for threads) the
+    /// preemption check `next_chunk` issue points get must still happen.
+    fresh: bool,
+}
+
+impl Progress {
+    fn from_chunk(c: Chunk) -> Self {
+        Progress {
+            remaining: c.cycles,
+            cost: c.cycles,
+            tag: c.tag,
+            reps: c.reps,
+            fresh: false,
+        }
+    }
+
+    /// The re-armed successor repetition of a completed burst chunk.
+    fn rearm(self) -> Option<Self> {
+        (self.reps > 0).then(|| Progress {
+            remaining: self.cost,
+            cost: self.cost,
+            tag: self.tag,
+            reps: self.reps - 1,
+            fresh: true,
+        })
+    }
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -373,6 +520,8 @@ pub struct Engine<W: Workload> {
     ctx_switch_cost: Cycles,
     idle_notified: bool,
     trace: Option<Trace>,
+    /// Reused buffer for the batched due-event drain in `run_until`.
+    due_batch: Vec<(Cycles, W::Event)>,
 }
 
 /// Iterations without time progress before the engine declares the
@@ -393,6 +542,7 @@ impl<W: Workload> Engine<W> {
             ctx_switch_cost,
             idle_notified: false,
             trace: None,
+            due_batch: Vec::new(),
         }
     }
 
@@ -491,13 +641,30 @@ impl<W: Workload> Engine<W> {
                 return Exit::HitLimit;
             }
 
-            // 1. Deliver due events.
-            if let Some((_, ev)) = self.st.evq.pop_due(self.st.now) {
-                self.record(TraceEvent::External);
-                let workload = &mut self.workload;
-                Self::env_call(&mut self.st, |env| workload.on_event(env, ev));
-                self.idle_notified = false;
-                continue;
+            // 1. Deliver due events — the whole same-cycle burst in one
+            // batched drain. Dispatch order is identical to popping one
+            // event per loop iteration: handlers cannot advance time, so
+            // nothing else runs between two due events either way, and
+            // anything a handler schedules for `now` carries a later
+            // sequence number than every event already drained, so it
+            // pops (in order) on the next pass.
+            // The cached peek is O(1) for both backends; the overwhelmingly
+            // common loop iteration has nothing due and skips the drain
+            // machinery entirely.
+            if matches!(self.st.evq.peek_time(), Some(t) if t <= self.st.now) {
+                let mut batch = std::mem::take(&mut self.due_batch);
+                if self.st.evq.pop_due_batch(self.st.now, &mut batch) > 0 {
+                    self.st.events_dispatched += batch.len() as u64;
+                    for (_, ev) in batch.drain(..) {
+                        self.record(TraceEvent::External);
+                        let workload = &mut self.workload;
+                        Self::env_call(&mut self.st, |env| workload.on_event(env, ev));
+                    }
+                    self.idle_notified = false;
+                    self.due_batch = batch;
+                    continue;
+                }
+                self.due_batch = batch;
             }
 
             // 2. Take a preempting interrupt.
@@ -521,12 +688,7 @@ impl<W: Workload> Engine<W> {
                         workload.next_chunk(env, CtxKind::Intr(src))
                     });
                     match chunk {
-                        Some(c) => {
-                            top.progress = Some(Progress {
-                                remaining: c.cycles,
-                                tag: c.tag,
-                            })
-                        }
+                        Some(c) => top.progress = Some(Progress::from_chunk(c)),
                         None => {
                             self.frames.pop();
                             self.record(TraceEvent::IntrExit(src));
@@ -551,26 +713,25 @@ impl<W: Workload> Engine<W> {
                     self.cur_thread = None;
                     continue;
                 }
+                // A chunk-issue boundary: either `next_chunk` is about to
+                // be asked, or a re-armed burst repetition is about to
+                // start. Both get exactly the same preemption check.
+                let at_issue = match progress {
+                    None => true,
+                    Some(p) => p.fresh,
+                };
+                if at_issue && self.st.sched.should_preempt() {
+                    self.st.sched.yield_current();
+                    self.cur_thread = None;
+                    continue;
+                }
                 if progress.is_none() {
-                    if self.st.sched.should_preempt() {
-                        self.st.sched.yield_current();
-                        self.cur_thread = None;
-                        continue;
-                    }
                     let workload = &mut self.workload;
                     let chunk = Self::env_call(&mut self.st, |env| {
                         workload.next_chunk(env, CtxKind::Thread(tid))
                     });
                     match chunk {
-                        Some(c) => {
-                            self.cur_thread = Some((
-                                tid,
-                                Some(Progress {
-                                    remaining: c.cycles,
-                                    tag: c.tag,
-                                }),
-                            ))
-                        }
+                        Some(c) => self.cur_thread = Some((tid, Some(Progress::from_chunk(c)))),
                         None => {
                             if self.st.sched.running() == Some(tid) {
                                 self.st.sched.yield_current();
@@ -608,12 +769,8 @@ impl<W: Workload> Engine<W> {
                     self.st.now = t;
                 }
                 Some(_) | None => {
-                    let stop = match self.st.evq.peek_time() {
-                        Some(_) => limit,
-                        None => limit,
-                    };
-                    self.st.usage.charge_idle(stop - self.st.now);
-                    self.st.now = stop;
+                    self.st.usage.charge_idle(limit - self.st.now);
+                    self.st.now = limit;
                     return if self.st.evq.is_empty() {
                         Exit::Quiescent
                     } else {
@@ -630,8 +787,9 @@ impl<W: Workload> Engine<W> {
     }
 
     /// The stop time for a chunk step: the earliest of chunk completion,
-    /// the next event, and the run limit.
-    fn step_stop(&self, remaining: Cycles, limit: Cycles) -> (Cycles, bool) {
+    /// the next event, and the run limit. (`&mut` only because the
+    /// calendar backend's peek maintains its min cache.)
+    fn step_stop(&mut self, remaining: Cycles, limit: Cycles) -> (Cycles, bool) {
         let chunk_end = self.st.now + remaining;
         let mut stop = chunk_end.min(limit);
         if let Some(t) = self.st.evq.peek_time() {
@@ -645,11 +803,24 @@ impl<W: Workload> Engine<W> {
         // if that ever stops holding, a no-op step just sends the loop back
         // through the next-chunk path instead of killing the trial.
         let Some(f) = self.frames.last() else { return };
-        let (src, progress) = match (f.src, f.progress) {
+        let (src, mut progress) = match (f.src, f.progress) {
             (src, Some(p)) => (src, p),
             (_, None) => return,
         };
         let frame_idx = self.frames.len() - 1;
+        if progress.fresh {
+            // A burst repetition issues here — the exact instant
+            // `next_chunk` would have been called for it. `chunk_start`
+            // is observationally pure towards the machine, so the
+            // interrupt/event checks the loop already ran this iteration
+            // cannot have been invalidated.
+            progress.fresh = false;
+            self.frames[frame_idx].progress = Some(progress);
+            let workload = &mut self.workload;
+            Self::env_call(&mut self.st, |env| {
+                workload.chunk_start(env, CtxKind::Intr(src), progress.tag)
+            });
+        }
         let (stop, completes) = self.step_stop(progress.remaining, limit);
         let ran = stop - self.st.now;
         self.st.usage.charge_intr(src, ran);
@@ -660,10 +831,13 @@ impl<W: Workload> Engine<W> {
             Self::env_call(&mut self.st, |env| {
                 workload.chunk_done(env, CtxKind::Intr(src), progress.tag)
             });
+            // Re-arm the next repetition of a burst; the loop still
+            // honors due events and preempting interrupts before it runs.
+            self.frames[frame_idx].progress = progress.rearm();
         } else {
             self.frames[frame_idx].progress = Some(Progress {
                 remaining: progress.remaining - ran,
-                tag: progress.tag,
+                ..progress
             });
         }
     }
@@ -671,9 +845,19 @@ impl<W: Workload> Engine<W> {
     fn step_thread_chunk(&mut self, tid: ThreadId, limit: Cycles) {
         // Same contract as step_intr_chunk: dispatched only with progress
         // in hand, and a no-op step is harmless if the contract breaks.
-        let Some(progress) = self.cur_thread.and_then(|(_, p)| p) else {
+        let Some(mut progress) = self.cur_thread.and_then(|(_, p)| p) else {
             return;
         };
+        if progress.fresh {
+            // Burst repetition issue point; the loop has already run this
+            // boundary's preemption check (see `at_issue` in `run_until`).
+            progress.fresh = false;
+            self.cur_thread = Some((tid, Some(progress)));
+            let workload = &mut self.workload;
+            Self::env_call(&mut self.st, |env| {
+                workload.chunk_start(env, CtxKind::Thread(tid), progress.tag)
+            });
+        }
         let (stop, completes) = self.step_stop(progress.remaining, limit);
         let ran = stop - self.st.now;
         self.st.usage.charge_thread(tid, ran);
@@ -685,12 +869,13 @@ impl<W: Workload> Engine<W> {
             Self::env_call(&mut self.st, |env| {
                 workload.chunk_done(env, CtxKind::Thread(tid), progress.tag)
             });
+            self.cur_thread = Some((tid, progress.rearm()));
         } else {
             self.cur_thread = Some((
                 tid,
                 Some(Progress {
                     remaining: progress.remaining - ran,
-                    tag: progress.tag,
+                    ..progress
                 }),
             ));
         }

@@ -43,6 +43,12 @@ struct Source {
 #[derive(Clone, Debug, Default)]
 pub struct IntrController {
     sources: Vec<Source>,
+    /// Bit `i` set ⟺ `sources[i]` is pending *and* enabled, i.e. deliverable
+    /// at a low enough IPL. The executor polls [`IntrController::take`] /
+    /// [`IntrController::any_takeable`] at every chunk boundary, and the
+    /// common answer is "nothing": a single zero-test covers it. Caps the
+    /// controller at 64 sources (the machine registers a handful).
+    ready: u64,
 }
 
 impl IntrController {
@@ -53,6 +59,7 @@ impl IntrController {
 
     /// Registers an interrupt source at the given IPL, enabled.
     pub fn register(&mut self, name: &'static str, ipl: Ipl) -> IntrSrc {
+        assert!(self.sources.len() < 64, "at most 64 interrupt sources");
         self.sources.push(Source {
             name,
             ipl,
@@ -71,12 +78,21 @@ impl IntrController {
         let s = &mut self.sources[src.0];
         s.posted.inc();
         s.pending = true;
+        if s.enabled {
+            self.ready |= 1 << src.0;
+        }
     }
 
     /// Enables or disables delivery for a source. Disabling does not clear
     /// a pending request.
     pub fn set_enabled(&mut self, src: IntrSrc, enabled: bool) {
-        self.sources[src.0].enabled = enabled;
+        let s = &mut self.sources[src.0];
+        s.enabled = enabled;
+        if enabled && s.pending {
+            self.ready |= 1 << src.0;
+        } else {
+            self.ready &= !(1 << src.0);
+        }
     }
 
     /// Returns `true` when the source's delivery is enabled.
@@ -93,15 +109,26 @@ impl IntrController {
     /// that poll their device and notice the cause is already serviced).
     pub fn acknowledge(&mut self, src: IntrSrc) {
         self.sources[src.0].pending = false;
+        self.ready &= !(1 << src.0);
     }
 
     /// Delivers the highest-IPL enabled pending source that preempts
     /// `current_ipl`, clearing its latch. Ties are broken by registration
     /// order (lower index first), deterministically.
     pub fn take(&mut self, current_ipl: Ipl) -> Option<(IntrSrc, Ipl)> {
+        if self.ready == 0 {
+            return None;
+        }
+        // Walk only the ready bits (ascending index), keeping the first
+        // source seen at each strictly-higher IPL: highest IPL wins, ties
+        // go to the lower registration index.
         let mut best: Option<usize> = None;
-        for (i, s) in self.sources.iter().enumerate() {
-            if s.pending && s.enabled && s.ipl.preempts(current_ipl) {
+        let mut bits = self.ready;
+        while bits != 0 {
+            let i = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let s = &self.sources[i];
+            if s.ipl.preempts(current_ipl) {
                 match best {
                     Some(b) if self.sources[b].ipl >= s.ipl => {}
                     _ => best = Some(i),
@@ -112,14 +139,24 @@ impl IntrController {
         let s = &mut self.sources[i];
         s.pending = false;
         s.taken.inc();
+        self.ready &= !(1 << i);
         Some((IntrSrc(i), s.ipl))
     }
 
     /// Returns `true` if [`IntrController::take`] would deliver something.
     pub fn any_takeable(&self, current_ipl: Ipl) -> bool {
-        self.sources
-            .iter()
-            .any(|s| s.pending && s.enabled && s.ipl.preempts(current_ipl))
+        if self.ready == 0 {
+            return false;
+        }
+        let mut bits = self.ready;
+        while bits != 0 {
+            let i = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            if self.sources[i].ipl.preempts(current_ipl) {
+                return true;
+            }
+        }
+        false
     }
 
     /// Returns the source's IPL.
@@ -240,6 +277,24 @@ mod tests {
         assert_eq!(ic.ipl_of(rx), Ipl::IMP);
         assert_eq!(ic.name_of(soft), "softnet");
         assert!(ic.is_enabled(rx));
+    }
+
+    #[test]
+    fn ready_tracking_survives_mask_latch_ack_interleavings() {
+        let (mut ic, rx, soft, _) = setup();
+        // Latched-while-masked then acknowledged: enabling must NOT deliver.
+        ic.set_enabled(rx, false);
+        ic.post(rx);
+        ic.acknowledge(rx);
+        ic.set_enabled(rx, true);
+        assert!(!ic.any_takeable(Ipl::NONE));
+        assert_eq!(ic.take(Ipl::NONE), None);
+        // Re-disabling an armed source hides it; re-enabling restores it.
+        ic.post(soft);
+        ic.set_enabled(soft, false);
+        assert!(!ic.any_takeable(Ipl::NONE));
+        ic.set_enabled(soft, true);
+        assert_eq!(ic.take(Ipl::NONE), Some((soft, Ipl::SOFTNET)));
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub mod wire;
 pub use chrome::{chrome_trace_json, chrome_trace_json_with_markers, json_escape};
 pub use cost::CostModel;
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
-pub use cpu::{Chunk, CtxKind, Engine, Env, UsageReport, Workload};
+pub use cpu::{Chunk, CtxKind, Engine, Env, SchedulerKind, UsageReport, Workload};
 pub use intr::{IntrController, IntrSrc};
 pub use ipl::Ipl;
 pub use ledger::{CpuClass, CycleLedger};

@@ -65,6 +65,11 @@ pub struct Scheduler {
     threads: Vec<Thread>,
     /// Runnable queues indexed by raw priority; only a few levels are used.
     queues: Vec<VecDeque<ThreadId>>,
+    /// Bit `p` (word `p / 64`, bit `p % 64`) set ⟺ `queues[p]` is nonempty.
+    /// Lets [`Scheduler::pick`] / [`Scheduler::should_preempt`] — called at
+    /// every chunk boundary — test word-at-a-time instead of scanning 256
+    /// queues.
+    nonempty: [u64; 4],
     running: Option<ThreadId>,
     quantum: Cycles,
     run_in_quantum: Cycles,
@@ -78,11 +83,32 @@ impl Scheduler {
         Scheduler {
             threads: Vec::new(),
             queues: vec![VecDeque::new(); 256],
+            nonempty: [0; 4],
             running: None,
             quantum,
             run_in_quantum: Cycles::ZERO,
             switches: 0,
         }
+    }
+
+    fn mark_queued(&mut self, prio: usize) {
+        self.nonempty[prio / 64] |= 1 << (prio % 64);
+    }
+
+    fn sync_mark(&mut self, prio: usize) {
+        if self.queues[prio].is_empty() {
+            self.nonempty[prio / 64] &= !(1 << (prio % 64));
+        }
+    }
+
+    /// Highest priority with a queued runnable thread, if any.
+    fn top_queued(&self) -> Option<usize> {
+        for (w, &bits) in self.nonempty.iter().enumerate().rev() {
+            if bits != 0 {
+                return Some(w * 64 + 63 - bits.leading_zeros() as usize);
+            }
+        }
+        None
     }
 
     /// Spawns a thread in the sleeping state; call [`Scheduler::wake`] to
@@ -104,7 +130,9 @@ impl Scheduler {
             return false;
         }
         t.state = ThreadState::Runnable;
-        self.queues[t.priority.0 as usize].push_back(tid);
+        let prio = t.priority.0 as usize;
+        self.queues[prio].push_back(tid);
+        self.mark_queued(prio);
         true
     }
 
@@ -116,9 +144,10 @@ impl Scheduler {
         match t.state {
             ThreadState::Sleeping => {}
             ThreadState::Runnable => {
-                let q = &mut self.queues[t.priority.0 as usize];
-                q.retain(|&x| x != tid);
+                let prio = t.priority.0 as usize;
+                self.queues[prio].retain(|&x| x != tid);
                 t.state = ThreadState::Sleeping;
+                self.sync_mark(prio);
             }
             ThreadState::Running => {
                 t.state = ThreadState::Sleeping;
@@ -135,7 +164,9 @@ impl Scheduler {
         if let Some(tid) = self.running.take() {
             let t = &mut self.threads[tid.0];
             t.state = ThreadState::Runnable;
-            self.queues[t.priority.0 as usize].push_back(tid);
+            let prio = t.priority.0 as usize;
+            self.queues[prio].push_back(tid);
+            self.mark_queued(prio);
         }
     }
 
@@ -148,16 +179,15 @@ impl Scheduler {
             self.running.is_none(),
             "pick() with a thread still running; yield or sleep it first"
         );
-        for q in self.queues.iter_mut().rev() {
-            if let Some(tid) = q.pop_front() {
-                self.threads[tid.0].state = ThreadState::Running;
-                self.running = Some(tid);
-                self.run_in_quantum = Cycles::ZERO;
-                self.switches += 1;
-                return Some(tid);
-            }
-        }
-        None
+        let prio = self.top_queued()?;
+        // simlint: allow(panic-freedom): top_queued returned prio, so its occupancy bit is set and sync_mark keeps bits in lockstep with queue emptiness
+        let tid = self.queues[prio].pop_front().expect("bit set, queue empty");
+        self.sync_mark(prio);
+        self.threads[tid.0].state = ThreadState::Running;
+        self.running = Some(tid);
+        self.run_in_quantum = Cycles::ZERO;
+        self.switches += 1;
+        Some(tid)
     }
 
     /// Returns the running thread, if any.
@@ -179,15 +209,18 @@ impl Scheduler {
             return false;
         };
         let prio = self.threads[tid.0].priority.0 as usize;
-        if self.queues[prio + 1..].iter().any(|q| !q.is_empty()) {
-            return true;
+        match self.top_queued() {
+            Some(top) if top > prio => true,
+            Some(top) => {
+                self.run_in_quantum >= self.quantum && top == prio
+            }
+            None => false,
         }
-        self.run_in_quantum >= self.quantum && !self.queues[prio].is_empty()
     }
 
     /// Returns `true` when any thread (besides the running one) is queued.
     pub fn any_runnable(&self) -> bool {
-        self.queues.iter().any(|q| !q.is_empty())
+        self.nonempty.iter().any(|&w| w != 0)
     }
 
     /// Returns the thread's current state.

@@ -9,6 +9,24 @@
 //! The API mirrors [`EventQueue`](crate::event::EventQueue) — including the
 //! FIFO tie-break — and a property test in this module proves the two
 //! dequeue in exactly the same order, so either can back the engine.
+//!
+//! Three hot-path properties matter for the engine (which peeks every
+//! executor step and pops tens of thousands of events per trial):
+//!
+//! * buckets are [`VecDeque`]s, so dequeuing the head of a bucket is O(1)
+//!   rather than `Vec::remove(0)`'s O(bucket);
+//! * the location of the earliest pending event is cached (`next_cache`),
+//!   maintained in O(1) on [`schedule`](CalendarQueue::schedule) and
+//!   invalidated on [`pop`](CalendarQueue::pop), so repeated
+//!   [`peek_time`](CalendarQueue::peek_time) calls between pops cost O(1)
+//!   instead of an O(buckets) rescan;
+//! * [`resize`](CalendarQueue::schedule) re-derives the bucket width from
+//!   the *median* consecutive spacing of the pending events, so a single
+//!   far-future outlier (a clock tick scheduled a full period ahead of a
+//!   dense packet burst) cannot skew the width the way a `span / len` mean
+//!   does.
+
+use std::collections::VecDeque;
 
 use crate::time::Cycles;
 
@@ -23,14 +41,48 @@ pub struct CalendarQueue<E> {
     /// `buckets[i]` holds events with `(at / width) % buckets.len() == i`,
     /// each bucket sorted ascending by (at, seq) — kept sorted on insert
     /// (buckets are short when sized right).
-    buckets: Vec<Vec<Entry<E>>>,
-    /// Bucket width in cycles.
+    buckets: Vec<VecDeque<Entry<E>>>,
+    /// Bucket width in cycles. Always a power of two, so every
+    /// `time / width` on the hot paths compiles to a shift by
+    /// [`Self::shift`] instead of a 64-bit division.
     width: u64,
+    /// `width.trailing_zeros()`: the shift equivalent of dividing by
+    /// `width`.
+    shift: u32,
     /// Current dequeue position: the bucket holding `cursor_time`.
     cursor_bucket: usize,
     /// Lower bound of the time range the cursor bucket is being scanned
     /// for in the current year.
     cursor_time: u64,
+    /// `buckets.len() - 1`. The bucket count is always a power of two
+    /// (16 grown by power-of-two factors), so `(at / width) & mask`
+    /// replaces the modulo on every hot path.
+    mask: u64,
+    /// Cached location of the earliest pending event as
+    /// `(bucket, time)` — the front of that bucket is the global minimum.
+    /// `None` means "not currently known" (not "empty"); [`Self::locate`]
+    /// recomputes it on demand.
+    next_cache: Option<(usize, Cycles)>,
+    /// Occupancy bitmask: bit `i` of word `i / 64` is set exactly when
+    /// `buckets[i]` is nonempty. The year scan in [`Self::locate`] and the
+    /// far-jump minimum in [`Self::min_time`] hop between set bits instead
+    /// of probing every (mostly empty) bucket one at a time.
+    nonempty: Vec<u64>,
+    /// Events at or past this absolute time live in [`Self::overflow`],
+    /// not in the buckets. Grows monotonically as [`Self::locate`] crosses
+    /// year boundaries and migrates due years in.
+    boundary: u64,
+    /// Unsorted far-future events (`at >= boundary`). A timeline scheduled
+    /// far ahead (like a whole trial's packet arrivals) would otherwise
+    /// leave multiple "years" of events in every bucket, turning each
+    /// near-future insert into a sorted mid-bucket splice; parking the far
+    /// future here keeps bucket inserts on the append fast path.
+    overflow: Vec<Entry<E>>,
+    /// Overflow inserts since the last (re)size — a chronically high rate
+    /// relative to `len` means the bucket width is far too narrow for the
+    /// live event horizon (every event overshoots the year), so the queue
+    /// re-derives the width from the pending gaps without growing.
+    overflow_pushes: usize,
     len: usize,
     next_seq: u64,
 }
@@ -43,10 +95,17 @@ impl<E> CalendarQueue<E> {
     /// mean spacing is fast).
     pub fn new(expected_spacing: Cycles) -> Self {
         CalendarQueue {
-            buckets: (0..INITIAL_BUCKETS).map(|_| Vec::new()).collect(),
-            width: expected_spacing.raw().max(1),
+            buckets: (0..INITIAL_BUCKETS).map(|_| VecDeque::new()).collect(),
+            width: expected_spacing.raw().max(1).next_power_of_two(),
+            shift: expected_spacing.raw().max(1).next_power_of_two().trailing_zeros(),
             cursor_bucket: 0,
             cursor_time: 0,
+            mask: INITIAL_BUCKETS as u64 - 1,
+            next_cache: None,
+            nonempty: vec![0; INITIAL_BUCKETS.div_ceil(64)],
+            boundary: expected_spacing.raw().max(1).next_power_of_two() * INITIAL_BUCKETS as u64,
+            overflow: Vec::new(),
+            overflow_pushes: 0,
             len: 0,
             next_seq: 0,
         }
@@ -63,7 +122,23 @@ impl<E> CalendarQueue<E> {
     }
 
     fn bucket_of(&self, at: Cycles) -> usize {
-        ((at.raw() / self.width) % self.buckets.len() as u64) as usize
+        ((at.raw() >> self.shift) & self.mask) as usize
+    }
+
+    /// Index of the first nonempty bucket at or after `from`, if any.
+    fn next_nonempty(&self, from: usize) -> Option<usize> {
+        let mut w = from / 64;
+        let mut bits = self.nonempty[w] & (!0u64 << (from % 64));
+        loop {
+            if bits != 0 {
+                return Some(w * 64 + bits.trailing_zeros() as usize);
+            }
+            w += 1;
+            if w == self.nonempty.len() {
+                return None;
+            }
+            bits = self.nonempty[w];
+        }
     }
 
     /// Schedules `payload` at absolute time `at`.
@@ -79,54 +154,307 @@ impl<E> CalendarQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        let idx = self.bucket_of(at);
-        let bucket = &mut self.buckets[idx];
-        let pos = bucket.partition_point(|e| (e.at, e.seq) <= (at, seq));
-        bucket.insert(pos, Entry { at, seq, payload });
+        if at.raw() >= self.boundary {
+            // Beyond the migrated horizon: park it unsorted; `locate`
+            // pulls it into a bucket when the scan reaches its year. The
+            // min cache (always earlier than `boundary` when set) is
+            // unaffected.
+            self.overflow.push(Entry { at, seq, payload });
+            self.overflow_pushes += 1;
+        } else {
+            let idx = self.bucket_of(at);
+            let bucket = &mut self.buckets[idx];
+            // Fast path: `seq` is the largest ever issued, so an `at` at
+            // or past the bucket's tail appends — the overwhelmingly
+            // common case (timelines are scheduled roughly in order).
+            match bucket.back() {
+                Some(b) if (b.at, b.seq) > (at, seq) => {
+                    // Second fast path: zero-delay events (handlers posting
+                    // work "for right now") land ahead of everything still
+                    // pending in their slice — push_front is O(1) and, in
+                    // the measured mix, catches half of all non-appends.
+                    let front = bucket.front().expect("nonempty");
+                    if (front.at, front.seq) > (at, seq) {
+                        bucket.push_front(Entry { at, seq, payload });
+                    } else {
+                        let pos = bucket.partition_point(|e| (e.at, e.seq) <= (at, seq));
+                        bucket.insert(pos, Entry { at, seq, payload });
+                    }
+                }
+                _ => bucket.push_back(Entry { at, seq, payload }),
+            }
+            self.nonempty[idx / 64] |= 1 << (idx % 64);
+            // Maintain the min cache in O(1). A strictly earlier event is
+            // the new global minimum, and provably the front of its
+            // bucket: every other pending event is >= the old minimum >
+            // `at`. An equal-time event keeps the cached front (smaller
+            // seq wins the FIFO tie).
+            match self.next_cache {
+                Some((_, t)) if at < t => self.next_cache = Some((idx, at)),
+                None if self.len == 0 => self.next_cache = Some((idx, at)),
+                _ => {}
+            }
+        }
         self.len += 1;
         if self.len > self.buckets.len() * 4 {
-            self.resize(self.buckets.len() * 2);
+            self.resize(self.buckets.len() * 4);
+        } else if self.overflow_pushes > 64 && self.overflow_pushes > self.len * 4 {
+            // The pending set is small but almost everything overshoots
+            // the current year: the width is stale (e.g. sized for a past
+            // dense phase, or the initial guess). Re-derive it at the same
+            // bucket count so scheduling returns to the in-bucket path.
+            self.resize(self.buckets.len());
         }
+    }
+
+    /// Samples up to 64 pending event times (deterministic stride over the
+    /// buckets) and returns the median *nonzero* gap between consecutive
+    /// sampled times, or `None` when every sample collides.
+    ///
+    /// The mean (span / len) is skewed arbitrarily far by one distant
+    /// outlier — e.g. the next clock tick scheduled a full period beyond a
+    /// dense burst of packet arrivals — which inflates every bucket's
+    /// window and degrades pop back to a linear scan. Zero gaps (same-cycle
+    /// bursts) are excluded for the dual reason: they would drive the
+    /// median to zero and shrink every bucket window to a single cycle,
+    /// making the scan between bursts crawl. The median of what remains
+    /// tracks the dense part of the timeline, and a bounded sample keeps
+    /// the whole derivation O(1) regardless of queue size (a full sort of
+    /// the pending set showed up as the top resize cost in profiles).
+    fn sampled_gap_median(&self) -> Option<u64> {
+        const MAX_SAMPLE: usize = 64;
+        let mut times: Vec<u64> = Vec::with_capacity(MAX_SAMPLE);
+        let stride = (self.len / MAX_SAMPLE).max(1);
+        let mut skip = 0usize;
+        // Walk only the occupied buckets (then the overflow): a sparse
+        // table can have thousands of empty buckets per pending event,
+        // and this runs inside resize.
+        'outer: for (w, &word) in self.nonempty.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let b = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                for e in &self.buckets[b] {
+                    if skip == 0 {
+                        times.push(e.at.raw());
+                        if times.len() == MAX_SAMPLE {
+                            break 'outer;
+                        }
+                        skip = stride - 1;
+                    } else {
+                        skip -= 1;
+                    }
+                }
+            }
+        }
+        if times.len() < MAX_SAMPLE {
+            for e in &self.overflow {
+                if skip == 0 {
+                    times.push(e.at.raw());
+                    if times.len() == MAX_SAMPLE {
+                        break;
+                    }
+                    skip = stride - 1;
+                } else {
+                    skip -= 1;
+                }
+            }
+        }
+        times.sort_unstable();
+        let mut gaps: Vec<u64> = times
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .filter(|&g| g > 0)
+            .collect();
+        if gaps.is_empty() {
+            return None;
+        }
+        let mid = gaps.len() / 2;
+        let (_, &mut median, _) = gaps.select_nth_unstable(mid);
+        Some(median.max(1))
     }
 
     fn resize(&mut self, new_size: usize) {
-        let mut all: Vec<Entry<E>> = self.buckets.drain(..).flatten().collect();
-        all.sort_by_key(|e| (e.at, e.seq));
-        // Re-derive the width from the observed spacing of pending events.
-        if all.len() >= 2 {
-            let span = all.last().expect("len >= 2").at.raw() - all[0].at.raw();
-            self.width = (span / all.len() as u64).max(1);
+        if let Some(w) = self.sampled_gap_median() {
+            self.width = w.next_power_of_two();
+            self.shift = self.width.trailing_zeros();
         }
-        self.buckets = (0..new_size).map(|_| Vec::new()).collect();
+        // Drain only the occupied buckets (occupancy bits): a sparse
+        // table can have thousands of empty buckets per pending event.
+        let mut all: Vec<Entry<E>> = Vec::with_capacity(self.len);
+        for w in 0..self.nonempty.len() {
+            let mut bits = self.nonempty[w];
+            while bits != 0 {
+                let b = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                all.extend(self.buckets[b].drain(..));
+            }
+            self.nonempty[w] = 0;
+        }
+        all.extend(self.overflow.drain(..));
+        debug_assert!(new_size.is_power_of_two());
+        if new_size != self.buckets.len() {
+            self.mask = new_size as u64 - 1;
+            self.buckets = (0..new_size).map(|_| VecDeque::new()).collect();
+            self.nonempty = vec![0; new_size.div_ceil(64)];
+        }
         let old_len = self.len;
         self.len = 0;
+        self.overflow_pushes = 0;
         let floor = self.cursor_time;
+        // Re-derive the horizon for the new year length: one full year
+        // past the cursor's year stays in the buckets, the rest goes back
+        // to the overflow.
+        let year = self.width.saturating_mul(self.mask + 1);
+        self.boundary = (floor / year).saturating_add(1).saturating_mul(year);
         for e in all {
-            let idx = ((e.at.raw() / self.width) % new_size as u64) as usize;
-            self.buckets[idx].push(e);
+            if e.at.raw() >= self.boundary {
+                self.overflow.push(e);
+                self.len += 1;
+                continue;
+            }
+            let idx = ((e.at.raw() >> self.shift) & self.mask) as usize;
+            self.buckets[idx].push_back(e);
+            self.nonempty[idx / 64] |= 1 << (idx % 64);
             self.len += 1;
         }
         debug_assert_eq!(self.len, old_len);
-        // Restart the scan from the earliest pending time.
-        self.cursor_time = floor.min(self.min_time().map_or(floor, |t| t.raw()));
-        self.cursor_bucket = ((self.cursor_time / self.width) % new_size as u64) as usize;
+        // Each bucket must be ascending by (at, seq); sorting the short
+        // buckets individually is much cheaper than globally sorting the
+        // whole pending set before distribution. (at, seq) is unique, so
+        // an unstable sort is deterministic.
+        for b in &mut self.buckets {
+            if b.len() > 1 {
+                b.make_contiguous().sort_unstable_by_key(|e| (e.at, e.seq));
+            }
+        }
+        // Restart the scan from the earliest pending time, and re-prime
+        // the min cache from the buckets (an overflow event can never be
+        // the minimum while any bucket event exists, and the cache must
+        // only ever point at a bucket front).
+        let min = self.bucket_min();
+        self.cursor_time = floor.min(min.map_or(floor, |t| t.raw()));
+        self.cursor_bucket = ((self.cursor_time >> self.shift) & self.mask) as usize;
+        self.next_cache = min.map(|t| (self.bucket_of(t), t));
+    }
+
+    /// Earliest front across the (sorted) buckets, via the occupancy bits.
+    fn bucket_min(&self) -> Option<Cycles> {
+        let mut min: Option<Cycles> = None;
+        for (w, &word) in self.nonempty.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let b = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                // simlint: allow(panic-freedom): b was derived from a set occupancy bit, and push/pop keep bits in lockstep with bucket emptiness
+                let t = self.buckets[b].front().expect("occupancy bit set").at;
+                min = Some(min.map_or(t, |m| m.min(t)));
+            }
+        }
+        min
     }
 
     fn min_time(&self) -> Option<Cycles> {
-        self.buckets
-            .iter()
-            .filter_map(|b| b.first().map(|e| e.at))
-            .min()
+        // Bucket events are all earlier than `boundary` <= every overflow
+        // event, so the overflow only matters when the buckets are empty.
+        self.bucket_min()
+            .or_else(|| self.overflow.iter().map(|e| e.at).min())
+    }
+
+    /// Moves every overflow event earlier than `target` into its bucket
+    /// and advances the horizon. Called when the year scan crosses into a
+    /// new year, so it runs once per year of virtual time, not per event.
+    fn migrate_overflow_below(&mut self, target: u64) {
+        if target <= self.boundary {
+            return;
+        }
+        self.boundary = target;
+        if self.overflow.is_empty() {
+            return;
+        }
+        let mut i = 0;
+        while i < self.overflow.len() {
+            if self.overflow[i].at.raw() < target {
+                let e = self.overflow.swap_remove(i);
+                let idx = self.bucket_of(e.at);
+                let bucket = &mut self.buckets[idx];
+                let pos = bucket.partition_point(|b| (b.at, b.seq) <= (e.at, e.seq));
+                bucket.insert(pos, e);
+                self.nonempty[idx / 64] |= 1 << (idx % 64);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Locates the bucket whose front is the earliest pending `(at, seq)`
+    /// and caches the answer. Runs the calendar year scan with *local*
+    /// cursor variables: the real cursor only ever advances in
+    /// [`pop`](CalendarQueue::pop), so peeking never changes what
+    /// [`schedule`](CalendarQueue::schedule) will accept.
+    fn locate(&mut self) -> (usize, Cycles) {
+        debug_assert!(self.len > 0, "locate() on an empty queue");
+        if let Some(hit) = self.next_cache {
+            return hit;
+        }
+        let n = self.mask as usize + 1;
+        let year = self.width * (self.mask + 1);
+        let mut bucket = self.cursor_bucket;
+        let mut time = self.cursor_time;
+        loop {
+            // Hop straight to the next occupied bucket; empty ones only
+            // contribute `width` to the running time each, so the skip is
+            // pure arithmetic. The `bucket == (time / width) & mask`
+            // invariant of the plain one-step scan is preserved.
+            if let Some(nb) = self.next_nonempty(bucket) {
+                time = time.saturating_add((nb - bucket) as u64 * self.width);
+                bucket = nb;
+                let window_end = time.saturating_add(self.width);
+                // simlint: allow(panic-freedom): next_nonempty only returns buckets whose occupancy bit is set
+                let first = self.buckets[bucket].front().expect("occupancy bit set");
+                if first.at.raw() < window_end {
+                    let hit = (bucket, first.at);
+                    self.next_cache = Some(hit);
+                    return hit;
+                }
+                // The front belongs to a later year: move past it.
+                time = window_end;
+                bucket += 1;
+            } else {
+                time = time.saturating_add((n - bucket) as u64 * self.width);
+                bucket = n;
+            }
+            // Reaching bucket `n` means a year boundary was crossed; a
+            // full empty year past the next event's year means it is far
+            // away: jump straight to its year.
+            if bucket == n {
+                bucket = 0;
+                if let Some(min) = self.min_time() {
+                    if min.raw() >= time + year {
+                        time = min.raw() >> self.shift << self.shift;
+                        bucket = ((time >> self.shift) & self.mask) as usize;
+                    }
+                }
+                // The scan is about to cover [time, year-end-of(time));
+                // pull that range's events out of the overflow first so
+                // the window checks below can see them.
+                self.migrate_overflow_below(
+                    (time / year).saturating_add(1).saturating_mul(year),
+                );
+            }
+        }
     }
 
     /// Returns the time of the earliest pending event.
+    ///
+    /// Amortized O(1): answered from the maintained min cache when valid,
+    /// otherwise one year scan primes the cache for every following call
+    /// until the next [`pop`](CalendarQueue::pop).
     pub fn peek_time(&mut self) -> Option<Cycles> {
         if self.is_empty() {
             return None;
         }
-        // O(buckets) fallback scan is fine: peek is not the hot path, and
-        // correctness beats cleverness here.
-        self.min_time()
+        Some(self.locate().1)
     }
 
     /// Removes and returns the earliest event as `(time, payload)`.
@@ -134,32 +462,30 @@ impl<E> CalendarQueue<E> {
         if self.is_empty() {
             return None;
         }
-        // Scan forward bucket by bucket; each bucket only yields events in
-        // its current "year" window [cursor_time, cursor_time + width).
-        let n = self.buckets.len();
-        loop {
-            let window_end = self.cursor_time.saturating_add(self.width);
-            let bucket = &mut self.buckets[self.cursor_bucket];
-            if let Some(first) = bucket.first() {
-                if first.at.raw() < window_end {
-                    let e = bucket.remove(0);
-                    self.len -= 1;
-                    self.cursor_time = e.at.raw();
-                    return Some((e.at, e.payload));
-                }
+        let (bucket, _) = self.locate();
+        let e = self.buckets[bucket]
+            .pop_front()
+            // simlint: allow(panic-freedom): locate() only caches (bucket, at) pairs it just observed via front(), and the cache is invalidated on every mutation
+            .expect("cached bucket is nonempty");
+        self.len -= 1;
+        self.cursor_bucket = bucket;
+        self.cursor_time = e.at.raw();
+        // Same-slice retention: if the popped bucket's new front falls in
+        // the same width-slice as the popped event, it is provably the
+        // global minimum — any earlier event would hash to this bucket and
+        // sort ahead of it — so the cache survives the pop. Same-cycle
+        // bursts (the batched-drain hot path) then pop at O(1) each.
+        self.next_cache = match self.buckets[bucket].front() {
+            Some(f) if f.at.raw() >> self.shift == e.at.raw() >> self.shift => {
+                Some((bucket, f.at))
             }
-            self.cursor_bucket = (self.cursor_bucket + 1) % n;
-            self.cursor_time = window_end;
-            // A full empty year means the next event is far away: jump.
-            if self.cursor_time % (self.width * n as u64) < self.width {
-                if let Some(min) = self.min_time() {
-                    if min.raw() >= self.cursor_time + self.width * n as u64 {
-                        self.cursor_time = min.raw() / self.width * self.width;
-                        self.cursor_bucket = ((self.cursor_time / self.width) % n as u64) as usize;
-                    }
-                }
+            Some(_) => None,
+            None => {
+                self.nonempty[bucket / 64] &= !(1 << (bucket % 64));
+                None
             }
-        }
+        };
+        Some((e.at, e.payload))
     }
 
     /// Removes the earliest event only if due at or before `now`.
@@ -174,6 +500,7 @@ impl<E> CalendarQueue<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "proptest")]
     use crate::event::EventQueue;
     #[cfg(feature = "proptest")]
     use proptest::prelude::*;
@@ -255,6 +582,33 @@ mod tests {
         assert_eq!(q.pop_due(Cycles::new(50)), Some((Cycles::new(50), 'x')));
     }
 
+    #[test]
+    fn peek_is_stable_and_does_not_move_the_cursor() {
+        let mut q = CalendarQueue::new(Cycles::new(10));
+        q.schedule(Cycles::new(900), 'z');
+        // Peeking scans far ahead to find 'z', but must not advance the
+        // cursor: scheduling an earlier event afterwards stays legal and
+        // becomes the new head.
+        assert_eq!(q.peek_time(), Some(Cycles::new(900)));
+        q.schedule(Cycles::new(40), 'a');
+        assert_eq!(q.peek_time(), Some(Cycles::new(40)));
+        assert_eq!(q.pop(), Some((Cycles::new(40), 'a')));
+        assert_eq!(q.peek_time(), Some(Cycles::new(900)));
+        assert_eq!(q.pop(), Some((Cycles::new(900), 'z')));
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn min_cache_survives_equal_time_inserts() {
+        let mut q = CalendarQueue::new(Cycles::new(10));
+        q.schedule(Cycles::new(25), 0);
+        assert_eq!(q.peek_time(), Some(Cycles::new(25)));
+        // Same-time insert must not displace the cached head (FIFO).
+        q.schedule(Cycles::new(25), 1);
+        assert_eq!(q.pop(), Some((Cycles::new(25), 0)));
+        assert_eq!(q.pop(), Some((Cycles::new(25), 1)));
+    }
+
     #[cfg(feature = "proptest")]
     proptest! {
         /// The calendar queue dequeues in exactly the order of the
@@ -304,6 +658,50 @@ mod tests {
                     prop_assert_eq!(&a, &b);
                     if let Some((t, _)) = a {
                         floor = floor.max(t.raw());
+                    }
+                }
+            }
+        }
+
+        /// The engine's real access pattern: a virtual clock advances via
+        /// `peek_time` (idle jumps), events are drained with `pop_due(now)`
+        /// (possibly in a same-cycle batch), and handlers schedule new
+        /// events relative to `now` — never into the past. Both backends
+        /// must agree on every intermediate peek and every dequeued event.
+        #[test]
+        fn equivalent_under_engine_interleaving(
+            steps in proptest::collection::vec(
+                (0u64..5_000, proptest::collection::vec(0u64..20_000, 0..8)),
+                1..60),
+            spacing in 1u64..5_000,
+        ) {
+            let mut cal = CalendarQueue::new(Cycles::new(spacing));
+            let mut heap = EventQueue::new();
+            let mut next_id = 0usize;
+            let mut now = 0u64;
+            for (advance, schedules) in steps {
+                // Handlers schedule strictly at-or-after `now`, exactly
+                // like `EnvState::schedule_at`'s clamp.
+                for d in schedules {
+                    let at = now + d;
+                    cal.schedule(Cycles::new(at), next_id);
+                    heap.schedule(Cycles::new(at), next_id);
+                    next_id += 1;
+                }
+                // The executor advances either to a deadline or to the
+                // next event time, whichever it likes — peeks must agree.
+                prop_assert_eq!(cal.peek_time(), heap.peek_time());
+                now += advance;
+                if let Some(t) = heap.peek_time() {
+                    now = now.max(t.raw());
+                }
+                // Drain everything due, like the engine's batched step 1.
+                loop {
+                    let a = cal.pop_due(Cycles::new(now));
+                    let b = heap.pop_due(Cycles::new(now));
+                    prop_assert_eq!(&a, &b);
+                    if a.is_none() {
+                        break;
                     }
                 }
             }

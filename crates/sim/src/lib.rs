@@ -28,11 +28,13 @@
 pub mod calendar;
 pub mod event;
 pub mod rng;
+pub mod sched;
 pub mod stats;
 pub mod time;
 
 pub use calendar::CalendarQueue;
 pub use event::EventQueue;
+pub use sched::Scheduler;
 pub use rng::Rng;
 pub use stats::{Counter, HdrHistogram, Histogram, MeanVar, RateWindow, TimeSeries};
 pub use time::{Cycles, Freq, Nanos};

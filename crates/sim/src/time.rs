@@ -235,9 +235,16 @@ impl Freq {
 
     /// Converts a nanosecond duration to cycles (rounding to nearest).
     pub fn cycles_from_nanos(self, ns: Nanos) -> Cycles {
+        let n = ns.raw();
+        // 64-bit fast path (identical integer result): wire and arrival
+        // timings convert per packet, and 128-bit division is an order of
+        // magnitude slower. Covers durations up to minutes at GHz rates.
+        if n < (u64::MAX - 500_000_000) / self.hz.max(1) {
+            return Cycles::new((n * self.hz + 500_000_000) / 1_000_000_000);
+        }
         // Split to avoid overflow for long durations at high frequencies:
         // ns * hz can exceed u64 when ns is minutes at GHz rates.
-        let ns = ns.raw() as u128;
+        let ns = n as u128;
         let hz = self.hz as u128;
         Cycles::new(((ns * hz + 500_000_000) / 1_000_000_000) as u64)
     }
@@ -257,9 +264,31 @@ impl Freq {
         self.cycles_from_nanos(Nanos::from_secs(s))
     }
 
+    /// The exact nanoseconds-per-cycle multiplier, when the clock period
+    /// is a whole number of nanoseconds (i.e. the frequency divides 1 GHz
+    /// — true of every paper-testbed frequency). For such clocks
+    /// `nanos_from_cycles(c)` equals `c * k` exactly whenever the product
+    /// fits in 64 bits, letting per-packet hot paths hoist one divide
+    /// into a multiply. Returns `None` for clocks with fractional-ns
+    /// periods, which must take the dividing path.
+    pub fn exact_nanos_per_cycle(self) -> Option<u64> {
+        let k = 1_000_000_000 / self.hz;
+        // (c*k*hz + hz/2) / hz == c*k + (hz/2)/hz == c*k: the rounding
+        // term can never carry, so the multiplier is exact for every c.
+        (k * self.hz == 1_000_000_000).then_some(k)
+    }
+
     /// Converts a cycle count back to nanoseconds (rounding to nearest).
     pub fn nanos_from_cycles(self, cy: Cycles) -> Nanos {
-        let cy = cy.raw() as u128;
+        let c = cy.raw();
+        // 64-bit fast path (identical integer result): per-packet latency
+        // conversions happen once per delivery and 128-bit division is an
+        // order of magnitude slower than 64-bit. Covers every cycle count
+        // below ~18.4e9, i.e. many seconds of simulated time.
+        if c < (u64::MAX - self.hz / 2) / 1_000_000_000 {
+            return Nanos::new((c * 1_000_000_000 + self.hz / 2) / self.hz);
+        }
+        let cy = c as u128;
         let hz = self.hz as u128;
         Nanos::new(((cy * 1_000_000_000 + hz / 2) / hz) as u64)
     }
@@ -319,6 +348,32 @@ mod tests {
     fn cycles_sum() {
         let total: Cycles = [1, 2, 3].iter().map(|&x| Cycles::new(x)).sum();
         assert_eq!(total, Cycles::new(6));
+    }
+
+    #[test]
+    fn exact_nanos_per_cycle_matches_dividing_path() {
+        // Whole-ns periods expose the multiplier; it must agree with the
+        // dividing conversion everywhere it applies.
+        for (freq, k) in [
+            (Freq::mhz(100), 10),
+            (Freq::mhz(500), 2),
+            (Freq::mhz(1000), 1),
+            (Freq::hz(1_000_000_000), 1),
+        ] {
+            assert_eq!(freq.exact_nanos_per_cycle(), Some(k));
+            for c in [0u64, 1, 7, 1 << 20, u64::MAX / k] {
+                assert_eq!(
+                    Nanos::new(c * k),
+                    freq.nanos_from_cycles(Cycles::new(c)),
+                    "hz={} c={c}",
+                    freq.as_hz()
+                );
+            }
+        }
+        // Fractional-ns periods (e.g. 3 GHz: 1/3 ns) have no exact
+        // multiplier.
+        assert_eq!(Freq::mhz(3000).exact_nanos_per_cycle(), None);
+        assert_eq!(Freq::hz(7).exact_nanos_per_cycle(), None);
     }
 
     #[test]

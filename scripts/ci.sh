@@ -22,6 +22,11 @@
 #      drop-accounting, interrupt-discipline, ledger-discipline,
 #      panic-freedom, or deprecated-config violation (run
 #      `cargo run -p lint` for the per-rule exit code and report)
+#   8  the perf smoke failed: `perf --json` emitted a document that does
+#      not match the livelock-perf-trajectory/v1 schema, or its
+#      throughput fell more than 2x below what the committed
+#      BENCH_PR6.json predicts for a smoke-sized run (smaller shortfalls
+#      only warn — wall-clock on a shared box is noisy)
 #
 # Usage: scripts/ci.sh [--jobs N] [other flags...]
 #   --jobs N is validated here; any other flag is passed through to the
@@ -143,6 +148,108 @@ if cmp -s "$scratch/j1/results/figR_1.csv" "$scratch/jN/results/figR_1.csv"; the
 else
     echo "ci: FAIL — figR_1.csv differs between --jobs 1 and --jobs 4" >&2
     exit 1
+fi
+
+echo "== committed results: full-fidelity figures byte-identical =="
+# The committed results/*.csv are the paper artifact; the calendar-backed
+# batched engine must reproduce every byte. Regenerate the full-fidelity
+# set in scratch and compare file by file.
+mkdir -p "$scratch/full"
+(cd "$scratch/full" && "$repo/target/release/figures") || exit 1
+results_ok=1
+for f in "$repo"/results/*.csv; do
+    base=$(basename "$f")
+    if cmp -s "$f" "$scratch/full/results/$base"; then
+        :
+    else
+        echo "ci: FAIL — committed results/$base differs from a fresh full-fidelity render" >&2
+        results_ok=0
+    fi
+done
+[ "$results_ok" -eq 1 ] || exit 1
+echo "ci: all committed results/*.csv byte-identical to a fresh render"
+
+echo "== perf --json smoke: schema + soft regression gate =="
+# A smoke-sized perf-trajectory run (200 packets/trial vs the committed
+# artifact's 10000): validate the livelock-perf-trajectory/v1 schema
+# (including its documented stable field order) and soft-gate throughput
+# against the committed BENCH_PR6.json. Smoke runs amortize setup worse,
+# so the expected smoke throughput is about half the committed
+# events/sec; dipping below that prints a warning, and only a >2x
+# regression below it (i.e. under a quarter of the committed rate) exits
+# nonzero.
+"$repo/target/release/perf" --packets 200 --json > "$scratch/perf.json" || {
+    echo "ci: FAIL — perf --json exited nonzero" >&2
+    exit 8
+}
+if python3 - "$scratch/perf.json" "$repo/BENCH_PR6.json" <<'PYEOF'
+import json, sys
+
+def ordered(path):
+    with open(path) as f:
+        return json.load(f, object_pairs_hook=lambda ps: ps)
+
+def keys(pairs):
+    return [k for k, _ in pairs]
+
+def get(pairs, key):
+    return dict(pairs)[key]
+
+smoke = ordered(sys.argv[1])
+committed = ordered(sys.argv[2])
+
+TOP = ["schema", "packets_per_trial", "jobs", "engines",
+       "calendar_speedup_vs_heap", "seed_baseline_wall_s",
+       "seed_baseline_packets_per_trial", "seed_baseline_note",
+       "speedup_vs_seed"]
+ENGINE = ["engine", "figures", "total_wall_s", "total_events",
+          "events_per_sec"]
+FIGURE = ["id", "wall_s", "events_dispatched", "events_per_sec"]
+
+def check_doc(doc, name):
+    if keys(doc) != TOP:
+        sys.exit(f"{name}: top-level keys {keys(doc)} != {TOP}")
+    if get(doc, "schema") != "livelock-perf-trajectory/v1":
+        sys.exit(f"{name}: unexpected schema {get(doc, 'schema')!r}")
+    engines = get(doc, "engines")
+    if [get(e, "engine") for e in engines] != ["heap", "calendar"]:
+        sys.exit(f"{name}: engines must be [heap, calendar]")
+    for e in engines:
+        if keys(e) != ENGINE:
+            sys.exit(f"{name}: engine keys {keys(e)} != {ENGINE}")
+        figures = get(e, "figures")
+        if not figures:
+            sys.exit(f"{name}: empty figure list")
+        for fig in figures:
+            if keys(fig) != FIGURE:
+                sys.exit(f"{name}: figure keys {keys(fig)} != {FIGURE}")
+            if get(fig, "events_dispatched") <= 0:
+                sys.exit(f"{name}: figure {get(fig, 'id')} dispatched no events")
+    return engines
+
+smoke_engines = check_doc(smoke, "smoke")
+committed_engines = check_doc(committed, "BENCH_PR6.json")
+print("ci: perf --json matches livelock-perf-trajectory/v1 (stable field order)")
+
+smoke_eps = get(smoke_engines[1], "events_per_sec")
+committed_eps = get(committed_engines[1], "events_per_sec")
+ratio = smoke_eps / committed_eps
+print(f"ci: smoke calendar throughput {smoke_eps:,.0f} ev/s "
+      f"({ratio:.2f}x of committed {committed_eps:,.0f} ev/s; "
+      f"smoke-sized runs expect ~0.5x)")
+if ratio < 0.25:
+    sys.exit(f"smoke throughput is a >2x regression below the expected "
+             f"smoke-scale rate ({ratio:.2f}x of committed, floor 0.25x)")
+if ratio < 0.5:
+    print(f"ci: WARN — smoke throughput below the expected smoke-scale "
+          f"rate ({ratio:.2f}x of committed); not gating, but worth a look",
+          file=sys.stderr)
+PYEOF
+then
+    echo "ci: perf smoke OK"
+else
+    echo "ci: FAIL — perf smoke schema or >2x throughput regression (see above)" >&2
+    exit 8
 fi
 
 echo "== chaos smoke: seeded fault storm, graceful-degradation invariants =="
