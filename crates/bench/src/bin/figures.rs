@@ -21,14 +21,17 @@
 //! kernel preserves user+idle share), 5 when figure R-1 violates the
 //! graceful-degradation claim (the polled kernel must keep delivering
 //! at every fault intensity and end the sweep no worse than the
-//! unmodified kernel).
+//! unmodified kernel), 6 when figure S-1 violates the SMP-scaling claim
+//! (polled MLFRR must scale ≥ 1.7× at 2 CPUs and ≥ 2.5× at 4, while the
+//! shared-queue path stays ≤ 1.2× / ≤ 1.3×, with every per-CPU ledger
+//! conserved).
 
 use std::fs;
 use std::path::Path;
 
 use livelock_bench::{
     all_figures, cpu_share_violations, fault_shape_violations, latency_shape_violations,
-    render_fig_r1, render_figure, shape_violations, PAPER_TRIAL_PACKETS,
+    render_fig_r1, render_figure, shape_violations, smp_shape_violations, PAPER_TRIAL_PACKETS,
 };
 use livelock_kernel::par::{default_jobs, Parallelism};
 
@@ -68,6 +71,7 @@ fn main() {
     let mut latency_violations = Vec::new();
     let mut cpu_violations = Vec::new();
     let mut fault_violations = Vec::new();
+    let mut smp_violations = Vec::new();
     let write_csv = |rendered: &livelock_bench::RenderedFigure,
                          write_errors: &mut Vec<String>| {
         let path = out_dir.join(format!("fig{}.csv", rendered.id.replace('-', "_")));
@@ -94,6 +98,7 @@ fn main() {
         all_violations.extend(shape_violations(&rendered));
         latency_violations.extend(latency_shape_violations(&rendered));
         cpu_violations.extend(cpu_share_violations(&rendered));
+        smp_violations.extend(smp_shape_violations(&rendered));
     }
 
     // Figure R-1 sweeps fault intensity at a fixed rate, so it renders
@@ -117,6 +122,7 @@ fn main() {
         && latency_violations.is_empty()
         && cpu_violations.is_empty()
         && fault_violations.is_empty()
+        && smp_violations.is_empty()
     {
         eprintln!("all rendered figures match the paper's qualitative shapes");
     }
@@ -147,6 +153,13 @@ fn main() {
             eprintln!("  {v}");
         }
         std::process::exit(5);
+    }
+    if !smp_violations.is_empty() {
+        eprintln!("SMP-SCALING VIOLATIONS:");
+        for v in &smp_violations {
+            eprintln!("  {v}");
+        }
+        std::process::exit(6);
     }
     if !write_errors.is_empty() {
         std::process::exit(1);

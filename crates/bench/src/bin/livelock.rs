@@ -3,8 +3,9 @@
 //! ```text
 //! livelock configs                      list kernel configurations
 //! livelock trial  --config polled --rate 8000 [--packets N] [--seed S] [--latency]
-//!                 [--timeline out.csv] [--chrome-trace out.json]
+//!                 [--ncpus N] [--steal] [--timeline out.csv] [--chrome-trace out.json]
 //! livelock sweep  --config unmodified,polled [--rates 1000,2000,...] [--jobs N] [--latency]
+//!                 [--ncpus N] [--steal]
 //! livelock mlfrr  --config polled [--loss-free 0.98] [--jobs N]
 //! livelock chaos  [--seed S] [--rate PPS] [--packets N] [--intensity F]
 //! ```
@@ -127,7 +128,7 @@ struct Args {
 
 impl Args {
     /// Flags that take no value.
-    const BOOL_FLAGS: &'static [&'static str] = &["latency"];
+    const BOOL_FLAGS: &'static [&'static str] = &["latency", "steal"];
 
     fn parse(raw: &[String]) -> Result<Args, String> {
         let mut flags = Vec::new();
@@ -190,9 +191,22 @@ fn cmd_configs() {
 /// 10,000-packet trial (each packet is a handful of scheduling events).
 const TRACE_CAPACITY: usize = 1 << 20;
 
+/// Applies `--ncpus N` / `--steal` to a parsed config: the SMP topology
+/// (per-CPU executors fed by a multiqueue RSS NIC, see DESIGN.md §12).
+fn apply_topology(cfg: &mut KernelConfig, args: &Args) -> Result<(), String> {
+    let ncpus = args.get_usize("ncpus", 1)?;
+    if ncpus == 0 || ncpus > 8 {
+        return Err(format!("--ncpus: want 1..=8, got {ncpus}"));
+    }
+    cfg.topology.ncpus = ncpus;
+    cfg.topology.steal = args.has("steal");
+    Ok(())
+}
+
 fn cmd_trial(args: &Args) -> Result<(), String> {
     let name = args.get("config").unwrap_or("polled");
     let mut cfg = config_by_name(name).ok_or_else(|| format!("unknown config {name:?}"))?;
+    apply_topology(&mut cfg, args)?;
     let timeline_path = args.get("timeline");
     let trace_path = args.get("chrome-trace");
     if timeline_path.is_some() {
@@ -240,13 +254,27 @@ fn cmd_trial(args: &Args) -> Result<(), String> {
     );
     println!("latency mean    {:>10}", r.latency_mean);
     println!("latency p99     {:>10}", r.latency_p99);
-    println!("interrupts      {:>10}", r.interrupts_taken);
-    println!("user CPU        {:>9.1}%", r.user_cpu_frac * 100.0);
+    let agg = r.aggregate();
+    println!("interrupts      {:>10}", agg.interrupts_taken);
+    println!("user CPU        {:>9.1}%", agg.user_cpu_frac * 100.0);
     println!("CPU by class (window, conserved ledger)");
     for c in CpuClass::ALL {
-        let share = r.cpu_share[c.index()];
+        let share = agg.cpu_share[c.index()];
         if share >= 0.0005 {
             println!("  {:<13} {:>9.1}%", c.label(), share * 100.0);
+        }
+    }
+    if r.per_cpu().len() > 1 {
+        println!("per-CPU (busy%, interrupts, steals out/in)");
+        for cpu in r.per_cpu() {
+            println!(
+                "  cpu{:<2} busy {:>5.1}%  intrs {:>8}  steals {:>6}/{:<6}",
+                cpu.cpu.0,
+                (1.0 - cpu.cpu_share[CpuClass::Idle.index()]) * 100.0,
+                cpu.interrupts_taken,
+                cpu.steals_published,
+                cpu.steals_taken,
+            );
         }
     }
     if args.has("latency") {
@@ -313,7 +341,8 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
 
     let mut results = Vec::new();
     for name in &names {
-        let cfg = config_by_name(name).ok_or_else(|| format!("unknown config {name:?}"))?;
+        let mut cfg = config_by_name(name).ok_or_else(|| format!("unknown config {name:?}"))?;
+        apply_topology(&mut cfg, args)?;
         let base = TrialSpec {
             n_packets,
             ..TrialSpec::new(cfg)

@@ -18,7 +18,7 @@
 //! figure set rendered once per engine backend (heap, then calendar),
 //! with per-figure wall-clock and events/sec, as a single JSON document
 //! on stdout (schema `livelock-perf-trajectory/v1`, stable field order —
-//! see EXPERIMENTS.md). `BENCH_PR6.json` at the repo root is a committed
+//! see EXPERIMENTS.md). `BENCH_PR7.json` at the repo root is a committed
 //! run of this mode; `scripts/ci.sh` regenerates a small smoke run and
 //! soft-gates against it.
 //!
@@ -240,7 +240,7 @@ fn perf_trajectory_json(n_packets: usize, jobs: usize) -> String {
                 .curves
                 .iter()
                 .flat_map(|c| &c.trials)
-                .map(|t| t.events_dispatched)
+                .map(|t| t.aggregate().events_dispatched)
                 .sum();
             total_wall += wall;
             total_events += events;

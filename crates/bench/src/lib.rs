@@ -30,6 +30,11 @@ pub enum Axis {
     /// Combined user-process + idle CPU share in percent — the CPU the
     /// system has left for actual work (figure C-1).
     UserIdleCpuPercent,
+    /// One CPU's busy share (100 minus its idle share) in percent, from
+    /// that CPU's conserved cycle ledger (figure S-1's per-CPU curves).
+    /// The payload is the [`CpuId`](livelock_machine::CpuId) index; a
+    /// trial with fewer CPUs plots 0.
+    PerCpuBusyPercent(u8),
 }
 
 /// One figure: an id, a caption, curves, the swept input rates, and the
@@ -277,8 +282,71 @@ pub fn fig_c1() -> Figure {
     }
 }
 
-/// All figures in paper order, then the two non-paper figures: latency
-/// (L-1) and the cycle-ledger CPU decomposition (C-1).
+/// The rates figure S-1 sweeps: past a single wire's ~14,880 pkts/s
+/// ceiling, because a multiqueue NIC is fed by one wire per RX queue and
+/// the point of the figure is aggregate load beyond what one CPU (or one
+/// wire) can carry.
+pub fn smp_rates() -> Vec<f64> {
+    vec![
+        2_000.0, 4_000.0, 5_000.0, 6_000.0, 8_000.0, 10_000.0, 12_000.0, 16_000.0, 20_000.0,
+        28_000.0,
+    ]
+}
+
+/// Figure S-1: SMP scaling of aggregate delivered throughput, plus where
+/// each CPU's cycles go at 4 CPUs. Not in the paper — its §8 future-work
+/// discussion is the closest — but the natural SMP question about both
+/// designs: the unmodified path funnels every CPU into the single shared
+/// `ipintrq` drained by CPU 0 under per-sibling lock contention, so its
+/// MLFRR stays pinned near 1×; the polled path is per-CPU end to end
+/// (RSS-steered RX queues, per-CPU polling threads and quotas), so its
+/// MLFRR scales toward N×. The per-CPU busy curves make the mechanism
+/// visible: at overload the unmodified cluster's CPU 0 saturates while
+/// its siblings idle between ring drains, where the polled cluster's
+/// CPUs stay evenly busy.
+pub fn fig_s1() -> Figure {
+    let unmod = |n: usize| KernelConfig::builder().ncpus(n).build();
+    let polled = |n: usize| {
+        KernelConfig::builder()
+            .polled(Quota::Limited(10))
+            .ncpus(n)
+            .build()
+    };
+    Figure {
+        id: "S-1",
+        caption: "SMP scaling: shared-queue vs per-CPU polling, with per-CPU busy shares",
+        curves: vec![
+            ("Unmodified 1 CPU".into(), unmod(1)),
+            ("Unmodified 2 CPUs".into(), unmod(2)),
+            ("Unmodified 4 CPUs".into(), unmod(4)),
+            ("Polling 1 CPU".into(), polled(1)),
+            ("Polling 2 CPUs".into(), polled(2)),
+            ("Polling 4 CPUs".into(), polled(4)),
+            ("Unmodified 4-CPU cpu0 busy".into(), unmod(4)),
+            ("Unmodified 4-CPU cpu1 busy".into(), unmod(4)),
+            ("Polling 4-CPU cpu0 busy".into(), polled(4)),
+            ("Polling 4-CPU cpu1 busy".into(), polled(4)),
+        ],
+        rates: smp_rates(),
+        axis: Axis::DeliveredPps,
+        curve_axes: vec![
+            Axis::DeliveredPps,
+            Axis::DeliveredPps,
+            Axis::DeliveredPps,
+            Axis::DeliveredPps,
+            Axis::DeliveredPps,
+            Axis::DeliveredPps,
+            Axis::PerCpuBusyPercent(0),
+            Axis::PerCpuBusyPercent(1),
+            Axis::PerCpuBusyPercent(0),
+            Axis::PerCpuBusyPercent(1),
+        ],
+    }
+}
+
+/// All figures in paper order, then the non-paper figures: latency
+/// (L-1), the cycle-ledger CPU decomposition (C-1), and SMP scaling
+/// (S-1).
 pub fn all_figures() -> Vec<Figure> {
     vec![
         fig6_1(),
@@ -289,6 +357,7 @@ pub fn all_figures() -> Vec<Figure> {
         fig7_1(),
         fig_latency(),
         fig_c1(),
+        fig_s1(),
     ]
 }
 
@@ -355,13 +424,17 @@ impl RenderedFigure {
         let t = &self.curves[curve].trials[point];
         match self.curve_axis(curve) {
             Axis::DeliveredPps => t.delivered_pps,
-            Axis::UserCpuPercent => t.user_cpu_frac * 100.0,
+            Axis::UserCpuPercent => t.aggregate().user_cpu_frac * 100.0,
             Axis::LatencyP99Micros => t.latency_p99.as_micros_f64(),
-            Axis::RxIntrCpuPercent => t.cpu_share[CpuClass::RxIntr.index()] * 100.0,
+            Axis::RxIntrCpuPercent => t.aggregate().cpu_share[CpuClass::RxIntr.index()] * 100.0,
             Axis::UserIdleCpuPercent => {
-                (t.cpu_share[CpuClass::UserProc.index()] + t.cpu_share[CpuClass::Idle.index()])
-                    * 100.0
+                let agg = t.aggregate().cpu_share;
+                (agg[CpuClass::UserProc.index()] + agg[CpuClass::Idle.index()]) * 100.0
             }
+            Axis::PerCpuBusyPercent(k) => t
+                .per_cpu()
+                .get(k as usize)
+                .map_or(0.0, |c| (1.0 - c.cpu_share[CpuClass::Idle.index()]) * 100.0),
         }
     }
 
@@ -686,12 +759,15 @@ pub fn cpu_share_violations(r: &RenderedFigure) -> Vec<String> {
     }
     for c in &r.curves {
         for t in &c.trials {
-            let sum: f64 = t.cpu_share.iter().sum();
-            if (sum - 1.0).abs() > 1e-9 {
-                v.push(format!(
-                    "fig {}: {} cpu_share sums to {sum}, not 1 (ledger not conserved)",
-                    r.id, c.label
-                ));
+            for cpu in t.per_cpu() {
+                let sum: f64 = cpu.cpu_share.iter().sum();
+                if (sum - 1.0).abs() > 1e-9 {
+                    v.push(format!(
+                        "fig {}: {} cpu {:?} cpu_share sums to {sum}, not 1 \
+                         (ledger not conserved)",
+                        r.id, c.label, cpu.cpu
+                    ));
+                }
             }
         }
     }
@@ -741,6 +817,89 @@ pub fn cpu_share_violations(r: &RenderedFigure) -> Vec<String> {
              (the 50% cycle-limit floor)",
             r.id
         ));
+    }
+    v
+}
+
+/// Checks the rendered SMP-scaling figure (S-1) against the tentpole's
+/// claims. Returns human-readable violations (empty = the claims hold):
+///
+/// - every trial's per-CPU nine class shares each sum to 1 (the ledger
+///   conservation invariant holds on every CPU of every cluster size);
+/// - the polled path's MLFRR scales: ≥ 1.7× at 2 CPUs and ≥ 2.5× at 4
+///   (RSS steering and per-CPU queues buy real parallel capacity);
+/// - the shared-queue path's MLFRR does not: ≤ 1.2× at 2 CPUs and
+///   ≤ 1.3× at 4 (the single `ipintrq` and its lock serialize the IP
+///   layer no matter how many CPUs feed it).
+pub fn smp_shape_violations(r: &RenderedFigure) -> Vec<String> {
+    let mut v = Vec::new();
+    if r.id != "S-1" {
+        return v;
+    }
+    for c in &r.curves {
+        for t in &c.trials {
+            for cpu in t.per_cpu() {
+                let sum: f64 = cpu.cpu_share.iter().sum();
+                if (sum - 1.0).abs() > 1e-9 {
+                    v.push(format!(
+                        "fig {}: {} cpu {:?} shares sum to {sum}, not 1",
+                        r.id, c.label, cpu.cpu
+                    ));
+                }
+            }
+        }
+    }
+    let find = |needle: &str| {
+        r.curves
+            .iter()
+            .position(|c| c.label.eq_ignore_ascii_case(needle))
+    };
+    let (Some(u1), Some(u2), Some(u4), Some(p1), Some(p2), Some(p4)) = (
+        find("Unmodified 1 CPU"),
+        find("Unmodified 2 CPUs"),
+        find("Unmodified 4 CPUs"),
+        find("Polling 1 CPU"),
+        find("Polling 2 CPUs"),
+        find("Polling 4 CPUs"),
+    ) else {
+        v.push(format!(
+            "fig {}: needs unmodified and polling curves at 1, 2 and 4 CPUs",
+            r.id
+        ));
+        return v;
+    };
+    let m = |ci: usize| mlfrr(&r.curves[ci].points(), 0.95).unwrap_or(0.0);
+    let (mu1, mu2, mu4) = (m(u1), m(u2), m(u4));
+    let (mp1, mp2, mp4) = (m(p1), m(p2), m(p4));
+    if mp1 <= 0.0 || mu1 <= 0.0 {
+        v.push(format!(
+            "fig {}: single-CPU MLFRRs must be positive (unmod {mu1:.0}, polled {mp1:.0})",
+            r.id
+        ));
+        return v;
+    }
+    let checks = [
+        (mp2 / mp1 >= 1.7, format!(
+            "polled MLFRR must scale >= 1.7x at 2 CPUs, got {:.2}x ({mp2:.0}/{mp1:.0})",
+            mp2 / mp1
+        )),
+        (mp4 / mp1 >= 2.5, format!(
+            "polled MLFRR must scale >= 2.5x at 4 CPUs, got {:.2}x ({mp4:.0}/{mp1:.0})",
+            mp4 / mp1
+        )),
+        (mu2 / mu1 <= 1.2, format!(
+            "shared-queue MLFRR must stay <= 1.2x at 2 CPUs, got {:.2}x ({mu2:.0}/{mu1:.0})",
+            mu2 / mu1
+        )),
+        (mu4 / mu1 <= 1.3, format!(
+            "shared-queue MLFRR must stay <= 1.3x at 4 CPUs, got {:.2}x ({mu4:.0}/{mu1:.0})",
+            mu4 / mu1
+        )),
+    ];
+    for (ok, msg) in checks {
+        if !ok {
+            v.push(format!("fig {}: {msg}", r.id));
+        }
     }
     v
 }
@@ -820,7 +979,7 @@ mod tests {
         let ids: Vec<_> = figs.iter().map(|f| f.id).collect();
         assert_eq!(
             ids,
-            vec!["6-1", "6-3", "6-4", "6-5", "6-6", "7-1", "L-1", "C-1"]
+            vec!["6-1", "6-3", "6-4", "6-5", "6-6", "7-1", "L-1", "C-1", "S-1"]
         );
         assert_eq!(figs[0].curves.len(), 2);
         assert_eq!(figs[1].curves.len(), 4);
@@ -830,12 +989,21 @@ mod tests {
         assert_eq!(figs[5].curves.len(), 4);
         assert_eq!(figs[6].curves.len(), 2);
         assert_eq!(figs[7].curves.len(), 4);
+        assert_eq!(figs[8].curves.len(), 10);
         assert!(figs[..6].iter().all(|f| f.axis != Axis::LatencyP99Micros));
         assert_eq!(figs[6].axis, Axis::LatencyP99Micros);
-        // C-1: one axis override per curve, and a rate axis reaching near
-        // wire saturation so the rx-intr share can cross 90%.
+        // C-1 and S-1: one axis override per curve. C-1's rate axis reaches
+        // near wire saturation so the rx-intr share can cross 90%; S-1's
+        // exceeds a single wire's capacity because multiqueue injection is
+        // paced per RX queue.
         assert_eq!(figs[7].curve_axes.len(), figs[7].curves.len());
         assert_eq!(*figs[7].rates.last().unwrap(), 14_000.0);
+        assert_eq!(figs[8].curve_axes.len(), figs[8].curves.len());
+        assert!(*figs[8].rates.last().unwrap() > 14_880.0);
+        assert!(figs[8]
+            .curve_axes
+            .iter()
+            .any(|a| matches!(a, Axis::PerCpuBusyPercent(_))));
         // Every other figure plots a single axis.
         assert!(figs[..7].iter().all(|f| f.curve_axes.is_empty()));
     }
@@ -900,13 +1068,18 @@ mod tests {
             latency_jitter: Nanos::ZERO,
             latency: Default::default(),
             drops: Default::default(),
-            user_cpu_frac: 0.0,
-            cpu_share: [0.0; livelock_machine::CpuClass::COUNT],
-            interrupts_taken: 0,
+            per_cpu: vec![livelock_kernel::experiment::CpuStats {
+                cpu: livelock_machine::CpuId(0),
+                cpu_share: [0.0; livelock_machine::CpuClass::COUNT],
+                user_cpu_frac: 0.0,
+                interrupts_taken: 0,
+                events_dispatched: 0,
+                steals_published: 0,
+                steals_taken: 0,
+            }],
             timeline: None,
             pool: Default::default(),
             fault: Default::default(),
-            events_dispatched: 0,
         };
         let rates = vec![2_000.0, 6_000.0, 12_000.0];
         let plateau: Vec<_> = rates.iter().map(|&r| fake_trial(r, 4_000.0_f64.min(r))).collect();

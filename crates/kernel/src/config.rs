@@ -78,6 +78,39 @@ impl Default for FeedbackConfig {
     }
 }
 
+/// The SMP machine shape: how many CPUs the kernel runs on and whether
+/// idle CPUs steal receive work from overloaded siblings.
+///
+/// `ncpus == 1` (the default) is the paper's uniprocessor and runs the
+/// exact single-engine code path — byte-identical to every result
+/// produced before this knob existed. `ncpus > 1` builds one complete
+/// per-CPU kernel per CPU (own NIC receive queue, poller, scheduler and
+/// conserved cycle ledger) advanced by the deterministic round-robin
+/// interleaver in `livelock_machine::cluster`. The unmodified
+/// interrupt-driven path then contends on one *shared* `ipintrq` (every
+/// CPU's receive handler feeds it, only CPU 0 drains it), while the
+/// polled path keeps fully per-CPU queues and quotas — the contrast
+/// figure S-1 plots.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Topology {
+    /// Number of CPUs (≥ 1).
+    pub ncpus: usize,
+    /// Work stealing: a CPU whose receive ring is full publishes the
+    /// overflowing frame to a bounded per-CPU steal buffer, and idle
+    /// sibling pollers pull from it instead of letting it drop (polled
+    /// mode only; off by default).
+    pub steal: bool,
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Topology {
+            ncpus: 1,
+            steal: false,
+        }
+    }
+}
+
 /// Interrupt arrival-rate limiting (§5.1), applied to receive interrupts.
 #[derive(Clone, Copy, Debug)]
 pub struct IntrRateLimitConfig {
@@ -166,6 +199,9 @@ pub struct KernelConfig {
     pub ip_forwarding: bool,
     /// Number of network interfaces (the paper's router had two).
     pub num_ifaces: usize,
+    /// The SMP machine shape (1 CPU by default, which is the exact
+    /// legacy single-engine code path).
+    pub topology: Topology,
     /// Record per-packet latency distributions (total sojourn and
     /// per-stage residencies)? Costs a handful of histogram increments per
     /// delivered packet; timestamps are stamped either way.
@@ -202,6 +238,7 @@ impl KernelConfig {
             icmp_errors: false,
             ip_forwarding: true,
             num_ifaces: 2,
+            topology: Topology::default(),
             latency_tracking: true,
             telemetry: None,
             faults: None,
@@ -521,6 +558,24 @@ impl KernelConfigBuilder {
         self
     }
 
+    /// Number of CPUs (1 = the legacy uniprocessor path).
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero.
+    pub fn ncpus(mut self, n: usize) -> Self {
+        assert!(n >= 1, "a machine has at least one CPU");
+        self.cfg.topology.ncpus = n;
+        self
+    }
+
+    /// Enables work stealing between sibling CPUs (polled mode,
+    /// `ncpus > 1` only; a no-op on one CPU).
+    pub fn steal(mut self, on: bool) -> Self {
+        self.cfg.topology.steal = on;
+        self
+    }
+
     /// The cycle cost model.
     pub fn cost(mut self, cost: CostModel) -> Self {
         self.cfg.cost = cost;
@@ -691,6 +746,24 @@ mod tests {
             .build()
             .polled_config()
             .is_none());
+    }
+
+    #[test]
+    fn topology_defaults_to_one_cpu_without_stealing() {
+        let cfg = KernelConfig::builder().build();
+        assert_eq!(cfg.topology, Topology::default());
+        assert_eq!(cfg.topology.ncpus, 1);
+        assert!(!cfg.topology.steal);
+
+        let smp = KernelConfig::builder().ncpus(4).steal(true).build();
+        assert_eq!(smp.topology.ncpus, 4);
+        assert!(smp.topology.steal);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one CPU")]
+    fn zero_cpus_is_rejected() {
+        let _ = KernelConfig::builder().ncpus(0);
     }
 
     #[test]

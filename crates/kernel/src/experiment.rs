@@ -14,19 +14,25 @@
 //! trial per input rate, producing the `(input rate, output rate)` series
 //! every figure in the paper plots.
 
+use std::rc::Rc;
+
 use livelock_core::analysis::SweepPoint;
 use livelock_machine::chrome_trace_json_with_markers;
-use livelock_machine::cpu::Engine;
+use livelock_machine::cluster::{Cluster, DEFAULT_SLICE};
+use livelock_machine::cpu::{CpuId, Engine};
 use livelock_machine::ledger::CpuClass;
+use livelock_machine::nic::rss_queue;
 use livelock_machine::trace::TraceRecord;
 use livelock_machine::wire::Wire;
 use livelock_net::gen::{PacketFactory, TrafficGen};
+use livelock_net::ipv4::proto;
 use livelock_net::packet::MIN_FRAME_LEN;
 use livelock_net::pool::{FramePool, PoolStats};
 use livelock_sim::{Cycles, Nanos};
 
 use crate::config::KernelConfig;
 use crate::par::Parallelism;
+use crate::router::smp::{SmpCtx, SmpShared};
 use crate::router::{Event, RouterKernel};
 use crate::stats::{DropStats, FaultStats, LatencyStats};
 use crate::telemetry::Timeline;
@@ -58,6 +64,42 @@ impl TrialSpec {
             config,
         }
     }
+}
+
+/// One CPU's share of a trial: the per-CPU slice of what used to be four
+/// machine-global scalars on [`TrialResult`], plus the work-stealing
+/// counters that only exist per CPU.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CpuStats {
+    /// Which CPU these numbers describe ([`CpuStats::AGGREGATE`] for the
+    /// synthetic cross-CPU roll-up returned by [`TrialResult::aggregate`]).
+    pub cpu: CpuId,
+    /// Fraction of this CPU's window cycles per [`CpuClass`], indexed by
+    /// [`CpuClass::index`] in [`CpuClass::ALL`] order. The machine's
+    /// conserved cycle ledger restricted to the measurement window: the
+    /// nine entries sum to 1 on every CPU.
+    pub cpu_share: [f64; CpuClass::COUNT],
+    /// Fraction of this CPU's window cycles the compute-bound user
+    /// process got (0 when no user process was configured).
+    pub user_cpu_frac: f64,
+    /// Hardware interrupts this CPU took over the whole trial.
+    pub interrupts_taken: u64,
+    /// Events this CPU's engine dispatched over the whole trial
+    /// (arrivals, wire completions, clock pulses, deferred interrupts,
+    /// IPIs, faults).
+    pub events_dispatched: u64,
+    /// Frames this CPU parked in its steal buffer when its own receive
+    /// ring overflowed (0 unless stealing is enabled).
+    pub steals_published: u64,
+    /// Frames this CPU pulled from siblings' steal buffers while
+    /// otherwise idle (0 unless stealing is enabled).
+    pub steals_taken: u64,
+}
+
+impl CpuStats {
+    /// The sentinel [`CpuId`] carried by [`TrialResult::aggregate`]'s
+    /// cross-CPU roll-up (it describes no single CPU).
+    pub const AGGREGATE: CpuId = CpuId(usize::MAX);
 }
 
 /// What one trial measured.
@@ -98,16 +140,11 @@ pub struct TrialResult {
     /// Every drop in the trial, attributed to a
     /// [`DropReason`](crate::stats::DropReason).
     pub drops: DropStats,
-    /// Fraction of window CPU time the compute-bound user process got
-    /// (0 when no user process was configured).
-    pub user_cpu_frac: f64,
-    /// Fraction of window CPU cycles per [`CpuClass`], indexed by
-    /// [`CpuClass::index`] in [`CpuClass::ALL`] order. The machine's
-    /// conserved cycle ledger restricted to the measurement window: the
-    /// nine entries sum to 1.
-    pub cpu_share: [f64; CpuClass::COUNT],
-    /// Hardware interrupts taken during the trial.
-    pub interrupts_taken: u64,
+    /// Per-CPU execution statistics, one entry per configured CPU in
+    /// [`CpuId`] order (always at least one). The CPU-dimension API:
+    /// read through [`TrialResult::per_cpu`] and
+    /// [`TrialResult::aggregate`].
+    pub per_cpu: Vec<CpuStats>,
     /// The telemetry timeline, when the spec's
     /// [`KernelConfig::telemetry`](crate::config::KernelConfig::telemetry)
     /// enabled the periodic sampler (`None` otherwise).
@@ -119,11 +156,6 @@ pub struct TrialResult {
     /// Fault-injection and recovery counters (all zero when the config
     /// carries no fault plan).
     pub fault: FaultStats,
-    /// Events the engine's scheduler dispatched over the whole trial
-    /// (arrivals, wire completions, clock pulses, deferred interrupts,
-    /// faults). With wall-clock time this yields the engine's events/sec
-    /// throughput figure.
-    pub events_dispatched: u64,
 }
 
 impl TrialResult {
@@ -131,14 +163,83 @@ impl TrialResult {
     pub fn point(&self) -> SweepPoint {
         SweepPoint::new(self.offered_pps, self.delivered_pps)
     }
+
+    /// Per-CPU execution statistics in [`CpuId`] order (one entry on a
+    /// single-CPU trial).
+    pub fn per_cpu(&self) -> &[CpuStats] {
+        &self.per_cpu
+    }
+
+    /// The cross-CPU roll-up: CPU shares and user fraction averaged over
+    /// CPUs (each CPU's shares sum to 1, so the mean does too), counters
+    /// summed, tagged with [`CpuStats::AGGREGATE`]. On a single-CPU trial
+    /// this is that CPU's stats under the sentinel id.
+    pub fn aggregate(&self) -> CpuStats {
+        let n = self.per_cpu.len().max(1) as f64;
+        let mut agg = CpuStats {
+            cpu: CpuStats::AGGREGATE,
+            cpu_share: [0.0; CpuClass::COUNT],
+            user_cpu_frac: 0.0,
+            interrupts_taken: 0,
+            events_dispatched: 0,
+            steals_published: 0,
+            steals_taken: 0,
+        };
+        for c in &self.per_cpu {
+            for (a, s) in agg.cpu_share.iter_mut().zip(c.cpu_share) {
+                *a += s / n;
+            }
+            agg.user_cpu_frac += c.user_cpu_frac / n;
+            agg.interrupts_taken += c.interrupts_taken;
+            agg.events_dispatched += c.events_dispatched;
+            agg.steals_published += c.steals_published;
+            agg.steals_taken += c.steals_taken;
+        }
+        agg
+    }
+
+    /// Mean user-process CPU fraction across CPUs.
+    #[deprecated(note = "use per_cpu() / aggregate().user_cpu_frac")]
+    pub fn user_cpu_frac(&self) -> f64 {
+        self.aggregate().user_cpu_frac
+    }
+
+    /// Mean per-class CPU shares across CPUs.
+    #[deprecated(note = "use per_cpu() / aggregate().cpu_share")]
+    pub fn cpu_share(&self) -> [f64; CpuClass::COUNT] {
+        self.aggregate().cpu_share
+    }
+
+    /// Total hardware interrupts taken across CPUs.
+    #[deprecated(note = "use per_cpu() / aggregate().interrupts_taken")]
+    pub fn interrupts_taken(&self) -> u64 {
+        self.aggregate().interrupts_taken
+    }
+
+    /// Total engine events dispatched across CPUs.
+    #[deprecated(note = "use per_cpu() / aggregate().events_dispatched")]
+    pub fn events_dispatched(&self) -> u64 {
+        self.aggregate().events_dispatched
+    }
 }
 
 /// Runs one trial.
 ///
+/// With `config.topology.ncpus == 1` (the default) this is the original
+/// single-CPU engine, bit-identical to every release before SMP existed.
+/// With more CPUs it builds one kernel per CPU, steers the generated
+/// flows across per-CPU NIC queues by RSS hash, and advances the kernels
+/// under the deterministic cluster interleaver.
+///
 /// # Panics
 ///
-/// Panics if the spec is degenerate (zero packets or non-positive rate).
+/// Panics if the spec is degenerate (zero packets or non-positive rate),
+/// or — on an SMP fault-free trial — if NIC-boundary packet conservation
+/// fails.
 pub fn run_trial(spec: &TrialSpec) -> TrialResult {
+    if spec.config.topology.ncpus > 1 {
+        return run_smp_trial(spec, &balanced_flows());
+    }
     run_trial_engine(spec, None, Cycles::ZERO).0
 }
 
@@ -257,15 +358,275 @@ fn run_trial_engine(
         latency_jitter: stats.latency.jitter(),
         latency: stats.latency.clone(),
         drops: stats.drops.clone(),
-        user_cpu_frac,
-        cpu_share,
-        interrupts_taken,
+        per_cpu: vec![CpuStats {
+            cpu: CpuId(0),
+            cpu_share,
+            user_cpu_frac,
+            interrupts_taken,
+            events_dispatched: engine.state().events_dispatched(),
+            steals_published: 0,
+            steals_taken: 0,
+        }],
         timeline: stats.timeline.clone(),
         pool: stats.pool.unwrap_or_default(),
         fault: stats.fault,
-        events_dispatched: engine.state().events_dispatched(),
     };
     (result, chrome_json, engine)
+}
+
+/// 64 UDP flows (source ports) whose RSS hashes fill the 4 possible RX
+/// queues with exactly 16 flows each, listed bucket-interleaved so that
+/// cycling through them in order also balances 2-queue (4 | 64 and the
+/// 4-bucket balance implies the 2-bucket one: `hash % 2 == (hash % 4) % 2`)
+/// and 1-queue steering. Found by deterministic search from the testbed
+/// factory's base port, so the flow set never changes across runs.
+fn balanced_flows() -> Vec<u16> {
+    const PER_BUCKET: usize = 16;
+    let f = PacketFactory::paper_testbed();
+    let (src, dst) = (u32::from(f.src_ip), u32::from(f.dst_ip));
+    let mut buckets: Vec<Vec<u16>> = vec![Vec::new(); 4];
+    let mut port = f.src_port;
+    while buckets.iter().any(|b| b.len() < PER_BUCKET) {
+        let q = rss_queue(src, dst, proto::UDP, port, f.dst_port, 4);
+        if buckets[q].len() < PER_BUCKET {
+            buckets[q].push(port);
+        }
+        port = port.wrapping_add(1);
+    }
+    let mut out = Vec::with_capacity(4 * PER_BUCKET);
+    for i in 0..PER_BUCKET {
+        for b in &buckets {
+            out.push(b[i]);
+        }
+    }
+    out
+}
+
+/// The SMP trial harness behind [`run_trial`]: one complete kernel per
+/// CPU, a multiqueue NIC model (packet `i` carries flow `flows[i % len]`,
+/// RSS-hashed to an RX queue, each queue paced by its own wire and
+/// interrupting its own CPU), all engines advanced by the deterministic
+/// cluster interleaver with coalesced IPIs delivered at slice boundaries.
+///
+/// `flows` is a parameter so tests can steer deliberately *imbalanced*
+/// traffic (e.g. every flow to CPU 0) at a stealing-enabled cluster.
+fn run_smp_trial(spec: &TrialSpec, flows: &[u16]) -> TrialResult {
+    assert!(spec.n_packets > 0, "trial needs packets");
+    assert!(spec.rate_pps > 0.0, "trial needs a positive rate");
+    assert!(!flows.is_empty(), "trial needs at least one flow");
+
+    let cfg = spec.config.clone();
+    let ncpus = cfg.topology.ncpus;
+    let freq = cfg.cost.freq;
+    let ctx_switch = cfg.cost.ctx_switch;
+    let pool = FramePool::new(
+        POOL_BUF_CAPACITY,
+        spec.n_packets + POOL_HEADROOM * ncpus,
+    );
+    let shared = SmpShared::new(ncpus, cfg.ipintrq_cap);
+
+    // One aggregate arrival schedule at the nominal rate, split across RX
+    // queues by each packet's RSS hash, then paced per queue: every queue
+    // is fed by its own wire, so aggregate offered load can exceed a
+    // single wire's 14,880 pkts/s ceiling.
+    let mut gen = TrafficGen::paper_default(spec.rate_pps, freq, spec.seed);
+    let times = gen.arrival_times(Cycles::ZERO, spec.n_packets);
+    let mut factory = PacketFactory::paper_testbed().with_pool(pool.clone());
+    let (src, dst) = (u32::from(factory.src_ip), u32::from(factory.dst_ip));
+    let mut queue_times: Vec<Vec<Cycles>> = vec![Vec::new(); ncpus];
+    let mut queue_ports: Vec<Vec<u16>> = vec![Vec::new(); ncpus];
+    for (i, &t) in times.iter().enumerate() {
+        let port = flows[i % flows.len()];
+        let q = rss_queue(src, dst, proto::UDP, port, factory.dst_port, ncpus);
+        queue_times[q].push(t);
+        queue_ports[q].push(port);
+    }
+    for q in &mut queue_times {
+        Wire::ethernet_10m(freq).pace(q, MIN_FRAME_LEN);
+    }
+
+    // Measurement window over the aggregate (post-pacing) schedule.
+    let first = queue_times
+        .iter()
+        .filter_map(|v| v.first())
+        .copied()
+        .min()
+        .unwrap_or(Cycles::ZERO);
+    let last = queue_times
+        .iter()
+        .filter_map(|v| v.last())
+        .copied()
+        .max()
+        .unwrap_or(Cycles::ZERO);
+    let span = last - first;
+    let window_start = first + Cycles::new((span.raw() as f64 * spec.warmup_frac) as u64);
+    let window_end = last;
+
+    let mut engines = Vec::with_capacity(ncpus);
+    for k in 0..ncpus {
+        let mut c = cfg.clone();
+        // A fault plan targets one CPU; siblings run clean.
+        if let Some(plan) = &c.faults {
+            if plan.target() != CpuId(k) {
+                c.faults = None;
+            }
+        }
+        let (mut st, mut kernel) = RouterKernel::build_with_pool(c, pool.clone());
+        st.set_cpu(CpuId(k));
+        kernel.attach_smp(
+            &mut st,
+            SmpCtx {
+                cpu: CpuId(k),
+                ncpus,
+                steal: cfg.topology.steal,
+                shared: Rc::clone(&shared),
+            },
+        );
+        if let Some(tl) = &mut kernel.stats_mut().timeline {
+            tl.set_cpu(CpuId(k));
+        }
+        kernel.stats_mut().set_window(window_start, window_end);
+        let mut engine = Engine::new(st, kernel, ctx_switch);
+        for (j, &t) in queue_times[k].iter().enumerate() {
+            factory.src_port = queue_ports[k][j];
+            let pkt = factory.next_packet();
+            engine.state_schedule(t, Event::RxArrive { iface: 0, pkt: Box::new(pkt) });
+        }
+        engines.push(engine);
+    }
+
+    // The interleaver's slice hook is the sole cross-CPU signal path:
+    // drain a CPU's coalesced IPI flag into one Event::Ipi per slice.
+    let mut cluster = Cluster::new(engines, DEFAULT_SLICE);
+    let hook_shared = Rc::clone(&shared);
+    let mut hook = move |cpu: CpuId, engine: &mut Engine<RouterKernel>| {
+        let mut sh = hook_shared.borrow_mut();
+        if sh.ipi_pending[cpu.0] {
+            sh.ipi_pending[cpu.0] = false;
+            drop(sh);
+            engine.state_schedule(engine.now(), Event::Ipi);
+        }
+    };
+
+    cluster.run_until(window_start, &mut hook);
+    let user_tids: Vec<_> = cluster
+        .engines()
+        .iter()
+        .map(|e| e.workload().user_tid())
+        .collect();
+    let user_before: Vec<_> = cluster
+        .engines()
+        .iter()
+        .zip(&user_tids)
+        .map(|(e, t)| t.map(|t| e.state().thread_cycles(t)))
+        .collect();
+    let ledgers_before: Vec<_> = cluster.engines().iter().map(|e| e.state().ledger()).collect();
+    cluster.run_until(window_end, &mut hook);
+    let user_after: Vec<_> = cluster
+        .engines()
+        .iter()
+        .zip(&user_tids)
+        .map(|(e, t)| t.map(|t| e.state().thread_cycles(t)))
+        .collect();
+    let ledgers_after: Vec<_> = cluster.engines().iter().map(|e| e.state().ledger()).collect();
+    // One extra slice past the window so the final arrivals (scheduled at
+    // exactly `window_end`) and any trailing IPIs are processed before
+    // the conservation audit; the measurement windows are already closed.
+    cluster.run_until(window_end + DEFAULT_SLICE, &mut hook);
+
+    let mut engines = cluster.into_engines();
+    engines[0].workload_mut().sync_pool_stats();
+
+    let window = window_end - window_start;
+    let sh = shared.borrow();
+    let mut per_cpu = Vec::with_capacity(ncpus);
+    for (k, e) in engines.iter().enumerate() {
+        let user_cpu_frac = match (user_before[k], user_after[k]) {
+            (Some(b), Some(a)) if !window.is_zero() => (a - b).fraction_of(window),
+            _ => 0.0,
+        };
+        per_cpu.push(CpuStats {
+            cpu: CpuId(k),
+            cpu_share: ledgers_after[k].since(&ledgers_before[k]).shares(),
+            user_cpu_frac,
+            interrupts_taken: e.state().intr.total_taken(),
+            events_dispatched: e.state().events_dispatched(),
+            steals_published: sh.steals_published[k],
+            steals_taken: sh.steals_taken[k],
+        });
+    }
+
+    // NIC-boundary conservation: every generated packet was DMA'd into
+    // some CPU's ring (`Ipkts`), dropped at some CPU's ring, or is still
+    // parked in a steal buffer. Fault plans (link flaps lose frames on
+    // the wire, storms synthesize extras) change the population, so the
+    // audit only runs clean.
+    if spec.config.faults.is_none() {
+        let accounted: u64 = engines
+            .iter()
+            .map(|e| e.workload().ipkts(0) + e.workload().stats().rx_ring_drops())
+            .sum::<u64>()
+            + sh.steal_residual() as u64;
+        assert_eq!(
+            accounted, spec.n_packets as u64,
+            "SMP NIC-boundary packet conservation violated"
+        );
+    }
+
+    let mut offered_pps = 0.0;
+    let mut delivered_pps = 0.0;
+    let mut app_delivered_pps = 0.0;
+    let mut transmitted = 0;
+    let mut rx_ring_drops = 0;
+    let mut ipintrq_drops = 0;
+    let mut screend_q_drops = 0;
+    let mut screend_denied = 0;
+    let mut socket_q_drops = 0;
+    let mut app_delivered = 0;
+    let mut ifq_drops = 0;
+    let mut latency = LatencyStats::new();
+    let mut drops = DropStats::new();
+    let mut fault = FaultStats::default();
+    for e in &engines {
+        let s = e.workload().stats();
+        offered_pps += s.offered_pps(freq);
+        delivered_pps += s.delivered_pps(freq);
+        app_delivered_pps += s.app_delivered_pps(freq);
+        transmitted += s.transmitted;
+        rx_ring_drops += s.rx_ring_drops();
+        ipintrq_drops += s.ipintrq_drops();
+        screend_q_drops += s.screend_q_drops();
+        screend_denied += s.screend_denied();
+        socket_q_drops += s.socket_q_drops();
+        app_delivered += s.app_delivered;
+        ifq_drops += s.ifq_drops();
+        latency.merge(&s.latency);
+        drops.merge(&s.drops);
+        fault.merge(&s.fault);
+    }
+    let stats0 = engines[0].workload().stats();
+    TrialResult {
+        offered_pps,
+        delivered_pps,
+        transmitted,
+        rx_ring_drops,
+        ipintrq_drops,
+        screend_q_drops,
+        screend_denied,
+        socket_q_drops,
+        app_delivered,
+        app_delivered_pps,
+        ifq_drops,
+        latency_mean: latency.mean(),
+        latency_p99: latency.quantile(0.99),
+        latency_jitter: latency.jitter(),
+        latency,
+        drops,
+        per_cpu,
+        timeline: stats0.timeline.clone(),
+        pool: stats0.pool.unwrap_or_default(),
+        fault,
+    }
 }
 
 /// End-state invariants measured by [`run_chaos_trial`] after the fault
@@ -419,9 +780,212 @@ mod tests {
             assert_eq!(h.latency_p99, c.latency_p99, "{name}");
             assert_eq!(h.latency_jitter, c.latency_jitter, "{name}");
             assert_eq!(h.drops, c.drops, "{name}");
-            assert_eq!(h.interrupts_taken, c.interrupts_taken, "{name}");
-            assert_eq!(h.events_dispatched, c.events_dispatched, "{name}");
-            assert!(h.events_dispatched > 0, "{name}: trial dispatched events");
+            assert_eq!(h.per_cpu, c.per_cpu, "{name}");
+            assert!(
+                h.aggregate().events_dispatched > 0,
+                "{name}: trial dispatched events"
+            );
+        }
+    }
+
+    #[test]
+    fn smp_trials_are_backend_and_rerun_identical() {
+        use livelock_machine::cpu::SchedulerKind;
+        // The tentpole determinism claim: an SMP trial is a pure function
+        // of (config, seed) — same numbers on every scheduler backend and
+        // every rerun, at every CPU count.
+        for ncpus in [1, 2, 4] {
+            let run = |kind| {
+                let mut c = KernelConfig::builder().ncpus(ncpus).build();
+                c.scheduler = kind;
+                quick(c, 9_000.0, 1_200)
+            };
+            let h = run(SchedulerKind::Heap);
+            let c = run(SchedulerKind::Calendar);
+            let h2 = run(SchedulerKind::Heap);
+            assert_eq!(h, c, "ncpus={ncpus}: backends disagree");
+            assert_eq!(h, h2, "ncpus={ncpus}: rerun disagrees");
+            assert_eq!(h.per_cpu().len(), ncpus);
+        }
+    }
+
+    #[test]
+    fn smp_shared_queue_serializes_while_polled_path_scales() {
+        // COREC-style contention: the unmodified path funnels every CPU
+        // into one shared ipintrq drained by CPU 0 alone, so a second CPU
+        // buys (almost) nothing; the polled path is per-CPU end to end,
+        // so it roughly doubles.
+        let n1_unmod = quick(unmodified(), 9_000.0, 2_000);
+        let n2_unmod = quick(
+            KernelConfig::builder().ncpus(2).build(),
+            18_000.0,
+            4_000,
+        );
+        assert!(
+            n2_unmod.delivered_pps < 1.4 * n1_unmod.delivered_pps,
+            "shared-queue SMP should not scale: {} vs {}",
+            n2_unmod.delivered_pps,
+            n1_unmod.delivered_pps
+        );
+        let n1_poll = quick(polled(Quota::Limited(10)), 9_000.0, 2_000);
+        let n2_poll = quick(
+            KernelConfig::builder()
+                .polled(Quota::Limited(10))
+                .ncpus(2)
+                .build(),
+            18_000.0,
+            4_000,
+        );
+        assert!(
+            n2_poll.delivered_pps > 1.5 * n1_poll.delivered_pps,
+            "per-CPU polling should scale: {} vs {}",
+            n2_poll.delivered_pps,
+            n1_poll.delivered_pps
+        );
+    }
+
+    #[test]
+    fn smp_per_cpu_ledgers_each_conserve() {
+        let r = quick(
+            KernelConfig::builder()
+                .polled(Quota::Limited(10))
+                .ncpus(4)
+                .build(),
+            20_000.0,
+            3_000,
+        );
+        assert_eq!(r.per_cpu().len(), 4);
+        for c in r.per_cpu() {
+            let sum: f64 = c.cpu_share.iter().sum();
+            assert!(
+                (sum - 1.0).abs() < 1e-9,
+                "cpu {:?} shares sum to {sum}",
+                c.cpu
+            );
+        }
+        let agg: f64 = r.aggregate().cpu_share.iter().sum();
+        assert!((agg - 1.0).abs() < 1e-9, "aggregate shares sum to {agg}");
+    }
+
+    #[test]
+    fn imbalanced_flows_are_rescued_by_stealing() {
+        // Steer every flow at CPU 0's queue on a 2-CPU stealing cluster:
+        // CPU 0's ring overflows, CPU 1 is idle, and the steal path (not
+        // the drop path) absorbs the imbalance.
+        let spec = TrialSpec {
+            rate_pps: 13_000.0,
+            n_packets: 3_000,
+            ..TrialSpec::new(
+                KernelConfig::builder()
+                    .polled(Quota::Limited(10))
+                    .ncpus(2)
+                    .steal(true)
+                    .build(),
+            )
+        };
+        // Flows all hashing to queue 0 of 2 (deterministic search).
+        let f = PacketFactory::paper_testbed();
+        let (src, dst) = (u32::from(f.src_ip), u32::from(f.dst_ip));
+        let mut port = f.src_port;
+        let mut flows = Vec::new();
+        while flows.len() < 8 {
+            if rss_queue(src, dst, proto::UDP, port, f.dst_port, 2) == 0 {
+                flows.push(port);
+            }
+            port = port.wrapping_add(1);
+        }
+        let r = run_smp_trial(&spec, &flows);
+        let agg = r.aggregate();
+        assert!(
+            agg.steals_taken > 0,
+            "idle sibling should have stolen work"
+        );
+        assert_eq!(
+            r.per_cpu()[0].steals_published,
+            agg.steals_published,
+            "only the overloaded CPU publishes"
+        );
+        assert!(
+            r.per_cpu()[1].steals_taken > 0,
+            "the idle CPU does the stealing"
+        );
+        // The same imbalance without stealing drops more at the ring.
+        let mut no_steal = spec.clone();
+        no_steal.config.topology.steal = false;
+        let ns = run_smp_trial(&no_steal, &flows);
+        assert!(
+            ns.rx_ring_drops > r.rx_ring_drops,
+            "stealing should convert ring drops into deliveries: {} !> {}",
+            ns.rx_ring_drops,
+            r.rx_ring_drops
+        );
+    }
+
+    #[test]
+    fn balanced_flows_cover_every_rss_bucket() {
+        let flows = balanced_flows();
+        assert_eq!(flows.len(), 64);
+        let f = PacketFactory::paper_testbed();
+        let (src, dst) = (u32::from(f.src_ip), u32::from(f.dst_ip));
+        for nq in [1usize, 2, 4] {
+            let mut counts = vec![0usize; nq];
+            for &p in &flows {
+                counts[rss_queue(src, dst, proto::UDP, p, f.dst_port, nq)] += 1;
+            }
+            assert!(
+                counts.iter().all(|&c| c == 64 / nq),
+                "flows must balance {nq} queues, got {counts:?}"
+            );
+        }
+        // Bucket-interleaved: consecutive packets land on distinct queues.
+        for w in flows.windows(2) {
+            let a = rss_queue(src, dst, proto::UDP, w[0], f.dst_port, 4);
+            let b = rss_queue(src, dst, proto::UDP, w[1], f.dst_port, 4);
+            assert_ne!(a, b, "adjacent flows share a bucket");
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_scalar_shims_mirror_the_aggregate() {
+        let r = quick(unmodified(), 2_000.0, 500);
+        let agg = r.aggregate();
+        assert_eq!(agg.cpu, CpuStats::AGGREGATE);
+        assert_eq!(r.user_cpu_frac(), agg.user_cpu_frac);
+        assert_eq!(r.cpu_share(), agg.cpu_share);
+        assert_eq!(r.interrupts_taken(), agg.interrupts_taken);
+        assert_eq!(r.events_dispatched(), agg.events_dispatched);
+    }
+
+    #[cfg(feature = "proptest")]
+    proptest::proptest! {
+        /// RSS steering never loses or invents packets: at any CPU count,
+        /// rate and packet count, delivered + every attributed drop +
+        /// steal residue accounts for exactly the generated population.
+        /// (The NIC-boundary assert inside `run_smp_trial` enforces the
+        /// ring-level half; this checks the harness end to end.)
+        #[test]
+        fn rss_conserves_packets(
+            ncpus_pow in 1u32..3,
+            rate in 4_000.0f64..26_000.0,
+            n in 400usize..1_200,
+            seed in 1u64..64,
+        ) {
+            let ncpus = 1usize << ncpus_pow;
+            let spec = TrialSpec {
+                rate_pps: rate,
+                n_packets: n,
+                seed,
+                ..TrialSpec::new(
+                    KernelConfig::builder()
+                        .polled(Quota::Limited(10))
+                        .ncpus(ncpus)
+                        .build(),
+                )
+            };
+            // run_smp_trial's internal assert is the conservation oracle.
+            let r = run_trial(&spec);
+            proptest::prop_assert_eq!(r.per_cpu().len(), ncpus);
         }
     }
 
@@ -506,7 +1070,7 @@ mod tests {
         let b = quick(unmodified(), 7_000.0, 1_000);
         assert_eq!(a.transmitted, b.transmitted);
         assert_eq!(a.delivered_pps, b.delivered_pps);
-        assert_eq!(a.interrupts_taken, b.interrupts_taken);
+        assert_eq!(a.per_cpu, b.per_cpu);
     }
 
     #[test]
@@ -519,8 +1083,8 @@ mod tests {
         let a = run_trial(&base);
         let b = run_trial(&TrialSpec { seed: 2, ..base });
         assert_ne!(
-            (a.transmitted, a.interrupts_taken),
-            (b.transmitted, b.interrupts_taken),
+            (a.transmitted, a.aggregate().interrupts_taken),
+            (b.transmitted, b.aggregate().interrupts_taken),
             "jitter should differ across seeds"
         );
     }
@@ -559,21 +1123,21 @@ mod tests {
         let light = quick(unmodified(), 500.0, 400);
         let heavy = quick(unmodified(), 11_000.0, 3_000);
         for r in [&light, &heavy] {
-            let sum: f64 = r.cpu_share.iter().sum();
+            let sum: f64 = r.aggregate().cpu_share.iter().sum();
             assert!((sum - 1.0).abs() < 1e-9, "shares sum to {sum}");
         }
         let rx = CpuClass::RxIntr.index();
         let idle = CpuClass::Idle.index();
         assert!(
-            heavy.cpu_share[rx] > light.cpu_share[rx],
+            heavy.aggregate().cpu_share[rx] > light.aggregate().cpu_share[rx],
             "rx share should grow with load: {} !> {}",
-            heavy.cpu_share[rx],
-            light.cpu_share[rx]
+            heavy.aggregate().cpu_share[rx],
+            light.aggregate().cpu_share[rx]
         );
         assert!(
-            light.cpu_share[idle] > 0.5,
+            light.aggregate().cpu_share[idle] > 0.5,
             "light load is mostly idle, got {}",
-            light.cpu_share[idle]
+            light.aggregate().cpu_share[idle]
         );
     }
 

@@ -45,11 +45,11 @@ pub mod stats;
 pub mod telemetry;
 
 pub use config::{
-    FeedbackConfig, KernelConfig, KernelConfigBuilder, Mode, PolledConfig, ScreendConfig,
+    FeedbackConfig, KernelConfig, KernelConfigBuilder, Mode, PolledConfig, ScreendConfig, Topology,
 };
 pub use experiment::{
-    run_chaos_trial, run_trial, run_trial_traced, sweep, ChaosReport, SweepResult, TrialResult,
-    TrialSpec,
+    run_chaos_trial, run_trial, run_trial_traced, sweep, ChaosReport, CpuStats, SweepResult,
+    TrialResult, TrialSpec,
 };
 pub use par::{default_jobs, par_map, Parallelism};
 pub use router::RouterKernel;

@@ -58,9 +58,11 @@ mod forwarding;
 mod gating;
 mod polled;
 mod procs;
+pub(crate) mod smp;
 mod unmodified;
 
 use faults::FaultState;
+use smp::{SmpCtx, STEAL_BUF_CAP};
 
 use crate::config::{KernelConfig, Mode};
 use crate::stats::{DropReason, KernelStats};
@@ -98,6 +100,10 @@ pub enum Event {
     ///
     /// [`FaultPlan`]: livelock_machine::fault::FaultPlan
     Fault(FaultKind),
+    /// A cross-CPU wakeup from a sibling CPU in an SMP cluster, injected
+    /// by the interleaver's slice hook when this CPU's coalesced IPI
+    /// flag is set. Never scheduled on a uniprocessor.
+    Ipi,
 }
 
 /// Chunk tags.
@@ -120,6 +126,7 @@ mod tag {
     pub const CLOCK: u64 = 16;
     pub const HOUSEKEEPING: u64 = 17;
     pub const APP_PKT: u64 = 18;
+    pub const IPI: u64 = 19;
 }
 
 /// What an interrupt source belongs to.
@@ -130,6 +137,7 @@ enum SrcRole {
     Softnet,
     Clock,
     Softclock,
+    Ipi,
 }
 
 struct Iface {
@@ -217,6 +225,14 @@ pub struct RouterKernel {
     /// Live fault-injection state; `None` when no fault plan is
     /// configured, in which case every fault hook is dead code.
     fault: Option<FaultState>,
+    /// This kernel's view of the SMP cluster; `None` on a uniprocessor,
+    /// in which case every cross-CPU hook is dead code and the kernel is
+    /// byte-identical to one built before the SMP layer existed.
+    smp: Option<SmpCtx>,
+    /// The per-CPU IPI interrupt source, registered by
+    /// [`RouterKernel::attach_smp`].
+    ipi_src: Option<IntrSrc>,
+    ipi_in_handler: bool,
     stats: KernelStats,
 }
 
@@ -421,9 +437,31 @@ impl RouterKernel {
             user_tid,
             pool,
             fault,
+            smp: None,
+            ipi_src: None,
+            ipi_in_handler: false,
             stats,
         };
         (st, kernel)
+    }
+
+    /// Joins this kernel to an SMP cluster: registers the per-CPU IPI
+    /// interrupt source (device priority — a cross-CPU wakeup preempts
+    /// threads and software interrupts like any device interrupt) and
+    /// installs the shared-state handle. Must be called before the
+    /// engine runs; a kernel without it is a plain uniprocessor.
+    pub(crate) fn attach_smp(&mut self, st: &mut EnvState<Event>, ctx: SmpCtx) {
+        let src = st.intr.register("ipi", Ipl::IMP);
+        st.set_intr_class(src, CpuClass::KernelOther);
+        self.src_roles.push(SrcRole::Ipi);
+        self.ipi_src = Some(src);
+        self.smp = Some(ctx);
+    }
+
+    /// Frames the interface's NIC accepted into its receive ring
+    /// (`netstat -i` `Ipkts`), for NIC-boundary conservation checks.
+    pub fn ipkts(&self, iface: usize) -> u64 {
+        self.ifaces[iface].nic.ipkts()
     }
 
     /// The kernel's frame pool, when built with one.
@@ -452,6 +490,12 @@ impl RouterKernel {
     /// cycle ledger), every queue depth along the forwarding path, the
     /// interrupt gate's inhibit bitmask, and the interrupt rate.
     fn sample_telemetry(&mut self, env: &mut Env<'_, Event>) {
+        // On an unmodified SMP kernel the IP input queue is the shared
+        // one; the local ipintrq never fills.
+        let ipintrq_depth = match &self.smp {
+            Some(ctx) if !self.is_polled() => ctx.shared.borrow().ipintrq.len(),
+            _ => self.ipintrq.len(),
+        };
         let Some(tl) = &mut self.stats.timeline else {
             return;
         };
@@ -460,7 +504,7 @@ impl RouterKernel {
         }
         let depths = QueueDepths {
             rx_ring: self.ifaces.iter().map(|i| i.nic.rx_pending()).sum(),
-            ipintrq: self.ipintrq.len(),
+            ipintrq: ipintrq_depth,
             screend_q: self.screend_q.len(),
             out_ifq: self.ifaces.iter().map(|i| i.out_q.len()).sum(),
             socket_q: self.socket_q.len(),
@@ -546,6 +590,15 @@ impl RouterKernel {
         // A ring overflow while the gate is closed is the drop the
         // feedback deliberately asked for (§6.4); attribute it so.
         let inhibited = self.is_polled() && !self.gate.is_open();
+        // Work stealing: a frame that would overflow this CPU's ring is
+        // published for an idle sibling instead — unless feedback closed
+        // the gate, in which case the drop is the point.
+        if !inhibited {
+            pkt = match self.steal_publish(pkt, i) {
+                Some(p) => p,
+                None => return,
+            };
+        }
         let iface = &mut self.ifaces[i];
         if iface.nic.rx_arrive(pkt).is_ok() {
             if iface.nic.rx_intr_enabled() {
@@ -555,6 +608,53 @@ impl RouterKernel {
             self.stats.record_drop(DropReason::FeedbackInhibit);
         } else {
             self.stats.record_drop(DropReason::RxRingFull);
+        }
+    }
+
+    /// If stealing is on and the ring is full, parks the frame in this
+    /// CPU's steal buffer (or drops it when that is full too) and
+    /// signals idle siblings. Returns the frame when it did neither and
+    /// normal DMA should proceed.
+    fn steal_publish(&mut self, pkt: Packet, i: usize) -> Option<Packet> {
+        let Some(ctx) = &self.smp else {
+            return Some(pkt);
+        };
+        if !ctx.steal || !self.ifaces[i].nic.rx_ring_is_full() {
+            return Some(pkt);
+        }
+        let me = ctx.cpu.0;
+        let mut sh = ctx.shared.borrow_mut();
+        if sh.steal_bufs[me].len() >= STEAL_BUF_CAP {
+            drop(sh);
+            self.stats.record_drop(DropReason::RxRingFull);
+            return None;
+        }
+        sh.steal_bufs[me].push_back(pkt);
+        sh.steals_published[me] += 1;
+        // Coalesced "steal work available" signal to every sibling; the
+        // interleaver turns each flag into at most one IPI per slice.
+        let ncpus = ctx.ncpus;
+        for j in 0..ncpus {
+            if j != me {
+                sh.ipi_pending[j] = true;
+            }
+        }
+        None
+    }
+
+    /// The unmodified SMP wakeup-and-drain: runs on CPU 0 when a
+    /// sibling's IPI lands (polled kernels instead wake their poller to
+    /// go stealing).
+    fn ipi_done(&mut self, env: &mut Env<'_, Event>) {
+        let Some(ctx) = &self.smp else {
+            return;
+        };
+        if self.is_polled() {
+            if let Some(tid) = self.poll_tid {
+                env.wake(tid);
+            }
+        } else if !ctx.shared.borrow().ipintrq.is_empty() {
+            env.post_intr(self.softnet_src);
         }
     }
 
@@ -663,6 +763,20 @@ impl Workload for RouterKernel {
                         self.unmod_tx_next(env, i)
                     }
                 }
+                SrcRole::Ipi => {
+                    if self.ipi_in_handler {
+                        self.ipi_in_handler = false;
+                        if let Some(src) = self.ipi_src {
+                            env.intr_ack(src);
+                        }
+                        return None;
+                    }
+                    self.ipi_in_handler = true;
+                    Some(Chunk::new(
+                        self.cost.intr_dispatch + self.cost.ipi,
+                        tag::IPI,
+                    ))
+                }
             },
             CtxKind::Thread(tid) => {
                 if Some(tid) == self.poll_tid {
@@ -740,6 +854,7 @@ impl Workload for RouterKernel {
                 }
             }
             (CtxKind::Intr(_), tag::CLOCK) => self.clock_done(env),
+            (CtxKind::Intr(_), tag::IPI) => self.ipi_done(env),
             (CtxKind::Thread(_), tag::POLL_RX_PKT) => self.poll_rx_done(env),
             (CtxKind::Thread(_), tag::POLL_TX_PKT) => self.poll_tx_done(env, true),
             (CtxKind::Thread(_), tag::POLL_TX_START) => self.poll_tx_done(env, false),
@@ -802,6 +917,11 @@ impl Workload for RouterKernel {
                 }
             }
             Event::Fault(kind) => self.apply_fault(env, kind),
+            Event::Ipi => {
+                if let Some(src) = self.ipi_src {
+                    env.post_intr(src);
+                }
+            }
         }
     }
 

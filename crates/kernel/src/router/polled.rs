@@ -141,6 +141,12 @@ impl RouterKernel {
                     ));
                 }
                 None => {
+                    // Out of local work: before re-enabling interrupts and
+                    // sleeping, an idle SMP poller pulls frames a sibling
+                    // parked when its own ring overflowed.
+                    if self.try_steal() {
+                        continue;
+                    }
                     // "Once all the packets pending at an interface have
                     // been handled, the polling thread also invokes the
                     // driver's interrupt-enable callback."
@@ -152,6 +158,44 @@ impl RouterKernel {
                 }
             }
         }
+    }
+
+    /// Work stealing: an otherwise-idle poll thread drains frames its
+    /// siblings parked when their own receive rings overflowed, feeding
+    /// them into this CPU's ring as if they had arrived here. Returns
+    /// true when anything was stolen (the poller now has a pending
+    /// receive request to process).
+    pub(super) fn try_steal(&mut self) -> bool {
+        let Some(ctx) = &self.smp else {
+            return false;
+        };
+        if !ctx.steal {
+            return false;
+        }
+        let me = ctx.cpu.0;
+        let ncpus = ctx.ncpus;
+        let shared = std::rc::Rc::clone(&ctx.shared);
+        let mut stole = false;
+        let mut sh = shared.borrow_mut();
+        'victims: for d in 1..ncpus {
+            let victim = (me + d) % ncpus;
+            while !sh.steal_bufs[victim].is_empty() {
+                if self.ifaces[0].nic.rx_ring_is_full() {
+                    break 'victims;
+                }
+                if let Some(pkt) = sh.steal_bufs[victim].pop_front() {
+                    self.ifaces[0].nic.rx_arrive(pkt);
+                    sh.steals_taken[me] += 1;
+                    stole = true;
+                }
+            }
+        }
+        drop(sh);
+        if stole {
+            let sid = self.ifaces[0].poll_sid;
+            self.poller.request(sid, PollDirection::Receive);
+        }
+        stole
     }
 
     pub(super) fn finish_callback(

@@ -1,0 +1,90 @@
+//! Cross-CPU state for SMP trials: the shared `ipintrq`, coalesced
+//! IPI-wakeup flags, and per-CPU steal buffers.
+//!
+//! Each CPU in a cluster runs its own complete [`RouterKernel`]; this
+//! module holds the only state those kernels share. The `ipintrq` models
+//! the classic single-IP-layer SMP bottleneck: every CPU's unmodified
+//! receive handler feeds it, only CPU 0 drains it, and CPU 0 pays a
+//! per-packet lock-contention cost scaled by the number of contending
+//! siblings. The steal buffers model the opposite design point: a CPU
+//! whose receive ring overflows parks the frame in its own bounded
+//! buffer, and an *idle* sibling poller pulls it instead of letting it
+//! drop.
+//!
+//! Mutation discipline: kernels touch [`SmpShared`] only inside their own
+//! interleaver slice (the cluster never runs two engines concurrently),
+//! and cross-CPU *signals* travel exclusively through the coalesced
+//! `ipi_pending` flags, drained at slice boundaries by the experiment
+//! harness's `before_slice` hook — so an SMP run is a pure function of
+//! the configuration and seed, bit-identical at any host job count.
+//!
+//! [`RouterKernel`]: super::RouterKernel
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use livelock_machine::cpu::CpuId;
+use livelock_net::packet::Packet;
+use livelock_net::queue::DropTailQueue;
+
+/// Capacity of each CPU's steal buffer, in frames. Deliberately ring-
+/// sized: stealing absorbs short imbalance between siblings, it is not
+/// extra queueing capacity (an unbounded buffer would just move the
+/// livelock drop point).
+pub(crate) const STEAL_BUF_CAP: usize = 64;
+
+/// State shared by every CPU of one SMP trial.
+pub(crate) struct SmpShared {
+    /// The single shared IP input queue of the unmodified path. All CPUs
+    /// enqueue; CPU 0 alone drains it under contention cost.
+    pub(crate) ipintrq: DropTailQueue<Packet>,
+    /// Coalesced IPI flags, one per CPU: "you have cross-CPU work". Set
+    /// by any sibling, cleared by the interleaver's slice hook when it
+    /// injects the corresponding `Event::Ipi` — at most one IPI per CPU
+    /// per slice, and never a lost wakeup because every enqueue sets the
+    /// flag again.
+    pub(crate) ipi_pending: Vec<bool>,
+    /// Per-CPU steal buffers: `steal_bufs[k]` holds frames CPU `k`
+    /// published when its own receive ring was full.
+    pub(crate) steal_bufs: Vec<VecDeque<Packet>>,
+    /// Frames each CPU published to its steal buffer.
+    pub(crate) steals_published: Vec<u64>,
+    /// Frames each CPU pulled from a sibling's steal buffer.
+    pub(crate) steals_taken: Vec<u64>,
+}
+
+impl SmpShared {
+    /// Shared state for `ncpus` CPUs with the configured `ipintrq`
+    /// capacity, behind the `Rc<RefCell>` every per-CPU kernel clones.
+    pub(crate) fn new(ncpus: usize, ipintrq_cap: usize) -> Rc<RefCell<SmpShared>> {
+        Rc::new(RefCell::new(SmpShared {
+            ipintrq: DropTailQueue::new("smp-ipintrq", ipintrq_cap),
+            ipi_pending: vec![false; ncpus],
+            steal_bufs: (0..ncpus)
+                .map(|_| VecDeque::with_capacity(STEAL_BUF_CAP))
+                .collect(),
+            steals_published: vec![0; ncpus],
+            steals_taken: vec![0; ncpus],
+        }))
+    }
+
+    /// Frames still parked in steal buffers (the conservation residual).
+    pub(crate) fn steal_residual(&self) -> usize {
+        self.steal_bufs.iter().map(VecDeque::len).sum()
+    }
+}
+
+/// One CPU's view of the cluster, attached to its kernel by
+/// [`RouterKernel::attach_smp`](super::RouterKernel::attach_smp).
+#[derive(Clone)]
+pub(crate) struct SmpCtx {
+    /// This kernel's CPU.
+    pub(crate) cpu: CpuId,
+    /// Total CPUs in the cluster.
+    pub(crate) ncpus: usize,
+    /// Work stealing enabled?
+    pub(crate) steal: bool,
+    /// The cluster-shared state.
+    pub(crate) shared: Rc<RefCell<SmpShared>>,
+}

@@ -49,6 +49,24 @@ impl RouterKernel {
         if self.try_handle_arp(env, i, &pkt) {
             return;
         }
+        // SMP: every CPU's receive handler feeds the one shared ipintrq
+        // (the classic single-IP-layer bottleneck); only CPU 0 runs the
+        // softnet drain, so siblings raise a coalesced IPI instead.
+        if let Some(ctx) = &self.smp {
+            let mut sh = ctx.shared.borrow_mut();
+            if sh.ipintrq.enqueue(pkt).is_ok() {
+                if ctx.cpu.0 == 0 {
+                    drop(sh);
+                    env.post_intr(self.softnet_src);
+                } else {
+                    sh.ipi_pending[0] = true;
+                }
+            } else {
+                drop(sh);
+                self.stats.record_drop(DropReason::IpintrqFull);
+            }
+            return;
+        }
         if self.ipintrq.enqueue(pkt).is_ok() {
             env.post_intr(self.softnet_src);
         } else {
@@ -67,6 +85,28 @@ impl RouterKernel {
                 self.cost.softnet_dispatch + extra,
                 tag::SOFTNET_DISPATCH,
             ));
+        }
+        // SMP: CPU 0 drains the shared ipintrq, paying a per-packet
+        // lock-acquisition cost for every contending sibling — the term
+        // that keeps the shared-queue MLFRR flat as CPUs are added. No
+        // bursting: siblings refill the queue at every slice boundary.
+        if let Some(ctx) = &self.smp {
+            let contenders = ctx.ncpus as u64 - 1;
+            let mut sh = ctx.shared.borrow_mut();
+            if let Some(p) = sh.ipintrq.peek_mut() {
+                p.stamps.fwd_start = env.now();
+                let mut cost = self.cost.ip_forward_per_pkt
+                    + self.cost.queue_op
+                    + self.cost.smp_queue_lock * contenders
+                    + extra;
+                if self.cfg.screend.is_none() {
+                    cost += self.cost.tx_start_per_pkt;
+                }
+                return Some(Chunk::new(cost, tag::SOFTNET_PKT));
+            }
+            self.softnet_in_handler = false;
+            env.intr_ack(self.softnet_src);
+            return None;
         }
         if self.ipintrq.peek().is_some() {
             // IP forwarding of the head packet starts now (the dequeue
@@ -96,7 +136,11 @@ impl RouterKernel {
     }
 
     pub(super) fn softnet_done(&mut self, env: &mut Env<'_, Event>) {
-        let Some(mut pkt) = self.ipintrq.dequeue() else {
+        let next = match &self.smp {
+            Some(ctx) => ctx.shared.borrow_mut().ipintrq.dequeue(),
+            None => self.ipintrq.dequeue(),
+        };
+        let Some(mut pkt) = next else {
             return;
         };
         pkt.stamps.fwd_done = env.now();

@@ -132,6 +132,13 @@ impl DropStats {
         self.counts.iter().sum()
     }
 
+    /// Folds another `DropStats` into this one (SMP aggregation).
+    pub fn merge(&mut self, other: &DropStats) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+
     /// Iterates `(reason, count)` over reasons with a nonzero count.
     pub fn nonzero(&self) -> impl Iterator<Item = (DropReason, u64)> + '_ {
         DropReason::ALL
@@ -369,6 +376,26 @@ pub struct FaultStats {
     pub intr_reposts: u64,
     /// Stuck gate reasons force-cleared by the gate watchdog.
     pub watchdog_unwedges: u64,
+}
+
+impl FaultStats {
+    /// Folds another `FaultStats` into this one (SMP aggregation).
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.injected += other.injected;
+        self.lost_intrs += other.lost_intrs;
+        self.spurious_intrs += other.spurious_intrs;
+        self.mutated_frames += other.mutated_frames;
+        self.storm_frames += other.storm_frames;
+        self.clock_jitters += other.clock_jitters;
+        self.link_flaps += other.link_flaps;
+        self.link_down_losses += other.link_down_losses;
+        self.screend_stalls += other.screend_stalls;
+        self.screend_crashes += other.screend_crashes;
+        self.crash_flushed += other.crash_flushed;
+        self.stall_recoveries += other.stall_recoveries;
+        self.intr_reposts += other.intr_reposts;
+        self.watchdog_unwedges += other.watchdog_unwedges;
+    }
 }
 
 /// Counters and distributions collected by the router kernel during a run.

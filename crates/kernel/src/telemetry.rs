@@ -16,7 +16,7 @@
 //! [`KernelConfig::telemetry`](crate::config::KernelConfig::telemetry)
 //! is set, and costs nothing when off.
 
-use livelock_machine::{CpuClass, CycleLedger};
+use livelock_machine::{CpuClass, CpuId, CycleLedger};
 use livelock_sim::{Cycles, Freq, TimeSeries};
 
 /// Sampler knobs.
@@ -61,6 +61,9 @@ pub struct QueueDepths {
 /// instants, so row `i` of each describes the same moment.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Timeline {
+    /// Which CPU's kernel recorded this timeline (every series belongs to
+    /// one CPU; SMP trials keep one `Timeline` per CPU).
+    cpu: CpuId,
     interval_ticks: u32,
     max_samples: usize,
     ticks_since_sample: u32,
@@ -93,6 +96,7 @@ impl Timeline {
     /// Creates an empty timeline for the given sampler configuration.
     pub fn new(cfg: TelemetryConfig) -> Self {
         Timeline {
+            cpu: CpuId(0),
             interval_ticks: cfg.interval_ticks.max(1),
             max_samples: cfg.max_samples.max(2),
             ticks_since_sample: 0,
@@ -108,6 +112,16 @@ impl Timeline {
             gate_bits: TimeSeries::new(),
             intr_rate: TimeSeries::new(),
         }
+    }
+
+    /// Tags the timeline with the CPU whose kernel records it.
+    pub fn set_cpu(&mut self, cpu: CpuId) {
+        self.cpu = cpu;
+    }
+
+    /// The CPU whose kernel recorded this timeline.
+    pub fn cpu(&self) -> CpuId {
+        self.cpu
     }
 
     /// Clock-tick hook: returns `true` when a sample is due (and resets

@@ -1,5 +1,4 @@
-//! Rule `deprecated-config`: no new callers of the deprecated
-//! `KernelConfig` named constructors.
+//! Rule `deprecated-config`: no new callers of deprecated shims.
 //!
 //! PR 2 replaced the ten named constructors with the fluent
 //! `KernelConfig::builder()`; the shims remain only so the old recipes
@@ -7,11 +6,17 @@
 //! catch stragglers with a full advisory rebuild under
 //! `RUSTFLAGS="-D deprecated"`; this rule replaces that rebuild with a
 //! sub-second token scan that gates hard.
+//!
+//! PR 7 extended the same treatment to `TrialResult`'s scalar CPU
+//! accessors (`cpu_share()`, `user_cpu_frac()`, `interrupts_taken()`,
+//! `events_dispatched()`): they collapse the per-CPU breakdown to one
+//! number and exist only as migration shims over `aggregate()`. New
+//! code must choose explicitly between `per_cpu()` and `aggregate()`.
 
 use crate::files::FileInfo;
 use crate::tokenizer::Tok;
 
-use super::{path_match, raw, RawFinding, Rule};
+use super::{method_call, path_match, raw, RawFinding, Rule};
 
 /// The deprecated named constructors (see `crates/kernel/src/config.rs`).
 const DEPRECATED_CTORS: &[&str] = &[
@@ -29,6 +34,20 @@ const DEPRECATED_CTORS: &[&str] = &[
 
 /// Where the shims are defined (and intentionally self-tested).
 const DEFINITION_FILE: &str = "crates/kernel/src/config.rs";
+
+/// The deprecated `TrialResult` scalar accessors (see
+/// `crates/kernel/src/experiment.rs`): shims over `aggregate()`.
+const DEPRECATED_TRIAL_ACCESSORS: &[&str] = &[
+    "cpu_share",
+    "user_cpu_frac",
+    "interrupts_taken",
+    "events_dispatched",
+];
+
+/// Where those shims are defined and shim-equivalence-tested — also the
+/// home of `EnvState::events_dispatched()`-style same-named machine
+/// accessors the harness legitimately calls.
+const ACCESSOR_DEFINITION_FILE: &str = "crates/kernel/src/experiment.rs";
 
 pub struct DeprecatedConfig;
 
@@ -49,29 +68,49 @@ impl Rule for DeprecatedConfig {
     }
 
     fn describe(&self) -> &'static str {
-        "use KernelConfig::builder() instead of the deprecated named constructors"
+        "use KernelConfig::builder() and TrialResult::per_cpu()/aggregate(), not the deprecated shims"
     }
 
     fn check(&self, file: &FileInfo, toks: &[Tok]) -> Vec<RawFinding> {
-        if file.rel_path == DEFINITION_FILE {
-            return Vec::new();
-        }
         let mut out = Vec::new();
-        for (i, t) in toks.iter().enumerate() {
-            if !t.is_ident("KernelConfig") {
-                continue;
+        if file.rel_path != DEFINITION_FILE {
+            for (i, t) in toks.iter().enumerate() {
+                if !t.is_ident("KernelConfig") {
+                    continue;
+                }
+                for ctor in DEPRECATED_CTORS {
+                    if path_match(toks, i, &["KernelConfig", ctor]).is_some() {
+                        out.push(raw(
+                            toks,
+                            i,
+                            format!("KernelConfig::{ctor}"),
+                            format!(
+                                "deprecated constructor `KernelConfig::{ctor}`: compose the \
+                                 configuration with KernelConfig::builder() instead"
+                            ),
+                        ));
+                    }
+                }
             }
-            for ctor in DEPRECATED_CTORS {
-                if path_match(toks, i, &["KernelConfig", ctor]).is_some() {
-                    out.push(raw(
-                        toks,
-                        i,
-                        format!("KernelConfig::{ctor}"),
-                        format!(
-                            "deprecated constructor `KernelConfig::{ctor}`: compose the \
-                             configuration with KernelConfig::builder() instead"
-                        ),
-                    ));
+        }
+        // The scalar-accessor shims are method calls (`r.cpu_share()`),
+        // so any `.name(` match outside their definition file is a
+        // straggler from the pre-per-CPU stats API.
+        if file.rel_path != ACCESSOR_DEFINITION_FILE {
+            for i in 0..toks.len() {
+                for name in DEPRECATED_TRIAL_ACCESSORS {
+                    if method_call(toks, i, name) {
+                        out.push(raw(
+                            toks,
+                            i + 1,
+                            format!(".{name}()"),
+                            format!(
+                                "deprecated scalar accessor `.{name}()`: the per-CPU stats \
+                                 API replaced it — use .aggregate().{name} for the cluster \
+                                 total or .per_cpu() for the breakdown"
+                            ),
+                        ));
+                    }
                 }
             }
         }
@@ -119,5 +158,33 @@ mod tests {
     fn doc_links_in_comments_do_not_trigger() {
         let src = "/// See [`KernelConfig::unmodified`] for history.\nfn f() {}";
         assert!(run("crates/kernel/src/stats.rs", src).is_empty());
+    }
+
+    #[test]
+    fn flags_deprecated_trial_accessors() {
+        let f = run(
+            "crates/bench/src/lib.rs",
+            "let u = r.user_cpu_frac(); let s = r.cpu_share(); let n = r.interrupts_taken();",
+        );
+        assert_eq!(f.len(), 3, "{f:?}");
+        assert!(f.iter().any(|x| x.snippet == ".user_cpu_frac()"));
+    }
+
+    #[test]
+    fn per_cpu_api_and_fields_are_fine() {
+        let f = run(
+            "crates/bench/src/lib.rs",
+            "let a = r.aggregate(); let u = a.user_cpu_frac; for c in r.per_cpu() { let _ = c.cpu_share; }",
+        );
+        assert!(f.is_empty(), "field access is the new API: {f:?}");
+    }
+
+    #[test]
+    fn accessor_definition_file_is_exempt() {
+        assert!(run(
+            "crates/kernel/src/experiment.rs",
+            "assert_eq!(r.cpu_share(), agg.cpu_share); engine.state().events_dispatched();"
+        )
+        .is_empty());
     }
 }

@@ -13,11 +13,14 @@ use crate::tokenizer::Tok;
 
 use super::{is_path_sep, raw, RawFinding, Rule};
 
-/// Files allowed to call `charge`: the ledger itself and the executor's
-/// commit points.
+/// Files allowed to call `charge`: the ledger itself and the executors'
+/// commit points — per-CPU since the SMP model, so the cluster
+/// interleaver (which advances each CPU's executor in round-robin
+/// slices) is a sanctioned commit path alongside the single-engine one.
 const COMMIT_POINT_FILES: &[&str] = &[
     "crates/machine/src/ledger.rs",
     "crates/machine/src/cpu.rs",
+    "crates/machine/src/cluster.rs",
 ];
 
 pub struct LedgerDiscipline;

@@ -15,6 +15,7 @@ mod drops;
 mod interrupt;
 mod ledger;
 mod panics;
+mod smp;
 
 /// A match a rule reported, before exemption filtering.
 #[derive(Clone, Debug)]
@@ -63,6 +64,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(ledger::LedgerDiscipline),
         Box::new(panics::PanicFreedom),
         Box::new(deprecated::DeprecatedConfig),
+        Box::new(smp::SmpIsolation),
     ]
 }
 

@@ -1,0 +1,157 @@
+//! Rule `smp-isolation`: cross-CPU state only via the IPI/steal paths.
+//!
+//! The SMP model (DESIGN.md §12) keeps per-CPU executors deterministic by
+//! funnelling every cross-CPU interaction through two audited channels:
+//! the coalesced IPI flags the cluster interleaver drains at slice
+//! boundaries, and the bounded steal buffers the polling layer drains in
+//! its idle path. Any other module reaching into `SmpShared` would
+//! create a third, unaudited channel — one whose ordering depends on
+//! where the reader sits in the round-robin slice, silently breaking the
+//! bit-identical replay guarantee and the NIC-boundary conservation
+//! audit (arrived == delivered + dropped + steal residue).
+
+use crate::files::FileInfo;
+use crate::tokenizer::Tok;
+
+use super::{raw, RawFinding, Rule};
+
+/// The only files allowed to touch the shared SMP state: its definition,
+/// the kernel's IPI/steal endpoints, the experiment harness that builds
+/// it, and the interleaver that delivers wakeups.
+const SMP_CHANNEL_FILES: &[&str] = &[
+    "crates/kernel/src/router/smp.rs",
+    "crates/kernel/src/router/mod.rs",
+    "crates/kernel/src/router/unmodified.rs",
+    "crates/kernel/src/router/polled.rs",
+    "crates/kernel/src/experiment.rs",
+    "crates/machine/src/cluster.rs",
+];
+
+/// Identifiers that denote the cross-CPU shared state.
+const SMP_STATE_IDENTS: &[&str] = &[
+    "SmpShared",
+    "SmpCtx",
+    "ipi_pending",
+    "steal_bufs",
+    "steal_residual",
+];
+
+pub struct SmpIsolation;
+
+impl Rule for SmpIsolation {
+    fn id(&self) -> &'static str {
+        "smp-isolation"
+    }
+
+    fn exit_code(&self) -> i32 {
+        17
+    }
+
+    fn exempt_test_code(&self) -> bool {
+        // A test that pokes another CPU's state directly exercises
+        // exactly the unaudited channel the rule forbids.
+        false
+    }
+
+    fn describe(&self) -> &'static str {
+        "cross-CPU shared state may only be touched by the IPI/steal channel files"
+    }
+
+    fn check(&self, file: &FileInfo, toks: &[Tok]) -> Vec<RawFinding> {
+        if SMP_CHANNEL_FILES.contains(&file.rel_path.as_str()) {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for (i, t) in toks.iter().enumerate() {
+            if let Some(&name) = SMP_STATE_IDENTS.iter().find(|n| t.is_ident(n)) {
+                out.push(raw(
+                    toks,
+                    i,
+                    name,
+                    format!(
+                        "cross-CPU state `{name}` outside the IPI/steal channel files: \
+                         route the interaction through an IPI flag or a steal buffer so \
+                         the cluster interleaver keeps replay bit-identical"
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::tokenize;
+
+    fn run(path: &str, src: &str) -> Vec<RawFinding> {
+        SmpIsolation.check(
+            &FileInfo::classify(path).expect("classifiable"),
+            &tokenize(src).toks,
+        )
+    }
+
+    #[test]
+    fn flags_shared_state_outside_channel_files() {
+        let f = run(
+            "crates/kernel/src/telemetry.rs",
+            "let sh = SmpShared::new(4, 50); sh.borrow_mut().ipi_pending[1] = true;",
+        );
+        let snippets: Vec<&str> = f.iter().map(|r| r.snippet.as_str()).collect();
+        assert!(snippets.contains(&"SmpShared"));
+        assert!(snippets.contains(&"ipi_pending"));
+    }
+
+    #[test]
+    fn channel_files_are_allowed() {
+        for path in SMP_CHANNEL_FILES {
+            assert!(
+                run(path, "ctx.shared.borrow_mut().steal_bufs[0].pop_front();").is_empty(),
+                "{path} should be a sanctioned channel file"
+            );
+        }
+    }
+
+    #[test]
+    fn unrelated_idents_do_not_match() {
+        let f = run(
+            "crates/kernel/src/stats.rs",
+            "let steals_taken = 3; let smp = 1; shared.push(smp);",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn current_sources_respect_the_boundary() {
+        // Self-check against the live tree: no file outside the channel
+        // list references the shared SMP state.
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("workspace root")
+            .to_path_buf();
+        for crate_dir in ["machine", "core", "kernel", "net", "sim"] {
+            let src_dir = root.join("crates").join(crate_dir).join("src");
+            let mut stack = vec![src_dir];
+            while let Some(dir) = stack.pop() {
+                let Ok(entries) = std::fs::read_dir(&dir) else { continue };
+                for e in entries.flatten() {
+                    let p = e.path();
+                    if p.is_dir() {
+                        stack.push(p);
+                    } else if p.extension().is_some_and(|x| x == "rs") {
+                        let rel = p
+                            .strip_prefix(&root)
+                            .expect("under root")
+                            .to_string_lossy()
+                            .replace('\\', "/");
+                        let src = std::fs::read_to_string(&p).expect("source readable");
+                        let f = run(&rel, &src);
+                        assert!(f.is_empty(), "{rel} touches SMP state: {f:?}");
+                    }
+                }
+            }
+        }
+    }
+}

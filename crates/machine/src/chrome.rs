@@ -7,7 +7,8 @@
 //! nesting flame track, thread occupancy as duration slices, idle entries
 //! and external events as instant markers.
 //!
-//! Mapping, all on one process (`pid` 1):
+//! Mapping, one process group per CPU (`pid = cpu + 1`, so the
+//! single-CPU trace stays on `pid` 1):
 //!
 //! - `IntrEnter`/`IntrExit` → `"B"`/`"E"` begin/end pairs on the
 //!   *interrupts* track (`tid` 1). Interrupt frames strictly nest (IPL
@@ -27,6 +28,7 @@
 
 use livelock_sim::{Cycles, Freq};
 
+use crate::cpu::CpuId;
 use crate::intr::IntrSrc;
 use crate::thread::ThreadId;
 use crate::trace::{TraceEvent, TraceRecord};
@@ -51,7 +53,13 @@ pub fn json_escape(s: &str) -> String {
     out
 }
 
-const PID: u32 = 1;
+/// The Chrome-trace `pid` a CPU's tracks render under: CPU *k* is process
+/// `k + 1`, so the single-CPU trace keeps its historical `pid` 1 and an
+/// SMP trace shows one process group per CPU.
+fn pid_of(cpu: CpuId) -> u32 {
+    cpu.0 as u32 + 1
+}
+
 const TID_INTR: u32 = 1;
 const TID_THREAD: u32 = 2;
 const TID_MARKER: u32 = 3;
@@ -60,9 +68,9 @@ fn ts_micros(freq: Freq, at: Cycles) -> f64 {
     freq.nanos_from_cycles(at).as_micros_f64()
 }
 
-fn push_event(out: &mut Vec<String>, name: &str, ph: char, ts: f64, tid: u32, extra: &str) {
+fn push_event(out: &mut Vec<String>, name: &str, ph: char, ts: f64, pid: u32, tid: u32, extra: &str) {
     out.push(format!(
-        "{{\"name\":\"{}\",\"ph\":\"{ph}\",\"ts\":{ts},\"pid\":{PID},\"tid\":{tid}{extra}}}",
+        "{{\"name\":\"{}\",\"ph\":\"{ph}\",\"ts\":{ts},\"pid\":{pid},\"tid\":{tid}{extra}}}",
         json_escape(name)
     ));
 }
@@ -90,10 +98,27 @@ pub fn chrome_trace_json(
 pub fn chrome_trace_json_with_markers(
     records: &[TraceRecord],
     freq: Freq,
+    intr_name: impl FnMut(IntrSrc) -> String,
+    thread_name: impl FnMut(ThreadId) -> String,
+    markers: &[(Cycles, String)],
+) -> String {
+    chrome_trace_json_for_cpu(CpuId(0), records, freq, intr_name, thread_name, markers)
+}
+
+/// Like [`chrome_trace_json_with_markers`], with the emitting CPU's
+/// [`CpuId`] selecting the Chrome-trace process group (`pid = cpu + 1`):
+/// merged per-CPU traces from an SMP cluster render side by side without
+/// track collisions. `CpuId(0)` reproduces the single-CPU output byte for
+/// byte.
+pub fn chrome_trace_json_for_cpu(
+    cpu: CpuId,
+    records: &[TraceRecord],
+    freq: Freq,
     mut intr_name: impl FnMut(IntrSrc) -> String,
     mut thread_name: impl FnMut(ThreadId) -> String,
     markers: &[(Cycles, String)],
 ) -> String {
+    let pid = pid_of(cpu);
     let mut events: Vec<String> = Vec::with_capacity(records.len() + 8);
     for (tid, label) in [
         (TID_INTR, "interrupts"),
@@ -101,7 +126,7 @@ pub fn chrome_trace_json_with_markers(
         (TID_MARKER, "markers"),
     ] {
         events.push(format!(
-            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{PID},\"tid\":{tid},\
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
              \"args\":{{\"name\":\"{label}\"}}}}"
         ));
     }
@@ -114,14 +139,14 @@ pub fn chrome_trace_json_with_markers(
         match rec.event {
             TraceEvent::IntrEnter(src) => {
                 open.push(src);
-                push_event(&mut events, &intr_name(src), 'B', ts, TID_INTR, "");
+                push_event(&mut events, &intr_name(src), 'B', ts, pid, TID_INTR, "");
             }
             TraceEvent::IntrExit(src) => {
                 // A ring-truncated head can exit a frame whose enter was
                 // evicted; emitting the E would unbalance the track.
                 if open.last() == Some(&src) {
                     open.pop();
-                    push_event(&mut events, &intr_name(src), 'E', ts, TID_INTR, "");
+                    push_event(&mut events, &intr_name(src), 'E', ts, pid, TID_INTR, "");
                 }
             }
             TraceEvent::ThreadRun(t) => {
@@ -139,25 +164,26 @@ pub fn chrome_trace_json_with_markers(
                     &thread_name(t),
                     'X',
                     ts,
+                    pid,
                     TID_THREAD,
                     &format!(",\"dur\":{dur}"),
                 );
             }
             TraceEvent::Idle => {
-                push_event(&mut events, "idle", 'i', ts, TID_MARKER, ",\"s\":\"t\"");
+                push_event(&mut events, "idle", 'i', ts, pid, TID_MARKER, ",\"s\":\"t\"");
             }
             TraceEvent::External => {
-                push_event(&mut events, "external", 'i', ts, TID_MARKER, ",\"s\":\"t\"");
+                push_event(&mut events, "external", 'i', ts, pid, TID_MARKER, ",\"s\":\"t\"");
             }
         }
     }
     // Close frames still open at the end of the trace window.
     while let Some(src) = open.pop() {
-        push_event(&mut events, &intr_name(src), 'E', last_ts, TID_INTR, "");
+        push_event(&mut events, &intr_name(src), 'E', last_ts, pid, TID_INTR, "");
     }
     for (at, name) in markers {
         let ts = ts_micros(freq, *at);
-        push_event(&mut events, name, 'i', ts, TID_MARKER, ",\"s\":\"t\"");
+        push_event(&mut events, name, 'i', ts, pid, TID_MARKER, ",\"s\":\"t\"");
     }
 
     let mut out = String::from("{\"traceEvents\":[\n");

@@ -42,6 +42,15 @@ pub struct CostModel {
     /// Activating the network software interrupt (thread dispatch in
     /// Digital UNIX).
     pub softnet_dispatch: Cycles,
+    /// Body of an inter-processor interrupt handler: cross-CPU wakeup
+    /// delivery in the SMP model (the dispatch cost `intr_dispatch` is
+    /// charged on top, as for any interrupt).
+    pub ipi: Cycles,
+    /// Per-packet cost of the shared-`ipintrq` lock handoff and cache-line
+    /// transfer when more than one CPU feeds the queue — the COREC-style
+    /// contention the per-CPU polled path avoids. Charged once per
+    /// contending *sibling* CPU on the draining side.
+    pub smp_queue_lock: Cycles,
 
     // --- IP and transmit path ---
     /// Per-packet IP input + forwarding work: validate, route, ARP, rewrite
@@ -108,6 +117,8 @@ impl CostModel {
             rx_device_per_pkt: us(50),
             queue_op: us(8),
             softnet_dispatch: us(10),
+            ipi: us(15),
+            smp_queue_lock: us(20),
             ip_forward_per_pkt: us(100),
             tx_start_per_pkt: us(15),
             tx_done_per_pkt: us(25),
@@ -149,6 +160,8 @@ impl CostModel {
             rx_device_per_pkt: scale(base.rx_device_per_pkt),
             queue_op: scale(base.queue_op),
             softnet_dispatch: scale(base.softnet_dispatch),
+            ipi: scale(base.ipi),
+            smp_queue_lock: scale(base.smp_queue_lock),
             ip_forward_per_pkt: scale(base.ip_forward_per_pkt),
             tx_start_per_pkt: scale(base.tx_start_per_pkt),
             tx_done_per_pkt: scale(base.tx_done_per_pkt),
@@ -255,6 +268,8 @@ mod tests {
             base.ip_forward_per_pkt.raw() / 2
         );
         assert_eq!(fast.screend_per_pkt.raw(), base.screend_per_pkt.raw() / 2);
+        assert_eq!(fast.ipi.raw(), base.ipi.raw() / 2);
+        assert_eq!(fast.smp_queue_lock.raw(), base.smp_queue_lock.raw() / 2);
         // Clock geometry stays in wall-clock terms.
         assert_eq!(fast.clock_tick_interval, base.clock_tick_interval);
         assert_eq!(fast.quantum(), base.quantum());

@@ -1,4 +1,8 @@
-//! The preemptive single-CPU executor.
+//! The preemptive per-CPU executor.
+//!
+//! One [`Engine`] models one CPU; the [`cluster`](crate::cluster) module
+//! interleaves several of them into a deterministic SMP machine, each
+//! tagged with a [`CpuId`].
 //!
 //! Kernel code is modelled as *chunks* of cycles issued by a [`Workload`]:
 //! "IP-forward one packet" is one chunk, "reclaim one transmit descriptor"
@@ -33,6 +37,22 @@ use crate::ipl::Ipl;
 use crate::ledger::{CpuClass, CycleLedger};
 use crate::thread::{Scheduler, ThreadId, ThreadState};
 use crate::trace::{Trace, TraceEvent};
+
+/// Identifies one CPU in a machine topology.
+///
+/// The single-CPU experiments run everything on `CpuId(0)`; the SMP
+/// cluster gives each executor its own id, which is threaded through
+/// ledger snapshots, Chrome-trace track ids, telemetry series, and
+/// fault targeting so per-CPU data never degenerates into bare `usize`
+/// indexing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CpuId(pub usize);
+
+impl std::fmt::Display for CpuId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cpu{}", self.0)
+    }
+}
 
 /// An execution context the workload can be asked to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -202,6 +222,7 @@ pub struct EnvState<E> {
     evq: EvBackend<E>,
     events_dispatched: u64,
     usage: Usage,
+    cpu: CpuId,
 }
 
 #[derive(Clone, Debug, Default)]
@@ -273,7 +294,20 @@ impl<E> EnvState<E> {
             evq: EvBackend::new(kind),
             events_dispatched: 0,
             usage: Usage::default(),
+            cpu: CpuId(0),
         }
+    }
+
+    /// The CPU this state belongs to ([`CpuId(0)`](CpuId) outside an SMP
+    /// cluster).
+    pub fn cpu(&self) -> CpuId {
+        self.cpu
+    }
+
+    /// Tags this state (its ledger, counters, and traces) as belonging to
+    /// `cpu`. The SMP cluster calls this once per executor at build time.
+    pub fn set_cpu(&mut self, cpu: CpuId) {
+        self.cpu = cpu;
     }
 
     /// Current virtual time.
@@ -358,6 +392,11 @@ impl<'a, E> Env<'a, E> {
     /// Current virtual time (the "cycle counter register" of paper §7).
     pub fn now(&self) -> Cycles {
         self.st.now
+    }
+
+    /// The CPU this callback is running on.
+    pub fn cpu(&self) -> CpuId {
+        self.st.cpu
     }
 
     /// Schedules an event at absolute time `at`.

@@ -18,6 +18,8 @@
 
 use livelock_sim::{Cycles, Rng};
 
+use crate::cpu::CpuId;
+
 /// One injectable fault.
 ///
 /// Interface indices follow the paper's two-interface router convention:
@@ -144,9 +146,14 @@ pub struct FaultEvent {
 /// An empty plan is the default and injects nothing: a kernel built with
 /// it schedules no fault events, draws no randomness, and runs
 /// byte-identically to one built without a plan at all.
+///
+/// A plan also names the CPU it targets. On a single-CPU machine the
+/// target is always [`CpuId(0)`](CpuId); an SMP trial injects the plan
+/// only into the targeted CPU's kernel.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct FaultPlan {
     events: Vec<FaultEvent>,
+    target: CpuId,
 }
 
 /// Mean faults per unit of storm intensity (see [`FaultPlan::storm`]).
@@ -178,6 +185,17 @@ impl FaultPlan {
     /// The scheduled faults, in time order.
     pub fn events(&self) -> &[FaultEvent] {
         &self.events
+    }
+
+    /// The CPU this plan targets ([`CpuId(0)`](CpuId) by default).
+    pub fn target(&self) -> CpuId {
+        self.target
+    }
+
+    /// Retargets the plan at `cpu` (builder style).
+    pub fn on_cpu(mut self, cpu: CpuId) -> Self {
+        self.target = cpu;
+        self
     }
 
     /// Generates a seeded fault storm: roughly
@@ -300,6 +318,19 @@ mod tests {
         let a = FaultPlan::storm(1, 2.0, Cycles::new(0), Cycles::new(1_000_000));
         let b = FaultPlan::storm(2, 2.0, Cycles::new(0), Cycles::new(1_000_000));
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn plans_target_cpu0_unless_retargeted() {
+        let p = FaultPlan::storm(42, 1.0, Cycles::new(0), Cycles::new(1_000_000));
+        assert_eq!(p.target(), CpuId(0));
+        let p = p.on_cpu(CpuId(2));
+        assert_eq!(p.target(), CpuId(2));
+        // Retargeting changes identity (it selects a different kernel).
+        assert_ne!(
+            p,
+            FaultPlan::storm(42, 1.0, Cycles::new(0), Cycles::new(1_000_000))
+        );
     }
 
     #[test]

@@ -1,6 +1,7 @@
 #![warn(missing_docs)]
 
-//! A deterministic single-CPU machine model with interrupt priority levels.
+//! A deterministic machine model with interrupt priority levels: one
+//! preemptive CPU by default, N of them when clustered.
 //!
 //! Receive livelock is a *scheduling* pathology: it needs nothing more than
 //! a finite CPU, fixed interrupt priorities, preemption, and queues. This
@@ -24,6 +25,9 @@
 //!   cycles issued by a [`cpu::Workload`]; higher-IPL interrupts arriving
 //!   mid-chunk preempt it and resume it afterwards, nested arbitrarily
 //!   deep, with full cycle accounting per context.
+//! - [`cluster`] — the deterministic SMP interleaver: N per-CPU engines
+//!   advanced in fixed round-robin time slices, with cross-CPU signals
+//!   delivered only at slice boundaries so results stay bit-identical.
 //! - [`ledger`] — the conserved CPU-cycle ledger: every executed cycle
 //!   attributed to exactly one [`ledger::CpuClass`], with class totals
 //!   summing exactly to elapsed time.
@@ -38,6 +42,7 @@
 //! modified kernels as [`cpu::Workload`]s on top of this machine.
 
 pub mod chrome;
+pub mod cluster;
 pub mod cost;
 pub mod cpu;
 pub mod fault;
@@ -49,14 +54,17 @@ pub mod thread;
 pub mod trace;
 pub mod wire;
 
-pub use chrome::{chrome_trace_json, chrome_trace_json_with_markers, json_escape};
+pub use chrome::{
+    chrome_trace_json, chrome_trace_json_for_cpu, chrome_trace_json_with_markers, json_escape,
+};
+pub use cluster::Cluster;
 pub use cost::CostModel;
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
-pub use cpu::{Chunk, CtxKind, Engine, Env, SchedulerKind, UsageReport, Workload};
+pub use cpu::{Chunk, CpuId, CtxKind, Engine, Env, SchedulerKind, UsageReport, Workload};
 pub use intr::{IntrController, IntrSrc};
 pub use ipl::Ipl;
 pub use ledger::{CpuClass, CycleLedger};
-pub use nic::{Nic, NicConfig};
+pub use nic::{rss_hash, rss_queue, Nic, NicConfig, RssSteering};
 pub use thread::{Priority, Scheduler, ThreadId};
 pub use trace::{Trace, TraceEvent, TraceRecord};
 pub use wire::Wire;

@@ -13,6 +13,87 @@ use livelock_net::packet::Packet;
 use livelock_net::queue::{DropTailQueue, Enqueued};
 use std::collections::VecDeque;
 
+use crate::cpu::CpuId;
+
+/// RSS-style 5-tuple flow hash: FNV-1a over (src ip, dst ip, protocol,
+/// src port, dst port). Deterministic — no per-boot secret key — so the
+/// same flow always lands on the same receive queue, which is exactly the
+/// cache-affinity property hardware RSS provides.
+pub fn rss_hash(src_ip: u32, dst_ip: u32, proto: u8, src_port: u16, dst_port: u16) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut eat = |b: u8| {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    };
+    for b in src_ip.to_be_bytes() {
+        eat(b);
+    }
+    for b in dst_ip.to_be_bytes() {
+        eat(b);
+    }
+    eat(proto);
+    for b in src_port.to_be_bytes() {
+        eat(b);
+    }
+    for b in dst_port.to_be_bytes() {
+        eat(b);
+    }
+    h
+}
+
+/// The receive queue a 5-tuple hashes to, out of `nqueues`.
+pub fn rss_queue(src_ip: u32, dst_ip: u32, proto: u8, src_port: u16, dst_port: u16, nqueues: usize) -> usize {
+    assert!(nqueues > 0, "a NIC has at least one receive queue");
+    (rss_hash(src_ip, dst_ip, proto, src_port, dst_port) % nqueues as u64) as usize
+}
+
+/// Static receive-side-scaling plan for a multiqueue NIC: how many RX
+/// queues exist and which CPU each queue raises its interrupt on.
+///
+/// The default assignment is the identity (queue *q* interrupts CPU *q*),
+/// which is what the SMP experiments use; [`RssSteering::assign`] supports
+/// asymmetric mappings.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RssSteering {
+    assigned: Vec<CpuId>,
+}
+
+impl RssSteering {
+    /// A steering plan with `nqueues` queues, queue *q* assigned to CPU *q*.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `nqueues` is zero.
+    pub fn identity(nqueues: usize) -> Self {
+        assert!(nqueues > 0, "a NIC has at least one receive queue");
+        RssSteering {
+            assigned: (0..nqueues).map(CpuId).collect(),
+        }
+    }
+
+    /// Number of receive queues.
+    pub fn nqueues(&self) -> usize {
+        self.assigned.len()
+    }
+
+    /// Reassigns queue `q`'s interrupt to `cpu`.
+    pub fn assign(&mut self, q: usize, cpu: CpuId) {
+        self.assigned[q] = cpu;
+    }
+
+    /// The queue this 5-tuple's flow hashes to.
+    pub fn queue_of(&self, src_ip: u32, dst_ip: u32, proto: u8, src_port: u16, dst_port: u16) -> usize {
+        rss_queue(src_ip, dst_ip, proto, src_port, dst_port, self.nqueues())
+    }
+
+    /// The CPU queue `q` raises its receive interrupt on.
+    pub fn cpu_of(&self, q: usize) -> CpuId {
+        self.assigned[q]
+    }
+}
+
 /// Static configuration for one NIC.
 #[derive(Clone, Copy, Debug)]
 pub struct NicConfig {
@@ -105,6 +186,13 @@ impl Nic {
     /// Number of frames waiting in the receive ring.
     pub fn rx_pending(&self) -> usize {
         self.rx_ring.len()
+    }
+
+    /// Whether the receive ring has no free descriptor — the next
+    /// [`Nic::rx_arrive`] would drop. The SMP steal path checks this
+    /// before DMA to divert the frame instead of losing it.
+    pub fn rx_ring_is_full(&self) -> bool {
+        self.rx_ring.is_full()
     }
 
     /// Frames dropped because the receive ring was full.
@@ -346,5 +434,55 @@ mod tests {
         let c = NicConfig::default();
         assert_eq!(c.rx_ring, 32);
         assert_eq!(c.tx_ring, 32);
+    }
+
+    #[test]
+    fn rx_ring_full_flag_tracks_occupancy() {
+        let mut n = nic(); // rx_ring = 4
+        for i in 0..3 {
+            n.rx_arrive(pkt(i));
+        }
+        assert!(!n.rx_ring_is_full());
+        n.rx_arrive(pkt(3));
+        assert!(n.rx_ring_is_full());
+        n.rx_take();
+        assert!(!n.rx_ring_is_full());
+    }
+
+    #[test]
+    fn rss_hash_is_deterministic_and_flow_stable() {
+        let h = rss_hash(0x0a00_0002, 0x0a01_0063, 17, 5001, 9);
+        assert_eq!(h, rss_hash(0x0a00_0002, 0x0a01_0063, 17, 5001, 9));
+        // Different flows (almost surely) hash differently.
+        assert_ne!(h, rss_hash(0x0a00_0002, 0x0a01_0063, 17, 5002, 9));
+        // Queue choice is hash mod nqueues, stable per flow.
+        for nq in [1usize, 2, 4] {
+            let q = rss_queue(0x0a00_0002, 0x0a01_0063, 17, 5001, 9, nq);
+            assert!(q < nq);
+            assert_eq!(q, (h % nq as u64) as usize);
+        }
+    }
+
+    #[test]
+    fn rss_spreads_ports_across_queues() {
+        // A modest port range must not degenerate onto one queue.
+        let mut hits = [0usize; 4];
+        for port in 5000u16..5064 {
+            hits[rss_queue(0x0a00_0002, 0x0a01_0063, 17, port, 9, 4)] += 1;
+        }
+        assert!(hits.iter().all(|&h| h > 0), "some queue starved: {hits:?}");
+    }
+
+    #[test]
+    fn steering_identity_and_reassignment() {
+        let mut s = RssSteering::identity(4);
+        assert_eq!(s.nqueues(), 4);
+        for q in 0..4 {
+            assert_eq!(s.cpu_of(q), CpuId(q));
+        }
+        let q = s.queue_of(0x0a00_0002, 0x0a01_0063, 17, 5001, 9);
+        assert!(q < 4);
+        s.assign(3, CpuId(0));
+        assert_eq!(s.cpu_of(3), CpuId(0));
     }
 }

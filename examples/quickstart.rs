@@ -41,7 +41,7 @@ fn main() {
             r.ipintrq_drops + r.ifq_drops
         );
         println!("  mean latency   {:>8}", r.latency_mean);
-        println!("  interrupts     {:>8}\n", r.interrupts_taken);
+        println!("  interrupts     {:>8}\n", r.aggregate().interrupts_taken);
     }
 
     println!(

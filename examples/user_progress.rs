@@ -36,7 +36,7 @@ fn main() {
                     KernelConfig::builder().polled(Quota::Limited(5)).cycle_limit(t).user_process(true).build(),
                 )
             });
-            print!("{:>11.1}%", r.user_cpu_frac * 100.0);
+            print!("{:>11.1}%", r.aggregate().user_cpu_frac * 100.0);
             if t == 1.00 {
                 fwd_at_full = r.delivered_pps;
             }

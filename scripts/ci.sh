@@ -20,13 +20,18 @@
 #      graceful-degradation invariant (see `livelock chaos` exit codes)
 #   7  simlint found a non-baselined finding: a determinism,
 #      drop-accounting, interrupt-discipline, ledger-discipline,
-#      panic-freedom, or deprecated-config violation (run
+#      panic-freedom, deprecated-config, or smp-isolation violation (run
 #      `cargo run -p lint` for the per-rule exit code and report)
 #   8  the perf smoke failed: `perf --json` emitted a document that does
 #      not match the livelock-perf-trajectory/v1 schema, or its
 #      throughput fell more than 2x below what the committed
-#      BENCH_PR6.json predicts for a smoke-sized run (smaller shortfalls
+#      BENCH_PR7.json predicts for a smoke-sized run (smaller shortfalls
 #      only warn — wall-clock on a shared box is noisy)
+#   9  the SMP gate failed: figure S-1 violates the scaling claim (the
+#      polled path's MLFRR must scale >= 1.7x at 2 CPUs and >= 2.5x at 4,
+#      the shared-queue path must stay <= 1.2x / <= 1.3x, and every
+#      per-CPU cycle ledger must conserve), or figS_1.csv was not
+#      byte-identical across job counts
 #
 # Usage: scripts/ci.sh [--jobs N] [other flags...]
 #   --jobs N is validated here; any other flag is passed through to the
@@ -87,8 +92,10 @@ echo "== simlint: determinism / drop-accounting / interrupt-discipline =="
 # conventions the compiler cannot see: no wall-clock time or hash-ordered
 # maps in deterministic crates, record_drop as the only drop-counter
 # mutation path, interrupt handlers that only initiate polling, ledger
-# charges only at executor commit points, panic-free library code, and no
-# new callers of the deprecated KernelConfig constructors. Inline
+# charges only at executor commit points, panic-free library code, no
+# new callers of the deprecated KernelConfig constructors or TrialResult
+# scalar accessors, and cross-CPU state confined to the IPI/steal
+# channel files. Inline
 # `// simlint: allow(rule): reason` and crates/lint/baseline.txt cover the
 # sanctioned exceptions; anything fresh gates hard here.
 if "$repo/target/release/simlint" --root "$repo"; then
@@ -118,6 +125,9 @@ elif [ "$rc" -eq 4 ]; then
 elif [ "$rc" -eq 5 ]; then
     echo "ci: FAIL — fault gate: figure R-1 violates graceful degradation" >&2
     exit 5
+elif [ "$rc" -eq 6 ]; then
+    echo "ci: FAIL — SMP gate: figure S-1 violates the scaling claim" >&2
+    exit 9
 elif [ "$rc" -ne 0 ]; then
     echo "ci: FAIL — figures exited $rc" >&2
     exit 1
@@ -150,6 +160,20 @@ else
     exit 1
 fi
 
+echo "== determinism: figure S-1 byte-identical across job counts =="
+# The SMP figure's trials interleave up to four per-CPU engines through
+# the cluster's round-robin slices; the determinism contract extends to
+# that interleaving, so the rendered CSV must not depend on host job
+# count any more than the single-engine figures do.
+(cd "$scratch/j1" && "$repo/target/release/figures" --quick --fig S-1 --jobs 1) || exit 1
+(cd "$scratch/jN" && "$repo/target/release/figures" --quick --fig S-1 --jobs 4) || exit 1
+if cmp -s "$scratch/j1/results/figS_1.csv" "$scratch/jN/results/figS_1.csv"; then
+    echo "ci: figS_1.csv byte-identical at --jobs 1 and --jobs 4"
+else
+    echo "ci: FAIL — figS_1.csv differs between --jobs 1 and --jobs 4" >&2
+    exit 9
+fi
+
 echo "== committed results: full-fidelity figures byte-identical =="
 # The committed results/*.csv are the paper artifact; the calendar-backed
 # batched engine must reproduce every byte. Regenerate the full-fidelity
@@ -173,7 +197,7 @@ echo "== perf --json smoke: schema + soft regression gate =="
 # A smoke-sized perf-trajectory run (200 packets/trial vs the committed
 # artifact's 10000): validate the livelock-perf-trajectory/v1 schema
 # (including its documented stable field order) and soft-gate throughput
-# against the committed BENCH_PR6.json. Smoke runs amortize setup worse,
+# against the committed BENCH_PR7.json. Smoke runs amortize setup worse,
 # so the expected smoke throughput is about half the committed
 # events/sec; dipping below that prints a warning, and only a >2x
 # regression below it (i.e. under a quarter of the committed rate) exits
@@ -182,7 +206,7 @@ echo "== perf --json smoke: schema + soft regression gate =="
     echo "ci: FAIL — perf --json exited nonzero" >&2
     exit 8
 }
-if python3 - "$scratch/perf.json" "$repo/BENCH_PR6.json" <<'PYEOF'
+if python3 - "$scratch/perf.json" "$repo/BENCH_PR7.json" <<'PYEOF'
 import json, sys
 
 def ordered(path):
@@ -228,7 +252,7 @@ def check_doc(doc, name):
     return engines
 
 smoke_engines = check_doc(smoke, "smoke")
-committed_engines = check_doc(committed, "BENCH_PR6.json")
+committed_engines = check_doc(committed, "BENCH_PR7.json")
 print("ci: perf --json matches livelock-perf-trajectory/v1 (stable field order)")
 
 smoke_eps = get(smoke_engines[1], "events_per_sec")

@@ -170,7 +170,7 @@ fn cycle_limit_guarantees_user_progress() {
             n_packets: 2_000,
             ..TrialSpec::new(KernelConfig::builder().polled(Quota::Limited(5)).cycle_limit(thr).user_process(true).build())
         });
-        shares.push(r.user_cpu_frac);
+        shares.push(r.aggregate().user_cpu_frac);
     }
     // No limit (100%): starved, "no measurable progress".
     assert!(shares[3] < 0.05, "unlimited share {}", shares[3]);
@@ -212,7 +212,7 @@ fn trials_are_deterministic() {
     let b = run_trial(&spec);
     assert_eq!(a.transmitted, b.transmitted);
     assert_eq!(a.delivered_pps, b.delivered_pps);
-    assert_eq!(a.interrupts_taken, b.interrupts_taken);
+    assert_eq!(a.per_cpu(), b.per_cpu());
     assert_eq!(a.rx_ring_drops, b.rx_ring_drops);
 }
 
@@ -293,10 +293,10 @@ fn interrupt_rate_limiting_bounds_interrupt_count() {
         ..base
     });
     assert!(
-        limited.interrupts_taken < unlimited.interrupts_taken,
+        limited.aggregate().interrupts_taken < unlimited.aggregate().interrupts_taken,
         "limited {} !< unlimited {}",
-        limited.interrupts_taken,
-        unlimited.interrupts_taken
+        limited.aggregate().interrupts_taken,
+        unlimited.aggregate().interrupts_taken
     );
     // Batching replaces the lost interrupts; delivery stays comparable.
     assert!(

@@ -64,9 +64,9 @@ fn flood_starves_user_without_limit() {
             ..TrialSpec::new(cfg)
         });
         assert!(
-            r.user_cpu_frac < 0.05,
+            r.aggregate().user_cpu_frac < 0.05,
             "expected starvation, got {}",
-            r.user_cpu_frac
+            r.aggregate().user_cpu_frac
         );
         // Meanwhile the kernel still forwarded at its saturation rate.
         assert!(r.delivered_pps > 1_000.0);
@@ -96,7 +96,7 @@ fn limiter_with_screend_everyone_progresses() {
         "forwarding alive: {}",
         r.delivered_pps
     );
-    assert!(r.user_cpu_frac > 0.10, "user alive: {}", r.user_cpu_frac);
+    assert!(r.aggregate().user_cpu_frac > 0.10, "user alive: {}", r.aggregate().user_cpu_frac);
 }
 
 /// Tighter thresholds strictly trade forwarding for user CPU.
@@ -113,7 +113,7 @@ fn threshold_trades_forwarding_for_user_cpu() {
         });
         results.push(r);
     }
-    assert!(results[0].user_cpu_frac > results[1].user_cpu_frac);
+    assert!(results[0].aggregate().user_cpu_frac > results[1].aggregate().user_cpu_frac);
     assert!(results[0].delivered_pps < results[1].delivered_pps);
 }
 
