@@ -24,14 +24,18 @@
 //! unmodified kernel), 6 when figure S-1 violates the SMP-scaling claim
 //! (polled MLFRR must scale ≥ 1.7× at 2 CPUs and ≥ 2.5× at 4, while the
 //! shared-queue path stays ≤ 1.2× / ≤ 1.3×, with every per-CPU ledger
-//! conserved).
+//! conserved), 7 when figure O-1 violates the online-detection claim
+//! (the unmodified kernel must report a livelock-onset cycle above the
+//! MLFRR and starve tracked flows at deep overload, while the polled
+//! kernel with feedback reports neither at any swept rate).
 
 use std::fs;
 use std::path::Path;
 
 use livelock_bench::{
     all_figures, cpu_share_violations, fault_shape_violations, latency_shape_violations,
-    render_fig_r1, render_figure, shape_violations, smp_shape_violations, PAPER_TRIAL_PACKETS,
+    observe_shape_violations, render_fig_o1, render_fig_r1, render_figure, shape_violations,
+    smp_shape_violations, PAPER_TRIAL_PACKETS,
 };
 use livelock_kernel::par::{default_jobs, Parallelism};
 
@@ -72,6 +76,7 @@ fn main() {
     let mut cpu_violations = Vec::new();
     let mut fault_violations = Vec::new();
     let mut smp_violations = Vec::new();
+    let mut observe_violations = Vec::new();
     let write_csv = |rendered: &livelock_bench::RenderedFigure,
                          write_errors: &mut Vec<String>| {
         let path = out_dir.join(format!("fig{}.csv", rendered.id.replace('-', "_")));
@@ -112,6 +117,17 @@ fn main() {
         fault_violations.extend(fault_shape_violations(&rendered));
     }
 
+    // Figure O-1 plots the online detector's outputs (onset time and
+    // starved-flow count), so it too renders outside the inventory.
+    if only.is_none() || only.as_deref() == Some("O-1") {
+        eprintln!("rendering figure O-1 ({n_packets} packets/trial, {jobs} jobs)...");
+        let rendered = render_fig_o1(n_packets, Parallelism::Jobs(jobs));
+        print!("{}", rendered.to_table());
+        println!();
+        write_csv(&rendered, &mut write_errors);
+        observe_violations.extend(observe_shape_violations(&rendered));
+    }
+
     if !write_errors.is_empty() {
         eprintln!("CSV WRITE FAILURES:");
         for w in &write_errors {
@@ -123,6 +139,7 @@ fn main() {
         && cpu_violations.is_empty()
         && fault_violations.is_empty()
         && smp_violations.is_empty()
+        && observe_violations.is_empty()
     {
         eprintln!("all rendered figures match the paper's qualitative shapes");
     }
@@ -160,6 +177,13 @@ fn main() {
             eprintln!("  {v}");
         }
         std::process::exit(6);
+    }
+    if !observe_violations.is_empty() {
+        eprintln!("ONLINE-DETECTION VIOLATIONS:");
+        for v in &observe_violations {
+            eprintln!("  {v}");
+        }
+        std::process::exit(7);
     }
     if !write_errors.is_empty() {
         std::process::exit(1);

@@ -4,10 +4,12 @@
 //! livelock configs                      list kernel configurations
 //! livelock trial  --config polled --rate 8000 [--packets N] [--seed S] [--latency]
 //!                 [--ncpus N] [--steal] [--timeline out.csv] [--chrome-trace out.json]
+//!                 [--events out.jsonl] [--flamegraph out.folded]
 //! livelock sweep  --config unmodified,polled [--rates 1000,2000,...] [--jobs N] [--latency]
 //!                 [--ncpus N] [--steal]
 //! livelock mlfrr  --config polled [--loss-free 0.98] [--jobs N]
 //! livelock chaos  [--seed S] [--rate PPS] [--packets N] [--intensity F]
+//! livelock observe [--rate PPS] [--packets N] [--seed S]
 //! ```
 //!
 //! `trial` runs one paper-style measurement and prints the full breakdown,
@@ -16,7 +18,11 @@
 //! `--timeline out.csv` enables the clock-tick telemetry sampler and
 //! writes its time-series as CSV; `--chrome-trace out.json` records the
 //! machine's scheduling trace and writes Chrome-trace / Perfetto JSON for
-//! `chrome://tracing` or <https://ui.perfetto.dev>);
+//! `chrome://tracing` or <https://ui.perfetto.dev>; `--events out.jsonl`
+//! enables the observability layer and streams the online livelock
+//! detector's typed events as JSONL; `--flamegraph out.folded` writes the
+//! machine's per-(cpu, class, stage) cycle fold as collapsed-stack text
+//! for `inferno-flamegraph` / `flamegraph.pl`);
 //! `sweep` prints the (input rate, output rate) series a figure would
 //! plot (`--latency` adds a p99-latency column per config); `mlfrr`
 //! searches for the Maximum Loss Free Receive Rate by
@@ -36,6 +42,18 @@
 //! 7 when a scheduled fault never fired, 8 when the unmodified kernel
 //! failed to livelock under the same storm (the contrast half of the
 //! demonstration; expects the default overload `--rate`).
+//!
+//! `observe` runs the online livelock detector against both kernels at
+//! one overload rate (an eight-flow flood through screend, observability
+//! enabled) and asserts the detection claims. Exit status: 0 when every
+//! claim holds, 2 on bad arguments, 3 when the unmodified kernel
+//! produced no livelock-onset event (expects the default overload
+//! `--rate`, past the screend MLFRR), 4 when the polled kernel with
+//! feedback produced one, 5 when the per-flow starvation watch is broken
+//! (the livelocked kernel must starve at least half the tracked flows
+//! and strictly more than the polled kernel), 6 when a per-flow ledger
+//! failed to conserve (arrived ≠ delivered + dropped after the drain,
+//! or arrivals leaked to overflow/unattributed).
 
 use livelock_core::analysis::{
     classify, mlfrr_multisection, multisection_rounds, overload_stability, SweepPoint,
@@ -49,7 +67,7 @@ use livelock_machine::fault::FaultPlan;
 use livelock_kernel::experiment::sweep;
 use livelock_kernel::par::{default_jobs, par_map, Parallelism};
 use livelock_kernel::stats::{DropReason, Stage};
-use livelock_kernel::telemetry::TelemetryConfig;
+use livelock_kernel::telemetry::{ObsEventKind, ObserveConfig, TelemetryConfig};
 use livelock_machine::CpuClass;
 
 fn configs() -> Vec<(&'static str, &'static str)> {
@@ -209,8 +227,13 @@ fn cmd_trial(args: &Args) -> Result<(), String> {
     apply_topology(&mut cfg, args)?;
     let timeline_path = args.get("timeline");
     let trace_path = args.get("chrome-trace");
+    let events_path = args.get("events");
+    let flamegraph_path = args.get("flamegraph");
     if timeline_path.is_some() {
         cfg.telemetry = Some(TelemetryConfig::default());
+    }
+    if events_path.is_some() || flamegraph_path.is_some() {
+        cfg.observe = Some(ObserveConfig::default());
     }
     let freq = cfg.cost.freq;
     let spec = TrialSpec {
@@ -238,6 +261,24 @@ fn cmd_trial(args: &Args) -> Result<(), String> {
     if let (Some(path), Some(json)) = (trace_path, &chrome_json) {
         std::fs::write(path, json).map_err(|e| format!("writing {path:?}: {e}"))?;
         eprintln!("wrote Chrome trace to {path}");
+    }
+    if let Some(path) = events_path {
+        let mut out = String::new();
+        for ev in &r.events {
+            out.push_str(&ev.to_json(freq));
+            out.push('\n');
+        }
+        std::fs::write(path, out).map_err(|e| format!("writing {path:?}: {e}"))?;
+        eprintln!("wrote {} observability events to {path}", r.events.len());
+    }
+    if let Some(path) = flamegraph_path {
+        let fold = r
+            .fold
+            .as_ref()
+            .ok_or("observability produced no cycle fold despite being enabled")?;
+        std::fs::write(path, fold.folded(livelock_kernel::tag_label))
+            .map_err(|e| format!("writing {path:?}: {e}"))?;
+        eprintln!("wrote collapsed-stack cycle fold to {path}");
     }
     println!("config          {name}");
     println!("offered         {:>10.0} pkts/s", r.offered_pps);
@@ -590,12 +631,169 @@ fn cmd_chaos(args: &Args) -> Result<i32, String> {
     Ok(violations[0].0)
 }
 
+/// The online-detection run: both kernels face the identical eight-flow
+/// overload through screend with the observability layer on, the typed
+/// event streams and per-flow ledgers are printed, and the detection
+/// claims are asserted — first violated claim picks the exit code.
+fn cmd_observe(args: &Args) -> Result<i32, String> {
+    // The default rate sits past the screend path's MLFRR, where the
+    // unmodified kernel livelocks and the polled kernel holds its
+    // plateau — the separation the detector exists to time-stamp.
+    let rate = args.get_f64("rate", 12_000.0)?;
+    let n_packets = args.get_usize("packets", 6_000)?;
+    let seed = args.get_u64("seed", 1)?;
+    if !(rate > 0.0) {
+        return Err(format!("--rate: must be positive, got {rate}"));
+    }
+
+    let flows = livelock_bench::o1_flows();
+    let run = |name: &str| -> Result<TrialResult, String> {
+        let mut cfg = config_by_name(name).ok_or_else(|| format!("missing {name} config"))?;
+        cfg.observe = Some(ObserveConfig::default());
+        // The drained chaos-trial harness, fault-free: after its drain
+        // window every accepted packet has either been delivered or
+        // attributed to a drop, so the per-flow ledgers close exactly.
+        Ok(run_chaos_trial(&TrialSpec {
+            rate_pps: rate,
+            n_packets,
+            seed,
+            flows: Some(flows.clone()),
+            ..TrialSpec::new(cfg)
+        })
+        .result)
+    };
+    let unmod = run("screend")?;
+    let polled = run("feedback")?;
+    let freq = config_by_name("screend").ok_or("missing screend config")?.cost.freq;
+
+    let onset = |r: &TrialResult| {
+        r.events
+            .iter()
+            .find(|ev| matches!(ev.kind, ObsEventKind::LivelockOnset { .. }))
+            .map(|ev| ev.at)
+    };
+    let starved = |r: &TrialResult| {
+        r.events
+            .iter()
+            .filter(|ev| matches!(ev.kind, ObsEventKind::FlowStarved { .. }))
+            .count()
+    };
+
+    for (name, r) in [("unmodified+screend", &unmod), ("polled+feedback", &polled)] {
+        println!("{name}: delivered {:.0} pkts/s, {} events", r.delivered_pps, r.events.len());
+        for ev in &r.events {
+            println!("  {}", ev.to_json(freq));
+        }
+        println!(
+            "  {:<6} {:>8} {:>10} {:>8} {:>12}",
+            "flow", "arrived", "delivered", "dropped", "p99_us"
+        );
+        for s in r.per_flow() {
+            println!(
+                "  {:<6} {:>8} {:>10} {:>8} {:>12.1}",
+                s.key.src_port,
+                s.arrived,
+                s.delivered,
+                s.drops.total(),
+                if s.latency.is_empty() {
+                    0.0
+                } else {
+                    s.latency.quantile(0.99).as_micros_f64()
+                },
+            );
+        }
+        println!();
+    }
+
+    // The detection claims, most fundamental first.
+    let mut violations: Vec<(i32, String)> = Vec::new();
+    match onset(&unmod) {
+        Some(at) => println!(
+            "unmodified livelock onset at cycle {} ({:.1} us into the trial)",
+            at.raw(),
+            freq.nanos_from_cycles(at).as_micros_f64()
+        ),
+        None => violations.push((
+            3,
+            format!(
+                "unmodified kernel produced no livelock-onset event at {rate:.0} pkts/s \
+                 — is --rate below the screend MLFRR?"
+            ),
+        )),
+    }
+    if let Some(at) = onset(&polled) {
+        violations.push((
+            4,
+            format!(
+                "polled kernel with feedback reports livelock onset at cycle {}",
+                at.raw()
+            ),
+        ));
+    }
+    let (u_starved, p_starved) = (starved(&unmod), starved(&polled));
+    if u_starved < flows.len() / 2 || p_starved >= u_starved.max(1) {
+        violations.push((
+            5,
+            format!(
+                "starvation watch: unmodified starved {u_starved} of {} tracked flows, \
+                 polled starved {p_starved} — expected broad starvation under livelock \
+                 and strictly less under polling",
+                flows.len()
+            ),
+        ));
+    }
+    for (name, r) in [("unmodified", &unmod), ("polled", &polled)] {
+        let Some(reg) = &r.flows else {
+            violations.push((6, format!("{name} trial carried no flow registry")));
+            continue;
+        };
+        if reg.overflow_arrivals() != 0 || reg.unattributed_arrivals() != 0 {
+            violations.push((
+                6,
+                format!(
+                    "{name} registry leaked arrivals: {} overflow, {} unattributed \
+                     (eight flows must fit 128 slots and every flood frame parses)",
+                    reg.overflow_arrivals(),
+                    reg.unattributed_arrivals()
+                ),
+            ));
+        }
+        for s in r.per_flow() {
+            if s.arrived != s.delivered + s.drops.total() {
+                violations.push((
+                    6,
+                    format!(
+                        "{name} flow {} ledger does not close: {} arrived != {} delivered \
+                         + {} dropped",
+                        s.key.src_port,
+                        s.arrived,
+                        s.delivered,
+                        s.drops.total()
+                    ),
+                ));
+            }
+        }
+    }
+    if violations.is_empty() {
+        println!(
+            "all online-detection claims hold: onset timed on the unmodified kernel, \
+             none on the polled kernel, starvation contained, per-flow ledgers closed"
+        );
+        return Ok(0);
+    }
+    eprintln!("OBSERVE CLAIM VIOLATIONS:");
+    for (_, msg) in &violations {
+        eprintln!("  {msg}");
+    }
+    Ok(violations[0].0)
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let (cmd, rest) = match argv.split_first() {
         Some((c, r)) => (c.as_str(), r),
         None => {
-            eprintln!("usage: livelock <configs|trial|sweep|mlfrr|chaos> [--flag value]...");
+            eprintln!("usage: livelock <configs|trial|sweep|mlfrr|chaos|observe> [--flag value]...");
             std::process::exit(2);
         }
     };
@@ -609,6 +807,11 @@ fn main() {
         ("sweep", Ok(args)) => cmd_sweep(&args),
         ("mlfrr", Ok(args)) => cmd_mlfrr(&args),
         ("chaos", Ok(args)) => match cmd_chaos(&args) {
+            Ok(0) => Ok(()),
+            Ok(code) => std::process::exit(code),
+            Err(e) => Err(e),
+        },
+        ("observe", Ok(args)) => match cmd_observe(&args) {
             Ok(0) => Ok(()),
             Ok(code) => std::process::exit(code),
             Err(e) => Err(e),

@@ -4,6 +4,7 @@
 //! cargo run --release -p livelock-bench --bin perf [--packets N] [--jobs-list 1,2,4]
 //! cargo run --release -p livelock-bench --bin perf -- --json [--packets N]
 //! cargo run --release -p livelock-bench --bin perf -- --telemetry [--packets N]
+//! cargo run --release -p livelock-bench --bin perf -- --observe [--packets N]
 //! ```
 //!
 //! The default mode renders every figure at each job count in
@@ -31,9 +32,15 @@
 //! ratios, which cancels the slow clock-speed drift a shared box shows
 //! and is robust to individual scheduling hiccups.
 //!
+//! `--observe` is the same paired-overhead check for the per-flow
+//! observability layer (flow registry + livelock detector + cycle
+//! fold): enabling it must perturb nothing the trial measures, and its
+//! wall-clock cost — which includes a per-packet 5-tuple parse and
+//! registry update — gets a larger budget than the tick-driven sampler.
+//!
 //! Exit status: 0 on success, 1 when any job count's CSV output differs
-//! from the baseline's, when the telemetry check fails, or when the
-//! arguments are bad.
+//! from the baseline's, when the telemetry or observe check fails, or
+//! when the arguments are bad.
 
 use std::time::Instant;
 
@@ -42,7 +49,7 @@ use livelock_core::poller::Quota;
 use livelock_kernel::config::KernelConfig;
 use livelock_kernel::experiment::{run_trial, TrialSpec};
 use livelock_kernel::par::{default_jobs, Parallelism};
-use livelock_kernel::telemetry::TelemetryConfig;
+use livelock_kernel::telemetry::{ObserveConfig, TelemetryConfig};
 use livelock_machine::SchedulerKind;
 
 fn flag_value(args: &[String], name: &str) -> Option<String> {
@@ -61,6 +68,8 @@ struct PerfArgs {
     json: bool,
     /// Run the telemetry-overhead check instead.
     telemetry: bool,
+    /// Run the observability-overhead check instead.
+    observe: bool,
     /// Job counts to time (`None`: 1 plus available parallelism).
     jobs_list: Option<Vec<usize>>,
 }
@@ -100,12 +109,56 @@ fn parse_args(args: &[String]) -> Result<PerfArgs, String> {
         n_packets,
         json: args.iter().any(|a| a == "--json"),
         telemetry: args.iter().any(|a| a == "--telemetry"),
+        observe: args.iter().any(|a| a == "--observe"),
         jobs_list,
     })
 }
 
 /// Wall-clock budget the telemetry sampler may add to a trial.
 const TELEMETRY_OVERHEAD_BUDGET: f64 = 0.02;
+
+/// Wall-clock budget the observability layer may add to a trial. Larger
+/// than the sampler's: observation here is per packet (5-tuple parse,
+/// registry probe, fold update), not per clock tick. Measured ~5-7 %
+/// on a quiet machine; the budget leaves room for scheduler noise.
+const OBSERVE_OVERHEAD_BUDGET: f64 = 0.10;
+
+/// Rounds of paired timing per overhead check.
+const ROUNDS: usize = 3;
+/// Back-to-back off/on pairs per round.
+const PAIRS: usize = 15;
+
+/// Paired timing: each pair runs off then on back-to-back, so slow
+/// wall-clock drift hits both sides of a pair equally; the median of
+/// the per-pair ratios within a round shrugs off individual scheduling
+/// hiccups. The reported overhead takes the *minimum* of the round
+/// medians: that estimates the intrinsic cost from below — exactly what
+/// a budget check needs — and a shared box's upward noise must corrupt
+/// every round at once to produce a false failure. Returns
+/// `(overhead, round_medians, sum_off, sum_on)`.
+fn paired_overhead(off: &TrialSpec, on: &TrialSpec) -> (f64, [f64; ROUNDS], f64, f64) {
+    let time_once = |spec: &TrialSpec| {
+        let t0 = Instant::now();
+        std::hint::black_box(run_trial(spec));
+        t0.elapsed().as_secs_f64()
+    };
+    let mut medians = [0.0f64; ROUNDS];
+    let (mut sum_off, mut sum_on) = (0.0f64, 0.0f64);
+    for m in &mut medians {
+        let mut ratios = [0.0f64; PAIRS];
+        for r in &mut ratios {
+            let t_off = time_once(off);
+            let t_on = time_once(on);
+            sum_off += t_off;
+            sum_on += t_on;
+            *r = t_on / t_off;
+        }
+        ratios.sort_by(f64::total_cmp);
+        *m = ratios[PAIRS / 2] - 1.0;
+    }
+    let overhead = medians.iter().copied().fold(f64::INFINITY, f64::min);
+    (overhead, medians, sum_off, sum_on)
+}
 
 /// The `--telemetry` mode: sampler-off vs sampler-on overload trials.
 /// Returns the process exit code.
@@ -142,36 +195,7 @@ fn telemetry_overhead(n_packets: usize) -> i32 {
         return 1;
     }
 
-    // Paired timing: each pair runs off then on back-to-back, so slow
-    // wall-clock drift hits both sides of a pair equally; the median of
-    // the per-pair ratios within a round shrugs off individual
-    // scheduling hiccups. The budget check then takes the *minimum* of
-    // several round medians: that estimates the sampler's intrinsic
-    // cost from below — exactly what a budget check needs — and a
-    // shared box's upward noise must corrupt every round at once to
-    // produce a false failure.
-    let time_once = |spec: &TrialSpec| {
-        let t0 = Instant::now();
-        std::hint::black_box(run_trial(spec));
-        t0.elapsed().as_secs_f64()
-    };
-    const ROUNDS: usize = 3;
-    const PAIRS: usize = 15;
-    let mut medians = [0.0f64; ROUNDS];
-    let (mut sum_off, mut sum_on) = (0.0f64, 0.0f64);
-    for m in &mut medians {
-        let mut ratios = [0.0f64; PAIRS];
-        for r in &mut ratios {
-            let t_off = time_once(&off);
-            let t_on = time_once(&on);
-            sum_off += t_off;
-            sum_on += t_on;
-            *r = t_on / t_off;
-        }
-        ratios.sort_by(f64::total_cmp);
-        *m = ratios[PAIRS / 2] - 1.0;
-    }
-    let overhead = medians.iter().copied().fold(f64::INFINITY, f64::min);
+    let (overhead, medians, sum_off, sum_on) = paired_overhead(&off, &on);
     let runs = (ROUNDS * PAIRS) as f64;
     println!("telemetry overhead ({n_packets} packets/trial, 12000 pkts/s, {samples} samples)");
     println!("  sampler off  {:>8.1} ms (mean of {:.0})", sum_off / runs * 1e3, runs);
@@ -190,6 +214,73 @@ fn telemetry_overhead(n_packets: usize) -> i32 {
     println!("  results unperturbed: every measured field identical");
     if overhead > TELEMETRY_OVERHEAD_BUDGET {
         eprintln!("error: telemetry sampler overhead exceeds the budget");
+        return 1;
+    }
+    0
+}
+
+/// The `--observe` mode: observability-off vs observability-on overload
+/// trials — same paired protocol as `--telemetry`, with the per-packet
+/// budget. Returns the process exit code.
+fn observe_overhead(n_packets: usize) -> i32 {
+    let off = TrialSpec {
+        rate_pps: 12_000.0,
+        n_packets,
+        ..TrialSpec::new(KernelConfig::builder().polled(Quota::Limited(10)).build())
+    };
+    let on = TrialSpec {
+        config: KernelConfig::builder()
+            .polled(Quota::Limited(10))
+            .observe(ObserveConfig::default())
+            .build(),
+        ..off.clone()
+    };
+    let r_off = run_trial(&off);
+    let mut r_on = run_trial(&on);
+
+    // Zero perturbation: the registry, detector and fold observe; they
+    // must not act. Every measured field is identical; only the
+    // observability outputs themselves differ.
+    if r_off.flows.is_some() || !r_off.events.is_empty() || r_off.fold.is_some() {
+        eprintln!("error: observe-off trial carried observability state");
+        return 1;
+    }
+    let tracked = r_on.flows.as_ref().map_or(0, |f| f.len());
+    if tracked == 0 {
+        eprintln!("error: observe-on trial attributed no flow");
+        return 1;
+    }
+    if r_on.fold.as_ref().is_none_or(|f| f.is_empty()) {
+        eprintln!("error: observe-on trial recorded no cycle fold");
+        return 1;
+    }
+    r_on.flows = None;
+    r_on.events = Vec::new();
+    r_on.fold = None;
+    if r_on != r_off {
+        eprintln!("error: enabling the observability layer changed trial results");
+        return 1;
+    }
+
+    let (overhead, medians, sum_off, sum_on) = paired_overhead(&off, &on);
+    let runs = (ROUNDS * PAIRS) as f64;
+    println!("observability overhead ({n_packets} packets/trial, 12000 pkts/s, {tracked} flows)");
+    println!("  observe off  {:>8.1} ms (mean of {:.0})", sum_off / runs * 1e3, runs);
+    println!("  observe on   {:>8.1} ms (mean of {:.0})", sum_on / runs * 1e3, runs);
+    for (i, m) in medians.iter().enumerate() {
+        println!(
+            "  round {i}      {:>8.2} %  (median of {PAIRS} paired ratios)",
+            m * 100.0
+        );
+    }
+    println!(
+        "  overhead     {:>8.2} %  (min of {ROUNDS} round medians, budget {:.0} %)",
+        overhead * 100.0,
+        OBSERVE_OVERHEAD_BUDGET * 100.0
+    );
+    println!("  results unperturbed: every measured field identical");
+    if overhead > OBSERVE_OVERHEAD_BUDGET {
+        eprintln!("error: observability-layer overhead exceeds the budget");
         return 1;
     }
     0
@@ -306,6 +397,9 @@ fn main() {
     if parsed.telemetry {
         std::process::exit(telemetry_overhead(n_packets.max(10_000)));
     }
+    if parsed.observe {
+        std::process::exit(observe_overhead(n_packets.max(10_000)));
+    }
     if parsed.json {
         let jobs = parsed.jobs_list.as_ref().map_or(1, |l| l[0]);
         print!("{}", perf_trajectory_json(n_packets, jobs));
@@ -397,6 +491,7 @@ mod tests {
         assert!(p.json);
         assert_eq!(p.jobs_list, Some(vec![1, 2, 4]));
         assert!(parse_args(&argv(&["--telemetry"])).unwrap().telemetry);
+        assert!(parse_args(&argv(&["--observe"])).unwrap().observe);
     }
 
     #[test]

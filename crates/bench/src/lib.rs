@@ -10,6 +10,7 @@ use livelock_core::analysis::{classify, mlfrr, overload_stability, LivelockVerdi
 use livelock_core::poller::Quota;
 use livelock_kernel::config::KernelConfig;
 use livelock_kernel::experiment::{run_trial, sweep, SweepResult, TrialSpec};
+use livelock_kernel::telemetry::{ObsEventKind, ObserveConfig};
 use livelock_kernel::par::{par_map, Parallelism};
 use livelock_machine::fault::FaultPlan;
 use livelock_machine::{CpuClass, SchedulerKind};
@@ -35,6 +36,14 @@ pub enum Axis {
     /// The payload is the [`CpuId`](livelock_machine::CpuId) index; a
     /// trial with fewer CPUs plots 0.
     PerCpuBusyPercent(u8),
+    /// Simulated milliseconds from trial start to the online detector's
+    /// first `LivelockOnset` event; 0 when the trial never livelocked
+    /// (figure O-1). Requires the observability layer
+    /// ([`KernelConfig::observe`](livelock_kernel::config::KernelConfig::observe)).
+    LivelockOnsetMillis,
+    /// Number of distinct flows the online detector flagged as starved
+    /// (`FlowStarved` fires once per flow), as a count (figure O-1).
+    StarvedFlows,
 }
 
 /// One figure: an id, a caption, curves, the swept input rates, and the
@@ -435,6 +444,22 @@ impl RenderedFigure {
                 .per_cpu()
                 .get(k as usize)
                 .map_or(0.0, |c| (1.0 - c.cpu_share[CpuClass::Idle.index()]) * 100.0),
+            Axis::LivelockOnsetMillis => t
+                .events
+                .iter()
+                .find(|ev| matches!(ev.kind, ObsEventKind::LivelockOnset { .. }))
+                .map_or(0.0, |ev| {
+                    // Every committed figure runs the default calibrated
+                    // cost model, so its frequency converts the onset
+                    // cycle-stamp to simulated time.
+                    let freq = KernelConfig::builder().build().cost.freq;
+                    freq.nanos_from_cycles(ev.at).as_micros_f64() / 1_000.0
+                }),
+            Axis::StarvedFlows => t
+                .events
+                .iter()
+                .filter(|ev| matches!(ev.kind, ObsEventKind::FlowStarved { .. }))
+                .count() as f64,
         }
     }
 
@@ -646,6 +671,187 @@ pub fn render_fig_r1(n_packets: usize, par: Parallelism) -> RenderedFigure {
         curve_axes: curve_defs.iter().map(|&(_, _, a)| a).collect(),
         x_label: "fault_intensity",
     }
+}
+
+/// The offered rates figure O-1 sweeps: from well under the screend
+/// path's MLFRR (≈ 2000 pkts/s) to deep overload, so the onset curve
+/// shows livelock arriving earlier as load climbs past the knee.
+pub fn o1_rates() -> Vec<f64> {
+    vec![1_000.0, 2_000.0, 4_000.0, 6_000.0, 8_000.0, 10_000.0, 12_000.0]
+}
+
+/// The fixed eight-flow port set every O-1 trial cycles its packets
+/// through: enough distinct flows that the starved-flow count carries
+/// signal, few enough that each flow still sees a loaded detector
+/// window at every swept rate.
+pub fn o1_flows() -> Vec<u16> {
+    (0..8).map(|i| 6_000 + i * 17).collect()
+}
+
+/// Figure O-1: online livelock detection. Time-to-livelock-onset (in
+/// simulated milliseconds; 0 = never) and starved-flow count versus
+/// offered load, unmodified vs polled-with-feedback, both routing
+/// through screend with the observability layer enabled. Rendered
+/// outside [`all_figures`] because its y-axes are detector outputs, not
+/// throughput.
+pub fn render_fig_o1(n_packets: usize, par: Parallelism) -> RenderedFigure {
+    let unmod = KernelConfig::builder()
+        .screend(Default::default())
+        .observe(ObserveConfig::default())
+        .build();
+    let polled = KernelConfig::builder()
+        .polled(Quota::Limited(10))
+        .screend(Default::default())
+        .feedback(Default::default())
+        .observe(ObserveConfig::default())
+        .build();
+    let curve_defs: Vec<(String, KernelConfig, Axis)> = vec![
+        ("Unmodified onset".into(), unmod.clone(), Axis::LivelockOnsetMillis),
+        (
+            "Polling w/feedback onset".into(),
+            polled.clone(),
+            Axis::LivelockOnsetMillis,
+        ),
+        ("Unmodified starved flows".into(), unmod, Axis::StarvedFlows),
+        ("Polling w/feedback starved flows".into(), polled, Axis::StarvedFlows),
+    ];
+    let rates = o1_rates();
+    let work: Vec<(usize, f64)> = curve_defs
+        .iter()
+        .enumerate()
+        .flat_map(|(ci, _)| rates.iter().map(move |&r| (ci, r)))
+        .collect();
+    let mut trials = par_map(&work, par.jobs(), |&(ci, rate_pps)| {
+        let (_, cfg, _) = &curve_defs[ci];
+        run_trial(&TrialSpec {
+            rate_pps,
+            n_packets,
+            flows: Some(o1_flows()),
+            ..TrialSpec::new(cfg.clone())
+        })
+    })
+    .into_iter();
+    let curves = curve_defs
+        .iter()
+        .map(|(label, _, _)| SweepResult {
+            label: label.clone(),
+            trials: trials.by_ref().take(rates.len()).collect(),
+        })
+        .collect();
+    RenderedFigure {
+        id: "O-1",
+        caption: "Online livelock detection: onset time and starved flows vs offered load",
+        rates,
+        curves,
+        axis: Axis::LivelockOnsetMillis,
+        curve_axes: curve_defs.iter().map(|&(_, _, a)| a).collect(),
+        x_label: "input_pps",
+    }
+}
+
+/// Checks the rendered observability figure (O-1) against the online
+/// detector's claims. Returns human-readable violations (empty = the
+/// claims hold):
+///
+/// - the unmodified kernel shows no onset below the screend MLFRR and a
+///   positive onset cycle-stamp at the heaviest load — and once a swept
+///   rate livelocks, every heavier rate does too;
+/// - the polled kernel with feedback never produces an onset at any
+///   swept rate (livelock avoidance), and never starves more flows than
+///   the unmodified kernel does at the same rate (the feedback gate may
+///   leave a flow briefly unserved, but must not be *worse* than
+///   livelock);
+/// - at the heaviest load the unmodified kernel starves at least half
+///   the tracked flow set (under livelock nothing is served, so the
+///   per-flow watch must fire broadly) and strictly more flows than the
+///   polled kernel.
+pub fn observe_shape_violations(r: &RenderedFigure) -> Vec<String> {
+    let mut v = Vec::new();
+    if r.id != "O-1" {
+        return v;
+    }
+    let find = |needle: &str| {
+        r.curves
+            .iter()
+            .position(|c| c.label.to_lowercase().contains(needle))
+    };
+    let (Some(u_on), Some(p_on), Some(u_st), Some(p_st)) = (
+        find("unmodified onset"),
+        find("feedback onset"),
+        find("unmodified starved"),
+        find("feedback starved"),
+    ) else {
+        v.push(format!(
+            "fig {}: needs unmodified and polling-with-feedback onset and starved-flow curves",
+            r.id
+        ));
+        return v;
+    };
+    let last = r.rates.len() - 1;
+    if r.value(u_on, 0) != 0.0 {
+        v.push(format!(
+            "fig {}: unmodified kernel reports livelock onset at {:.0} pkts/s, \
+             below the screend MLFRR",
+            r.id, r.rates[0]
+        ));
+    }
+    if r.value(u_on, last) <= 0.0 {
+        v.push(format!(
+            "fig {}: unmodified kernel reports no livelock onset at {:.0} pkts/s \
+             (deep overload)",
+            r.id, r.rates[last]
+        ));
+    }
+    if let Some(first) = (0..r.rates.len()).find(|&pi| r.value(u_on, pi) > 0.0) {
+        for pi in first..r.rates.len() {
+            if r.value(u_on, pi) <= 0.0 {
+                v.push(format!(
+                    "fig {}: unmodified kernel livelocks at {:.0} pkts/s but not at \
+                     the heavier {:.0} pkts/s",
+                    r.id, r.rates[first], r.rates[pi]
+                ));
+            }
+        }
+    }
+    for pi in 0..r.rates.len() {
+        if r.value(p_on, pi) != 0.0 {
+            v.push(format!(
+                "fig {}: polled kernel reports livelock onset at {:.0} pkts/s",
+                r.id, r.rates[pi]
+            ));
+        }
+        if r.value(p_st, pi) > r.value(u_st, pi) {
+            v.push(format!(
+                "fig {}: polled kernel starves more flows than unmodified at \
+                 {:.0} pkts/s ({:.0} vs {:.0})",
+                r.id,
+                r.rates[pi],
+                r.value(p_st, pi),
+                r.value(u_st, pi)
+            ));
+        }
+    }
+    let half_flows = o1_flows().len() as f64 / 2.0;
+    if r.value(u_st, last) < half_flows {
+        v.push(format!(
+            "fig {}: unmodified kernel starves only {:.0} flows at {:.0} pkts/s \
+             (livelock serves nothing, so the per-flow watch must fire broadly)",
+            r.id,
+            r.value(u_st, last),
+            r.rates[last]
+        ));
+    }
+    if r.value(p_st, last) >= r.value(u_st, last) {
+        v.push(format!(
+            "fig {}: polled kernel starves as many flows as unmodified at \
+             {:.0} pkts/s ({:.0} vs {:.0})",
+            r.id,
+            r.rates[last],
+            r.value(p_st, last),
+            r.value(u_st, last)
+        ));
+    }
+    v
 }
 
 /// Convenience for benches: a single trial of a figure's first curve at a
@@ -1080,6 +1286,9 @@ mod tests {
             timeline: None,
             pool: Default::default(),
             fault: Default::default(),
+            flows: None,
+            events: Vec::new(),
+            fold: None,
         };
         let rates = vec![2_000.0, 6_000.0, 12_000.0];
         let plateau: Vec<_> = rates.iter().map(|&r| fake_trial(r, 4_000.0_f64.min(r))).collect();
@@ -1208,5 +1417,44 @@ mod tests {
         let csv = r.to_csv();
         assert!(csv.starts_with("fault_intensity,"), "{csv}");
         assert!(csv.contains("\n0.50,"), "{csv}");
+    }
+
+    #[test]
+    fn observe_figure_detects_onset_online() {
+        // A small O-1 render: the online detector separates the kernels
+        // without waiting for end-of-trial aggregates.
+        let r = render_fig_o1(2_000, Parallelism::Auto);
+        assert_eq!(r.id, "O-1");
+        assert_eq!(r.x_label, "input_pps");
+        assert_eq!(r.rates, o1_rates());
+        assert_eq!(r.curves.len(), 4);
+        assert_eq!(r.curve_axes.len(), 4);
+        let v = observe_shape_violations(&r);
+        assert!(v.is_empty(), "{v:?}");
+        // Every O-1 trial tracks the full eight-flow set and attributes
+        // every arrival (no registry overflow at 8 flows / 128 slots).
+        for c in &r.curves {
+            for t in &c.trials {
+                let reg = t.flows.as_ref().expect("observe enables the registry");
+                assert_eq!(t.per_flow().len(), o1_flows().len(), "{}", c.label);
+                assert_eq!(reg.overflow_arrivals(), 0, "{}", c.label);
+            }
+        }
+        // The checker really checks: swapping the kernels must trip it.
+        let mut swapped = r;
+        swapped.curves.swap(0, 1);
+        swapped.curves.swap(2, 3);
+        for (i, label) in [
+            "Unmodified onset",
+            "Polling w/feedback onset",
+            "Unmodified starved flows",
+            "Polling w/feedback starved flows",
+        ]
+        .iter()
+        .enumerate()
+        {
+            swapped.curves[i].label = (*label).into();
+        }
+        assert!(!observe_shape_violations(&swapped).is_empty());
     }
 }

@@ -7,7 +7,7 @@ use livelock_machine::fault::FaultPlan;
 use livelock_machine::nic::NicConfig;
 use livelock_net::filter::Filter;
 
-use crate::telemetry::TelemetryConfig;
+use crate::telemetry::{ObserveConfig, TelemetryConfig};
 
 /// Which forwarding-path implementation the kernel runs.
 #[derive(Clone, Debug)]
@@ -209,6 +209,12 @@ pub struct KernelConfig {
     /// Periodic telemetry sampling (`None` = off, the default: no timeline
     /// is recorded and the clock-tick path pays nothing).
     pub telemetry: Option<TelemetryConfig>,
+    /// Per-flow observability: the flow metrics registry, the online
+    /// livelock detector, and the cycle-ledger flamegraph fold (`None` =
+    /// off, the default: no registry is allocated, packets carry no flow
+    /// key, the clock tick runs no detector, and the run is
+    /// bit-identical to one without the observability subsystem).
+    pub observe: Option<ObserveConfig>,
     /// Scheduled fault injection (`None` or an empty plan = off, the
     /// default: no fault events are scheduled, no recovery machinery is
     /// armed, and the run is byte-identical to one without the fault
@@ -241,6 +247,7 @@ impl KernelConfig {
             topology: Topology::default(),
             latency_tracking: true,
             telemetry: None,
+            observe: None,
             faults: None,
             scheduler: SchedulerKind::default(),
             cost: CostModel::calibrated(),
@@ -515,6 +522,14 @@ impl KernelConfigBuilder {
     /// Enables the periodic telemetry sampler (off by default).
     pub fn telemetry(mut self, cfg: TelemetryConfig) -> Self {
         self.cfg.telemetry = Some(cfg);
+        self
+    }
+
+    /// Enables the per-flow observability layer (off by default): the
+    /// flow metrics registry, the online livelock detector, and the
+    /// cycle-ledger flamegraph fold.
+    pub fn observe(mut self, cfg: ObserveConfig) -> Self {
+        self.cfg.observe = Some(cfg);
         self
     }
 

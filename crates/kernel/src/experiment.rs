@@ -20,6 +20,7 @@ use livelock_core::analysis::SweepPoint;
 use livelock_machine::chrome_trace_json_with_markers;
 use livelock_machine::cluster::{Cluster, DEFAULT_SLICE};
 use livelock_machine::cpu::{CpuId, Engine};
+use livelock_machine::fold::CycleFold;
 use livelock_machine::ledger::CpuClass;
 use livelock_machine::nic::rss_queue;
 use livelock_machine::trace::TraceRecord;
@@ -31,11 +32,12 @@ use livelock_net::pool::{FramePool, PoolStats};
 use livelock_sim::{Cycles, Nanos};
 
 use crate::config::KernelConfig;
+use crate::flows::{FlowRegistry, FlowStats};
 use crate::par::Parallelism;
 use crate::router::smp::{SmpCtx, SmpShared};
 use crate::router::{Event, RouterKernel};
 use crate::stats::{DropStats, FaultStats, LatencyStats};
-use crate::telemetry::Timeline;
+use crate::telemetry::{ObsEvent, Timeline};
 
 /// One trial's parameters.
 #[derive(Clone, Debug)]
@@ -49,6 +51,12 @@ pub struct TrialSpec {
     /// Fraction of the trial treated as warm-up and excluded from the
     /// measurement window.
     pub warmup_frac: f64,
+    /// UDP source ports to cycle packets through, making each port one
+    /// flow for per-flow accounting and RSS steering. `None` keeps the
+    /// historical default: the factory's single fixed port on one CPU, a
+    /// deterministic 64-flow balanced set on SMP — so existing specs are
+    /// bit-identical.
+    pub flows: Option<Vec<u16>>,
     /// The kernel under test.
     pub config: KernelConfig,
 }
@@ -61,6 +69,7 @@ impl TrialSpec {
             n_packets: 10_000,
             seed: 1,
             warmup_frac: 0.1,
+            flows: None,
             config,
         }
     }
@@ -156,12 +165,33 @@ pub struct TrialResult {
     /// Fault-injection and recovery counters (all zero when the config
     /// carries no fault plan).
     pub fault: FaultStats,
+    /// The per-flow registry (merged across CPUs on SMP), when the
+    /// spec's [`KernelConfig::observe`](crate::config::KernelConfig::observe)
+    /// enabled the observability layer (`None` otherwise).
+    pub flows: Option<FlowRegistry>,
+    /// The livelock detector's typed event stream, ordered by
+    /// `(cycle, cpu)` — empty unless observability was enabled.
+    pub events: Vec<ObsEvent>,
+    /// The machine's `(cpu, class, chunk-tag)` cycle fold for flamegraph
+    /// export (merged across CPUs on SMP) — `None` unless observability
+    /// was enabled.
+    pub fold: Option<CycleFold>,
 }
 
 impl TrialResult {
     /// This trial as a sweep point.
     pub fn point(&self) -> SweepPoint {
         SweepPoint::new(self.offered_pps, self.delivered_pps)
+    }
+
+    /// Per-flow statistics sorted by flow key, completing the
+    /// stats-dimension API next to [`TrialResult::per_cpu`] and
+    /// [`TrialResult::aggregate`]. Empty when observability was off.
+    pub fn per_flow(&self) -> Vec<&FlowStats> {
+        match &self.flows {
+            Some(reg) => reg.per_flow(),
+            None => Vec::new(),
+        }
     }
 
     /// Per-CPU execution statistics in [`CpuId`] order (one entry on a
@@ -238,7 +268,11 @@ impl TrialResult {
 /// fails.
 pub fn run_trial(spec: &TrialSpec) -> TrialResult {
     if spec.config.topology.ncpus > 1 {
-        return run_smp_trial(spec, &balanced_flows());
+        let flows = match &spec.flows {
+            Some(f) => f.clone(),
+            None => balanced_flows(),
+        };
+        return run_smp_trial(spec, &flows);
     }
     run_trial_engine(spec, None, Cycles::ZERO).0
 }
@@ -270,6 +304,10 @@ fn run_trial_engine(
 ) -> (TrialResult, Option<String>, Engine<RouterKernel>) {
     assert!(spec.n_packets > 0, "trial needs packets");
     assert!(spec.rate_pps > 0.0, "trial needs a positive rate");
+    assert!(
+        spec.flows.as_ref().map_or(true, |f| !f.is_empty()),
+        "trial needs at least one flow"
+    );
 
     let cfg = spec.config.clone();
     let freq = cfg.cost.freq;
@@ -290,7 +328,10 @@ fn run_trial_engine(
     let mut times = gen.arrival_times(Cycles::ZERO, spec.n_packets);
     Wire::ethernet_10m(freq).pace(&mut times, MIN_FRAME_LEN);
     let mut factory = PacketFactory::paper_testbed().with_pool(pool.clone());
-    for &t in &times {
+    for (i, &t) in times.iter().enumerate() {
+        if let Some(fl) = &spec.flows {
+            factory.src_port = fl[i % fl.len()];
+        }
         let pkt = factory.next_packet();
         engine.state_schedule(t, Event::RxArrive { iface: 0, pkt: Box::new(pkt) });
     }
@@ -328,7 +369,23 @@ fn run_trial_engine(
 
     let interrupts_taken = engine.state().intr.total_taken();
     engine.workload_mut().sync_pool_stats();
-    let markers = engine.workload_mut().take_fault_markers();
+    // Observability export: drain the detector's event stream (it also
+    // feeds the chrome-trace markers), give a too-short timeline its
+    // drain-time sample, and snapshot the cycle fold.
+    let end_now = engine.state().now();
+    let end_ledger = engine.state().ledger();
+    engine
+        .workload_mut()
+        .finalize_timeline(end_now, end_ledger, interrupts_taken);
+    let obs_events = engine.workload_mut().take_obs_events();
+    let fold = engine.state().fold().cloned();
+    let mut markers = engine.workload_mut().take_fault_markers();
+    markers.extend(
+        obs_events
+            .iter()
+            .map(|ev| (ev.at, format!("{} (cpu{})", ev.kind.label(), ev.cpu.0))),
+    );
+    markers.sort_by_key(|&(at, _)| at.raw());
     let chrome_json = engine.trace().map(|t| {
         let records: Vec<TraceRecord> = t.records().copied().collect();
         let st = engine.state();
@@ -370,6 +427,9 @@ fn run_trial_engine(
         timeline: stats.timeline.clone(),
         pool: stats.pool.unwrap_or_default(),
         fault: stats.fault,
+        flows: stats.flows.clone(),
+        events: obs_events,
+        fold,
     };
     (result, chrome_json, engine)
 }
@@ -485,6 +545,7 @@ fn run_smp_trial(spec: &TrialSpec, flows: &[u16]) -> TrialResult {
         if let Some(tl) = &mut kernel.stats_mut().timeline {
             tl.set_cpu(CpuId(k));
         }
+        kernel.set_observe_cpu(CpuId(k));
         kernel.stats_mut().set_window(window_start, window_end);
         let mut engine = Engine::new(st, kernel, ctx_switch);
         for (j, &t) in queue_times[k].iter().enumerate() {
@@ -536,6 +597,34 @@ fn run_smp_trial(spec: &TrialSpec, flows: &[u16]) -> TrialResult {
 
     let mut engines = cluster.into_engines();
     engines[0].workload_mut().sync_pool_stats();
+
+    // Observability roll-up: per-CPU event streams interleaved by
+    // (cycle, cpu), per-CPU registries and folds merged — both merges are
+    // order-independent, so the result is the same no matter which CPU
+    // finished first.
+    let mut obs_events: Vec<ObsEvent> = Vec::new();
+    let mut fold: Option<CycleFold> = None;
+    let mut flow_reg: Option<FlowRegistry> = None;
+    for e in engines.iter_mut() {
+        let now = e.state().now();
+        let ledger = e.state().ledger();
+        let taken = e.state().intr.total_taken();
+        e.workload_mut().finalize_timeline(now, ledger, taken);
+        obs_events.extend(e.workload_mut().take_obs_events());
+        if let Some(f) = e.state().fold() {
+            match &mut fold {
+                Some(acc) => acc.merge(f),
+                None => fold = Some(f.clone()),
+            }
+        }
+        if let Some(r) = &e.workload().stats().flows {
+            match &mut flow_reg {
+                Some(acc) => acc.merge(r),
+                None => flow_reg = Some(r.clone()),
+            }
+        }
+    }
+    obs_events.sort_by_key(|ev| (ev.at.raw(), ev.cpu.0));
 
     let window = window_end - window_start;
     let sh = shared.borrow();
@@ -626,6 +715,9 @@ fn run_smp_trial(spec: &TrialSpec, flows: &[u16]) -> TrialResult {
         timeline: stats0.timeline.clone(),
         pool: stats0.pool.unwrap_or_default(),
         fault,
+        flows: flow_reg,
+        events: obs_events,
+        fold,
     }
 }
 
@@ -1169,6 +1261,175 @@ mod tests {
         assert!(json.starts_with("{\"traceEvents\":["));
         assert!(json.contains("nic-rx #"), "interrupt track names");
         assert!(json.contains("netpoll"), "thread track names");
+    }
+
+    #[test]
+    fn observe_is_zero_perturbation() {
+        use crate::config::ScreendConfig;
+        use crate::telemetry::ObserveConfig;
+        // The observability layer is a pure observer: a watched trial
+        // measures bit-identically to an unwatched one, on both kernels,
+        // at an overloaded rate where every code path (drops, feedback,
+        // screend) is exercised.
+        for polled_mode in [false, true] {
+            let mk = |obs: bool| {
+                let mut b = KernelConfig::builder().screend(ScreendConfig::default());
+                if polled_mode {
+                    b = b.polled(Quota::Limited(10)).feedback(Default::default());
+                }
+                if obs {
+                    b = b.observe(ObserveConfig::default());
+                }
+                b.build()
+            };
+            let base = quick(mk(false), 9_000.0, 1_500);
+            let mut watched = quick(mk(true), 9_000.0, 1_500);
+            assert!(watched.flows.is_some(), "registry allocated");
+            assert!(watched.fold.is_some(), "cycle fold enabled");
+            watched.flows = None;
+            watched.fold = None;
+            watched.events.clear();
+            assert_eq!(
+                watched, base,
+                "observability must not perturb the trial (polled={polled_mode})"
+            );
+        }
+    }
+
+    #[test]
+    fn per_flow_registry_conserves_and_attributes() {
+        use crate::telemetry::ObserveConfig;
+        let spec = TrialSpec {
+            rate_pps: 9_000.0,
+            n_packets: 1_500,
+            flows: Some(vec![7001, 7002, 7003, 7004]),
+            ..TrialSpec::new(
+                KernelConfig::builder()
+                    .observe(ObserveConfig::default())
+                    .build(),
+            )
+        };
+        // The chaos harness drains the kernel for 200 ms past the window,
+        // so the final arrival (scheduled exactly at window end) is
+        // processed and conservation is exact.
+        let r = run_chaos_trial(&spec).result;
+        let reg = r.flows.as_ref().expect("observability on");
+        assert_eq!(
+            reg.total_arrivals(),
+            spec.n_packets as u64,
+            "every generated packet is attributed, overflowed, or unattributed"
+        );
+        assert_eq!(reg.unattributed_arrivals(), 0, "all test traffic is UDP");
+        let per = r.per_flow();
+        assert_eq!(per.len(), 4, "one registry entry per source port");
+        for f in per {
+            assert!(f.arrived > 0, "every flow saw traffic");
+            assert!(
+                f.delivered + f.drops.total() <= f.arrived,
+                "per-flow ledger over-counts"
+            );
+            if f.delivered > 0 {
+                assert_eq!(f.latency.count(), f.delivered);
+                assert!(f.first_delivery.unwrap() <= f.last_delivery.unwrap());
+            }
+        }
+        let delivered: u64 = r.per_flow().iter().map(|f| f.delivered).sum();
+        assert!(delivered > 0, "overload still forwards something");
+    }
+
+    #[test]
+    fn smp_merged_registry_conserves() {
+        use crate::telemetry::ObserveConfig;
+        let spec = TrialSpec {
+            rate_pps: 14_000.0,
+            n_packets: 2_000,
+            ..TrialSpec::new(
+                KernelConfig::builder()
+                    .polled(Quota::Limited(10))
+                    .ncpus(2)
+                    .observe(ObserveConfig::default())
+                    .build(),
+            )
+        };
+        let r = run_trial(&spec);
+        let reg = r.flows.as_ref().expect("observability on");
+        assert_eq!(reg.total_arrivals(), spec.n_packets as u64);
+        assert_eq!(r.per_flow().len(), 64, "the balanced flow set");
+    }
+
+    #[test]
+    fn detector_flags_unmodified_overload_but_not_polled() {
+        use crate::config::ScreendConfig;
+        use crate::telemetry::{ObsEventKind, ObserveConfig};
+        // The acceptance experiment: above the MLFRR with screend, the
+        // unmodified kernel livelocks (Figure 6-3) and the detector must
+        // date the onset; the polled kernel with feedback keeps making
+        // progress at the same offered load and must stay quiet.
+        let run = |polled_mode: bool| {
+            let mut b = KernelConfig::builder()
+                .screend(ScreendConfig::default())
+                .observe(ObserveConfig::default());
+            if polled_mode {
+                b = b.polled(Quota::Limited(10)).feedback(Default::default());
+            }
+            run_trial(&TrialSpec {
+                rate_pps: 12_000.0,
+                n_packets: 4_000,
+                ..TrialSpec::new(b.build())
+            })
+        };
+        let unmod = run(false);
+        let onset = unmod
+            .events
+            .iter()
+            .find(|ev| matches!(ev.kind, ObsEventKind::LivelockOnset { .. }));
+        let onset = onset.expect("unmodified kernel above MLFRR must livelock");
+        assert!(!onset.at.is_zero(), "onset carries a cycle timestamp");
+        let polled = run(true);
+        assert!(
+            !polled
+                .events
+                .iter()
+                .any(|ev| matches!(ev.kind, ObsEventKind::LivelockOnset { .. })),
+            "polled kernel with feedback must not livelock: {:?}",
+            polled.events
+        );
+    }
+
+    #[test]
+    fn fold_is_exported_and_conserves_trial_cycles() {
+        use crate::telemetry::ObserveConfig;
+        let r = quick(
+            KernelConfig::builder()
+                .observe(ObserveConfig::default())
+                .build(),
+            6_000.0,
+            1_000,
+        );
+        let fold = r.fold.as_ref().expect("fold enabled with observe");
+        let folded = fold.folded(crate::router::tag_label);
+        assert!(!folded.is_empty());
+        assert!(
+            folded.lines().all(|l| l.starts_with("cpu0;")),
+            "single-CPU trial folds to one cpu frame"
+        );
+        assert!(folded.contains(";rx_pkt "), "rx work is present");
+    }
+
+    #[test]
+    fn too_short_trial_still_gets_one_telemetry_sample() {
+        // 10 packets at 10,000 pkts/s span ~1 ms — less than the default
+        // 4-tick sampling interval — so without the drain-time fallback
+        // the requested timeline would come back empty.
+        let cfg = KernelConfig::builder()
+            .telemetry(crate::telemetry::TelemetryConfig::default())
+            .build();
+        let r = quick(cfg, 10_000.0, 10);
+        let tl = r.timeline.expect("sampler enabled");
+        assert!(
+            !tl.is_empty(),
+            "a too-short trial still records one final sample at drain"
+        );
     }
 
     #[test]

@@ -39,6 +39,7 @@
 
 pub mod config;
 pub mod experiment;
+pub mod flows;
 pub mod par;
 pub mod router;
 pub mod stats;
@@ -51,7 +52,10 @@ pub use experiment::{
     run_chaos_trial, run_trial, run_trial_traced, sweep, ChaosReport, CpuStats, SweepResult,
     TrialResult, TrialSpec,
 };
+pub use flows::{flow_hash, FlowRegistry, FlowStats};
 pub use par::{default_jobs, par_map, Parallelism};
-pub use router::RouterKernel;
+pub use router::{tag_label, RouterKernel};
 pub use stats::{DropReason, DropStats, FaultStats, KernelStats, LatencyStats, Stage};
-pub use telemetry::{QueueDepths, TelemetryConfig, Timeline};
+pub use telemetry::{
+    LivelockDetector, ObsEvent, ObsEventKind, ObserveConfig, QueueDepths, TelemetryConfig, Timeline,
+};

@@ -160,9 +160,10 @@ impl RouterKernel {
             FaultKind::ScreendCrash { restart_ticks } => {
                 self.stats.fault.screend_crashes += 1;
                 // The crash loses every queued packet...
-                while self.screend_q.dequeue().is_some() {
+                while let Some((_, pkt)) = self.screend_q.dequeue() {
                     self.stats.fault.crash_flushed += 1;
-                    self.stats.record_drop(DropReason::ScreendQueueFull);
+                    self.stats
+                        .record_drop_for(DropReason::ScreendQueueFull, pkt.flow);
                 }
                 // ...and the restart backoff leaves the consumer dead
                 // while the feedback gate may still be inhibited at the

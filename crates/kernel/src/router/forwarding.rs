@@ -25,10 +25,11 @@ impl RouterKernel {
         now: Cycles,
         locally_originated: bool,
     ) -> Option<Routed> {
+        let flow = pkt.flow;
         let ip = match pkt.ipv4() {
             Ok(ip) => ip,
             Err(_) => {
-                self.stats.record_drop(DropReason::BadHeader);
+                self.stats.record_drop_for(DropReason::BadHeader, flow);
                 return None;
             }
         };
@@ -39,35 +40,35 @@ impl RouterKernel {
             // An end-system is no gateway: traffic for others is discarded
             // here — after the input work was already spent on it, which is
             // exactly the innocent-bystander overhead of 1.
-            self.stats.record_drop(DropReason::Bystander);
+            self.stats.record_drop_for(DropReason::Bystander, flow);
             return None;
         }
         let Some(hop) = self.routes.lookup(ip.dst) else {
-            self.stats.record_drop(DropReason::NoRoute);
+            self.stats.record_drop_for(DropReason::NoRoute, flow);
             self.queue_icmp_error(&pkt, IcmpErrorKind::NetUnreachable, now);
             return None;
         };
         let arp_target = hop.gateway.unwrap_or(ip.dst);
         let Some(dst_mac) = self.arp.lookup(arp_target, Cycles::MAX) else {
-            self.stats.record_drop(DropReason::NoArp);
+            self.stats.record_drop_for(DropReason::NoArp, flow);
             self.queue_icmp_error(&pkt, IcmpErrorKind::HostUnreachable, now);
             return None;
         };
         let hdr = match pkt.ip_header_bytes_mut() {
             Ok(h) => h,
             Err(_) => {
-                self.stats.record_drop(DropReason::BadHeader);
+                self.stats.record_drop_for(DropReason::BadHeader, flow);
                 return None;
             }
         };
         if decrement_ttl(hdr).is_err() {
-            self.stats.record_drop(DropReason::TtlExpired);
+            self.stats.record_drop_for(DropReason::TtlExpired, flow);
             self.queue_icmp_error(&pkt, IcmpErrorKind::TimeExceeded, now);
             return None;
         }
         let src_mac = self.ifaces[hop.iface].mac;
         if pkt.set_link_addrs(src_mac, dst_mac).is_err() {
-            self.stats.record_drop(DropReason::BadHeader);
+            self.stats.record_drop_for(DropReason::BadHeader, flow);
             return None;
         }
         Some(Routed::Forward(hop.iface, pkt))
@@ -201,9 +202,10 @@ impl RouterKernel {
     /// End-system delivery: queue on the socket buffer and wake the
     /// application, with optional queue-state feedback on the buffer.
     pub(super) fn deliver_local(&mut self, env: &mut Env<'_, Event>, mut pkt: Packet) {
+        let flow = pkt.flow;
         if self.cfg.local.is_none() {
             // Addressed to us but nobody is listening.
-            self.stats.record_drop(DropReason::NoListener);
+            self.stats.record_drop_for(DropReason::NoListener, flow);
             return;
         }
         pkt.stamps.sq_enq = env.now();
@@ -212,7 +214,7 @@ impl RouterKernel {
                 env.wake(tid);
             }
         } else {
-            self.stats.record_drop(DropReason::SocketQueueFull);
+            self.stats.record_drop_for(DropReason::SocketQueueFull, flow);
         }
         let depth = self.socket_q.len();
         if let Some(fb) = &mut self.socket_feedback {
@@ -233,13 +235,14 @@ impl RouterKernel {
     /// output queue.
     pub(super) fn deliver(&mut self, env: &mut Env<'_, Event>, out_iface: usize, mut pkt: Packet) {
         if self.cfg.screend.is_some() {
+            let flow = pkt.flow;
             pkt.stamps.sq_enq = env.now();
             if self.screend_q.enqueue((out_iface, pkt)).is_ok() {
                 if let Some(tid) = self.screend_tid {
                     env.wake(tid);
                 }
             } else {
-                self.stats.record_drop(DropReason::ScreendQueueFull);
+                self.stats.record_drop_for(DropReason::ScreendQueueFull, flow);
             }
             let depth = self.screend_q.len();
             self.feedback_depth(env, depth);
@@ -256,10 +259,11 @@ impl RouterKernel {
         out_iface: usize,
         mut pkt: Packet,
     ) {
+        let flow = pkt.flow;
         let iface = &mut self.ifaces[out_iface];
         if let Some(red) = &mut iface.out_red {
             if red.admit(iface.out_q.len()) == Admission::EarlyDrop {
-                self.stats.record_drop(DropReason::RedEarlyDrop);
+                self.stats.record_drop_for(DropReason::RedEarlyDrop, flow);
                 return;
             }
         }
@@ -267,7 +271,7 @@ impl RouterKernel {
         if iface.out_q.enqueue(pkt).is_ok() {
             self.try_tx_start(env, out_iface);
         } else {
-            self.stats.record_drop(DropReason::OutputQueueFull);
+            self.stats.record_drop_for(DropReason::OutputQueueFull, flow);
         }
     }
 

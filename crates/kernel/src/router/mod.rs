@@ -32,7 +32,7 @@ use livelock_core::gate::{GateChange, InhibitReason, IntrGate};
 use livelock_core::poller::{PollAction, PollDirection, Poller, Quota, SourceId};
 use livelock_core::rate_limit::IntrRateLimiter;
 use livelock_machine::cost::CostModel;
-use livelock_machine::cpu::{Chunk, CtxKind, Env, EnvState, Workload};
+use livelock_machine::cpu::{Chunk, CpuId, CtxKind, Env, EnvState, Workload};
 use livelock_machine::fault::FaultKind;
 use livelock_machine::ledger::CpuClass;
 use livelock_machine::intr::IntrSrc;
@@ -65,8 +65,11 @@ use faults::FaultState;
 use smp::{SmpCtx, STEAL_BUF_CAP};
 
 use crate::config::{KernelConfig, Mode};
+use crate::flows::FlowRegistry;
 use crate::stats::{DropReason, KernelStats};
-use crate::telemetry::{QueueDepths, Timeline};
+use crate::telemetry::{LivelockDetector, ObsEvent, QueueDepths, Timeline};
+
+use livelock_machine::ledger::CycleLedger;
 
 /// External events the router kernel reacts to.
 #[derive(Debug)]
@@ -127,6 +130,35 @@ mod tag {
     pub const HOUSEKEEPING: u64 = 17;
     pub const APP_PKT: u64 = 18;
     pub const IPI: u64 = 19;
+}
+
+/// The human-readable stage label for a kernel chunk tag — the `stage`
+/// leg of the machine's `cpu;class;stage` flamegraph fold. Tag 0 is the
+/// machine's own scheduling/idle charge.
+pub fn tag_label(t: u64) -> &'static str {
+    match t {
+        0 => "(exec)",
+        tag::RX_DISPATCH => "rx_dispatch",
+        tag::RX_PKT => "rx_pkt",
+        tag::SOFTNET_DISPATCH => "softnet_dispatch",
+        tag::SOFTNET_PKT => "softnet_pkt",
+        tag::TX_DISPATCH => "tx_dispatch",
+        tag::TX_RECLAIM => "tx_reclaim",
+        tag::TX_START => "tx_start",
+        tag::RX_STUB => "rx_stub",
+        tag::TX_STUB => "tx_stub",
+        tag::POLL_CB_START => "poll_cb_start",
+        tag::POLL_RX_PKT => "poll_rx_pkt",
+        tag::POLL_TX_PKT => "poll_tx_pkt",
+        tag::POLL_TX_START => "poll_tx_start",
+        tag::SCREEND_PKT => "screend_pkt",
+        tag::USER => "user_chunk",
+        tag::CLOCK => "clock_tick",
+        tag::HOUSEKEEPING => "housekeeping",
+        tag::APP_PKT => "app_pkt",
+        tag::IPI => "ipi",
+        _ => "(unknown)",
+    }
 }
 
 /// What an interrupt source belongs to.
@@ -233,6 +265,10 @@ pub struct RouterKernel {
     /// [`RouterKernel::attach_smp`].
     ipi_src: Option<IntrSrc>,
     ipi_in_handler: bool,
+    /// The online livelock detector; `None` unless
+    /// [`KernelConfig::observe`] is set, in which case the clock tick
+    /// pays nothing for it.
+    detector: Option<LivelockDetector>,
     stats: KernelStats,
 }
 
@@ -401,6 +437,16 @@ impl RouterKernel {
 
         let mut stats = KernelStats::new();
         stats.timeline = cfg.telemetry.map(Timeline::new);
+        // The observability layer: per-flow registry, online livelock
+        // detector, and the machine's (cpu, class, stage) cycle fold.
+        // All three are pure bookkeeping — when absent nothing is
+        // allocated and the run is bit-identical; when present the run
+        // is *still* bit-identical, just observed.
+        stats.flows = cfg.observe.map(|o| FlowRegistry::new(o.flow_slots));
+        let detector = cfg.observe.map(LivelockDetector::new);
+        if cfg.observe.is_some() {
+            st.enable_fold();
+        }
 
         let kernel = RouterKernel {
             ipintrq: DropTailQueue::new("ipintrq", cfg.ipintrq_cap),
@@ -440,6 +486,7 @@ impl RouterKernel {
             smp: None,
             ipi_src: None,
             ipi_in_handler: false,
+            detector,
             stats,
         };
         (st, kernel)
@@ -490,25 +537,13 @@ impl RouterKernel {
     /// cycle ledger), every queue depth along the forwarding path, the
     /// interrupt gate's inhibit bitmask, and the interrupt rate.
     fn sample_telemetry(&mut self, env: &mut Env<'_, Event>) {
-        // On an unmodified SMP kernel the IP input queue is the shared
-        // one; the local ipintrq never fills.
-        let ipintrq_depth = match &self.smp {
-            Some(ctx) if !self.is_polled() => ctx.shared.borrow().ipintrq.len(),
-            _ => self.ipintrq.len(),
-        };
+        let depths = self.queue_depths();
         let Some(tl) = &mut self.stats.timeline else {
             return;
         };
         if !tl.on_tick() {
             return;
         }
-        let depths = QueueDepths {
-            rx_ring: self.ifaces.iter().map(|i| i.nic.rx_pending()).sum(),
-            ipintrq: ipintrq_depth,
-            screend_q: self.screend_q.len(),
-            out_ifq: self.ifaces.iter().map(|i| i.out_q.len()).sum(),
-            socket_q: self.socket_q.len(),
-        };
         tl.sample(
             env.now(),
             env.ledger(),
@@ -517,6 +552,78 @@ impl RouterKernel {
             self.gate.bits(),
             self.cost.freq,
         );
+    }
+
+    /// Every queue depth along the forwarding path, as sampled by both
+    /// the timeline and the drain-time fallback sample. On an unmodified
+    /// SMP kernel the IP input queue is the shared one; the local
+    /// ipintrq never fills.
+    fn queue_depths(&self) -> QueueDepths {
+        let ipintrq_depth = match &self.smp {
+            Some(ctx) if !self.is_polled() => ctx.shared.borrow().ipintrq.len(),
+            _ => self.ipintrq.len(),
+        };
+        QueueDepths {
+            rx_ring: self.ifaces.iter().map(|i| i.nic.rx_pending()).sum(),
+            ipintrq: ipintrq_depth,
+            screend_q: self.screend_q.len(),
+            out_ifq: self.ifaces.iter().map(|i| i.out_q.len()).sum(),
+            socket_q: self.socket_q.len(),
+        }
+    }
+
+    /// Drain-time fallback: a trial shorter than one sampling interval
+    /// would otherwise return an *empty* time series even though
+    /// telemetry was requested. When the timeline is enabled and never
+    /// got a tick-aligned sample, record one final sample at drain so
+    /// the series always has at least one point.
+    pub(crate) fn finalize_timeline(&mut self, now: Cycles, ledger: CycleLedger, taken: u64) {
+        let depths = self.queue_depths();
+        let gate = self.gate.bits();
+        let freq = self.cost.freq;
+        let Some(tl) = &mut self.stats.timeline else {
+            return;
+        };
+        if !tl.is_empty() {
+            return;
+        }
+        tl.sample(now, ledger, taken, depths, gate, freq);
+    }
+
+    /// Clock-tick observability hook: feeds the windowed livelock
+    /// detector with the kernel's monotone counters and the per-flow
+    /// registry. Runs after `sample_telemetry` and mutates nothing the
+    /// simulation reads back — the detector is an observer, not a
+    /// controller.
+    fn observe_tick(&mut self, env: &mut Env<'_, Event>) {
+        let Some(det) = &mut self.detector else {
+            return;
+        };
+        let delivered = self.stats.transmitted + self.stats.app_delivered;
+        det.on_tick(
+            env.now(),
+            self.stats.arrived,
+            delivered,
+            self.stats.user_chunks,
+            self.cfg.user_process,
+            self.stats.flows.as_ref(),
+        );
+    }
+
+    /// Drains the livelock detector's typed event stream (empty when
+    /// observability is off).
+    pub(crate) fn take_obs_events(&mut self) -> Vec<ObsEvent> {
+        match &mut self.detector {
+            Some(det) => det.take_events(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Stamps the detector with the CPU it observes (SMP trials).
+    pub(crate) fn set_observe_cpu(&mut self, cpu: CpuId) {
+        if let Some(det) = &mut self.detector {
+            det.set_cpu(cpu);
+        }
     }
 
     /// The kernel's statistics.
@@ -585,7 +692,14 @@ impl RouterKernel {
                 self.stats.fault.mutated_frames += 1;
             }
         }
+        // Flow attribution is parsed once at the NIC boundary and rides
+        // the packet from here on; the parse only runs when the per-flow
+        // registry exists, so unobserved runs touch no extra bytes.
+        if self.stats.flows.is_some() {
+            pkt.flow = pkt.flow_key();
+        }
         self.stats.record_arrival(env.now());
+        self.stats.flow_arrival(pkt.flow);
         pkt.arrived_at = env.now();
         // A ring overflow while the gate is closed is the drop the
         // feedback deliberately asked for (§6.4); attribute it so.
@@ -599,15 +713,16 @@ impl RouterKernel {
                 None => return,
             };
         }
+        let flow = pkt.flow;
         let iface = &mut self.ifaces[i];
         if iface.nic.rx_arrive(pkt).is_ok() {
             if iface.nic.rx_intr_enabled() {
                 self.post_rx_intr(env, i);
             }
         } else if inhibited {
-            self.stats.record_drop(DropReason::FeedbackInhibit);
+            self.stats.record_drop_for(DropReason::FeedbackInhibit, flow);
         } else {
-            self.stats.record_drop(DropReason::RxRingFull);
+            self.stats.record_drop_for(DropReason::RxRingFull, flow);
         }
     }
 
@@ -626,7 +741,7 @@ impl RouterKernel {
         let mut sh = ctx.shared.borrow_mut();
         if sh.steal_bufs[me].len() >= STEAL_BUF_CAP {
             drop(sh);
-            self.stats.record_drop(DropReason::RxRingFull);
+            self.stats.record_drop_for(DropReason::RxRingFull, pkt.flow);
             return None;
         }
         sh.steal_bufs[me].push_back(pkt);
@@ -881,10 +996,17 @@ impl Workload for RouterKernel {
                 if let Some(pkt) = latency_src {
                     // Kernel-originated packets (ARP/ICMP/replies) never
                     // arrived on a wire and are not latency samples.
-                    if pkt.arrived_at != Cycles::MAX && self.cfg.latency_tracking {
+                    if pkt.arrived_at != Cycles::MAX {
+                        if self.cfg.latency_tracking {
+                            self.stats.latency.record_delivery(
+                                pkt.arrived_at,
+                                &pkt.stamps,
+                                now,
+                                self.cost.freq,
+                            );
+                        }
                         self.stats
-                            .latency
-                            .record_delivery(pkt.arrived_at, &pkt.stamps, now, self.cost.freq);
+                            .flow_delivery(pkt.flow, pkt.arrived_at, now, self.cost.freq);
                     }
                 }
                 if post_tx && !self.consume_lost_tx_intr(i) {

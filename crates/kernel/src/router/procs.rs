@@ -43,7 +43,9 @@ impl RouterKernel {
         };
         match verdict {
             Action::Accept => self.output_enqueue(env, out_iface, pkt),
-            Action::Deny => self.stats.record_drop(DropReason::ScreendDenied),
+            Action::Deny => self
+                .stats
+                .record_drop_for(DropReason::ScreendDenied, pkt.flow),
         }
     }
 
@@ -71,10 +73,17 @@ impl RouterKernel {
         pkt.stamps.sq_deq = env.now();
         self.stats.record_app_delivery(env.now());
         // The application consuming the datagram ends its sojourn.
-        if pkt.arrived_at != Cycles::MAX && self.cfg.latency_tracking {
+        if pkt.arrived_at != Cycles::MAX {
+            if self.cfg.latency_tracking {
+                self.stats.latency.record_delivery(
+                    pkt.arrived_at,
+                    &pkt.stamps,
+                    env.now(),
+                    self.cost.freq,
+                );
+            }
             self.stats
-                .latency
-                .record_delivery(pkt.arrived_at, &pkt.stamps, env.now(), self.cost.freq);
+                .flow_delivery(pkt.flow, pkt.arrived_at, env.now(), self.cost.freq);
         }
         let depth = self.socket_q.len();
         if let Some(fb) = &mut self.socket_feedback {
@@ -150,6 +159,7 @@ impl RouterKernel {
         self.stats.ticks += 1;
         self.sync_pool_stats();
         self.sample_telemetry(env);
+        self.observe_tick(env);
         env.post_intr(self.softclock_src);
         if let Some(fb) = &mut self.feedback {
             if fb.on_tick() == Some(FeedbackSignal::Resume) {

@@ -52,6 +52,7 @@ impl RouterKernel {
         // SMP: every CPU's receive handler feeds the one shared ipintrq
         // (the classic single-IP-layer bottleneck); only CPU 0 runs the
         // softnet drain, so siblings raise a coalesced IPI instead.
+        let flow = pkt.flow;
         if let Some(ctx) = &self.smp {
             let mut sh = ctx.shared.borrow_mut();
             if sh.ipintrq.enqueue(pkt).is_ok() {
@@ -63,7 +64,7 @@ impl RouterKernel {
                 }
             } else {
                 drop(sh);
-                self.stats.record_drop(DropReason::IpintrqFull);
+                self.stats.record_drop_for(DropReason::IpintrqFull, flow);
             }
             return;
         }
@@ -73,7 +74,7 @@ impl RouterKernel {
             // "the IP code never runs ... [ipintrq] fills up, and all
             // subsequent received packets are dropped" — after device-level
             // work was already invested.
-            self.stats.record_drop(DropReason::IpintrqFull);
+            self.stats.record_drop_for(DropReason::IpintrqFull, flow);
         }
     }
 

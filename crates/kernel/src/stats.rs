@@ -6,9 +6,10 @@
 //! counter over the trial. [`KernelStats`] keeps the same books.
 
 use livelock_net::pool::PoolStats;
-use livelock_net::StageStamps;
+use livelock_net::{FlowKey, StageStamps};
 use livelock_sim::{Cycles, Freq, HdrHistogram, Nanos, RateWindow};
 
+use crate::flows::FlowRegistry;
 use crate::telemetry::Timeline;
 
 /// Why a packet died. Every drop path in the kernel records one of these
@@ -476,6 +477,12 @@ pub struct KernelStats {
     /// The telemetry timeline, when the sampler is enabled via
     /// [`KernelConfig::telemetry`](crate::config::KernelConfig::telemetry).
     pub timeline: Option<Timeline>,
+    /// The per-flow metrics registry, when the observability layer is
+    /// enabled via
+    /// [`KernelConfig::observe`](crate::config::KernelConfig::observe).
+    /// All mutation goes through the `flow_*` / `record_drop_for` hooks
+    /// below, which are no-ops while this is `None`.
+    pub flows: Option<FlowRegistry>,
     /// Fault-injection and recovery bookkeeping (all zero on clean runs).
     pub fault: FaultStats,
 }
@@ -510,6 +517,7 @@ impl KernelStats {
             ticks: 0,
             pool: None,
             timeline: None,
+            flows: None,
             fault: FaultStats::default(),
         }
     }
@@ -589,6 +597,40 @@ impl KernelStats {
             | DropReason::BadHeader
             | DropReason::NoListener
             | DropReason::ReassemblyTimeout => self.fwd_errors += 1,
+        }
+    }
+
+    /// Records a drop and attributes it to `flow` in the per-flow
+    /// registry (identical to [`KernelStats::record_drop`] when the
+    /// observability layer is off).
+    pub fn record_drop_for(&mut self, reason: DropReason, flow: Option<FlowKey>) {
+        self.record_drop(reason);
+        if let Some(reg) = &mut self.flows {
+            reg.record_drop(flow, reason);
+        }
+    }
+
+    /// Attributes one wire arrival to `flow` (no-op when the
+    /// observability layer is off). Call alongside
+    /// [`KernelStats::record_arrival`], which keeps the aggregate books.
+    pub fn flow_arrival(&mut self, flow: Option<FlowKey>) {
+        if let Some(reg) = &mut self.flows {
+            reg.record_arrival(flow);
+        }
+    }
+
+    /// Attributes one delivery (wire transmit or local consumption) to
+    /// `flow`, with its sojourn `[arrived, end)` (no-op when the
+    /// observability layer is off).
+    pub fn flow_delivery(
+        &mut self,
+        flow: Option<FlowKey>,
+        arrived: Cycles,
+        end: Cycles,
+        freq: Freq,
+    ) {
+        if let Some(reg) = &mut self.flows {
+            reg.record_delivery(flow, arrived, end, freq);
         }
     }
 

@@ -15,9 +15,21 @@
 //! the budget. Sampling is off unless
 //! [`KernelConfig::telemetry`](crate::config::KernelConfig::telemetry)
 //! is set, and costs nothing when off.
+//!
+//! The module also hosts the **online livelock detector**
+//! ([`LivelockDetector`]): windowed delivered/offered/user-progress
+//! slopes judged at clock ticks, emitting typed, cycle-timestamped
+//! [`ObsEvent`]s (onset, recovery, per-flow starvation, priority
+//! inversion) the moment the pathology sets in — rather than inferring
+//! it from end-of-trial aggregates. It runs only when
+//! [`KernelConfig::observe`](crate::config::KernelConfig::observe) is
+//! set, and like the sampler it is pure bookkeeping: enabled or not, the
+//! simulated run is bit-identical.
 
 use livelock_machine::{CpuClass, CpuId, CycleLedger};
 use livelock_sim::{Cycles, Freq, TimeSeries};
+
+use crate::flows::FlowRegistry;
 
 /// Sampler knobs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -38,6 +50,305 @@ impl Default for TelemetryConfig {
         TelemetryConfig {
             interval_ticks: 4,
             max_samples: 4096,
+        }
+    }
+}
+
+/// Knobs for the per-flow observability layer: the flow metrics registry
+/// ([`FlowRegistry`]), the online livelock detector
+/// ([`LivelockDetector`]), and the machine's cycle-ledger flamegraph
+/// fold. `None` in
+/// [`KernelConfig::observe`](crate::config::KernelConfig::observe) (the
+/// default) allocates none of it and perturbs nothing.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ObserveConfig {
+    /// Distinct flows the registry can track; later flows count as
+    /// overflow instead of growing the table.
+    pub flow_slots: usize,
+    /// Clock ticks per detector window (with the calibrated cost model,
+    /// one tick is one simulated millisecond).
+    pub window_ticks: u32,
+    /// Minimum arrivals in a window before the detector judges it —
+    /// idle or trickle windows carry no livelock signal.
+    pub min_window_arrivals: u64,
+    /// Livelock onset: delivered/arrived in a window falls below this.
+    pub onset_frac: f64,
+    /// Recovery: delivered/arrived in a window rises back above this
+    /// (above `onset_frac` for hysteresis, so jitter at the threshold
+    /// does not flap events).
+    pub recovery_frac: f64,
+    /// Consecutive windows a flow must see arrivals but zero deliveries
+    /// before a `FlowStarved` event fires (once per flow).
+    pub starve_windows: u32,
+}
+
+impl Default for ObserveConfig {
+    fn default() -> Self {
+        ObserveConfig {
+            flow_slots: 128,
+            window_ticks: 8,
+            min_window_arrivals: 16,
+            onset_frac: 0.05,
+            recovery_frac: 0.25,
+            starve_windows: 4,
+        }
+    }
+}
+
+/// What the online detector observed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ObsEventKind {
+    /// The delivered fraction of a loaded window collapsed below the
+    /// onset threshold: receive livelock has set in.
+    LivelockOnset {
+        /// Arrivals in the offending window.
+        arrived: u64,
+        /// Deliveries in the offending window.
+        delivered: u64,
+    },
+    /// A livelocked kernel's delivered fraction climbed back above the
+    /// recovery threshold (or input pressure ended).
+    Recovery {
+        /// Arrivals in the recovering window.
+        arrived: u64,
+        /// Deliveries in the recovering window.
+        delivered: u64,
+    },
+    /// One flow kept arriving but was served nothing for
+    /// [`ObserveConfig::starve_windows`] consecutive windows (fires once
+    /// per flow).
+    FlowStarved {
+        /// The starved flow's RSS hash
+        /// ([`flow_hash`](crate::flows::flow_hash)).
+        flow_hash: u64,
+        /// Consecutive served-nothing windows at the moment of firing.
+        windows: u32,
+    },
+    /// Packets arrived all window while the configured compute-bound
+    /// user process made zero progress: the paper's starvation of user
+    /// work by receive processing (fires once per episode).
+    PriorityInversion {
+        /// Arrivals in the inverted window.
+        arrived: u64,
+    },
+}
+
+impl ObsEventKind {
+    /// Short stable name for event streams and markers.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ObsEventKind::LivelockOnset { .. } => "livelock-onset",
+            ObsEventKind::Recovery { .. } => "recovery",
+            ObsEventKind::FlowStarved { .. } => "flow-starved",
+            ObsEventKind::PriorityInversion { .. } => "priority-inversion",
+        }
+    }
+}
+
+/// One typed, cycle-timestamped observability event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ObsEvent {
+    /// When the detector window that triggered the event closed.
+    pub at: Cycles,
+    /// The CPU whose kernel emitted it.
+    pub cpu: CpuId,
+    /// What was observed.
+    pub kind: ObsEventKind,
+}
+
+impl ObsEvent {
+    /// One JSON object (no trailing newline) with a stable field order,
+    /// for JSONL event streams: same events, same bytes.
+    pub fn to_json(&self, freq: Freq) -> String {
+        let mut out = format!(
+            "{{\"at_cycles\":{},\"at_us\":{:.1},\"cpu\":{},\"kind\":\"{}\"",
+            self.at.raw(),
+            freq.nanos_from_cycles(self.at).as_micros_f64(),
+            self.cpu.0,
+            self.kind.label()
+        );
+        use std::fmt::Write as _;
+        match self.kind {
+            ObsEventKind::LivelockOnset { arrived, delivered }
+            | ObsEventKind::Recovery { arrived, delivered } => {
+                let _ = write!(out, ",\"arrived\":{arrived},\"delivered\":{delivered}");
+            }
+            ObsEventKind::FlowStarved { flow_hash, windows } => {
+                let _ = write!(out, ",\"flow_hash\":{flow_hash},\"windows\":{windows}");
+            }
+            ObsEventKind::PriorityInversion { arrived } => {
+                let _ = write!(out, ",\"arrived\":{arrived}");
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// The online livelock detector: windowed delivered-rate, offered-rate
+/// and user-progress slopes computed at clock ticks, per-flow starvation
+/// watch over the [`FlowRegistry`], typed [`ObsEvent`]s out.
+///
+/// Pure bookkeeping — it charges no cycles, schedules no events, and
+/// never touches kernel state, so an enabled detector observes the exact
+/// run a disabled one would have produced.
+#[derive(Clone, Debug)]
+pub struct LivelockDetector {
+    cfg: ObserveConfig,
+    cpu: CpuId,
+    ticks_in_window: u32,
+    last_arrived: u64,
+    last_delivered: u64,
+    last_user_chunks: u64,
+    livelocked: bool,
+    inversion_latched: bool,
+    slot_arrived: Vec<u64>,
+    slot_delivered: Vec<u64>,
+    slot_starved: Vec<u32>,
+    slot_fired: Vec<bool>,
+    events: Vec<ObsEvent>,
+}
+
+impl LivelockDetector {
+    /// Creates a detector with all per-flow watch state preallocated.
+    pub fn new(cfg: ObserveConfig) -> Self {
+        let slots = cfg.flow_slots.max(1);
+        LivelockDetector {
+            cfg,
+            cpu: CpuId(0),
+            ticks_in_window: 0,
+            last_arrived: 0,
+            last_delivered: 0,
+            last_user_chunks: 0,
+            livelocked: false,
+            inversion_latched: false,
+            slot_arrived: vec![0; slots],
+            slot_delivered: vec![0; slots],
+            slot_starved: vec![0; slots],
+            slot_fired: vec![false; slots],
+            events: Vec::new(),
+        }
+    }
+
+    /// Tags the detector with the CPU whose kernel drives it.
+    pub fn set_cpu(&mut self, cpu: CpuId) {
+        self.cpu = cpu;
+    }
+
+    /// Whether the most recent judged window was livelocked.
+    pub fn is_livelocked(&self) -> bool {
+        self.livelocked
+    }
+
+    /// Events emitted so far, in time order.
+    pub fn events(&self) -> &[ObsEvent] {
+        &self.events
+    }
+
+    /// Drains the emitted events.
+    pub fn take_events(&mut self) -> Vec<ObsEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Clock-tick hook: accumulates ticks and, when a window closes,
+    /// judges it. `arrived`/`delivered`/`user_chunks` are the kernel's
+    /// *cumulative* counters (the detector differences them itself);
+    /// `user_present` says whether a compute-bound user process is
+    /// configured; `flows` is the per-flow registry when enabled.
+    pub fn on_tick(
+        &mut self,
+        now: Cycles,
+        arrived: u64,
+        delivered: u64,
+        user_chunks: u64,
+        user_present: bool,
+        flows: Option<&FlowRegistry>,
+    ) {
+        self.ticks_in_window += 1;
+        if self.ticks_in_window < self.cfg.window_ticks.max(1) {
+            return;
+        }
+        self.ticks_in_window = 0;
+
+        let arr = arrived.saturating_sub(self.last_arrived);
+        let del = delivered.saturating_sub(self.last_delivered);
+        let user = user_chunks.saturating_sub(self.last_user_chunks);
+        self.last_arrived = arrived;
+        self.last_delivered = delivered;
+        self.last_user_chunks = user_chunks;
+
+        let loaded = arr >= self.cfg.min_window_arrivals.max(1);
+        let frac_below = |frac: f64| (del as f64) < frac * (arr as f64);
+        if !self.livelocked && loaded && frac_below(self.cfg.onset_frac) {
+            self.livelocked = true;
+            self.events.push(ObsEvent {
+                at: now,
+                cpu: self.cpu,
+                kind: ObsEventKind::LivelockOnset {
+                    arrived: arr,
+                    delivered: del,
+                },
+            });
+        } else if self.livelocked && (!loaded || !frac_below(self.cfg.recovery_frac)) {
+            self.livelocked = false;
+            self.events.push(ObsEvent {
+                at: now,
+                cpu: self.cpu,
+                kind: ObsEventKind::Recovery {
+                    arrived: arr,
+                    delivered: del,
+                },
+            });
+        }
+
+        if user_present && loaded {
+            if user == 0 && !self.inversion_latched {
+                self.inversion_latched = true;
+                self.events.push(ObsEvent {
+                    at: now,
+                    cpu: self.cpu,
+                    kind: ObsEventKind::PriorityInversion { arrived: arr },
+                });
+            } else if user > 0 {
+                self.inversion_latched = false;
+            }
+        }
+
+        if let Some(reg) = flows {
+            self.watch_flows(now, reg);
+        }
+    }
+
+    /// Per-flow starvation watch: a flow with arrivals but zero
+    /// deliveries across [`ObserveConfig::starve_windows`] consecutive
+    /// windows fires one `FlowStarved` event (latched per flow).
+    fn watch_flows(&mut self, now: Cycles, reg: &FlowRegistry) {
+        let n = self.slot_arrived.len().min(reg.capacity());
+        for i in 0..n {
+            let Some(s) = reg.slot(i) else { continue };
+            let arr = s.arrived.saturating_sub(self.slot_arrived[i]);
+            let del = s.delivered.saturating_sub(self.slot_delivered[i]);
+            self.slot_arrived[i] = s.arrived;
+            self.slot_delivered[i] = s.delivered;
+            if del > 0 {
+                self.slot_starved[i] = 0;
+                continue;
+            }
+            if arr == 0 {
+                continue;
+            }
+            self.slot_starved[i] = self.slot_starved[i].saturating_add(1);
+            if self.slot_starved[i] >= self.cfg.starve_windows.max(1) && !self.slot_fired[i] {
+                self.slot_fired[i] = true;
+                self.events.push(ObsEvent {
+                    at: now,
+                    cpu: self.cpu,
+                    kind: ObsEventKind::FlowStarved {
+                        flow_hash: s.hash,
+                        windows: self.slot_starved[i],
+                    },
+                });
+            }
         }
     }
 }
@@ -324,6 +635,156 @@ mod tests {
         for s in &tl.cpu_share {
             assert_eq!(s.len(), tl.len(), "series stay in lockstep");
         }
+    }
+
+    #[test]
+    fn detector_onset_and_recovery_with_hysteresis() {
+        let cfg = ObserveConfig {
+            window_ticks: 1,
+            min_window_arrivals: 10,
+            ..Default::default()
+        };
+        let mut d = LivelockDetector::new(cfg);
+        // Healthy loaded window: no event.
+        d.on_tick(Cycles::new(1), 100, 90, 0, false, None);
+        assert!(d.events().is_empty());
+        // Collapse: 2 of 200 delivered (1% < 5%) -> onset.
+        d.on_tick(Cycles::new(2), 300, 92, 0, false, None);
+        assert!(d.is_livelocked());
+        // Partial improvement (10%, still under the 25% recovery bar):
+        // hysteresis holds the livelocked state, no event flapping.
+        d.on_tick(Cycles::new(3), 500, 112, 0, false, None);
+        assert!(d.is_livelocked());
+        assert_eq!(d.events().len(), 1);
+        // Real recovery (50%).
+        d.on_tick(Cycles::new(4), 700, 212, 0, false, None);
+        assert!(!d.is_livelocked());
+        let evs = d.take_events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(
+            evs[0].kind,
+            ObsEventKind::LivelockOnset {
+                arrived: 200,
+                delivered: 2
+            }
+        );
+        assert_eq!(evs[0].at, Cycles::new(2), "onset carries its window's close");
+        assert!(matches!(evs[1].kind, ObsEventKind::Recovery { .. }));
+        assert!(d.events().is_empty(), "take_events drains");
+    }
+
+    #[test]
+    fn detector_idle_windows_carry_no_signal_and_end_episodes() {
+        let cfg = ObserveConfig {
+            window_ticks: 1,
+            min_window_arrivals: 10,
+            ..Default::default()
+        };
+        let mut d = LivelockDetector::new(cfg);
+        // Idle window: never an onset.
+        d.on_tick(Cycles::new(1), 5, 0, 0, false, None);
+        assert!(!d.is_livelocked());
+        // Livelock, then arrivals stop: the drained window recovers.
+        d.on_tick(Cycles::new(2), 300, 1, 0, false, None);
+        assert!(d.is_livelocked());
+        d.on_tick(Cycles::new(3), 301, 1, 0, false, None);
+        assert!(!d.is_livelocked(), "no input pressure means no livelock");
+    }
+
+    #[test]
+    fn detector_priority_inversion_latches_per_episode() {
+        let cfg = ObserveConfig {
+            window_ticks: 1,
+            min_window_arrivals: 10,
+            ..Default::default()
+        };
+        let mut d = LivelockDetector::new(cfg);
+        // User starved two loaded windows running: one event.
+        d.on_tick(Cycles::new(1), 100, 90, 0, true, None);
+        d.on_tick(Cycles::new(2), 200, 180, 0, true, None);
+        // Progress resumes, then stalls again: a second episode.
+        d.on_tick(Cycles::new(3), 300, 270, 7, true, None);
+        d.on_tick(Cycles::new(4), 400, 360, 7, true, None);
+        let inv: Vec<_> = d
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, ObsEventKind::PriorityInversion { .. }))
+            .collect();
+        assert_eq!(inv.len(), 2);
+        assert_eq!(inv[0].at, Cycles::new(1));
+        assert_eq!(inv[1].at, Cycles::new(4));
+        // Without a configured user process the signal is meaningless.
+        let mut d2 = LivelockDetector::new(cfg);
+        d2.on_tick(Cycles::new(1), 100, 90, 0, false, None);
+        assert!(d2.events().is_empty());
+    }
+
+    #[test]
+    fn detector_flow_starvation_fires_once_per_flow() {
+        use crate::flows::FlowRegistry;
+        use livelock_net::FlowKey;
+        let key = |p: u16| FlowKey {
+            src_ip: 1,
+            dst_ip: 2,
+            proto: 17,
+            src_port: p,
+            dst_port: 9,
+        };
+        let cfg = ObserveConfig {
+            window_ticks: 1,
+            min_window_arrivals: 1,
+            starve_windows: 2,
+            flow_slots: 8,
+            ..Default::default()
+        };
+        let mut d = LivelockDetector::new(cfg);
+        let mut reg = FlowRegistry::new(8);
+        let freq = Freq::mhz(100);
+        for w in 1..=4u64 {
+            // Flow 1 arrives and is served; flow 2 arrives and never is.
+            reg.record_arrival(Some(key(1)));
+            reg.record_delivery(Some(key(1)), Cycles::ZERO, Cycles::new(w), freq);
+            reg.record_arrival(Some(key(2)));
+            d.on_tick(Cycles::new(w * 100), w * 2, w, 0, false, Some(&reg));
+        }
+        let starved: Vec<_> = d
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                ObsEventKind::FlowStarved { flow_hash, windows } => Some((flow_hash, windows)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(starved.len(), 1, "one event per starved flow");
+        assert_eq!(starved[0].0, crate::flows::flow_hash(key(2)));
+        assert_eq!(starved[0].1, 2);
+    }
+
+    #[test]
+    fn obs_event_json_has_stable_field_order() {
+        let freq = Freq::mhz(100);
+        let ev = ObsEvent {
+            at: Cycles::new(5_000),
+            cpu: CpuId(1),
+            kind: ObsEventKind::LivelockOnset {
+                arrived: 160,
+                delivered: 3,
+            },
+        };
+        assert_eq!(
+            ev.to_json(freq),
+            "{\"at_cycles\":5000,\"at_us\":50.0,\"cpu\":1,\
+             \"kind\":\"livelock-onset\",\"arrived\":160,\"delivered\":3}"
+        );
+        let ev = ObsEvent {
+            at: Cycles::new(100),
+            cpu: CpuId(0),
+            kind: ObsEventKind::FlowStarved {
+                flow_hash: 42,
+                windows: 4,
+            },
+        };
+        assert!(ev.to_json(freq).ends_with("\"flow_hash\":42,\"windows\":4}"));
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::tokenizer::Tok;
 mod deprecated;
 mod determinism;
 mod drops;
+mod flows;
 mod interrupt;
 mod ledger;
 mod panics;
@@ -65,6 +66,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(panics::PanicFreedom),
         Box::new(deprecated::DeprecatedConfig),
         Box::new(smp::SmpIsolation),
+        Box::new(flows::FlowDiscipline),
     ]
 }
 

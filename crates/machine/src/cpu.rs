@@ -32,6 +32,7 @@
 
 use livelock_sim::{CalendarQueue, Cycles, EventQueue, Scheduler as EventScheduler};
 
+use crate::fold::CycleFold;
 use crate::intr::{IntrController, IntrSrc};
 use crate::ipl::Ipl;
 use crate::ledger::{CpuClass, CycleLedger};
@@ -234,7 +235,20 @@ struct Usage {
     ledger: CycleLedger,
     intr_class: Vec<CpuClass>,
     thread_class: Vec<CpuClass>,
+    /// Optional `(cpu, class, stage)` fold of the same charges, for
+    /// flamegraph export. `None` (the default) costs nothing; `Some`
+    /// only adds bookkeeping at the commit points below, never a
+    /// scheduling change, so enabling it cannot perturb a trial.
+    fold: Option<CycleFold>,
+    /// Mirror of [`EnvState::cpu`] so the fold can be charged here
+    /// without widening every charge call.
+    cpu: CpuId,
 }
+
+/// Fold stage tag for cycles spent outside any workload chunk (the
+/// scheduler's context-switch overhead and the idle loop). Workload
+/// chunk tags start at 1 by convention, so 0 is free.
+const FOLD_TAG_EXEC: u64 = 0;
 
 impl Usage {
     fn intr_class_of(&self, src: IntrSrc) -> CpuClass {
@@ -251,30 +265,44 @@ impl Usage {
             .unwrap_or(CpuClass::KernelOther)
     }
 
-    fn charge_intr(&mut self, src: IntrSrc, cy: Cycles) {
+    fn charge_intr(&mut self, src: IntrSrc, tag: u64, cy: Cycles) {
         if self.intr_by_src.len() <= src.0 {
             self.intr_by_src.resize(src.0 + 1, Cycles::ZERO);
         }
         self.intr_by_src[src.0] += cy;
-        self.ledger.charge(self.intr_class_of(src), cy);
+        let class = self.intr_class_of(src);
+        self.ledger.charge(class, cy);
+        if let Some(f) = &mut self.fold {
+            f.charge(self.cpu, class, tag, cy);
+        }
     }
 
-    fn charge_thread(&mut self, tid: ThreadId, cy: Cycles) {
+    fn charge_thread(&mut self, tid: ThreadId, tag: u64, cy: Cycles) {
         if self.thread_by_id.len() <= tid.0 {
             self.thread_by_id.resize(tid.0 + 1, Cycles::ZERO);
         }
         self.thread_by_id[tid.0] += cy;
-        self.ledger.charge(self.thread_class_of(tid), cy);
+        let class = self.thread_class_of(tid);
+        self.ledger.charge(class, cy);
+        if let Some(f) = &mut self.fold {
+            f.charge(self.cpu, class, tag, cy);
+        }
     }
 
     fn charge_sched(&mut self, cy: Cycles) {
         self.sched_cycles += cy;
         self.ledger.charge(CpuClass::KernelOther, cy);
+        if let Some(f) = &mut self.fold {
+            f.charge(self.cpu, CpuClass::KernelOther, FOLD_TAG_EXEC, cy);
+        }
     }
 
     fn charge_idle(&mut self, cy: Cycles) {
         self.idle_cycles += cy;
         self.ledger.charge(CpuClass::Idle, cy);
+        if let Some(f) = &mut self.fold {
+            f.charge(self.cpu, CpuClass::Idle, FOLD_TAG_EXEC, cy);
+        }
     }
 }
 
@@ -308,6 +336,23 @@ impl<E> EnvState<E> {
     /// `cpu`. The SMP cluster calls this once per executor at build time.
     pub fn set_cpu(&mut self, cpu: CpuId) {
         self.cpu = cpu;
+        self.usage.cpu = cpu;
+    }
+
+    /// Turns on the `(cpu, class, stage)` cycle fold for flamegraph
+    /// export. Pure bookkeeping at the existing ledger commit points —
+    /// no event, cost, or scheduling change — so a trial with the fold
+    /// on is bit-identical to the same trial with it off.
+    pub fn enable_fold(&mut self) {
+        if self.usage.fold.is_none() {
+            self.usage.fold = Some(CycleFold::new());
+        }
+    }
+
+    /// The cycle fold, when [`enable_fold`](Self::enable_fold) was
+    /// called before the engine ran.
+    pub fn fold(&self) -> Option<&CycleFold> {
+        self.usage.fold.as_ref()
     }
 
     /// Current virtual time.
@@ -633,6 +678,13 @@ impl<W: Workload> Engine<W> {
             self.st.now,
             "cycle ledger not conserved: class totals must sum to elapsed time"
         );
+        if let Some(f) = &self.st.usage.fold {
+            debug_assert_eq!(
+                f.total(),
+                self.st.now,
+                "cycle fold not conserved: stack totals must sum to elapsed time"
+            );
+        }
         UsageReport {
             intr_by_src: self.st.usage.intr_by_src.clone(),
             thread_by_id: self.st.usage.thread_by_id.clone(),
@@ -862,7 +914,7 @@ impl<W: Workload> Engine<W> {
         }
         let (stop, completes) = self.step_stop(progress.remaining, limit);
         let ran = stop - self.st.now;
-        self.st.usage.charge_intr(src, ran);
+        self.st.usage.charge_intr(src, progress.tag, ran);
         self.st.now = stop;
         if completes {
             self.frames[frame_idx].progress = None;
@@ -899,7 +951,7 @@ impl<W: Workload> Engine<W> {
         }
         let (stop, completes) = self.step_stop(progress.remaining, limit);
         let ran = stop - self.st.now;
-        self.st.usage.charge_thread(tid, ran);
+        self.st.usage.charge_thread(tid, progress.tag, ran);
         self.st.sched.charge_quantum(ran);
         self.st.now = stop;
         if completes {
@@ -1242,6 +1294,54 @@ mod tests {
         assert_eq!(u.ledger.get(CpuClass::KernelOther), cy(40), "switch cost");
         assert_eq!(u.ledger.get(CpuClass::Idle), u.idle_cycles);
         assert_eq!(u.ledger.total(), u.now, "conservation");
+    }
+
+    #[test]
+    fn fold_conserves_and_tags_by_stage() {
+        let mut st = EnvState::new(cy(1_000_000));
+        st.enable_fold();
+        let src = st.intr.register("rx", Ipl::IMP);
+        st.set_intr_class(src, CpuClass::RxIntr);
+        let t = st.sched.spawn("worker", Priority::USER);
+        st.set_thread_class(t, CpuClass::UserProc);
+        st.sched.wake(t);
+        st.schedule_at(cy(250), Ev::Post(src));
+        let wl = Script {
+            intr_chunks: vec![(src, vec![Chunk::new(cy(100), 9)])],
+            thread_chunks: vec![(t, vec![Chunk::new(cy(1000), 5)])],
+            sleep_when_done: vec![t],
+            ..Default::default()
+        };
+        let mut e = Engine::new(st, wl, cy(40));
+        e.run_until(cy(2_000));
+        let u = e.usage();
+        let fold = e.state().fold().expect("fold enabled");
+        assert_eq!(fold.total(), u.now, "fold conserves elapsed time");
+        let by_stack: Vec<_> = fold.iter().collect();
+        assert!(by_stack
+            .iter()
+            .any(|&(cpu, class, tag, cy_)| cpu == CpuId(0)
+                && class == CpuClass::RxIntr
+                && tag == 9
+                && cy_ == cy(100)));
+        assert!(by_stack
+            .iter()
+            .any(|&(_, class, tag, cy_)| class == CpuClass::UserProc
+                && tag == 5
+                && cy_ == cy(1000)));
+        // Switch overhead and idle land on the executor tag 0.
+        assert!(by_stack
+            .iter()
+            .any(|&(_, class, tag, _)| class == CpuClass::KernelOther && tag == 0));
+        assert!(by_stack
+            .iter()
+            .any(|&(_, class, tag, _)| class == CpuClass::Idle && tag == 0));
+    }
+
+    #[test]
+    fn fold_off_by_default() {
+        let st: EnvState<Ev> = EnvState::new(cy(1_000));
+        assert!(st.fold().is_none());
     }
 
     #[test]

@@ -1,0 +1,246 @@
+//! Collapsed-stack folding of the cycle ledger: `(cpu, class, stage)`
+//! cycle totals that render directly as `inferno`-compatible folded
+//! text (`cpu0;rx_intr;rx_pkt 12345` — one line per stack, semicolon
+//! frames, space, sample count).
+//!
+//! The fold rides the exact same commit points as the [`CycleLedger`]
+//! (crate::ledger::CycleLedger): the executor charges it when it
+//! retires a chunk, tagged with the chunk's workload `tag` — the
+//! *stage* dimension the kernel already threads through every chunk it
+//! issues. Because folding only ever adds a third key to charges that
+//! already happen, enabling it perturbs nothing: no event is
+//! rescheduled, no cost changes, and a trial with folding on is
+//! bit-identical (asserted in tests) to the same trial with it off.
+//!
+//! The canonical view is keyed `(cpu, class, stage)`, so iteration
+//! order — and therefore the folded text — is deterministic and
+//! byte-identical across `--jobs` counts and scheduler backends.
+//!
+//! Charging sits on the executor's hottest path (every retired chunk),
+//! so the table is two-tier: a flat dense array covers the one CPU and
+//! the small workload tags an engine actually charges (one add and an
+//! index, no search), and a `BTreeMap` spill absorbs the rare rest
+//! (foreign CPUs after a merge, out-of-range tags). Both tiers fold
+//! into one canonical map for iteration, comparison and rendering.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::cpu::CpuId;
+use crate::ledger::CpuClass;
+use livelock_sim::Cycles;
+
+/// Workload tags below this go to the dense tier (the kernel's stage
+/// tags are small consecutive integers; tag 0 is the executor's own
+/// out-of-chunk time).
+const DENSE_TAGS: usize = 32;
+
+/// Cycle totals keyed by `(cpu, class, stage-tag)`.
+///
+/// `stage` is the workload-defined chunk tag (`Chunk::tag`); tag `0`
+/// covers cycles the executor spends outside any workload chunk
+/// (scheduling overhead and the idle loop). The workload crate owns
+/// the tag→label mapping; rendering takes it as a closure so this
+/// crate stays ignorant of kernel stage names.
+///
+/// # Examples
+///
+/// ```
+/// use livelock_machine::{CpuClass, CpuId, CycleFold};
+/// use livelock_sim::Cycles;
+///
+/// let mut f = CycleFold::new();
+/// f.charge(CpuId(0), CpuClass::RxIntr, 2, Cycles::new(750));
+/// f.charge(CpuId(0), CpuClass::Idle, 0, Cycles::new(250));
+/// let txt = f.folded(|tag| if tag == 2 { "rx_pkt" } else { "(none)" });
+/// assert_eq!(txt, "cpu0;rx_intr;rx_pkt 750\ncpu0;idle;(none) 250\n");
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CycleFold {
+    /// The CPU the dense tier belongs to: that of the first charge
+    /// (an engine's fold only ever charges its own CPU).
+    dense_cpu: Option<usize>,
+    /// `class.index() * DENSE_TAGS + tag` cycle totals for `dense_cpu`.
+    dense: Vec<Cycles>,
+    /// Everything else: foreign CPUs (merged-in per-CPU folds) and
+    /// tags ≥ [`DENSE_TAGS`].
+    spill: BTreeMap<(usize, usize, u64), Cycles>,
+}
+
+impl CycleFold {
+    /// Creates an empty fold.
+    pub fn new() -> Self {
+        CycleFold::default()
+    }
+
+    /// Charges `cy` cycles to the stack `(cpu, class, tag)`.
+    pub fn charge(&mut self, cpu: CpuId, class: CpuClass, tag: u64, cy: Cycles) {
+        if cy == Cycles::ZERO {
+            return;
+        }
+        if (tag as usize) < DENSE_TAGS && self.dense_cpu.map_or(true, |c| c == cpu.0) {
+            if self.dense_cpu.is_none() {
+                self.dense_cpu = Some(cpu.0);
+                self.dense = vec![Cycles::ZERO; CpuClass::COUNT * DENSE_TAGS];
+            }
+            self.dense[class.index() * DENSE_TAGS + tag as usize] += cy;
+        } else {
+            *self
+                .spill
+                .entry((cpu.0, class.index(), tag))
+                .or_insert(Cycles::ZERO) += cy;
+        }
+    }
+
+    /// The canonical `(cpu, class, tag) -> cycles` view: both tiers
+    /// folded into one ordered map (zero entries omitted).
+    fn canonical(&self) -> BTreeMap<(usize, usize, u64), Cycles> {
+        let mut out = self.spill.clone();
+        if let Some(cpu) = self.dense_cpu {
+            for (i, &cy) in self.dense.iter().enumerate() {
+                if cy != Cycles::ZERO {
+                    let key = (cpu, i / DENSE_TAGS, (i % DENSE_TAGS) as u64);
+                    *out.entry(key).or_insert(Cycles::ZERO) += cy;
+                }
+            }
+        }
+        out
+    }
+
+    /// Sum over all stacks; equals the ledger total (and therefore
+    /// elapsed virtual time) when charged by the executor.
+    pub fn total(&self) -> Cycles {
+        self.dense.iter().copied().sum::<Cycles>() + self.spill.values().copied().sum::<Cycles>()
+    }
+
+    /// Number of distinct `(cpu, class, stage)` stacks.
+    pub fn len(&self) -> usize {
+        self.canonical().len()
+    }
+
+    /// True when nothing has been charged.
+    pub fn is_empty(&self) -> bool {
+        self.spill.is_empty() && self.dense.iter().all(|&cy| cy == Cycles::ZERO)
+    }
+
+    /// Merges another fold into this one (pointwise sum). Commutative
+    /// and associative, so per-CPU folds can merge in any order.
+    pub fn merge(&mut self, other: &CycleFold) {
+        for (CpuId(cpu), class, tag, cy) in other.iter() {
+            // simlint: allow(ledger-discipline): CycleFold::charge, not the ledger's
+            self.charge(CpuId(cpu), class, tag, cy);
+        }
+    }
+
+    /// Iterates stacks in deterministic key order.
+    pub fn iter(&self) -> impl Iterator<Item = (CpuId, CpuClass, u64, Cycles)> {
+        self.canonical()
+            .into_iter()
+            .map(|((cpu, class, tag), cy)| (CpuId(cpu), CpuClass::ALL[class], tag, cy))
+    }
+
+    /// Renders the fold as `inferno`-style collapsed stacks, one line
+    /// per `(cpu, class, stage)` with the cycle count as the sample
+    /// weight. `tag_label` maps workload chunk tags to frame names;
+    /// labels are sanitized (`;` and whitespace replaced) so the
+    /// folded grammar can't be corrupted by a label.
+    pub fn folded(&self, tag_label: impl Fn(u64) -> &'static str) -> String {
+        let mut out = String::new();
+        for (cpu, class, tag, cy) in self.iter() {
+            let label = tag_label(tag);
+            let _ = write!(out, "cpu{};{};", cpu.0, class.label());
+            for ch in label.chars() {
+                out.push(match ch {
+                    ';' | ' ' | '\t' | '\n' => '_',
+                    c => c,
+                });
+            }
+            let _ = writeln!(out, " {}", cy.raw());
+        }
+        out
+    }
+}
+
+/// Equality is over the canonical view: where a charge landed (dense
+/// tier vs spill) is an implementation detail, not part of the value.
+impl PartialEq for CycleFold {
+    fn eq(&self, other: &Self) -> bool {
+        self.canonical() == other.canonical()
+    }
+}
+
+impl Eq for CycleFold {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cy(n: u64) -> Cycles {
+        Cycles::new(n)
+    }
+
+    fn label(tag: u64) -> &'static str {
+        match tag {
+            0 => "(exec)",
+            2 => "rx_pkt",
+            4 => "softnet_pkt",
+            _ => "other",
+        }
+    }
+
+    #[test]
+    fn charges_accumulate_per_stack() {
+        let mut f = CycleFold::new();
+        f.charge(CpuId(0), CpuClass::RxIntr, 2, cy(100));
+        f.charge(CpuId(0), CpuClass::RxIntr, 2, cy(50));
+        f.charge(CpuId(0), CpuClass::SoftIntNet, 4, cy(30));
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.total(), cy(180));
+    }
+
+    #[test]
+    fn zero_charges_create_no_stacks() {
+        let mut f = CycleFold::new();
+        f.charge(CpuId(0), CpuClass::Idle, 0, Cycles::ZERO);
+        assert!(f.is_empty());
+        assert_eq!(f.folded(label), "");
+    }
+
+    #[test]
+    fn folded_text_is_sorted_and_stable() {
+        let mut f = CycleFold::new();
+        f.charge(CpuId(1), CpuClass::SoftIntNet, 4, cy(7));
+        f.charge(CpuId(0), CpuClass::RxIntr, 2, cy(9));
+        f.charge(CpuId(0), CpuClass::Idle, 0, cy(3));
+        let txt = f.folded(label);
+        assert_eq!(
+            txt,
+            "cpu0;rx_intr;rx_pkt 9\ncpu0;idle;(exec) 3\ncpu1;softint_net;softnet_pkt 7\n"
+        );
+    }
+
+    #[test]
+    fn labels_are_sanitized() {
+        let mut f = CycleFold::new();
+        f.charge(CpuId(0), CpuClass::UserProc, 99, cy(1));
+        let txt = f.folded(|_| "a;b c");
+        assert_eq!(txt, "cpu0;user_proc;a_b_c 1\n");
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let mut a = CycleFold::new();
+        a.charge(CpuId(0), CpuClass::RxIntr, 2, cy(10));
+        a.charge(CpuId(1), CpuClass::Idle, 0, cy(5));
+        let mut b = CycleFold::new();
+        b.charge(CpuId(0), CpuClass::RxIntr, 2, cy(4));
+        b.charge(CpuId(1), CpuClass::UserProc, 15, cy(6));
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.total(), cy(25));
+    }
+}

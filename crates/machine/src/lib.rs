@@ -31,6 +31,9 @@
 //! - [`ledger`] — the conserved CPU-cycle ledger: every executed cycle
 //!   attributed to exactly one [`ledger::CpuClass`], with class totals
 //!   summing exactly to elapsed time.
+//! - [`fold`] — the optional `(cpu, class, stage)` fold of the same
+//!   charges, rendered as `inferno`-compatible collapsed stacks for
+//!   flamegraphs of simulated cycles.
 //! - [`chrome`] — Chrome-trace / Perfetto JSON export of [`trace`]
 //!   records, so an interleaving can be inspected visually.
 //! - [`fault`] — deterministic, seeded fault-injection plans (lost and
@@ -46,6 +49,7 @@ pub mod cluster;
 pub mod cost;
 pub mod cpu;
 pub mod fault;
+pub mod fold;
 pub mod intr;
 pub mod ipl;
 pub mod ledger;
@@ -60,6 +64,7 @@ pub use chrome::{
 pub use cluster::Cluster;
 pub use cost::CostModel;
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
+pub use fold::CycleFold;
 pub use cpu::{Chunk, CpuId, CtxKind, Engine, Env, SchedulerKind, UsageReport, Workload};
 pub use intr::{IntrController, IntrSrc};
 pub use ipl::Ipl;

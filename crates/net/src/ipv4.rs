@@ -108,6 +108,15 @@ impl Ipv4Header {
         if buf.len() < IPV4_HEADER_LEN {
             return Err(NetError::Truncated);
         }
+        buf[..IPV4_HEADER_LEN].copy_from_slice(&self.encoded());
+        Ok(())
+    }
+
+    /// Encodes the header into a fixed-size array. Infallible by
+    /// construction — the checksum helpers below use this so they need
+    /// no error path at all.
+    fn encoded(&self) -> [u8; IPV4_HEADER_LEN] {
+        let mut buf = [0u8; IPV4_HEADER_LEN];
         buf[0] = 0x45;
         buf[1] = self.tos;
         buf[2..4].copy_from_slice(&self.total_len.to_be_bytes());
@@ -118,26 +127,20 @@ impl Ipv4Header {
         buf[10..12].copy_from_slice(&self.header_checksum.to_be_bytes());
         buf[12..16].copy_from_slice(&self.src.octets());
         buf[16..20].copy_from_slice(&self.dst.octets());
-        Ok(())
+        buf
     }
 
     /// Computes the header checksum over the encoded form, with the checksum
     /// field treated as zero.
     pub fn compute_checksum(&self) -> u16 {
-        let mut tmp = [0u8; IPV4_HEADER_LEN];
         let mut copy = *self;
         copy.header_checksum = 0;
-        copy.encode(&mut tmp)
-            .expect("fixed-size buffer fits header");
-        checksum(&tmp)
+        checksum(&copy.encoded())
     }
 
     /// Returns `true` if the stored checksum matches the header contents.
     pub fn checksum_ok(&self) -> bool {
-        let mut tmp = [0u8; IPV4_HEADER_LEN];
-        self.encode(&mut tmp)
-            .expect("fixed-size buffer fits header");
-        verify(&tmp)
+        verify(&self.encoded())
     }
 
     /// Returns the payload length in bytes.

@@ -56,7 +56,7 @@ pub use ethernet::{EtherType, EthernetHeader, MacAddr};
 pub use filter::{Action, Filter, Rule};
 pub use ipv4::Ipv4Header;
 pub use mutate::Mutation;
-pub use packet::{Packet, PacketId, StageStamps};
+pub use packet::{FlowKey, Packet, PacketId, StageStamps};
 pub use pool::{FrameBuf, FramePool, PoolStats};
 pub use queue::DropTailQueue;
 pub use route::RouteTable;

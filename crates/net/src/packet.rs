@@ -25,6 +25,26 @@ pub const MAX_FRAME_LEN: usize = 1514;
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PacketId(pub u64);
 
+/// The 5-tuple identifying a transport flow — the same fields (in the
+/// same order) the multiqueue NIC's RSS hash consumes, so one key
+/// serves both queue steering and per-flow accounting.
+///
+/// Plain `Copy` data: carrying it inline in a [`Packet`] costs nothing
+/// on the zero-allocation forwarding path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowKey {
+    /// IPv4 source address, native-endian `u32` (as `Ipv4Addr::to_bits`).
+    pub src_ip: u32,
+    /// IPv4 destination address, native-endian `u32`.
+    pub dst_ip: u32,
+    /// IP protocol number (`ipv4::proto::*`).
+    pub proto: u8,
+    /// Transport source port (0 for protocols without ports).
+    pub src_port: u16,
+    /// Transport destination port (0 for protocols without ports).
+    pub dst_port: u16,
+}
+
 /// Per-packet lifecycle timestamps, one per stage boundary of the receive
 /// path. Stamps live inline in the [`Packet`] (plain `Copy` data, no heap),
 /// so recording them costs nothing on the zero-allocation forwarding path.
@@ -96,6 +116,11 @@ pub struct Packet {
     pub dequeued_at: Cycles,
     /// Lifecycle stage-boundary timestamps for latency accounting.
     pub stamps: StageStamps,
+    /// The transport 5-tuple, parsed once at RX-arrival by the kernel
+    /// when per-flow observability is on (`None` otherwise, and for
+    /// non-IP or portless frames). Cached here so drop and delivery
+    /// sites never re-parse the frame.
+    pub flow: Option<FlowKey>,
 }
 
 impl Packet {
@@ -112,7 +137,45 @@ impl Packet {
             arrived_at: Cycles::MAX,
             dequeued_at: Cycles::MAX,
             stamps: StageStamps::UNSET,
+            flow: None,
         }
+    }
+
+    /// Parses the transport 5-tuple from the frame bytes: `None` for
+    /// non-IPv4 frames, malformed headers, or truncated transport
+    /// headers; ports are 0 for protocols other than UDP/TCP.
+    ///
+    /// This reads the wire bytes every call — the kernel parses once at
+    /// arrival and caches the result in [`Packet::flow`].
+    pub fn flow_key(&self) -> Option<FlowKey> {
+        // Parse the IPv4 header once and bound the datagram from its
+        // total-length field directly — going through `ip_datagram()`
+        // here would parse (and checksum) the same header a second time,
+        // and this runs on every arrival when per-flow metrics are on.
+        let ip = self.ipv4().ok()?;
+        let end = ETHERNET_HEADER_LEN + ip.total_len as usize;
+        if self.frame.len() < end {
+            return None;
+        }
+        let seg = &self.frame[ETHERNET_HEADER_LEN + IPV4_HEADER_LEN..end];
+        let (src_port, dst_port) = match ip.protocol {
+            ipv4::proto::UDP => {
+                let udp = udp::UdpHeader::parse(seg).ok()?;
+                (udp.src_port, udp.dst_port)
+            }
+            ipv4::proto::TCP => {
+                let tcp = crate::tcp::TcpHeader::parse(seg).ok()?;
+                (tcp.src_port, tcp.dst_port)
+            }
+            _ => (0, 0),
+        };
+        Some(FlowKey {
+            src_ip: ip.src.into(),
+            dst_ip: ip.dst.into(),
+            proto: ip.protocol,
+            src_port,
+            dst_port,
+        })
     }
 
     /// Builds a complete UDP/IPv4/Ethernet frame with valid checksums.
@@ -134,9 +197,10 @@ impl Packet {
         let udp_len = UDP_HEADER_LEN + payload.len();
         let total = ETHERNET_HEADER_LEN + IPV4_HEADER_LEN + udp_len;
         let mut frame = vec![0u8; total.max(MIN_FRAME_LEN)];
-        encode_udp_frame(
+        let encoded = encode_udp_frame(
             &mut frame, src_mac, dst_mac, src_ip, dst_ip, src_port, dst_port, ttl, payload,
         );
+        debug_assert!(encoded.is_ok(), "buffer sized for all headers");
         Packet::from_frame(id, frame)
     }
 
@@ -158,9 +222,10 @@ impl Packet {
         let udp_len = UDP_HEADER_LEN + payload.len();
         let total = ETHERNET_HEADER_LEN + IPV4_HEADER_LEN + udp_len;
         let mut frame = pool.take(total.max(MIN_FRAME_LEN));
-        encode_udp_frame(
+        let encoded = encode_udp_frame(
             &mut frame, src_mac, dst_mac, src_ip, dst_ip, src_port, dst_port, ttl, payload,
         );
+        debug_assert!(encoded.is_ok(), "buffer sized for all headers");
         Packet::from_frame(id, frame)
     }
 
@@ -179,7 +244,9 @@ impl Packet {
         let icmp_len = msg.encoded_len();
         let total = ETHERNET_HEADER_LEN + IPV4_HEADER_LEN + icmp_len;
         let mut frame = vec![0u8; total.max(MIN_FRAME_LEN)];
-        encode_icmp_frame(&mut frame, src_mac, dst_mac, src_ip, dst_ip, ttl, msg, icmp_len);
+        let encoded =
+            encode_icmp_frame(&mut frame, src_mac, dst_mac, src_ip, dst_ip, ttl, msg, icmp_len);
+        debug_assert!(encoded.is_ok(), "buffer sized for all headers");
         Packet::from_frame(id, frame)
     }
 
@@ -197,7 +264,9 @@ impl Packet {
         let icmp_len = msg.encoded_len();
         let total = ETHERNET_HEADER_LEN + IPV4_HEADER_LEN + icmp_len;
         let mut frame = pool.take(total.max(MIN_FRAME_LEN));
-        encode_icmp_frame(&mut frame, src_mac, dst_mac, src_ip, dst_ip, ttl, msg, icmp_len);
+        let encoded =
+            encode_icmp_frame(&mut frame, src_mac, dst_mac, src_ip, dst_ip, ttl, msg, icmp_len);
+        debug_assert!(encoded.is_ok(), "buffer sized for all headers");
         Packet::from_frame(id, frame)
     }
 
@@ -289,6 +358,10 @@ impl Packet {
     }
 }
 
+/// Encodes a UDP/IPv4/Ethernet frame into `frame`. The constructors
+/// size the buffer from the same arithmetic, so the error arm is
+/// unreachable there — but the codecs report honestly instead of
+/// panicking, and the callers debug-assert success.
 #[allow(clippy::too_many_arguments)]
 fn encode_udp_frame(
     frame: &mut [u8],
@@ -300,29 +373,29 @@ fn encode_udp_frame(
     dst_port: u16,
     ttl: u8,
     payload: &[u8],
-) {
+) -> Result<(), NetError> {
     let udp_len = UDP_HEADER_LEN + payload.len();
+    let seg_start = ETHERNET_HEADER_LEN + IPV4_HEADER_LEN;
+    if frame.len() < seg_start + udp_len {
+        return Err(NetError::Truncated);
+    }
     EthernetHeader {
         dst: dst_mac,
         src: src_mac,
         ethertype: EtherType::Ipv4,
     }
-    .encode(frame)
-    .expect("frame sized for ethernet header");
+    .encode(frame)?;
 
     let ip = Ipv4Header::new(src_ip, dst_ip, ipv4::proto::UDP, ttl, udp_len as u16);
-    ip.encode(&mut frame[ETHERNET_HEADER_LEN..])
-        .expect("frame sized for ip header");
+    ip.encode(&mut frame[ETHERNET_HEADER_LEN..])?;
 
-    let seg_start = ETHERNET_HEADER_LEN + IPV4_HEADER_LEN;
-    UdpHeader::new(src_port, dst_port, payload.len() as u16)
-        .encode(&mut frame[seg_start..])
-        .expect("frame sized for udp header");
+    UdpHeader::new(src_port, dst_port, payload.len() as u16).encode(&mut frame[seg_start..])?;
     frame[seg_start + UDP_HEADER_LEN..seg_start + udp_len].copy_from_slice(payload);
-    udp::fill_checksum(src_ip, dst_ip, &mut frame[seg_start..seg_start + udp_len])
-        .expect("segment in bounds");
+    udp::fill_checksum(src_ip, dst_ip, &mut frame[seg_start..seg_start + udp_len])?;
+    Ok(())
 }
 
+/// ICMP sibling of [`encode_udp_frame`]; same contract.
 #[allow(clippy::too_many_arguments)]
 fn encode_icmp_frame(
     frame: &mut [u8],
@@ -333,22 +406,23 @@ fn encode_icmp_frame(
     ttl: u8,
     msg: &IcmpMessage,
     icmp_len: usize,
-) {
+) -> Result<(), NetError> {
+    let start = ETHERNET_HEADER_LEN + IPV4_HEADER_LEN;
+    if frame.len() < start + icmp_len {
+        return Err(NetError::Truncated);
+    }
     EthernetHeader {
         dst: dst_mac,
         src: src_mac,
         ethertype: EtherType::Ipv4,
     }
-    .encode(frame)
-    .expect("frame sized for ethernet header");
+    .encode(frame)?;
 
     let ip = Ipv4Header::new(src_ip, dst_ip, ipv4::proto::ICMP, ttl, icmp_len as u16);
-    ip.encode(&mut frame[ETHERNET_HEADER_LEN..])
-        .expect("frame sized for ip header");
+    ip.encode(&mut frame[ETHERNET_HEADER_LEN..])?;
 
-    let start = ETHERNET_HEADER_LEN + IPV4_HEADER_LEN;
-    msg.encode(&mut frame[start..start + icmp_len])
-        .expect("frame sized for icmp message");
+    msg.encode(&mut frame[start..start + icmp_len])?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -464,6 +538,51 @@ mod tests {
         let parsed = IcmpMessage::parse(&dgram[IPV4_HEADER_LEN..]).unwrap();
         assert_eq!(parsed.kind, IcmpKind::TimeExceeded);
         assert_eq!(parsed.payload.len(), 28);
+    }
+
+    #[test]
+    fn flow_key_parses_udp_5_tuple() {
+        let p = sample(&[0u8; 4]);
+        let key = p.flow_key().expect("valid UDP frame has a flow");
+        assert_eq!(key.src_ip, u32::from(SRC_IP));
+        assert_eq!(key.dst_ip, u32::from(DST_IP));
+        assert_eq!(key.proto, ipv4::proto::UDP);
+        assert_eq!(key.src_port, 5000);
+        assert_eq!(key.dst_port, 9);
+        // Parsing is stateless: the cached field is untouched.
+        assert_eq!(p.flow, None);
+    }
+
+    #[test]
+    fn flow_key_none_for_non_ip() {
+        let mut frame = vec![0u8; MIN_FRAME_LEN];
+        EthernetHeader {
+            dst: MacAddr::BROADCAST,
+            src: MacAddr::local(1),
+            ethertype: EtherType::Arp,
+        }
+        .encode(&mut frame)
+        .unwrap();
+        let p = Packet::from_frame(PacketId(7), frame);
+        assert_eq!(p.flow_key(), None);
+    }
+
+    #[test]
+    fn flow_key_portless_for_icmp() {
+        use crate::icmp::IcmpMessage;
+        let msg = IcmpMessage::time_exceeded(&[0u8; 28]);
+        let p = Packet::icmp_ipv4(
+            PacketId(8),
+            MacAddr::local(1),
+            MacAddr::local(2),
+            SRC_IP,
+            DST_IP,
+            32,
+            &msg,
+        );
+        let key = p.flow_key().expect("valid ICMP frame has a flow");
+        assert_eq!(key.proto, ipv4::proto::ICMP);
+        assert_eq!((key.src_port, key.dst_port), (0, 0));
     }
 
     #[test]

@@ -173,8 +173,10 @@ impl<E> CalendarQueue<E> {
                     // work "for right now") land ahead of everything still
                     // pending in their slice — push_front is O(1) and, in
                     // the measured mix, catches half of all non-appends.
-                    let front = bucket.front().expect("nonempty");
-                    if (front.at, front.seq) > (at, seq) {
+                    let lands_in_front = bucket
+                        .front()
+                        .is_some_and(|front| (front.at, front.seq) > (at, seq));
+                    if lands_in_front {
                         bucket.push_front(Entry { at, seq, payload });
                     } else {
                         let pos = bucket.partition_point(|e| (e.at, e.seq) <= (at, seq));

@@ -140,7 +140,7 @@ impl MeanVar {
         let n = n1 + n2;
         self.mean += delta * n2 / n;
         self.m2 += other.m2 + delta * delta * n1 * n2 / n;
-        self.n += other.n;
+        self.n = self.n.saturating_add(other.n);
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
@@ -354,9 +354,11 @@ impl HdrHistogram {
 
     /// Folds another histogram into this one. Counts, sums and extrema
     /// merge exactly; the merged result is independent of merge order.
+    /// Bucket counts saturate instead of wrapping, like every other
+    /// counter in this module.
     pub fn merge(&mut self, other: &HdrHistogram) {
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
-            *a += b;
+            *a = a.saturating_add(*b);
         }
         self.sum = self.sum.saturating_add(other.sum);
         self.stats.merge(&other.stats);
@@ -669,6 +671,62 @@ mod tests {
         e.merge(&snapshot);
         assert_eq!(e.count(), 2);
         assert_eq!(e.quantile(1.0), snapshot.quantile(1.0));
+    }
+
+    #[test]
+    fn hdr_empty_quantiles_are_zero() {
+        let h = HdrHistogram::new();
+        assert!(h.is_empty());
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Nanos::ZERO, "q={q}");
+        }
+        assert_eq!(h.min(), Nanos::ZERO);
+        assert_eq!(h.max(), Nanos::ZERO);
+        assert_eq!(h.mean(), Nanos::ZERO);
+        assert_eq!(h.sum(), Nanos::ZERO);
+    }
+
+    #[test]
+    fn hdr_single_sample_every_quantile_is_that_sample() {
+        for v in [0u64, 1, 31, 32, 1_000_000, u64::MAX >> 11] {
+            let mut h = HdrHistogram::new();
+            h.record(Nanos::new(v));
+            assert_eq!(h.count(), 1);
+            for q in [0.0, 0.001, 0.5, 0.999, 1.0] {
+                // One sample: every quantile bound is clamped to the
+                // observed maximum, i.e. the sample itself.
+                assert_eq!(h.quantile(q), Nanos::new(v), "v={v} q={q}");
+            }
+            assert_eq!(h.min(), Nanos::new(v));
+            assert_eq!(h.max(), Nanos::new(v));
+        }
+    }
+
+    #[test]
+    fn hdr_merge_saturates_bucket_counts() {
+        // Self-merging doubles every bucket count; 64 doublings pushes a
+        // single-sample bucket past u64::MAX, which must saturate, not
+        // wrap to zero (wrapping would erase the sample and its quantile).
+        let mut h = HdrHistogram::new();
+        h.record(Nanos::new(7));
+        for _ in 0..64 {
+            let snapshot = h.clone();
+            h.merge(&snapshot);
+        }
+        assert_eq!(h.count(), u64::MAX, "count saturated");
+        assert_eq!(h.quantile(0.5), Nanos::new(7), "sample survives");
+        assert_eq!(h.quantile(1.0), Nanos::new(7));
+        assert_eq!(h.max(), Nanos::new(7));
+
+        // The duration sum saturates the same way.
+        let mut big = HdrHistogram::new();
+        big.record(Nanos::new(u64::MAX >> 1));
+        let mut sum = big.clone();
+        sum.merge(&big);
+        sum.merge(&big);
+        assert_eq!(sum.sum(), Nanos::new(u64::MAX), "sum saturated");
+        assert_eq!(sum.count(), 3);
+        assert_eq!(sum.quantile(1.0), Nanos::new(u64::MAX >> 1));
     }
 
     #[cfg(feature = "proptest")]

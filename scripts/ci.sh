@@ -32,6 +32,17 @@
 #      the shared-queue path must stay <= 1.2x / <= 1.3x, and every
 #      per-CPU cycle ledger must conserve), or figS_1.csv was not
 #      byte-identical across job counts
+#  10  the online-detection gate failed: figure O-1 violates the
+#      detection claim (the unmodified kernel must report livelock onset
+#      and starved flows above the MLFRR while the polled kernel with
+#      feedback reports no onset), or figO_1.csv was not byte-identical
+#      across job counts, or the JSONL event stream / folded flamegraph
+#      from `livelock trial` was not byte-identical across runs
+#  11  the observe smoke failed: `livelock observe` did not exit 0 on the
+#      default overload (its own exit codes 3-6 name the violated
+#      invariant), or its bad-argument path did not exit 2, or
+#      `perf --observe` measured the observability layer perturbing the
+#      trial or costing more than its wall-clock budget
 #
 # Usage: scripts/ci.sh [--jobs N] [other flags...]
 #   --jobs N is validated here; any other flag is passed through to the
@@ -94,8 +105,9 @@ echo "== simlint: determinism / drop-accounting / interrupt-discipline =="
 # mutation path, interrupt handlers that only initiate polling, ledger
 # charges only at executor commit points, panic-free library code, no
 # new callers of the deprecated KernelConfig constructors or TrialResult
-# scalar accessors, and cross-CPU state confined to the IPI/steal
-# channel files. Inline
+# scalar accessors, cross-CPU state confined to the IPI/steal channel
+# files, and per-flow metrics mutated only through the KernelStats
+# attribution hooks. Inline
 # `// simlint: allow(rule): reason` and crates/lint/baseline.txt cover the
 # sanctioned exceptions; anything fresh gates hard here.
 if "$repo/target/release/simlint" --root "$repo"; then
@@ -128,6 +140,9 @@ elif [ "$rc" -eq 5 ]; then
 elif [ "$rc" -eq 6 ]; then
     echo "ci: FAIL — SMP gate: figure S-1 violates the scaling claim" >&2
     exit 9
+elif [ "$rc" -eq 7 ]; then
+    echo "ci: FAIL — online-detection gate: figure O-1 violates the detection claim" >&2
+    exit 10
 elif [ "$rc" -ne 0 ]; then
     echo "ci: FAIL — figures exited $rc" >&2
     exit 1
@@ -172,6 +187,48 @@ if cmp -s "$scratch/j1/results/figS_1.csv" "$scratch/jN/results/figS_1.csv"; the
 else
     echo "ci: FAIL — figS_1.csv differs between --jobs 1 and --jobs 4" >&2
     exit 9
+fi
+
+echo "== determinism: figure O-1 byte-identical across job counts =="
+# The online-detection figure runs with the full observability layer on
+# (per-flow registry, livelock detector, cycle fold); the determinism
+# contract extends to everything the layer measures, so its CSV must not
+# depend on host job count either.
+(cd "$scratch/j1" && "$repo/target/release/figures" --quick --fig O-1 --jobs 1) || exit 1
+(cd "$scratch/jN" && "$repo/target/release/figures" --quick --fig O-1 --jobs 4) || exit 1
+if cmp -s "$scratch/j1/results/figO_1.csv" "$scratch/jN/results/figO_1.csv"; then
+    echo "ci: figO_1.csv byte-identical at --jobs 1 and --jobs 4"
+else
+    echo "ci: FAIL — figO_1.csv differs between --jobs 1 and --jobs 4" >&2
+    exit 10
+fi
+
+echo "== determinism: event stream and flamegraph byte-identical across runs =="
+# The observability artifacts themselves are part of the determinism
+# contract: the JSONL event stream and the folded flamegraph from two
+# fresh processes of the same trial must match byte for byte.
+mkdir -p "$scratch/obs1" "$scratch/obs2"
+for d in obs1 obs2; do
+    "$repo/target/release/livelock" trial --config screend --rate 12000 \
+        --packets 2000 --seed 7 \
+        --events "$scratch/$d/events.jsonl" \
+        --flamegraph "$scratch/$d/trial.folded" > /dev/null || {
+        echo "ci: FAIL — livelock trial --events/--flamegraph exited nonzero" >&2
+        exit 10
+    }
+done
+if cmp -s "$scratch/obs1/events.jsonl" "$scratch/obs2/events.jsonl" \
+    && cmp -s "$scratch/obs1/trial.folded" "$scratch/obs2/trial.folded"; then
+    echo "ci: events.jsonl and trial.folded byte-identical across runs"
+else
+    echo "ci: FAIL — observability artifacts differ between identical runs" >&2
+    exit 10
+fi
+if [ -s "$scratch/obs1/events.jsonl" ] && [ -s "$scratch/obs1/trial.folded" ]; then
+    echo "ci: observability artifacts are non-empty"
+else
+    echo "ci: FAIL — an observability artifact is empty" >&2
+    exit 10
 fi
 
 echo "== committed results: full-fidelity figures byte-identical =="
@@ -274,6 +331,38 @@ then
 else
     echo "ci: FAIL — perf smoke schema or >2x throughput regression (see above)" >&2
     exit 8
+fi
+
+echo "== perf --observe: zero-perturbation + overhead budget =="
+# Paired off/on trials: the binary asserts the observed run's measured
+# fields are bit-identical to the unobserved run's, and that the layer's
+# wall-clock cost stays inside its budget.
+if "$repo/target/release/perf" --observe --packets 200; then
+    echo "ci: observability layer unperturbing and within budget"
+else
+    echo "ci: FAIL — perf --observe found perturbation or a budget overrun" >&2
+    exit 11
+fi
+
+echo "== observe smoke: online detection exit codes =="
+# The observe subcommand's contract is its exit code: 0 when the
+# unmodified kernel livelocks above the MLFRR, the polled kernel does
+# not, the starvation watch separates them, and every per-flow ledger
+# closes exactly; 3-6 name the violated invariant; 2 is bad arguments.
+if "$repo/target/release/livelock" observe; then
+    echo "ci: observe invariants hold at the default overload"
+else
+    rc=$?
+    echo "ci: FAIL — livelock observe exited $rc (see invariant list above)" >&2
+    exit 11
+fi
+"$repo/target/release/livelock" observe --rate -5 > /dev/null 2>&1
+rc=$?
+if [ "$rc" -eq 2 ]; then
+    echo "ci: observe rejects bad arguments with exit 2"
+else
+    echo "ci: FAIL — livelock observe --rate -5 exited $rc, want 2" >&2
+    exit 11
 fi
 
 echo "== chaos smoke: seeded fault storm, graceful-degradation invariants =="
