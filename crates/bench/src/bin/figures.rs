@@ -27,15 +27,20 @@
 //! conserved), 7 when figure O-1 violates the online-detection claim
 //! (the unmodified kernel must report a livelock-onset cycle above the
 //! MLFRR and starve tracked flows at deep overload, while the polled
-//! kernel with feedback reports neither at any swept rate).
+//! kernel with feedback reports neither at any swept rate), 8 when
+//! figure P-1 violates the priority-isolation claim (the classified
+//! polled kernel must keep Control's windowed p99 within its SLO and
+//! its delivery near the offered share at loads where the single-class
+//! unmodified kernel has collapsed, shed Bulk before Realtime and
+//! Control never, and conserve every per-class ledger).
 
 use std::fs;
 use std::path::Path;
 
 use livelock_bench::{
     all_figures, cpu_share_violations, fault_shape_violations, latency_shape_violations,
-    observe_shape_violations, render_fig_o1, render_fig_r1, render_figure, shape_violations,
-    smp_shape_violations, PAPER_TRIAL_PACKETS,
+    observe_shape_violations, priority_shape_violations, render_fig_o1, render_fig_p1,
+    render_fig_r1, render_figure, shape_violations, smp_shape_violations, PAPER_TRIAL_PACKETS,
 };
 use livelock_kernel::par::{default_jobs, Parallelism};
 
@@ -77,6 +82,7 @@ fn main() {
     let mut fault_violations = Vec::new();
     let mut smp_violations = Vec::new();
     let mut observe_violations = Vec::new();
+    let mut priority_violations = Vec::new();
     let write_csv = |rendered: &livelock_bench::RenderedFigure,
                          write_errors: &mut Vec<String>| {
         let path = out_dir.join(format!("fig{}.csv", rendered.id.replace('-', "_")));
@@ -128,6 +134,17 @@ fn main() {
         observe_violations.extend(observe_shape_violations(&rendered));
     }
 
+    // Figure P-1 plots per-class delivery and latency under the flow
+    // classifier, so it too renders outside the inventory.
+    if only.is_none() || only.as_deref() == Some("P-1") {
+        eprintln!("rendering figure P-1 ({n_packets} packets/trial, {jobs} jobs)...");
+        let rendered = render_fig_p1(n_packets, Parallelism::Jobs(jobs));
+        print!("{}", rendered.to_table());
+        println!();
+        write_csv(&rendered, &mut write_errors);
+        priority_violations.extend(priority_shape_violations(&rendered));
+    }
+
     if !write_errors.is_empty() {
         eprintln!("CSV WRITE FAILURES:");
         for w in &write_errors {
@@ -140,6 +157,7 @@ fn main() {
         && fault_violations.is_empty()
         && smp_violations.is_empty()
         && observe_violations.is_empty()
+        && priority_violations.is_empty()
     {
         eprintln!("all rendered figures match the paper's qualitative shapes");
     }
@@ -184,6 +202,13 @@ fn main() {
             eprintln!("  {v}");
         }
         std::process::exit(7);
+    }
+    if !priority_violations.is_empty() {
+        eprintln!("PRIORITY-ISOLATION VIOLATIONS:");
+        for v in &priority_violations {
+            eprintln!("  {v}");
+        }
+        std::process::exit(8);
     }
     if !write_errors.is_empty() {
         std::process::exit(1);

@@ -8,7 +8,7 @@
 //! livelock sweep  --config unmodified,polled [--rates 1000,2000,...] [--jobs N] [--latency]
 //!                 [--ncpus N] [--steal]
 //! livelock mlfrr  --config polled [--loss-free 0.98] [--jobs N]
-//! livelock chaos  [--seed S] [--rate PPS] [--packets N] [--intensity F]
+//! livelock chaos  [--seed S] [--rate PPS] [--packets N] [--intensity F] [--priority]
 //! livelock observe [--rate PPS] [--packets N] [--seed S]
 //! ```
 //!
@@ -42,6 +42,15 @@
 //! 7 when a scheduled fault never fired, 8 when the unmodified kernel
 //! failed to livelock under the same storm (the contrast half of the
 //! demonstration; expects the default overload `--rate`).
+//!
+//! `chaos --priority` runs the same storm with the P-1 flow classifier
+//! and the observability layer on both kernels (classes are *observed*
+//! on the unmodified kernel but only *enforced* — priority rings, shed
+//! gate — on the polled one) and additionally asserts the
+//! priority-isolation contrast. Exit status 9 when the classified
+//! polled kernel produced a priority-inversion event (Control blew its
+//! p99 SLO while Bulk was still served), 10 when the unmodified kernel
+//! produced none under the identical storm.
 //!
 //! `observe` runs the online livelock detector against both kernels at
 //! one overload rate (an eight-flow flood through screend, observability
@@ -146,7 +155,7 @@ struct Args {
 
 impl Args {
     /// Flags that take no value.
-    const BOOL_FLAGS: &'static [&'static str] = &["latency", "steal"];
+    const BOOL_FLAGS: &'static [&'static str] = &["latency", "steal", "priority"];
 
     fn parse(raw: &[String]) -> Result<Args, String> {
         let mut flags = Vec::new();
@@ -478,11 +487,15 @@ fn cmd_mlfrr(args: &Args) -> Result<(), String> {
 /// and the first violated invariant picks the (documented) exit code.
 fn cmd_chaos(args: &Args) -> Result<i32, String> {
     let seed = args.get_u64("seed", 0xC4A05)?;
+    let priority = args.has("priority");
     // The default rate sits deep in the unmodified kernel's livelock
     // region, so the run demonstrates the contrast the paper is about:
     // the polled kernel rides out the same storm the unmodified kernel
-    // cannot even survive fault-free.
-    let rate = args.get_f64("rate", 12_000.0)?;
+    // cannot even survive fault-free. The --priority default sits lower:
+    // cross-class inversion needs the unmodified kernel still serving a
+    // Bulk trickle while Control starves — at deep collapse it serves
+    // nothing at all, which is livelock, not inversion.
+    let rate = args.get_f64("rate", if priority { 5_000.0 } else { 12_000.0 })?;
     let n_packets = args.get_usize("packets", 6_000)?;
     let intensity = args.get_f64("intensity", 2.0)?;
     if !(rate > 0.0) {
@@ -494,8 +507,25 @@ fn cmd_chaos(args: &Args) -> Result<i32, String> {
 
     // Both kernels route through screend and face the identical storm:
     // the middle 80% of the trial, clear of warm-up and tail.
-    let polled_cfg = config_by_name("feedback").ok_or("missing feedback config")?;
-    let unmod_cfg = config_by_name("screend").ok_or("missing screend config")?;
+    let mut polled_cfg = config_by_name("feedback").ok_or("missing feedback config")?;
+    let mut unmod_cfg = config_by_name("screend").ok_or("missing screend config")?;
+    if priority {
+        // The P-1 classifier plus the observability layer on both
+        // kernels: the unmodified kernel observes classes without
+        // enforcing them, which is exactly the inversion the polled
+        // kernel's priority rings and shed gate must prevent. The SLO is
+        // storm-aware: a screend crash parks even a perfectly-isolated
+        // Control packet for up to ~8 ms of restart, so the fault-free
+        // P-1 SLO would flag fault downtime as inversion on any kernel.
+        // (The unmodified kernel's verdict does not depend on this: it
+        // fires the starved-outright clause, which has no SLO in it.)
+        let mut classes = livelock_bench::p1_classify_config();
+        classes.slo_p99_us = 25_000.0;
+        polled_cfg.classes = Some(classes.clone());
+        unmod_cfg.classes = Some(classes);
+        polled_cfg.observe = Some(ObserveConfig::default());
+        unmod_cfg.observe = Some(ObserveConfig::default());
+    }
     let freq = polled_cfg.cost.freq;
     let total_ms = (n_packets as f64 / rate * 1_000.0) as u64;
     let plan = FaultPlan::storm(
@@ -514,6 +544,7 @@ fn cmd_chaos(args: &Args) -> Result<i32, String> {
         let mut spec = TrialSpec {
             rate_pps: rate,
             n_packets,
+            flows: priority.then(livelock_bench::p1_flows),
             ..TrialSpec::new(cfg)
         };
         if !plan.is_empty() {
@@ -616,11 +647,62 @@ fn cmd_chaos(args: &Args) -> Result<i32, String> {
             ),
         ));
     }
+    // The priority-isolation contrast (`--priority`): under the
+    // identical storm the classified polled kernel must keep Control
+    // clear of cross-class inversion while the unmodified kernel —
+    // observing the same classes without enforcing them — must show it.
+    if priority {
+        let inversions = |r: &TrialResult| {
+            r.events
+                .iter()
+                .filter(|ev| matches!(ev.kind, ObsEventKind::PriorityInversion { .. }))
+                .count()
+        };
+        println!("per-class books (delivered pkts/s, shed)");
+        for (name, r) in [("polled", &polled.result), ("unmodified", &unmod.result)] {
+            print!("  {name:<11}");
+            for c in r.per_class() {
+                print!(
+                    "  {} {:>5.0}/s shed {:<6}",
+                    c.class.label(),
+                    c.delivered_pps,
+                    c.shed
+                );
+            }
+            println!();
+        }
+        let (p_inv, u_inv) = (inversions(&polled.result), inversions(&unmod.result));
+        println!("priority-inversion events: polled {p_inv}, unmodified {u_inv}");
+        println!();
+        if p_inv > 0 {
+            violations.push((
+                9,
+                format!(
+                    "classified polled kernel produced {p_inv} priority-inversion \
+                     event(s) — Control blew its SLO while Bulk was served"
+                ),
+            ));
+        }
+        if u_inv == 0 {
+            violations.push((
+                10,
+                format!(
+                    "unmodified kernel produced no priority-inversion event at \
+                     {rate:.0} pkts/s — is --rate below its collapse point?"
+                ),
+            ));
+        }
+    }
     if violations.is_empty() {
         println!(
             "all graceful-degradation invariants hold: delivery sustained, \
              gate open, screend queue drained, ledger conserved, \
-             unmodified kernel livelocked under the same storm"
+             unmodified kernel livelocked under the same storm{}",
+            if priority {
+                ", Control isolated from inversion on the classified kernel only"
+            } else {
+                ""
+            }
         );
         return Ok(0);
     }

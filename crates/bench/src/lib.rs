@@ -8,12 +8,13 @@
 
 use livelock_core::analysis::{classify, mlfrr, overload_stability, LivelockVerdict};
 use livelock_core::poller::Quota;
-use livelock_kernel::config::KernelConfig;
+use livelock_kernel::config::{ClassifyConfig, KernelConfig};
 use livelock_kernel::experiment::{run_trial, sweep, SweepResult, TrialSpec};
 use livelock_kernel::telemetry::{ObsEventKind, ObserveConfig};
 use livelock_kernel::par::{par_map, Parallelism};
 use livelock_machine::fault::FaultPlan;
 use livelock_machine::{CpuClass, SchedulerKind};
+use livelock_net::classify::{MatchRule, TrafficClass};
 
 /// What a figure's value column (y-axis) plots.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -44,6 +45,12 @@ pub enum Axis {
     /// Number of distinct flows the online detector flagged as starved
     /// (`FlowStarved` fires once per flow), as a count (figure O-1).
     StarvedFlows,
+    /// One traffic class's delivered rate in pkts/s, from the trial's
+    /// per-class books (figure P-1). Plots 0 when classification was off.
+    ClassDeliveredPps(TrafficClass),
+    /// One traffic class's 99th-percentile wire-to-delivery sojourn in
+    /// microseconds (figure P-1). Plots 0 when classification was off.
+    ClassLatencyP99Micros(TrafficClass),
 }
 
 /// One figure: an id, a caption, curves, the swept input rates, and the
@@ -460,6 +467,16 @@ impl RenderedFigure {
                 .iter()
                 .filter(|ev| matches!(ev.kind, ObsEventKind::FlowStarved { .. }))
                 .count() as f64,
+            Axis::ClassDeliveredPps(c) => t
+                .per_class()
+                .iter()
+                .find(|s| s.class == c)
+                .map_or(0.0, |s| s.delivered_pps),
+            Axis::ClassLatencyP99Micros(c) => t
+                .per_class()
+                .iter()
+                .find(|s| s.class == c)
+                .map_or(0.0, |s| s.latency_p99.as_micros_f64()),
         }
     }
 
@@ -850,6 +867,242 @@ pub fn observe_shape_violations(r: &RenderedFigure) -> Vec<String> {
             r.value(p_st, last),
             r.value(u_st, last)
         ));
+    }
+    v
+}
+
+/// The fixed eight-flow port set every P-1 trial cycles its packets
+/// through: one `Control` flow, one `Realtime` flow and six `Bulk`
+/// flows, so offered load splits 1/8 : 1/8 : 6/8 across the classes.
+pub fn p1_flows() -> Vec<u16> {
+    vec![7_000, 7_100, 7_200, 7_201, 7_202, 7_203, 7_204, 7_205]
+}
+
+/// The classification policy figure P-1 (and `chaos --priority`) runs:
+/// source port 7000 is `Control`, 7100 is `Realtime`, everything else
+/// falls to the default `Bulk` class.
+///
+/// The shed hysteresis is tighter than the config default because the
+/// screend queue — the bottleneck the controller watches — is FIFO:
+/// every packet already admitted ahead of a `Control` packet adds a
+/// full service time (~hundreds of microseconds) to its sojourn, so
+/// meeting a single-digit-millisecond SLO means shedding early enough
+/// that the queue stays shallow, not just short of overflow.
+pub fn p1_classify_config() -> ClassifyConfig {
+    ClassifyConfig {
+        rules: vec![
+            MatchRule::src_port(7_000, TrafficClass::Control),
+            MatchRule::src_port(7_100, TrafficClass::Realtime),
+        ],
+        shed: livelock_kernel::config::ShedConfig {
+            shed_hi_frac: 0.125,
+            restore_lo_frac: 0.0,
+            min_hold_ticks: 2,
+        },
+        slo_p99_us: 5_000.0,
+        ..ClassifyConfig::default()
+    }
+}
+
+/// Figure P-1: priority-aware overload. Per-class delivered throughput
+/// and `Control` p99 latency versus offered load for the polled kernel
+/// with classification (strict-priority drain + SLO-guarded shedding),
+/// against the single-class unmodified kernel — both routing through
+/// screend, both fed the same eight-flow mix ([`p1_flows`]). Rendered
+/// outside [`all_figures`] because its y-axes mix per-class rates and
+/// latencies.
+pub fn render_fig_p1(n_packets: usize, par: Parallelism) -> RenderedFigure {
+    let classified = KernelConfig::builder()
+        .polled(Quota::Limited(10))
+        .screend(Default::default())
+        .classes(p1_classify_config())
+        .build();
+    let unmod = KernelConfig::builder().screend(Default::default()).build();
+    let curve_defs: Vec<(String, KernelConfig, Axis)> = vec![
+        (
+            "Classified control delivered".into(),
+            classified.clone(),
+            Axis::ClassDeliveredPps(TrafficClass::Control),
+        ),
+        (
+            "Classified realtime delivered".into(),
+            classified.clone(),
+            Axis::ClassDeliveredPps(TrafficClass::Realtime),
+        ),
+        (
+            "Classified bulk delivered".into(),
+            classified.clone(),
+            Axis::ClassDeliveredPps(TrafficClass::Bulk),
+        ),
+        ("Unmodified delivered".into(), unmod.clone(), Axis::DeliveredPps),
+        (
+            "Classified control p99".into(),
+            classified,
+            Axis::ClassLatencyP99Micros(TrafficClass::Control),
+        ),
+        ("Unmodified p99".into(), unmod, Axis::LatencyP99Micros),
+    ];
+    let rates = throughput_rates();
+    let work: Vec<(usize, f64)> = curve_defs
+        .iter()
+        .enumerate()
+        .flat_map(|(ci, _)| rates.iter().map(move |&r| (ci, r)))
+        .collect();
+    let mut trials = par_map(&work, par.jobs(), |&(ci, rate_pps)| {
+        let (_, cfg, _) = &curve_defs[ci];
+        run_trial(&TrialSpec {
+            rate_pps,
+            n_packets,
+            flows: Some(p1_flows()),
+            ..TrialSpec::new(cfg.clone())
+        })
+    })
+    .into_iter();
+    let curves = curve_defs
+        .iter()
+        .map(|(label, _, _)| SweepResult {
+            label: label.clone(),
+            trials: trials.by_ref().take(rates.len()).collect(),
+        })
+        .collect();
+    RenderedFigure {
+        id: "P-1",
+        caption: "Priority-aware overload: per-class delivery and Control p99 vs offered load",
+        rates,
+        curves,
+        axis: Axis::DeliveredPps,
+        curve_axes: curve_defs.iter().map(|(_, _, a)| *a).collect(),
+        x_label: "input_pps",
+    }
+}
+
+/// Checks the rendered priority figure (P-1) against the tentpole's
+/// claims. Returns human-readable violations (empty = the claims hold):
+///
+/// - `Control` is never shed and its p99 meets the SLO at every swept
+///   rate — including the deep-overload rates where the single-class
+///   unmodified kernel has collapsed (delivery under 10% of offered and
+///   p99 far above the classified `Control`'s);
+/// - at the heaviest load the classified kernel still delivers
+///   near-all of the offered `Control` share (its 1/8 of the mix);
+/// - the shedding lands on `Bulk`: bulk sheds dominate realtime sheds,
+///   and per-class arrived/delivered/shed counters stay consistent
+///   (shed + delivered never exceeds arrived).
+pub fn priority_shape_violations(r: &RenderedFigure) -> Vec<String> {
+    let mut v = Vec::new();
+    if r.id != "P-1" {
+        return v;
+    }
+    let find = |needle: &str| {
+        r.curves
+            .iter()
+            .position(|c| c.label.to_lowercase().contains(needle))
+    };
+    let (Some(ctrl), Some(u_del), Some(ctrl_p99), Some(u_p99)) = (
+        find("control delivered"),
+        find("unmodified delivered"),
+        find("control p99"),
+        find("unmodified p99"),
+    ) else {
+        v.push(format!(
+            "fig {}: needs classified control delivered/p99 and unmodified delivered/p99 curves",
+            r.id
+        ));
+        return v;
+    };
+    let slo_us = p1_classify_config().slo_p99_us;
+    let n_flows = p1_flows().len() as f64;
+    let last = r.rates.len() - 1;
+    for (pi, &rate) in r.rates.iter().enumerate() {
+        let p99 = r.value(ctrl_p99, pi);
+        if p99 > slo_us {
+            v.push(format!(
+                "fig {}: classified Control p99 is {p99:.0} us at {rate:.0} pkts/s, \
+                 above the {slo_us:.0} us SLO",
+                r.id
+            ));
+        }
+        for t in r.curves[ctrl].trials.get(pi).iter().copied() {
+            for s in t.per_class() {
+                if s.shed + s.delivered > s.arrived {
+                    v.push(format!(
+                        "fig {}: class {} shed {} + delivered {} exceeds arrived {} \
+                         at {rate:.0} pkts/s",
+                        r.id,
+                        s.class.label(),
+                        s.shed,
+                        s.delivered,
+                        s.arrived
+                    ));
+                }
+                if s.class == TrafficClass::Control && s.shed > 0 {
+                    v.push(format!(
+                        "fig {}: {} Control packets shed at {rate:.0} pkts/s \
+                         (Control must never be shed)",
+                        r.id, s.shed
+                    ));
+                }
+            }
+        }
+    }
+    // Deep overload: the unmodified kernel has collapsed...
+    let u = r.value(u_del, last);
+    if u > 0.10 * r.rates[last] {
+        v.push(format!(
+            "fig {}: unmodified kernel still delivers {u:.0} pkts/s at {:.0} offered; \
+             expected collapse below 10%",
+            r.id, r.rates[last]
+        ));
+    }
+    // ...while the classified kernel still serves Control's full share.
+    let ctrl_share = r.rates[last] / n_flows;
+    let c = r.value(ctrl, last);
+    if c < 0.9 * ctrl_share {
+        v.push(format!(
+            "fig {}: classified Control delivers {c:.0} pkts/s at {:.0} offered, \
+             expected >= 90% of its {ctrl_share:.0} pkts/s share",
+            r.id, r.rates[last]
+        ));
+    }
+    // Once livelocked the unmodified kernel delivers nothing and its p99
+    // reads 0, so the latency comparison uses each curve's worst point.
+    let max_of = |ci: usize| {
+        (0..r.rates.len())
+            .map(|pi| r.value(ci, pi))
+            .fold(0.0_f64, f64::max)
+    };
+    if max_of(u_p99) < 2.0 * max_of(ctrl_p99).max(1.0) {
+        v.push(format!(
+            "fig {}: worst unmodified p99 ({:.0} us) does not sit well above the worst \
+             classified Control p99 ({:.0} us)",
+            r.id,
+            max_of(u_p99),
+            max_of(ctrl_p99)
+        ));
+    }
+    // The shedding lands on Bulk: at the heaviest rate bulk sheds exist
+    // and dominate.
+    if let Some(t) = r.curves[ctrl].trials.last() {
+        let shed_of = |c: TrafficClass| {
+            t.per_class()
+                .iter()
+                .find(|s| s.class == c)
+                .map_or(0, |s| s.shed)
+        };
+        let bulk = shed_of(TrafficClass::Bulk);
+        if bulk == 0 {
+            v.push(format!(
+                "fig {}: no Bulk packets shed at {:.0} pkts/s (the gate never engaged)",
+                r.id, r.rates[last]
+            ));
+        }
+        if shed_of(TrafficClass::Realtime) > bulk {
+            v.push(format!(
+                "fig {}: Realtime sheds exceed Bulk sheds at {:.0} pkts/s \
+                 (shedding must land on the lowest class first)",
+                r.id, r.rates[last]
+            ));
+        }
     }
     v
 }
@@ -1289,6 +1542,7 @@ mod tests {
             flows: None,
             events: Vec::new(),
             fold: None,
+            classes: Vec::new(),
         };
         let rates = vec![2_000.0, 6_000.0, 12_000.0];
         let plateau: Vec<_> = rates.iter().map(|&r| fake_trial(r, 4_000.0_f64.min(r))).collect();
@@ -1456,5 +1710,46 @@ mod tests {
             swapped.curves[i].label = (*label).into();
         }
         assert!(!observe_shape_violations(&swapped).is_empty());
+    }
+
+    #[test]
+    fn priority_figure_isolates_control_under_overload() {
+        // A small P-1 render: the classified kernel keeps Control inside
+        // its SLO across the sweep while the single-class kernel
+        // collapses, and the shedding lands on Bulk.
+        let r = render_fig_p1(2_000, Parallelism::Auto);
+        assert_eq!(r.id, "P-1");
+        assert_eq!(r.x_label, "input_pps");
+        assert_eq!(r.rates, throughput_rates());
+        assert_eq!(r.curves.len(), 6);
+        assert_eq!(r.curve_axes.len(), 6);
+        let v = priority_shape_violations(&r);
+        assert!(v.is_empty(), "{v:?}");
+        // Every classified trial books all three classes, and the books
+        // sum to the aggregate delivery count.
+        for t in &r.curves[0].trials {
+            let per = t.per_class();
+            assert_eq!(per.len(), TrafficClass::COUNT);
+            assert_eq!(per.iter().map(|s| s.delivered).sum::<u64>(), t.transmitted);
+        }
+        // The checker really checks: handing the unmodified kernel's
+        // curves to the classified labels must trip it.
+        let mut swapped = r;
+        swapped.curves.swap(0, 3); // control delivered <-> unmodified delivered
+        swapped.curves.swap(4, 5); // control p99 <-> unmodified p99
+        for (i, label) in [
+            "Classified control delivered",
+            "Classified realtime delivered",
+            "Classified bulk delivered",
+            "Unmodified delivered",
+            "Classified control p99",
+            "Unmodified p99",
+        ]
+        .iter()
+        .enumerate()
+        {
+            swapped.curves[i].label = (*label).into();
+        }
+        assert!(!priority_shape_violations(&swapped).is_empty());
     }
 }

@@ -5,6 +5,7 @@ use livelock_machine::cost::CostModel;
 use livelock_machine::cpu::SchedulerKind;
 use livelock_machine::fault::FaultPlan;
 use livelock_machine::nic::NicConfig;
+use livelock_net::classify::{MatchRule, TrafficClass};
 use livelock_net::filter::Filter;
 
 use crate::telemetry::{ObserveConfig, TelemetryConfig};
@@ -166,6 +167,82 @@ impl Default for ScreendConfig {
     }
 }
 
+/// Priority-aware classification of the receive path (DESIGN.md §14).
+///
+/// A deterministic 5-tuple → [`TrafficClass`] mapping replaces the RSS
+/// hash as the NIC queue-selection policy: each class gets its own
+/// receive ring, the polled path drains rings in strict-priority order
+/// under per-class burst budgets, and an admission gate sheds low
+/// classes first when the downstream queue (or the livelock detector)
+/// signals overload. `None` on [`KernelConfig::classes`] is
+/// zero-perturbation: no classifier runs, packets carry no class, and
+/// every result is byte-identical to a build without this subsystem.
+#[derive(Clone, Debug)]
+pub struct ClassifyConfig {
+    /// The match rules. Order carries no meaning — classification is
+    /// most-specific-wins with class priority as the tie-break (see
+    /// [`livelock_net::classify`]).
+    pub rules: Vec<MatchRule>,
+    /// Class assigned to unmatched flows and unparseable frames.
+    pub default_class: TrafficClass,
+    /// Per-class burst budget for the strict-priority drain, indexed by
+    /// [`TrafficClass::index`]: one poll pass takes at most `burst[c]`
+    /// packets from class `c` before moving down the priority order, so
+    /// a flooding `Control` source cannot starve `Bulk` forever within
+    /// a pass (strictness is between passes, fairness within one).
+    pub burst: [u32; TrafficClass::COUNT],
+    /// The shed controller's hysteresis parameters.
+    pub shed: ShedConfig,
+    /// The `Control` class's p99 latency SLO in microseconds, judged
+    /// over the livelock detector's sliding window. The upgraded
+    /// `PriorityInversion` detector fires when this is violated (or
+    /// `Control` arrivals see zero deliveries) while `Bulk` still
+    /// progresses.
+    pub slo_p99_us: f64,
+}
+
+impl Default for ClassifyConfig {
+    fn default() -> Self {
+        ClassifyConfig {
+            rules: Vec::new(),
+            default_class: TrafficClass::Bulk,
+            burst: [8, 8, 8],
+            shed: ShedConfig::default(),
+            slo_p99_us: 2_000.0,
+        }
+    }
+}
+
+/// Hysteresis parameters for the class-aware admission gate.
+///
+/// The gate watches the downstream bottleneck queue (screend's, when
+/// present, else the output queue on the busiest interface) as a
+/// fraction of its capacity, plus the livelock detector's verdict. Shed
+/// level 1 drops `Bulk` at admission; level 2 also drops `Realtime`;
+/// `Control` is never shed. Levels move one step at a time, and only
+/// after `min_hold_ticks` clock ticks at the current level, so the
+/// controller cannot oscillate within a tick window.
+#[derive(Clone, Copy, Debug)]
+pub struct ShedConfig {
+    /// Queue fill fraction at/above which the shed level escalates
+    /// (level 0 → 1, and 1 → 2 when still above after the hold).
+    pub shed_hi_frac: f64,
+    /// Fill fraction at/below which the shed level de-escalates.
+    pub restore_lo_frac: f64,
+    /// Minimum clock ticks a shed level holds before it may change.
+    pub min_hold_ticks: u64,
+}
+
+impl Default for ShedConfig {
+    fn default() -> Self {
+        ShedConfig {
+            shed_hi_frac: 0.75,
+            restore_lo_frac: 0.25,
+            min_hold_ticks: 2,
+        }
+    }
+}
+
 /// Full kernel configuration.
 #[derive(Clone, Debug)]
 pub struct KernelConfig {
@@ -220,6 +297,18 @@ pub struct KernelConfig {
     /// armed, and the run is byte-identical to one without the fault
     /// subsystem).
     pub faults: Option<FaultPlan>,
+    /// Priority-aware flow classification (`None` = off, the default:
+    /// no classifier runs, the NIC keeps its single ring / RSS-hash
+    /// queue selection, no admission gate sheds, and the run is
+    /// byte-identical to one without the classification subsystem).
+    ///
+    /// In polled mode the full mechanism engages: per-priority NIC
+    /// rings, strict-priority drain with burst budgets, and the shed
+    /// controller. In unmodified mode only the *accounting* half runs
+    /// (per-class stats and inversion detection) — the interrupt path
+    /// has no admission gate to protect anything, which is exactly the
+    /// contrast `chaos --priority` demonstrates.
+    pub classes: Option<ClassifyConfig>,
     /// Event-scheduler backend for the machine engine. Both backends
     /// dispatch in bit-identical order; [`SchedulerKind::Calendar`] (the
     /// default) is the fast one, [`SchedulerKind::Heap`] the reference
@@ -249,6 +338,7 @@ impl KernelConfig {
             telemetry: None,
             observe: None,
             faults: None,
+            classes: None,
             scheduler: SchedulerKind::default(),
             cost: CostModel::calibrated(),
         }
@@ -537,6 +627,14 @@ impl KernelConfigBuilder {
     /// is equivalent to none.
     pub fn faults(mut self, plan: FaultPlan) -> Self {
         self.cfg.faults = Some(plan);
+        self
+    }
+
+    /// Enables priority-aware flow classification (off by default): the
+    /// deterministic classifier, per-priority NIC rings, the
+    /// strict-priority drain and the SLO-guarded shed controller.
+    pub fn classes(mut self, cfg: ClassifyConfig) -> Self {
+        self.cfg.classes = Some(cfg);
         self
     }
 

@@ -18,7 +18,7 @@
 //! is bit-identical to a build without the observability layer.
 
 use livelock_machine::nic::rss_hash;
-use livelock_net::FlowKey;
+use livelock_net::{FlowKey, TrafficClass};
 use livelock_sim::{Cycles, Freq, HdrHistogram};
 
 use crate::stats::{DropReason, DropStats};
@@ -57,6 +57,10 @@ pub struct FlowStats {
     pub first_delivery: Option<Cycles>,
     /// Cycle timestamp of the flow's most recent delivery.
     pub last_delivery: Option<Cycles>,
+    /// The traffic class the classifier assigned this flow (`None` when
+    /// classification is off). A deterministic classifier maps a
+    /// 5-tuple to exactly one class, so the stamp never flaps.
+    pub class: Option<TrafficClass>,
 }
 
 impl FlowStats {
@@ -70,6 +74,7 @@ impl FlowStats {
             latency: HdrHistogram::new(),
             first_delivery: None,
             last_delivery: None,
+            class: None,
         }
     }
 
@@ -86,6 +91,7 @@ impl FlowStats {
             (a, b) => a.or(b),
         };
         self.last_delivery = self.last_delivery.max(other.last_delivery);
+        self.class = self.class.or(other.class);
     }
 }
 
@@ -174,6 +180,18 @@ impl FlowRegistry {
                 }
                 None => self.overflow_arrivals += 1,
             },
+        }
+    }
+
+    /// Stamps `key`'s flow with the traffic class the classifier
+    /// assigned it (no-op for unattributed or overflowed flows). The
+    /// classifier is deterministic over the 5-tuple, so repeated stamps
+    /// always agree.
+    pub fn note_class(&mut self, key: Option<FlowKey>, class: TrafficClass) {
+        if let Some(i) = key.and_then(|k| self.slot_for(k)) {
+            if let Some(s) = &mut self.slots[i] {
+                s.class = Some(class);
+            }
         }
     }
 

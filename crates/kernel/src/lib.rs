@@ -46,16 +46,19 @@ pub mod stats;
 pub mod telemetry;
 
 pub use config::{
-    FeedbackConfig, KernelConfig, KernelConfigBuilder, Mode, PolledConfig, ScreendConfig, Topology,
+    ClassifyConfig, FeedbackConfig, KernelConfig, KernelConfigBuilder, Mode, PolledConfig,
+    ScreendConfig, ShedConfig, Topology,
 };
 pub use experiment::{
-    run_chaos_trial, run_trial, run_trial_traced, sweep, ChaosReport, CpuStats, SweepResult,
-    TrialResult, TrialSpec,
+    run_chaos_trial, run_trial, run_trial_traced, sweep, ChaosReport, ClassSummary, CpuStats,
+    SweepResult, TrialResult, TrialSpec,
 };
 pub use flows::{flow_hash, FlowRegistry, FlowStats};
 pub use par::{default_jobs, par_map, Parallelism};
 pub use router::{tag_label, RouterKernel};
-pub use stats::{DropReason, DropStats, FaultStats, KernelStats, LatencyStats, Stage};
+pub use stats::{
+    ClassCounters, ClassStats, DropReason, DropStats, FaultStats, KernelStats, LatencyStats, Stage,
+};
 pub use telemetry::{
     LivelockDetector, ObsEvent, ObsEventKind, ObserveConfig, QueueDepths, TelemetryConfig, Timeline,
 };

@@ -83,17 +83,19 @@ impl RouterKernel {
         let now = env.now();
         let nif = self.ifaces.len();
         self.stats.fault.injected += 1;
-        self.fault
-            .as_mut()
-            .unwrap()
-            .markers
-            .push((now, format!("fault: {}", kind.label())));
+        if let Some(f) = self.fault.as_mut() {
+            f.markers.push((now, format!("fault: {}", kind.label())));
+        }
         match kind {
             FaultKind::LostRxIntr { iface } => {
-                self.fault.as_mut().unwrap().lost_rx[iface % nif] = true;
+                if let Some(f) = self.fault.as_mut() {
+                    f.lost_rx[iface % nif] = true;
+                }
             }
             FaultKind::LostTxIntr { iface } => {
-                self.fault.as_mut().unwrap().lost_tx[iface % nif] = true;
+                if let Some(f) = self.fault.as_mut() {
+                    f.lost_tx[iface % nif] = true;
+                }
             }
             FaultKind::SpuriousRxIntr { iface } => {
                 self.stats.fault.spurious_intrs += 1;
@@ -117,12 +119,11 @@ impl RouterKernel {
             }
             FaultKind::RxOverrunStorm { iface, frames } => {
                 let i = iface % nif;
-                let base = {
-                    let f = self.fault.as_mut().unwrap();
+                let base = self.fault.as_mut().map_or(0, |f| {
                     let b = f.storm_seq;
                     f.storm_seq += u64::from(frames);
                     b
-                };
+                });
                 // Garbage frames delivered through the normal arrival
                 // path: they are counted as arrivals and end as ring
                 // overflows or header-checksum drops, so the
@@ -136,14 +137,15 @@ impl RouterKernel {
             }
             FaultKind::ClockJitter { skew_cycles } => {
                 self.stats.fault.clock_jitters += 1;
-                self.fault.as_mut().unwrap().pending_clock_skew = skew_cycles;
+                if let Some(f) = self.fault.as_mut() {
+                    f.pending_clock_skew = skew_cycles;
+                }
             }
             FaultKind::LinkFlap { iface, down_cycles } => {
                 let i = iface % nif;
                 let until = Cycles::new(now.raw().saturating_add(down_cycles));
                 self.stats.fault.link_flaps += 1;
-                {
-                    let f = self.fault.as_mut().unwrap();
+                if let Some(f) = self.fault.as_mut() {
                     f.link_down_until[i] = f.link_down_until[i].max(until);
                 }
                 // The transmit side of the same flap: the wire refuses
@@ -153,9 +155,10 @@ impl RouterKernel {
             FaultKind::ScreendStall { ticks } => {
                 self.stats.fault.screend_stalls += 1;
                 let until = self.stats.ticks + u64::from(ticks);
-                let f = self.fault.as_mut().unwrap();
-                f.screend_stalled_until =
-                    Some(f.screend_stalled_until.map_or(until, |u| u.max(until)));
+                if let Some(f) = self.fault.as_mut() {
+                    f.screend_stalled_until =
+                        Some(f.screend_stalled_until.map_or(until, |u| u.max(until)));
+                }
             }
             FaultKind::ScreendCrash { restart_ticks } => {
                 self.stats.fault.screend_crashes += 1;
@@ -170,15 +173,18 @@ impl RouterKernel {
                 // high-water mark — exactly the wedge the timeout
                 // safety net exists for.
                 let until = self.stats.ticks + u64::from(restart_ticks);
-                let f = self.fault.as_mut().unwrap();
-                f.screend_stalled_until =
-                    Some(f.screend_stalled_until.map_or(until, |u| u.max(until)));
+                if let Some(f) = self.fault.as_mut() {
+                    f.screend_stalled_until =
+                        Some(f.screend_stalled_until.map_or(until, |u| u.max(until)));
+                }
             }
         }
     }
 
     fn arm_mutation(&mut self, i: usize, m: Mutation) {
-        self.fault.as_mut().unwrap().pending_mutation[i] = Some(m);
+        if let Some(f) = self.fault.as_mut() {
+            f.pending_mutation[i] = Some(m);
+        }
     }
 
     /// True (once) when an armed lost-receive-interrupt fault swallows
@@ -224,8 +230,7 @@ impl RouterKernel {
         }
         let now = env.now();
         let (mut restarted, mut stuck) = (false, 0u8);
-        {
-            let f = self.fault.as_mut().unwrap();
+        if let Some(f) = self.fault.as_mut() {
             if let Some(until) = f.screend_stalled_until {
                 if self.stats.ticks >= until {
                     f.screend_stalled_until = None;
@@ -238,11 +243,9 @@ impl RouterKernel {
         }
         if restarted {
             self.stats.fault.stall_recoveries += 1;
-            self.fault
-                .as_mut()
-                .unwrap()
-                .markers
-                .push((now, "recover: screend-restart".to_string()));
+            if let Some(f) = self.fault.as_mut() {
+                f.markers.push((now, "recover: screend-restart".to_string()));
+            }
             if !self.screend_q.is_empty() {
                 if let Some(tid) = self.screend_tid {
                     env.wake(tid);
@@ -251,11 +254,9 @@ impl RouterKernel {
         }
         if stuck != 0 {
             self.stats.fault.watchdog_unwedges += 1;
-            self.fault
-                .as_mut()
-                .unwrap()
-                .markers
-                .push((now, format!("recover: gate-unwedge bits={stuck:#04x}")));
+            if let Some(f) = self.fault.as_mut() {
+                f.markers.push((now, format!("recover: gate-unwedge bits={stuck:#04x}")));
+            }
             for &r in InhibitReason::ALL.iter() {
                 if r != InhibitReason::PollingActive && stuck & (1 << r.bit_index()) != 0 {
                     self.resume_input(env, r);

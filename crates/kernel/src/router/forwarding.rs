@@ -107,16 +107,19 @@ impl RouterKernel {
                 target_ip: arp.sender_ip,
             };
             let mut frame = self.alloc_frame(ETHERNET_HEADER_LEN + ARP_PACKET_LEN);
-            EthernetHeader {
+            let hdr = EthernetHeader {
                 dst: arp.sender_mac,
                 src: our_mac,
                 ethertype: EtherType::Arp,
+            };
+            // The frame was allocated exactly header + ARP sized above;
+            // if either encode still refuses, drop the reply (the
+            // requester retries) rather than panic the trial.
+            if hdr.encode(&mut frame).is_err()
+                || reply.encode(&mut frame[ETHERNET_HEADER_LEN..]).is_err()
+            {
+                return true;
             }
-            .encode(&mut frame)
-            .expect("frame sized for ethernet header");
-            reply
-                .encode(&mut frame[ETHERNET_HEADER_LEN..])
-                .expect("frame sized for arp reply");
             self.reply_seq += 1;
             let out = Packet::from_frame(
                 livelock_net::packet::PacketId(u64::MAX / 8 + self.reply_seq),

@@ -53,6 +53,32 @@ impl RouterKernel {
                         let stop = !self.gate.is_open()
                             || action.quota.exhausted_by(self.poll.done_in_cb)
                             || self.ifaces[i].nic.rx_pending() == 0;
+                        if !stop && self.classes.is_some() {
+                            // Classified drain: strict priority across
+                            // the per-class rings under per-class burst
+                            // budgets. The chosen ring rides the chunk
+                            // tag, so stamping (chunk_start) and the
+                            // take (poll_rx_done) agree on the ring even
+                            // if a higher-priority frame lands mid-chunk.
+                            let Some(c) = self.class_pick_ring(i) else {
+                                // Rings report pending but the engine is
+                                // gone — unreachable; fall through to
+                                // callback completion.
+                                let more = self.ifaces[i].nic.rx_pending() > 0;
+                                self.finish_callback(env, action, more);
+                                continue;
+                            };
+                            if let Some(p) = self.ifaces[i].nic.rx_peek_class_mut(c) {
+                                p.stamps.ring_deq = env.now();
+                                p.stamps.fwd_start = env.now();
+                            }
+                            let mut cost =
+                                self.cost.rx_device_per_pkt + self.cost.ip_forward_per_pkt;
+                            if self.cfg.screend.is_none() {
+                                cost += self.cost.tx_start_per_pkt;
+                            }
+                            return Some(Chunk::new(cost, class_tag(c)));
+                        }
                         if !stop {
                             // Process-to-completion starts on the head
                             // frame now: it leaves the ring and is routed
@@ -184,7 +210,16 @@ impl RouterKernel {
                     break 'victims;
                 }
                 if let Some(pkt) = sh.steal_bufs[victim].pop_front() {
-                    self.ifaces[0].nic.rx_arrive(pkt);
+                    // A stolen frame keeps the class its home CPU
+                    // stamped at admission, landing in this CPU's
+                    // matching priority ring.
+                    match pkt.class {
+                        Some(c) => {
+                            let idx = c.index();
+                            self.ifaces[0].nic.rx_arrive_classed(pkt, idx)
+                        }
+                        None => self.ifaces[0].nic.rx_arrive(pkt),
+                    };
                     sh.steals_taken[me] += 1;
                     stole = true;
                 }
@@ -283,13 +318,17 @@ impl RouterKernel {
         }
     }
 
-    pub(super) fn poll_rx_done(&mut self, env: &mut Env<'_, Event>) {
+    pub(super) fn poll_rx_done(&mut self, env: &mut Env<'_, Event>, class_ring: Option<usize>) {
         let Some(action) = self.poll.action else {
             return;
         };
         self.poll.done_in_cb += 1;
         let i = action.source.0;
-        let Some(mut pkt) = self.ifaces[i].nic.rx_take() else {
+        let taken = match class_ring {
+            Some(c) => self.ifaces[i].nic.rx_take_class(c),
+            None => self.ifaces[i].nic.rx_take(),
+        };
+        let Some(mut pkt) = taken else {
             return;
         };
         if self.try_handle_arp(env, i, &pkt) {

@@ -84,6 +84,8 @@ impl RouterKernel {
             }
             self.stats
                 .flow_delivery(pkt.flow, pkt.arrived_at, env.now(), self.cost.freq);
+            self.stats
+                .class_delivery(pkt.class, pkt.arrived_at, env.now(), self.cost.freq);
         }
         let depth = self.socket_q.len();
         if let Some(fb) = &mut self.socket_feedback {
@@ -160,6 +162,7 @@ impl RouterKernel {
         self.sync_pool_stats();
         self.sample_telemetry(env);
         self.observe_tick(env);
+        self.class_tick();
         env.post_intr(self.softclock_src);
         if let Some(fb) = &mut self.feedback {
             if fb.on_tick() == Some(FeedbackSignal::Resume) {

@@ -6,7 +6,7 @@
 //! counter over the trial. [`KernelStats`] keeps the same books.
 
 use livelock_net::pool::PoolStats;
-use livelock_net::{FlowKey, StageStamps};
+use livelock_net::{FlowKey, StageStamps, TrafficClass};
 use livelock_sim::{Cycles, Freq, HdrHistogram, Nanos, RateWindow};
 
 use crate::flows::FlowRegistry;
@@ -54,13 +54,32 @@ pub enum DropReason {
     /// Fragment reassembly timed out before the datagram completed
     /// (reserved: the reassembler currently runs outside the router path).
     ReassemblyTimeout,
+    /// Shed at admission by the class-aware gate (DESIGN.md §14): the
+    /// shed controller decided this packet's [`TrafficClass`] is not
+    /// worth host cycles while the downstream bottleneck is overloaded.
+    /// Like [`DropReason::FeedbackInhibit`] this is a drop the kernel
+    /// *wants*, taken at the cheapest point. Recording is confined to
+    /// the admission-gate module by simlint's `class-discipline` rule.
+    ClassShed {
+        /// The class that was shed (`Bulk` first; never `Control`).
+        class: TrafficClass,
+    },
 }
 
 impl DropReason {
     /// Every reason, in reporting order (cheapest drop first).
-    pub const ALL: [DropReason; 15] = [
+    pub const ALL: [DropReason; 18] = [
         DropReason::RxRingFull,
         DropReason::FeedbackInhibit,
+        DropReason::ClassShed {
+            class: TrafficClass::Bulk,
+        },
+        DropReason::ClassShed {
+            class: TrafficClass::Realtime,
+        },
+        DropReason::ClassShed {
+            class: TrafficClass::Control,
+        },
         DropReason::IpintrqFull,
         DropReason::ScreendQueueFull,
         DropReason::ScreendDenied,
@@ -94,6 +113,15 @@ impl DropReason {
             DropReason::BadHeader => "bad-header",
             DropReason::NoListener => "no-listener",
             DropReason::ReassemblyTimeout => "reasm-timeout",
+            DropReason::ClassShed {
+                class: TrafficClass::Control,
+            } => "class-shed-control",
+            DropReason::ClassShed {
+                class: TrafficClass::Realtime,
+            } => "class-shed-realtime",
+            DropReason::ClassShed {
+                class: TrafficClass::Bulk,
+            } => "class-shed-bulk",
         }
     }
 
@@ -399,6 +427,151 @@ impl FaultStats {
     }
 }
 
+/// One traffic class's books: where its packets went and how long the
+/// delivered ones took.
+#[derive(Clone, Debug)]
+pub struct ClassCounters {
+    /// Wire arrivals classified into this class.
+    pub arrived: u64,
+    /// Packets of this class delivered (wire transmit or local
+    /// consumption).
+    pub delivered: u64,
+    /// Packets of this class shed at admission by the gate.
+    pub shed: u64,
+    /// Wire-to-delivery sojourn distribution (whole trial).
+    pub latency: HdrHistogram,
+    /// Sojourns recorded since the last [`ClassStats::take_window_p99`]
+    /// — the detector's sliding SLO window.
+    window_latency: HdrHistogram,
+    /// Deliveries inside the measurement window, for per-class rates.
+    pub window: Option<RateWindow>,
+}
+
+impl ClassCounters {
+    fn new() -> Self {
+        ClassCounters {
+            arrived: 0,
+            delivered: 0,
+            shed: 0,
+            latency: HdrHistogram::new(),
+            window_latency: HdrHistogram::new(),
+            window: None,
+        }
+    }
+}
+
+/// Per-[`TrafficClass`] statistics, allocated once when classification
+/// is enabled (`None` on [`KernelStats::class`] otherwise — the
+/// classless run carries no per-class books and is byte-identical to a
+/// build without them).
+#[derive(Clone, Debug)]
+pub struct ClassStats {
+    classes: [ClassCounters; TrafficClass::COUNT],
+}
+
+impl ClassStats {
+    /// Creates zeroed per-class statistics.
+    pub fn new() -> Self {
+        ClassStats {
+            classes: std::array::from_fn(|_| ClassCounters::new()),
+        }
+    }
+
+    /// The books for one class.
+    pub fn get(&self, c: TrafficClass) -> &ClassCounters {
+        &self.classes[c.index()]
+    }
+
+    /// Counts one classified wire arrival.
+    pub fn record_arrival(&mut self, c: TrafficClass) {
+        self.classes[c.index()].arrived += 1;
+    }
+
+    /// Counts one classified delivery at time `end`, with its sojourn
+    /// `[arrived, end)` recorded in the detector-window distribution
+    /// and — when the delivery falls inside the measurement window
+    /// (always, before [`ClassStats::set_window`] installs one) — in
+    /// the per-class latency distribution. Excluding warm-up matters
+    /// here more than for the aggregate histograms: the shed
+    /// controller needs a few clock ticks to first engage, and those
+    /// start-of-trial sojourns would otherwise dominate a p99 judged
+    /// against a per-class SLO.
+    pub fn record_delivery(
+        &mut self,
+        c: TrafficClass,
+        arrived: Cycles,
+        end: Cycles,
+        freq: Freq,
+    ) {
+        let cc = &mut self.classes[c.index()];
+        cc.delivered += 1;
+        let ns = freq.nanos_from_cycles(end.saturating_sub(arrived));
+        cc.window_latency.record(ns);
+        let in_window = cc.window.is_none_or(|w| {
+            let (start, wend) = w.bounds();
+            end >= start && end < wend
+        });
+        if in_window {
+            cc.latency.record(ns);
+        }
+        if let Some(w) = &mut cc.window {
+            w.record(end);
+        }
+    }
+
+    /// Counts one shed (called from [`KernelStats::record_drop`], the
+    /// single mutation path for drop accounting).
+    fn record_shed(&mut self, c: TrafficClass) {
+        self.classes[c.index()].shed += 1;
+    }
+
+    /// Drains the detector's sliding window for class `c`: returns the
+    /// `(samples, p99)` of sojourns recorded since the previous call
+    /// and resets the window in place (no allocation).
+    pub fn take_window_p99(&mut self, c: TrafficClass) -> (u64, Nanos) {
+        let w = &mut self.classes[c.index()].window_latency;
+        let out = (w.count(), w.quantile(0.99));
+        w.reset();
+        out
+    }
+
+    /// Installs the measurement window `[start, end)` on every class.
+    pub fn set_window(&mut self, start: Cycles, end: Cycles) {
+        for cc in &mut self.classes {
+            cc.window = Some(RateWindow::new(start, end));
+        }
+    }
+
+    /// Delivered rate of class `c` inside the measurement window, pkts/s.
+    pub fn delivered_pps(&self, c: TrafficClass, freq: Freq) -> f64 {
+        self.classes[c.index()]
+            .window
+            .map_or(0.0, |w| w.rate_per_sec(freq))
+    }
+
+    /// Folds another `ClassStats` into this one (SMP aggregation).
+    pub fn merge(&mut self, other: &ClassStats) {
+        for (a, b) in self.classes.iter_mut().zip(&other.classes) {
+            a.arrived += b.arrived;
+            a.delivered += b.delivered;
+            a.shed += b.shed;
+            a.latency.merge(&b.latency);
+            a.window_latency.merge(&b.window_latency);
+            match (&mut a.window, &b.window) {
+                (Some(wa), Some(wb)) => wa.merge(wb),
+                (None, Some(wb)) => a.window = Some(*wb),
+                _ => {}
+            }
+        }
+    }
+}
+
+impl Default for ClassStats {
+    fn default() -> Self {
+        ClassStats::new()
+    }
+}
+
 /// Counters and distributions collected by the router kernel during a run.
 ///
 /// The per-queue drop counters are private: [`KernelStats::record_drop`]
@@ -413,6 +586,10 @@ pub struct KernelStats {
     /// Frames dropped because a receive ring was full (free drops at the
     /// interface). Read via [`KernelStats::rx_ring_drops`].
     rx_ring_drops: u64,
+    /// Packets shed at admission by the class-aware gate — free,
+    /// deliberate drops (like feedback inhibition, the kernel chose not
+    /// to invest work). Read via [`KernelStats::class_shed_drops`].
+    class_shed_drops: u64,
     /// Packets dropped at the `ipintrq` (unmodified kernel only) — each one
     /// wasted device-level work. Read via [`KernelStats::ipintrq_drops`].
     ipintrq_drops: u64,
@@ -485,6 +662,12 @@ pub struct KernelStats {
     pub flows: Option<FlowRegistry>,
     /// Fault-injection and recovery bookkeeping (all zero on clean runs).
     pub fault: FaultStats,
+    /// Per-traffic-class books, allocated when flow classification is
+    /// enabled via
+    /// [`KernelConfig::classes`](crate::config::KernelConfig::classes).
+    /// All mutation goes through [`KernelStats::record_drop`] and the
+    /// `class_*` hooks below, which are no-ops while this is `None`.
+    pub class: Option<ClassStats>,
 }
 
 impl KernelStats {
@@ -493,6 +676,7 @@ impl KernelStats {
         KernelStats {
             arrived: 0,
             rx_ring_drops: 0,
+            class_shed_drops: 0,
             ipintrq_drops: 0,
             screend_q_drops: 0,
             screend_denied: 0,
@@ -519,7 +703,13 @@ impl KernelStats {
             timeline: None,
             flows: None,
             fault: FaultStats::default(),
+            class: None,
         }
+    }
+
+    /// Packets shed at admission by the class-aware gate.
+    pub fn class_shed_drops(&self) -> u64 {
+        self.class_shed_drops
     }
 
     /// Frames dropped because a receive ring was full.
@@ -573,6 +763,9 @@ impl KernelStats {
         self.tx_window = Some(RateWindow::new(start, end));
         self.arrival_window = Some(RateWindow::new(start, end));
         self.app_window = Some(RateWindow::new(start, end));
+        if let Some(cs) = &mut self.class {
+            cs.set_window(start, end);
+        }
     }
 
     /// Records a drop: bumps the per-cause taxonomy *and* the matching
@@ -597,6 +790,12 @@ impl KernelStats {
             | DropReason::BadHeader
             | DropReason::NoListener
             | DropReason::ReassemblyTimeout => self.fwd_errors += 1,
+            DropReason::ClassShed { class } => {
+                self.class_shed_drops += 1;
+                if let Some(cs) = &mut self.class {
+                    cs.record_shed(class);
+                }
+            }
         }
     }
 
@@ -631,6 +830,29 @@ impl KernelStats {
     ) {
         if let Some(reg) = &mut self.flows {
             reg.record_delivery(flow, arrived, end, freq);
+        }
+    }
+
+    /// Attributes one classified wire arrival to `class` (no-op when
+    /// classification is off or the packet carries no class stamp).
+    pub fn class_arrival(&mut self, class: Option<TrafficClass>) {
+        if let (Some(cs), Some(c)) = (&mut self.class, class) {
+            cs.record_arrival(c);
+        }
+    }
+
+    /// Attributes one delivery (wire transmit or local consumption) to
+    /// `class`, with its sojourn `[arrived, end)` (no-op when
+    /// classification is off or the packet carries no class stamp).
+    pub fn class_delivery(
+        &mut self,
+        class: Option<TrafficClass>,
+        arrived: Cycles,
+        end: Cycles,
+        freq: Freq,
+    ) {
+        if let (Some(cs), Some(c)) = (&mut self.class, class) {
+            cs.record_delivery(c, arrived, end, freq);
         }
     }
 
@@ -692,6 +914,7 @@ impl KernelStats {
     /// Panics if more packets left the system than entered it.
     pub fn in_flight(&self) -> u64 {
         let gone = self.rx_ring_drops
+            + self.class_shed_drops
             + self.wasted_drops()
             + self.screend_denied
             + self.app_delivered
@@ -840,6 +1063,7 @@ mod tests {
     #[test]
     fn record_drop_keeps_legacy_counters_in_sync() {
         let mut s = KernelStats::new();
+        s.class = Some(ClassStats::new());
         for r in DropReason::ALL {
             s.record_drop(r);
         }
@@ -850,8 +1074,10 @@ mod tests {
         assert_eq!(s.red_drops, 2);
         assert_eq!(s.fwd_errors, 6);
         assert_eq!(s.screend_denied, 1);
+        assert_eq!(s.class_shed_drops, 3, "one shed per traffic class");
         // Legacy totals equal the taxonomy total (every reason maps).
         let legacy = s.rx_ring_drops
+            + s.class_shed_drops
             + s.ipintrq_drops
             + s.screend_q_drops
             + s.screend_denied
@@ -862,5 +1088,12 @@ mod tests {
         assert_eq!(legacy, s.drops.total());
         assert_eq!(s.drops.get(DropReason::RedEarlyDrop), 2);
         assert_eq!(s.drops.nonzero().count(), DropReason::ALL.len());
+        // The per-class view stays in sync through the same path.
+        let cs = s.class.as_ref().unwrap();
+        for c in TrafficClass::ALL {
+            assert_eq!(cs.get(c).shed, 1, "{} shed once", c.label());
+        }
+        // Shedding is a deliberate, free drop: not wasted work.
+        assert_eq!(s.wasted_drops(), 12);
     }
 }

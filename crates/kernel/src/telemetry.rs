@@ -27,7 +27,7 @@
 //! simulated run is bit-identical.
 
 use livelock_machine::{CpuClass, CpuId, CycleLedger};
-use livelock_sim::{Cycles, Freq, TimeSeries};
+use livelock_sim::{Cycles, Freq, Nanos, TimeSeries};
 
 use crate::flows::FlowRegistry;
 
@@ -80,6 +80,10 @@ pub struct ObserveConfig {
     /// Consecutive windows a flow must see arrivals but zero deliveries
     /// before a `FlowStarved` event fires (once per flow).
     pub starve_windows: u32,
+    /// Consecutive violated windows (`Bulk` served while `Control`
+    /// misses its SLO or starves) before a `PriorityInversion` event
+    /// fires — a single window is fault noise, a streak is inversion.
+    pub inversion_windows: u32,
 }
 
 impl Default for ObserveConfig {
@@ -91,6 +95,7 @@ impl Default for ObserveConfig {
             onset_frac: 0.05,
             recovery_frac: 0.25,
             starve_windows: 4,
+            inversion_windows: 2,
         }
     }
 }
@@ -202,6 +207,11 @@ pub struct LivelockDetector {
     last_user_chunks: u64,
     livelocked: bool,
     inversion_latched: bool,
+    class_inversion_latched: bool,
+    class_violation_streak: u32,
+    class_last_control_arrived: u64,
+    class_last_control_delivered: u64,
+    class_last_bulk_delivered: u64,
     slot_arrived: Vec<u64>,
     slot_delivered: Vec<u64>,
     slot_starved: Vec<u32>,
@@ -222,6 +232,11 @@ impl LivelockDetector {
             last_user_chunks: 0,
             livelocked: false,
             inversion_latched: false,
+            class_inversion_latched: false,
+            class_violation_streak: 0,
+            class_last_control_arrived: 0,
+            class_last_control_delivered: 0,
+            class_last_bulk_delivered: 0,
             slot_arrived: vec![0; slots],
             slot_delivered: vec![0; slots],
             slot_starved: vec![0; slots],
@@ -255,6 +270,8 @@ impl LivelockDetector {
     /// *cumulative* counters (the detector differences them itself);
     /// `user_present` says whether a compute-bound user process is
     /// configured; `flows` is the per-flow registry when enabled.
+    /// Returns `true` when this tick closed a window, so callers can
+    /// feed window-aligned signals (the per-class SLO judge) in step.
     pub fn on_tick(
         &mut self,
         now: Cycles,
@@ -263,10 +280,10 @@ impl LivelockDetector {
         user_chunks: u64,
         user_present: bool,
         flows: Option<&FlowRegistry>,
-    ) {
+    ) -> bool {
         self.ticks_in_window += 1;
         if self.ticks_in_window < self.cfg.window_ticks.max(1) {
-            return;
+            return false;
         }
         self.ticks_in_window = 0;
 
@@ -301,21 +318,83 @@ impl LivelockDetector {
             });
         }
 
-        if user_present && loaded {
-            if user == 0 && !self.inversion_latched {
+        if user_present {
+            // The latch edge: any window in which the user process made
+            // progress ends the inversion episode — even a lightly
+            // loaded one. Only a *loaded* window with zero progress
+            // starts (or continues) an episode, and each episode fires
+            // exactly one event.
+            if user > 0 {
+                self.inversion_latched = false;
+            } else if loaded && !self.inversion_latched {
                 self.inversion_latched = true;
                 self.events.push(ObsEvent {
                     at: now,
                     cpu: self.cpu,
                     kind: ObsEventKind::PriorityInversion { arrived: arr },
                 });
-            } else if user > 0 {
-                self.inversion_latched = false;
             }
         }
 
         if let Some(reg) = flows {
             self.watch_flows(now, reg);
+        }
+        true
+    }
+
+    /// Window-aligned cross-class judge, fed by the kernel when flow
+    /// classification is on (call right after [`LivelockDetector::on_tick`]
+    /// returns `true`). The inputs are *cumulative* per-class counters
+    /// (differenced here, like `on_tick`'s) plus the `Control` class's
+    /// windowed p99 sojourn and its SLO. A window shows real
+    /// cross-class priority inversion when `Bulk` traffic was still
+    /// being served while `Control` either blew its p99 SLO or, despite
+    /// arrivals, was served nothing at all; the event fires only after
+    /// [`ObserveConfig::inversion_windows`] *consecutive* such windows
+    /// (a single window is fault noise — a lost interrupt or a consumer
+    /// restart — a streak is inversion). Fires one
+    /// [`ObsEventKind::PriorityInversion`] per episode: the latch
+    /// clears only in a window where Control met its SLO (zero-arrival
+    /// windows carry no signal and hold both the latch and the streak).
+    pub fn judge_classes(
+        &mut self,
+        now: Cycles,
+        control_arrived: u64,
+        control_delivered: u64,
+        bulk_delivered: u64,
+        control_p99: Nanos,
+        slo: Nanos,
+    ) {
+        let c_arr = control_arrived.saturating_sub(self.class_last_control_arrived);
+        let c_del = control_delivered.saturating_sub(self.class_last_control_delivered);
+        let b_del = bulk_delivered.saturating_sub(self.class_last_bulk_delivered);
+        self.class_last_control_arrived = control_arrived;
+        self.class_last_control_delivered = control_delivered;
+        self.class_last_bulk_delivered = bulk_delivered;
+        if c_arr == 0 {
+            return;
+        }
+        let violated = c_del == 0 || control_p99 > slo;
+        if b_del > 0 && violated {
+            self.class_violation_streak = self.class_violation_streak.saturating_add(1);
+            if self.class_violation_streak >= self.cfg.inversion_windows.max(1)
+                && !self.class_inversion_latched
+            {
+                self.class_inversion_latched = true;
+                self.events.push(ObsEvent {
+                    at: now,
+                    cpu: self.cpu,
+                    kind: ObsEventKind::PriorityInversion { arrived: c_arr },
+                });
+            }
+        } else {
+            // The streak is consecutive by definition; the latch only
+            // clears on a window where Control actually met its SLO
+            // (violated-but-nothing-served is livelock, not recovery).
+            self.class_violation_streak = 0;
+            if !violated {
+                self.class_inversion_latched = false;
+            }
         }
     }
 
@@ -401,6 +480,12 @@ pub struct Timeline {
     pub gate_bits: TimeSeries,
     /// Hardware interrupts per second over each sampling interval.
     pub intr_rate: TimeSeries,
+    /// Deliveries per traffic class over each sampling interval, indexed
+    /// by [`TrafficClass::index`](livelock_net::TrafficClass::index)
+    /// (`control`, `realtime`, `bulk`). All-zero when flow
+    /// classification is off.
+    pub class_delivered: [TimeSeries; 3],
+    last_class_delivered: [u64; 3],
 }
 
 impl Timeline {
@@ -422,6 +507,8 @@ impl Timeline {
             socket_q: TimeSeries::new(),
             gate_bits: TimeSeries::new(),
             intr_rate: TimeSeries::new(),
+            class_delivered: Default::default(),
+            last_class_delivered: [0; 3],
         }
     }
 
@@ -464,8 +551,10 @@ impl Timeline {
 
     /// Records one sample at time `now`: per-class CPU shares over the
     /// interval since the previous sample (from the conserved `ledger`),
-    /// queue depths, gate state, and the interrupt rate derived from the
-    /// controller's cumulative `taken` count.
+    /// queue depths, gate state, the interrupt rate derived from the
+    /// controller's cumulative `taken` count, and per-traffic-class
+    /// delivery deltas from the cumulative `class_delivered` counters
+    /// (all-zero when classification is off).
     pub fn sample(
         &mut self,
         now: Cycles,
@@ -473,6 +562,7 @@ impl Timeline {
         taken: u64,
         depths: QueueDepths,
         gate_bits: u8,
+        class_delivered: [u64; 3],
         freq: Freq,
     ) {
         let delta = ledger.since(&self.last_ledger);
@@ -493,9 +583,14 @@ impl Timeline {
             0.0
         };
         self.intr_rate.push(now, rate);
+        for (i, s) in self.class_delivered.iter_mut().enumerate() {
+            let delta = class_delivered[i].saturating_sub(self.last_class_delivered[i]);
+            s.push(now, delta as f64);
+        }
 
         self.last_ledger = ledger;
         self.last_taken = taken;
+        self.last_class_delivered = class_delivered;
         self.last_at = now;
         if self.len() >= self.max_samples {
             self.decimate();
@@ -519,21 +614,25 @@ impl Timeline {
         ] {
             s.decimate();
         }
+        for s in &mut self.class_delivered {
+            s.decimate();
+        }
         self.interval_ticks = self.interval_ticks.saturating_mul(2);
     }
 
     /// Renders the timeline as CSV: one row per sample, a `time_us`
     /// column, the nine per-class share columns (labelled by
-    /// [`CpuClass::label`]), the five queue depths, the gate bitmask and
-    /// the interrupt rate. Output is deterministic: same samples, same
-    /// bytes.
+    /// [`CpuClass::label`]), the five queue depths, the gate bitmask,
+    /// the interrupt rate, and the three per-traffic-class delivery
+    /// columns. Output is deterministic: same samples, same bytes.
     pub fn to_csv(&self, freq: Freq) -> String {
         use std::fmt::Write as _;
         let mut out = String::from("time_us");
         for c in CpuClass::ALL {
             let _ = write!(out, ",{}", c.label());
         }
-        out.push_str(",rx_ring,ipintrq,screend_q,out_ifq,socket_q,gate_bits,intr_rate_hz\n");
+        out.push_str(",rx_ring,ipintrq,screend_q,out_ifq,socket_q,gate_bits,intr_rate_hz");
+        out.push_str(",delivered_control,delivered_realtime,delivered_bulk\n");
         for i in 0..self.len() {
             let (at, _) = self.gate_bits.points()[i];
             let _ = write!(out, "{:.1}", freq.nanos_from_cycles(at).as_micros_f64());
@@ -550,7 +649,11 @@ impl Timeline {
             ] {
                 let _ = write!(out, ",{:.0}", s.points()[i].1);
             }
-            let _ = writeln!(out, ",{:.1}", self.intr_rate.points()[i].1);
+            let _ = write!(out, ",{:.1}", self.intr_rate.points()[i].1);
+            for s in &self.class_delivered {
+                let _ = write!(out, ",{:.0}", s.points()[i].1);
+            }
+            out.push('\n');
         }
         out
     }
@@ -587,6 +690,7 @@ mod tests {
             10,
             QueueDepths::default(),
             0,
+            [0; 3],
             freq,
         );
         // Second interval: 1000 more cycles, all rx.
@@ -596,6 +700,7 @@ mod tests {
             30,
             QueueDepths::default(),
             0b101,
+            [0; 3],
             freq,
         );
         let rx = &tl.cpu_share[CpuClass::RxIntr.index()];
@@ -627,6 +732,7 @@ mod tests {
                 i,
                 QueueDepths::default(),
                 0,
+                [0; 3],
                 freq,
             );
         }
@@ -720,6 +826,143 @@ mod tests {
     }
 
     #[test]
+    fn user_inversion_latch_edge_progress_resuming_exactly_at_a_tick() {
+        let cfg = ObserveConfig {
+            window_ticks: 1,
+            min_window_arrivals: 10,
+            ..Default::default()
+        };
+        let mut d = LivelockDetector::new(cfg);
+        // Loaded, user starved: episode opens, one event.
+        d.on_tick(Cycles::new(1), 100, 90, 0, true, None);
+        // An *idle* starved window holds the latch: it neither clears
+        // the episode nor fires a second event.
+        d.on_tick(Cycles::new(2), 105, 95, 0, true, None);
+        // User progress lands exactly on the window-closing tick: that
+        // single chunk is enough to end the episode at this boundary.
+        d.on_tick(Cycles::new(3), 205, 185, 1, true, None);
+        // The very next starved loaded window is a fresh episode.
+        d.on_tick(Cycles::new(4), 305, 275, 1, true, None);
+        let inv: Vec<_> = d
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, ObsEventKind::PriorityInversion { .. }))
+            .collect();
+        assert_eq!(inv.len(), 2, "idle hold, boundary unlatch, re-latch");
+        assert_eq!(inv[0].at, Cycles::new(1));
+        assert_eq!(inv[1].at, Cycles::new(4));
+    }
+
+    /// Drives [`LivelockDetector::judge_classes`] with per-window deltas
+    /// (the detector wants cumulative counters, so this accumulates).
+    struct ClassJudge {
+        d: LivelockDetector,
+        arr: u64,
+        c_del: u64,
+        b_del: u64,
+        t: u64,
+    }
+
+    impl ClassJudge {
+        fn new() -> Self {
+            ClassJudge {
+                d: LivelockDetector::new(ObserveConfig::default()),
+                arr: 0,
+                c_del: 0,
+                b_del: 0,
+                t: 0,
+            }
+        }
+
+        fn window(&mut self, c_arr: u64, c_del: u64, b_del: u64, p99_us: u64) {
+            self.arr += c_arr;
+            self.c_del += c_del;
+            self.b_del += b_del;
+            self.t += 1;
+            let slo = Nanos::new(5_000_000);
+            let p99 = Nanos::new(p99_us * 1_000);
+            self.d
+                .judge_classes(Cycles::new(self.t), self.arr, self.c_del, self.b_del, p99, slo);
+        }
+
+        fn inversions(&self) -> Vec<Cycles> {
+            self.d
+                .events()
+                .iter()
+                .filter(|e| matches!(e.kind, ObsEventKind::PriorityInversion { .. }))
+                .map(|e| e.at)
+                .collect()
+        }
+    }
+
+    #[test]
+    fn class_judge_slo_breach_needs_persistence_and_fires_once_per_episode() {
+        let mut j = ClassJudge::new();
+        // One violated window (Control over SLO, Bulk served) is fault
+        // noise: no event yet.
+        j.window(10, 10, 5, 9_000);
+        assert!(j.inversions().is_empty());
+        // The second consecutive violated window is inversion.
+        j.window(10, 10, 5, 9_000);
+        assert_eq!(j.inversions(), vec![Cycles::new(2)]);
+        // The episode persists: no re-fire while still violated.
+        j.window(10, 10, 5, 9_000);
+        j.window(10, 2, 5, 12_000);
+        assert_eq!(j.inversions().len(), 1, "one shot per episode");
+        // Control meets its SLO: the episode ends...
+        j.window(10, 10, 5, 1_000);
+        // ...and a fresh persistent breach is a second episode.
+        j.window(10, 10, 5, 9_000);
+        j.window(10, 10, 5, 9_000);
+        assert_eq!(j.inversions(), vec![Cycles::new(2), Cycles::new(7)]);
+    }
+
+    #[test]
+    fn class_judge_starved_outright_is_a_violation_without_any_slo() {
+        let mut j = ClassJudge::new();
+        // Control arrives, none delivered, Bulk still served: violated
+        // even with a zero p99 reading (no samples to measure).
+        j.window(10, 0, 5, 0);
+        j.window(10, 0, 5, 0);
+        assert_eq!(j.inversions().len(), 1);
+    }
+
+    #[test]
+    fn class_judge_zero_arrival_windows_hold_latch_and_streak() {
+        let mut j = ClassJudge::new();
+        j.window(10, 10, 5, 9_000);
+        // A zero-arrival window carries no signal: the streak survives
+        // it, so the next violated window completes the persistence bar.
+        j.window(0, 0, 5, 0);
+        j.window(10, 10, 5, 9_000);
+        assert_eq!(j.inversions().len(), 1, "streak held across idle window");
+        // Once latched, zero-arrival windows do not end the episode.
+        j.window(0, 0, 0, 0);
+        j.window(10, 10, 5, 9_000);
+        j.window(10, 10, 5, 9_000);
+        assert_eq!(j.inversions().len(), 1, "latch held across idle window");
+    }
+
+    #[test]
+    fn class_judge_bulk_unserved_resets_streak_but_not_latch() {
+        let mut j = ClassJudge::new();
+        // Violated but Bulk unserved too: that is livelock, not
+        // inversion — the streak resets.
+        j.window(10, 0, 5, 0);
+        j.window(10, 0, 0, 0);
+        j.window(10, 0, 5, 0);
+        assert!(j.inversions().is_empty(), "streak reset by bulk-dry window");
+        j.window(10, 0, 5, 0);
+        assert_eq!(j.inversions().len(), 1);
+        // A bulk-dry violated window does not end the episode either:
+        // recovery requires Control actually meeting its SLO.
+        j.window(10, 0, 0, 0);
+        j.window(10, 0, 5, 0);
+        j.window(10, 0, 5, 0);
+        assert_eq!(j.inversions().len(), 1, "latch survives bulk-dry window");
+    }
+
+    #[test]
     fn detector_flow_starvation_fires_once_per_flow() {
         use crate::flows::FlowRegistry;
         use livelock_net::FlowKey;
@@ -800,13 +1043,14 @@ mod tests {
                 ..QueueDepths::default()
             },
             1,
+            [0; 3],
             freq,
         );
         let csv = tl.to_csv(freq);
         let mut lines = csv.lines();
         let header = lines.next().unwrap();
         assert!(header.starts_with("time_us,rx_intr,"));
-        assert!(header.ends_with("gate_bits,intr_rate_hz"));
+        assert!(header.ends_with("delivered_control,delivered_realtime,delivered_bulk"));
         assert_eq!(lines.count(), 1);
         assert!(csv.contains(",3,0,0,0,0,1,"), "depths and gate bits");
     }

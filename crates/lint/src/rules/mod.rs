@@ -9,6 +9,7 @@
 use crate::files::FileInfo;
 use crate::tokenizer::Tok;
 
+mod class;
 mod deprecated;
 mod determinism;
 mod drops;
@@ -67,6 +68,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(deprecated::DeprecatedConfig),
         Box::new(smp::SmpIsolation),
         Box::new(flows::FlowDiscipline),
+        Box::new(class::ClassDiscipline),
     ]
 }
 

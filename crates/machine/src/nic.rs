@@ -119,6 +119,10 @@ impl Default for NicConfig {
 pub struct Nic {
     name: &'static str,
     rx_ring: DropTailQueue<Packet>,
+    /// Per-priority receive rings (index = priority, 0 highest), present
+    /// only when the host enabled classified admission. `None` keeps the
+    /// single classless `rx_ring` — the bit-identical legacy layout.
+    rx_class_rings: Option<Vec<DropTailQueue<Packet>>>,
     /// Packets in the transmit ring, not yet on the wire.
     tx_queued: VecDeque<Packet>,
     /// A frame is currently being serialized onto the wire.
@@ -140,6 +144,7 @@ impl Nic {
         Nic {
             name,
             rx_ring: DropTailQueue::new("rx-ring", config.rx_ring),
+            rx_class_rings: None,
             tx_queued: VecDeque::with_capacity(config.tx_ring),
             tx_inflight: false,
             tx_unreclaimed: 0,
@@ -176,6 +181,75 @@ impl Nic {
         self.rx_ring.dequeue()
     }
 
+    // --- Per-priority receive rings (classified admission) ---
+
+    /// Diagnostic names for the per-priority rings, highest priority
+    /// first. Bounds the supported ring count.
+    const CLASS_RING_NAMES: [&'static str; 3] = ["rx-ring-p0", "rx-ring-p1", "rx-ring-p2"];
+
+    /// Splits the receive side into `n` per-priority rings (1..=3, index
+    /// 0 = highest priority), each with the configured ring's capacity —
+    /// the hardware analogue of a multiqueue NIC whose queues are keyed
+    /// by a priority field instead of an RSS hash. Frames already in the
+    /// classless ring stay there; callers enable class rings before
+    /// traffic starts.
+    pub fn enable_class_rings(&mut self, n: usize) {
+        let n = n.clamp(1, Self::CLASS_RING_NAMES.len());
+        let cap = self.rx_ring.capacity();
+        self.rx_class_rings = Some(
+            Self::CLASS_RING_NAMES[..n]
+                .iter()
+                .map(|name| DropTailQueue::new(name, cap))
+                .collect(),
+        );
+    }
+
+    /// Whether per-priority receive rings are enabled.
+    pub fn class_rings_enabled(&self) -> bool {
+        self.rx_class_rings.is_some()
+    }
+
+    /// Number of per-priority rings (0 when classless).
+    pub fn class_ring_count(&self) -> usize {
+        self.rx_class_rings.as_ref().map_or(0, Vec::len)
+    }
+
+    /// DMA places a classified frame in its priority ring (out-of-range
+    /// priorities land in the lowest ring). Falls back to the classless
+    /// ring when class rings are off. Returns whether the ring accepted
+    /// the frame.
+    pub fn rx_arrive_classed(&mut self, pkt: Packet, priority: usize) -> Enqueued {
+        let Some(rings) = &mut self.rx_class_rings else {
+            return self.rx_arrive(pkt);
+        };
+        let i = priority.min(rings.len() - 1);
+        let r = rings[i].enqueue(pkt);
+        if r.is_ok() {
+            self.ipkts += 1;
+        }
+        r
+    }
+
+    /// The driver pulls the oldest frame from priority ring `priority`.
+    pub fn rx_take_class(&mut self, priority: usize) -> Option<Packet> {
+        self.rx_class_rings.as_mut()?.get_mut(priority)?.dequeue()
+    }
+
+    /// Mutable access to the oldest frame in priority ring `priority`
+    /// (the classed twin of [`Nic::rx_peek_mut`]).
+    pub fn rx_peek_class_mut(&mut self, priority: usize) -> Option<&mut Packet> {
+        self.rx_class_rings.as_mut()?.get_mut(priority)?.peek_mut()
+    }
+
+    /// Frames waiting in priority ring `priority` (0 when out of range
+    /// or classless).
+    pub fn rx_pending_class(&self, priority: usize) -> usize {
+        self.rx_class_rings
+            .as_ref()
+            .and_then(|r| r.get(priority))
+            .map_or(0, DropTailQueue::len)
+    }
+
     /// Mutable access to the oldest ring frame without taking it — lets the
     /// host stamp the packet when it starts processing, before the chunk
     /// that consumes it completes.
@@ -183,21 +257,34 @@ impl Nic {
         self.rx_ring.peek_mut()
     }
 
-    /// Number of frames waiting in the receive ring.
+    /// Number of frames waiting in the receive ring (summed across the
+    /// per-priority rings when classified admission is on).
     pub fn rx_pending(&self) -> usize {
-        self.rx_ring.len()
+        match &self.rx_class_rings {
+            Some(rings) => rings.iter().map(DropTailQueue::len).sum(),
+            None => self.rx_ring.len(),
+        }
     }
 
     /// Whether the receive ring has no free descriptor — the next
     /// [`Nic::rx_arrive`] would drop. The SMP steal path checks this
-    /// before DMA to divert the frame instead of losing it.
+    /// before DMA to divert the frame instead of losing it. With class
+    /// rings on, true only when every priority ring is full.
     pub fn rx_ring_is_full(&self) -> bool {
-        self.rx_ring.is_full()
+        match &self.rx_class_rings {
+            Some(rings) => rings.iter().all(DropTailQueue::is_full),
+            None => self.rx_ring.is_full(),
+        }
     }
 
-    /// Frames dropped because the receive ring was full.
+    /// Frames dropped because the receive ring was full (summed across
+    /// the per-priority rings when classified admission is on).
     pub fn rx_ring_drops(&self) -> u64 {
         self.rx_ring.drops()
+            + self
+                .rx_class_rings
+                .as_ref()
+                .map_or(0, |rings| rings.iter().map(DropTailQueue::drops).sum())
     }
 
     /// Total frames accepted into the receive ring (`Ipkts`).
@@ -447,6 +534,35 @@ mod tests {
         assert!(n.rx_ring_is_full());
         n.rx_take();
         assert!(!n.rx_ring_is_full());
+    }
+
+    #[test]
+    fn class_rings_partition_the_receive_side() {
+        let mut n = nic(); // rx_ring = 4 -> each class ring gets 4 slots
+        assert!(!n.class_rings_enabled());
+        n.enable_class_rings(3);
+        assert!(n.class_rings_enabled());
+        assert_eq!(n.class_ring_count(), 3);
+        // Fill priority 2 past capacity; priorities 0 and 1 stay open.
+        for i in 0..6 {
+            n.rx_arrive_classed(pkt(i), 2);
+        }
+        assert!(n.rx_arrive_classed(pkt(10), 0).is_ok());
+        assert!(n.rx_arrive_classed(pkt(11), 1).is_ok());
+        assert_eq!(n.rx_pending_class(0), 1);
+        assert_eq!(n.rx_pending_class(1), 1);
+        assert_eq!(n.rx_pending_class(2), 4);
+        assert_eq!(n.rx_pending(), 6);
+        assert_eq!(n.rx_ring_drops(), 2, "only the bulk ring overflowed");
+        assert_eq!(n.ipkts(), 6);
+        assert!(!n.rx_ring_is_full(), "higher-priority rings still open");
+        // Out-of-range priorities land in the lowest ring (already full).
+        assert_eq!(n.rx_arrive_classed(pkt(12), 9), Enqueued::Dropped);
+        // Per-ring FIFO, selectable by priority.
+        assert_eq!(n.rx_take_class(0).unwrap().id, PacketId(10));
+        assert_eq!(n.rx_peek_class_mut(2).unwrap().id, PacketId(0));
+        assert_eq!(n.rx_take_class(2).unwrap().id, PacketId(0));
+        assert!(n.rx_take_class(0).is_none());
     }
 
     #[test]

@@ -22,6 +22,9 @@
 //! - [`arp::ArpCache`] — next-hop resolution, including the paper's
 //!   "phantom" ARP entry trick.
 //! - [`filter`] — a screend-style first-match packet filter rule engine.
+//! - [`classify`] — deterministic, order-independent 5-tuple →
+//!   priority-class mapping (control / realtime / bulk) for the
+//!   priority-aware receive path.
 //! - [`tcp`] — TCP header codec (§7.1's end-system transport discussion).
 //! - [`frag`] — IPv4 fragmentation and bounded, timeout-governed
 //!   reassembly (§5.3's "fragment must be queued" case).
@@ -35,6 +38,7 @@
 
 pub mod arp;
 pub mod checksum;
+pub mod classify;
 pub mod ethernet;
 pub mod filter;
 pub mod frag;
@@ -52,6 +56,7 @@ pub mod tcp;
 pub mod udp;
 
 pub use arp::ArpCache;
+pub use classify::{Classifier, MatchRule, TrafficClass};
 pub use ethernet::{EtherType, EthernetHeader, MacAddr};
 pub use filter::{Action, Filter, Rule};
 pub use ipv4::Ipv4Header;

@@ -121,6 +121,11 @@ pub struct Packet {
     /// non-IP or portless frames). Cached here so drop and delivery
     /// sites never re-parse the frame.
     pub flow: Option<FlowKey>,
+    /// The priority class the admission path assigned (`None` until the
+    /// kernel's classifier runs, and always `None` when classification
+    /// is off). Read-only outside the classifier/admission modules —
+    /// simlint's `class-discipline` rule confines [`Packet::set_class`].
+    pub class: Option<crate::classify::TrafficClass>,
 }
 
 impl Packet {
@@ -138,7 +143,16 @@ impl Packet {
             dequeued_at: Cycles::MAX,
             stamps: StageStamps::UNSET,
             flow: None,
+            class: None,
         }
+    }
+
+    /// Assigns the packet's priority class. Only the kernel's
+    /// classifier/admission-gate module may call this (enforced by the
+    /// simlint `class-discipline` rule): a class assigned anywhere else
+    /// would bypass the per-class arrival accounting.
+    pub fn set_class(&mut self, class: crate::classify::TrafficClass) {
+        self.class = Some(class);
     }
 
     /// Parses the transport 5-tuple from the frame bytes: `None` for

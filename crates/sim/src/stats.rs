@@ -352,6 +352,16 @@ impl HdrHistogram {
         self.max()
     }
 
+    /// Empties the histogram in place without touching its allocation:
+    /// bucket counts, the sum and the moment statistics all return to
+    /// the freshly-created state. For sliding-window uses that need a
+    /// fresh distribution per window on the zero-allocation path.
+    pub fn reset(&mut self) {
+        self.counts.fill(0);
+        self.sum = 0;
+        self.stats = MeanVar::new();
+    }
+
     /// Folds another histogram into this one. Counts, sums and extrema
     /// merge exactly; the merged result is independent of merge order.
     /// Bucket counts saturate instead of wrapping, like every other
@@ -476,6 +486,14 @@ impl RateWindow {
     /// Returns the window bounds.
     pub fn bounds(&self) -> (Cycles, Cycles) {
         (self.start, self.end)
+    }
+
+    /// Folds another window's count into this one. Intended for
+    /// aggregating per-CPU windows installed with identical bounds
+    /// (SMP trials give every kernel the same measurement window); the
+    /// merged rate then reads off this window's own span.
+    pub fn merge(&mut self, other: &RateWindow) {
+        self.count += other.count;
     }
 
     /// Returns the event rate in events/second given the CPU frequency.

@@ -20,8 +20,9 @@
 #      graceful-degradation invariant (see `livelock chaos` exit codes)
 #   7  simlint found a non-baselined finding: a determinism,
 #      drop-accounting, interrupt-discipline, ledger-discipline,
-#      panic-freedom, deprecated-config, or smp-isolation violation (run
-#      `cargo run -p lint` for the per-rule exit code and report)
+#      panic-freedom, deprecated-config, smp-isolation, flow-discipline,
+#      or class-discipline violation (run `cargo run -p lint` for the
+#      per-rule exit code and report)
 #   8  the perf smoke failed: `perf --json` emitted a document that does
 #      not match the livelock-perf-trajectory/v1 schema, or its
 #      throughput fell more than 2x below what the committed
@@ -43,6 +44,11 @@
 #      invariant), or its bad-argument path did not exit 2, or
 #      `perf --observe` measured the observability layer perturbing the
 #      trial or costing more than its wall-clock budget
+#  12  the priority gate failed: figure P-1 violates the
+#      priority-isolation claim (classified Control must meet its SLO and
+#      never be shed across the sweep, with Bulk absorbing the shedding,
+#      while the single-class kernel collapses), or figP_1.csv was not
+#      byte-identical across job counts
 #
 # Usage: scripts/ci.sh [--jobs N] [other flags...]
 #   --jobs N is validated here; any other flag is passed through to the
@@ -106,8 +112,9 @@ echo "== simlint: determinism / drop-accounting / interrupt-discipline =="
 # charges only at executor commit points, panic-free library code, no
 # new callers of the deprecated KernelConfig constructors or TrialResult
 # scalar accessors, cross-CPU state confined to the IPI/steal channel
-# files, and per-flow metrics mutated only through the KernelStats
-# attribution hooks. Inline
+# files, per-flow metrics mutated only through the KernelStats
+# attribution hooks, and traffic classes stamped/shed only by the
+# admission gate. Inline
 # `// simlint: allow(rule): reason` and crates/lint/baseline.txt cover the
 # sanctioned exceptions; anything fresh gates hard here.
 if "$repo/target/release/simlint" --root "$repo"; then
@@ -143,6 +150,9 @@ elif [ "$rc" -eq 6 ]; then
 elif [ "$rc" -eq 7 ]; then
     echo "ci: FAIL — online-detection gate: figure O-1 violates the detection claim" >&2
     exit 10
+elif [ "$rc" -eq 8 ]; then
+    echo "ci: FAIL — priority gate: figure P-1 violates the priority-isolation claim" >&2
+    exit 12
 elif [ "$rc" -ne 0 ]; then
     echo "ci: FAIL — figures exited $rc" >&2
     exit 1
@@ -201,6 +211,19 @@ if cmp -s "$scratch/j1/results/figO_1.csv" "$scratch/jN/results/figO_1.csv"; the
 else
     echo "ci: FAIL — figO_1.csv differs between --jobs 1 and --jobs 4" >&2
     exit 10
+fi
+
+echo "== determinism: figure P-1 byte-identical across job counts =="
+# The priority figure threads the class dimension through the whole
+# stack (classifier, per-class rings, shed controller, per-class
+# latency ledgers); its CSV must not depend on host job count either.
+(cd "$scratch/j1" && "$repo/target/release/figures" --quick --fig P-1 --jobs 1) || exit 1
+(cd "$scratch/jN" && "$repo/target/release/figures" --quick --fig P-1 --jobs 4) || exit 1
+if cmp -s "$scratch/j1/results/figP_1.csv" "$scratch/jN/results/figP_1.csv"; then
+    echo "ci: figP_1.csv byte-identical at --jobs 1 and --jobs 4"
+else
+    echo "ci: FAIL — figP_1.csv differs between --jobs 1 and --jobs 4" >&2
+    exit 12
 fi
 
 echo "== determinism: event stream and flamegraph byte-identical across runs =="
@@ -376,6 +399,29 @@ if "$repo/target/release/livelock" chaos --seed 49157; then
 else
     rc=$?
     echo "ci: FAIL — chaos smoke run exited $rc (see invariant list above)" >&2
+    exit 6
+fi
+
+echo "== chaos --priority smoke: inversion storm, per-invariant exit codes =="
+# The priority storm variant: under the same seeded fault storm the
+# classified polled kernel must produce no priority-inversion event
+# (exit 9 if it does) while the single-class unmodified kernel must
+# produce at least one (exit 10 if it does not), on top of every
+# graceful-degradation invariant the plain smoke checks.
+if "$repo/target/release/livelock" chaos --priority --seed 49157; then
+    echo "ci: priority-inversion invariants hold under seed 49157"
+else
+    rc=$?
+    echo "ci: FAIL — chaos --priority run exited $rc (see invariant list above)" >&2
+    exit 6
+fi
+# The variant's bad-argument path stays exit 2 like every subcommand's.
+"$repo/target/release/livelock" chaos --priority --rate -5 > /dev/null 2>&1
+rc=$?
+if [ "$rc" -eq 2 ]; then
+    echo "ci: chaos --priority rejects bad arguments with exit 2"
+else
+    echo "ci: FAIL — livelock chaos --priority --rate -5 exited $rc, want 2" >&2
     exit 6
 fi
 
