@@ -37,6 +37,8 @@
 use std::fs;
 use std::path::Path;
 
+use lint::registry::codes;
+
 use livelock_bench::{
     all_figures, cpu_share_violations, fault_shape_violations, latency_shape_violations,
     observe_shape_violations, priority_shape_violations, render_fig_o1, render_fig_p1,
@@ -61,7 +63,7 @@ fn main() {
             Ok(n) if n >= 1 => n,
             _ => {
                 eprintln!("--jobs: bad thread count {v:?}");
-                std::process::exit(1);
+                std::process::exit(codes::FIGURES_IO);
             }
         },
     };
@@ -70,7 +72,7 @@ fn main() {
     let out_dir = Path::new("results");
     if let Err(e) = fs::create_dir_all(out_dir) {
         eprintln!("cannot create {}: {e}", out_dir.display());
-        std::process::exit(1);
+        std::process::exit(codes::FIGURES_IO);
     }
 
     // Write failures are collected, not fatal: a read-only results/ dir
@@ -166,51 +168,51 @@ fn main() {
         for v in &all_violations {
             eprintln!("  {v}");
         }
-        std::process::exit(2);
+        std::process::exit(codes::FIGURES_SHAPE);
     }
     if !latency_violations.is_empty() {
         eprintln!("LATENCY SHAPE VIOLATIONS:");
         for v in &latency_violations {
             eprintln!("  {v}");
         }
-        std::process::exit(3);
+        std::process::exit(codes::FIGURES_LATENCY);
     }
     if !cpu_violations.is_empty() {
         eprintln!("CPU-SHARE VIOLATIONS:");
         for v in &cpu_violations {
             eprintln!("  {v}");
         }
-        std::process::exit(4);
+        std::process::exit(codes::FIGURES_CPU);
     }
     if !fault_violations.is_empty() {
         eprintln!("FAULT-DEGRADATION VIOLATIONS:");
         for v in &fault_violations {
             eprintln!("  {v}");
         }
-        std::process::exit(5);
+        std::process::exit(codes::FIGURES_FAULT);
     }
     if !smp_violations.is_empty() {
         eprintln!("SMP-SCALING VIOLATIONS:");
         for v in &smp_violations {
             eprintln!("  {v}");
         }
-        std::process::exit(6);
+        std::process::exit(codes::FIGURES_SMP);
     }
     if !observe_violations.is_empty() {
         eprintln!("ONLINE-DETECTION VIOLATIONS:");
         for v in &observe_violations {
             eprintln!("  {v}");
         }
-        std::process::exit(7);
+        std::process::exit(codes::FIGURES_OBSERVE);
     }
     if !priority_violations.is_empty() {
         eprintln!("PRIORITY-ISOLATION VIOLATIONS:");
         for v in &priority_violations {
             eprintln!("  {v}");
         }
-        std::process::exit(8);
+        std::process::exit(codes::FIGURES_PRIORITY);
     }
     if !write_errors.is_empty() {
-        std::process::exit(1);
+        std::process::exit(codes::FIGURES_IO);
     }
 }

@@ -67,6 +67,7 @@
 use livelock_core::analysis::{
     classify, mlfrr_multisection, multisection_rounds, overload_stability, SweepPoint,
 };
+use lint::registry::codes;
 use livelock_core::poller::Quota;
 use livelock_kernel::config::{FeedbackConfig, KernelConfig, LocalDeliveryConfig};
 use livelock_kernel::experiment::{
@@ -598,11 +599,11 @@ fn cmd_chaos(args: &Args) -> Result<i32, String> {
     // The graceful-degradation invariants, most fundamental first.
     let mut violations: Vec<(i32, String)> = Vec::new();
     if n_faults > 0 && polled.result.delivered_pps <= 0.0 {
-        violations.push((3, "polled kernel delivered nothing (fault-induced livelock)".into()));
+        violations.push((codes::CHAOS_NO_DELIVERY, "polled kernel delivered nothing (fault-induced livelock)".into()));
     }
     if !polled.gate_open_at_end {
         violations.push((
-            4,
+            codes::CHAOS_GATE_INHIBITED,
             format!(
                 "polled interrupt gate ended the run inhibited (bits {:#04x})",
                 polled.gate_bits
@@ -611,7 +612,7 @@ fn cmd_chaos(args: &Args) -> Result<i32, String> {
     }
     if polled.screend_q_len != 0 {
         violations.push((
-            5,
+            codes::CHAOS_SCREEND_BACKLOG,
             format!(
                 "screend queue holds {} packets after the drain window",
                 polled.screend_q_len
@@ -620,7 +621,7 @@ fn cmd_chaos(args: &Args) -> Result<i32, String> {
     }
     if polled.in_flight != 0 {
         violations.push((
-            6,
+            codes::CHAOS_LEDGER_LEAK,
             format!(
                 "conservation ledger leaves {} packets unaccounted",
                 polled.in_flight
@@ -629,7 +630,7 @@ fn cmd_chaos(args: &Args) -> Result<i32, String> {
     }
     if f.injected != n_faults {
         violations.push((
-            7,
+            codes::CHAOS_FAULTS_MISSING,
             format!("only {} of {n_faults} scheduled faults fired", f.injected),
         ));
     }
@@ -639,7 +640,7 @@ fn cmd_chaos(args: &Args) -> Result<i32, String> {
     // user-supplied low --rate can legitimately trip it.
     if unmod.result.delivered_pps >= 0.05 * polled.result.delivered_pps.max(1.0) {
         violations.push((
-            8,
+            codes::CHAOS_NOT_LIVELOCKED,
             format!(
                 "unmodified kernel is not livelocked under the storm \
                  ({:.0} vs polled {:.0} pkts/s) — is --rate below its collapse point?",
@@ -676,7 +677,7 @@ fn cmd_chaos(args: &Args) -> Result<i32, String> {
         println!();
         if p_inv > 0 {
             violations.push((
-                9,
+                codes::CHAOS_PRIORITY_INVERSION,
                 format!(
                     "classified polled kernel produced {p_inv} priority-inversion \
                      event(s) — Control blew its SLO while Bulk was served"
@@ -685,7 +686,7 @@ fn cmd_chaos(args: &Args) -> Result<i32, String> {
         }
         if u_inv == 0 {
             violations.push((
-                10,
+                codes::CHAOS_NO_INVERSION_CONTRAST,
                 format!(
                     "unmodified kernel produced no priority-inversion event at \
                      {rate:.0} pkts/s — is --rate below its collapse point?"
@@ -796,7 +797,7 @@ fn cmd_observe(args: &Args) -> Result<i32, String> {
             freq.nanos_from_cycles(at).as_micros_f64()
         ),
         None => violations.push((
-            3,
+            codes::OBSERVE_NO_ONSET,
             format!(
                 "unmodified kernel produced no livelock-onset event at {rate:.0} pkts/s \
                  — is --rate below the screend MLFRR?"
@@ -805,7 +806,7 @@ fn cmd_observe(args: &Args) -> Result<i32, String> {
     }
     if let Some(at) = onset(&polled) {
         violations.push((
-            4,
+            codes::OBSERVE_FALSE_ONSET,
             format!(
                 "polled kernel with feedback reports livelock onset at cycle {}",
                 at.raw()
@@ -815,7 +816,7 @@ fn cmd_observe(args: &Args) -> Result<i32, String> {
     let (u_starved, p_starved) = (starved(&unmod), starved(&polled));
     if u_starved < flows.len() / 2 || p_starved >= u_starved.max(1) {
         violations.push((
-            5,
+            codes::OBSERVE_STARVATION,
             format!(
                 "starvation watch: unmodified starved {u_starved} of {} tracked flows, \
                  polled starved {p_starved} — expected broad starvation under livelock \
@@ -826,12 +827,12 @@ fn cmd_observe(args: &Args) -> Result<i32, String> {
     }
     for (name, r) in [("unmodified", &unmod), ("polled", &polled)] {
         let Some(reg) = &r.flows else {
-            violations.push((6, format!("{name} trial carried no flow registry")));
+            violations.push((codes::OBSERVE_FLOW_LEDGER, format!("{name} trial carried no flow registry")));
             continue;
         };
         if reg.overflow_arrivals() != 0 || reg.unattributed_arrivals() != 0 {
             violations.push((
-                6,
+                codes::OBSERVE_FLOW_LEDGER,
                 format!(
                     "{name} registry leaked arrivals: {} overflow, {} unattributed \
                      (eight flows must fit 128 slots and every flood frame parses)",
@@ -843,7 +844,7 @@ fn cmd_observe(args: &Args) -> Result<i32, String> {
         for s in r.per_flow() {
             if s.arrived != s.delivered + s.drops.total() {
                 violations.push((
-                    6,
+                    codes::OBSERVE_FLOW_LEDGER,
                     format!(
                         "{name} flow {} ledger does not close: {} arrived != {} delivered \
                          + {} dropped",
@@ -876,7 +877,7 @@ fn main() {
         Some((c, r)) => (c.as_str(), r),
         None => {
             eprintln!("usage: livelock <configs|trial|sweep|mlfrr|chaos|observe> [--flag value]...");
-            std::process::exit(2);
+            std::process::exit(codes::LIVELOCK_USAGE);
         }
     };
     let result = match (cmd, Args::parse(rest)) {
@@ -902,6 +903,6 @@ fn main() {
     };
     if let Err(e) = result {
         eprintln!("error: {e}");
-        std::process::exit(2);
+        std::process::exit(codes::LIVELOCK_USAGE);
     }
 }

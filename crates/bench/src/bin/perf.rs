@@ -45,6 +45,7 @@
 use std::time::Instant;
 
 use livelock_bench::{all_figures, render_figure, render_figure_with_scheduler};
+use lint::registry::codes;
 use livelock_core::poller::Quota;
 use livelock_kernel::config::KernelConfig;
 use livelock_kernel::experiment::{run_trial, TrialSpec};
@@ -182,17 +183,17 @@ fn telemetry_overhead(n_packets: usize) -> i32 {
     // measured field is identical; only the timeline itself differs.
     if r_off.timeline.is_some() {
         eprintln!("error: sampler-off trial recorded a timeline");
-        return 1;
+        return codes::PERF_FAILURE;
     }
     let samples = r_on.timeline.as_ref().map_or(0, |t| t.len());
     if samples == 0 {
         eprintln!("error: sampler-on trial recorded no samples");
-        return 1;
+        return codes::PERF_FAILURE;
     }
     r_on.timeline = None;
     if r_on != r_off {
         eprintln!("error: enabling the telemetry sampler changed trial results");
-        return 1;
+        return codes::PERF_FAILURE;
     }
 
     let (overhead, medians, sum_off, sum_on) = paired_overhead(&off, &on);
@@ -214,7 +215,7 @@ fn telemetry_overhead(n_packets: usize) -> i32 {
     println!("  results unperturbed: every measured field identical");
     if overhead > TELEMETRY_OVERHEAD_BUDGET {
         eprintln!("error: telemetry sampler overhead exceeds the budget");
-        return 1;
+        return codes::PERF_FAILURE;
     }
     0
 }
@@ -243,23 +244,23 @@ fn observe_overhead(n_packets: usize) -> i32 {
     // observability outputs themselves differ.
     if r_off.flows.is_some() || !r_off.events.is_empty() || r_off.fold.is_some() {
         eprintln!("error: observe-off trial carried observability state");
-        return 1;
+        return codes::PERF_FAILURE;
     }
     let tracked = r_on.flows.as_ref().map_or(0, |f| f.len());
     if tracked == 0 {
         eprintln!("error: observe-on trial attributed no flow");
-        return 1;
+        return codes::PERF_FAILURE;
     }
     if r_on.fold.as_ref().is_none_or(|f| f.is_empty()) {
         eprintln!("error: observe-on trial recorded no cycle fold");
-        return 1;
+        return codes::PERF_FAILURE;
     }
     r_on.flows = None;
     r_on.events = Vec::new();
     r_on.fold = None;
     if r_on != r_off {
         eprintln!("error: enabling the observability layer changed trial results");
-        return 1;
+        return codes::PERF_FAILURE;
     }
 
     let (overhead, medians, sum_off, sum_on) = paired_overhead(&off, &on);
@@ -281,7 +282,7 @@ fn observe_overhead(n_packets: usize) -> i32 {
     println!("  results unperturbed: every measured field identical");
     if overhead > OBSERVE_OVERHEAD_BUDGET {
         eprintln!("error: observability-layer overhead exceeds the budget");
-        return 1;
+        return codes::PERF_FAILURE;
     }
     0
 }
@@ -390,7 +391,7 @@ fn main() {
         Ok(p) => p,
         Err(msg) => {
             eprintln!("{msg}");
-            std::process::exit(1);
+            std::process::exit(codes::PERF_FAILURE);
         }
     };
     let n_packets = parsed.n_packets;
@@ -463,7 +464,7 @@ fn main() {
     }
     if mismatches > 0 {
         eprintln!("error: {mismatches} job count(s) produced different CSV output");
-        std::process::exit(1);
+        std::process::exit(codes::PERF_FAILURE);
     }
 }
 

@@ -53,6 +53,20 @@ impl Baseline {
     /// absorbs at most one finding with its key; order is the engine's
     /// deterministic (file, line) order.
     pub fn partition(&self, findings: Vec<Finding>) -> (Vec<Finding>, Vec<Finding>) {
+        let (fresh, grandfathered, _) = self.partition_stale(findings);
+        (fresh, grandfathered)
+    }
+
+    /// Like [`Baseline::partition`], but also returns the *stale* keys:
+    /// baseline entries that absorbed nothing because the tree no longer
+    /// produces a matching finding (one key per unspent entry). Stale
+    /// entries are a gate failure in their own right (`stale-baseline`,
+    /// exit 22) — a burned-down finding must leave the baseline, or it
+    /// could silently resurrect later.
+    pub fn partition_stale(
+        &self,
+        findings: Vec<Finding>,
+    ) -> (Vec<Finding>, Vec<Finding>, Vec<String>) {
         let mut budget = self.counts.clone();
         let mut fresh = Vec::new();
         let mut grandfathered = Vec::new();
@@ -66,7 +80,13 @@ impl Baseline {
                 _ => fresh.push(f),
             }
         }
-        (fresh, grandfathered)
+        let mut stale = Vec::new();
+        for (k, n) in &budget {
+            for _ in 0..*n {
+                stale.push(k.clone());
+            }
+        }
+        (fresh, grandfathered, stale)
     }
 
     /// Renders findings as baseline-file content (sorted, with a header).

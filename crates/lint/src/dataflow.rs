@@ -1,0 +1,468 @@
+//! Unit-of-measure dataflow over token streams.
+//!
+//! The simulator's time arithmetic flows through four bases — CPU
+//! cycles, nanoseconds, microseconds, milliseconds (plus seconds at the
+//! reporting edge) — and the only legal way to move between them is a
+//! named `Freq` conversion. The naming convention (`_cycles`, `_ns`,
+//! `_us`, `_ms` suffixes) makes the base visible in the source; this
+//! module turns that convention into checkable dataflow facts:
+//!
+//! * [`unit_of_name`] maps an identifier to its declared unit;
+//! * [`conversion`] knows the `Freq`/ledger/histogram API signatures —
+//!   which unit goes in, which comes out;
+//! * [`UnitEnv`] propagates units through `let` bindings inside one
+//!   function body (the intra-function dataflow);
+//! * [`operand_unit_left`] / [`operand_unit_right`] resolve the unit of
+//!   the expression on either side of an operator.
+//!
+//! The unit-discipline rule combines these: an additive, comparison, or
+//! assignment operator whose two sides resolve to *different* units is a
+//! mixed-base bug — the class of error that corrupts figures instead of
+//! crashing.
+
+use std::collections::BTreeMap;
+
+use crate::tokenizer::{Tok, TokKind};
+
+/// A time base.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Unit {
+    /// CPU cycles (the simulator's native clock).
+    Cycles,
+    /// Nanoseconds.
+    Ns,
+    /// Microseconds.
+    Us,
+    /// Milliseconds.
+    Ms,
+    /// Seconds (reporting edge only).
+    Secs,
+}
+
+impl Unit {
+    /// Human label for messages.
+    pub fn label(self) -> &'static str {
+        match self {
+            Unit::Cycles => "cycles",
+            Unit::Ns => "ns",
+            Unit::Us => "us",
+            Unit::Ms => "ms",
+            Unit::Secs => "secs",
+        }
+    }
+}
+
+/// The unit an identifier declares through its suffix, if any.
+pub fn unit_of_name(name: &str) -> Option<Unit> {
+    let has = |suffix: &str| name == &suffix[1..] || name.ends_with(suffix);
+    if has("_cycles") || has("_cy") {
+        Some(Unit::Cycles)
+    } else if has("_ns") || has("_nanos") {
+        Some(Unit::Ns)
+    } else if has("_us") || has("_micros") {
+        Some(Unit::Us)
+    } else if has("_ms") || has("_millis") {
+        Some(Unit::Ms)
+    } else if has("_secs") {
+        Some(Unit::Secs)
+    } else {
+        None
+    }
+}
+
+/// A known time-API signature: what unit the argument must carry and
+/// what unit the call returns (`None` = unconstrained / not a time).
+#[derive(Clone, Copy, Debug)]
+pub struct Conversion {
+    /// Required unit of the time-carrying argument, if constrained.
+    pub arg: Option<Unit>,
+    /// Which argument position carries the time (0-based).
+    pub arg_index: usize,
+    /// Unit of the return value, if it is a time.
+    pub ret: Option<Unit>,
+}
+
+/// Looks up a call by its final path segment or method name.
+pub fn conversion(name: &str) -> Option<Conversion> {
+    let c = |arg, arg_index, ret| Some(Conversion { arg, arg_index, ret });
+    match name {
+        // Freq conversions: the named gates between bases.
+        "cycles_from_nanos" => c(Some(Unit::Ns), 0, Some(Unit::Cycles)),
+        "cycles_from_micros" => c(Some(Unit::Us), 0, Some(Unit::Cycles)),
+        "cycles_from_millis" => c(Some(Unit::Ms), 0, Some(Unit::Cycles)),
+        "cycles_from_secs" => c(Some(Unit::Secs), 0, Some(Unit::Cycles)),
+        "nanos_from_cycles" => c(Some(Unit::Cycles), 0, Some(Unit::Ns)),
+        "secs_from_cycles" => c(Some(Unit::Cycles), 0, Some(Unit::Secs)),
+        // Rate → inter-arrival interval in cycles (the argument is a
+        // rate, not a time, so it is unconstrained).
+        "interval_for_rate" => c(None, 0, Some(Unit::Cycles)),
+        // ns-per-cycle ratio: a scale factor, not a time in any base.
+        "exact_nanos_per_cycle" => c(None, 0, None),
+        // The cycle ledger charges cycles: `charge(class, cy)`.
+        "charge" => c(Some(Unit::Cycles), 1, None),
+        _ => None,
+    }
+}
+
+/// Per-body unit environment: `let`-bound locals whose unit was
+/// inferred from their initializer.
+#[derive(Clone, Debug, Default)]
+pub struct UnitEnv {
+    bound: BTreeMap<String, Unit>,
+}
+
+impl UnitEnv {
+    /// Resolves an identifier: declared suffix first, then the
+    /// propagated binding.
+    pub fn unit_of(&self, name: &str) -> Option<Unit> {
+        unit_of_name(name).or_else(|| self.bound.get(name).copied())
+    }
+
+    /// Builds the environment of one body range by scanning `let`
+    /// initializers. A binding whose own name declares a unit needs no
+    /// inference; an undeclared name adopts its initializer's unit.
+    /// Single forward pass — later bindings may use earlier ones.
+    pub fn for_body(toks: &[Tok], lo: usize, hi: usize) -> UnitEnv {
+        let mut env = UnitEnv::default();
+        let mut i = lo;
+        while i < hi {
+            if !toks[i].is_ident("let") {
+                i += 1;
+                continue;
+            }
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+                j += 1;
+            }
+            let Some(name) = toks.get(j).filter(|t| t.kind == TokKind::Ident) else {
+                i += 1;
+                continue;
+            };
+            if unit_of_name(&name.text).is_some() {
+                i = j + 1;
+                continue;
+            }
+            // Skip an optional `: Type` annotation to the `=`.
+            let mut k = j + 1;
+            let mut depth = 0i32;
+            while k < hi {
+                let t = &toks[k];
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('<') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') {
+                    depth -= 1;
+                } else if t.is_punct('>') && !toks[k - 1].is_punct('-') {
+                    depth -= 1;
+                } else if depth == 0 && t.is_punct('=') && !toks.get(k + 1).is_some_and(|u| u.is_punct('=')) {
+                    break;
+                } else if depth == 0 && t.is_punct(';') {
+                    k = hi;
+                    break;
+                }
+                k += 1;
+            }
+            if k < hi {
+                if let Some(u) = operand_unit_right(toks, k + 1, hi, &env) {
+                    env.bound.insert(name.text.clone(), u);
+                }
+            }
+            i = j + 1;
+        }
+        env
+    }
+}
+
+/// Identifiers that never terminate an operand scan even though they are
+/// keywords (`self.deadline_cycles`, `x_ns as u64`).
+fn transparent(t: &Tok) -> bool {
+    t.is_ident("self") || t.is_ident("as") || t.is_ident("mut") || t.is_ident("ref")
+}
+
+fn is_stop_keyword(t: &Tok) -> bool {
+    t.kind == TokKind::Ident
+        && matches!(
+            t.text.as_str(),
+            "if" | "else" | "match" | "while" | "for" | "loop" | "return" | "break" | "continue"
+                | "let" | "in" | "fn" | "move" | "where" | "unsafe"
+        )
+}
+
+/// Does the token end a value (so a following `*`/`-` is binary)?
+fn ends_value(t: &Tok) -> bool {
+    t.kind == TokKind::Ident && !is_stop_keyword(t) && !t.is_ident("let")
+        || t.kind == TokKind::Num
+        || t.is_punct(')')
+        || t.is_punct(']')
+}
+
+/// Resolves the unit of the operand starting at `from` (just past an
+/// operator), scanning right until a lower-precedence boundary. The
+/// scan continues through additive operators (they preserve units — a
+/// mismatch is the rule's job at that operator); a *binary*
+/// multiplicative operator makes the operand unit-unknown (scaling
+/// changes units); a named conversion call decides over any suffixed
+/// identifier; unknown calls hide their arguments.
+pub fn operand_unit_right(toks: &[Tok], from: usize, hi: usize, env: &UnitEnv) -> Option<Unit> {
+    let mut candidate = None;
+    let mut locked = false;
+    let mut depth = 0i32;
+    let mut i = from;
+    while i < hi {
+        let t = &toks[i];
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            if depth == 0 {
+                break;
+            }
+            depth -= 1;
+        } else if depth == 0 && (t.is_punct('*') || t.is_punct('/') || t.is_punct('%')) {
+            // `*` after a value is multiplication; at operand start or
+            // after another operator it is a deref prefix.
+            if t.is_punct('/') || t.is_punct('%') || (i > from && ends_value(&toks[i - 1])) {
+                return None;
+            }
+        } else if depth == 0
+            && (t.is_punct(',')
+                || t.is_punct(';')
+                || t.is_punct('{')
+                || t.is_punct('?')
+                || t.is_punct('<')
+                || t.is_punct('>')
+                || t.is_punct('=')
+                || t.is_punct('!')
+                || t.is_punct('&')
+                || t.is_punct('|')
+                || t.is_punct('^'))
+        {
+            break;
+        } else if depth == 0 && is_stop_keyword(t) {
+            break;
+        } else if t.kind == TokKind::Ident && !transparent(t) && depth == 0 {
+            if toks.get(i + 1).is_some_and(|u| u.is_punct('(')) {
+                match conversion(&t.text) {
+                    // A conversion's return unit decides the operand
+                    // (but keep scanning: a trailing `* 2` still
+                    // un-units it).
+                    Some(c) => {
+                        candidate = c.ret;
+                        locked = true;
+                        if candidate.is_none() {
+                            return None;
+                        }
+                    }
+                    None => {}
+                }
+                // Arguments are not this operand's unit.
+                i = skip_group(toks, i + 1, hi);
+                continue;
+            } else if toks.get(i + 1).is_some_and(|u| u.is_punct('!')) {
+                // Macro: opaque.
+                break;
+            } else if !locked && candidate.is_none() {
+                candidate = env.unit_of(&t.text);
+            }
+        }
+        i += 1;
+    }
+    candidate
+}
+
+/// Resolves the unit of the operand ending just before `at` (an
+/// operator token), scanning left with the same rules as
+/// [`operand_unit_right`].
+pub fn operand_unit_left(toks: &[Tok], lo: usize, at: usize, env: &UnitEnv) -> Option<Unit> {
+    let mut candidate: Option<Unit> = None;
+    let mut i = at;
+    while i > lo {
+        i -= 1;
+        let t = &toks[i];
+        if t.is_punct(')') || t.is_punct(']') {
+            // A call or a grouping bracket: find the opener, skip the
+            // contents (call arguments are not this operand's unit).
+            let Some(open) = matching_left(toks, lo, i) else {
+                break;
+            };
+            match toks.get(open.wrapping_sub(1)) {
+                Some(n) if open > lo && n.kind == TokKind::Ident && !is_stop_keyword(n) => {
+                    if let Some(c) = conversion(&n.text) {
+                        if candidate.is_none() {
+                            candidate = c.ret;
+                        }
+                        if c.ret.is_none() {
+                            return None;
+                        }
+                    }
+                    // Continue past the call name into the receiver
+                    // chain (`a_ns.max(b) + …`).
+                    i = open - 1;
+                }
+                _ if t.is_punct(')') => {
+                    // Grouping paren: its contents are the operand.
+                    if candidate.is_none() {
+                        candidate = operand_unit_right(toks, open + 1, i, env);
+                    }
+                    i = open;
+                }
+                _ => {
+                    // Indexing `xs[i]`: skip to the opener.
+                    i = open;
+                }
+            }
+            continue;
+        }
+        if t.is_punct('*') || t.is_punct('/') || t.is_punct('%') {
+            if t.is_punct('/') || t.is_punct('%') || (i > lo && ends_value(&toks[i - 1])) {
+                return None;
+            }
+            continue;
+        }
+        if t.is_punct('+') || (t.is_punct('-') && i > lo && ends_value(&toks[i - 1])) {
+            // Additive: the operand extends left, units preserved.
+            continue;
+        }
+        if t.is_punct('.') || t.is_punct(':') || t.kind == TokKind::Num || t.is_punct('-') {
+            continue;
+        }
+        if t.kind == TokKind::Ident {
+            if is_stop_keyword(t) || t.is_ident("let") {
+                break;
+            }
+            if transparent(t) {
+                continue;
+            }
+            if toks.get(i + 1).is_some_and(|u| u.is_punct('!')) {
+                // Macro name: opaque.
+                return None;
+            }
+            if candidate.is_none() {
+                candidate = env.unit_of(&t.text);
+            }
+            continue;
+        }
+        // Any other punctuation (`<`, `=`, `,`, `;`, `{`, `(`, `&`, …)
+        // bounds the operand.
+        break;
+    }
+    candidate
+}
+
+/// Index one past the group opened at `open` (which holds `(` or `[`).
+fn skip_group(toks: &[Tok], open: usize, hi: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < hi {
+        let t = &toks[i];
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    hi
+}
+
+/// Index of the `(` matching the `)` at `close`, scanning left.
+fn matching_left(toks: &[Tok], lo: usize, close: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut i = close + 1;
+    while i > lo {
+        i -= 1;
+        let t = &toks[i];
+        if t.is_punct(')') {
+            depth += 1;
+        } else if t.is_punct('(') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::tokenize;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        tokenize(src).toks
+    }
+
+    #[test]
+    fn names_declare_units() {
+        assert_eq!(unit_of_name("deadline_cycles"), Some(Unit::Cycles));
+        assert_eq!(unit_of_name("p99_ns"), Some(Unit::Ns));
+        assert_eq!(unit_of_name("slo_p99_us"), Some(Unit::Us));
+        assert_eq!(unit_of_name("window_ms"), Some(Unit::Ms));
+        assert_eq!(unit_of_name("elapsed_secs"), Some(Unit::Secs));
+        assert_eq!(unit_of_name("cycles"), Some(Unit::Cycles));
+        assert_eq!(unit_of_name("budget"), None);
+        assert_eq!(unit_of_name("resums"), None, "suffix must be _-delimited");
+    }
+
+    #[test]
+    fn conversions_know_their_signatures() {
+        let c = conversion("cycles_from_nanos").unwrap();
+        assert_eq!(c.arg, Some(Unit::Ns));
+        assert_eq!(c.ret, Some(Unit::Cycles));
+        let c = conversion("charge").unwrap();
+        assert_eq!(c.arg_index, 1);
+        assert_eq!(c.arg, Some(Unit::Cycles));
+        assert!(conversion("max").is_none());
+    }
+
+    #[test]
+    fn right_operand_resolution() {
+        let env = UnitEnv::default();
+        let ts = toks("x < deadline_cycles ;");
+        assert_eq!(operand_unit_right(&ts, 2, ts.len(), &env), Some(Unit::Cycles));
+        let ts = toks("x < freq.nanos_from_cycles(c) ;");
+        assert_eq!(operand_unit_right(&ts, 2, ts.len(), &env), Some(Unit::Ns));
+        let ts = toks("x < self.slo_p99_us + 1.0 ;");
+        assert_eq!(operand_unit_right(&ts, 2, ts.len(), &env), Some(Unit::Us));
+        // Unknown calls hide their arguments.
+        let ts = toks("x < clamp(y_ns) ;");
+        assert_eq!(operand_unit_right(&ts, 2, ts.len(), &env), None);
+    }
+
+    #[test]
+    fn left_operand_resolution() {
+        let env = UnitEnv::default();
+        let ts = toks("self.deadline_cycles = x");
+        let eq = ts.iter().position(|t| t.is_punct('=')).unwrap();
+        assert_eq!(operand_unit_left(&ts, 0, eq, &env), Some(Unit::Cycles));
+        let ts = toks("freq.nanos_from_cycles(c) < x");
+        let lt = ts.iter().position(|t| t.is_punct('<')).unwrap();
+        assert_eq!(operand_unit_left(&ts, 0, lt, &env), Some(Unit::Ns));
+        // Method chains walk back to the unit-bearing receiver.
+        let ts = toks("lat_ns.max(floor) < x");
+        let lt = ts.iter().position(|t| t.is_punct('<')).unwrap();
+        assert_eq!(operand_unit_left(&ts, 0, lt, &env), Some(Unit::Ns));
+        let ts = toks("count < x");
+        let lt = ts.iter().position(|t| t.is_punct('<')).unwrap();
+        assert_eq!(operand_unit_left(&ts, 0, lt, &env), None);
+    }
+
+    #[test]
+    fn let_bindings_propagate_units() {
+        let ts = toks("{ let deadline = freq.cycles_from_micros(slo); let other = deadline; }");
+        let env = UnitEnv::for_body(&ts, 0, ts.len());
+        assert_eq!(env.unit_of("deadline"), Some(Unit::Cycles));
+        assert_eq!(env.unit_of("other"), Some(Unit::Cycles), "bindings chain");
+    }
+
+    #[test]
+    fn declared_suffix_beats_binding() {
+        let ts = toks("{ let x_ns = freq.cycles_from_micros(s); }");
+        let env = UnitEnv::for_body(&ts, 0, ts.len());
+        // The declared suffix stands; the mismatch is the rule's job to
+        // report, not the environment's to paper over.
+        assert_eq!(env.unit_of("x_ns"), Some(Unit::Ns));
+    }
+}

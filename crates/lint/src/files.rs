@@ -5,9 +5,10 @@
 //! classified by owning crate, target kind, and module path, which is
 //! what the rules scope themselves by.
 //!
-//! Vendored drop-in crates (`criterion`, `proptest`) and the linter
-//! itself are not scanned: they are not part of the simulation and are
-//! allowed their own idioms.
+//! Vendored drop-in crates (`criterion`, `proptest`) are not scanned:
+//! they are registry stand-ins with their own idioms. The linter scans
+//! itself — a gate that exempts its own enforcement code is the first
+//! place drift hides.
 
 use std::fs;
 use std::io;
@@ -64,6 +65,10 @@ impl FileInfo {
             ["crates", krate, "src", "bin", rest @ ..] => {
                 ((*krate).to_string(), TargetKind::Bin, rest)
             }
+            // A crate-root main.rs is the crate's default binary.
+            ["crates", krate, "src", "main.rs"] => {
+                ((*krate).to_string(), TargetKind::Bin, &["main.rs"][..])
+            }
             ["crates", krate, "src", rest @ ..] => ((*krate).to_string(), TargetKind::Lib, rest),
             ["crates", krate, "tests", rest @ ..] => ((*krate).to_string(), TargetKind::Test, rest),
             ["crates", krate, "benches", rest @ ..] => {
@@ -95,8 +100,8 @@ impl FileInfo {
     }
 }
 
-/// Crates never scanned: vendored registry stand-ins plus the linter.
-pub const SKIPPED_CRATES: &[&str] = &["criterion", "proptest", "lint"];
+/// Crates never scanned: vendored registry stand-ins.
+pub const SKIPPED_CRATES: &[&str] = &["criterion", "proptest"];
 
 /// Finds the workspace root by walking up from `start` until a
 /// `Cargo.toml` declaring `[workspace]` appears.
@@ -212,10 +217,12 @@ mod tests {
     }
 
     #[test]
-    fn vendored_and_self_are_skipped() {
+    fn vendored_is_skipped_and_the_linter_lints_itself() {
         assert!(FileInfo::classify("crates/criterion/src/lib.rs").is_none());
         assert!(FileInfo::classify("crates/proptest/src/lib.rs").is_none());
-        assert!(FileInfo::classify("crates/lint/src/main.rs").is_none());
         assert!(FileInfo::classify("target/debug/build/foo.rs").is_none());
+        let f = FileInfo::classify("crates/lint/src/main.rs").unwrap();
+        assert_eq!(f.crate_name, "lint");
+        assert_eq!(f.kind, TargetKind::Bin);
     }
 }

@@ -1,0 +1,351 @@
+//! Autofix: mechanical rewrites for the findings that have exactly one
+//! right answer.
+//!
+//! `simlint --fix` applies two fixers:
+//!
+//! * **deprecated-config constructors** — each shim's body is a fixed
+//!   builder chain (see `crates/kernel/src/config.rs`), so the call site
+//!   rewrite is a pure template substitution:
+//!   `KernelConfig::polled(q)` becomes
+//!   `KernelConfig::builder().polled(q).build()`. The argument text is
+//!   carried over verbatim; names the template introduces
+//!   (`ScreendConfig`, `Quota`, …) may need an import the fixer does not
+//!   add — the compiler will say so, which beats a silently-wrong edit.
+//! * **suppression normalization** — well-formed but oddly-spaced
+//!   `simlint:` directives are rewritten to the canonical
+//!   `// simlint: allow(rule): reason`. Malformed directives (missing
+//!   reason, unknown rule) are *not* touched: inventing a justification
+//!   is exactly what the bad-suppression rule exists to prevent.
+//!
+//! Fixes are computed as character-span edits against the token stream,
+//! so strings, comments and doc links can never be rewritten by
+//! accident. Running the fixer twice is a no-op by construction: a
+//! rewritten call site no longer matches, and a canonical directive
+//! round-trips to itself. `--fix --dry-run` prints the would-be diff
+//! and exits with [`crate::registry::codes::SIMLINT_FIXABLE`] if any
+//! edit is pending — CI uses that as the "the tree is fully fixed"
+//! gate.
+
+use std::io;
+use std::path::Path;
+
+use crate::files::{self, FileInfo};
+use crate::rules;
+use crate::suppress;
+use crate::tokenizer::{self, Tok};
+
+/// One span rewrite, in character offsets into the source.
+#[derive(Clone, Debug)]
+pub struct Edit {
+    /// Start character offset (inclusive).
+    pub start: usize,
+    /// End character offset (exclusive).
+    pub end: usize,
+    /// Replacement text.
+    pub replacement: String,
+    /// What this edit does, one line (for the dry-run report).
+    pub note: String,
+}
+
+/// The deprecated constructors and their builder-chain templates.
+/// `{0}` is the call's argument text, carried over verbatim; `None`
+/// templates take no argument. Mirrors the shim bodies in
+/// `crates/kernel/src/config.rs` — if a shim changes, change this table
+/// (the equivalence tests below pin the mapping).
+const CTOR_TEMPLATES: &[(&str, bool, &str)] = &[
+    ("unmodified", false, "KernelConfig::builder().build()"),
+    (
+        "unmodified_with_screend",
+        false,
+        "KernelConfig::builder().screend(ScreendConfig::default()).build()",
+    ),
+    ("no_polling", false, "KernelConfig::builder().no_polling().build()"),
+    ("polled", true, "KernelConfig::builder().polled({0}).build()"),
+    (
+        "polled_screend_no_feedback",
+        true,
+        "KernelConfig::builder().polled({0}).screend(ScreendConfig::default()).build()",
+    ),
+    (
+        "polled_screend_feedback",
+        true,
+        "KernelConfig::builder().polled({0}).screend(ScreendConfig::default()).feedback(FeedbackConfig::default()).build()",
+    ),
+    (
+        "polled_cycle_limit",
+        true,
+        "KernelConfig::builder().polled(Quota::Limited(5)).cycle_limit({0}).user_process(true).build()",
+    ),
+    (
+        "unmodified_rate_limited",
+        true,
+        "KernelConfig::builder().intr_rate_limit({0}, 4).build()",
+    ),
+    (
+        "end_system_unmodified",
+        false,
+        "KernelConfig::builder().local_delivery(LocalDeliveryConfig::default()).ip_forwarding(false).build()",
+    ),
+    (
+        "end_system_polled",
+        true,
+        "KernelConfig::builder().polled({0}).local_delivery(LocalDeliveryConfig { feedback: Some(FeedbackConfig::default()), ..LocalDeliveryConfig::default() }).ip_forwarding(false).build()",
+    ),
+];
+
+/// The shim definition file — its own bodies and equivalence tests are
+/// the sanctioned callers and must not be rewritten.
+const CTOR_DEFINITION_FILE: &str = "crates/kernel/src/config.rs";
+
+/// Computes every fix for one file. Edits are returned sorted and
+/// non-overlapping.
+pub fn fixes_for(info: &FileInfo, src: &str) -> Vec<Edit> {
+    let lexed = tokenizer::tokenize(src);
+    let mut edits = Vec::new();
+    if info.rel_path != CTOR_DEFINITION_FILE {
+        ctor_fixes(src, &lexed.toks, &mut edits);
+    }
+    suppression_fixes(src, &lexed.lint_comments, &mut edits);
+    edits.sort_by_key(|e| e.start);
+    edits.dedup_by_key(|e| e.start);
+    edits
+}
+
+fn ctor_fixes(src: &str, toks: &[Tok], edits: &mut Vec<Edit>) {
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("KernelConfig") {
+            continue;
+        }
+        for &(ctor, takes_arg, template) in CTOR_TEMPLATES {
+            let Some(after) = rules::path_match(toks, i, &["KernelConfig", ctor]) else {
+                continue;
+            };
+            if !toks.get(after).is_some_and(|t| t.is_punct('(')) {
+                continue;
+            }
+            let Some(close) = matching_paren(toks, after) else {
+                continue;
+            };
+            let arg = slice_chars(src, toks[after].span.1, toks[close].span.0);
+            let arg = arg.trim();
+            if takes_arg == arg.is_empty() {
+                // Arity mismatch with the shim — leave it for the
+                // compiler rather than guess.
+                continue;
+            }
+            edits.push(Edit {
+                start: toks[i].span.0,
+                end: toks[close].span.1,
+                replacement: template.replace("{0}", arg),
+                note: format!("rewrite deprecated `KernelConfig::{ctor}(..)` to the builder chain"),
+            });
+        }
+    }
+}
+
+fn suppression_fixes(src: &str, comments: &[tokenizer::LintComment], edits: &mut Vec<Edit>) {
+    let ids = rules::rule_ids();
+    for c in comments {
+        if !c.line_comment {
+            continue;
+        }
+        let Some(at) = c.text.find("simlint:") else {
+            continue;
+        };
+        if !c.text[..at].trim().is_empty() {
+            // Prose-prefixed mention; not a directive to normalize.
+            continue;
+        }
+        let parsed = suppress::parse(std::slice::from_ref(c), &ids);
+        let Some(s) = parsed.allows.first() else {
+            continue;
+        };
+        let canonical = format!("// simlint: allow({}): {}", s.rule, s.reason);
+        let current = slice_chars(src, c.span.0, c.span.1);
+        if current != canonical {
+            edits.push(Edit {
+                start: c.span.0,
+                end: c.span.1,
+                replacement: canonical,
+                note: format!("normalize simlint directive for `{}`", s.rule),
+            });
+        }
+    }
+}
+
+/// Index of the `)` matching the `(` at `open`.
+fn matching_paren(toks: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// The source text between two character offsets.
+fn slice_chars(src: &str, start: usize, end: usize) -> String {
+    src.chars().take(end).skip(start).collect()
+}
+
+/// Applies sorted, non-overlapping character-span edits.
+pub fn apply(src: &str, edits: &[Edit]) -> String {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut at = 0usize;
+    for e in edits {
+        out.extend(&chars[at..e.start.min(chars.len())]);
+        out.push_str(&e.replacement);
+        at = e.end.min(chars.len());
+    }
+    out.extend(&chars[at..]);
+    out
+}
+
+/// The outcome of a workspace fix run.
+#[derive(Debug, Default)]
+pub struct FixOutcome {
+    /// `(file, edit count)` per file with pending or applied fixes.
+    pub files: Vec<(String, usize)>,
+    /// The (would-be) changes, as a minimal line diff.
+    pub diff: String,
+}
+
+impl FixOutcome {
+    /// Total number of edits across files.
+    pub fn edit_count(&self) -> usize {
+        self.files.iter().map(|(_, n)| n).sum()
+    }
+}
+
+/// Fixes the whole workspace. With `dry_run` nothing is written; the
+/// diff describes what `--fix` would change.
+pub fn fix_workspace(root: &Path, dry_run: bool) -> io::Result<FixOutcome> {
+    let sources = files::scan_workspace(root)?;
+    let mut out = FixOutcome::default();
+    for (info, src) in &sources {
+        let edits = fixes_for(info, src);
+        if edits.is_empty() {
+            continue;
+        }
+        let fixed = apply(src, &edits);
+        out.diff.push_str(&line_diff(&info.rel_path, src, &fixed));
+        out.files.push((info.rel_path.clone(), edits.len()));
+        if !dry_run {
+            std::fs::write(root.join(&info.rel_path), &fixed)?;
+        }
+    }
+    Ok(out)
+}
+
+/// A minimal line diff: common prefix and suffix trimmed, the changed
+/// middle shown as `-`/`+` lines with 1-based line numbers.
+fn line_diff(file: &str, old: &str, new: &str) -> String {
+    let a: Vec<&str> = old.lines().collect();
+    let b: Vec<&str> = new.lines().collect();
+    let mut lo = 0usize;
+    while lo < a.len() && lo < b.len() && a[lo] == b[lo] {
+        lo += 1;
+    }
+    let mut hi = 0usize;
+    while hi < a.len() - lo && hi < b.len() - lo && a[a.len() - 1 - hi] == b[b.len() - 1 - hi] {
+        hi += 1;
+    }
+    let mut out = format!("--- {file}\n");
+    for (i, line) in a[lo..a.len() - hi].iter().enumerate() {
+        out.push_str(&format!("-{:>5} {line}\n", lo + i + 1));
+    }
+    for (i, line) in b[lo..b.len() - hi].iter().enumerate() {
+        out.push_str(&format!("+{:>5} {line}\n", lo + i + 1));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(path: &str) -> FileInfo {
+        FileInfo::classify(path).expect("classifiable")
+    }
+
+    fn fix(path: &str, src: &str) -> String {
+        apply(src, &fixes_for(&info(path), src))
+    }
+
+    #[test]
+    fn zero_arg_ctor_rewrites_to_builder() {
+        let got = fix(
+            "crates/bench/src/lib.rs",
+            "let c = KernelConfig::unmodified();",
+        );
+        assert_eq!(got, "let c = KernelConfig::builder().build();");
+    }
+
+    #[test]
+    fn arg_carries_over_verbatim() {
+        let got = fix(
+            "crates/bench/src/lib.rs",
+            "let c = KernelConfig::polled(Quota::Limited(10));",
+        );
+        assert_eq!(
+            got,
+            "let c = KernelConfig::builder().polled(Quota::Limited(10)).build();"
+        );
+        let got = fix(
+            "crates/bench/src/lib.rs",
+            "let c = KernelConfig::unmodified_rate_limited(rate_hz);",
+        );
+        assert_eq!(
+            got,
+            "let c = KernelConfig::builder().intr_rate_limit(rate_hz, 4).build();"
+        );
+    }
+
+    #[test]
+    fn definition_file_and_strings_are_untouched() {
+        let src = "let c = KernelConfig::unmodified();";
+        assert_eq!(fix("crates/kernel/src/config.rs", src), src);
+        let src = "let s = \"KernelConfig::unmodified()\";";
+        assert_eq!(fix("crates/bench/src/lib.rs", src), src);
+    }
+
+    #[test]
+    fn suppressions_normalize_to_canonical_spacing() {
+        let src = "//simlint:   allow( panic-freedom )  :  caller checked\nx.unwrap();";
+        let got = fix("crates/net/src/frag.rs", src);
+        assert_eq!(
+            got,
+            "// simlint: allow(panic-freedom): caller checked\nx.unwrap();"
+        );
+    }
+
+    #[test]
+    fn malformed_and_prose_directives_are_left_alone() {
+        let src = "// simlint: allow(panic-freedom)\nfn f() {}";
+        assert_eq!(fix("crates/net/src/frag.rs", src), src, "no invented reason");
+        let src = "// docs may mention simlint: allow(panic-freedom): like this\nfn f() {}";
+        assert_eq!(fix("crates/net/src/frag.rs", src), src, "prose prefix");
+    }
+
+    #[test]
+    fn fixing_is_idempotent() {
+        let src = "let c = KernelConfig::polled(q);\n//simlint: allow(panic-freedom):ok\nx.unwrap();";
+        let once = fix("crates/bench/src/lib.rs", &src);
+        let twice = fix("crates/bench/src/lib.rs", &once);
+        assert_eq!(once, twice);
+        assert!(fixes_for(&info("crates/bench/src/lib.rs"), &once).is_empty());
+    }
+
+    #[test]
+    fn line_diff_trims_common_context() {
+        let d = line_diff("f.rs", "a\nb\nc\n", "a\nB\nc\n");
+        assert_eq!(d, "--- f.rs\n-    2 b\n+    2 B\n");
+    }
+}

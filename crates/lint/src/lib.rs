@@ -24,8 +24,12 @@
 //! rationale and `scripts/ci.sh` for the gate (exit 7).
 
 pub mod baseline;
+pub mod dataflow;
 pub mod files;
+pub mod fix;
+pub mod model;
 pub mod regions;
+pub mod registry;
 pub mod report;
 pub mod rules;
 pub mod suppress;
@@ -68,6 +72,7 @@ pub struct FileLint {
 pub fn lint_source(info: &FileInfo, src: &str, rules: &[Box<dyn Rule>]) -> FileLint {
     let lexed = tokenizer::tokenize(src);
     let test_regions = regions::test_regions(&lexed.toks);
+    let file_model = model::FileModel::build(info, &lexed.toks);
     let ids = rules::rule_ids();
     let sup = suppress::parse(&lexed.lint_comments, &ids);
 
@@ -82,7 +87,9 @@ pub fn lint_source(info: &FileInfo, src: &str, rules: &[Box<dyn Rule>]) -> FileL
         });
     }
     for rule in rules {
-        for rf in rule.check(info, &lexed.toks) {
+        let mut raws = rule.check(info, &lexed.toks);
+        raws.extend(rule.check_model(info, &lexed.toks, &file_model));
+        for rf in raws {
             if rule.exempt_test_code() && test_regions.contains(rf.tok) {
                 continue;
             }
@@ -130,7 +137,29 @@ pub fn lint_workspace(root: &Path, baseline: &Baseline) -> io::Result<WorkspaceL
     }
     sort_findings(&mut all_active);
     sort_findings(&mut suppressed);
-    let (fresh, baselined) = baseline.partition(all_active);
+    let (mut fresh, baselined, stale) = baseline.partition_stale(all_active);
+    // Unspent baseline entries are findings of their own (exit 22): a
+    // burned-down violation must leave the baseline or it could silently
+    // absorb a reintroduction. Key format: rule<TAB>file<TAB>snippet.
+    for k in stale {
+        let mut parts = k.splitn(3, '\t');
+        let rule = parts.next().unwrap_or("").to_string();
+        let file = parts.next().unwrap_or("").to_string();
+        let snippet = parts.next().unwrap_or("").to_string();
+        fresh.push(Finding {
+            rule: rules::STALE_BASELINE_RULE.to_string(),
+            file,
+            line: 0,
+            snippet: format!("{rule}\t{snippet}"),
+            message: format!(
+                "stale baseline entry: no `{rule}` finding with snippet `{snippet}` exists any more — delete the line from crates/lint/baseline.txt"
+            ),
+        });
+    }
+    // Workspace-level registry cross-checks land here, also past the
+    // baseline: exit-code drift is never grandfathered.
+    fresh.extend(registry::check_workspace(root, &sources));
+    sort_findings(&mut fresh);
     Ok(WorkspaceLint {
         fresh,
         baselined,

@@ -1,0 +1,712 @@
+//! The workspace semantic model: item extents, per-function identifier
+//! dataflow, and the caller→callee edge map.
+//!
+//! The token-scanner rules of PR 5 see one token window at a time; the
+//! rules added with this layer (unit-discipline above all) need to know
+//! *where functions begin and end* and *which identifiers a function
+//! reads, writes, and calls*. This module parses just enough Rust on top
+//! of the tokenizer to answer those questions: a recursive item walker
+//! recognizes `fn`/`struct`/`enum`/`trait`/`impl`/`mod`/`use`/`const`/
+//! `static`/`type` items (recursing into `impl`, `trait`, and inline
+//! `mod` bodies), records each item's half-open token extent, and for
+//! every function extracts its call sites, identifier reads, and
+//! identifier writes.
+//!
+//! It is a *lint-grade* model, not a compiler: name resolution is
+//! textual (`Freq::cycles_from_nanos` stays a path string, a method call
+//! is just its method name), and expression grammar is approximated by
+//! bracket depth. That is exactly enough for dataflow over naming
+//! conventions — which is the point: the conventions are the invariant.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::files::FileInfo;
+use crate::tokenizer::{Tok, TokKind};
+
+/// The kinds of item the walker records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ItemKind {
+    /// A function (free, impl method, or trait default method).
+    Fn,
+    /// A `struct` or `union` definition.
+    Struct,
+    /// An `enum` definition.
+    Enum,
+    /// A `trait` definition (its default methods are also recorded).
+    Trait,
+    /// An `impl` block (its methods are also recorded).
+    Impl,
+    /// A `mod` item (inline bodies are recursed into).
+    Mod,
+    /// A `use` declaration.
+    Use,
+    /// A `const` or `static` item.
+    Const,
+    /// A `type` alias.
+    TypeAlias,
+    /// A `macro_rules!` definition.
+    Macro,
+}
+
+/// One recorded item with its token extent.
+#[derive(Clone, Debug)]
+pub struct Item {
+    /// What kind of item this is.
+    pub kind: ItemKind,
+    /// The item's name: the identifier for most kinds, the rendered
+    /// path for `use`, the implemented type (after `for` if present)
+    /// for `impl`.
+    pub name: String,
+    /// 1-based line of the item keyword.
+    pub line: u32,
+    /// Half-open token-index extent, from the item keyword (or leading
+    /// attribute) to one past the closing `}` or `;`.
+    pub toks: (usize, usize),
+}
+
+/// Per-function dataflow facts.
+#[derive(Clone, Debug)]
+pub struct FnInfo {
+    /// The bare function name.
+    pub name: String,
+    /// `crate::module::Container::name` — globally unique per extent.
+    pub qualified: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Half-open token extent of the whole item (signature + body).
+    pub toks: (usize, usize),
+    /// Half-open token extent of the body block (empty for trait
+    /// declarations without a default body).
+    pub body: (usize, usize),
+    /// Call targets: path calls keep their rendered path
+    /// (`Freq::cycles_from_nanos`), method calls are the bare method
+    /// name (`charge`), macros are excluded.
+    pub calls: BTreeSet<String>,
+    /// Identifiers read in the body (excluding keywords and call
+    /// targets).
+    pub reads: BTreeSet<String>,
+    /// Identifiers assigned in the body (`x = …`, `x += …`,
+    /// `let [mut] x`).
+    pub writes: BTreeSet<String>,
+}
+
+/// The semantic model of one source file.
+#[derive(Clone, Debug, Default)]
+pub struct FileModel {
+    /// Every recorded item, in source order (outer items precede the
+    /// nested items discovered inside them).
+    pub items: Vec<Item>,
+    /// Every function, in source order.
+    pub fns: Vec<FnInfo>,
+}
+
+/// The workspace-wide model: per-file models plus the caller→callee
+/// edge map.
+#[derive(Clone, Debug, Default)]
+pub struct WorkspaceModel {
+    /// `rel_path` → file model, in deterministic path order.
+    pub files: BTreeMap<String, FileModel>,
+    /// Qualified caller → set of recorded call targets.
+    pub edges: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl WorkspaceModel {
+    /// Builds the workspace model from `(info, source)` pairs.
+    pub fn build(sources: &[(FileInfo, String)]) -> WorkspaceModel {
+        let mut wm = WorkspaceModel::default();
+        for (info, src) in sources {
+            let lexed = crate::tokenizer::tokenize(src);
+            let fm = FileModel::build(info, &lexed.toks);
+            for f in &fm.fns {
+                if !f.calls.is_empty() {
+                    wm.edges
+                        .entry(f.qualified.clone())
+                        .or_default()
+                        .extend(f.calls.iter().cloned());
+                }
+            }
+            wm.files.insert(info.rel_path.clone(), fm);
+        }
+        wm
+    }
+}
+
+impl FileModel {
+    /// Parses the item structure of one token stream.
+    pub fn build(info: &FileInfo, toks: &[Tok]) -> FileModel {
+        let mut fm = FileModel::default();
+        let ctx = info.module_display();
+        walk_items(toks, 0, toks.len(), &ctx, &mut fm);
+        fm
+    }
+
+    /// The function whose extent covers token index `i`, if any. Inner
+    /// items shadow outer ones (a closure inside a fn still belongs to
+    /// the fn; a fn inside a fn wins over its parent).
+    pub fn fn_at(&self, i: usize) -> Option<&FnInfo> {
+        self.fns
+            .iter()
+            .filter(|f| f.toks.0 <= i && i < f.toks.1)
+            .last()
+    }
+}
+
+/// Keywords never recorded as reads/writes/calls.
+const KEYWORDS: &[&str] = &[
+    "fn", "let", "mut", "if", "else", "match", "while", "for", "loop", "in", "return", "break",
+    "continue", "struct", "enum", "impl", "trait", "use", "mod", "pub", "const", "static", "type",
+    "where", "as", "ref", "move", "dyn", "box", "self", "Self", "super", "crate", "unsafe",
+    "async", "await", "extern", "true", "false", "union",
+];
+
+fn is_keyword(t: &Tok) -> bool {
+    t.kind == TokKind::Ident && KEYWORDS.contains(&t.text.as_str())
+}
+
+/// Recursively records the items of `toks[lo..hi]` under context `ctx`.
+fn walk_items(toks: &[Tok], lo: usize, hi: usize, ctx: &str, fm: &mut FileModel) {
+    let mut i = lo;
+    while i < hi {
+        let t = &toks[i];
+        // Attributes: skip to the matching `]`.
+        if t.is_punct('#') && toks.get(i + 1).is_some_and(|u| u.is_punct('[')) {
+            i = match matching(toks, i + 1, '[', ']') {
+                Some(e) => e + 1,
+                None => hi,
+            };
+            continue;
+        }
+        // Visibility: `pub` or `pub(crate)` etc.
+        if t.is_ident("pub") {
+            i += 1;
+            if toks.get(i).is_some_and(|u| u.is_punct('(')) {
+                i = match matching(toks, i, '(', ')') {
+                    Some(e) => e + 1,
+                    None => hi,
+                };
+            }
+            continue;
+        }
+        // Fn modifiers: `const fn`, `unsafe fn`, `async fn`, `extern "C" fn`.
+        // `const` alone is an item of its own, so look ahead for `fn`.
+        if (t.is_ident("unsafe") || t.is_ident("async")
+            || (t.is_ident("const") && toks.get(i + 1).is_some_and(|u| u.is_ident("fn") || u.is_ident("unsafe") || u.is_ident("async") || u.is_ident("extern")))
+            || t.is_ident("extern"))
+            && toks[i + 1..hi.min(i + 4)].iter().any(|u| u.is_ident("fn") || u.is_ident("impl") || u.is_ident("trait") || u.is_ident("mod"))
+        {
+            i += 1;
+            continue;
+        }
+        if t.is_ident("fn") {
+            i = record_fn(toks, i, hi, ctx, fm);
+            continue;
+        }
+        if t.is_ident("struct") || t.is_ident("union") {
+            i = record_named(toks, i, hi, ItemKind::Struct, fm);
+            continue;
+        }
+        if t.is_ident("enum") {
+            i = record_named(toks, i, hi, ItemKind::Enum, fm);
+            continue;
+        }
+        if t.is_ident("trait") {
+            i = record_container(toks, i, hi, ItemKind::Trait, ctx, fm);
+            continue;
+        }
+        if t.is_ident("impl") {
+            i = record_container(toks, i, hi, ItemKind::Impl, ctx, fm);
+            continue;
+        }
+        if t.is_ident("mod") {
+            i = record_container(toks, i, hi, ItemKind::Mod, ctx, fm);
+            continue;
+        }
+        if t.is_ident("use") {
+            i = record_use(toks, i, hi, fm);
+            continue;
+        }
+        if t.is_ident("const") || t.is_ident("static") {
+            i = record_named(toks, i, hi, ItemKind::Const, fm);
+            continue;
+        }
+        if t.is_ident("type") {
+            i = record_named(toks, i, hi, ItemKind::TypeAlias, fm);
+            continue;
+        }
+        if t.is_ident("macro_rules") && toks.get(i + 1).is_some_and(|u| u.is_punct('!')) {
+            i = record_named(toks, i, hi, ItemKind::Macro, fm);
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// Records a `fn` item starting at the `fn` keyword; returns the index
+/// one past the item.
+fn record_fn(toks: &[Tok], at: usize, hi: usize, ctx: &str, fm: &mut FileModel) -> usize {
+    let Some(name_tok) = toks.get(at + 1).filter(|t| t.kind == TokKind::Ident) else {
+        return at + 1;
+    };
+    let name = name_tok.text.clone();
+    let end = item_extent(toks, at, hi);
+    // The body is the outermost `{ … }` between the signature and the
+    // item end; a trait declaration ends at `;` and has no body.
+    let body = body_extent(toks, at, end);
+    let qualified = format!("{ctx}::{name}");
+    let (calls, reads, writes) = dataflow(toks, body.0, body.1);
+    fm.items.push(Item {
+        kind: ItemKind::Fn,
+        name: name.clone(),
+        line: toks[at].line,
+        toks: (at, end),
+    });
+    fm.fns.push(FnInfo {
+        name,
+        qualified: qualified.clone(),
+        line: toks[at].line,
+        toks: (at, end),
+        body,
+        calls,
+        reads,
+        writes,
+    });
+    // Recurse into the body so nested fns (and body-local items) are
+    // recorded too; `fn_at` resolves the innermost extent.
+    if body.0 < body.1 {
+        walk_items(toks, body.0 + 1, body.1.saturating_sub(1), &qualified, fm);
+    }
+    end
+}
+
+/// Records a named item (`struct X…;` / `const X: … = …;` / `enum X {…}`)
+/// without recursing into it.
+fn record_named(toks: &[Tok], at: usize, hi: usize, kind: ItemKind, fm: &mut FileModel) -> usize {
+    let name = toks[at + 1..hi.min(at + 4)]
+        .iter()
+        .find(|t| t.kind == TokKind::Ident && !is_keyword(t))
+        .map(|t| t.text.clone())
+        .unwrap_or_default();
+    let end = item_extent(toks, at, hi);
+    fm.items.push(Item {
+        kind,
+        name,
+        line: toks[at].line,
+        toks: (at, end),
+    });
+    end
+}
+
+/// Records an `impl`/`trait`/`mod` item and recurses into its brace body
+/// so nested fns are found. Returns the index one past the item.
+fn record_container(
+    toks: &[Tok],
+    at: usize,
+    hi: usize,
+    kind: ItemKind,
+    ctx: &str,
+    fm: &mut FileModel,
+) -> usize {
+    let end = item_extent(toks, at, hi);
+    // Find the opening brace of the body (a `mod name;` has none).
+    let mut open = None;
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().take(end).skip(at + 1) {
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if t.is_punct('{') && depth == 0 {
+            open = Some(j);
+            break;
+        }
+    }
+    // Item name: for `impl`, the implemented type — the first ident
+    // after `for` when present, else the first non-keyword ident after
+    // any generics; for `trait`/`mod`, the declared name.
+    let header = &toks[at + 1..open.unwrap_or(end).min(hi)];
+    let name = match kind {
+        ItemKind::Impl => {
+            let after_for = header.iter().position(|t| t.is_ident("for"));
+            let search: &[Tok] = match after_for {
+                Some(f) => &header[f + 1..],
+                None => {
+                    // Skip leading generics `<…>`.
+                    let mut d = 0i32;
+                    let mut s = 0;
+                    for (j, t) in header.iter().enumerate() {
+                        if t.is_punct('<') {
+                            d += 1;
+                        } else if t.is_punct('>') && j > 0 && !header[j - 1].is_punct('-') {
+                            d -= 1;
+                            if d == 0 {
+                                s = j + 1;
+                                break;
+                            }
+                        } else if d == 0 {
+                            s = j;
+                            break;
+                        }
+                    }
+                    &header[s..]
+                }
+            };
+            search
+                .iter()
+                .find(|t| t.kind == TokKind::Ident && !is_keyword(t))
+                .map(|t| t.text.clone())
+                .unwrap_or_default()
+        }
+        _ => header
+            .iter()
+            .find(|t| t.kind == TokKind::Ident && !is_keyword(t))
+            .map(|t| t.text.clone())
+            .unwrap_or_default(),
+    };
+    fm.items.push(Item {
+        kind,
+        name: name.clone(),
+        line: toks[at].line,
+        toks: (at, end),
+    });
+    if let Some(o) = open {
+        let inner_ctx = if name.is_empty() {
+            ctx.to_string()
+        } else {
+            format!("{ctx}::{name}")
+        };
+        walk_items(toks, o + 1, end.saturating_sub(1), &inner_ctx, fm);
+    }
+    end
+}
+
+/// Records a `use` declaration; the name is the rendered path.
+fn record_use(toks: &[Tok], at: usize, hi: usize, fm: &mut FileModel) -> usize {
+    let end = item_extent(toks, at, hi);
+    let name: String = toks[at + 1..end.saturating_sub(1).max(at + 1)]
+        .iter()
+        .map(|t| t.text.as_str())
+        .collect();
+    fm.items.push(Item {
+        kind: ItemKind::Use,
+        name,
+        line: toks[at].line,
+        toks: (at, end),
+    });
+    end
+}
+
+/// One past the last token of the item starting at `at`: past the
+/// top-level `;`, or past the `}` closing the item's brace block.
+fn item_extent(toks: &[Tok], at: usize, hi: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = at;
+    while i < hi {
+        let t = &toks[i];
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if t.is_punct(';') && depth == 0 {
+            return i + 1;
+        } else if t.is_punct('{') && depth == 0 {
+            return matching(toks, i, '{', '}').map_or(hi, |e| (e + 1).min(hi));
+        }
+        i += 1;
+    }
+    hi
+}
+
+/// The body block extent of a fn item spanning `[at, end)`: the
+/// outermost `{ … }`, or `(end, end)` for a bodyless declaration.
+fn body_extent(toks: &[Tok], at: usize, end: usize) -> (usize, usize) {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().take(end).skip(at) {
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if t.is_punct('{') && depth == 0 {
+            return (j, end);
+        } else if t.is_punct(';') && depth == 0 {
+            break;
+        }
+    }
+    (end, end)
+}
+
+/// Index of the closing bracket matching the opener at `open`.
+fn matching(toks: &[Tok], open: usize, o: char, c: char) -> Option<usize> {
+    let mut depth = 0i32;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct(o) {
+            depth += 1;
+        } else if t.is_punct(c) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// Extracts (calls, reads, writes) from a body token range.
+#[allow(clippy::type_complexity)]
+fn dataflow(
+    toks: &[Tok],
+    lo: usize,
+    hi: usize,
+) -> (BTreeSet<String>, BTreeSet<String>, BTreeSet<String>) {
+    let mut calls = BTreeSet::new();
+    let mut reads = BTreeSet::new();
+    let mut writes = BTreeSet::new();
+    let mut i = lo;
+    while i < hi {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        // `let [mut] name` introduces a binding: a write.
+        if t.is_ident("let") {
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|u| u.is_ident("mut")) {
+                j += 1;
+            }
+            if let Some(n) = toks.get(j).filter(|u| u.kind == TokKind::Ident && !is_keyword(u)) {
+                writes.insert(n.text.clone());
+            }
+            i += 1;
+            continue;
+        }
+        if is_keyword(t) {
+            i += 1;
+            continue;
+        }
+        // Macro invocation: skip the name, scan the arguments normally.
+        if toks.get(i + 1).is_some_and(|u| u.is_punct('!')) {
+            i += 2;
+            continue;
+        }
+        // Path or bare call: `a::b::c(` records "a::b::c".
+        if toks.get(i + 1).is_some_and(|u| u.is_punct('(')) {
+            let method = i >= lo + 1 && toks[i - 1].is_punct('.');
+            if method {
+                calls.insert(t.text.clone());
+            } else {
+                // Walk back over `seg ::` prefixes.
+                let mut start = i;
+                while start >= lo + 3
+                    && toks[start - 1].is_punct(':')
+                    && toks[start - 2].is_punct(':')
+                    && toks[start - 3].kind == TokKind::Ident
+                    && !is_keyword(&toks[start - 3])
+                {
+                    start -= 3;
+                }
+                let path: String = toks[start..=i]
+                    .iter()
+                    .map(|t| t.text.as_str())
+                    .collect::<Vec<_>>()
+                    .join("");
+                calls.insert(path);
+            }
+            i += 1;
+            continue;
+        }
+        // Path segments other than the last are not reads of locals.
+        if toks.get(i + 1).is_some_and(|u| u.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|u| u.is_punct(':'))
+        {
+            i += 1;
+            continue;
+        }
+        // Assignment target: `name =` / `name += …` (but not `==`, `<=`,
+        // `>=`, `!=`, `=>`).
+        let mut j = i + 1;
+        let compound = toks
+            .get(j)
+            .is_some_and(|u| "+-*/%&|^".chars().any(|c| u.is_punct(c)));
+        if compound {
+            j += 1;
+        }
+        let is_assign = toks.get(j).is_some_and(|u| u.is_punct('='))
+            && !toks.get(j + 1).is_some_and(|u| u.is_punct('=') || u.is_punct('>'))
+            && (compound || !toks.get(j.wrapping_sub(1)).is_some_and(|u| u.is_punct('<') || u.is_punct('>') || u.is_punct('!')));
+        if is_assign {
+            writes.insert(t.text.clone());
+            if compound {
+                // `x += y` also reads x.
+                reads.insert(t.text.clone());
+            }
+        } else {
+            reads.insert(t.text.clone());
+        }
+        i += 1;
+    }
+    (calls, reads, writes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(path: &str, src: &str) -> FileModel {
+        let info = FileInfo::classify(path).expect("classifiable");
+        let lexed = crate::tokenizer::tokenize(src);
+        FileModel::build(&info, &lexed.toks)
+    }
+
+    const FIXTURE: &str = r#"
+use std::fmt;
+
+pub const LIMIT: u64 = 8;
+
+pub struct Gate { level: u32 }
+
+pub enum Mode { On, Off }
+
+impl Gate {
+    pub fn new(level: u32) -> Gate { Gate { level } }
+    pub fn step(&mut self, load: u64) -> u64 {
+        let mut acc = self.level as u64;
+        acc += load;
+        helper(acc);
+        self.level = clamp(acc) as u32;
+        acc
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.level)
+    }
+}
+
+pub trait Duty {
+    fn rate(&self) -> u64;
+    fn doubled(&self) -> u64 { self.rate() * 2 }
+}
+
+fn helper(x: u64) -> u64 { Freq::cycles_from_nanos(x) }
+
+fn clamp(x: u64) -> u64 { if x > LIMIT { LIMIT } else { x } }
+
+mod inner {
+    pub fn leaf() {}
+}
+"#;
+
+    #[test]
+    fn items_and_extents() {
+        let fm = model("crates/sim/src/gate.rs", FIXTURE);
+        let kinds: Vec<(ItemKind, &str)> = fm
+            .items
+            .iter()
+            .map(|i| (i.kind, i.name.as_str()))
+            .collect();
+        assert!(kinds.contains(&(ItemKind::Use, "std::fmt")));
+        assert!(kinds.contains(&(ItemKind::Const, "LIMIT")));
+        assert!(kinds.contains(&(ItemKind::Struct, "Gate")));
+        assert!(kinds.contains(&(ItemKind::Enum, "Mode")));
+        assert!(kinds.contains(&(ItemKind::Trait, "Duty")));
+        assert!(kinds.contains(&(ItemKind::Mod, "inner")));
+        // Both impls resolve to the implemented type.
+        assert_eq!(
+            fm.items.iter().filter(|i| i.kind == ItemKind::Impl && i.name == "Gate").count(),
+            2,
+            "impl Gate and impl Display for Gate both name Gate"
+        );
+    }
+
+    #[test]
+    fn fns_are_qualified_by_container() {
+        let fm = model("crates/sim/src/gate.rs", FIXTURE);
+        let quals: Vec<&str> = fm.fns.iter().map(|f| f.qualified.as_str()).collect();
+        assert_eq!(
+            quals,
+            vec![
+                "sim::gate::Gate::new",
+                "sim::gate::Gate::step",
+                "sim::gate::Gate::fmt",
+                "sim::gate::Duty::rate",
+                "sim::gate::Duty::doubled",
+                "sim::gate::helper",
+                "sim::gate::clamp",
+                "sim::gate::inner::leaf",
+            ]
+        );
+        // The bodyless trait method has an empty body extent.
+        let rate = fm.fns.iter().find(|f| f.name == "rate").unwrap();
+        assert_eq!(rate.body.0, rate.body.1);
+    }
+
+    #[test]
+    fn dataflow_reads_writes_calls() {
+        let fm = model("crates/sim/src/gate.rs", FIXTURE);
+        let step = fm.fns.iter().find(|f| f.name == "step").unwrap();
+        assert!(step.calls.contains("helper"));
+        assert!(step.calls.contains("clamp"));
+        assert!(step.writes.contains("acc"), "let-binding is a write");
+        assert!(step.writes.contains("level"), "field assignment writes the field name");
+        assert!(step.reads.contains("load"));
+        assert!(step.reads.contains("acc"), "compound assignment also reads");
+
+        let helper = fm.fns.iter().find(|f| f.name == "helper").unwrap();
+        assert!(
+            helper.calls.contains("Freq::cycles_from_nanos"),
+            "path calls keep the rendered path: {:?}",
+            helper.calls
+        );
+
+        let clamp = fm.fns.iter().find(|f| f.name == "clamp").unwrap();
+        assert!(clamp.reads.contains("LIMIT"));
+        assert!(clamp.writes.is_empty(), "comparisons are not writes: {:?}", clamp.writes);
+
+        let doubled = fm.fns.iter().find(|f| f.name == "doubled").unwrap();
+        assert!(doubled.calls.contains("rate"), "method call records the name");
+    }
+
+    #[test]
+    fn every_fn_keyword_lands_in_exactly_one_fn_extent() {
+        let lexed = crate::tokenizer::tokenize(FIXTURE);
+        let fm = model("crates/sim/src/gate.rs", FIXTURE);
+        for (i, t) in lexed.toks.iter().enumerate() {
+            if t.is_ident("fn") {
+                let covering = fm.fns.iter().filter(|f| f.toks.0 <= i && i < f.toks.1).count();
+                assert_eq!(covering, 1, "fn keyword at line {} covered once", t.line);
+            }
+        }
+    }
+
+    #[test]
+    fn fn_at_prefers_innermost() {
+        let src = "fn outer() { fn inner() { leaf(); } inner(); }";
+        let fm = model("crates/sim/src/x.rs", src);
+        let lexed = crate::tokenizer::tokenize(src);
+        let leaf = lexed.toks.iter().position(|t| t.is_ident("leaf")).unwrap();
+        assert_eq!(fm.fn_at(leaf).unwrap().name, "inner");
+        let last = lexed.toks.len() - 2;
+        assert_eq!(fm.fn_at(last).unwrap().name, "outer");
+    }
+
+    #[test]
+    fn workspace_edges_are_keyed_by_qualified_caller() {
+        let info = FileInfo::classify("crates/sim/src/gate.rs").unwrap();
+        let wm = WorkspaceModel::build(&[(info, FIXTURE.to_string())]);
+        let step_edges = wm.edges.get("sim::gate::Gate::step").unwrap();
+        assert!(step_edges.contains("helper"));
+        assert!(step_edges.contains("clamp"));
+        let helper_edges = wm.edges.get("sim::gate::helper").unwrap();
+        assert!(helper_edges.contains("Freq::cycles_from_nanos"));
+    }
+
+    #[test]
+    fn generics_and_where_clauses_do_not_derail_extents() {
+        let src = "fn map<F: Fn(u8) -> u8>(f: F) -> u8 where F: Copy { f(1) }\nfn next() {}";
+        let fm = model("crates/sim/src/x.rs", src);
+        assert_eq!(fm.fns.len(), 2);
+        assert_eq!(fm.fns[0].name, "map");
+        assert_eq!(fm.fns[1].name, "next");
+    }
+}

@@ -63,8 +63,11 @@ impl Rule for Determinism {
         if !timing_path {
             self.check_time_and_threads(toks, &mut out);
         }
-        if DETERMINISTIC_CRATES.contains(&file.crate_name.as_str()) && file.kind == TargetKind::Lib
-        {
+        // The linter's own reports must be deterministic too (rule order,
+        // baselines, and the registry table are all diffed in CI).
+        let ordered_scope = DETERMINISTIC_CRATES.contains(&file.crate_name.as_str())
+            || file.crate_name == "lint";
+        if ordered_scope && file.kind == TargetKind::Lib {
             self.check_ordered_containers(toks, &mut out);
         }
         out

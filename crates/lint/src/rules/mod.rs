@@ -7,17 +7,25 @@
 //! inline suppressions, and the baseline.
 
 use crate::files::FileInfo;
+use crate::model::FileModel;
 use crate::tokenizer::Tok;
 
 mod class;
 mod deprecated;
 mod determinism;
 mod drops;
+mod exitcodes;
 mod flows;
 mod interrupt;
 mod ledger;
 mod panics;
 mod smp;
+mod stale;
+mod units;
+
+pub use exitcodes::{EXIT_CODE_REGISTRY, EXIT_CODE_REGISTRY_RULE};
+pub use stale::{EXIT_STALE_BASELINE, STALE_BASELINE_RULE};
+pub use units::EXIT_UNIT_DISCIPLINE;
 
 /// A match a rule reported, before exemption filtering.
 #[derive(Clone, Debug)]
@@ -45,6 +53,12 @@ pub trait Rule {
     /// Scans one file. Rules scope themselves: out-of-scope files simply
     /// return no findings.
     fn check(&self, file: &FileInfo, toks: &[Tok]) -> Vec<RawFinding>;
+    /// Scans one file with its semantic model. Rules that need item
+    /// extents or per-function dataflow implement this instead of (or in
+    /// addition to) `check`; the engine calls both.
+    fn check_model(&self, _file: &FileInfo, _toks: &[Tok], _model: &FileModel) -> Vec<RawFinding> {
+        Vec::new()
+    }
 }
 
 /// The five crates whose behavior must replay bit-identically.
@@ -69,6 +83,9 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(smp::SmpIsolation),
         Box::new(flows::FlowDiscipline),
         Box::new(class::ClassDiscipline),
+        Box::new(units::UnitDiscipline),
+        Box::new(exitcodes::ExitCodeRegistry),
+        Box::new(stale::StaleBaseline),
     ]
 }
 

@@ -38,8 +38,11 @@ impl Rule for PanicFreedom {
     }
 
     fn check(&self, file: &FileInfo, toks: &[Tok]) -> Vec<RawFinding> {
-        if file.kind != TargetKind::Lib || !DETERMINISTIC_CRATES.contains(&file.crate_name.as_str())
-        {
+        // The linter holds itself to the same bar: a panic in the gate
+        // reads as a rule violation, not a finding.
+        let in_scope = DETERMINISTIC_CRATES.contains(&file.crate_name.as_str())
+            || file.crate_name == "lint";
+        if file.kind != TargetKind::Lib || !in_scope {
             return Vec::new();
         }
         let mut out = Vec::new();

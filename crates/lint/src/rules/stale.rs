@@ -1,0 +1,50 @@
+//! stale-baseline: every baseline entry must still match the tree.
+//!
+//! The baseline exists to grandfather findings while they are burned
+//! down; once the underlying code is fixed, the entry must leave the
+//! file. An entry that no longer absorbs anything is a loaded gun — if
+//! an identical violation is ever reintroduced, the stale entry would
+//! silently absorb it and the gate would wave the regression through.
+//! This rule turns unspent entries into failures (exit 22).
+//!
+//! Unlike every other rule, staleness is a property of the *workspace
+//! run*, not of any one file: the engine computes the unspent entries
+//! in [`crate::lint_workspace`] (via `Baseline::partition_stale`) and
+//! reports them under this rule's id. The `check` methods here are
+//! intentionally empty — this type exists so the rule has a registry
+//! entry, an exit code, and a `--list-rules` line like any other.
+
+use crate::files::FileInfo;
+use crate::rules::{RawFinding, Rule};
+use crate::tokenizer::Tok;
+
+/// The stale-baseline rule (engine-evaluated).
+pub struct StaleBaseline;
+
+/// Exit code for stale baseline entries.
+pub const EXIT_STALE_BASELINE: i32 = 22;
+
+/// Rule id under which the engine reports unspent baseline entries.
+pub const STALE_BASELINE_RULE: &str = "stale-baseline";
+
+impl Rule for StaleBaseline {
+    fn id(&self) -> &'static str {
+        STALE_BASELINE_RULE
+    }
+
+    fn exit_code(&self) -> i32 {
+        EXIT_STALE_BASELINE
+    }
+
+    fn exempt_test_code(&self) -> bool {
+        false
+    }
+
+    fn describe(&self) -> &'static str {
+        "baseline entries that no longer match the tree must be deleted"
+    }
+
+    fn check(&self, _file: &FileInfo, _toks: &[Tok]) -> Vec<RawFinding> {
+        Vec::new()
+    }
+}

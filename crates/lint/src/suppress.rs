@@ -53,12 +53,18 @@ impl Suppressions {
 pub fn parse(comments: &[LintComment], known_rules: &[&str]) -> Suppressions {
     let mut out = Suppressions::default();
     for c in comments {
+        // Doc comments (`///` and `//!` — their text starts with the
+        // third `/` or the `!`) are documentation: they may quote the
+        // directive syntax verbatim without being directives.
+        if c.text.starts_with('/') || c.text.starts_with('!') {
+            continue;
+        }
         let Some(at) = c.text.find("simlint:") else {
             continue;
         };
         let body = c.text[at + "simlint:".len()..].trim();
         if body.is_empty() {
-            // Prose that happens to end with "simlint:" (docs about the
+            // Prose that happens to end with the marker (docs about the
             // tool); nothing follows, so it cannot be an attempted
             // directive.
             continue;
@@ -117,6 +123,8 @@ mod tests {
         LintComment {
             text: text.to_string(),
             line,
+            span: (0, 0),
+            line_comment: true,
         }
     }
 
@@ -158,6 +166,20 @@ mod tests {
     fn garbage_directive_is_rejected() {
         let s = parse(&[comment(" simlint: disable everything", 3)], RULES);
         assert_eq!(s.bad.len(), 1);
+    }
+
+    #[test]
+    fn doc_comments_quoting_the_syntax_are_prose() {
+        // Outer doc comment: the text starts with the third slash.
+        let s = parse(&[comment("/ simlint: usage error (unknown flag).", 3)], RULES);
+        assert!(s.allows.is_empty());
+        assert!(s.bad.is_empty());
+        // Inner doc comment: the text starts with the bang.
+        let s = parse(&[comment("! quote `// simlint: allow(rule): reason` here", 3)], RULES);
+        assert!(s.bad.is_empty());
+        // A doc comment cannot suppress either.
+        let s = parse(&[comment("/ simlint: allow(panic-freedom): not a directive", 3)], RULES);
+        assert!(s.allows.is_empty());
     }
 
     #[test]

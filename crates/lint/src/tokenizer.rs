@@ -37,6 +37,9 @@ pub struct Tok {
     pub text: String,
     /// 1-based source line.
     pub line: u32,
+    /// Half-open `char`-index span in the source (autofix rewrites
+    /// operate on a `Vec<char>` view, so spans count chars, not bytes).
+    pub span: (usize, usize),
 }
 
 impl Tok {
@@ -58,6 +61,12 @@ pub struct LintComment {
     pub text: String,
     /// 1-based line the comment starts on.
     pub line: u32,
+    /// Half-open `char`-index span of the whole comment, markers
+    /// included (`//` through end of line, or `/*` through `*/`).
+    pub span: (usize, usize),
+    /// Whether this is a `//` line comment (the only kind the
+    /// suppression normalizer rewrites).
+    pub line_comment: bool,
 }
 
 /// The result of lexing one file.
@@ -103,8 +112,9 @@ impl Lexer {
                 c if c.is_ascii_digit() => self.number(),
                 c if is_ident_start(c) => self.ident_or_prefixed_literal(),
                 c => {
-                    self.push_tok(TokKind::Punct, c.to_string());
+                    let start = self.pos;
                     self.pos += 1;
+                    self.push_tok(TokKind::Punct, c.to_string(), start);
                 }
             }
         }
@@ -115,22 +125,30 @@ impl Lexer {
         self.chars.get(self.pos + ahead).copied()
     }
 
-    fn push_tok(&mut self, kind: TokKind, text: String) {
+    /// Emits a token whose text spans `[start, self.pos)`.
+    fn push_tok(&mut self, kind: TokKind, text: String, start: usize) {
         self.out.toks.push(Tok {
             kind,
             text,
             line: self.line,
+            span: (start, self.pos),
         });
     }
 
-    fn note_comment(&mut self, text: String, line: u32) {
+    fn note_comment(&mut self, text: String, line: u32, start: usize, line_comment: bool) {
         if text.contains("simlint:") {
-            self.out.lint_comments.push(LintComment { text, line });
+            self.out.lint_comments.push(LintComment {
+                text,
+                line,
+                span: (start, self.pos),
+                line_comment,
+            });
         }
     }
 
     fn line_comment(&mut self) {
         let start_line = self.line;
+        let start = self.pos;
         let mut text = String::new();
         self.pos += 2; // "//"
         while let Some(c) = self.peek(0) {
@@ -140,11 +158,12 @@ impl Lexer {
             text.push(c);
             self.pos += 1;
         }
-        self.note_comment(text, start_line);
+        self.note_comment(text, start_line, start, true);
     }
 
     fn block_comment(&mut self) {
         let start_line = self.line;
+        let start = self.pos;
         let mut text = String::new();
         self.pos += 2; // "/*"
         let mut depth = 1usize;
@@ -168,7 +187,7 @@ impl Lexer {
                 self.pos += 1;
             }
         }
-        self.note_comment(text, start_line);
+        self.note_comment(text, start_line, start, false);
     }
 
     /// A plain `"…"` string with escapes.
@@ -218,8 +237,12 @@ impl Lexer {
     fn quote(&mut self) {
         match self.peek(1) {
             Some('\\') => {
-                // Escaped char literal: skip to the closing quote.
-                self.pos += 2;
+                // Escaped char literal. The char after the backslash is
+                // consumed unconditionally — it may itself be a quote
+                // (`'\''`) or a backslash (`'\\'`), neither of which
+                // closes the literal — then we scan to the real closing
+                // quote (covers multi-char escapes like `'\u{1F600}'`).
+                self.pos += 3;
                 while let Some(c) = self.peek(0) {
                     self.pos += 1;
                     if c == '\'' {
@@ -238,8 +261,9 @@ impl Lexer {
                     self.pos += end + 1; // char literal
                 } else {
                     let name: String = (1..end).filter_map(|i| self.peek(i)).collect();
-                    self.push_tok(TokKind::Lifetime, name);
+                    let start = self.pos;
                     self.pos += end;
+                    self.push_tok(TokKind::Lifetime, name, start);
                 }
             }
             Some(_) => {
@@ -251,6 +275,7 @@ impl Lexer {
     }
 
     fn number(&mut self) {
+        let start = self.pos;
         let mut text = String::new();
         while let Some(c) = self.peek(0) {
             if c.is_ascii_alphanumeric() || c == '_' {
@@ -260,7 +285,7 @@ impl Lexer {
                 break;
             }
         }
-        self.push_tok(TokKind::Num, text);
+        self.push_tok(TokKind::Num, text, start);
     }
 
     /// An identifier — unless it is the `r`/`b`/`br` prefix of a raw or
@@ -285,8 +310,9 @@ impl Lexer {
                     self.string_literal();
                 } else if text == "b" && hashes > 0 {
                     // `b#` is not a literal prefix; fall through to ident.
+                    let start = self.pos;
                     self.pos += end;
-                    self.push_tok(TokKind::Ident, text);
+                    self.push_tok(TokKind::Ident, text, start);
                 } else {
                     self.pos += end + hashes;
                     if hashes == 0 {
@@ -312,8 +338,9 @@ impl Lexer {
             }
         }
 
+        let start = self.pos;
         self.pos += end;
-        self.push_tok(TokKind::Ident, text);
+        self.push_tok(TokKind::Ident, text, start);
     }
 }
 
@@ -405,5 +432,66 @@ mod tests {
         let lexed = tokenize(src);
         let next = lexed.toks.iter().find(|t| t.is_ident("next")).unwrap();
         assert_eq!(next.line, 3);
+    }
+
+    #[test]
+    fn escaped_quote_char_literal_does_not_desync() {
+        // Regression: `'\''` used to end at the *escaped* quote, leaving
+        // the closing quote to be re-lexed as a new char literal that
+        // swallowed the following tokens.
+        let src = r"let q = '\''; marker(); let b = '\\'; after();";
+        assert_eq!(
+            idents(src),
+            vec!["let", "q", "marker", "let", "b", "after"]
+        );
+    }
+
+    #[test]
+    fn multichar_escapes_in_char_literals() {
+        let src = r"let e = '\u{1F600}'; let h = '\x41'; done";
+        assert_eq!(idents(src), vec!["let", "e", "let", "h", "done"]);
+    }
+
+    #[test]
+    fn lifetimes_chars_and_labels_mixed_on_one_line() {
+        // The full ambiguity zoo: generic lifetimes, `'static`, an
+        // anonymous lifetime, loop labels, and char literals that look
+        // like lifetimes — all disambiguated on the same line.
+        let src = "fn f<'a, 'b>(x: &'a str, y: &'_ [u8], s: &'static str) -> char { 'l: loop { break 'l; } if true { 'b' } else { 'a' } }";
+        let lexed = tokenize(src);
+        let lifetimes: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lifetimes, vec!["a", "b", "a", "_", "static", "l", "l"]);
+        // The char literals never become Idents or Lifetimes.
+        assert!(!lexed.toks.iter().any(|t| t.is_ident("b") || t.is_ident("a")));
+    }
+
+    #[test]
+    fn nested_block_comments_to_depth_three() {
+        let src = "before /* 1 /* 2 /* 3 */ 2 */ 1 */ after\n/* unterminated /* nest";
+        assert_eq!(idents(src), vec!["before", "after"]);
+        // `/**/` and `/***/` terminate immediately.
+        assert_eq!(idents("a /**/ b /***/ c"), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn spans_cover_token_text_in_chars() {
+        let src = "let nÿme = 42; // simlint: allow(x): y";
+        let lexed = tokenize(src);
+        let chars: Vec<char> = src.chars().collect();
+        for t in &lexed.toks {
+            let (s, e) = t.span;
+            let slice: String = chars[s..e].iter().collect();
+            assert_eq!(slice, t.text, "span must reproduce the token text");
+        }
+        let c = &lexed.lint_comments[0];
+        let slice: String = chars[c.span.0..c.span.1].iter().collect();
+        assert!(slice.starts_with("//"), "comment span includes the marker");
+        assert!(slice.ends_with("y"));
+        assert!(c.line_comment);
     }
 }

@@ -1,0 +1,90 @@
+//! Live-tree smoke test for the semantic model: every `fn` item in the
+//! scanned workspace must land in exactly one recorded function extent.
+//!
+//! This is the guarantee the unit-discipline rule rides on — if the item
+//! walker lost track of a function (a generics edge case, a weird
+//! attribute stack), its body would silently escape dataflow analysis.
+//! Parsing the real tree here means any Rust construct the workspace
+//! actually uses is covered by CI, not just the fixtures.
+
+use std::path::Path;
+
+use lint::files;
+use lint::model::{FileModel, ItemKind};
+use lint::tokenizer::{tokenize, TokKind};
+
+fn workspace_root() -> std::path::PathBuf {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    files::find_workspace_root(here).expect("workspace root above crates/lint")
+}
+
+#[test]
+fn every_workspace_fn_lands_in_exactly_one_extent() {
+    let root = workspace_root();
+    let sources = files::scan_workspace(&root).expect("scan workspace");
+    assert!(sources.len() > 50, "workspace scan looks truncated: {}", sources.len());
+
+    let mut fns_total = 0usize;
+    for (info, src) in &sources {
+        let lexed = tokenize(src);
+        let fm = FileModel::build(info, &lexed.toks);
+        fns_total += fm.fns.len();
+        let macro_extents: Vec<(usize, usize)> = fm
+            .items
+            .iter()
+            .filter(|it| it.kind == ItemKind::Macro)
+            .map(|it| it.toks)
+            .collect();
+        for (i, t) in lexed.toks.iter().enumerate() {
+            // A `fn` keyword opening an item is always followed by the
+            // function's name; `fn(u8) -> u8` pointer types are not.
+            let opens_item = t.is_ident("fn")
+                && lexed
+                    .toks
+                    .get(i + 1)
+                    .is_some_and(|u| u.kind == TokKind::Ident);
+            if !opens_item {
+                continue;
+            }
+            // `fn` tokens inside macro_rules! templates are patterns,
+            // not items.
+            if macro_extents.iter().any(|&(s, e)| s <= i && i < e) {
+                continue;
+            }
+            let starting_here = fm.fns.iter().filter(|f| f.toks.0 == i).count();
+            assert_eq!(
+                starting_here, 1,
+                "{}:{} fn `{}` recorded {} times",
+                info.rel_path,
+                t.line,
+                lexed.toks[i + 1].text,
+                starting_here
+            );
+            let covering = fm.fns.iter().filter(|f| f.toks.0 <= i && i < f.toks.1).count();
+            assert!(
+                covering >= 1,
+                "{}:{} fn `{}` outside every extent",
+                info.rel_path,
+                t.line,
+                lexed.toks[i + 1].text
+            );
+        }
+    }
+    assert!(fns_total > 500, "implausibly few fns recorded: {fns_total}");
+}
+
+#[test]
+fn workspace_edges_cover_known_call_sites() {
+    let root = workspace_root();
+    let sources = files::scan_workspace(&root).expect("scan workspace");
+    let wm = lint::model::WorkspaceModel::build(&sources);
+    assert_eq!(wm.files.len(), sources.len());
+    assert!(!wm.edges.is_empty());
+    // Spot-check a stable cross-file fact: somebody in the kernel crate
+    // calls the ledger's `charge`.
+    let kernel_caller_charges = wm
+        .edges
+        .iter()
+        .any(|(caller, callees)| caller.starts_with("kernel::") && callees.contains("charge"));
+    assert!(kernel_caller_charges, "no kernel:: caller records a charge() call");
+}

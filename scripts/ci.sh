@@ -21,8 +21,11 @@
 #   7  simlint found a non-baselined finding: a determinism,
 #      drop-accounting, interrupt-discipline, ledger-discipline,
 #      panic-freedom, deprecated-config, smp-isolation, flow-discipline,
-#      or class-discipline violation (run `cargo run -p lint` for the
-#      per-rule exit code and report)
+#      class-discipline, unit-discipline, exit-code-registry, or
+#      stale-baseline violation, or `--fix --dry-run` found pending
+#      mechanical fixes (run `cargo run -p lint` for the per-rule exit
+#      code; `simlint --exit-codes` prints the full registry; on
+#      failure a SARIF report lands in target/simlint.sarif)
 #   8  the perf smoke failed: `perf --json` emitted a document that does
 #      not match the livelock-perf-trajectory/v1 schema, or its
 #      throughput fell more than 2x below what the committed
@@ -113,8 +116,10 @@ echo "== simlint: determinism / drop-accounting / interrupt-discipline =="
 # new callers of the deprecated KernelConfig constructors or TrialResult
 # scalar accessors, cross-CPU state confined to the IPI/steal channel
 # files, per-flow metrics mutated only through the KernelStats
-# attribution hooks, and traffic classes stamped/shed only by the
-# admission gate. Inline
+# attribution hooks, traffic classes stamped/shed only by the
+# admission gate, no mixed time bases in unit-suffixed arithmetic, and
+# every process exit code registered in crates/lint/src/registry.rs.
+# Inline
 # `// simlint: allow(rule): reason` and crates/lint/baseline.txt cover the
 # sanctioned exceptions; anything fresh gates hard here.
 if "$repo/target/release/simlint" --root "$repo"; then
@@ -123,7 +128,35 @@ else
     rc=$?
     echo "ci: FAIL — simlint exited $rc; JSON report follows" >&2
     "$repo/target/release/simlint" --root "$repo" --json >&2 || true
+    mkdir -p "$repo/target"
+    "$repo/target/release/simlint" --root "$repo" --format sarif \
+        > "$repo/target/simlint.sarif" || true
+    echo "ci: SARIF report written to target/simlint.sarif" >&2
     exit 7
+fi
+
+echo "== simlint --fix --dry-run: no pending mechanical fixes =="
+# The autofixer (deprecated-config builder rewrite, suppression
+# normalization) must be a no-op on a clean tree: fixable debt is
+# applied, not accumulated. A pending fix prints its diff and gates.
+if "$repo/target/release/simlint" --root "$repo" --fix --dry-run; then
+    echo "ci: no pending autofixes"
+else
+    echo "ci: FAIL — pending mechanical fixes; apply with simlint --fix" >&2
+    exit 7
+fi
+
+echo "== clippy (advisory) =="
+# Advisory only: clippy versions drift and this container may not ship
+# it; a finding here never gates, it just surfaces in the log.
+if cargo clippy --version > /dev/null 2>&1; then
+    if cargo clippy --workspace --all-targets -- -D warnings; then
+        echo "ci: clippy clean"
+    else
+        echo "ci: WARN — clippy reported findings (advisory, not gating)" >&2
+    fi
+else
+    echo "ci: clippy not installed; skipping advisory pass"
 fi
 
 echo "== figures --quick: regenerate all figures, check shapes =="
